@@ -1,0 +1,74 @@
+//! Vanilla exact execution ("Baseline" in the paper's figures).
+
+use std::sync::Arc;
+
+use taster_engine::physical::execute;
+use taster_engine::{parse_query, EngineError, ExecutionContext};
+use taster_storage::{Catalog, IoModel};
+
+use crate::RunReport;
+
+/// Exact query execution over the shared engine: no synopses, no
+/// approximation, every query scans the base data it needs.
+pub struct BaselineEngine {
+    catalog: Arc<Catalog>,
+    io_model: IoModel,
+}
+
+impl BaselineEngine {
+    /// Create a baseline engine over a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self {
+            catalog,
+            io_model: IoModel::default(),
+        }
+    }
+
+    /// Replace the I/O model used for simulated-time reporting.
+    pub fn with_io_model(mut self, io_model: IoModel) -> Self {
+        self.io_model = io_model;
+        self
+    }
+
+    /// Execute one query exactly.
+    pub fn execute_sql(&self, sql: &str) -> Result<RunReport, EngineError> {
+        let query = parse_query(sql)?;
+        let plan = query.to_exact_plan(&self.catalog)?;
+        let ctx = ExecutionContext::new(self.catalog.clone()).with_io_model(self.io_model);
+        let result = execute(&plan, &ctx)?;
+        let simulated_secs = result.metrics.simulated_secs(&self.io_model);
+        Ok(RunReport {
+            approximate: result.approximate,
+            simulated_secs,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_workloads::tpch;
+
+    #[test]
+    fn baseline_is_exact_and_scans_everything() {
+        let cat = tpch::generate(tpch::TpchScale {
+            lineitem_rows: 5_000,
+            partitions: 4,
+            seed: 1,
+        });
+        let eng = BaselineEngine::new(cat.clone());
+        let report = eng
+            .execute_sql(
+                "SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag",
+            )
+            .unwrap();
+        assert!(!report.approximate);
+        assert_eq!(report.result.metrics.base_rows_scanned, 5_000);
+        assert!(report.simulated_secs > 0.0);
+        assert_eq!(report.result.num_groups(), 3);
+        for g in &report.result.groups {
+            assert_eq!(g.aggregates[0].std_error, 0.0);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! BlinkDB-style offline AQP (the paper's reference 4).
+//!
+//! BlinkDB assumes the query workload is known a priori (the paper grants it
+//! an oracle that reveals all queries at initialization time) and solves an
+//! optimization problem to pick the best set of stratified samples under a
+//! storage budget. The reproduction mirrors that structure:
+//!
+//! 1. **Offline phase** — every workload query contributes the column set it
+//!    would stratify on; column sets are ranked by how many queries they
+//!    serve, and stratified samples are built greedily until the storage
+//!    budget is exhausted. The time spent building is reported separately
+//!    (the "Offline sampling" bars of Fig. 3 / Fig. 7).
+//! 2. **Online phase** — each query is answered from the best matching
+//!    pre-built sample (using the same subsumption test as Taster), falling
+//!    back to exact execution when no sample covers it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use taster_core::hints::{build_offline_sample, OfflineStrategy};
+use taster_core::matching::{find_sample_match, SampleRequirement};
+use taster_core::{MetadataStore, Planner, SynopsisStore, TasterConfig};
+use taster_engine::physical::execute;
+use taster_engine::sql::ErrorSpec;
+use taster_engine::{parse_query, EngineError, ExecutionContext, LogicalPlan, SelectQuery};
+use taster_storage::{Catalog, IoModel};
+
+use crate::RunReport;
+
+/// Report of the offline preparation phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OfflinePhaseReport {
+    /// Number of stratified samples built.
+    pub samples_built: usize,
+    /// Total bytes of samples stored.
+    pub bytes_used: usize,
+    /// Simulated time spent building (seconds).
+    pub simulated_secs: f64,
+}
+
+/// Offline AQP with oracle workload knowledge.
+pub struct BlinkDbEngine {
+    catalog: Arc<Catalog>,
+    io_model: IoModel,
+    planner: Planner,
+    metadata: MetadataStore,
+    store: Arc<SynopsisStore>,
+    offline: OfflinePhaseReport,
+    /// Per-group row cap used for the stratified samples.
+    rows_per_group: usize,
+}
+
+impl BlinkDbEngine {
+    /// Create an engine and run the offline phase over the oracle workload,
+    /// subject to `budget_bytes` of sample storage.
+    pub fn prepare(
+        catalog: Arc<Catalog>,
+        workload: &[String],
+        budget_bytes: usize,
+        rows_per_group: usize,
+    ) -> Result<Self, EngineError> {
+        let config = TasterConfig::default();
+        let io_model = IoModel::default();
+        let mut engine = Self {
+            planner: Planner::new(config, io_model),
+            metadata: MetadataStore::new(),
+            store: Arc::new(SynopsisStore::new(budget_bytes, budget_bytes)),
+            offline: OfflinePhaseReport::default(),
+            rows_per_group: rows_per_group.max(10),
+            catalog,
+            io_model,
+        };
+        engine.offline_phase(workload, budget_bytes)?;
+        Ok(engine)
+    }
+
+    /// The offline phase report (for the "Offline sampling" figure segments).
+    pub fn offline_report(&self) -> OfflinePhaseReport {
+        self.offline
+    }
+
+    fn offline_phase(&mut self, workload: &[String], budget_bytes: usize) -> Result<(), EngineError> {
+        // Rank (fact table, stratification column set) pairs by popularity.
+        let mut popularity: HashMap<(String, Vec<String>), usize> = HashMap::new();
+        for sql in workload {
+            let Ok(query) = parse_query(sql) else { continue };
+            if !query.is_approximable() {
+                continue;
+            }
+            let Ok(strat) = self.stratification_for(&query) else {
+                continue;
+            };
+            *popularity.entry((query.from.clone(), strat)).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<((String, Vec<String>), usize)> = popularity.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let mut used = 0usize;
+        for ((table, strat), _) in ranked {
+            if strat.is_empty() {
+                continue;
+            }
+            let build = build_offline_sample(
+                &self.catalog,
+                &table,
+                &OfflineStrategy::Stratified {
+                    stratification: strat.clone(),
+                    rows_per_group: self.rows_per_group,
+                },
+                ErrorSpec::default(),
+                0xb11_9db,
+            )?;
+            let bytes = build.payload.size_bytes();
+            if used + bytes > budget_bytes {
+                continue;
+            }
+            used += bytes;
+            let id = self.metadata.allocate_id();
+            let mut descriptor = build.descriptor.clone();
+            descriptor.id = id;
+            let id = self.metadata.register(descriptor);
+            self.metadata.set_actual_size(id, bytes);
+            self.store.insert_into_warehouse(id, &build.payload, true);
+
+            let table_bytes = self.catalog.table(&table)?.size_bytes();
+            self.offline.samples_built += 1;
+            self.offline.bytes_used = used;
+            self.offline.simulated_secs += (self.io_model.scan_cost(table_bytes)
+                + self.io_model.materialize_cost(bytes))
+                / 1e9;
+        }
+        Ok(())
+    }
+
+    /// The stratification column set a query needs on its FROM table:
+    /// grouping attributes, join keys and filter attributes that live there.
+    fn stratification_for(&self, query: &SelectQuery) -> Result<Vec<String>, EngineError> {
+        let fact = self.catalog.table(&query.from)?;
+        let stats = fact.stats();
+        // Near-unique columns (dates, foreign keys to large dimensions) are
+        // excluded: a per-group cap over them would retain the whole table,
+        // which no budget can afford — the same pruning BlinkDB's column-set
+        // selection performs.
+        let cardinality_cap = (fact.num_rows() / 100).max(64);
+        let mut strat: Vec<String> = Vec::new();
+        let mut push = |col: &String| {
+            if stats.distinct_count(col) <= cardinality_cap {
+                strat.push(col.clone());
+            }
+        };
+        for g in &query.group_by {
+            if fact.schema().contains(g) {
+                push(g);
+            }
+        }
+        for join in &query.joins {
+            for (a, b) in &join.conditions {
+                if fact.schema().contains(a) {
+                    push(a);
+                } else if fact.schema().contains(b) {
+                    push(b);
+                }
+            }
+        }
+        for pred in &query.predicates {
+            for col in pred.referenced_columns() {
+                if fact.schema().contains(&col) {
+                    push(&col);
+                }
+            }
+        }
+        strat.sort();
+        strat.dedup();
+        Ok(strat)
+    }
+
+    /// Execute one query, answering from a pre-built sample when possible.
+    pub fn execute_sql(&self, sql: &str) -> Result<RunReport, EngineError> {
+        let query = parse_query(sql)?;
+        let plan: LogicalPlan = if query.is_approximable() {
+            let strat = self.stratification_for(&query)?;
+            let requirement = SampleRequirement {
+                table: query.from.clone(),
+                stratification: strat,
+                accuracy: query.accuracy(),
+                min_probability: 0.0,
+            };
+            match find_sample_match(&self.metadata, &self.store, &requirement) {
+                Some(id) => {
+                    let fact_predicates = self.planner.fact_predicates(&query, &self.catalog)?;
+                    self.planner.build_plan_with_fact_input(
+                        &query,
+                        &self.catalog,
+                        LogicalPlan::SynopsisScan { id, filter: None },
+                        fact_predicates,
+                    )?
+                }
+                None => query.to_exact_plan(&self.catalog)?,
+            }
+        } else {
+            query.to_exact_plan(&self.catalog)?
+        };
+
+        let ctx = ExecutionContext::new(self.catalog.clone())
+            .with_io_model(self.io_model)
+            .with_provider(self.store.clone());
+        let result = execute(&plan, &ctx)?;
+        let simulated_secs = result.metrics.simulated_secs(&self.io_model);
+        Ok(RunReport {
+            approximate: result.approximate,
+            simulated_secs,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BaselineEngine;
+    use taster_workloads::driver::random_sequence;
+    use taster_workloads::tpch;
+
+    fn catalog() -> Arc<Catalog> {
+        tpch::generate(tpch::TpchScale {
+            lineitem_rows: 20_000,
+            partitions: 4,
+            seed: 9,
+        })
+    }
+
+    fn oracle_workload(n: usize) -> Vec<String> {
+        random_sequence(&tpch::workload(), n, 17)
+            .into_iter()
+            .map(|q| q.sql)
+            .collect()
+    }
+
+    #[test]
+    fn offline_phase_builds_samples_within_budget() {
+        let cat = catalog();
+        let budget = cat.total_size_bytes();
+        let eng = BlinkDbEngine::prepare(cat, &oracle_workload(30), budget, 50).unwrap();
+        let report = eng.offline_report();
+        assert!(report.samples_built > 0);
+        assert!(report.bytes_used <= budget);
+        assert!(report.simulated_secs > 0.0);
+    }
+
+    #[test]
+    fn covered_queries_avoid_base_scans_and_stay_accurate() {
+        let cat = catalog();
+        let workload = oracle_workload(40);
+        let budget = cat.total_size_bytes();
+        let eng = BlinkDbEngine::prepare(cat.clone(), &workload, budget, 300).unwrap();
+        let baseline = BaselineEngine::new(cat);
+
+        let mut covered = 0;
+        for sql in workload.iter().take(10) {
+            let approx = eng.execute_sql(sql).unwrap();
+            if approx.approximate {
+                covered += 1;
+                // Dimension tables may still be scanned, but the 20k-row fact
+                // table must be answered from the pre-built sample.
+                assert!(
+                    approx.result.metrics.base_rows_scanned < 10_000,
+                    "fact table was scanned: {} rows",
+                    approx.result.metrics.base_rows_scanned
+                );
+                let exact = baseline.execute_sql(sql).unwrap();
+                let (err, missed) = approx.result.error_vs(&exact.result);
+                assert_eq!(missed, 0, "groups missed on {sql}");
+                // Offline per-column-set stratified samples degrade on deep
+                // multi-join groupings (the weakness Taster's intermediate
+                // -result synopses address); only hold single-join queries to
+                // the tight bound here.
+                let joins = sql.matches(" JOIN ").count();
+                let bound = if joins <= 1 { 0.35 } else { 1.0 };
+                assert!(err < bound, "error {err} too large on {sql}");
+            }
+        }
+        assert!(covered > 0, "the oracle workload should cover some queries");
+    }
+
+    #[test]
+    fn smaller_budget_covers_fewer_queries() {
+        let cat = catalog();
+        let workload = oracle_workload(30);
+        let full = BlinkDbEngine::prepare(cat.clone(), &workload, cat.total_size_bytes(), 50)
+            .unwrap();
+        let tiny = BlinkDbEngine::prepare(cat, &workload, 20_000, 50).unwrap();
+        assert!(tiny.offline_report().samples_built <= full.offline_report().samples_built);
+        assert!(tiny.offline_report().bytes_used <= 20_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! Comparator systems used in the paper's evaluation (Section VI):
+//!
+//! * [`baseline::BaselineEngine`] — vanilla exact execution (the paper's
+//!   "Baseline", i.e. plain SparkSQL),
+//! * [`quickr::QuickrEngine`] — online AQP in the style of Quickr (paper reference 25):
+//!   samplers are injected into every query's plan, but samples are never
+//!   materialized or reused, so every query still reads the full input,
+//! * [`blinkdb::BlinkDbEngine`] — offline AQP in the style of BlinkDB (paper reference 4):
+//!   given the full workload up front (the oracle assumption the paper also
+//!   grants it), it selects and pre-builds stratified samples under a storage
+//!   budget and answers queries from them,
+//! * VerdictDB-style variational subsampling is exercised through Taster's
+//!   user-hint path (`taster_core::hints`), matching how the paper uses it in
+//!   the Fig. 7 experiment.
+//!
+//! All comparators run on the same engine, catalog and cost model as Taster,
+//! so end-to-end comparisons only differ in the AQP strategy.
+
+pub mod baseline;
+pub mod blinkdb;
+pub mod quickr;
+
+pub use baseline::BaselineEngine;
+pub use blinkdb::BlinkDbEngine;
+pub use quickr::QuickrEngine;
+
+use taster_engine::QueryResult;
+
+/// A uniform per-query report all comparators produce, so the benchmark
+/// harness can tabulate them side by side.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The engine result.
+    pub result: QueryResult,
+    /// Simulated execution time in seconds under the shared I/O model.
+    pub simulated_secs: f64,
+    /// `true` if the query was answered approximately.
+    pub approximate: bool,
+}

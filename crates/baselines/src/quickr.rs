@@ -1,0 +1,134 @@
+//! Quickr-style online AQP (the paper's reference 25).
+//!
+//! Quickr injects samplers into every query's plan at runtime, which reduces
+//! the work of the operators above the samplers, but it never materializes or
+//! reuses samples: every query still reads the full input. This comparator
+//! reuses Taster's planner to perform the same sampler injection and
+//! configuration, executes the injected plan, and deliberately throws the
+//! byproduct samples away.
+
+use std::sync::Arc;
+
+use taster_core::{MetadataStore, Planner, SynopsisStore, TasterConfig};
+use taster_engine::physical::execute;
+use taster_engine::{parse_query, EngineError, ExecutionContext, LogicalPlan};
+use taster_storage::{Catalog, IoModel};
+
+use crate::RunReport;
+
+/// Online, per-query sampler injection without materialization or reuse.
+pub struct QuickrEngine {
+    catalog: Arc<Catalog>,
+    io_model: IoModel,
+    planner: Planner,
+    seed: u64,
+    queries: u64,
+}
+
+impl QuickrEngine {
+    /// Create a Quickr-style engine over a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        let config = TasterConfig::default();
+        let io_model = IoModel::default();
+        Self {
+            catalog,
+            io_model,
+            planner: Planner::new(config, io_model),
+            seed: config.seed,
+            queries: 0,
+        }
+    }
+
+    /// Execute one query with online sampler injection.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<RunReport, EngineError> {
+        let query = parse_query(sql)?;
+        // A throwaway metadata store / synopsis store: Quickr keeps no state
+        // across queries.
+        let mut metadata = MetadataStore::new();
+        let store = SynopsisStore::new(0, 0);
+        let output = self
+            .planner
+            .plan(&query, &self.catalog, &mut metadata, &store)?;
+
+        // Pick the cheapest sampler-injection plan; ignore reuse candidates
+        // (there is nothing to reuse) and fall back to exact when the planner
+        // decided sampling cannot satisfy the accuracy requirement.
+        let plan: &LogicalPlan = output
+            .candidates
+            .iter()
+            .filter(|c| !c.creates.is_empty())
+            .filter(|c| matches!(c.plan, LogicalPlan::Aggregate { .. }))
+            .min_by(|a, b| a.cost_ns.total_cmp(&b.cost_ns))
+            .map(|c| &c.plan)
+            .unwrap_or(&output.exact_plan);
+
+        let ctx = ExecutionContext::new(self.catalog.clone())
+            .with_io_model(self.io_model)
+            .with_seed(self.seed ^ self.queries);
+        let mut result = execute(plan, &ctx)?;
+        // Quickr does not persist anything.
+        result.byproducts.clear();
+        self.queries += 1;
+        let simulated_secs = result.metrics.simulated_secs(&self.io_model);
+        Ok(RunReport {
+            approximate: result.approximate,
+            simulated_secs,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BaselineEngine;
+    use taster_workloads::tpch;
+
+    fn catalog() -> Arc<Catalog> {
+        tpch::generate(tpch::TpchScale {
+            lineitem_rows: 20_000,
+            partitions: 4,
+            seed: 5,
+        })
+    }
+
+    const Q: &str = "SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem \
+                     GROUP BY l_returnflag ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+    #[test]
+    fn quickr_samples_but_still_scans_the_base_table() {
+        let cat = catalog();
+        let mut eng = QuickrEngine::new(cat.clone());
+        let report = eng.execute_sql(Q).unwrap();
+        assert!(report.approximate, "sampler must have been injected");
+        assert_eq!(
+            report.result.metrics.base_rows_scanned, 20_000,
+            "online sampling still reads the full input"
+        );
+        assert!(report.result.byproducts.is_empty());
+    }
+
+    #[test]
+    fn quickr_accuracy_is_within_bounds() {
+        let cat = catalog();
+        let mut eng = QuickrEngine::new(cat.clone());
+        let approx = eng.execute_sql(Q).unwrap();
+        let exact = BaselineEngine::new(cat).execute_sql(Q).unwrap();
+        let (err, missed) = approx.result.error_vs(&exact.result);
+        assert_eq!(missed, 0);
+        assert!(err < 0.2, "error too large: {err}");
+    }
+
+    #[test]
+    fn repeated_queries_do_not_accumulate_state() {
+        let cat = catalog();
+        let mut eng = QuickrEngine::new(cat);
+        let a = eng.execute_sql(Q).unwrap();
+        let b = eng.execute_sql(Q).unwrap();
+        // Same amount of base I/O every time: nothing was reused.
+        assert_eq!(
+            a.result.metrics.base_rows_scanned,
+            b.result.metrics.base_rows_scanned
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * synopsis reuse across queries (Taster) vs per-query sampling (Quickr),
+//! * sketch-join vs sample-based join approximation,
+//! * greedy submodular tuner selection cost at growing window sizes.
+//!
+//! These are Criterion benches over small workloads so `cargo bench` stays
+//! quick; the figure-level comparisons live in the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use taster_bench::{run_quickr, run_taster};
+use taster_core::metadata::{MetadataStore, PlanAlternative};
+use taster_core::synopsis::{SynopsisDescriptor, SynopsisKind};
+use taster_core::tuner::select_synopses;
+use taster_core::SynopsisStore;
+use taster_engine::physical::execute;
+use taster_engine::{parse_query, ExecutionContext};
+use taster_workloads::{instacart, random_sequence, tpch};
+
+fn bench_reuse_vs_per_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reuse");
+    group.sample_size(10);
+    let catalog = tpch::generate(tpch::TpchScale {
+        lineitem_rows: 10_000,
+        partitions: 4,
+        seed: 1,
+    });
+    let queries = random_sequence(&tpch::workload(), 10, 5);
+    group.bench_function("taster_reuse_10q", |b| {
+        b.iter(|| black_box(run_taster(catalog.clone(), &queries, 1.0).0.query_secs()))
+    });
+    group.bench_function("quickr_per_query_10q", |b| {
+        b.iter(|| black_box(run_quickr(catalog.clone(), &queries).query_secs()))
+    });
+    group.finish();
+}
+
+fn bench_sketch_vs_sample_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sketchjoin");
+    group.sample_size(10);
+    let catalog = instacart::generate(instacart::InstacartScale {
+        orderproducts_rows: 20_000,
+        partitions: 4,
+        seed: 2,
+    });
+    let sql = "SELECT p_dept_id, COUNT(*) FROM orderproducts \
+               JOIN products ON op_product_id = p_product_id \
+               GROUP BY p_dept_id ERROR WITHIN 10% AT CONFIDENCE 95%";
+    let query = parse_query(sql).unwrap();
+    let exact_plan = query.to_exact_plan(&catalog).unwrap();
+    let ctx = ExecutionContext::new(catalog.clone());
+    group.bench_function("exact_join", |b| {
+        b.iter(|| black_box(execute(&exact_plan, &ctx).unwrap().num_groups()))
+    });
+    // Sketch-join path goes through the Taster engine (it will pick the
+    // sketch candidate for this query shape).
+    group.bench_function("taster_sketch_join", |b| {
+        let queries = vec![taster_workloads::QueryInstance {
+            template_id: "sketch-3".into(),
+            sql: sql.to_string(),
+        }];
+        b.iter(|| black_box(run_taster(catalog.clone(), &queries, 1.0).0.query_secs()))
+    });
+    group.finish();
+}
+
+fn bench_tuner_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tuner");
+    for window in [10usize, 50, 200] {
+        let mut metadata = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 10 << 20);
+        let ids: Vec<u64> = (0..40)
+            .map(|i| {
+                let id = metadata.allocate_id();
+                metadata.register(SynopsisDescriptor {
+                    id,
+                    fingerprint: format!("fp{i}"),
+                    base_tables: vec!["t".into()],
+                    kind: SynopsisKind::Sample {
+                        method: taster_engine::SampleMethod::Uniform { probability: 0.1 },
+                    },
+                    accuracy: taster_engine::sql::ErrorSpec::default(),
+                    estimated_bytes: 100_000 + i * 1_000,
+                    estimated_rows: 1_000,
+                    pinned: false,
+                })
+            })
+            .collect();
+        for q in 0..window {
+            let alts = (0..4)
+                .map(|j| PlanAlternative {
+                    synopses: vec![ids[(q * 4 + j) % ids.len()]],
+                    cost_ns: 1_000.0 + j as f64,
+                })
+                .collect();
+            metadata.record_query(10_000.0, alts);
+        }
+        group.bench_function(format!("greedy_window_{window}"), |b| {
+            b.iter(|| {
+                let recent = metadata.recent_queries(window);
+                black_box(select_synopses(&recent, &metadata, &store, 5 << 20))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reuse_vs_per_query,
+    bench_sketch_vs_sample_join,
+    bench_tuner_selection
+);
+criterion_main!(benches);

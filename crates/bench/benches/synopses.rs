@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the synopsis data structures: the building
+//! blocks whose per-tuple cost determines whether online approximation can
+//! ever pay off (Section II's pipelineability requirement).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use taster_storage::batch::BatchBuilder;
+use taster_storage::Value;
+use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
+use taster_synopses::{CountMinSketch, SketchJoin, SpaceSaving, UniformSampler};
+
+fn batch(n: usize) -> taster_storage::RecordBatch {
+    BatchBuilder::new()
+        .column("k", (0..n as i64).map(|i| i % 1000).collect::<Vec<_>>())
+        .column("v", (0..n).map(|i| (i % 97) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+}
+
+fn bench_countmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("countmin");
+    group.bench_function("insert_100k", |b| {
+        b.iter_batched(
+            || CountMinSketch::with_error(0.001, 0.01),
+            |mut cm| {
+                for i in 0..100_000i64 {
+                    cm.insert(&Value::Int(i % 5_000));
+                }
+                black_box(cm)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut cm = CountMinSketch::with_error(0.001, 0.01);
+    for i in 0..100_000i64 {
+        cm.insert(&Value::Int(i % 5_000));
+    }
+    group.bench_function("estimate", |b| {
+        b.iter(|| black_box(cm.estimate(&Value::Int(black_box(1234)))))
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    let data = batch(100_000);
+    group.bench_function("uniform_p01_100k", |b| {
+        b.iter_batched(
+            || UniformSampler::new(0.01, 7),
+            |mut s| black_box(s.sample_batch(&data)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("distinct_100k", |b| {
+        b.iter_batched(
+            || {
+                DistinctSampler::new(
+                    DistinctSamplerConfig::new(vec!["k".into()], 10, 0.01),
+                    7,
+                )
+            },
+            |mut s| black_box(s.sample_batch(&data).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sketch_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_join");
+    let data = batch(100_000);
+    group.bench_function("build_100k", |b| {
+        b.iter(|| {
+            black_box(
+                SketchJoin::build(
+                    std::slice::from_ref(&data),
+                    vec!["k".into()],
+                    Some("v".into()),
+                    0.001,
+                    0.01,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    let sj = SketchJoin::build(
+        std::slice::from_ref(&data),
+        vec!["k".into()],
+        Some("v".into()),
+        0.001,
+        0.01,
+    )
+    .unwrap();
+    group.bench_function("probe", |b| {
+        b.iter(|| black_box(sj.probe(&[Value::Int(black_box(123))])))
+    });
+    group.finish();
+}
+
+fn bench_heavy_hitters(c: &mut Criterion) {
+    c.bench_function("spacesaving_insert_100k", |b| {
+        b.iter_batched(
+            || SpaceSaving::new(4_096),
+            |mut ss| {
+                for i in 0..100_000i64 {
+                    ss.insert(&Value::Int(i % 10_000));
+                }
+                black_box(ss)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_countmin,
+    bench_samplers,
+    bench_sketch_join,
+    bench_heavy_hitters
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 3c — end-to-end execution time on the instacart micro-benchmark
+//! (Table I templates, 200 queries, 50% storage budget).
+
+use taster_bench::{print_end_to_end, run_baseline, run_blinkdb, run_quickr, run_taster};
+use taster_workloads::{instacart, random_sequence};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let num_queries = env_usize("TASTER_BENCH_QUERIES", 200);
+    let rows = env_usize("TASTER_BENCH_ROWS", 40_000);
+    let catalog = instacart::generate(instacart::InstacartScale {
+        orderproducts_rows: rows,
+        partitions: 8,
+        seed: 11,
+    });
+    let queries = random_sequence(&instacart::workload(), num_queries, 909);
+    println!(
+        "instacart workload (Table I templates): {} queries over {} orderproducts rows",
+        queries.len(),
+        rows
+    );
+
+    let baseline = run_baseline(catalog.clone(), &queries);
+    let quickr = run_quickr(catalog.clone(), &queries);
+    let blinkdb50 = run_blinkdb(catalog.clone(), &queries, 0.5);
+    let (taster50, engine) = run_taster(catalog, &queries, 0.5);
+
+    print_end_to_end(
+        "Fig. 3c — instacart end-to-end execution time (simulated seconds)",
+        &[&baseline, &quickr, &blinkdb50, &taster50],
+    );
+    println!(
+        "\nTaster materialized {} synopses ({} in warehouse) — the sketch-heavy templates \
+         are what the paper credits for the instacart speed-up.",
+        engine.metadata().num_synopses(),
+        engine.store().usage().warehouse_count
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 3b — end-to-end execution time on the TPC-DS-like workload
+//! (200 queries, 50% storage budget, as in the paper).
+
+use taster_bench::{print_end_to_end, run_baseline, run_blinkdb, run_quickr, run_taster};
+use taster_workloads::{random_sequence, tpcds};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let num_queries = env_usize("TASTER_BENCH_QUERIES", 200);
+    let rows = env_usize("TASTER_BENCH_ROWS", 50_000);
+    let catalog = tpcds::generate(tpcds::TpcdsScale {
+        store_sales_rows: rows,
+        partitions: 8,
+        seed: 7,
+    });
+    let queries = random_sequence(&tpcds::workload(), num_queries, 777);
+    println!(
+        "TPC-DS-like workload: {} queries over {} store_sales rows",
+        queries.len(),
+        rows
+    );
+
+    let baseline = run_baseline(catalog.clone(), &queries);
+    let quickr = run_quickr(catalog.clone(), &queries);
+    let blinkdb50 = run_blinkdb(catalog.clone(), &queries, 0.5);
+    let (taster50, _) = run_taster(catalog, &queries, 0.5);
+
+    print_end_to_end(
+        "Fig. 3b — TPC-DS end-to-end execution time (simulated seconds)",
+        &[&baseline, &quickr, &blinkdb50, &taster50],
+    );
+}

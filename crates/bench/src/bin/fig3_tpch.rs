@@ -1,0 +1,55 @@
+//! Figure 3a — end-to-end execution time on the TPC-H-like workload.
+//!
+//! 200 queries instantiated from the 18 templates in random order, executed
+//! by Baseline, Quickr, BlinkDB (50% / 100% budget) and Taster (50% / 100%
+//! budget). BlinkDB's offline sampling time is reported separately, exactly
+//! as in the paper's stacked bars.
+//!
+//! Environment variables: `TASTER_BENCH_QUERIES` (default 200) and
+//! `TASTER_BENCH_ROWS` (default 60000) shrink the experiment for quick runs.
+
+use taster_bench::{print_end_to_end, run_baseline, run_blinkdb, run_quickr, run_taster};
+use taster_workloads::{random_sequence, tpch};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let num_queries = env_usize("TASTER_BENCH_QUERIES", 200);
+    let rows = env_usize("TASTER_BENCH_ROWS", 60_000);
+    let catalog = tpch::generate(tpch::TpchScale {
+        lineitem_rows: rows,
+        partitions: 8,
+        seed: 42,
+    });
+    let queries = random_sequence(&tpch::workload(), num_queries, 2024);
+    println!(
+        "TPC-H-like workload: {} queries over {} lineitem rows ({} MB total)",
+        queries.len(),
+        rows,
+        catalog.total_size_bytes() / (1 << 20)
+    );
+
+    let baseline = run_baseline(catalog.clone(), &queries);
+    let quickr = run_quickr(catalog.clone(), &queries);
+    let blinkdb50 = run_blinkdb(catalog.clone(), &queries, 0.5);
+    let blinkdb100 = run_blinkdb(catalog.clone(), &queries, 1.0);
+    let (taster50, _) = run_taster(catalog.clone(), &queries, 0.5);
+    let (taster100, _) = run_taster(catalog, &queries, 1.0);
+
+    print_end_to_end(
+        "Fig. 3a — TPC-H end-to-end execution time (simulated seconds)",
+        &[&baseline, &quickr, &blinkdb50, &taster50, &blinkdb100, &taster100],
+    );
+
+    let t50 = taster50.total_secs();
+    let t100 = taster100.total_secs();
+    println!(
+        "\nTaster 50% vs 100% budget difference: {:.1}% (paper: <10%)",
+        (t50 - t100).abs() / t100.max(1e-9) * 100.0
+    );
+}

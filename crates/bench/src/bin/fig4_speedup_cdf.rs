@@ -1,0 +1,35 @@
+//! Figure 4 — CDF of per-query speed-up of Taster over Baseline (TPC-H).
+
+use taster_bench::{cdf, print_cdf, run_baseline, run_taster, speedups};
+use taster_workloads::{random_sequence, tpch};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let num_queries = env_usize("TASTER_BENCH_QUERIES", 200);
+    let rows = env_usize("TASTER_BENCH_ROWS", 60_000);
+    let catalog = tpch::generate(tpch::TpchScale {
+        lineitem_rows: rows,
+        partitions: 8,
+        seed: 42,
+    });
+    let queries = random_sequence(&tpch::workload(), num_queries, 2024);
+
+    let baseline = run_baseline(catalog.clone(), &queries);
+    let (taster, _) = run_taster(catalog, &queries, 0.5);
+    let ups = speedups(&baseline, &taster);
+
+    print_cdf("Fig. 4 — CDF of per-query speed-up over Baseline", &cdf(&ups), 25);
+
+    let slowed = ups.iter().filter(|&&s| s < 1.0).count() as f64 / ups.len() as f64;
+    let over6 = ups.iter().filter(|&&s| s > 6.0).count() as f64 / ups.len() as f64;
+    let max = ups.iter().cloned().fold(0.0f64, f64::max);
+    println!("\nqueries slowed down: {:.1}% (paper: <10%)", slowed * 100.0);
+    println!("queries sped up >6x: {:.1}% (paper: >50%)", over6 * 100.0);
+    println!("maximum speed-up:    {max:.1}x (paper: ~13x, via sketches)");
+}

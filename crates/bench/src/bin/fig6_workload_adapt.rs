@@ -1,0 +1,92 @@
+//! Figure 6 — Taster adapting to a shifting workload.
+//!
+//! 80 TPC-H queries split into 4 epochs of 20 (the template groups of
+//! Section VI-B). For every query the harness reports the simulated
+//! execution time and the synopsis warehouse occupancy, showing synopses
+//! being dropped and rebuilt as the workload shifts.
+
+use taster_bench::run_taster;
+use taster_workloads::{epoch_sequence, tpch};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let rows = env_usize("TASTER_BENCH_ROWS", 60_000);
+    let per_epoch = env_usize("TASTER_BENCH_PER_EPOCH", 20);
+    let catalog = tpch::generate(tpch::TpchScale {
+        lineitem_rows: rows,
+        partitions: 8,
+        seed: 42,
+    });
+    let workload = tpch::workload();
+    let epochs = tpch::fig6_epochs();
+    let queries = epoch_sequence(&workload, &epochs, per_epoch, 606);
+
+    println!(
+        "Fig. 6 — {} queries in {} epochs (templates per epoch: {:?})",
+        queries.len(),
+        epochs.len(),
+        epochs
+    );
+    println!(
+        "{:<6} {:<10} {:<10} {:>16} {:>20}",
+        "query", "epoch", "template", "exec time (s)", "warehouse (MB)"
+    );
+
+    // Execute query-by-query so warehouse occupancy can be sampled after each
+    // one; run_taster would hide the trajectory.
+    let config = taster_core::TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
+    let mut engine = taster_core::TasterEngine::new(catalog, config);
+    for (i, q) in queries.iter().enumerate() {
+        let report = engine.execute_sql(&q.sql).expect("query failed");
+        let usage = engine.store().usage();
+        println!(
+            "{:<6} {:<10} {:<10} {:>16.3} {:>20.2}",
+            i + 1,
+            i / per_epoch + 1,
+            q.template_id,
+            report.simulated_secs,
+            (usage.warehouse_bytes + usage.buffer_bytes) as f64 / (1 << 20) as f64
+        );
+    }
+
+    // A compact epoch summary mirrors the figure's visual take-away.
+    let (run, engine) = {
+        let catalog = tpch::generate(tpch::TpchScale {
+            lineitem_rows: rows,
+            partitions: 8,
+            seed: 42,
+        });
+        run_taster(catalog, &queries, 0.5)
+    };
+    println!("\nper-epoch mean execution time (s):");
+    for e in 0..epochs.len() {
+        let slice = &run.queries[e * per_epoch..(e + 1) * per_epoch];
+        let first_half: f64 = slice[..per_epoch / 2]
+            .iter()
+            .map(|q| q.simulated_secs)
+            .sum::<f64>()
+            / (per_epoch / 2) as f64;
+        let second_half: f64 = slice[per_epoch / 2..]
+            .iter()
+            .map(|q| q.simulated_secs)
+            .sum::<f64>()
+            / (per_epoch - per_epoch / 2) as f64;
+        println!(
+            "  epoch {}: first half {:.3}s, second half {:.3}s (adaptation => second half should be faster)",
+            e + 1,
+            first_half,
+            second_half
+        );
+    }
+    println!(
+        "synopses registered over the run: {}, currently materialized: {}",
+        engine.metadata().num_synopses(),
+        engine.store().materialized_ids().len()
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 9 — storage elasticity: average speed-up as the warehouse quota is
+//! changed at runtime (20% → 50% → 100% → 50% → 100% of the dataset size)
+//! over a 250-query TPC-H sequence.
+
+use taster_bench::run_baseline;
+use taster_core::{TasterConfig, TasterEngine};
+use taster_workloads::{random_sequence, tpch};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let num_queries = env_usize("TASTER_BENCH_QUERIES", 250);
+    let rows = env_usize("TASTER_BENCH_ROWS", 60_000);
+    let catalog = tpch::generate(tpch::TpchScale {
+        lineitem_rows: rows,
+        partitions: 8,
+        seed: 42,
+    });
+    let queries = random_sequence(&tpch::workload(), num_queries, 999);
+    let phases = [0.2, 0.5, 1.0, 0.5, 1.0];
+    let per_phase = queries.len() / phases.len();
+
+    // Baseline reference for the same queries.
+    let baseline = run_baseline(catalog.clone(), &queries);
+
+    let dataset_bytes = catalog.total_size_bytes();
+    let config = TasterConfig::with_budget_fraction(dataset_bytes, phases[0]);
+    let mut engine = TasterEngine::new(catalog, config);
+
+    println!("Fig. 9 — average speed-up over Baseline while the storage budget changes");
+    println!("{:<16} {:>18} {:>22}", "storage budget", "avg speedup", "warehouse used (MB)");
+    for (p, &fraction) in phases.iter().enumerate() {
+        engine.set_storage_budget((dataset_bytes as f64 * fraction) as usize);
+        let slice = &queries[p * per_phase..(p + 1) * per_phase];
+        let base_slice = &baseline.queries[p * per_phase..(p + 1) * per_phase];
+        let mut speedups = Vec::with_capacity(slice.len());
+        for (q, b) in slice.iter().zip(base_slice) {
+            let r = engine.execute_sql(&q.sql).expect("query failed");
+            speedups.push(b.simulated_secs / r.simulated_secs.max(1e-12));
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        let usage = engine.store().usage();
+        println!(
+            "{:<16} {:>17.2}x {:>22.2}",
+            format!("{:.0}%", fraction * 100.0),
+            avg,
+            usage.warehouse_bytes as f64 / (1 << 20) as f64
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Shared benchmark harness used by the `fig*` binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (Section VI). The harness runs a query sequence through each
+//! system (Baseline, Quickr, BlinkDB, Taster) over the *same* catalog and
+//! I/O model and reports simulated execution time — the measured wall-clock
+//! of the in-memory reproduction is also tracked, but the simulated time is
+//! what preserves the shape of the paper's cluster numbers (see
+//! `taster_storage::io_model`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use taster_baselines::{BaselineEngine, BlinkDbEngine, QuickrEngine};
+use taster_core::{TasterConfig, TasterEngine};
+use taster_engine::QueryResult;
+use taster_storage::Catalog;
+use taster_workloads::QueryInstance;
+
+/// Per-query measurement.
+#[derive(Debug, Clone)]
+pub struct PerQuery {
+    /// Template the query came from.
+    pub template_id: String,
+    /// Simulated execution time (seconds).
+    pub simulated_secs: f64,
+    /// Wall-clock execution time of the reproduction (seconds).
+    pub wall_secs: f64,
+    /// Whether the query was answered approximately.
+    pub approximate: bool,
+    /// The result, kept so accuracy figures can compare against exact runs.
+    pub result: QueryResult,
+}
+
+/// A full run of one system over a query sequence.
+#[derive(Debug)]
+pub struct SystemRun {
+    /// System label ("Baseline", "Quickr", "Taster (50%)", ...).
+    pub label: String,
+    /// Simulated time spent in any offline phase (seconds).
+    pub offline_secs: f64,
+    /// Per-query measurements.
+    pub queries: Vec<PerQuery>,
+}
+
+impl SystemRun {
+    /// Total simulated query-execution time in seconds.
+    pub fn query_secs(&self) -> f64 {
+        self.queries.iter().map(|q| q.simulated_secs).sum()
+    }
+
+    /// Total simulated end-to-end time (offline + queries).
+    pub fn total_secs(&self) -> f64 {
+        self.offline_secs + self.query_secs()
+    }
+
+    /// Total wall-clock time of the reproduction run.
+    pub fn wall_secs(&self) -> f64 {
+        self.queries.iter().map(|q| q.wall_secs).sum()
+    }
+}
+
+/// Run the exact baseline over a sequence.
+pub fn run_baseline(catalog: Arc<Catalog>, queries: &[QueryInstance]) -> SystemRun {
+    let engine = BaselineEngine::new(catalog);
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let start = Instant::now();
+        let report = engine
+            .execute_sql(&q.sql)
+            .unwrap_or_else(|e| panic!("baseline failed on {}: {e}", q.sql));
+        out.push(PerQuery {
+            template_id: q.template_id.clone(),
+            simulated_secs: report.simulated_secs,
+            wall_secs: start.elapsed().as_secs_f64(),
+            approximate: report.approximate,
+            result: report.result,
+        });
+    }
+    SystemRun {
+        label: "Baseline".into(),
+        offline_secs: 0.0,
+        queries: out,
+    }
+}
+
+/// Run the Quickr-style online AQP engine over a sequence.
+pub fn run_quickr(catalog: Arc<Catalog>, queries: &[QueryInstance]) -> SystemRun {
+    let mut engine = QuickrEngine::new(catalog);
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let start = Instant::now();
+        let report = engine
+            .execute_sql(&q.sql)
+            .unwrap_or_else(|e| panic!("quickr failed on {}: {e}", q.sql));
+        out.push(PerQuery {
+            template_id: q.template_id.clone(),
+            simulated_secs: report.simulated_secs,
+            wall_secs: start.elapsed().as_secs_f64(),
+            approximate: report.approximate,
+            result: report.result,
+        });
+    }
+    SystemRun {
+        label: "Quickr".into(),
+        offline_secs: 0.0,
+        queries: out,
+    }
+}
+
+/// Run the BlinkDB-style offline AQP engine (oracle workload knowledge) over
+/// a sequence, with a storage budget expressed as a fraction of the dataset.
+pub fn run_blinkdb(
+    catalog: Arc<Catalog>,
+    queries: &[QueryInstance],
+    budget_fraction: f64,
+) -> SystemRun {
+    let budget = (catalog.total_size_bytes() as f64 * budget_fraction) as usize;
+    let oracle: Vec<String> = queries.iter().map(|q| q.sql.clone()).collect();
+    let engine = BlinkDbEngine::prepare(catalog, &oracle, budget, 300)
+        .expect("BlinkDB offline phase failed");
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let start = Instant::now();
+        let report = engine
+            .execute_sql(&q.sql)
+            .unwrap_or_else(|e| panic!("blinkdb failed on {}: {e}", q.sql));
+        out.push(PerQuery {
+            template_id: q.template_id.clone(),
+            simulated_secs: report.simulated_secs,
+            wall_secs: start.elapsed().as_secs_f64(),
+            approximate: report.approximate,
+            result: report.result,
+        });
+    }
+    SystemRun {
+        label: format!("BlinkDB ({:.0}%)", budget_fraction * 100.0),
+        offline_secs: engine.offline_report().simulated_secs,
+        queries: out,
+    }
+}
+
+/// Run Taster over a sequence with a storage budget expressed as a fraction
+/// of the dataset size. Returns both the run and the engine (so callers can
+/// inspect warehouse usage, window history, ...).
+pub fn run_taster(
+    catalog: Arc<Catalog>,
+    queries: &[QueryInstance],
+    budget_fraction: f64,
+) -> (SystemRun, TasterEngine) {
+    let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), budget_fraction);
+    run_taster_with_config(catalog, queries, config, format!(
+        "Taster ({:.0}%)",
+        budget_fraction * 100.0
+    ))
+}
+
+/// Run Taster with an explicit configuration.
+pub fn run_taster_with_config(
+    catalog: Arc<Catalog>,
+    queries: &[QueryInstance],
+    config: TasterConfig,
+    label: String,
+) -> (SystemRun, TasterEngine) {
+    let mut engine = TasterEngine::new(catalog, config);
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let start = Instant::now();
+        let report = engine
+            .execute_sql(&q.sql)
+            .unwrap_or_else(|e| panic!("taster failed on {}: {e}", q.sql));
+        out.push(PerQuery {
+            template_id: q.template_id.clone(),
+            simulated_secs: report.simulated_secs,
+            wall_secs: start.elapsed().as_secs_f64(),
+            approximate: report.approximate,
+            result: report.result,
+        });
+    }
+    (
+        SystemRun {
+            label,
+            offline_secs: 0.0,
+            queries: out,
+        },
+        engine,
+    )
+}
+
+/// Per-query speed-ups of `system` over `baseline` (aligned by position).
+pub fn speedups(baseline: &SystemRun, system: &SystemRun) -> Vec<f64> {
+    baseline
+        .queries
+        .iter()
+        .zip(&system.queries)
+        .map(|(b, s)| b.simulated_secs / s.simulated_secs.max(1e-12))
+        .collect()
+}
+
+/// Per-query maximum relative error of `system` against the exact `baseline`,
+/// plus the number of queries that missed at least one group.
+pub fn errors_vs_exact(baseline: &SystemRun, system: &SystemRun) -> (Vec<f64>, usize) {
+    let mut errors = Vec::with_capacity(system.queries.len());
+    let mut queries_with_missing = 0;
+    for (b, s) in baseline.queries.iter().zip(&system.queries) {
+        let (err, missed) = s.result.error_vs(&b.result);
+        if missed > 0 {
+            queries_with_missing += 1;
+        }
+        errors.push(err);
+    }
+    (errors, queries_with_missing)
+}
+
+/// Empirical CDF points `(value, fraction ≤ value)` of a set of samples.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len().max(1) as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Print a Fig.3-style table: one row per system with offline and query time.
+pub fn print_end_to_end(title: &str, runs: &[&SystemRun]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<16} {:>14} {:>16} {:>14} {:>10}",
+        "system", "offline (s)", "query exec (s)", "total (s)", "speedup"
+    );
+    let baseline_total = runs
+        .iter()
+        .find(|r| r.label == "Baseline")
+        .map(|r| r.total_secs())
+        .unwrap_or(0.0);
+    for run in runs {
+        let total = run.total_secs();
+        let speedup = if total > 0.0 { baseline_total / total } else { 0.0 };
+        println!(
+            "{:<16} {:>14.1} {:>16.1} {:>14.1} {:>9.2}x",
+            run.label,
+            run.offline_secs,
+            run.query_secs(),
+            total,
+            speedup
+        );
+    }
+}
+
+/// Print a CDF as two columns.
+pub fn print_cdf(title: &str, points: &[(f64, f64)], samples: usize) {
+    println!("\n=== {title} ===");
+    println!("{:<14} {:>8}", "value", "CDF");
+    // Print a decimated view (at most `samples` rows) to keep output readable.
+    let step = (points.len() / samples.max(1)).max(1);
+    for (i, (v, p)) in points.iter().enumerate() {
+        if i % step == 0 || i + 1 == points.len() {
+            println!("{v:<14.4} {p:>8.3}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_workloads::{random_sequence, tpch};
+
+    #[test]
+    fn harness_runs_all_systems_on_a_tiny_workload() {
+        let cat = tpch::generate(tpch::TpchScale {
+            lineitem_rows: 4_000,
+            partitions: 2,
+            seed: 3,
+        });
+        let queries = random_sequence(&tpch::workload(), 6, 1);
+        let baseline = run_baseline(cat.clone(), &queries);
+        let quickr = run_quickr(cat.clone(), &queries);
+        let blinkdb = run_blinkdb(cat.clone(), &queries, 0.5);
+        let (taster, engine) = run_taster(cat, &queries, 0.5);
+
+        assert_eq!(baseline.queries.len(), 6);
+        assert!(baseline.total_secs() > 0.0);
+        assert!(quickr.total_secs() > 0.0);
+        // On this tiny 6-query oracle the stratified samples may not fit the
+        // 50% budget at all, so only require that the offline phase ran and
+        // produced a well-formed report.
+        assert!(blinkdb.offline_secs >= 0.0);
+        assert_eq!(blinkdb.queries.len(), 6);
+        assert!(taster.offline_secs == 0.0);
+        assert!(engine.queries_executed() == 6);
+
+        let ups = speedups(&baseline, &taster);
+        assert_eq!(ups.len(), 6);
+        let (errs, _missed) = errors_vs_exact(&baseline, &taster);
+        assert_eq!(errs.len(), 6);
+        let c = cdf(&ups);
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Execution context: catalog, cost model, synopsis provider and metrics.
+
+use std::sync::Arc;
+
+use taster_storage::{Catalog, IoModel};
+use taster_synopses::sketch_join::SketchJoin;
+use taster_synopses::WeightedSample;
+
+/// Where a materialized synopsis currently lives. The executor charges reads
+/// to the matching metric so the harness can convert them to simulated time
+/// with the right bandwidth (in-memory buffer vs. persistent warehouse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynopsisLocation {
+    /// The in-memory synopsis buffer (cheap to read).
+    Buffer,
+    /// The persistent synopsis warehouse (cheaper than a base scan, more
+    /// expensive than the buffer).
+    Warehouse,
+}
+
+/// Source of materialized synopses during execution.
+///
+/// The engine does not own the synopsis store — Taster's buffer/warehouse
+/// (or a baseline's offline sample store) implements this trait and is handed
+/// to the executor through the [`ExecutionContext`].
+pub trait SynopsisProvider: Send + Sync {
+    /// Resolve a materialized weighted sample by id.
+    fn sample(&self, id: u64) -> Option<(Arc<WeightedSample>, SynopsisLocation)>;
+
+    /// Resolve a materialized sketch-join by id.
+    fn sketch(&self, id: u64) -> Option<(Arc<SketchJoin>, SynopsisLocation)>;
+}
+
+/// A provider with no materialized synopses (used by the exact baseline and
+/// by unit tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyProvider;
+
+impl SynopsisProvider for EmptyProvider {
+    fn sample(&self, _id: u64) -> Option<(Arc<WeightedSample>, SynopsisLocation)> {
+        None
+    }
+
+    fn sketch(&self, _id: u64) -> Option<(Arc<SketchJoin>, SynopsisLocation)> {
+        None
+    }
+}
+
+/// Everything the executor needs besides the plan itself.
+#[derive(Clone)]
+pub struct ExecutionContext {
+    /// The table catalog.
+    pub catalog: Arc<Catalog>,
+    /// The simulated I/O / cluster cost model.
+    pub io_model: IoModel,
+    /// Source of materialized synopses.
+    pub provider: Arc<dyn SynopsisProvider>,
+    /// Confidence level used when reporting per-group errors (e.g. 0.95).
+    pub confidence: f64,
+    /// Seed driving all samplers spawned by this execution (kept explicit so
+    /// whole experiments are reproducible).
+    pub seed: u64,
+}
+
+impl ExecutionContext {
+    /// A context over a catalog with no materialized synopses and default
+    /// cost model.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self {
+            catalog,
+            io_model: IoModel::default(),
+            provider: Arc::new(EmptyProvider),
+            confidence: 0.95,
+            seed: 0x7a57e5,
+        }
+    }
+
+    /// Replace the synopsis provider.
+    pub fn with_provider(mut self, provider: Arc<dyn SynopsisProvider>) -> Self {
+        self.provider = provider;
+        self
+    }
+
+    /// Replace the sampler seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the cost model.
+    pub fn with_io_model(mut self, io_model: IoModel) -> Self {
+        self.io_model = io_model;
+        self
+    }
+}
+
+impl std::fmt::Debug for ExecutionContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionContext")
+            .field("tables", &self.catalog.table_names())
+            .field("confidence", &self.confidence)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_provider_returns_nothing() {
+        let p = EmptyProvider;
+        assert!(p.sample(1).is_none());
+        assert!(p.sketch(1).is_none());
+    }
+
+    #[test]
+    fn context_builders() {
+        let ctx = ExecutionContext::new(Arc::new(Catalog::new()))
+            .with_seed(42)
+            .with_io_model(IoModel::default());
+        assert_eq!(ctx.seed, 42);
+        assert_eq!(ctx.confidence, 0.95);
+        assert!(format!("{ctx:?}").contains("ExecutionContext"));
+    }
+}

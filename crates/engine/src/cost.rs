@@ -1,0 +1,343 @@
+//! Cost model for logical plans.
+//!
+//! Both the exact planner and Taster's cost-based planner need to compare
+//! candidate plans before executing them. Costs are expressed in nanoseconds
+//! of *simulated* time under the [`taster_storage::IoModel`] — the same unit
+//! the benchmark harness reports — so "cheapest plan" and "fastest measured
+//! plan" agree in shape.
+//!
+//! Synopsis sizes are not derivable from the catalog (they live in Taster's
+//! metadata store), so the estimator accepts a [`SynopsisCostHint`] per
+//! synopsis id.
+
+use std::collections::HashMap;
+
+use taster_storage::{Catalog, IoModel};
+
+use crate::context::SynopsisLocation;
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::logical::{LogicalPlan, SketchRef};
+
+/// Size/location information about a materialized (or planned) synopsis,
+/// supplied by the caller's metadata store.
+#[derive(Debug, Clone, Copy)]
+pub struct SynopsisCostHint {
+    /// Row count of the synopsis.
+    pub rows: usize,
+    /// Size in bytes.
+    pub bytes: usize,
+    /// Which storage tier it lives in (buffer/warehouse); `None` means it
+    /// does not exist yet and must be built by the plan.
+    pub location: Option<SynopsisLocation>,
+}
+
+/// Plan cost estimator.
+#[derive(Debug, Clone)]
+pub struct CostEstimator<'a> {
+    catalog: &'a Catalog,
+    io: IoModel,
+    hints: HashMap<u64, SynopsisCostHint>,
+    /// Default selectivity for a filter predicate the estimator knows nothing
+    /// about (classic textbook 1/3).
+    pub default_selectivity: f64,
+}
+
+/// Estimated properties of a (sub)plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEstimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated cost in simulated nanoseconds.
+    pub cost_ns: f64,
+}
+
+impl<'a> CostEstimator<'a> {
+    /// Create an estimator over a catalog with the default I/O model.
+    pub fn new(catalog: &'a Catalog, io: IoModel) -> Self {
+        Self {
+            catalog,
+            io,
+            hints: HashMap::new(),
+            default_selectivity: 0.33,
+        }
+    }
+
+    /// Provide size/location hints for synopsis ids referenced by the plans.
+    pub fn with_hints(mut self, hints: HashMap<u64, SynopsisCostHint>) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// Add one hint.
+    pub fn add_hint(&mut self, id: u64, hint: SynopsisCostHint) {
+        self.hints.insert(id, hint);
+    }
+
+    /// Estimate rows and cost for a plan.
+    pub fn estimate(&self, plan: &LogicalPlan) -> Result<PlanEstimate, EngineError> {
+        match plan {
+            LogicalPlan::Scan { table, filter, .. } => {
+                let t = self.catalog.table(table)?;
+                let rows = t.num_rows() as f64;
+                let bytes = t.size_bytes();
+                let selectivity = filter.as_ref().map_or(1.0, |f| self.selectivity(f));
+                Ok(PlanEstimate {
+                    rows: rows * selectivity,
+                    cost_ns: self.io.scan_cost(bytes) + self.io.cpu_cost(t.num_rows()),
+                })
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                let i = self.estimate(input)?;
+                Ok(PlanEstimate {
+                    rows: i.rows * self.selectivity(predicate),
+                    cost_ns: i.cost_ns + self.io.cpu_cost(i.rows as usize),
+                })
+            }
+            LogicalPlan::Project { input, .. } | LogicalPlan::Limit { input, .. } => {
+                let i = self.estimate(input)?;
+                Ok(PlanEstimate {
+                    rows: i.rows,
+                    cost_ns: i.cost_ns + self.io.cpu_cost(i.rows as usize),
+                })
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                let l = self.estimate(left)?;
+                let r = self.estimate(right)?;
+                // Foreign-key style join estimate: output ≈ the larger side.
+                let rows = l.rows.max(r.rows);
+                Ok(PlanEstimate {
+                    rows,
+                    cost_ns: l.cost_ns
+                        + r.cost_ns
+                        + self.io.cpu_cost((l.rows + r.rows + rows) as usize),
+                })
+            }
+            LogicalPlan::Aggregate { input, group_by, .. } => {
+                let i = self.estimate(input)?;
+                let groups = self.estimate_groups(plan, group_by, i.rows);
+                Ok(PlanEstimate {
+                    rows: groups,
+                    cost_ns: i.cost_ns + self.io.cpu_cost(i.rows as usize),
+                })
+            }
+            LogicalPlan::Sample { method, input, .. } => {
+                let i = self.estimate(input)?;
+                let rows = (i.rows * method.probability()).max(1.0);
+                Ok(PlanEstimate {
+                    rows,
+                    cost_ns: i.cost_ns + self.io.cpu_cost(i.rows as usize),
+                })
+            }
+            LogicalPlan::SynopsisScan { id, .. } => {
+                let hint = self.hints.get(id).copied().unwrap_or(SynopsisCostHint {
+                    rows: 10_000,
+                    bytes: 1 << 20,
+                    location: Some(SynopsisLocation::Warehouse),
+                });
+                let read = match hint.location {
+                    Some(SynopsisLocation::Buffer) => self.io.buffer_read_cost(hint.bytes),
+                    _ => self.io.warehouse_read_cost(hint.bytes),
+                };
+                Ok(PlanEstimate {
+                    rows: hint.rows as f64,
+                    cost_ns: read + self.io.cpu_cost(hint.rows),
+                })
+            }
+            LogicalPlan::SketchJoinAgg {
+                probe,
+                sketch,
+                group_by,
+                ..
+            } => {
+                let p = self.estimate(probe)?;
+                let sketch_cost = match sketch {
+                    SketchRef::Build { table, .. } => {
+                        let t = self.catalog.table(table)?;
+                        self.io.scan_cost(t.size_bytes()) + self.io.cpu_cost(t.num_rows())
+                    }
+                    SketchRef::Materialized { id } => {
+                        let hint = self.hints.get(id).copied().unwrap_or(SynopsisCostHint {
+                            rows: 0,
+                            bytes: 4 << 20,
+                            location: Some(SynopsisLocation::Warehouse),
+                        });
+                        match hint.location {
+                            Some(SynopsisLocation::Buffer) => {
+                                self.io.buffer_read_cost(hint.bytes)
+                            }
+                            _ => self.io.warehouse_read_cost(hint.bytes),
+                        }
+                    }
+                };
+                let groups = self.estimate_groups(plan, group_by, p.rows);
+                Ok(PlanEstimate {
+                    rows: groups,
+                    cost_ns: p.cost_ns + sketch_cost + self.io.cpu_cost(p.rows as usize),
+                })
+            }
+        }
+    }
+
+    /// Estimate the cost only (convenience).
+    pub fn cost(&self, plan: &LogicalPlan) -> Result<f64, EngineError> {
+        Ok(self.estimate(plan)?.cost_ns)
+    }
+
+    fn estimate_groups(&self, plan: &LogicalPlan, group_by: &[String], input_rows: f64) -> f64 {
+        if group_by.is_empty() {
+            return 1.0;
+        }
+        // Use per-table distinct counts when the grouping columns belong to a
+        // base table we can find; otherwise fall back to a sublinear guess.
+        let mut groups = 1.0f64;
+        let mut resolved = false;
+        for table_name in plan.base_tables() {
+            if let Ok(t) = self.catalog.table(&table_name) {
+                let stats = t.stats();
+                for col in group_by {
+                    let d = stats.distinct_count(col);
+                    if d > 0 {
+                        groups *= d as f64;
+                        resolved = true;
+                    }
+                }
+            }
+        }
+        if !resolved {
+            groups = input_rows.sqrt().max(1.0);
+        }
+        groups.min(input_rows.max(1.0))
+    }
+
+    fn selectivity(&self, predicate: &Expr) -> f64 {
+        // Conjunctions multiply; everything else uses the default.
+        match predicate {
+            Expr::Binary { left, op, right } if *op == crate::expr::BinaryOp::And => {
+                (self.selectivity(left) * self.selectivity(right)).max(1e-4)
+            }
+            Expr::Binary { op, .. } if *op == crate::expr::BinaryOp::Eq => 0.1,
+            _ => self.default_selectivity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinaryOp;
+    use crate::logical::{AggExpr, AggFunc, SampleMethod};
+    use taster_storage::batch::BatchBuilder;
+    use taster_storage::Table;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let big = BatchBuilder::new()
+            .column("k", (0..100_000i64).map(|i| i % 100).collect::<Vec<_>>())
+            .column("v", (0..100_000).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("big", big, 8).unwrap());
+        let small = BatchBuilder::new()
+            .column("k", (0..100i64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("small", small, 1).unwrap());
+        cat
+    }
+
+    fn scan(table: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+            filter: None,
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn bigger_tables_cost_more() {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, IoModel::default());
+        let big = est.cost(&scan("big")).unwrap();
+        let small = est.cost(&scan("small")).unwrap();
+        assert!(big > 100.0 * small);
+    }
+
+    #[test]
+    fn sampling_reduces_estimated_rows_not_scan_cost() {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, IoModel::default());
+        let sampled = LogicalPlan::Sample {
+            method: SampleMethod::Uniform { probability: 0.01 },
+            synopsis_id: 1,
+            input: Box::new(scan("big")),
+        };
+        let s = est.estimate(&sampled).unwrap();
+        let b = est.estimate(&scan("big")).unwrap();
+        assert!(s.rows < b.rows / 50.0);
+        assert!(s.cost_ns >= b.cost_ns, "sampling still reads all base data");
+    }
+
+    #[test]
+    fn synopsis_scan_is_much_cheaper_than_base_scan() {
+        let cat = catalog();
+        let mut est = CostEstimator::new(&cat, IoModel::default());
+        est.add_hint(
+            7,
+            SynopsisCostHint {
+                rows: 1_000,
+                bytes: 16_000,
+                location: Some(SynopsisLocation::Buffer),
+            },
+        );
+        let syn = est
+            .cost(&LogicalPlan::SynopsisScan {
+                id: 7,
+                filter: None,
+            })
+            .unwrap();
+        let base = est.cost(&scan("big")).unwrap();
+        assert!(syn * 10.0 < base);
+    }
+
+    #[test]
+    fn aggregate_group_estimate_uses_stats() {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, IoModel::default());
+        let plan = LogicalPlan::Aggregate {
+            group_by: vec!["k".into()],
+            aggregates: vec![AggExpr::new(AggFunc::Count, None)],
+            input: Box::new(scan("big")),
+        };
+        let e = est.estimate(&plan).unwrap();
+        assert!((e.rows - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn filters_reduce_estimated_rows() {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, IoModel::default());
+        let filtered = LogicalPlan::Filter {
+            predicate: Expr::binary(Expr::col("k"), BinaryOp::Eq, Expr::lit(3i64)),
+            input: Box::new(scan("big")),
+        };
+        let f = est.estimate(&filtered).unwrap();
+        let b = est.estimate(&scan("big")).unwrap();
+        assert!(f.rows < b.rows);
+    }
+
+    #[test]
+    fn join_cost_includes_both_sides() {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, IoModel::default());
+        let join = LogicalPlan::Join {
+            left: Box::new(scan("big")),
+            right: Box::new(scan("small")),
+            left_keys: vec!["k".into()],
+            right_keys: vec!["k".into()],
+        };
+        let j = est.estimate(&join).unwrap();
+        let b = est.estimate(&scan("big")).unwrap();
+        assert!(j.cost_ns > b.cost_ns);
+    }
+}

@@ -1,0 +1,59 @@
+//! Engine error type.
+
+use std::fmt;
+
+use taster_storage::StorageError;
+
+/// Errors produced while parsing, planning or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An error bubbled up from the storage layer.
+    Storage(StorageError),
+    /// The SQL text could not be parsed.
+    Parse(String),
+    /// The plan references unknown tables/columns or is otherwise invalid.
+    Plan(String),
+    /// A failure during execution.
+    Execution(String),
+    /// The query's accuracy requirement cannot be satisfied.
+    Accuracy(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Parse(msg) => write!(f, "parse error: {msg}"),
+            EngineError::Plan(msg) => write!(f, "planning error: {msg}"),
+            EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
+            EngineError::Accuracy(msg) => write!(f, "accuracy error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: EngineError = StorageError::TableNotFound("t".into()).into();
+        assert!(e.to_string().contains("table not found"));
+        assert!(EngineError::Parse("x".into()).to_string().contains("parse"));
+    }
+}

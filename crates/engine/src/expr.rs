@@ -1,0 +1,341 @@
+//! Scalar expressions and predicates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use taster_storage::{ColumnData, RecordBatch, Value};
+
+use crate::error::EngineError;
+
+/// Binary operators supported in predicates and arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    NotEq,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    LtEq,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    GtEq,
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinaryOp {
+    /// `true` for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A column reference by name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// Build a binary expression.
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// `self AND other` (convenience for combining predicates).
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::And, other)
+    }
+
+    /// All column names referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => out.push(name.clone()),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+        }
+    }
+
+    /// Evaluate the expression against every row of a batch.
+    pub fn evaluate(&self, batch: &RecordBatch) -> Result<Vec<Value>, EngineError> {
+        match self {
+            Expr::Column(name) => {
+                let col = batch.column_by_name(name)?;
+                Ok(col.iter_values().collect())
+            }
+            Expr::Literal(v) => Ok(vec![v.clone(); batch.num_rows()]),
+            Expr::Binary { left, op, right } => {
+                let l = left.evaluate(batch)?;
+                let r = right.evaluate(batch)?;
+                l.iter()
+                    .zip(r.iter())
+                    .map(|(a, b)| eval_binary(a, *op, b))
+                    .collect()
+            }
+        }
+    }
+
+    /// Evaluate the expression as a predicate, returning a selection mask.
+    pub fn evaluate_predicate(&self, batch: &RecordBatch) -> Result<Vec<bool>, EngineError> {
+        // Fast path for `col op literal`, the dominant shape in the
+        // benchmark workloads: avoids widening every value.
+        if let Expr::Binary { left, op, right } = self {
+            if op.is_comparison() {
+                if let (Expr::Column(name), Expr::Literal(lit)) = (left.as_ref(), right.as_ref()) {
+                    let col = batch.column_by_name(name)?;
+                    return Ok(compare_column_literal(col, *op, lit));
+                }
+            }
+        }
+        let values = self.evaluate(batch)?;
+        Ok(values
+            .into_iter()
+            .map(|v| v.as_bool().unwrap_or(false))
+            .collect())
+    }
+
+    /// Evaluate the expression on a single row (used by nested loop paths and
+    /// by sketch-join probing).
+    pub fn evaluate_row(&self, batch: &RecordBatch, row: usize) -> Result<Value, EngineError> {
+        match self {
+            Expr::Column(name) => Ok(batch.column_by_name(name)?.value(row)),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { left, op, right } => {
+                let l = left.evaluate_row(batch, row)?;
+                let r = right.evaluate_row(batch, row)?;
+                eval_binary(&l, *op, &r)
+            }
+        }
+    }
+}
+
+fn compare_column_literal(col: &ColumnData, op: BinaryOp, lit: &Value) -> Vec<bool> {
+    let n = col.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = col.value(i);
+        let keep = match op {
+            BinaryOp::Eq => v == *lit,
+            BinaryOp::NotEq => v != *lit,
+            BinaryOp::Lt => v < *lit,
+            BinaryOp::LtEq => v <= *lit,
+            BinaryOp::Gt => v > *lit,
+            BinaryOp::GtEq => v >= *lit,
+            _ => false,
+        };
+        out.push(keep);
+    }
+    out
+}
+
+fn eval_binary(left: &Value, op: BinaryOp, right: &Value) -> Result<Value, EngineError> {
+    use BinaryOp::*;
+    match op {
+        Eq => Ok(Value::Bool(left == right)),
+        NotEq => Ok(Value::Bool(left != right)),
+        Lt => Ok(Value::Bool(left < right)),
+        LtEq => Ok(Value::Bool(left <= right)),
+        Gt => Ok(Value::Bool(left > right)),
+        GtEq => Ok(Value::Bool(left >= right)),
+        And => Ok(Value::Bool(
+            left.as_bool().unwrap_or(false) && right.as_bool().unwrap_or(false),
+        )),
+        Or => Ok(Value::Bool(
+            left.as_bool().unwrap_or(false) || right.as_bool().unwrap_or(false),
+        )),
+        Add | Sub | Mul | Div => {
+            let (a, b) = match (left.as_f64(), right.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(EngineError::Execution(format!(
+                        "arithmetic on non-numeric values {left} {op} {right}"
+                    )))
+                }
+            };
+            let out = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(EngineError::Execution("division by zero".to_string()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => f.write_str(name),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_storage::batch::BatchBuilder;
+
+    fn batch() -> RecordBatch {
+        BatchBuilder::new()
+            .column("a", vec![1i64, 2, 3, 4])
+            .column("b", vec![10.0f64, 20.0, 30.0, 40.0])
+            .column("s", vec!["x", "y", "x", "z"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn column_and_literal_evaluation() {
+        let b = batch();
+        assert_eq!(Expr::col("a").evaluate(&b).unwrap()[2], Value::Int(3));
+        assert_eq!(Expr::lit(5i64).evaluate(&b).unwrap().len(), 4);
+        assert!(Expr::col("missing").evaluate(&b).is_err());
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let b = batch();
+        let p = Expr::binary(Expr::col("a"), BinaryOp::GtEq, Expr::lit(3i64));
+        assert_eq!(p.evaluate_predicate(&b).unwrap(), vec![false, false, true, true]);
+        let p = Expr::binary(Expr::col("s"), BinaryOp::Eq, Expr::lit("x"));
+        assert_eq!(p.evaluate_predicate(&b).unwrap(), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn conjunction_and_disjunction() {
+        let b = batch();
+        let p = Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(1i64))
+            .and(Expr::binary(Expr::col("b"), BinaryOp::Lt, Expr::lit(40.0)));
+        assert_eq!(p.evaluate_predicate(&b).unwrap(), vec![false, true, true, false]);
+        let q = Expr::binary(
+            Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::lit(1i64)),
+            BinaryOp::Or,
+            Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::lit(4i64)),
+        );
+        assert_eq!(q.evaluate_predicate(&b).unwrap(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn arithmetic_and_errors() {
+        let b = batch();
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Mul, Expr::col("b"));
+        assert_eq!(e.evaluate(&b).unwrap()[1], Value::Float(40.0));
+        let bad = Expr::binary(Expr::col("s"), BinaryOp::Add, Expr::lit(1i64));
+        assert!(bad.evaluate(&b).is_err());
+        let div0 = Expr::binary(Expr::col("a"), BinaryOp::Div, Expr::lit(0i64));
+        assert!(div0.evaluate(&b).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_are_deduped_and_sorted() {
+        let e = Expr::binary(Expr::col("b"), BinaryOp::Add, Expr::col("a"))
+            .and(Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(0i64)));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn row_evaluation_matches_batch_evaluation() {
+        let b = batch();
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Add, Expr::col("b"));
+        let all = e.evaluate(&b).unwrap();
+        for i in 0..b.num_rows() {
+            assert_eq!(e.evaluate_row(&b, i).unwrap(), all[i]);
+        }
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let e = Expr::binary(Expr::col("a"), BinaryOp::LtEq, Expr::lit("z"));
+        assert_eq!(e.to_string(), "(a <= 'z')");
+    }
+}

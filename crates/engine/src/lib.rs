@@ -1,0 +1,40 @@
+//! Analytical query engine substrate for the Taster reproduction.
+//!
+//! The original Taster is implemented inside SparkSQL/Catalyst. The paper
+//! stresses that its techniques "are not limited to SparkSQL, and are
+//! applicable to any query processing system – even centralized ones"; this
+//! crate is that centralized query processing system:
+//!
+//! * [`expr`] — scalar expressions and predicates evaluated over columnar
+//!   batches,
+//! * [`sql`] — a SQL subset parser including the paper's
+//!   `ERROR WITHIN x% CONFIDENCE y%` clause,
+//! * [`logical`] — logical plans in which synopsis operators (samplers,
+//!   synopsis scans, sketch-joins) are first-class nodes, exactly as Section
+//!   IV requires,
+//! * [`optimizer`] — rule-based rewrites (predicate pushdown, projection
+//!   pruning) applied to every plan,
+//! * [`physical`] — the partition-aware executor, with weight-aware
+//!   aggregation (Horvitz–Thompson scaling + per-group CLT error) and
+//!   byproduct synopsis collection,
+//! * [`cost`] — the cost model used by both the exact planner and Taster's
+//!   cost-based planner,
+//! * [`context`] — execution context carrying the catalog, the I/O model,
+//!   the synopsis provider and execution metrics.
+
+pub mod context;
+pub mod cost;
+pub mod error;
+pub mod expr;
+pub mod logical;
+pub mod optimizer;
+pub mod physical;
+pub mod result;
+pub mod sql;
+
+pub use context::{ExecutionContext, SynopsisLocation, SynopsisProvider};
+pub use error::EngineError;
+pub use expr::{BinaryOp, Expr};
+pub use logical::{AggExpr, AggFunc, LogicalPlan, SampleMethod, SketchRef, SynopsisPayload};
+pub use result::{GroupResult, QueryResult};
+pub use sql::{parse_query, SelectQuery};

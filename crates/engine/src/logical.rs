@@ -1,0 +1,598 @@
+//! Logical query plans with synopsis operators as first-class nodes.
+//!
+//! Section IV of the paper: "Synopses in Taster are promoted to first-class
+//! citizens: they are included as approximate operators in the logical query
+//! plans, costed as all other logical operators, and transformed to fully
+//! pipelined and distributable code during the physical plan generation."
+//! The [`LogicalPlan`] enum therefore contains, next to the classical
+//! relational operators, a [`LogicalPlan::Sample`] operator (online sampler
+//! injection), a [`LogicalPlan::SynopsisScan`] operator (reuse of a
+//! materialized synopsis) and a [`LogicalPlan::SketchJoinAgg`] operator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use taster_synopses::estimator::AggregateKind;
+use taster_synopses::sketch_join::SketchJoin;
+use taster_synopses::WeightedSample;
+
+use crate::expr::Expr;
+
+/// Aggregate functions exposed at the SQL level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// COUNT(*) / COUNT(col).
+    Count,
+    /// SUM(col).
+    Sum,
+    /// AVG(col).
+    Avg,
+    /// MIN(col).
+    Min,
+    /// MAX(col).
+    Max,
+}
+
+impl AggFunc {
+    /// Mapping to the estimator-side kind.
+    pub fn kind(self) -> AggregateKind {
+        match self {
+            AggFunc::Count => AggregateKind::Count,
+            AggFunc::Sum => AggregateKind::Sum,
+            AggFunc::Avg => AggregateKind::Avg,
+            AggFunc::Min => AggregateKind::Min,
+            AggFunc::Max => AggregateKind::Max,
+        }
+    }
+
+    /// `true` if the aggregate benefits from approximation (MIN/MAX are kept
+    /// exact, mirroring the paper's focus on COUNT/SUM/AVG).
+    pub fn is_approximable(self) -> bool {
+        matches!(self, AggFunc::Count | AggFunc::Sum | AggFunc::Avg)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate expression in an aggregation operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (None only for COUNT(*)).
+    pub column: Option<String>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// Create an aggregate expression with a default alias.
+    pub fn new(func: AggFunc, column: Option<String>) -> Self {
+        let alias = match &column {
+            Some(c) => format!("{}({})", func, c).to_lowercase(),
+            None => format!("{}(*)", func).to_lowercase(),
+        };
+        Self {
+            func,
+            column,
+            alias,
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.column {
+            Some(c) => write!(f, "{}({})", self.func, c),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// How an online sampler node should sample its input (Section II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SampleMethod {
+    /// Uniform Bernoulli sampling with probability `p`.
+    Uniform {
+        /// Pass-through probability.
+        probability: f64,
+    },
+    /// Distinct sampler guaranteeing `delta` rows per combination of the
+    /// stratification columns, with probability `probability` afterwards.
+    Distinct {
+        /// Stratification attributes.
+        stratification: Vec<String>,
+        /// Minimum rows per distinct combination.
+        delta: usize,
+        /// Pass-through probability beyond the minimum.
+        probability: f64,
+    },
+}
+
+impl SampleMethod {
+    /// Stratification attributes (empty for uniform sampling).
+    pub fn stratification(&self) -> &[String] {
+        match self {
+            SampleMethod::Uniform { .. } => &[],
+            SampleMethod::Distinct { stratification, .. } => stratification,
+        }
+    }
+
+    /// The pass-through probability.
+    pub fn probability(&self) -> f64 {
+        match self {
+            SampleMethod::Uniform { probability } => *probability,
+            SampleMethod::Distinct { probability, .. } => *probability,
+        }
+    }
+}
+
+/// Reference to a sketch used by a sketch-join node: either one that must be
+/// built from a relation during this query, or one already materialized and
+/// resolvable through the [`crate::context::SynopsisProvider`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SketchRef {
+    /// Build the sketch from the named table during execution.
+    Build {
+        /// Table to summarize.
+        table: String,
+        /// Join key columns on the summarized side.
+        key_columns: Vec<String>,
+        /// Value column carried by the sketch (None for COUNT-only).
+        value_column: Option<String>,
+    },
+    /// Use an already materialized sketch registered under this id.
+    Materialized {
+        /// Synopsis id in the provider.
+        id: u64,
+    },
+}
+
+/// A synopsis built as a byproduct of executing a plan, handed back to the
+/// caller (Taster stores these in its synopsis buffer).
+#[derive(Debug, Clone)]
+pub enum SynopsisPayload {
+    /// A weighted sample of the node's input.
+    Sample(WeightedSample),
+    /// A sketch-join summary of one join side.
+    Sketch(SketchJoin),
+}
+
+impl SynopsisPayload {
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            SynopsisPayload::Sample(s) => s.size_bytes(),
+            SynopsisPayload::Sketch(s) => s.size_bytes(),
+        }
+    }
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Scan a base table, optionally filtering and projecting at the leaf.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Optional pushed-down filter.
+        filter: Option<Expr>,
+        /// Optional pushed-down projection.
+        projection: Option<Vec<String>>,
+    },
+    /// Filter rows by a predicate.
+    Filter {
+        /// The predicate.
+        predicate: Expr,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Keep only the named columns.
+    Project {
+        /// Output columns.
+        columns: Vec<String>,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Equi-join two inputs.
+    Join {
+        /// Left input (the side carried through to the aggregation).
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join keys on the left input.
+        left_keys: Vec<String>,
+        /// Join keys on the right input.
+        right_keys: Vec<String>,
+    },
+    /// Group-by aggregation. When the input carries a `__weight` column the
+    /// operator performs Horvitz–Thompson scaling and per-group error
+    /// estimation.
+    Aggregate {
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregate expressions.
+        aggregates: Vec<AggExpr>,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Online sampler injection: sample the input, emit weighted rows, and
+    /// hand the built sample back as a byproduct for materialization.
+    Sample {
+        /// Sampling method and configuration.
+        method: SampleMethod,
+        /// An identifier chosen by the planner so the byproduct can be
+        /// matched back to its synopsis descriptor.
+        synopsis_id: u64,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Scan a materialized synopsis (a weighted sample) instead of its
+    /// defining subplan.
+    SynopsisScan {
+        /// Synopsis id resolvable through the provider.
+        id: u64,
+        /// Residual filter to apply on top of the synopsis (subsumption may
+        /// require re-filtering, Section IV-A "matching").
+        filter: Option<Expr>,
+    },
+    /// Aggregate over a join where one side is summarized by a sketch-join
+    /// synopsis: the probe side is scanned (or sampled) and each row is
+    /// looked up in the sketch.
+    SketchJoinAgg {
+        /// The probe-side input plan.
+        probe: Box<LogicalPlan>,
+        /// Join keys on the probe side.
+        probe_keys: Vec<String>,
+        /// The sketch summarizing the other side.
+        sketch: SketchRef,
+        /// Identifier for a sketch built during this query (byproduct).
+        synopsis_id: u64,
+        /// Grouping columns (all from the probe side).
+        group_by: Vec<String>,
+        /// Aggregate expressions (COUNT/SUM/AVG over the sketched side).
+        aggregates: Vec<AggExpr>,
+    },
+    /// Keep only the first `n` rows.
+    Limit {
+        /// Row limit.
+        n: usize,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// Names of all base tables referenced by the plan.
+    pub fn base_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::Scan { table, .. } => out.push(table.clone()),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sample { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.collect_tables(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+            LogicalPlan::SketchJoinAgg { probe, sketch, .. } => {
+                probe.collect_tables(out);
+                if let SketchRef::Build { table, .. } = sketch {
+                    out.push(table.clone());
+                }
+            }
+            LogicalPlan::SynopsisScan { .. } => {}
+        }
+    }
+
+    /// `true` if the plan contains any synopsis operator (sampler, synopsis
+    /// scan or sketch-join).
+    pub fn is_approximate(&self) -> bool {
+        match self {
+            LogicalPlan::Sample { .. }
+            | LogicalPlan::SynopsisScan { .. }
+            | LogicalPlan::SketchJoinAgg { .. } => true,
+            LogicalPlan::Scan { .. } => false,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.is_approximate(),
+            LogicalPlan::Join { left, right, .. } => left.is_approximate() || right.is_approximate(),
+        }
+    }
+
+    /// A canonical, order-insensitive-ish textual fingerprint of the plan,
+    /// used as the identity of the logical subplan a synopsis summarizes
+    /// (Section IV-A: "each synopsis ... corresponds to a unique logical
+    /// subplan — the one of which the results it summarizes").
+    pub fn fingerprint(&self) -> String {
+        match self {
+            LogicalPlan::Scan {
+                table,
+                filter,
+                projection,
+            } => {
+                let f = filter.as_ref().map(|e| e.to_string()).unwrap_or_default();
+                let p = projection
+                    .as_ref()
+                    .map(|cols| cols.join(","))
+                    .unwrap_or_else(|| "*".to_string());
+                format!("scan({table};{f};{p})")
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                format!("filter({};{})", predicate, input.fingerprint())
+            }
+            LogicalPlan::Project { columns, input } => {
+                format!("project({};{})", columns.join(","), input.fingerprint())
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => format!(
+                "join({}={};{};{})",
+                left_keys.join(","),
+                right_keys.join(","),
+                left.fingerprint(),
+                right.fingerprint()
+            ),
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                input,
+            } => {
+                let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+                format!(
+                    "agg({};{};{})",
+                    group_by.join(","),
+                    aggs.join(","),
+                    input.fingerprint()
+                )
+            }
+            LogicalPlan::Sample {
+                method,
+                input,
+                ..
+            } => {
+                let strat = method.stratification().join(",");
+                format!("sample({strat};{})", input.fingerprint())
+            }
+            LogicalPlan::SynopsisScan { id, filter } => {
+                let f = filter.as_ref().map(|e| e.to_string()).unwrap_or_default();
+                format!("synopsis({id};{f})")
+            }
+            LogicalPlan::SketchJoinAgg {
+                probe,
+                probe_keys,
+                sketch,
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+                let sk = match sketch {
+                    SketchRef::Build {
+                        table,
+                        key_columns,
+                        value_column,
+                    } => format!(
+                        "build({table};{};{})",
+                        key_columns.join(","),
+                        value_column.clone().unwrap_or_default()
+                    ),
+                    SketchRef::Materialized { id } => format!("mat({id})"),
+                };
+                format!(
+                    "sketchjoin({};{sk};{};{};{})",
+                    probe_keys.join(","),
+                    group_by.join(","),
+                    aggs.join(","),
+                    probe.fingerprint()
+                )
+            }
+            LogicalPlan::Limit { n, input } => format!("limit({n};{})", input.fingerprint()),
+        }
+    }
+
+    /// Pretty-print the plan as an indented tree (EXPLAIN-style output).
+    pub fn display_tree(&self) -> String {
+        let mut out = String::new();
+        self.write_tree(&mut out, 0);
+        out
+    }
+
+    fn write_tree(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan {
+                table,
+                filter,
+                projection,
+            } => {
+                out.push_str(&format!("{pad}Scan: {table}"));
+                if let Some(f) = filter {
+                    out.push_str(&format!(" filter={f}"));
+                }
+                if let Some(p) = projection {
+                    out.push_str(&format!(" projection=[{}]", p.join(", ")));
+                }
+                out.push('\n');
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                out.push_str(&format!("{pad}Filter: {predicate}\n"));
+                input.write_tree(out, indent + 1);
+            }
+            LogicalPlan::Project { columns, input } => {
+                out.push_str(&format!("{pad}Project: [{}]\n", columns.join(", ")));
+                input.write_tree(out, indent + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Join: {} = {}\n",
+                    left_keys.join(", "),
+                    right_keys.join(", ")
+                ));
+                left.write_tree(out, indent + 1);
+                right.write_tree(out, indent + 1);
+            }
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                input,
+            } => {
+                let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate: group=[{}] aggs=[{}]\n",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                ));
+                input.write_tree(out, indent + 1);
+            }
+            LogicalPlan::Sample {
+                method,
+                synopsis_id,
+                input,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Sample(id={synopsis_id}): p={} strat=[{}]\n",
+                    method.probability(),
+                    method.stratification().join(", ")
+                ));
+                input.write_tree(out, indent + 1);
+            }
+            LogicalPlan::SynopsisScan { id, filter } => {
+                out.push_str(&format!("{pad}SynopsisScan: id={id}"));
+                if let Some(f) = filter {
+                    out.push_str(&format!(" filter={f}"));
+                }
+                out.push('\n');
+            }
+            LogicalPlan::SketchJoinAgg {
+                probe,
+                probe_keys,
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+                out.push_str(&format!(
+                    "{pad}SketchJoinAgg: keys=[{}] group=[{}] aggs=[{}]\n",
+                    probe_keys.join(", "),
+                    group_by.join(", "),
+                    aggs.join(", ")
+                ));
+                probe.write_tree(out, indent + 1);
+            }
+            LogicalPlan::Limit { n, input } => {
+                out.push_str(&format!("{pad}Limit: {n}\n"));
+                input.write_tree(out, indent + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinaryOp, Expr};
+
+    fn plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            group_by: vec!["g".into()],
+            aggregates: vec![AggExpr::new(AggFunc::Sum, Some("v".into()))],
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Scan {
+                    table: "r".into(),
+                    filter: Some(Expr::binary(Expr::col("x"), BinaryOp::Gt, Expr::lit(1i64))),
+                    projection: None,
+                }),
+                right: Box::new(LogicalPlan::Scan {
+                    table: "s".into(),
+                    filter: None,
+                    projection: None,
+                }),
+                left_keys: vec!["k".into()],
+                right_keys: vec!["k".into()],
+            }),
+        }
+    }
+
+    #[test]
+    fn base_tables_and_approximate_flag() {
+        let p = plan();
+        assert_eq!(p.base_tables(), vec!["r".to_string(), "s".to_string()]);
+        assert!(!p.is_approximate());
+        let approx = LogicalPlan::Sample {
+            method: SampleMethod::Uniform { probability: 0.1 },
+            synopsis_id: 1,
+            input: Box::new(p),
+        };
+        assert!(approx.is_approximate());
+    }
+
+    #[test]
+    fn fingerprints_identify_identical_subplans() {
+        assert_eq!(plan().fingerprint(), plan().fingerprint());
+        let other = LogicalPlan::Scan {
+            table: "r".into(),
+            filter: None,
+            projection: None,
+        };
+        assert_ne!(plan().fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn agg_expr_aliases() {
+        assert_eq!(AggExpr::new(AggFunc::Count, None).alias, "count(*)");
+        assert_eq!(AggExpr::new(AggFunc::Avg, Some("x".into())).alias, "avg(x)");
+        assert!(AggFunc::Sum.is_approximable());
+        assert!(!AggFunc::Max.is_approximable());
+    }
+
+    #[test]
+    fn display_tree_contains_all_operators() {
+        let text = plan().display_tree();
+        assert!(text.contains("Aggregate"));
+        assert!(text.contains("Join"));
+        assert!(text.contains("Scan: r"));
+    }
+
+    #[test]
+    fn sample_method_accessors() {
+        let m = SampleMethod::Distinct {
+            stratification: vec!["a".into()],
+            delta: 5,
+            probability: 0.2,
+        };
+        assert_eq!(m.stratification(), &["a".to_string()]);
+        assert_eq!(m.probability(), 0.2);
+        let u = SampleMethod::Uniform { probability: 0.5 };
+        assert!(u.stratification().is_empty());
+    }
+}

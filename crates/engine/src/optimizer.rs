@@ -1,0 +1,269 @@
+//! Rule-based logical optimizations.
+//!
+//! Two classic rewrites are applied to every plan before costing and
+//! execution: predicate pushdown into scans and merging of adjacent filters.
+//! Taster's own synopsis push-down rules (Section IV-A) live in the
+//! `taster-core` planner; the rules here are the baseline rewrites any engine
+//! (Catalyst included) performs regardless of approximation.
+
+use crate::expr::Expr;
+use crate::logical::LogicalPlan;
+
+/// Apply all rewrite rules until a fixpoint (bounded by a small iteration
+/// count; the rules strictly shrink the plan so this converges immediately in
+/// practice).
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut plan = plan;
+    for _ in 0..4 {
+        let rewritten = push_down_filters(plan.clone());
+        if rewritten == plan {
+            return plan;
+        }
+        plan = rewritten;
+    }
+    plan
+}
+
+/// Push `Filter` nodes into the `Scan` leaves they apply to, when every
+/// column the predicate references belongs to that scan's table.
+fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { predicate, input } => {
+            let input = push_down_filters(*input);
+            try_push(predicate, input)
+        }
+        LogicalPlan::Project { columns, input } => LogicalPlan::Project {
+            columns,
+            input: Box::new(push_down_filters(*input)),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => LogicalPlan::Join {
+            left: Box::new(push_down_filters(*left)),
+            right: Box::new(push_down_filters(*right)),
+            left_keys,
+            right_keys,
+        },
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input,
+        } => LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input: Box::new(push_down_filters(*input)),
+        },
+        LogicalPlan::Sample {
+            method,
+            synopsis_id,
+            input,
+        } => LogicalPlan::Sample {
+            method,
+            synopsis_id,
+            input: Box::new(push_down_filters(*input)),
+        },
+        LogicalPlan::SketchJoinAgg {
+            probe,
+            probe_keys,
+            sketch,
+            synopsis_id,
+            group_by,
+            aggregates,
+        } => LogicalPlan::SketchJoinAgg {
+            probe: Box::new(push_down_filters(*probe)),
+            probe_keys,
+            sketch,
+            synopsis_id,
+            group_by,
+            aggregates,
+        },
+        LogicalPlan::Limit { n, input } => LogicalPlan::Limit {
+            n,
+            input: Box::new(push_down_filters(*input)),
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::SynopsisScan { .. }) => leaf,
+    }
+}
+
+/// Try to sink a predicate into the given (already optimized) input.
+fn try_push(predicate: Expr, input: LogicalPlan) -> LogicalPlan {
+    match input {
+        LogicalPlan::Scan {
+            table,
+            filter,
+            projection,
+        } => {
+            let filter = match filter {
+                Some(existing) => Some(existing.and(predicate)),
+                None => Some(predicate),
+            };
+            LogicalPlan::Scan {
+                table,
+                filter,
+                projection,
+            }
+        }
+        // Merge adjacent filters.
+        LogicalPlan::Filter {
+            predicate: inner,
+            input,
+        } => try_push(inner.and(predicate), *input),
+        // Push through joins when the predicate only references one side.
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let cols = predicate.referenced_columns();
+            let left_has = columns_available(&left, &cols);
+            let right_has = columns_available(&right, &cols);
+            if left_has && !right_has {
+                LogicalPlan::Join {
+                    left: Box::new(try_push(predicate, *left)),
+                    right,
+                    left_keys,
+                    right_keys,
+                }
+            } else if right_has && !left_has {
+                LogicalPlan::Join {
+                    left,
+                    right: Box::new(try_push(predicate, *right)),
+                    left_keys,
+                    right_keys,
+                }
+            } else {
+                LogicalPlan::Filter {
+                    predicate,
+                    input: Box::new(LogicalPlan::Join {
+                        left,
+                        right,
+                        left_keys,
+                        right_keys,
+                    }),
+                }
+            }
+        }
+        other => LogicalPlan::Filter {
+            predicate,
+            input: Box::new(other),
+        },
+    }
+}
+
+/// Best-effort check whether every column in `cols` can be produced by the
+/// subplan. Works structurally (scans expose all their table's columns) so it
+/// does not need a catalog; when unsure it answers `false`, which only
+/// disables the pushdown rather than producing a wrong plan.
+fn columns_available(plan: &LogicalPlan, cols: &[String]) -> bool {
+    match plan {
+        LogicalPlan::Scan { table, .. } => cols.iter().all(|c| column_belongs_to(c, table)),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sample { input, .. }
+        | LogicalPlan::Limit { input, .. } => columns_available(input, cols),
+        LogicalPlan::Project { columns, .. } => cols.iter().all(|c| columns.contains(c)),
+        LogicalPlan::Join { left, right, .. } => cols.iter().all(|c| {
+            columns_available(left, std::slice::from_ref(c))
+                || columns_available(right, std::slice::from_ref(c))
+        }),
+        _ => false,
+    }
+}
+
+/// Heuristic ownership test used when no catalog is available: the benchmark
+/// schemas use per-table column prefixes (`l_`, `o_`, `ps_`, ...) so a prefix
+/// match is reliable; otherwise be conservative.
+fn column_belongs_to(column: &str, table: &str) -> bool {
+    let prefix: String = table.chars().take(1).collect();
+    column.starts_with(&format!("{prefix}_"))
+        || column.starts_with(&format!("{table}_"))
+        || column.starts_with(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinaryOp;
+    use crate::logical::{AggExpr, AggFunc};
+
+    fn scan(t: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: t.into(),
+            filter: None,
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn filter_is_pushed_into_scan() {
+        let plan = LogicalPlan::Filter {
+            predicate: Expr::binary(Expr::col("orders_x"), BinaryOp::Gt, Expr::lit(3i64)),
+            input: Box::new(scan("orders")),
+        };
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Scan { filter, .. } => assert!(filter.is_some()),
+            other => panic!("expected Scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacent_filters_are_merged() {
+        let plan = LogicalPlan::Filter {
+            predicate: Expr::binary(Expr::col("orders_x"), BinaryOp::Gt, Expr::lit(3i64)),
+            input: Box::new(LogicalPlan::Filter {
+                predicate: Expr::binary(Expr::col("orders_y"), BinaryOp::Lt, Expr::lit(9i64)),
+                input: Box::new(scan("orders")),
+            }),
+        };
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Scan { filter: Some(f), .. } => {
+                let cols = f.referenced_columns();
+                assert!(cols.contains(&"orders_x".to_string()));
+                assert!(cols.contains(&"orders_y".to_string()));
+            }
+            other => panic!("expected Scan with merged filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_side_predicate_pushes_through_join() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan("lineitem")),
+            right: Box::new(scan("orders")),
+            left_keys: vec!["l_orderkey".into()],
+            right_keys: vec!["o_orderkey".into()],
+        };
+        let plan = LogicalPlan::Filter {
+            predicate: Expr::binary(Expr::col("o_flag"), BinaryOp::Eq, Expr::lit("A")),
+            input: Box::new(join),
+        };
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Join { right, .. } => match right.as_ref() {
+                LogicalPlan::Scan { filter, .. } => assert!(filter.is_some()),
+                other => panic!("expected filtered scan on right, got {other:?}"),
+            },
+            other => panic!("expected Join at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_plan_structure_above_filters() {
+        let plan = LogicalPlan::Aggregate {
+            group_by: vec!["o_flag".into()],
+            aggregates: vec![AggExpr::new(AggFunc::Count, None)],
+            input: Box::new(LogicalPlan::Filter {
+                predicate: Expr::binary(Expr::col("o_x"), BinaryOp::Eq, Expr::lit(1i64)),
+                input: Box::new(scan("orders")),
+            }),
+        };
+        let opt = optimize(plan);
+        assert!(matches!(opt, LogicalPlan::Aggregate { .. }));
+        assert!(opt.display_tree().contains("Scan: orders filter="));
+    }
+}

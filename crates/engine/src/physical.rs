@@ -1,0 +1,702 @@
+//! Physical execution of logical plans.
+//!
+//! The executor walks the logical plan bottom-up over columnar batches,
+//! reporting per-tier I/O to [`ExecutionMetrics`], scaling aggregates with
+//! Horvitz–Thompson weights whenever the input carries a `__weight` column,
+//! and collecting every synopsis built along the way as a *byproduct* that
+//! the caller (Taster) may materialize.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use taster_storage::io_model::ExecutionMetrics;
+use taster_storage::schema::{DataType, Field, Schema};
+use taster_storage::{ColumnData, RecordBatch, Value};
+use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
+use taster_synopses::estimator::{AggregateKind, GroupedEstimator};
+use taster_synopses::sketch_join::SketchJoin;
+use taster_synopses::{AggregateEstimate, UniformSampler, WEIGHT_COLUMN};
+
+use crate::context::{ExecutionContext, SynopsisLocation};
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::logical::{AggExpr, AggFunc, LogicalPlan, SampleMethod, SketchRef, SynopsisPayload};
+use crate::result::{GroupResult, QueryResult};
+
+/// Execute a logical plan and produce a [`QueryResult`].
+pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<QueryResult, EngineError> {
+    let start = Instant::now();
+    let mut state = ExecState::default();
+    let rows = exec_node(plan, ctx, &mut state)?;
+    let mut metrics = state.metrics;
+    metrics.wall_time_ns = start.elapsed().as_nanos();
+    Ok(QueryResult {
+        rows,
+        groups: state.last_groups.unwrap_or_default(),
+        approximate: plan.is_approximate(),
+        metrics,
+        byproducts: state.byproducts,
+    })
+}
+
+#[derive(Default)]
+struct ExecState {
+    metrics: ExecutionMetrics,
+    byproducts: Vec<(u64, SynopsisPayload)>,
+    last_groups: Option<Vec<GroupResult>>,
+}
+
+fn exec_node(
+    plan: &LogicalPlan,
+    ctx: &ExecutionContext,
+    state: &mut ExecState,
+) -> Result<RecordBatch, EngineError> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            filter,
+            projection,
+        } => exec_scan(table, filter.as_ref(), projection.as_deref(), ctx, state),
+        LogicalPlan::Filter { predicate, input } => {
+            let batch = exec_node(input, ctx, state)?;
+            state.metrics.operator_rows += batch.num_rows();
+            let mask = predicate.evaluate_predicate(&batch)?;
+            Ok(batch.filter(&mask))
+        }
+        LogicalPlan::Project { columns, input } => {
+            let batch = exec_node(input, ctx, state)?;
+            state.metrics.operator_rows += batch.num_rows();
+            let mut cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+            // Keep the HT weight flowing to weight-aware operators above.
+            if batch.schema().contains(WEIGHT_COLUMN) && !cols.contains(&WEIGHT_COLUMN) {
+                cols.push(WEIGHT_COLUMN);
+            }
+            Ok(batch.project(&cols)?)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = exec_node(left, ctx, state)?;
+            let r = exec_node(right, ctx, state)?;
+            state.metrics.operator_rows += l.num_rows() + r.num_rows();
+            hash_join(&l, &r, left_keys, right_keys)
+        }
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input,
+        } => {
+            let batch = exec_node(input, ctx, state)?;
+            state.metrics.operator_rows += batch.num_rows();
+            let (out, groups) = exec_aggregate(&batch, group_by, aggregates)?;
+            state.last_groups = Some(groups);
+            Ok(out)
+        }
+        LogicalPlan::Sample {
+            method,
+            synopsis_id,
+            input,
+        } => {
+            let batch = exec_node(input, ctx, state)?;
+            state.metrics.operator_rows += batch.num_rows();
+            let sample = match method {
+                SampleMethod::Uniform { probability } => {
+                    let mut s = UniformSampler::new(*probability, ctx.seed ^ *synopsis_id);
+                    s.sample_batch(&batch)
+                }
+                SampleMethod::Distinct {
+                    stratification,
+                    delta,
+                    probability,
+                } => {
+                    let cfg = DistinctSamplerConfig::new(
+                        stratification.clone(),
+                        *delta,
+                        *probability,
+                    );
+                    let mut s = DistinctSampler::new(cfg, ctx.seed ^ *synopsis_id);
+                    s.sample_batch(&batch)?
+                }
+            };
+            state.metrics.bytes_materialized += sample.size_bytes();
+            let weighted = sample.to_weighted_batch()?;
+            state
+                .byproducts
+                .push((*synopsis_id, SynopsisPayload::Sample(sample)));
+            Ok(weighted)
+        }
+        LogicalPlan::SynopsisScan { id, filter } => {
+            let Some((sample, location)) = ctx.provider.sample(*id) else {
+                return Err(EngineError::Execution(format!(
+                    "materialized synopsis {id} not found"
+                )));
+            };
+            charge_synopsis_read(state, location, sample.len(), sample.size_bytes());
+            let mut batch = sample.to_weighted_batch()?;
+            if let Some(f) = filter {
+                let mask = f.evaluate_predicate(&batch)?;
+                batch = batch.filter(&mask);
+            }
+            state.metrics.operator_rows += batch.num_rows();
+            Ok(batch)
+        }
+        LogicalPlan::SketchJoinAgg {
+            probe,
+            probe_keys,
+            sketch,
+            synopsis_id,
+            group_by,
+            aggregates,
+        } => {
+            let probe_batch = exec_node(probe, ctx, state)?;
+            state.metrics.operator_rows += probe_batch.num_rows();
+            let sketch = resolve_sketch(sketch, *synopsis_id, ctx, state)?;
+            let (out, groups) =
+                exec_sketch_join_agg(&probe_batch, probe_keys, &sketch, group_by, aggregates)?;
+            state.last_groups = Some(groups);
+            Ok(out)
+        }
+        LogicalPlan::Limit { n, input } => {
+            let batch = exec_node(input, ctx, state)?;
+            Ok(batch.slice(0, *n))
+        }
+    }
+}
+
+fn exec_scan(
+    table: &str,
+    filter: Option<&Expr>,
+    projection: Option<&[String]>,
+    ctx: &ExecutionContext,
+    state: &mut ExecState,
+) -> Result<RecordBatch, EngineError> {
+    let table = ctx.catalog.table(table)?;
+    state.metrics.base_rows_scanned += table.num_rows();
+    state.metrics.base_bytes_scanned += table.size_bytes();
+
+    let mut pieces: Vec<RecordBatch> = Vec::with_capacity(table.num_partitions());
+    for part in table.partitions() {
+        let mut batch = part.clone();
+        if let Some(f) = filter {
+            let mask = f.evaluate_predicate(&batch)?;
+            batch = batch.filter(&mask);
+        }
+        if let Some(cols) = projection {
+            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+            batch = batch.project(&names)?;
+        }
+        pieces.push(batch);
+    }
+    Ok(RecordBatch::concat(&pieces)?)
+}
+
+fn charge_synopsis_read(
+    state: &mut ExecState,
+    location: SynopsisLocation,
+    rows: usize,
+    bytes: usize,
+) {
+    match location {
+        SynopsisLocation::Buffer => {
+            state.metrics.buffer_rows_read += rows;
+            state.metrics.buffer_bytes_read += bytes;
+        }
+        SynopsisLocation::Warehouse => {
+            state.metrics.warehouse_rows_read += rows;
+            state.metrics.warehouse_bytes_read += bytes;
+        }
+    }
+}
+
+fn resolve_sketch(
+    sketch: &SketchRef,
+    synopsis_id: u64,
+    ctx: &ExecutionContext,
+    state: &mut ExecState,
+) -> Result<SketchJoin, EngineError> {
+    match sketch {
+        SketchRef::Materialized { id } => {
+            let Some((sk, location)) = ctx.provider.sketch(*id) else {
+                return Err(EngineError::Execution(format!(
+                    "materialized sketch {id} not found"
+                )));
+            };
+            charge_synopsis_read(state, location, sk.rows_summarized(), sk.size_bytes());
+            Ok(sk.as_ref().clone())
+        }
+        SketchRef::Build {
+            table,
+            key_columns,
+            value_column,
+        } => {
+            let t = ctx.catalog.table(table)?;
+            state.metrics.base_rows_scanned += t.num_rows();
+            state.metrics.base_bytes_scanned += t.size_bytes();
+            let sk = SketchJoin::build(
+                t.partitions(),
+                key_columns.clone(),
+                value_column.clone(),
+                0.0005,
+                0.01,
+            )?;
+            state.metrics.bytes_materialized += sk.size_bytes();
+            state
+                .byproducts
+                .push((synopsis_id, SynopsisPayload::Sketch(sk.clone())));
+            Ok(sk)
+        }
+    }
+}
+
+/// Hash join (equi-join) building on the right input and probing with the
+/// left input. Output schema is `left ⨝ right` with duplicated names from the
+/// right prefixed by `right.`.
+pub fn hash_join(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    left_keys: &[String],
+    right_keys: &[String],
+) -> Result<RecordBatch, EngineError> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(EngineError::Plan(
+            "join requires the same non-zero number of keys on both sides".to_string(),
+        ));
+    }
+    let right_key_cols: Vec<&ColumnData> = right_keys
+        .iter()
+        .map(|k| right.column_by_name(k))
+        .collect::<Result<Vec<_>, _>>()?;
+    let left_key_cols: Vec<&ColumnData> = left_keys
+        .iter()
+        .map(|k| left.column_by_name(k))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for row in 0..right.num_rows() {
+        let key: Vec<Value> = right_key_cols.iter().map(|c| c.value(row)).collect();
+        table.entry(key).or_default().push(row);
+    }
+
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    for row in 0..left.num_rows() {
+        let key: Vec<Value> = left_key_cols.iter().map(|c| c.value(row)).collect();
+        if let Some(matches) = table.get(&key) {
+            for &m in matches {
+                left_idx.push(row);
+                right_idx.push(m);
+            }
+        }
+    }
+
+    let left_out = left.take(&left_idx);
+    let right_out = right.take(&right_idx);
+    let out_schema = std::sync::Arc::new(left.schema().join(right.schema()));
+    let mut columns: Vec<ColumnData> = left_out.columns().to_vec();
+    columns.extend(right_out.columns().iter().cloned());
+    Ok(RecordBatch::try_new(out_schema, columns)?)
+}
+
+/// Group-by aggregation with optional Horvitz–Thompson weighting.
+fn exec_aggregate(
+    batch: &RecordBatch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+) -> Result<(RecordBatch, Vec<GroupResult>), EngineError> {
+    let weighted = batch.schema().contains(WEIGHT_COLUMN);
+    let weights: Option<&ColumnData> = if weighted {
+        Some(batch.column_by_name(WEIGHT_COLUMN)?)
+    } else {
+        None
+    };
+    let group_cols: Vec<&ColumnData> = group_by
+        .iter()
+        .map(|g| batch.column_by_name(g))
+        .collect::<Result<Vec<_>, _>>()?;
+    let agg_cols: Vec<Option<&ColumnData>> = aggregates
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => batch.column_by_name(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut estimators: Vec<GroupedEstimator> = aggregates
+        .iter()
+        .map(|a| GroupedEstimator::new(a.func.kind()))
+        .collect();
+
+    for row in 0..batch.num_rows() {
+        let key: Vec<Value> = group_cols.iter().map(|c| c.value(row)).collect();
+        let w = weights.map_or(1.0, |c| c.value_f64(row).unwrap_or(1.0));
+        for (est, col) in estimators.iter_mut().zip(&agg_cols) {
+            let value = match (est.kind(), col) {
+                (AggregateKind::Count, _) => 1.0,
+                (_, Some(c)) => c.value_f64(row).unwrap_or(0.0),
+                (_, None) => 1.0,
+            };
+            est.add(key.clone(), value, w);
+        }
+    }
+
+    let mut per_agg: Vec<HashMap<Vec<Value>, AggregateEstimate>> =
+        estimators.iter().map(|e| e.finish()).collect();
+    if !weighted {
+        // Exact execution: no sampling error regardless of what the CLT
+        // machinery reports for AVG.
+        for map in &mut per_agg {
+            for est in map.values_mut() {
+                est.std_error = 0.0;
+            }
+        }
+    }
+
+    // Deterministic output order.
+    let mut keys: Vec<Vec<Value>> = per_agg
+        .first()
+        .map(|m| m.keys().cloned().collect())
+        .unwrap_or_default();
+    keys.sort();
+
+    let groups: Vec<GroupResult> = keys
+        .iter()
+        .map(|k| GroupResult {
+            key: k.clone(),
+            aggregates: per_agg.iter().map(|m| m[k].clone()).collect(),
+        })
+        .collect();
+
+    let out = build_group_batch(batch, group_by, aggregates, &groups)?;
+    Ok((out, groups))
+}
+
+/// Aggregate over a sketch-join: the probe side is scanned row by row, each
+/// row looks up its join key in the sketch, and the per-key COUNT/SUM
+/// contributions are accumulated per group (scaled by the probe row's HT
+/// weight if the probe side was sampled).
+fn exec_sketch_join_agg(
+    probe: &RecordBatch,
+    probe_keys: &[String],
+    sketch: &SketchJoin,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+) -> Result<(RecordBatch, Vec<GroupResult>), EngineError> {
+    let weighted = probe.schema().contains(WEIGHT_COLUMN);
+    let weights: Option<&ColumnData> = if weighted {
+        Some(probe.column_by_name(WEIGHT_COLUMN)?)
+    } else {
+        None
+    };
+    let key_cols: Vec<&ColumnData> = probe_keys
+        .iter()
+        .map(|k| probe.column_by_name(k))
+        .collect::<Result<Vec<_>, _>>()?;
+    let group_cols: Vec<&ColumnData> = group_by
+        .iter()
+        .map(|g| probe.column_by_name(g))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    #[derive(Default, Clone)]
+    struct Acc {
+        count: f64,
+        sum: f64,
+        probe_rows: usize,
+    }
+    let mut accs: HashMap<Vec<Value>, Acc> = HashMap::new();
+
+    for row in 0..probe.num_rows() {
+        let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+        let group: Vec<Value> = group_cols.iter().map(|c| c.value(row)).collect();
+        let w = weights.map_or(1.0, |c| c.value_f64(row).unwrap_or(1.0));
+        let p = sketch.probe(&key);
+        let acc = accs.entry(group).or_default();
+        acc.count += w * p.count;
+        acc.sum += w * p.sum;
+        acc.probe_rows += 1;
+    }
+
+    let (count_bound, sum_bound) = sketch.error_bounds();
+    let z95 = taster_synopses::estimator::z_score(0.95);
+
+    let mut keys: Vec<Vec<Value>> = accs.keys().cloned().collect();
+    keys.sort();
+    let groups: Vec<GroupResult> = keys
+        .iter()
+        .map(|k| {
+            let acc = &accs[k];
+            let aggs = aggregates
+                .iter()
+                .map(|a| {
+                    let (value, bound) = match a.func {
+                        AggFunc::Count => (acc.count, count_bound),
+                        AggFunc::Sum => (acc.sum, sum_bound),
+                        AggFunc::Avg => {
+                            let avg = if acc.count > 0.0 { acc.sum / acc.count } else { 0.0 };
+                            (avg, sum_bound / acc.count.max(1.0))
+                        }
+                        // MIN/MAX cannot be answered from a CM sketch; report
+                        // the sum-side value so results stay well-formed (the
+                        // planner never routes MIN/MAX through sketch-join).
+                        AggFunc::Min | AggFunc::Max => (acc.sum, sum_bound),
+                    };
+                    AggregateEstimate {
+                        value,
+                        std_error: bound / z95,
+                        sample_rows: acc.probe_rows,
+                    }
+                })
+                .collect();
+            GroupResult {
+                key: k.clone(),
+                aggregates: aggs,
+            }
+        })
+        .collect();
+
+    let out = build_group_batch(probe, group_by, aggregates, &groups)?;
+    Ok((out, groups))
+}
+
+/// Materialize grouped results into a batch: group columns followed by one
+/// Float64 column per aggregate.
+fn build_group_batch(
+    input: &RecordBatch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+    groups: &[GroupResult],
+) -> Result<RecordBatch, EngineError> {
+    let mut fields = Vec::with_capacity(group_by.len() + aggregates.len());
+    let mut columns: Vec<ColumnData> = Vec::with_capacity(group_by.len() + aggregates.len());
+
+    for (i, g) in group_by.iter().enumerate() {
+        let dt = input.schema().field_by_name(g)?.data_type;
+        fields.push(Field::new(g.clone(), dt));
+        let mut col = ColumnData::with_capacity(dt, groups.len());
+        for grp in groups {
+            col.push(&grp.key[i])?;
+        }
+        columns.push(col);
+    }
+    for (i, a) in aggregates.iter().enumerate() {
+        fields.push(Field::new(a.alias.clone(), DataType::Float64));
+        let col = ColumnData::Float64(groups.iter().map(|g| g.aggregates[i].value).collect());
+        columns.push(col);
+    }
+    Ok(RecordBatch::try_new(
+        std::sync::Arc::new(Schema::new(fields)),
+        columns,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use taster_storage::batch::BatchBuilder;
+    use taster_storage::{Catalog, Table};
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let orders = BatchBuilder::new()
+            .column("o_id", (0..1000i64).collect::<Vec<_>>())
+            .column("o_cust", (0..1000i64).map(|i| i % 10).collect::<Vec<_>>())
+            .column("o_price", (0..1000).map(|i| (i % 100) as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("orders", orders, 4).unwrap());
+        let cust = BatchBuilder::new()
+            .column("c_id", (0..10i64).collect::<Vec<_>>())
+            .column("c_region", (0..10i64).map(|i| i % 3).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("customers", cust, 1).unwrap());
+        Arc::new(cat)
+    }
+
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::new(catalog())
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let plan = LogicalPlan::Scan {
+            table: "orders".into(),
+            filter: Some(Expr::binary(
+                Expr::col("o_cust"),
+                crate::expr::BinaryOp::Eq,
+                Expr::lit(3i64),
+            )),
+            projection: Some(vec!["o_id".into(), "o_price".into()]),
+        };
+        let res = execute(&plan, &ctx()).unwrap();
+        assert_eq!(res.rows.num_rows(), 100);
+        assert_eq!(res.rows.num_columns(), 2);
+        assert_eq!(res.metrics.base_rows_scanned, 1000);
+        assert!(!res.approximate);
+    }
+
+    #[test]
+    fn exact_aggregate_matches_hand_computation() {
+        let plan = LogicalPlan::Aggregate {
+            group_by: vec!["o_cust".into()],
+            aggregates: vec![
+                AggExpr::new(AggFunc::Count, None),
+                AggExpr::new(AggFunc::Sum, Some("o_price".into())),
+                AggExpr::new(AggFunc::Avg, Some("o_price".into())),
+            ],
+            input: Box::new(LogicalPlan::Scan {
+                table: "orders".into(),
+                filter: None,
+                projection: None,
+            }),
+        };
+        let res = execute(&plan, &ctx()).unwrap();
+        assert_eq!(res.num_groups(), 10);
+        let g0 = &res.group_map()[&vec![Value::Int(0)]];
+        assert_eq!(g0.aggregates[0].value, 100.0);
+        // customer 0 gets orders 0,10,...,990 => price = (i%100): 0,10,...,90 repeated
+        let sum: f64 = (0..1000)
+            .filter(|i| i % 10 == 0)
+            .map(|i| (i % 100) as f64)
+            .sum();
+        assert!((g0.aggregates[1].value - sum).abs() < 1e-9);
+        assert_eq!(g0.aggregates[1].std_error, 0.0);
+        assert!((g0.aggregates[2].value - sum / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_then_aggregate() {
+        let plan = LogicalPlan::Aggregate {
+            group_by: vec!["c_region".into()],
+            aggregates: vec![AggExpr::new(AggFunc::Count, None)],
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Scan {
+                    table: "orders".into(),
+                    filter: None,
+                    projection: None,
+                }),
+                right: Box::new(LogicalPlan::Scan {
+                    table: "customers".into(),
+                    filter: None,
+                    projection: None,
+                }),
+                left_keys: vec!["o_cust".into()],
+                right_keys: vec!["c_id".into()],
+            }),
+        };
+        let res = execute(&plan, &ctx()).unwrap();
+        assert_eq!(res.num_groups(), 3);
+        let total: f64 = res.groups.iter().map(|g| g.aggregates[0].value).sum();
+        assert_eq!(total, 1000.0);
+    }
+
+    #[test]
+    fn sampled_aggregate_is_close_and_produces_byproduct() {
+        let plan = LogicalPlan::Aggregate {
+            group_by: vec!["o_cust".into()],
+            aggregates: vec![AggExpr::new(AggFunc::Sum, Some("o_price".into()))],
+            input: Box::new(LogicalPlan::Sample {
+                method: SampleMethod::Distinct {
+                    stratification: vec!["o_cust".into()],
+                    delta: 10,
+                    probability: 0.3,
+                },
+                synopsis_id: 77,
+                input: Box::new(LogicalPlan::Scan {
+                    table: "orders".into(),
+                    filter: None,
+                    projection: None,
+                }),
+            }),
+        };
+        let res = execute(&plan, &ctx()).unwrap();
+        assert!(res.approximate);
+        assert_eq!(res.num_groups(), 10, "distinct sampler must not lose groups");
+        assert_eq!(res.byproducts.len(), 1);
+        assert_eq!(res.byproducts[0].0, 77);
+        // Compare against exact.
+        let exact_plan = LogicalPlan::Aggregate {
+            group_by: vec!["o_cust".into()],
+            aggregates: vec![AggExpr::new(AggFunc::Sum, Some("o_price".into()))],
+            input: Box::new(LogicalPlan::Scan {
+                table: "orders".into(),
+                filter: None,
+                projection: None,
+            }),
+        };
+        let exact = execute(&exact_plan, &ctx()).unwrap();
+        let (err, missed) = res.error_vs(&exact);
+        assert_eq!(missed, 0);
+        assert!(err < 0.5, "sampled SUM error too large: {err}");
+    }
+
+    #[test]
+    fn sketch_join_agg_close_to_exact() {
+        let plan = LogicalPlan::SketchJoinAgg {
+            probe: Box::new(LogicalPlan::Scan {
+                table: "customers".into(),
+                filter: None,
+                projection: None,
+            }),
+            probe_keys: vec!["c_id".into()],
+            sketch: SketchRef::Build {
+                table: "orders".into(),
+                key_columns: vec!["o_cust".into()],
+                value_column: Some("o_price".into()),
+            },
+            synopsis_id: 5,
+            group_by: vec!["c_region".into()],
+            aggregates: vec![
+                AggExpr::new(AggFunc::Count, None),
+                AggExpr::new(AggFunc::Sum, Some("o_price".into())),
+            ],
+        };
+        let res = execute(&plan, &ctx()).unwrap();
+        assert_eq!(res.num_groups(), 3);
+        let total_count: f64 = res.groups.iter().map(|g| g.aggregates[0].value).sum();
+        assert!((total_count - 1000.0).abs() / 1000.0 < 0.05, "{total_count}");
+        assert!(res
+            .byproducts
+            .iter()
+            .any(|(id, p)| *id == 5 && matches!(p, SynopsisPayload::Sketch(_))));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let plan = LogicalPlan::Limit {
+            n: 7,
+            input: Box::new(LogicalPlan::Scan {
+                table: "orders".into(),
+                filter: None,
+                projection: None,
+            }),
+        };
+        let res = execute(&plan, &ctx()).unwrap();
+        assert_eq!(res.rows.num_rows(), 7);
+    }
+
+    #[test]
+    fn missing_synopsis_is_an_execution_error() {
+        let plan = LogicalPlan::SynopsisScan {
+            id: 999,
+            filter: None,
+        };
+        assert!(matches!(
+            execute(&plan, &ctx()),
+            Err(EngineError::Execution(_))
+        ));
+    }
+
+    #[test]
+    fn join_validates_keys() {
+        let b = BatchBuilder::new()
+            .column("a", vec![1i64])
+            .build()
+            .unwrap();
+        assert!(hash_join(&b, &b, &[], &[]).is_err());
+        assert!(hash_join(&b, &b, &["a".into()], &[]).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Query results: relational output, per-group estimates and byproducts.
+
+use std::collections::HashMap;
+
+use taster_storage::io_model::ExecutionMetrics;
+use taster_storage::{RecordBatch, Value};
+use taster_synopses::AggregateEstimate;
+
+use crate::logical::SynopsisPayload;
+
+/// One output group of an (approximate) aggregation.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// The group key (values of the GROUP BY columns, in order; empty for
+    /// global aggregates).
+    pub key: Vec<Value>,
+    /// One estimate per aggregate expression, in SELECT order.
+    pub aggregates: Vec<AggregateEstimate>,
+}
+
+/// The full result of executing a query plan.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Relational output (group keys + aggregate point estimates, or plain
+    /// rows for non-aggregate queries).
+    pub rows: RecordBatch,
+    /// Per-group estimates with error information; empty for non-aggregate
+    /// queries.
+    pub groups: Vec<GroupResult>,
+    /// `true` if any synopsis operator participated in the plan.
+    pub approximate: bool,
+    /// Execution metrics (rows/bytes scanned per tier, wall time).
+    pub metrics: ExecutionMetrics,
+    /// Synopses built as byproducts of this execution, keyed by the
+    /// `synopsis_id` the planner assigned to the operator that built them.
+    pub byproducts: Vec<(u64, SynopsisPayload)>,
+}
+
+impl QueryResult {
+    /// The maximum relative error across groups and aggregates at the given
+    /// confidence level (0 for exact results, `inf` if any estimate has an
+    /// unbounded relative error).
+    pub fn max_relative_error(&self, confidence: f64) -> f64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.aggregates.iter())
+            .map(|a| a.relative_error(confidence))
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of output groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Index the groups by key for comparisons against other results (used
+    /// heavily by the accuracy experiments).
+    pub fn group_map(&self) -> HashMap<Vec<Value>, &GroupResult> {
+        self.groups.iter().map(|g| (g.key.clone(), g)).collect()
+    }
+
+    /// Compare this (approximate) result against an exact reference and
+    /// return `(max_relative_error, missed_groups)` over the first aggregate
+    /// of every group — the two quantities the paper's accuracy experiment
+    /// (Fig. 5) reports.
+    pub fn error_vs(&self, exact: &QueryResult) -> (f64, usize) {
+        let approx = self.group_map();
+        let mut max_err = 0.0f64;
+        let mut missed = 0usize;
+        for g in &exact.groups {
+            match approx.get(&g.key) {
+                None => missed += 1,
+                Some(a) => {
+                    for (ea, aa) in g.aggregates.iter().zip(a.aggregates.iter()) {
+                        let truth = ea.value;
+                        if truth.abs() < f64::EPSILON {
+                            continue;
+                        }
+                        let err = (aa.value - truth).abs() / truth.abs();
+                        max_err = max_err.max(err);
+                    }
+                }
+            }
+        }
+        (max_err, missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use taster_storage::Schema;
+
+    fn result(groups: Vec<GroupResult>) -> QueryResult {
+        QueryResult {
+            rows: RecordBatch::empty(Arc::new(Schema::empty())),
+            groups,
+            approximate: true,
+            metrics: ExecutionMetrics::default(),
+            byproducts: vec![],
+        }
+    }
+
+    fn group(key: i64, value: f64, err: f64) -> GroupResult {
+        GroupResult {
+            key: vec![Value::Int(key)],
+            aggregates: vec![AggregateEstimate {
+                value,
+                std_error: err,
+                sample_rows: 10,
+            }],
+        }
+    }
+
+    #[test]
+    fn max_relative_error_over_groups() {
+        let r = result(vec![group(1, 100.0, 1.0), group(2, 100.0, 10.0)]);
+        let e = r.max_relative_error(0.95);
+        assert!(e > 0.15 && e < 0.25, "{e}");
+    }
+
+    #[test]
+    fn error_vs_exact_counts_missed_groups() {
+        let approx = result(vec![group(1, 95.0, 0.0)]);
+        let exact = result(vec![group(1, 100.0, 0.0), group(2, 50.0, 0.0)]);
+        let (err, missed) = approx.error_vs(&exact);
+        assert!((err - 0.05).abs() < 1e-9);
+        assert_eq!(missed, 1);
+    }
+
+    #[test]
+    fn group_map_indexes_by_key() {
+        let r = result(vec![group(7, 1.0, 0.0)]);
+        assert!(r.group_map().contains_key(&vec![Value::Int(7)]));
+        assert_eq!(r.num_groups(), 1);
+    }
+}

@@ -1,0 +1,674 @@
+//! SQL subset parser.
+//!
+//! Taster "accepts and answers all SQL queries supported by Spark SQL" and
+//! adds the accuracy clause `ERROR WITHIN x% AT CONFIDENCE y%`. The
+//! reproduction parses the aggregate-oriented subset the evaluation actually
+//! exercises:
+//!
+//! ```sql
+//! SELECT g1, g2, AGG(col), ...
+//! FROM fact
+//!   JOIN dim ON fact.k = dim.k [AND ...]
+//! WHERE col OP literal [AND ...]
+//! GROUP BY g1, g2
+//! ERROR WITHIN 10% AT CONFIDENCE 95%
+//! ```
+//!
+//! with `AGG ∈ {COUNT, SUM, AVG, MIN, MAX}` and `OP ∈ {=, <>, !=, <, <=, >,
+//! >=}`. Identifiers may be qualified (`lineitem.l_price`); qualifiers are
+//! stripped because all benchmark schemas use globally unique column names.
+
+use serde::{Deserialize, Serialize};
+use taster_storage::{Catalog, Value};
+
+use crate::error::EngineError;
+use crate::expr::{BinaryOp, Expr};
+use crate::logical::{AggExpr, AggFunc, LogicalPlan};
+use crate::optimizer::optimize;
+
+/// Accuracy requirement attached to a query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSpec {
+    /// Maximum relative error per group (e.g. 0.10 for "WITHIN 10%").
+    pub relative_error: f64,
+    /// Confidence level (e.g. 0.95 for "CONFIDENCE 95%").
+    pub confidence: f64,
+}
+
+impl Default for ErrorSpec {
+    fn default() -> Self {
+        Self {
+            relative_error: 0.10,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// A plain (grouping) column.
+    Column(String),
+    /// An aggregate expression.
+    Aggregate(AggExpr),
+}
+
+/// One JOIN clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinSpec {
+    /// The joined table.
+    pub table: String,
+    /// Equality conditions as `(column_a, column_b)` pairs; side resolution
+    /// happens during plan building using the catalog.
+    pub conditions: Vec<(String, String)>,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectQuery {
+    /// SELECT list in order.
+    pub select: Vec<SelectItem>,
+    /// The first FROM table.
+    pub from: String,
+    /// JOIN clauses in order.
+    pub joins: Vec<JoinSpec>,
+    /// WHERE predicates (implicitly AND-ed).
+    pub predicates: Vec<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<String>,
+    /// Optional accuracy requirement.
+    pub error_spec: Option<ErrorSpec>,
+    /// The original SQL text (useful for logging and the metadata store).
+    pub text: String,
+}
+
+impl SelectQuery {
+    /// All tables touched by the query, FROM table first.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = vec![self.from.clone()];
+        out.extend(self.joins.iter().map(|j| j.table.clone()));
+        out
+    }
+
+    /// The aggregate expressions in SELECT order.
+    pub fn aggregates(&self) -> Vec<AggExpr> {
+        self.select
+            .iter()
+            .filter_map(|s| match s {
+                SelectItem::Aggregate(a) => Some(a.clone()),
+                SelectItem::Column(_) => None,
+            })
+            .collect()
+    }
+
+    /// `true` if the query contains at least one approximable aggregate.
+    pub fn is_approximable(&self) -> bool {
+        self.aggregates().iter().any(|a| a.func.is_approximable())
+    }
+
+    /// The accuracy requirement, defaulting to 10% at 95% confidence (the
+    /// configuration used throughout the paper's evaluation).
+    pub fn accuracy(&self) -> ErrorSpec {
+        self.error_spec.unwrap_or_default()
+    }
+
+    /// Build the exact (synopsis-free) logical plan for this query.
+    pub fn to_exact_plan(&self, catalog: &Catalog) -> Result<LogicalPlan, EngineError> {
+        let mut plan = LogicalPlan::Scan {
+            table: self.from.clone(),
+            filter: None,
+            projection: None,
+        };
+        let mut left_tables = vec![self.from.clone()];
+
+        for join in &self.joins {
+            let right_table = catalog.table(&join.table)?;
+            let mut left_keys = Vec::new();
+            let mut right_keys = Vec::new();
+            for (a, b) in &join.conditions {
+                if right_table.schema().contains(b) {
+                    left_keys.push(a.clone());
+                    right_keys.push(b.clone());
+                } else if right_table.schema().contains(a) {
+                    left_keys.push(b.clone());
+                    right_keys.push(a.clone());
+                } else {
+                    return Err(EngineError::Plan(format!(
+                        "join condition {a} = {b} does not reference table {}",
+                        join.table
+                    )));
+                }
+            }
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(LogicalPlan::Scan {
+                    table: join.table.clone(),
+                    filter: None,
+                    projection: None,
+                }),
+                left_keys,
+                right_keys,
+            };
+            left_tables.push(join.table.clone());
+        }
+
+        for pred in &self.predicates {
+            plan = LogicalPlan::Filter {
+                predicate: pred.clone(),
+                input: Box::new(plan),
+            };
+        }
+
+        let aggregates = self.aggregates();
+        if !aggregates.is_empty() {
+            plan = LogicalPlan::Aggregate {
+                group_by: self.group_by.clone(),
+                aggregates,
+                input: Box::new(plan),
+            };
+        } else {
+            let columns: Vec<String> = self
+                .select
+                .iter()
+                .filter_map(|s| match s {
+                    SelectItem::Column(c) => Some(c.clone()),
+                    SelectItem::Aggregate(_) => None,
+                })
+                .collect();
+            if !columns.is_empty() {
+                plan = LogicalPlan::Project {
+                    columns,
+                    input: Box::new(plan),
+                };
+            }
+        }
+        Ok(optimize(plan))
+    }
+}
+
+/// Parse a SQL string into a [`SelectQuery`].
+pub fn parse_query(sql: &str) -> Result<SelectQuery, EngineError> {
+    Parser::new(sql)?.parse()
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    StringLit(String),
+    Symbol(String),
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Token>, EngineError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let n: f64 = text
+                .parse()
+                .map_err(|_| EngineError::Parse(format!("bad number literal '{text}'")))?;
+            tokens.push(Token::Number(n));
+        } else if c == '\'' {
+            i += 1;
+            let start = i;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(EngineError::Parse("unterminated string literal".into()));
+            }
+            tokens.push(Token::StringLit(chars[start..i].iter().collect()));
+            i += 1;
+        } else {
+            // Multi-character operators first.
+            let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+                tokens.push(Token::Symbol(two));
+                i += 2;
+            } else {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    text: String,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self, EngineError> {
+        Ok(Self {
+            tokens: tokenize(sql)?,
+            pos: 0,
+            text: sql.trim().to_string(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), EngineError> {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), EngineError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == sym => Ok(()),
+            other => Err(EngineError::Parse(format!(
+                "expected '{sym}', found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String, EngineError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(strip_qualifier(&s)),
+            other => Err(EngineError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<SelectQuery, EngineError> {
+        self.expect_keyword("SELECT")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = match self.next() {
+            Some(Token::Ident(s)) => s.to_lowercase(),
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "expected table name after FROM, found {other:?}"
+                )))
+            }
+        };
+        let mut joins = Vec::new();
+        while self.peek_keyword("JOIN") {
+            self.pos += 1;
+            let table = match self.next() {
+                Some(Token::Ident(s)) => s.to_lowercase(),
+                other => {
+                    return Err(EngineError::Parse(format!(
+                        "expected table name after JOIN, found {other:?}"
+                    )))
+                }
+            };
+            let mut conditions = Vec::new();
+            if self.peek_keyword("ON") {
+                self.pos += 1;
+                loop {
+                    let a = self.parse_ident()?;
+                    self.expect_symbol("=")?;
+                    let b = self.parse_ident()?;
+                    conditions.push((a, b));
+                    if self.peek_keyword("AND") {
+                        // Only consume the AND if another equi-condition
+                        // follows; otherwise it belongs to WHERE-less chained
+                        // syntax which we do not support.
+                        let save = self.pos;
+                        self.pos += 1;
+                        if matches!(self.peek(), Some(Token::Ident(_)))
+                            && matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(s)) if s == "=")
+                            && matches!(self.tokens.get(self.pos + 2), Some(Token::Ident(_)))
+                        {
+                            continue;
+                        }
+                        self.pos = save;
+                        break;
+                    }
+                    break;
+                }
+            }
+            joins.push(JoinSpec { table, conditions });
+        }
+
+        let mut predicates = Vec::new();
+        if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            loop {
+                predicates.push(self.parse_predicate()?);
+                if self.peek_keyword("AND") {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.peek_keyword("GROUP") {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_ident()?);
+                if matches!(self.peek(), Some(Token::Symbol(s)) if s == ",") {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let error_spec = if self.peek_keyword("ERROR") {
+            self.pos += 1;
+            self.expect_keyword("WITHIN")?;
+            let err = self.parse_percent()?;
+            if self.peek_keyword("AT") {
+                self.pos += 1;
+            }
+            self.expect_keyword("CONFIDENCE")?;
+            let conf = self.parse_percent()?;
+            Some(ErrorSpec {
+                relative_error: err,
+                confidence: conf,
+            })
+        } else {
+            None
+        };
+
+        if let Some(t) = self.peek() {
+            if !matches!(t, Token::Symbol(s) if s == ";") {
+                return Err(EngineError::Parse(format!("unexpected trailing token {t:?}")));
+            }
+        }
+
+        Ok(SelectQuery {
+            select,
+            from,
+            joins,
+            predicates,
+            group_by,
+            error_spec,
+            text: self.text.clone(),
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>, EngineError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if matches!(self.peek(), Some(Token::Symbol(s)) if s == ",") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, EngineError> {
+        if let Some(Token::Ident(name)) = self.peek().cloned() {
+            let func = match name.to_uppercase().as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "AVG" => Some(AggFunc::Avg),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(s)) if s == "(") {
+                    self.pos += 2; // consume func name and '('
+                    let column = match self.next() {
+                        Some(Token::Symbol(s)) if s == "*" => None,
+                        Some(Token::Ident(c)) => Some(strip_qualifier(&c)),
+                        other => {
+                            return Err(EngineError::Parse(format!(
+                                "expected column or * inside {func}(), found {other:?}"
+                            )))
+                        }
+                    };
+                    self.expect_symbol(")")?;
+                    return Ok(SelectItem::Aggregate(AggExpr::new(func, column)));
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.parse_ident()?))
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr, EngineError> {
+        let column = self.parse_ident()?;
+        let op = match self.next() {
+            Some(Token::Symbol(s)) => match s.as_str() {
+                "=" => BinaryOp::Eq,
+                "<" => BinaryOp::Lt,
+                "<=" => BinaryOp::LtEq,
+                ">" => BinaryOp::Gt,
+                ">=" => BinaryOp::GtEq,
+                "<>" | "!=" => BinaryOp::NotEq,
+                other => {
+                    return Err(EngineError::Parse(format!(
+                        "unsupported comparison operator '{other}'"
+                    )))
+                }
+            },
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let literal = match self.next() {
+            Some(Token::Number(n)) => {
+                if n.fract() == 0.0 {
+                    Value::Int(n as i64)
+                } else {
+                    Value::Float(n)
+                }
+            }
+            Some(Token::StringLit(s)) => Value::Str(s),
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "expected literal, found {other:?}"
+                )))
+            }
+        };
+        Ok(Expr::binary(Expr::col(column), op, Expr::Literal(literal)))
+    }
+
+    fn parse_percent(&mut self) -> Result<f64, EngineError> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                if matches!(self.peek(), Some(Token::Symbol(s)) if s == "%") {
+                    self.pos += 1;
+                }
+                Ok(n / 100.0)
+            }
+            other => Err(EngineError::Parse(format!(
+                "expected a percentage, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Strip a `table.` qualifier from a column reference; benchmark schemas use
+/// unique column names so the qualifier carries no information.
+fn strip_qualifier(ident: &str) -> String {
+    match ident.rsplit_once('.') {
+        Some((_, col)) => col.to_lowercase(),
+        None => ident.to_lowercase(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_aggregate_query() {
+        let q = parse_query(
+            "SELECT l_returnflag, SUM(l_quantity), AVG(l_price) FROM lineitem \
+             WHERE l_shipdate <= 19980902 GROUP BY l_returnflag \
+             ERROR WITHIN 10% AT CONFIDENCE 95%",
+        )
+        .unwrap();
+        assert_eq!(q.from, "lineitem");
+        assert_eq!(q.group_by, vec!["l_returnflag".to_string()]);
+        assert_eq!(q.aggregates().len(), 2);
+        assert_eq!(q.predicates.len(), 1);
+        let spec = q.accuracy();
+        assert!((spec.relative_error - 0.10).abs() < 1e-9);
+        assert!((spec.confidence - 0.95).abs() < 1e-9);
+        assert!(q.is_approximable());
+    }
+
+    #[test]
+    fn parses_joins_with_multiple_conditions() {
+        let q = parse_query(
+            "SELECT o_orderpriority, COUNT(*) FROM orders \
+             JOIN lineitem ON o_orderkey = l_orderkey \
+             JOIN customer ON o_custkey = c_custkey \
+             WHERE o_orderdate >= 19950101 AND l_discount < 0.05 \
+             GROUP BY o_orderpriority",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].table, "lineitem");
+        assert_eq!(q.joins[0].conditions[0], ("o_orderkey".into(), "l_orderkey".into()));
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.tables(), vec!["orders", "lineitem", "customer"]);
+    }
+
+    #[test]
+    fn strips_table_qualifiers() {
+        let q = parse_query(
+            "SELECT orders.o_flag, COUNT(*) FROM orders WHERE orders.o_price > 10 GROUP BY orders.o_flag",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["o_flag".to_string()]);
+        assert_eq!(q.predicates[0].referenced_columns(), vec!["o_price".to_string()]);
+    }
+
+    #[test]
+    fn count_star_and_string_literals() {
+        let q = parse_query(
+            "SELECT c_region, COUNT(*) FROM customer WHERE c_segment = 'BUILDING' GROUP BY c_region",
+        )
+        .unwrap();
+        let aggs = q.aggregates();
+        assert_eq!(aggs[0].func, AggFunc::Count);
+        assert!(aggs[0].column.is_none());
+        assert!(q.predicates[0].to_string().contains("'BUILDING'"));
+    }
+
+    #[test]
+    fn defaults_when_no_error_clause() {
+        let q = parse_query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(q.error_spec.is_none());
+        let spec = q.accuracy();
+        assert_eq!(spec.relative_error, 0.10);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("SELEKT x FROM t").is_err());
+        assert!(parse_query("SELECT x FROM").is_err());
+        assert!(parse_query("SELECT SUM( FROM t").is_err());
+        assert!(parse_query("SELECT x FROM t WHERE y ~ 3").is_err());
+        assert!(parse_query("SELECT x FROM t WHERE y = 'unterminated").is_err());
+        assert!(parse_query("SELECT x FROM t extra garbage").is_err());
+    }
+
+    #[test]
+    fn exact_plan_builds_and_optimizes() {
+        use taster_storage::batch::BatchBuilder;
+        use taster_storage::Table;
+        let catalog = Catalog::new();
+        let orders = BatchBuilder::new()
+            .column("o_id", vec![1i64, 2, 3])
+            .column("o_cust", vec![1i64, 1, 2])
+            .column("o_price", vec![1.0f64, 2.0, 3.0])
+            .build()
+            .unwrap();
+        catalog.register(Table::from_batch("orders", orders, 1).unwrap());
+        let cust = BatchBuilder::new()
+            .column("c_id", vec![1i64, 2])
+            .column("c_region", vec!["A", "B"])
+            .build()
+            .unwrap();
+        catalog.register(Table::from_batch("customer", cust, 1).unwrap());
+
+        let q = parse_query(
+            "SELECT c_region, SUM(o_price) FROM orders JOIN customer ON o_cust = c_id \
+             WHERE o_price > 1 GROUP BY c_region",
+        )
+        .unwrap();
+        let plan = q.to_exact_plan(&catalog).unwrap();
+        assert!(matches!(plan, LogicalPlan::Aggregate { .. }));
+        assert_eq!(plan.base_tables(), vec!["customer".to_string(), "orders".to_string()]);
+
+        // Join condition written in reverse order still resolves.
+        let q2 = parse_query(
+            "SELECT c_region, COUNT(*) FROM orders JOIN customer ON c_id = o_cust GROUP BY c_region",
+        )
+        .unwrap();
+        assert!(q2.to_exact_plan(&catalog).is_ok());
+    }
+
+    #[test]
+    fn plan_for_non_aggregate_query_projects() {
+        use taster_storage::batch::BatchBuilder;
+        use taster_storage::Table;
+        let catalog = Catalog::new();
+        let t = BatchBuilder::new()
+            .column("a", vec![1i64])
+            .column("b", vec![2i64])
+            .build()
+            .unwrap();
+        catalog.register(Table::from_batch("t", t, 1).unwrap());
+        let q = parse_query("SELECT a FROM t WHERE b = 2").unwrap();
+        let plan = q.to_exact_plan(&catalog).unwrap();
+        assert!(matches!(plan, LogicalPlan::Project { .. }));
+        assert!(!q.is_approximable());
+    }
+}

@@ -1,0 +1,328 @@
+//! Record batches: a schema plus equally-sized columns.
+
+use std::sync::Arc;
+
+use crate::column::ColumnData;
+use crate::error::StorageError;
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::value::Value;
+
+/// A horizontal chunk of a table: one column array per schema field, all of
+/// the same length. Batches are the unit of execution and of partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    schema: Arc<Schema>,
+    columns: Vec<ColumnData>,
+    num_rows: usize,
+}
+
+impl RecordBatch {
+    /// Create a batch, validating that every column matches the schema type
+    /// and that all columns have equal length.
+    pub fn try_new(schema: SchemaRef, columns: Vec<ColumnData>) -> Result<Self, StorageError> {
+        if schema.len() != columns.len() {
+            return Err(StorageError::Invalid(format!(
+                "schema has {} fields but {} columns were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let num_rows = columns.first().map_or(0, ColumnData::len);
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if col.data_type() != field.data_type {
+                return Err(StorageError::TypeMismatch(format!(
+                    "column '{}' declared {} but data is {}",
+                    field.name,
+                    field.data_type,
+                    col.data_type()
+                )));
+            }
+            if col.len() != num_rows {
+                return Err(StorageError::Invalid(format!(
+                    "column '{}' has {} rows, expected {}",
+                    field.name,
+                    col.len(),
+                    num_rows
+                )));
+            }
+        }
+        Ok(Self {
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: SchemaRef) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::new_empty(f.data_type))
+            .collect();
+        Self {
+            schema,
+            columns,
+            num_rows: 0,
+        }
+    }
+
+    /// The batch schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// The column at position `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// The column with the given name.
+    pub fn column_by_name(&self, name: &str) -> Result<&ColumnData, StorageError> {
+        let idx = self.schema.index_of(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// The full row at `idx` as values, in schema order.
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(idx)).collect()
+    }
+
+    /// A new batch keeping only the rows where `mask[i]` is true.
+    pub fn filter(&self, mask: &[bool]) -> RecordBatch {
+        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.filter(mask)).collect();
+        let num_rows = mask.iter().filter(|&&b| b).count();
+        RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows,
+        }
+    }
+
+    /// A new batch containing the rows at the given indices, in order.
+    pub fn take(&self, indices: &[usize]) -> RecordBatch {
+        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.take(indices)).collect();
+        RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows: indices.len(),
+        }
+    }
+
+    /// A new batch with only the named columns, in the requested order.
+    pub fn project(&self, names: &[&str]) -> Result<RecordBatch, StorageError> {
+        let schema = Arc::new(self.schema.project(names)?);
+        let mut columns = Vec::with_capacity(names.len());
+        for name in names {
+            columns.push(self.column_by_name(name)?.clone());
+        }
+        Ok(RecordBatch {
+            schema,
+            columns,
+            num_rows: self.num_rows,
+        })
+    }
+
+    /// A contiguous row range `[offset, offset+len)` of the batch.
+    pub fn slice(&self, offset: usize, len: usize) -> RecordBatch {
+        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        let num_rows = columns.first().map_or(0, ColumnData::len);
+        RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows,
+        }
+    }
+
+    /// Append the rows of `other` (same schema) to this batch.
+    pub fn append(&mut self, other: &RecordBatch) -> Result<(), StorageError> {
+        if self.schema.as_ref() != other.schema.as_ref() {
+            return Err(StorageError::Invalid(
+                "cannot append batches with different schemas".to_string(),
+            ));
+        }
+        for (a, b) in self.columns.iter_mut().zip(other.columns.iter()) {
+            a.extend_from(b)?;
+        }
+        self.num_rows += other.num_rows;
+        Ok(())
+    }
+
+    /// Concatenate multiple batches that share a schema.
+    pub fn concat(batches: &[RecordBatch]) -> Result<RecordBatch, StorageError> {
+        let Some(first) = batches.first() else {
+            return Err(StorageError::Invalid("concat of zero batches".to_string()));
+        };
+        let mut out = first.clone();
+        for b in &batches[1..] {
+            out.append(b)?;
+        }
+        Ok(out)
+    }
+
+    /// A new batch with an extra column appended (e.g. the sampler weight).
+    pub fn with_column(
+        &self,
+        field: Field,
+        column: ColumnData,
+    ) -> Result<RecordBatch, StorageError> {
+        if column.len() != self.num_rows {
+            return Err(StorageError::Invalid(format!(
+                "new column '{}' has {} rows, batch has {}",
+                field.name,
+                column.len(),
+                self.num_rows
+            )));
+        }
+        if column.data_type() != field.data_type {
+            return Err(StorageError::TypeMismatch(format!(
+                "column '{}' declared {} but data is {}",
+                field.name,
+                field.data_type,
+                column.data_type()
+            )));
+        }
+        let schema = Arc::new(self.schema.with_field(field));
+        let mut columns = self.columns.clone();
+        columns.push(column);
+        Ok(RecordBatch {
+            schema,
+            columns,
+            num_rows: self.num_rows,
+        })
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(ColumnData::size_bytes).sum()
+    }
+}
+
+/// Convenience builder for constructing batches from named columns.
+#[derive(Debug, Default)]
+pub struct BatchBuilder {
+    fields: Vec<Field>,
+    columns: Vec<ColumnData>,
+}
+
+impl BatchBuilder {
+    /// New, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named column; the field type is derived from the data.
+    pub fn column(mut self, name: impl Into<String>, data: impl Into<ColumnData>) -> Self {
+        let data = data.into();
+        self.fields.push(Field::new(name, data.data_type()));
+        self.columns.push(data);
+        self
+    }
+
+    /// Finish, validating lengths.
+    pub fn build(self) -> Result<RecordBatch, StorageError> {
+        RecordBatch::try_new(Arc::new(Schema::new(self.fields)), self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn batch() -> RecordBatch {
+        BatchBuilder::new()
+            .column("id", vec![1i64, 2, 3, 4])
+            .column("price", vec![10.0f64, 20.0, 30.0, 40.0])
+            .column("name", vec!["a", "b", "c", "d"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_batch() {
+        let b = batch();
+        assert_eq!(b.num_rows(), 4);
+        assert_eq!(b.num_columns(), 3);
+        assert_eq!(b.schema().field(1).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let res = BatchBuilder::new()
+            .column("a", vec![1i64, 2])
+            .column("b", vec![1.0f64])
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn filter_project_take_slice() {
+        let b = batch();
+        let f = b.filter(&[true, false, true, false]);
+        assert_eq!(f.num_rows(), 2);
+        let p = b.project(&["name", "id"]).unwrap();
+        assert_eq!(p.schema().column_names(), vec!["name", "id"]);
+        let t = b.take(&[3]);
+        assert_eq!(t.row(0)[0], Value::Int(4));
+        let s = b.slice(2, 2);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.row(0)[0], Value::Int(3));
+    }
+
+    #[test]
+    fn append_and_concat() {
+        let mut a = batch();
+        let b = batch();
+        a.append(&b).unwrap();
+        assert_eq!(a.num_rows(), 8);
+        let c = RecordBatch::concat(&[batch(), batch(), batch()]).unwrap();
+        assert_eq!(c.num_rows(), 12);
+    }
+
+    #[test]
+    fn with_column_validates_length_and_type() {
+        let b = batch();
+        let w = b
+            .with_column(
+                Field::new("w", DataType::Float64),
+                ColumnData::Float64(vec![1.0; 4]),
+            )
+            .unwrap();
+        assert_eq!(w.num_columns(), 4);
+        assert!(b
+            .with_column(
+                Field::new("w", DataType::Float64),
+                ColumnData::Float64(vec![1.0; 3])
+            )
+            .is_err());
+        assert!(b
+            .with_column(
+                Field::new("w", DataType::Int64),
+                ColumnData::Float64(vec![1.0; 4])
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn empty_batch_has_zero_rows() {
+        let b = RecordBatch::empty(batch().schema().clone());
+        assert_eq!(b.num_rows(), 0);
+        assert_eq!(b.num_columns(), 3);
+    }
+}

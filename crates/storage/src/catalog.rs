@@ -1,0 +1,121 @@
+//! A process-wide catalog of named tables.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::StorageError;
+use crate::table::Table;
+
+/// A thread-safe registry of tables, shared between the engine, the Taster
+/// planner, the baselines and the benchmark drivers.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&self, table: Table) -> Arc<Table> {
+        let table = Arc::new(table);
+        self.tables
+            .write()
+            .insert(table.name().to_string(), table.clone());
+        table
+    }
+
+    /// Register an already shared table handle.
+    pub fn register_arc(&self, table: Arc<Table>) {
+        self.tables
+            .write()
+            .insert(table.name().to_string(), table);
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// `true` if a table with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Remove a table, returning it if it existed.
+    pub fn deregister(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.write().remove(name)
+    }
+
+    /// Names of all registered tables (sorted for determinism).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total approximate size of all registered base data in bytes. The
+    /// storage quotas in the paper are expressed as a fraction of the
+    /// (compressed) dataset size; the reproduction uses in-memory size.
+    pub fn total_size_bytes(&self) -> usize {
+        self.tables.read().values().map(|t| t.size_bytes()).sum()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.read().values().map(|t| t.num_rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchBuilder;
+
+    fn table(name: &str, n: usize) -> Table {
+        let b = BatchBuilder::new()
+            .column("id", (0..n as i64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        Table::from_batch(name, b, 2).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        cat.register(table("a", 10));
+        cat.register(table("b", 20));
+        assert!(cat.contains("a"));
+        assert_eq!(cat.table("b").unwrap().num_rows(), 20);
+        assert!(cat.table("zzz").is_err());
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cat.total_rows(), 30);
+        assert!(cat.total_size_bytes() > 0);
+    }
+
+    #[test]
+    fn deregister_removes_table() {
+        let cat = Catalog::new();
+        cat.register(table("a", 10));
+        assert!(cat.deregister("a").is_some());
+        assert!(!cat.contains("a"));
+        assert!(cat.deregister("a").is_none());
+    }
+
+    #[test]
+    fn replace_keeps_latest() {
+        let cat = Catalog::new();
+        cat.register(table("a", 10));
+        cat.register(table("a", 99));
+        assert_eq!(cat.table("a").unwrap().num_rows(), 99);
+    }
+}

@@ -1,0 +1,289 @@
+//! Columnar data arrays.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StorageError;
+use crate::schema::DataType;
+use crate::value::Value;
+
+/// A single typed column of values.
+///
+/// Columns are append-only vectors; the engine operates on whole columns
+/// where possible and falls back to row-at-a-time [`Value`]s only for group
+/// keys and final results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// UTF-8 strings.
+    Utf8(Vec<String>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    /// An empty column of the given type.
+    pub fn new_empty(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Float64 => ColumnData::Float64(Vec::new()),
+            DataType::Utf8 => ColumnData::Utf8(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        }
+    }
+
+    /// An empty column with pre-reserved capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Self {
+        match data_type {
+            DataType::Int64 => ColumnData::Int64(Vec::with_capacity(capacity)),
+            DataType::Float64 => ColumnData::Float64(Vec::with_capacity(capacity)),
+            DataType::Utf8 => ColumnData::Utf8(Vec::with_capacity(capacity)),
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Utf8(_) => DataType::Utf8,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `idx` widened to a [`Value`].
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn value(&self, idx: usize) -> Value {
+        match self {
+            ColumnData::Int64(v) => Value::Int(v[idx]),
+            ColumnData::Float64(v) => Value::Float(v[idx]),
+            ColumnData::Utf8(v) => Value::Str(v[idx].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[idx]),
+        }
+    }
+
+    /// The value at `idx` as `f64`, if the column is numeric or boolean.
+    pub fn value_f64(&self, idx: usize) -> Option<f64> {
+        match self {
+            ColumnData::Int64(v) => Some(v[idx] as f64),
+            ColumnData::Float64(v) => Some(v[idx]),
+            ColumnData::Bool(v) => Some(if v[idx] { 1.0 } else { 0.0 }),
+            ColumnData::Utf8(_) => None,
+        }
+    }
+
+    /// Append a value, coercing numerics where it is lossless.
+    pub fn push(&mut self, value: &Value) -> Result<(), StorageError> {
+        match (self, value) {
+            (ColumnData::Int64(v), Value::Int(x)) => v.push(*x),
+            (ColumnData::Int64(v), Value::Float(x)) => v.push(*x as i64),
+            (ColumnData::Float64(v), Value::Float(x)) => v.push(*x),
+            (ColumnData::Float64(v), Value::Int(x)) => v.push(*x as f64),
+            (ColumnData::Utf8(v), Value::Str(x)) => v.push(x.clone()),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(*x),
+            (col, val) => {
+                return Err(StorageError::TypeMismatch(format!(
+                    "cannot push {val} into {} column",
+                    col.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// A new column containing the values at the selected indices, in order.
+    pub fn take(&self, indices: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float64(v) => ColumnData::Float64(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Utf8(v) => {
+                ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// A new column containing rows where `mask[i]` is `true`.
+    pub fn filter(&self, mask: &[bool]) -> ColumnData {
+        debug_assert_eq!(mask.len(), self.len());
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(
+                v.iter()
+                    .zip(mask)
+                    .filter_map(|(x, &keep)| keep.then_some(*x))
+                    .collect(),
+            ),
+            ColumnData::Float64(v) => ColumnData::Float64(
+                v.iter()
+                    .zip(mask)
+                    .filter_map(|(x, &keep)| keep.then_some(*x))
+                    .collect(),
+            ),
+            ColumnData::Utf8(v) => ColumnData::Utf8(
+                v.iter()
+                    .zip(mask)
+                    .filter_map(|(x, &keep)| keep.then(|| x.clone()))
+                    .collect(),
+            ),
+            ColumnData::Bool(v) => ColumnData::Bool(
+                v.iter()
+                    .zip(mask)
+                    .filter_map(|(x, &keep)| keep.then_some(*x))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// A zero-copy-ish slice (clones the underlying range).
+    pub fn slice(&self, offset: usize, len: usize) -> ColumnData {
+        let end = (offset + len).min(self.len());
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(v[offset..end].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[offset..end].to_vec()),
+            ColumnData::Utf8(v) => ColumnData::Utf8(v[offset..end].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[offset..end].to_vec()),
+        }
+    }
+
+    /// Append all values from another column of the same type.
+    pub fn extend_from(&mut self, other: &ColumnData) -> Result<(), StorageError> {
+        match (self, other) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(b),
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend_from_slice(b),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(StorageError::TypeMismatch(format!(
+                    "cannot extend {} column with {} column",
+                    a.data_type(),
+                    b.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate values widened to [`Value`].
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len() * 8,
+            ColumnData::Float64(v) => v.len() * 8,
+            ColumnData::Utf8(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+}
+
+impl From<Vec<i64>> for ColumnData {
+    fn from(v: Vec<i64>) -> Self {
+        ColumnData::Int64(v)
+    }
+}
+
+impl From<Vec<f64>> for ColumnData {
+    fn from(v: Vec<f64>) -> Self {
+        ColumnData::Float64(v)
+    }
+}
+
+impl From<Vec<String>> for ColumnData {
+    fn from(v: Vec<String>) -> Self {
+        ColumnData::Utf8(v)
+    }
+}
+
+impl From<Vec<&str>> for ColumnData {
+    fn from(v: Vec<&str>) -> Self {
+        ColumnData::Utf8(v.into_iter().map(str::to_string).collect())
+    }
+}
+
+impl From<Vec<bool>> for ColumnData {
+    fn from(v: Vec<bool>) -> Self {
+        ColumnData::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut c = ColumnData::new_empty(DataType::Int64);
+        c.push(&Value::Int(7)).unwrap();
+        c.push(&Value::Float(2.9)).unwrap(); // lossy but accepted coercion
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(0), Value::Int(7));
+        assert_eq!(c.value(1), Value::Int(2));
+        assert!(c.push(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let c: ColumnData = vec![1i64, 2, 3, 4].into();
+        let f = c.filter(&[true, false, true, false]);
+        assert_eq!(f, ColumnData::Int64(vec![1, 3]));
+        let t = c.take(&[3, 0]);
+        assert_eq!(t, ColumnData::Int64(vec![4, 1]));
+    }
+
+    #[test]
+    fn slice_clamps_to_len() {
+        let c: ColumnData = vec!["a", "b", "c"].into();
+        let s = c.slice(1, 10);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value(0), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn extend_requires_same_type() {
+        let mut a: ColumnData = vec![1i64].into();
+        let b: ColumnData = vec![2i64, 3].into();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        let c: ColumnData = vec![1.0f64].into();
+        assert!(a.extend_from(&c).is_err());
+    }
+
+    #[test]
+    fn size_bytes_tracks_strings() {
+        let c: ColumnData = vec!["hello", "world"].into();
+        assert!(c.size_bytes() >= 10);
+        let i: ColumnData = vec![1i64, 2].into();
+        assert_eq!(i.size_bytes(), 16);
+    }
+
+    #[test]
+    fn value_f64_for_each_type() {
+        assert_eq!(ColumnData::from(vec![2i64]).value_f64(0), Some(2.0));
+        assert_eq!(ColumnData::from(vec![2.5f64]).value_f64(0), Some(2.5));
+        assert_eq!(ColumnData::from(vec![true]).value_f64(0), Some(1.0));
+        assert_eq!(ColumnData::from(vec!["x"]).value_f64(0), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound(String),
+    /// A referenced table does not exist in the catalog.
+    TableNotFound(String),
+    /// Column lengths within a batch disagree, or a value has the wrong type.
+    TypeMismatch(String),
+    /// Generic invariant violation (mismatched schemas on append, etc.).
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            StorageError::TableNotFound(name) => write!(f, "table not found: {name}"),
+            StorageError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            StorageError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,37 @@
+//! Columnar in-memory storage engine used as the substrate of the Taster
+//! reproduction.
+//!
+//! The original system runs on Spark/HDFS; this crate provides the pieces of
+//! that substrate Taster actually relies on:
+//!
+//! * typed, columnar [`RecordBatch`]es grouped into horizontally partitioned
+//!   [`Table`]s (the partition count plays the role of the sampler
+//!   *distribution factor* `D` from the paper),
+//! * a process-wide [`Catalog`] of tables,
+//! * per-table [`stats::TableStats`] (row counts, distinct counts, skew)
+//!   computed lazily on first access, exactly as Taster computes statistics
+//!   "on-the-fly during the first access to any table",
+//! * a simulated I/O / cluster cost model ([`io_model::IoModel`]) so that the
+//!   planner can cost plans and the benchmark harness can convert
+//!   rows-scanned into simulated scan time, independent of the laptop the
+//!   reproduction happens to run on.
+
+pub mod batch;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod io_model;
+pub mod partition;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use batch::RecordBatch;
+pub use catalog::Catalog;
+pub use column::ColumnData;
+pub use error::StorageError;
+pub use io_model::IoModel;
+pub use schema::{DataType, Field, Schema};
+pub use table::Table;
+pub use value::Value;

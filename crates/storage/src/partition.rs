@@ -1,0 +1,78 @@
+//! Horizontal partitioning helpers.
+//!
+//! The paper's samplers are *partitionable*: each Spark worker samples its own
+//! partition and partial results are merged. We model that with a simple
+//! round-robin/range split of a batch into `D` partitions (the *distribution
+//! factor* in Section II of the paper).
+
+use crate::batch::RecordBatch;
+
+/// Split a batch into `parts` contiguous partitions of (almost) equal size.
+///
+/// The final partition absorbs any remainder. Requesting more partitions than
+/// rows yields some empty partitions, which downstream operators treat as
+/// empty inputs.
+pub fn split_batch(batch: &RecordBatch, parts: usize) -> Vec<RecordBatch> {
+    let parts = parts.max(1);
+    let n = batch.num_rows();
+    if n == 0 {
+        return vec![batch.clone()];
+    }
+    let chunk = n.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut offset = 0;
+    while offset < n {
+        let len = chunk.min(n - offset);
+        out.push(batch.slice(offset, len));
+        offset += len;
+    }
+    out
+}
+
+/// Number of rows across a set of partitions.
+pub fn total_rows(partitions: &[RecordBatch]) -> usize {
+    partitions.iter().map(RecordBatch::num_rows).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchBuilder;
+
+    fn batch(n: usize) -> RecordBatch {
+        BatchBuilder::new()
+            .column("id", (0..n as i64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_preserves_all_rows() {
+        let b = batch(103);
+        for parts in [1, 2, 3, 7, 11, 103, 200] {
+            let ps = split_batch(&b, parts);
+            assert_eq!(total_rows(&ps), 103, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn split_of_empty_batch_is_single_empty_partition() {
+        let b = batch(0);
+        let ps = split_batch(&b, 4);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].num_rows(), 0);
+    }
+
+    #[test]
+    fn partitions_are_contiguous_and_ordered() {
+        let b = batch(10);
+        let ps = split_batch(&b, 3);
+        let mut seen = Vec::new();
+        for p in &ps {
+            for i in 0..p.num_rows() {
+                seen.push(p.row(i)[0].as_i64().unwrap());
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,228 @@
+//! Schemas describing the layout of tables and record batches.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StorageError;
+
+/// Primitive column types supported by the storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// `true` for Int64/Float64.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// Width in bytes used by the cost model; strings use an assumed average
+    /// width because the model predates seeing the data.
+    pub fn estimated_width(self) -> usize {
+        match self {
+            DataType::Int64 | DataType::Float64 => 8,
+            DataType::Utf8 => 24,
+            DataType::Bool => 1,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "INT64",
+            DataType::Float64 => "FLOAT64",
+            DataType::Utf8 => "UTF8",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of fields describing a batch or table.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle; batches of the same table share one allocation.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Create a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// Empty schema (zero columns).
+    pub fn empty() -> Self {
+        Self { fields: vec![] }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize, StorageError> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// The field with the given name.
+    pub fn field_by_name(&self, name: &str) -> Result<&Field, StorageError> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// The field at the given position.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// `true` if a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// All column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema keeping only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, StorageError> {
+        let mut fields = Vec::with_capacity(names.len());
+        for name in names {
+            fields.push(self.field_by_name(name)?.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+
+    /// A new schema with `field` appended (e.g. the sampler weight column).
+    pub fn with_field(&self, field: Field) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.push(field);
+        Schema::new(fields)
+    }
+
+    /// Estimated row width in bytes, used by the cost model.
+    pub fn estimated_row_width(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|f| f.data_type.estimated_width())
+            .sum::<usize>()
+            .max(1)
+    }
+
+    /// Merge two schemas (used when joining), prefixing duplicated names with
+    /// the side marker so joined outputs stay unambiguous.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in right.fields() {
+            if self.contains(&f.name) {
+                fields.push(Field::new(format!("right.{}", f.name), f.data_type));
+            } else {
+                fields.push(f.clone());
+            }
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fl| format!("{}:{}", fl.name, fl.data_type))
+            .collect();
+        write!(f, "[{}]", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+            Field::new("c", DataType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("zzz").is_err());
+        assert!(s.contains("c"));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.column_names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn projection_preserves_order_of_request() {
+        let s = schema();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.column_names(), vec!["c", "a"]);
+        assert!(s.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn join_disambiguates_duplicates() {
+        let s = schema();
+        let j = s.join(&schema());
+        assert_eq!(j.len(), 6);
+        assert!(j.contains("right.a"));
+    }
+
+    #[test]
+    fn row_width_is_positive() {
+        assert!(schema().estimated_row_width() >= 8 + 8 + 24);
+        assert_eq!(Schema::empty().estimated_row_width(), 1);
+    }
+}

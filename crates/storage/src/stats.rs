@@ -1,0 +1,277 @@
+//! Table and column statistics.
+//!
+//! Taster stores "statistics of the dataset (distribution of values, number
+//! of distinct values), which are calculated on-the-fly during the first
+//! access to any table" (Section III). The planner uses these to pick between
+//! uniform and distinct samplers, to derive sampling probabilities, and to
+//! decide whether a predicate column is skewed enough to require
+//! stratification.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::batch::RecordBatch;
+use crate::column::ColumnData;
+use crate::value::Value;
+
+/// Per-column statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Number of distinct values observed.
+    pub distinct_count: usize,
+    /// Minimum value (None for empty columns).
+    pub min: Option<Value>,
+    /// Maximum value (None for empty columns).
+    pub max: Option<Value>,
+    /// Frequency of the most common value.
+    pub max_frequency: usize,
+    /// Frequency of the least common value.
+    pub min_frequency: usize,
+    /// Mean of the column if numeric.
+    pub mean: Option<f64>,
+    /// Population variance of the column if numeric.
+    pub variance: Option<f64>,
+}
+
+impl ColumnStats {
+    /// Skew ratio between the most and least frequent value.
+    ///
+    /// A ratio near 1 means the value distribution is (close to) uniform; the
+    /// planner treats columns above [`TableStats::SKEW_THRESHOLD`] as skewed
+    /// and adds them to the stratification set when pushing a synopsis below
+    /// a filter on them (Section IV-A).
+    pub fn skew_ratio(&self) -> f64 {
+        if self.min_frequency == 0 {
+            return f64::INFINITY;
+        }
+        self.max_frequency as f64 / self.min_frequency as f64
+    }
+
+    /// Coefficient of variation (stddev / |mean|) for numeric columns, used by
+    /// the planner to size samples for a relative-error target.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        let mean = self.mean?;
+        let var = self.variance?;
+        if mean.abs() < f64::EPSILON {
+            return None;
+        }
+        Some(var.sqrt() / mean.abs())
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Total row count.
+    pub row_count: usize,
+    /// Total size in bytes (approximate, in-memory).
+    pub size_bytes: usize,
+    /// Column statistics keyed by column name.
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Columns whose max/min frequency ratio exceeds this are considered
+    /// skewed for the purposes of stratification decisions.
+    pub const SKEW_THRESHOLD: f64 = 4.0;
+
+    /// Compute statistics over a set of partitions (one streaming pass).
+    pub fn compute(partitions: &[RecordBatch]) -> TableStats {
+        let mut row_count = 0;
+        let mut size_bytes = 0;
+        let mut per_column: HashMap<String, ColumnAccumulator> = HashMap::new();
+
+        for batch in partitions {
+            row_count += batch.num_rows();
+            size_bytes += batch.size_bytes();
+            for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
+                let acc = per_column
+                    .entry(field.name.clone())
+                    .or_insert_with(|| ColumnAccumulator::new(field.name.clone()));
+                acc.update(col);
+            }
+        }
+
+        let columns = per_column
+            .into_iter()
+            .map(|(name, acc)| (name, acc.finish()))
+            .collect();
+        TableStats {
+            row_count,
+            size_bytes,
+            columns,
+        }
+    }
+
+    /// Statistics for one column, if present.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+
+    /// Number of distinct values in a column (0 when unknown).
+    pub fn distinct_count(&self, name: &str) -> usize {
+        self.column(name).map_or(0, |c| c.distinct_count)
+    }
+
+    /// `true` if the column's value distribution is skewed.
+    pub fn is_skewed(&self, name: &str) -> bool {
+        self.column(name)
+            .map_or(false, |c| c.skew_ratio() > Self::SKEW_THRESHOLD)
+    }
+
+    /// Number of distinct combinations across a set of columns, approximated
+    /// by the product of per-column distinct counts capped by the row count.
+    pub fn distinct_combinations(&self, names: &[String]) -> usize {
+        if names.is_empty() {
+            return 1;
+        }
+        let mut product: u128 = 1;
+        for name in names {
+            let d = self.distinct_count(name).max(1) as u128;
+            product = product.saturating_mul(d);
+        }
+        product.min(self.row_count.max(1) as u128) as usize
+    }
+}
+
+struct ColumnAccumulator {
+    name: String,
+    frequencies: HashMap<Value, usize>,
+    min: Option<Value>,
+    max: Option<Value>,
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    numeric: bool,
+}
+
+impl ColumnAccumulator {
+    fn new(name: String) -> Self {
+        Self {
+            name,
+            frequencies: HashMap::new(),
+            min: None,
+            max: None,
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            numeric: true,
+        }
+    }
+
+    fn update(&mut self, col: &ColumnData) {
+        for i in 0..col.len() {
+            let v = col.value(i);
+            match (v.as_f64(), v.is_null()) {
+                (Some(x), _) => {
+                    self.sum += x;
+                    self.sum_sq += x * x;
+                }
+                (None, false) => self.numeric = false,
+                _ => {}
+            }
+            self.count += 1;
+            match &self.min {
+                Some(m) if v >= *m => {}
+                _ => self.min = Some(v.clone()),
+            }
+            match &self.max {
+                Some(m) if v <= *m => {}
+                _ => self.max = Some(v.clone()),
+            }
+            *self.frequencies.entry(v).or_insert(0) += 1;
+        }
+    }
+
+    fn finish(self) -> ColumnStats {
+        let max_frequency = self.frequencies.values().copied().max().unwrap_or(0);
+        let min_frequency = self.frequencies.values().copied().min().unwrap_or(0);
+        let (mean, variance) = if self.numeric && self.count > 0 {
+            let mean = self.sum / self.count as f64;
+            let var = (self.sum_sq / self.count as f64 - mean * mean).max(0.0);
+            (Some(mean), Some(var))
+        } else {
+            (None, None)
+        };
+        ColumnStats {
+            name: self.name,
+            distinct_count: self.frequencies.len(),
+            min: self.min,
+            max: self.max,
+            max_frequency,
+            min_frequency,
+            mean,
+            variance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchBuilder;
+
+    fn sample_batch() -> RecordBatch {
+        BatchBuilder::new()
+            .column("k", vec![1i64, 1, 1, 1, 2, 3])
+            .column("v", vec![10.0f64, 10.0, 10.0, 10.0, 20.0, 30.0])
+            .column("s", vec!["a", "a", "b", "b", "b", "c"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn distinct_counts_and_minmax() {
+        let stats = TableStats::compute(&[sample_batch()]);
+        assert_eq!(stats.row_count, 6);
+        assert_eq!(stats.distinct_count("k"), 3);
+        assert_eq!(stats.distinct_count("s"), 3);
+        let k = stats.column("k").unwrap();
+        assert_eq!(k.min, Some(Value::Int(1)));
+        assert_eq!(k.max, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn skew_detection() {
+        let stats = TableStats::compute(&[sample_batch()]);
+        // k: frequencies 4/1/1 => ratio 4, not strictly greater than threshold
+        assert!(!stats.is_skewed("k"));
+        let skewed = BatchBuilder::new()
+            .column("k", vec![1i64; 50].into_iter().chain(vec![2i64]).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let stats = TableStats::compute(&[skewed]);
+        assert!(stats.is_skewed("k"));
+    }
+
+    #[test]
+    fn numeric_moments() {
+        let stats = TableStats::compute(&[sample_batch()]);
+        let v = stats.column("v").unwrap();
+        assert!((v.mean.unwrap() - 15.0).abs() < 1e-9);
+        assert!(v.variance.unwrap() > 0.0);
+        assert!(v.coefficient_of_variation().unwrap() > 0.0);
+        assert!(stats.column("s").unwrap().mean.is_none());
+    }
+
+    #[test]
+    fn distinct_combinations_is_capped_by_rows() {
+        let stats = TableStats::compute(&[sample_batch()]);
+        let combos = stats.distinct_combinations(&["k".to_string(), "s".to_string()]);
+        assert!(combos <= stats.row_count);
+        assert_eq!(stats.distinct_combinations(&[]), 1);
+    }
+
+    #[test]
+    fn stats_over_multiple_partitions_match_single_batch() {
+        let b = sample_batch();
+        let parts = crate::partition::split_batch(&b, 3);
+        let whole = TableStats::compute(&[b]);
+        let split = TableStats::compute(&parts);
+        assert_eq!(whole.row_count, split.row_count);
+        assert_eq!(whole.distinct_count("k"), split.distinct_count("k"));
+    }
+}

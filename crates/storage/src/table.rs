@@ -1,0 +1,169 @@
+//! Partitioned tables.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use crate::batch::RecordBatch;
+use crate::error::StorageError;
+use crate::partition::split_batch;
+use crate::schema::SchemaRef;
+use crate::stats::TableStats;
+
+/// A named, horizontally partitioned table.
+///
+/// Statistics are computed lazily on first access (mirroring Taster, which
+/// collects dataset statistics "during the first access to any table") and
+/// cached thereafter.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    partitions: Vec<RecordBatch>,
+    stats: RwLock<Option<Arc<TableStats>>>,
+}
+
+impl Table {
+    /// Create a table from a single batch, splitting it into `partitions`
+    /// chunks (the distribution factor `D`).
+    pub fn from_batch(
+        name: impl Into<String>,
+        batch: RecordBatch,
+        partitions: usize,
+    ) -> Result<Self, StorageError> {
+        let schema = batch.schema().clone();
+        let parts = split_batch(&batch, partitions);
+        Ok(Self {
+            name: name.into(),
+            schema,
+            partitions: parts,
+            stats: RwLock::new(None),
+        })
+    }
+
+    /// Create a table directly from pre-built partitions (they must share a
+    /// schema).
+    pub fn from_partitions(
+        name: impl Into<String>,
+        partitions: Vec<RecordBatch>,
+    ) -> Result<Self, StorageError> {
+        let Some(first) = partitions.first() else {
+            return Err(StorageError::Invalid(
+                "a table needs at least one (possibly empty) partition".to_string(),
+            ));
+        };
+        let schema = first.schema().clone();
+        for p in &partitions {
+            if p.schema().as_ref() != schema.as_ref() {
+                return Err(StorageError::Invalid(
+                    "all partitions of a table must share a schema".to_string(),
+                ));
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            schema,
+            partitions,
+            stats: RwLock::new(None),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The table's partitions.
+    pub fn partitions(&self) -> &[RecordBatch] {
+        &self.partitions
+    }
+
+    /// Number of partitions (distribution factor `D`).
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(RecordBatch::num_rows).sum()
+    }
+
+    /// Approximate total size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.partitions.iter().map(RecordBatch::size_bytes).sum()
+    }
+
+    /// All rows concatenated into one batch (used by small dimension tables
+    /// and by tests; fact tables are normally consumed partition-by-partition).
+    pub fn to_batch(&self) -> Result<RecordBatch, StorageError> {
+        RecordBatch::concat(&self.partitions)
+    }
+
+    /// Table statistics, computed on first call and cached.
+    pub fn stats(&self) -> Arc<TableStats> {
+        if let Some(stats) = self.stats.read().as_ref() {
+            return stats.clone();
+        }
+        let mut guard = self.stats.write();
+        if let Some(stats) = guard.as_ref() {
+            return stats.clone();
+        }
+        let stats = Arc::new(TableStats::compute(&self.partitions));
+        *guard = Some(stats.clone());
+        stats
+    }
+
+    /// `true` once statistics have been computed (used by tests asserting the
+    /// lazy, first-access behaviour).
+    pub fn stats_computed(&self) -> bool {
+        self.stats.read().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchBuilder;
+
+    fn batch(n: usize) -> RecordBatch {
+        BatchBuilder::new()
+            .column("id", (0..n as i64).collect::<Vec<_>>())
+            .column("grp", (0..n as i64).map(|i| i % 5).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn from_batch_partitions_rows() {
+        let t = Table::from_batch("t", batch(100), 8).unwrap();
+        assert_eq!(t.num_partitions(), 8);
+        assert_eq!(t.num_rows(), 100);
+        assert_eq!(t.to_batch().unwrap().num_rows(), 100);
+    }
+
+    #[test]
+    fn stats_are_lazy_and_cached() {
+        let t = Table::from_batch("t", batch(50), 4).unwrap();
+        assert!(!t.stats_computed());
+        let s1 = t.stats();
+        assert!(t.stats_computed());
+        let s2 = t.stats();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(s1.distinct_count("grp"), 5);
+    }
+
+    #[test]
+    fn partitions_must_share_schema() {
+        let a = batch(10);
+        let b = BatchBuilder::new()
+            .column("other", vec![1.0f64])
+            .build()
+            .unwrap();
+        assert!(Table::from_partitions("t", vec![a, b]).is_err());
+        assert!(Table::from_partitions("t", vec![]).is_err());
+    }
+}

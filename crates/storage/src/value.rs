@@ -1,0 +1,266 @@
+//! Scalar values exchanged between the storage layer and the query engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::DataType;
+
+/// A single scalar value.
+///
+/// `Value` is the dynamically-typed representation used by expressions,
+/// predicates and group-by keys. Columnar data is stored in
+/// [`crate::column::ColumnData`] and only widened to `Value` at row
+/// granularity when necessary (group keys, literals, final results).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Absent value (only produced by outer joins / empty aggregates).
+    Null,
+}
+
+impl Value {
+    /// The [`DataType`] this value belongs to. `Null` has no type.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Utf8),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// Interpret the value as an `f64` for arithmetic, if possible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an `i64`, if possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total ordering used for sorting and comparisons in predicates.
+    ///
+    /// Values of different types compare by type rank so that sorting mixed
+    /// columns is still deterministic; numeric types compare numerically
+    /// across Int/Float.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            // Cross-type fallback: order by a fixed type rank.
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// Approximate in-memory footprint of the value, used for quota
+    /// accounting of materialized synopses.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => std::mem::size_of::<Value>() + s.len(),
+            _ => std::mem::size_of::<Value>(),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                state.write_u8(2);
+                state.write_i64(*v);
+            }
+            // Hash floats through their ordered bit pattern so that values
+            // that compare equal via total_cmp hash identically, and so that
+            // Int(2) and Float(2.0) (which compare equal) hash the same.
+            Value::Float(v) => {
+                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
+                    state.write_u8(2);
+                    state.write_i64(*v as i64);
+                } else {
+                    state.write_u8(4);
+                    state.write_u64(v.to_bits());
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(u8::from(*b));
+            }
+            Value::Null => state.write_u8(0),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::Int(1),
+            Value::Null,
+            Value::Float(0.5),
+            Value::Bool(true),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert!(matches!(vals[1], Value::Bool(true)));
+    }
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(1.5f64).as_f64(), Some(1.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int64));
+    }
+
+    #[test]
+    fn size_accounts_for_string_payload() {
+        assert!(Value::Str("hello world".into()).size_bytes() > Value::Int(0).size_bytes());
+    }
+}

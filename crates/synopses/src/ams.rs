@@ -1,0 +1,172 @@
+//! AMS (Alon–Matias–Szegedy) sketch for second frequency moment / join size
+//! estimation (paper reference [6]).
+
+use serde::{Deserialize, Serialize};
+use taster_storage::Value;
+
+use crate::hash::{hash_value, sign_hash};
+
+/// An AMS "tug-of-war" sketch: `depth` rows of `width` counters, each update
+/// adds `±count` to one counter per row. The median of the per-row dot
+/// products estimates F2 (self-join size) or the join size between two
+/// relations sketched with identical seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AmsSketch {
+    width: usize,
+    depth: usize,
+    counters: Vec<f64>,
+}
+
+impl AmsSketch {
+    /// Create a sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize) -> Self {
+        let width = width.max(8);
+        let depth = depth.max(1) | 1; // keep odd so the median is well-defined
+        Self {
+            width,
+            depth,
+            counters: vec![0.0; width * depth],
+        }
+    }
+
+    /// Sketch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Add `count` occurrences of `key`.
+    pub fn add(&mut self, key: &Value, count: f64) {
+        for row in 0..self.depth {
+            let col = (hash_value(key, 1000 + row as u64) % self.width as u64) as usize;
+            let sign = sign_hash(key, row as u64) as f64;
+            self.counters[row * self.width + col] += sign * count;
+        }
+    }
+
+    /// Insert one occurrence of `key`.
+    pub fn insert(&mut self, key: &Value) {
+        self.add(key, 1.0);
+    }
+
+    /// Estimate the second frequency moment F2 = Σ f(x)² (the self-join size).
+    pub fn f2_estimate(&self) -> f64 {
+        let mut per_row: Vec<f64> = (0..self.depth)
+            .map(|row| {
+                (0..self.width)
+                    .map(|col| {
+                        let c = self.counters[row * self.width + col];
+                        c * c
+                    })
+                    .sum()
+            })
+            .collect();
+        median(&mut per_row)
+    }
+
+    /// Estimate the join size `Σ_x f_R(x)·f_S(x)` against another sketch of
+    /// identical dimensions.
+    pub fn join_size(&self, other: &AmsSketch) -> Option<f64> {
+        if self.width != other.width || self.depth != other.depth {
+            return None;
+        }
+        let mut per_row: Vec<f64> = (0..self.depth)
+            .map(|row| {
+                (0..self.width)
+                    .map(|col| {
+                        self.counters[row * self.width + col]
+                            * other.counters[row * self.width + col]
+                    })
+                    .sum()
+            })
+            .collect();
+        Some(median(&mut per_row))
+    }
+
+    /// Merge another sketch built with identical dimensions.
+    pub fn merge(&mut self, other: &AmsSketch) -> bool {
+        if self.width != other.width || self.depth != other.depth {
+            return false;
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        true
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() * 8 + 32
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    values[values.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_estimate_tracks_truth() {
+        let mut ams = AmsSketch::new(512, 7);
+        // 100 keys each with frequency 10 => F2 = 100 * 100 = 10_000
+        for _ in 0..10 {
+            for i in 0..100i64 {
+                ams.insert(&Value::Int(i));
+            }
+        }
+        let est = ams.f2_estimate();
+        assert!((5_000.0..20_000.0).contains(&est), "F2 estimate {est}");
+    }
+
+    #[test]
+    fn join_size_estimate() {
+        let mut r = AmsSketch::new(512, 7);
+        let mut s = AmsSketch::new(512, 7);
+        // R: keys 0..100 with frequency 5. S: keys 0..100 with frequency 2.
+        // Join size = 100 * 5 * 2 = 1000.
+        for _ in 0..5 {
+            for i in 0..100i64 {
+                r.insert(&Value::Int(i));
+            }
+        }
+        for _ in 0..2 {
+            for i in 0..100i64 {
+                s.insert(&Value::Int(i));
+            }
+        }
+        let est = r.join_size(&s).unwrap();
+        assert!((400.0..2_500.0).contains(&est), "join size estimate {est}");
+        assert!(r.join_size(&AmsSketch::new(64, 3)).is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = AmsSketch::new(128, 5);
+        let mut b = AmsSketch::new(128, 5);
+        let mut whole = AmsSketch::new(128, 5);
+        for i in 0..1000i64 {
+            let v = Value::Int(i % 20);
+            if i % 2 == 0 {
+                a.insert(&v);
+            } else {
+                b.insert(&v);
+            }
+            whole.insert(&v);
+        }
+        assert!(a.merge(&b));
+        let merged = a.f2_estimate();
+        let direct = whole.f2_estimate();
+        assert!((merged - direct).abs() < 1e-6);
+    }
+}

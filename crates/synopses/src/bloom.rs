@@ -1,0 +1,132 @@
+//! Bloom filter, used for approximating EXISTS sub-queries and membership
+//! checks on join keys (Section II of the paper cites [8], [33]).
+
+use serde::{Deserialize, Serialize};
+use taster_storage::Value;
+
+use crate::hash::hash_value;
+
+/// A standard Bloom filter over [`Value`] keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: usize,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Create a filter with an explicit bit count and hash count.
+    pub fn new(num_bits: usize, num_hashes: usize) -> Self {
+        let num_bits = num_bits.max(64);
+        let num_hashes = num_hashes.clamp(1, 16);
+        Self {
+            bits: vec![0u64; num_bits.div_ceil(64)],
+            num_bits,
+            num_hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Create a filter sized for `expected_items` at the given false positive
+    /// rate, using the standard `m = -n ln p / (ln 2)^2` sizing.
+    pub fn with_capacity(expected_items: usize, false_positive_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = false_positive_rate.clamp(1e-9, 0.5);
+        let m = (-n * p.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil() as usize;
+        let k = ((m as f64 / n) * std::f64::consts::LN_2).round().max(1.0) as usize;
+        Self::new(m, k)
+    }
+
+    /// Number of items inserted so far.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &Value) {
+        for i in 0..self.num_hashes {
+            let bit = (hash_value(key, i as u64) % self.num_bits as u64) as usize;
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// `true` if the key *may* have been inserted; `false` means definitely
+    /// not inserted.
+    pub fn contains(&self, key: &Value) -> bool {
+        (0..self.num_hashes).all(|i| {
+            let bit = (hash_value(key, i as u64) % self.num_bits as u64) as usize;
+            self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Expected false-positive rate given the current fill.
+    pub fn estimated_fpp(&self) -> f64 {
+        let k = self.num_hashes as f64;
+        let n = self.inserted as f64;
+        let m = self.num_bits as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+
+    /// Merge another filter with identical geometry (bitwise OR). Returns
+    /// `false` on mismatch.
+    pub fn merge(&mut self, other: &BloomFilter) -> bool {
+        if self.num_bits != other.num_bits || self.num_hashes != other.num_hashes {
+            return false;
+        }
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        self.inserted += other.inserted;
+        true
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8 + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000i64 {
+            bf.insert(&Value::Int(i));
+        }
+        for i in 0..1000i64 {
+            assert!(bf.contains(&Value::Int(i)));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut bf = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000i64 {
+            bf.insert(&Value::Int(i));
+        }
+        let fp = (1000..11_000i64)
+            .filter(|i| bf.contains(&Value::Int(*i)))
+            .count();
+        assert!(fp < 500, "false positives too high: {fp}/10000");
+        assert!(bf.estimated_fpp() < 0.05);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = BloomFilter::new(4096, 4);
+        let mut b = BloomFilter::new(4096, 4);
+        a.insert(&Value::Str("left".into()));
+        b.insert(&Value::Str("right".into()));
+        assert!(a.merge(&b));
+        assert!(a.contains(&Value::Str("left".into())));
+        assert!(a.contains(&Value::Str("right".into())));
+        assert_eq!(a.inserted(), 2);
+        let c = BloomFilter::new(128, 4);
+        assert!(!a.merge(&c));
+    }
+}

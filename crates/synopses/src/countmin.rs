@@ -1,0 +1,213 @@
+//! Count-min sketch (Cormode & Muthukrishnan) with mergeable counters.
+//!
+//! Taster uses count-min sketches as approximate key→frequency (or key→sum)
+//! stores. The sketch is a `depth × width` array of counters with one
+//! pairwise-independent hash function per row; `estimate` returns the minimum
+//! counter across rows, which overestimates the true value by at most
+//! `ε·N` with probability `1-δ` when `width = ⌈e/ε⌉` and `depth = ⌈ln 1/δ⌉`
+//! (`N` is the L1 norm of all insertions).
+
+use serde::{Deserialize, Serialize};
+use taster_storage::Value;
+
+use crate::hash::hash_value;
+
+/// A count-min sketch over f64 counters (so it can also carry SUM payloads
+/// for the sketch-join operator).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    counters: Vec<f64>,
+    total: f64,
+}
+
+impl CountMinSketch {
+    /// Create a sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize) -> Self {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        Self {
+            width,
+            depth,
+            counters: vec![0.0; width * depth],
+            total: 0.0,
+        }
+    }
+
+    /// Create a sketch sized for additive error `epsilon·N` with failure
+    /// probability `delta`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        let epsilon = epsilon.clamp(1e-6, 1.0);
+        let delta = delta.clamp(1e-9, 0.5);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil() as usize;
+        Self::new(width.max(8), depth.max(2))
+    }
+
+    /// Sketch width (columns per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of hash rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total mass inserted (the L1 norm `N`).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Additive error bound `ε·N` implied by the current width and mass.
+    pub fn error_bound(&self) -> f64 {
+        std::f64::consts::E / self.width as f64 * self.total
+    }
+
+    /// Add `count` occurrences of `key`.
+    pub fn add(&mut self, key: &Value, count: f64) {
+        for row in 0..self.depth {
+            let col = (hash_value(key, row as u64) % self.width as u64) as usize;
+            self.counters[row * self.width + col] += count;
+        }
+        self.total += count;
+    }
+
+    /// Increment `key` by one.
+    pub fn insert(&mut self, key: &Value) {
+        self.add(key, 1.0);
+    }
+
+    /// Point estimate of the total mass added for `key` (never an
+    /// underestimate for non-negative updates).
+    pub fn estimate(&self, key: &Value) -> f64 {
+        let mut min = f64::INFINITY;
+        for row in 0..self.depth {
+            let col = (hash_value(key, row as u64) % self.width as u64) as usize;
+            min = min.min(self.counters[row * self.width + col]);
+        }
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimate the inner product (join size) between this sketch and another
+    /// of identical dimensions: `min_row Σ_col a[row][col]·b[row][col]`.
+    pub fn inner_product(&self, other: &CountMinSketch) -> Option<f64> {
+        if self.width != other.width || self.depth != other.depth {
+            return None;
+        }
+        let mut best = f64::INFINITY;
+        for row in 0..self.depth {
+            let mut dot = 0.0;
+            for col in 0..self.width {
+                dot += self.counters[row * self.width + col]
+                    * other.counters[row * self.width + col];
+            }
+            best = best.min(dot);
+        }
+        Some(if best.is_finite() { best } else { 0.0 })
+    }
+
+    /// Merge another sketch built with identical dimensions (pairwise counter
+    /// addition). Returns `false` (and leaves `self` untouched) on a
+    /// dimension mismatch.
+    pub fn merge(&mut self, other: &CountMinSketch) -> bool {
+        if self.width != other.width || self.depth != other.depth {
+            return false;
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        self.total += other.total;
+        true
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<f64>() + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(64, 4);
+        for i in 0..1000i64 {
+            cm.add(&Value::Int(i % 50), 1.0);
+        }
+        for i in 0..50i64 {
+            assert!(cm.estimate(&Value::Int(i)) >= 20.0);
+        }
+        assert_eq!(cm.total(), 1000.0);
+    }
+
+    #[test]
+    fn error_is_within_bound_for_sized_sketch() {
+        let mut cm = CountMinSketch::with_error(0.01, 0.01);
+        for i in 0..20_000i64 {
+            cm.insert(&Value::Int(i % 200));
+        }
+        let bound = cm.error_bound();
+        for i in 0..200i64 {
+            let est = cm.estimate(&Value::Int(i));
+            assert!(est - 100.0 <= bound + 1e-9, "estimate {est} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_union_build() {
+        let mut a = CountMinSketch::new(128, 4);
+        let mut b = CountMinSketch::new(128, 4);
+        let mut whole = CountMinSketch::new(128, 4);
+        for i in 0..500i64 {
+            a.insert(&Value::Int(i % 37));
+            whole.insert(&Value::Int(i % 37));
+        }
+        for i in 500..1000i64 {
+            b.insert(&Value::Int(i % 37));
+            whole.insert(&Value::Int(i % 37));
+        }
+        assert!(a.merge(&b));
+        for i in 0..37i64 {
+            assert_eq!(a.estimate(&Value::Int(i)), whole.estimate(&Value::Int(i)));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_dimensions() {
+        let mut a = CountMinSketch::new(64, 4);
+        let b = CountMinSketch::new(32, 4);
+        assert!(!a.merge(&b));
+    }
+
+    #[test]
+    fn inner_product_estimates_join_size() {
+        // R has key i repeated i+1 times; S has each key once.
+        let mut r = CountMinSketch::new(256, 5);
+        let mut s = CountMinSketch::new(256, 5);
+        let mut exact = 0.0;
+        for i in 0..50i64 {
+            for _ in 0..=(i as usize) {
+                r.insert(&Value::Int(i));
+            }
+            s.insert(&Value::Int(i));
+            exact += (i + 1) as f64;
+        }
+        let est = r.inner_product(&s).unwrap();
+        assert!(est >= exact);
+        assert!(est <= exact * 1.5, "join size estimate too loose: {est} vs {exact}");
+        assert!(r.inner_product(&CountMinSketch::new(16, 2)).is_none());
+    }
+
+    #[test]
+    fn size_bytes_reflects_dimensions() {
+        assert!(CountMinSketch::new(1024, 5).size_bytes() > CountMinSketch::new(64, 2).size_bytes());
+    }
+}

@@ -1,0 +1,271 @@
+//! Distinct sampler `Γ^D_{p,A,δ}` (Section II of the paper, after Quickr).
+//!
+//! Given stratification attributes `A`, a minimum per-group row count `δ` and
+//! a pass-through probability `p`, the sampler guarantees that at least `δ`
+//! rows pass for every distinct combination of values of `A`; additional rows
+//! of the same combination pass with probability `p`. Rows passed by the
+//! frequency check carry weight 1, rows passed by the probability check carry
+//! weight `1/p`.
+//!
+//! Per-group counts are tracked with a [`SpaceSaving`] heavy-hitters sketch so
+//! the operator is single-pass with bounded state. When partitioned over `D`
+//! operator instances, each instance raises its local minimum from `δ` to
+//! `δ/D + ε` with `ε = δ/D` (the paper's adjustment assuming uniformly
+//! distributed data).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use taster_storage::batch::RecordBatch;
+use taster_storage::{StorageError, Value};
+
+use crate::heavy_hitters::SpaceSaving;
+use crate::sample::WeightedSample;
+
+/// Configuration of a distinct sampler.
+#[derive(Debug, Clone)]
+pub struct DistinctSamplerConfig {
+    /// Stratification attributes `A`.
+    pub stratification: Vec<String>,
+    /// Minimum rows guaranteed per distinct combination of `A`.
+    pub delta: usize,
+    /// Pass-through probability for rows beyond the first `delta`.
+    pub probability: f64,
+    /// Capacity of the per-group frequency sketch.
+    pub sketch_capacity: usize,
+}
+
+impl DistinctSamplerConfig {
+    /// A reasonable default configuration for the given stratification set.
+    pub fn new(stratification: Vec<String>, delta: usize, probability: f64) -> Self {
+        Self {
+            stratification,
+            delta: delta.max(1),
+            probability: probability.clamp(1e-9, 1.0),
+            sketch_capacity: 65_536,
+        }
+    }
+}
+
+/// The distinct (stratified-lite) sampler.
+#[derive(Debug, Clone)]
+pub struct DistinctSampler {
+    config: DistinctSamplerConfig,
+    counts: SpaceSaving,
+    rng: SmallRng,
+    /// Effective per-instance minimum (δ/D + ε when distributed).
+    local_delta: usize,
+}
+
+impl DistinctSampler {
+    /// Create a sampler running as a single instance.
+    pub fn new(config: DistinctSamplerConfig, seed: u64) -> Self {
+        let local_delta = config.delta;
+        Self {
+            counts: SpaceSaving::new(config.sketch_capacity),
+            rng: SmallRng::seed_from_u64(seed),
+            config,
+            local_delta,
+        }
+    }
+
+    /// Create one of `distribution_factor` parallel instances. Each instance
+    /// guarantees `δ/D + ε` rows locally with `ε = δ/D`, per the paper.
+    pub fn new_distributed(
+        config: DistinctSamplerConfig,
+        distribution_factor: usize,
+        seed: u64,
+    ) -> Self {
+        let d = distribution_factor.max(1);
+        let per_instance = config.delta.div_ceil(d);
+        let epsilon = per_instance; // ε = δ/D
+        let local_delta = (per_instance + epsilon).max(1);
+        Self {
+            counts: SpaceSaving::new(config.sketch_capacity),
+            rng: SmallRng::seed_from_u64(seed),
+            config,
+            local_delta,
+        }
+    }
+
+    /// The sampler configuration.
+    pub fn config(&self) -> &DistinctSamplerConfig {
+        &self.config
+    }
+
+    /// The per-instance minimum row count currently in force.
+    pub fn local_delta(&self) -> usize {
+        self.local_delta
+    }
+
+    /// Sample one batch.
+    pub fn sample_batch(&mut self, batch: &RecordBatch) -> Result<WeightedSample, StorageError> {
+        let strat_cols: Vec<&taster_storage::ColumnData> = self
+            .config
+            .stratification
+            .iter()
+            .map(|name| batch.column_by_name(name))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut idx = Vec::new();
+        let mut weights = Vec::new();
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = strat_cols.iter().map(|c| c.value(row)).collect();
+            let key = Value::Str(composite_key(&key));
+            let seen = self.counts.insert(&key);
+            if seen <= self.local_delta as u64 {
+                idx.push(row);
+                weights.push(1.0);
+            } else if self.rng.random::<f64>() < self.config.probability {
+                idx.push(row);
+                weights.push(1.0 / self.config.probability);
+            }
+        }
+        Ok(WeightedSample {
+            rows: batch.take(&idx),
+            weights,
+            stratification: self.config.stratification.clone(),
+            probability: self.config.probability,
+            source_rows: batch.num_rows(),
+        })
+    }
+
+    /// Sample a sequence of partitions with this instance (sequential use of
+    /// a single instance; for the distributed setting create one instance per
+    /// partition via [`DistinctSampler::new_distributed`] and merge samples).
+    pub fn sample_partitions(
+        &mut self,
+        partitions: &[RecordBatch],
+    ) -> Result<WeightedSample, StorageError> {
+        let mut out: Option<WeightedSample> = None;
+        for p in partitions {
+            let s = self.sample_batch(p)?;
+            match &mut out {
+                None => out = Some(s),
+                Some(acc) => acc.merge(&s)?,
+            }
+        }
+        Ok(out.unwrap_or_else(|| {
+            WeightedSample::empty(std::sync::Arc::new(taster_storage::Schema::empty()))
+        }))
+    }
+}
+
+/// Build a composite string key for a set of stratification values. Using a
+/// single string keeps the heavy-hitters sketch key type simple and cheap to
+/// hash.
+pub fn composite_key(values: &[Value]) -> String {
+    let mut s = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push('\u{1f}');
+        }
+        s.push_str(&v.to_string());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use taster_storage::batch::BatchBuilder;
+
+    /// 5 rare groups with 3 rows each, 1 huge group with the rest.
+    fn skewed_batch(n: usize) -> RecordBatch {
+        let mut grp = Vec::with_capacity(n);
+        let mut val = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = if i < 15 { (i / 3) as i64 } else { 99 };
+            grp.push(g);
+            val.push(i as f64);
+        }
+        BatchBuilder::new()
+            .column("grp", grp)
+            .column("v", val)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_group_is_covered() {
+        let b = skewed_batch(50_000);
+        let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 3, 0.01);
+        let mut s = DistinctSampler::new(cfg, 1);
+        let sample = s.sample_batch(&b).unwrap();
+
+        let grp = sample.rows.column_by_name("grp").unwrap();
+        let mut seen: HashMap<i64, usize> = HashMap::new();
+        for i in 0..grp.len() {
+            *seen.entry(grp.value(i).as_i64().unwrap()).or_insert(0) += 1;
+        }
+        for g in 0..5i64 {
+            assert!(
+                seen.get(&g).copied().unwrap_or(0) >= 3,
+                "group {g} lost by the distinct sampler"
+            );
+        }
+        // The dominant group must not be fully retained.
+        assert!(seen[&99] < 5_000, "dominant group barely reduced");
+    }
+
+    #[test]
+    fn weights_reflect_pass_reason() {
+        let b = skewed_batch(10_000);
+        let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 2, 0.1);
+        let mut s = DistinctSampler::new(cfg, 5);
+        let sample = s.sample_batch(&b).unwrap();
+        let mut saw_one = false;
+        let mut saw_scaled = false;
+        for &w in &sample.weights {
+            if (w - 1.0).abs() < 1e-12 {
+                saw_one = true;
+            } else {
+                assert!((w - 10.0).abs() < 1e-9);
+                saw_scaled = true;
+            }
+        }
+        assert!(saw_one && saw_scaled);
+    }
+
+    #[test]
+    fn count_estimate_is_unbiased_enough() {
+        let b = skewed_batch(100_000);
+        let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 5, 0.05);
+        let mut s = DistinctSampler::new(cfg, 11);
+        let sample = s.sample_batch(&b).unwrap();
+        // Sum of weights for the dominant group should approximate its size.
+        let grp = sample.rows.column_by_name("grp").unwrap();
+        let mut est = 0.0;
+        for i in 0..grp.len() {
+            if grp.value(i).as_i64() == Some(99) {
+                est += sample.weights[i];
+            }
+        }
+        let truth = (100_000 - 15) as f64;
+        assert!((est - truth).abs() / truth < 0.15, "estimate {est} vs {truth}");
+    }
+
+    #[test]
+    fn distributed_instances_raise_local_delta() {
+        let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 8, 0.1);
+        let single = DistinctSampler::new(cfg.clone(), 0);
+        let distributed = DistinctSampler::new_distributed(cfg, 4, 0);
+        assert_eq!(single.local_delta(), 8);
+        assert_eq!(distributed.local_delta(), 4); // δ/D + ε = 2 + 2
+    }
+
+    #[test]
+    fn missing_stratification_column_is_an_error() {
+        let b = skewed_batch(10);
+        let cfg = DistinctSamplerConfig::new(vec!["nope".into()], 2, 0.5);
+        let mut s = DistinctSampler::new(cfg, 0);
+        assert!(s.sample_batch(&b).is_err());
+    }
+
+    #[test]
+    fn composite_key_distinguishes_order_and_values() {
+        let a = composite_key(&[Value::Int(1), Value::Int(23)]);
+        let b = composite_key(&[Value::Int(12), Value::Int(3)]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,392 @@
+//! Horvitz–Thompson estimation and single-pass per-group error bounds
+//! (Section IV-B of the paper).
+//!
+//! Aggregates over weighted samples are estimated with the HT estimator:
+//! `SUM ≈ Σ w_i·t_i`, `COUNT ≈ Σ w_i`, `AVG = SUM/COUNT`. Confidence
+//! intervals come from the CLT. A naive HT variance computation is quadratic;
+//! following the paper (and Quickr), the per-group standard error only needs
+//! the tuples sharing that group's stratification/grouping key, so the
+//! estimator below maintains per-group running moments in a hash table and
+//! finishes in a single pass.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use taster_storage::Value;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// COUNT(*) (or COUNT(col) — nulls do not exist in this storage layer).
+    Count,
+    /// SUM(col).
+    Sum,
+    /// AVG(col).
+    Avg,
+    /// MIN(col) — exact over the sample, no scaling (reported without error).
+    Min,
+    /// MAX(col) — exact over the sample, no scaling (reported without error).
+    Max,
+}
+
+/// A finished per-group estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateEstimate {
+    /// Point estimate.
+    pub value: f64,
+    /// Estimated standard error of the point estimate (0 for exact results).
+    pub std_error: f64,
+    /// Number of sample tuples contributing to this group.
+    pub sample_rows: usize,
+}
+
+impl AggregateEstimate {
+    /// Half-width of the CLT confidence interval at the given confidence
+    /// level (e.g. 0.95).
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        z_score(confidence) * self.std_error
+    }
+
+    /// Relative error (CI half-width / |estimate|) at the given confidence.
+    pub fn relative_error(&self, confidence: f64) -> f64 {
+        if self.value.abs() < f64::EPSILON {
+            return if self.std_error == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        self.ci_half_width(confidence) / self.value.abs()
+    }
+}
+
+/// Approximate inverse normal CDF for the usual confidence levels, falling
+/// back to a rational approximation elsewhere (Acklam's method would be
+/// overkill; the piecewise table below covers AQP use).
+pub fn z_score(confidence: f64) -> f64 {
+    let c = confidence.clamp(0.5, 0.9999);
+    // Common levels first to keep results bit-stable in tests.
+    if (c - 0.90).abs() < 1e-9 {
+        return 1.6449;
+    }
+    if (c - 0.95).abs() < 1e-9 {
+        return 1.9600;
+    }
+    if (c - 0.99).abs() < 1e-9 {
+        return 2.5758;
+    }
+    // Beasley-Springer-Moro style approximation of Φ⁻¹((1+c)/2).
+    let p = (1.0 + c) / 2.0;
+    let t = (-2.0 * (1.0 - p).ln()).sqrt();
+    t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
+}
+
+/// One group's running moments.
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    n: usize,
+    sum_w: f64,
+    sum_wt: f64,
+    sum_wt2: f64,
+    sum_w2t2: f64,
+    sum_w2: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Single-pass per-group Horvitz–Thompson estimator.
+///
+/// Feed `(group_key, value, weight)` triples with [`GroupedEstimator::add`],
+/// then call [`GroupedEstimator::finish`] to obtain per-group estimates for
+/// the configured aggregate.
+#[derive(Debug, Clone)]
+pub struct GroupedEstimator {
+    kind: AggregateKind,
+    groups: HashMap<Vec<Value>, GroupState>,
+}
+
+impl GroupedEstimator {
+    /// Create an estimator for one aggregate function.
+    pub fn new(kind: AggregateKind) -> Self {
+        Self {
+            kind,
+            groups: HashMap::new(),
+        }
+    }
+
+    /// The aggregate being estimated.
+    pub fn kind(&self) -> AggregateKind {
+        self.kind
+    }
+
+    /// Number of groups seen so far.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Add one sampled tuple: its group key, the aggregation input value and
+    /// its HT weight.
+    pub fn add(&mut self, group: Vec<Value>, value: f64, weight: f64) {
+        let st = self.groups.entry(group).or_insert_with(|| GroupState {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        });
+        st.n += 1;
+        st.sum_w += weight;
+        st.sum_wt += weight * value;
+        st.sum_wt2 += weight * value * value;
+        st.sum_w2t2 += weight * weight * value * value;
+        st.sum_w2 += weight * weight;
+        st.min = st.min.min(value);
+        st.max = st.max.max(value);
+    }
+
+    /// Merge another estimator over the same aggregate (partitioned
+    /// execution).
+    pub fn merge(&mut self, other: &GroupedEstimator) {
+        debug_assert_eq!(self.kind, other.kind);
+        for (k, o) in &other.groups {
+            let st = self.groups.entry(k.clone()).or_insert_with(|| GroupState {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                ..Default::default()
+            });
+            st.n += o.n;
+            st.sum_w += o.sum_w;
+            st.sum_wt += o.sum_wt;
+            st.sum_wt2 += o.sum_wt2;
+            st.sum_w2t2 += o.sum_w2t2;
+            st.sum_w2 += o.sum_w2;
+            st.min = st.min.min(o.min);
+            st.max = st.max.max(o.max);
+        }
+    }
+
+    /// Produce the per-group estimates.
+    pub fn finish(&self) -> HashMap<Vec<Value>, AggregateEstimate> {
+        self.groups
+            .iter()
+            .map(|(k, st)| (k.clone(), finish_group(self.kind, st)))
+            .collect()
+    }
+}
+
+fn finish_group(kind: AggregateKind, st: &GroupState) -> AggregateEstimate {
+    let n = st.n.max(1) as f64;
+    match kind {
+        AggregateKind::Count => {
+            // HT estimate of the group's population count is Σw; its variance
+            // for Bernoulli(p) sampling is Σ w_i (w_i - 1) ≈ Σw² - Σw.
+            let est = st.sum_w;
+            let var = (st.sum_w2 - st.sum_w).max(0.0);
+            AggregateEstimate {
+                value: est,
+                std_error: var.sqrt(),
+                sample_rows: st.n,
+            }
+        }
+        AggregateKind::Sum => {
+            let est = st.sum_wt;
+            // Var(Σ w t) ≈ Σ w_i(w_i-1) t_i² for independent Bernoulli draws.
+            let var = (st.sum_w2t2 - st.sum_wt2).max(0.0);
+            AggregateEstimate {
+                value: est,
+                std_error: var.sqrt(),
+                sample_rows: st.n,
+            }
+        }
+        AggregateKind::Avg => {
+            let count = st.sum_w.max(f64::EPSILON);
+            let mean = st.sum_wt / count;
+            // Weighted sample variance of the values around the weighted mean.
+            let var_t = (st.sum_wt2 / count - mean * mean).max(0.0);
+            // CLT on the (effective) sample size.
+            let effective_n = if st.sum_w2 > 0.0 {
+                (st.sum_w * st.sum_w / st.sum_w2).max(1.0)
+            } else {
+                n
+            };
+            AggregateEstimate {
+                value: mean,
+                std_error: (var_t / effective_n).sqrt(),
+                sample_rows: st.n,
+            }
+        }
+        AggregateKind::Min => AggregateEstimate {
+            value: st.min,
+            std_error: 0.0,
+            sample_rows: st.n,
+        },
+        AggregateKind::Max => AggregateEstimate {
+            value: st.max,
+            std_error: 0.0,
+            sample_rows: st.n,
+        },
+    }
+}
+
+/// Derive the Bernoulli sampling probability needed so that a group with the
+/// given row count and value coefficient-of-variation meets a relative-error
+/// target at a confidence level, and so that at least `min_rows` rows are
+/// expected per group.
+///
+/// This is the sizing rule the planner uses to configure samplers
+/// (Section IV-A "Choosing and configuring the synopses"): from the CLT,
+/// `relative_error ≈ z · cv / √n`, so `n ≥ (z·cv / ε)²`.
+pub fn required_probability(
+    group_rows: usize,
+    coefficient_of_variation: f64,
+    relative_error: f64,
+    confidence: f64,
+    min_rows: usize,
+) -> f64 {
+    let group_rows = group_rows.max(1) as f64;
+    let cv = coefficient_of_variation.max(0.1);
+    let eps = relative_error.clamp(1e-4, 1.0);
+    let z = z_score(confidence);
+    let needed = ((z * cv / eps).powi(2)).max(min_rows as f64);
+    (needed / group_rows).clamp(1e-6, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn exact_when_weights_are_one() {
+        let mut est = GroupedEstimator::new(AggregateKind::Sum);
+        for i in 0..100 {
+            est.add(vec![Value::Int(i % 2)], i as f64, 1.0);
+        }
+        let out = est.finish();
+        let g0 = &out[&vec![Value::Int(0)]];
+        let truth: f64 = (0..100).filter(|i| i % 2 == 0).map(|i| i as f64).sum();
+        assert!((g0.value - truth).abs() < 1e-9);
+        assert_eq!(g0.std_error, 0.0);
+    }
+
+    #[test]
+    fn ht_sum_is_unbiased_under_bernoulli_sampling() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let p = 0.05;
+        let truth: f64 = (0..200_000).map(|i| (i % 1000) as f64).sum();
+        let mut est = GroupedEstimator::new(AggregateKind::Sum);
+        for i in 0..200_000 {
+            if rng.random::<f64>() < p {
+                est.add(vec![], (i % 1000) as f64, 1.0 / p);
+            }
+        }
+        let out = est.finish();
+        let g = &out[&vec![]];
+        let rel = (g.value - truth).abs() / truth;
+        assert!(rel < 0.05, "relative error {rel}");
+        // Truth should be inside a 4-sigma interval essentially always.
+        assert!((g.value - truth).abs() < 4.0 * g.std_error);
+    }
+
+    #[test]
+    fn avg_estimate_and_error_shrink_with_sample_size() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut small = GroupedEstimator::new(AggregateKind::Avg);
+        let mut large = GroupedEstimator::new(AggregateKind::Avg);
+        for _ in 0..100 {
+            small.add(vec![], rng.random::<f64>() * 100.0, 10.0);
+        }
+        for _ in 0..10_000 {
+            large.add(vec![], rng.random::<f64>() * 100.0, 10.0);
+        }
+        let s = &small.finish()[&vec![]];
+        let l = &large.finish()[&vec![]];
+        assert!(s.std_error > l.std_error);
+        assert!((l.value - 50.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn count_estimate_scales_weights() {
+        let mut est = GroupedEstimator::new(AggregateKind::Count);
+        for _ in 0..500 {
+            est.add(vec![Value::Str("g".into())], 1.0, 20.0);
+        }
+        let out = est.finish();
+        let g = &out[&vec![Value::Str("g".into())]];
+        assert!((g.value - 10_000.0).abs() < 1e-9);
+        assert!(g.std_error > 0.0);
+        assert_eq!(g.sample_rows, 500);
+    }
+
+    #[test]
+    fn min_max_are_taken_from_sample_without_error() {
+        let mut est = GroupedEstimator::new(AggregateKind::Min);
+        est.add(vec![], 5.0, 3.0);
+        est.add(vec![], 2.0, 3.0);
+        let out = est.finish();
+        assert_eq!(out[&vec![]].value, 2.0);
+        assert_eq!(out[&vec![]].std_error, 0.0);
+
+        let mut est = GroupedEstimator::new(AggregateKind::Max);
+        est.add(vec![], 5.0, 3.0);
+        est.add(vec![], 9.0, 3.0);
+        assert_eq!(est.finish()[&vec![]].value, 9.0);
+    }
+
+    #[test]
+    fn merge_equals_single_estimator() {
+        let mut a = GroupedEstimator::new(AggregateKind::Sum);
+        let mut b = GroupedEstimator::new(AggregateKind::Sum);
+        let mut whole = GroupedEstimator::new(AggregateKind::Sum);
+        for i in 0..1000 {
+            let (g, v, w) = (vec![Value::Int(i % 3)], i as f64, 2.0);
+            if i % 2 == 0 {
+                a.add(g.clone(), v, w);
+            } else {
+                b.add(g.clone(), v, w);
+            }
+            whole.add(g, v, w);
+        }
+        a.merge(&b);
+        let am = a.finish();
+        let wm = whole.finish();
+        for (k, v) in &wm {
+            assert!((am[k].value - v.value).abs() < 1e-9);
+            assert!((am[k].std_error - v.std_error).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn z_scores_are_monotone() {
+        assert!(z_score(0.99) > z_score(0.95));
+        assert!(z_score(0.95) > z_score(0.90));
+        assert!((z_score(0.95) - 1.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn required_probability_behaviour() {
+        // Tighter error targets need larger probability.
+        let loose = required_probability(100_000, 1.0, 0.10, 0.95, 30);
+        let tight = required_probability(100_000, 1.0, 0.01, 0.95, 30);
+        assert!(tight > loose);
+        // Small groups need probability ~1.
+        assert!(required_probability(50, 1.0, 0.1, 0.95, 100) >= 1.0 - 1e-9);
+        // Result is always a valid probability.
+        for &(rows, cv, err) in &[(10usize, 0.5, 0.2), (1_000_000, 3.0, 0.01)] {
+            let p = required_probability(rows, cv, err, 0.95, 10);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn relative_error_and_ci() {
+        let e = AggregateEstimate {
+            value: 100.0,
+            std_error: 5.0,
+            sample_rows: 50,
+        };
+        assert!((e.ci_half_width(0.95) - 9.8).abs() < 0.01);
+        assert!((e.relative_error(0.95) - 0.098).abs() < 0.001);
+        let zero = AggregateEstimate {
+            value: 0.0,
+            std_error: 0.0,
+            sample_rows: 0,
+        };
+        assert_eq!(zero.relative_error(0.95), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Flajolet–Martin sketch for distinct-count estimation (paper reference
+//! [17]), with stochastic averaging across multiple buckets.
+
+use serde::{Deserialize, Serialize};
+use taster_storage::Value;
+
+use crate::hash::hash_value;
+
+/// An FM (PCSA-style) distinct-count sketch.
+///
+/// Each of `num_buckets` buckets keeps a bitmap of observed trailing-zero
+/// counts; the distinct count is estimated from the average position of the
+/// lowest unset bit, with the classic 0.77351 correction factor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FmSketch {
+    bitmaps: Vec<u64>,
+    seed: u64,
+}
+
+const PHI: f64 = 0.77351;
+
+impl FmSketch {
+    /// Create a sketch with the given number of buckets (rounded up to a
+    /// power of two, minimum 16).
+    pub fn new(num_buckets: usize) -> Self {
+        let n = num_buckets.max(16).next_power_of_two();
+        Self {
+            bitmaps: vec![0u64; n],
+            seed: 0x5eed_f00d,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &Value) {
+        let h = hash_value(key, self.seed);
+        let bucket = (h as usize) & (self.bitmaps.len() - 1);
+        let rest = h >> self.bitmaps.len().trailing_zeros();
+        let r = rest.trailing_ones().min(63);
+        self.bitmaps[bucket] |= 1u64 << r;
+    }
+
+    /// Estimated number of distinct keys inserted.
+    pub fn estimate(&self) -> f64 {
+        let m = self.bitmaps.len() as f64;
+        let mean_r: f64 = self
+            .bitmaps
+            .iter()
+            .map(|&b| b.trailing_ones() as f64)
+            .sum::<f64>()
+            / m;
+        m / PHI * 2f64.powf(mean_r)
+    }
+
+    /// Merge another sketch of identical geometry (bitwise OR). Returns
+    /// `false` on mismatch.
+    pub fn merge(&mut self, other: &FmSketch) -> bool {
+        if self.bitmaps.len() != other.bitmaps.len() || self.seed != other.seed {
+            return false;
+        }
+        for (a, b) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
+            *a |= b;
+        }
+        true
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bitmaps.len() * 8 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_in_the_right_ballpark() {
+        let mut fm = FmSketch::new(256);
+        let truth = 20_000i64;
+        for i in 0..truth {
+            fm.insert(&Value::Int(i));
+        }
+        let est = fm.estimate();
+        let ratio = est / truth as f64;
+        assert!((0.5..2.0).contains(&ratio), "estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_the_estimate() {
+        let mut fm = FmSketch::new(128);
+        for _ in 0..100 {
+            for i in 0..500i64 {
+                fm.insert(&Value::Int(i));
+            }
+        }
+        let est = fm.estimate();
+        assert!(est < 2_000.0, "duplicates inflated the estimate: {est}");
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = FmSketch::new(128);
+        let mut b = FmSketch::new(128);
+        let mut whole = FmSketch::new(128);
+        for i in 0..5_000i64 {
+            a.insert(&Value::Int(i));
+            whole.insert(&Value::Int(i));
+        }
+        for i in 5_000..10_000i64 {
+            b.insert(&Value::Int(i));
+            whole.insert(&Value::Int(i));
+        }
+        assert!(a.merge(&b));
+        assert_eq!(a.estimate(), whole.estimate());
+        assert!(!a.merge(&FmSketch::new(64)));
+    }
+}

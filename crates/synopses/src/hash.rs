@@ -1,0 +1,128 @@
+//! Seeded hash functions for the sketches.
+//!
+//! The count-min, Bloom, FM and AMS sketches all need families of pairwise
+//! independent hash functions that map arbitrary keys to machine words. We
+//! use a seeded 64-bit FNV-1a pass over the key bytes followed by a
+//! SplitMix64 finalizer; different `seed`s give effectively independent
+//! functions, and the construction is deterministic so sketches built on
+//! different partitions (or different machines) are mergeable.
+
+use taster_storage::Value;
+
+/// Hash `key` under the hash function identified by `seed`.
+pub fn hash_value(key: &Value, seed: u64) -> u64 {
+    let mut h = fnv1a_seeded(seed);
+    match key {
+        Value::Int(v) => {
+            h = fnv1a_step(h, &v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            // Hash integral floats like ints so Int(2) and Float(2.0) collide
+            // intentionally (they compare equal in the storage layer).
+            if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
+                h = fnv1a_step(h, &(*v as i64).to_le_bytes());
+            } else {
+                h = fnv1a_step(h, &v.to_bits().to_le_bytes());
+            }
+        }
+        Value::Str(s) => {
+            h = fnv1a_step(h, s.as_bytes());
+        }
+        Value::Bool(b) => {
+            h = fnv1a_step(h, &[u8::from(*b)]);
+        }
+        Value::Null => {
+            h = fnv1a_step(h, &[0xff]);
+        }
+    }
+    splitmix64(h)
+}
+
+/// Hash a composite key (multiple values) under `seed`.
+pub fn hash_values(keys: &[Value], seed: u64) -> u64 {
+    let mut h = fnv1a_seeded(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for key in keys {
+        h = fnv1a_step(h, &hash_value(key, seed).to_le_bytes());
+    }
+    splitmix64(h)
+}
+
+/// A {+1, -1} hash used by the AMS sketch, derived from the low bit of an
+/// independent hash function.
+pub fn sign_hash(key: &Value, seed: u64) -> i64 {
+    if hash_value(key, seed ^ 0xabcd_ef12_3456_7890) & 1 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+fn fnv1a_seeded(seed: u64) -> u64 {
+    0xcbf2_9ce4_8422_2325 ^ splitmix64(seed)
+}
+
+fn fnv1a_step(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer; good avalanche behaviour for cheap hashes.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let v = Value::Str("hello".into());
+        assert_eq!(hash_value(&v, 1), hash_value(&v, 1));
+        assert_ne!(hash_value(&v, 1), hash_value(&v, 2));
+    }
+
+    #[test]
+    fn int_and_integral_float_collide_by_design() {
+        assert_eq!(hash_value(&Value::Int(42), 7), hash_value(&Value::Float(42.0), 7));
+        assert_ne!(hash_value(&Value::Float(42.5), 7), hash_value(&Value::Int(42), 7));
+    }
+
+    #[test]
+    fn composite_keys_depend_on_order() {
+        let a = [Value::Int(1), Value::Int(2)];
+        let b = [Value::Int(2), Value::Int(1)];
+        assert_ne!(hash_values(&a, 3), hash_values(&b, 3));
+    }
+
+    #[test]
+    fn sign_hash_is_plus_minus_one_and_roughly_balanced() {
+        let mut sum = 0i64;
+        for i in 0..10_000 {
+            let s = sign_hash(&Value::Int(i), 11);
+            assert!(s == 1 || s == -1);
+            sum += s;
+        }
+        assert!(sum.abs() < 600, "sign hash is badly biased: {sum}");
+    }
+
+    #[test]
+    fn hash_spreads_over_buckets() {
+        let buckets = 64usize;
+        let mut counts = vec![0usize; buckets];
+        for i in 0..6400 {
+            let h = hash_value(&Value::Int(i), 5) as usize % buckets;
+            counts[h] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 3 * min.max(1), "poor spread: min={min} max={max}");
+    }
+}

@@ -1,0 +1,204 @@
+//! SpaceSaving heavy-hitters sketch.
+//!
+//! The distinct sampler needs to know, in a single pass and with small state,
+//! how many rows it has already passed for each stratification key. The paper
+//! notes that "distinct sampling is implemented efficiently by using a
+//! heavy-hitters sketch that requires space logarithmic to the number of
+//! rows" ([12]). We use the SpaceSaving algorithm: a fixed number of monitored
+//! keys with counts and over-estimation errors; unmonitored keys evict the
+//! minimum-count entry and inherit its count as error.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use taster_storage::Value;
+
+/// A SpaceSaving sketch tracking approximate frequencies of the most frequent
+/// keys with bounded memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counts: HashMap<Value, Counter>,
+    total: u64,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Counter {
+    count: u64,
+    error: u64,
+}
+
+impl SpaceSaving {
+    /// Create a sketch that monitors at most `capacity` keys. Frequencies are
+    /// overestimated by at most `total_insertions / capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Number of insertions so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum overestimation of any reported frequency.
+    pub fn error_bound(&self) -> u64 {
+        self.total / self.capacity as u64
+    }
+
+    /// Record one occurrence of `key` and return the (approximate) number of
+    /// occurrences seen so far including this one.
+    pub fn insert(&mut self, key: &Value) -> u64 {
+        self.total += 1;
+        if let Some(c) = self.counts.get_mut(key) {
+            c.count += 1;
+            return c.count;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts.insert(key.clone(), Counter { count: 1, error: 0 });
+            return 1;
+        }
+        // Evict the minimum-count entry; the newcomer inherits its count as
+        // potential error (classic SpaceSaving replacement).
+        let (evict_key, min) = self
+            .counts
+            .iter()
+            .min_by_key(|(_, c)| c.count)
+            .map(|(k, c)| (k.clone(), *c))
+            .expect("non-empty by construction");
+        self.counts.remove(&evict_key);
+        let new_count = min.count + 1;
+        self.counts.insert(
+            key.clone(),
+            Counter {
+                count: new_count,
+                error: min.count,
+            },
+        );
+        new_count
+    }
+
+    /// Approximate frequency of `key` (0 if not currently monitored).
+    pub fn estimate(&self, key: &Value) -> u64 {
+        self.counts.get(key).map_or(0, |c| c.count)
+    }
+
+    /// Guaranteed lower bound on the frequency of `key`.
+    pub fn lower_bound(&self, key: &Value) -> u64 {
+        self.counts.get(key).map_or(0, |c| c.count - c.error)
+    }
+
+    /// Keys whose guaranteed frequency exceeds `threshold`.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(Value, u64)> {
+        let mut out: Vec<(Value, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, c)| c.count - c.error >= threshold)
+            .map(|(k, c)| (k.clone(), c.count))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Merge another sketch (approximate: counts for shared keys are added,
+    /// then the result is trimmed back to capacity).
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        for (k, c) in &other.counts {
+            let entry = self.counts.entry(k.clone()).or_insert(Counter {
+                count: 0,
+                error: 0,
+            });
+            entry.count += c.count;
+            entry.error += c.error;
+        }
+        self.total += other.total;
+        if self.counts.len() > self.capacity {
+            let mut entries: Vec<(Value, Counter)> =
+                self.counts.drain().collect();
+            entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+            entries.truncate(self.capacity);
+            self.counts = entries.into_iter().collect();
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.counts
+            .iter()
+            .map(|(k, _)| k.size_bytes() + 16)
+            .sum::<usize>()
+            + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(100);
+        for i in 0..50i64 {
+            for _ in 0..=i {
+                ss.insert(&Value::Int(i));
+            }
+        }
+        for i in 0..50i64 {
+            assert_eq!(ss.estimate(&Value::Int(i)), (i + 1) as u64);
+            assert_eq!(ss.lower_bound(&Value::Int(i)), (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction_pressure() {
+        let mut ss = SpaceSaving::new(20);
+        // One very frequent key amid a long tail of unique keys.
+        for i in 0..5000i64 {
+            ss.insert(&Value::Int(i));
+            if i % 2 == 0 {
+                ss.insert(&Value::Str("hot".into()));
+            }
+        }
+        let est = ss.estimate(&Value::Str("hot".into()));
+        assert!(est >= 2500, "hot key lost: {est}");
+        let hh = ss.heavy_hitters(1000);
+        assert!(hh.iter().any(|(k, _)| k == &Value::Str("hot".into())));
+    }
+
+    #[test]
+    fn insert_returns_running_count() {
+        let mut ss = SpaceSaving::new(4);
+        assert_eq!(ss.insert(&Value::Int(1)), 1);
+        assert_eq!(ss.insert(&Value::Int(1)), 2);
+        assert_eq!(ss.insert(&Value::Int(1)), 3);
+    }
+
+    #[test]
+    fn merge_combines_totals() {
+        let mut a = SpaceSaving::new(10);
+        let mut b = SpaceSaving::new(10);
+        for _ in 0..30 {
+            a.insert(&Value::Int(1));
+            b.insert(&Value::Int(1));
+            b.insert(&Value::Int(2));
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 90);
+        assert_eq!(a.estimate(&Value::Int(1)), 60);
+        assert_eq!(a.estimate(&Value::Int(2)), 30);
+    }
+
+    #[test]
+    fn error_bound_shrinks_with_capacity() {
+        let mut small = SpaceSaving::new(10);
+        let mut big = SpaceSaving::new(1000);
+        for i in 0..10_000i64 {
+            small.insert(&Value::Int(i));
+            big.insert(&Value::Int(i));
+        }
+        assert!(big.error_bound() < small.error_bound());
+    }
+}

@@ -1,0 +1,60 @@
+//! Synopses (samples and sketches) and their error estimators.
+//!
+//! This crate implements every approximation primitive Taster relies on
+//! (Section II of the paper), plus the offline sampling strategies used by
+//! the comparators:
+//!
+//! * [`uniform::UniformSampler`] — the pipelineable, partitionable uniform
+//!   sampler `Γ^U_p`,
+//! * [`distinct::DistinctSampler`] — the distinct sampler `Γ^D_{p,A,δ}` that
+//!   passes at least `δ` rows per distinct combination of the stratification
+//!   attributes, backed by a heavy-hitters sketch,
+//! * [`stratified::StratifiedSampler`] — classic blocking stratified sampling
+//!   (used by the BlinkDB-style offline baseline),
+//! * [`variational::VariationalSample`] — VerdictDB-style scramble +
+//!   variational subsampling, used for the user-hints experiment (Fig. 7),
+//! * [`countmin::CountMinSketch`] and [`sketch_join::SketchJoin`] — the
+//!   count-min sketch and the sketch-join operator built on it,
+//! * [`bloom::BloomFilter`], [`fm::FmSketch`], [`ams::AmsSketch`] — the
+//!   auxiliary sketches the paper cites for EXISTS, distinct counts and join
+//!   size estimation,
+//! * [`heavy_hitters::SpaceSaving`] — the heavy-hitters sketch that makes the
+//!   distinct sampler single-pass with logarithmic state,
+//! * [`estimator`] — Horvitz–Thompson estimation with single-pass per-group
+//!   CLT confidence intervals (Section IV-B).
+//!
+//! Every synopsis is *partitionable* (it exposes `merge`) and *pipelineable*
+//! (single pass over its input), the two requirements the paper states as
+//! imperative for high performance.
+
+pub mod ams;
+pub mod bloom;
+pub mod countmin;
+pub mod distinct;
+pub mod estimator;
+pub mod fm;
+pub mod hash;
+pub mod heavy_hitters;
+pub mod sample;
+pub mod sketch_join;
+pub mod stratified;
+pub mod uniform;
+pub mod variational;
+
+pub use ams::AmsSketch;
+pub use bloom::BloomFilter;
+pub use countmin::CountMinSketch;
+pub use distinct::DistinctSampler;
+pub use estimator::{AggregateEstimate, GroupedEstimator};
+pub use fm::FmSketch;
+pub use heavy_hitters::SpaceSaving;
+pub use sample::WeightedSample;
+pub use sketch_join::SketchJoin;
+pub use stratified::StratifiedSampler;
+pub use uniform::UniformSampler;
+pub use variational::VariationalSample;
+
+/// Name of the weight column samplers append to their output, holding the
+/// Horvitz–Thompson weight 1/p (or 1 for rows kept by the frequency check of
+/// the distinct sampler).
+pub const WEIGHT_COLUMN: &str = "__weight";

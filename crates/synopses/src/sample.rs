@@ -1,0 +1,137 @@
+//! Weighted samples: the materialized output of any sampler.
+
+use taster_storage::batch::RecordBatch;
+use taster_storage::schema::{DataType, Field};
+use taster_storage::{ColumnData, StorageError};
+
+use crate::WEIGHT_COLUMN;
+
+/// A weighted sample of some relation (base table or subplan result).
+///
+/// Every retained row carries a Horvitz–Thompson weight: aggregates computed
+/// over the sample multiply each contribution by its weight to obtain an
+/// unbiased estimate of the aggregate over the full relation.
+#[derive(Debug, Clone)]
+pub struct WeightedSample {
+    /// The sampled rows (original schema, without the weight column).
+    pub rows: RecordBatch,
+    /// Per-row HT weights, aligned with `rows`.
+    pub weights: Vec<f64>,
+    /// Stratification attributes the sample guarantees coverage for (empty
+    /// for plain uniform samples).
+    pub stratification: Vec<String>,
+    /// The pass-through probability used for the probabilistic part of the
+    /// sampler.
+    pub probability: f64,
+    /// Number of rows in the relation the sample was drawn from.
+    pub source_rows: usize,
+}
+
+impl WeightedSample {
+    /// An empty sample over the given schema.
+    pub fn empty(schema: taster_storage::schema::SchemaRef) -> Self {
+        Self {
+            rows: RecordBatch::empty(schema),
+            weights: Vec::new(),
+            stratification: Vec::new(),
+            probability: 1.0,
+            source_rows: 0,
+        }
+    }
+
+    /// Number of retained rows.
+    pub fn len(&self) -> usize {
+        self.rows.num_rows()
+    }
+
+    /// `true` if the sample holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Effective sampling fraction (retained / source rows).
+    pub fn fraction(&self) -> f64 {
+        if self.source_rows == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.source_rows as f64
+        }
+    }
+
+    /// The sample as a batch with the `__weight` column appended, ready to be
+    /// fed into a weight-aware aggregation operator.
+    pub fn to_weighted_batch(&self) -> Result<RecordBatch, StorageError> {
+        self.rows.with_column(
+            Field::new(WEIGHT_COLUMN, DataType::Float64),
+            ColumnData::Float64(self.weights.clone()),
+        )
+    }
+
+    /// Merge another sample produced by a sampler instance with the same
+    /// configuration over a different partition of the same relation.
+    pub fn merge(&mut self, other: &WeightedSample) -> Result<(), StorageError> {
+        self.rows.append(&other.rows)?;
+        self.weights.extend_from_slice(&other.weights);
+        self.source_rows += other.source_rows;
+        Ok(())
+    }
+
+    /// Approximate in-memory footprint in bytes (rows + weights).
+    pub fn size_bytes(&self) -> usize {
+        self.rows.size_bytes() + self.weights.len() * 8
+    }
+
+    /// Sum of weights — an unbiased estimate of the source row count, useful
+    /// as a sanity check of sampler correctness.
+    pub fn estimated_source_rows(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_storage::batch::BatchBuilder;
+
+    fn sample() -> WeightedSample {
+        let rows = BatchBuilder::new()
+            .column("id", vec![1i64, 2, 3])
+            .column("v", vec![10.0f64, 20.0, 30.0])
+            .build()
+            .unwrap();
+        WeightedSample {
+            rows,
+            weights: vec![2.0, 2.0, 2.0],
+            stratification: vec![],
+            probability: 0.5,
+            source_rows: 6,
+        }
+    }
+
+    #[test]
+    fn weighted_batch_has_weight_column() {
+        let s = sample();
+        let b = s.to_weighted_batch().unwrap();
+        assert!(b.schema().contains(WEIGHT_COLUMN));
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(s.fraction(), 0.5);
+    }
+
+    #[test]
+    fn merge_concatenates_and_tracks_source() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.source_rows, 12);
+        assert!((a.estimated_source_rows() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_behaves() {
+        let s = WeightedSample::empty(sample().rows.schema().clone());
+        assert!(s.is_empty());
+        assert_eq!(s.fraction(), 0.0);
+        assert_eq!(s.estimated_source_rows(), 0.0);
+    }
+}

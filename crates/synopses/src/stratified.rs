@@ -1,0 +1,195 @@
+//! Blocking stratified sampler used by the BlinkDB-style offline baseline.
+//!
+//! Unlike the online distinct sampler, classic stratified sampling caps every
+//! group at `cap` rows (keeping all rows of smaller groups) and therefore
+//! needs to know the group of every row before deciding — the paper calls it
+//! a blocking operator requiring two passes, which is exactly why Taster does
+//! not use it online. The offline baselines can afford it.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+use taster_storage::batch::RecordBatch;
+use taster_storage::{StorageError, Value};
+
+use crate::distinct::composite_key;
+use crate::sample::WeightedSample;
+
+/// An offline stratified sampler: keeps at most `cap` rows per distinct
+/// combination of the stratification columns, chosen uniformly at random via
+/// per-group reservoir sampling.
+#[derive(Debug, Clone)]
+pub struct StratifiedSampler {
+    stratification: Vec<String>,
+    cap: usize,
+    rng: SmallRng,
+}
+
+impl StratifiedSampler {
+    /// Create a sampler keeping at most `cap` rows per group.
+    pub fn new(stratification: Vec<String>, cap: usize, seed: u64) -> Self {
+        Self {
+            stratification,
+            cap: cap.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The per-group row cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The stratification attributes.
+    pub fn stratification(&self) -> &[String] {
+        &self.stratification
+    }
+
+    /// Build the stratified sample over a set of partitions (conceptually the
+    /// offline preparation pass of BlinkDB).
+    pub fn sample_partitions(
+        &mut self,
+        partitions: &[RecordBatch],
+    ) -> Result<WeightedSample, StorageError> {
+        // Pass 1: per-group reservoirs of *global* row positions.
+        #[derive(Default)]
+        struct Reservoir {
+            seen: usize,
+            rows: Vec<(usize, usize)>, // (partition, row)
+        }
+        let mut reservoirs: HashMap<String, Reservoir> = HashMap::new();
+        let mut source_rows = 0usize;
+
+        for (pi, batch) in partitions.iter().enumerate() {
+            source_rows += batch.num_rows();
+            let strat_cols: Vec<&taster_storage::ColumnData> = self
+                .stratification
+                .iter()
+                .map(|name| batch.column_by_name(name))
+                .collect::<Result<Vec<_>, _>>()?;
+            for row in 0..batch.num_rows() {
+                let key_vals: Vec<Value> = strat_cols.iter().map(|c| c.value(row)).collect();
+                let key = composite_key(&key_vals);
+                let res = reservoirs.entry(key).or_default();
+                res.seen += 1;
+                if res.rows.len() < self.cap {
+                    res.rows.push((pi, row));
+                } else {
+                    let j = self.rng.random_range(0..res.seen);
+                    if j < self.cap {
+                        res.rows[j] = (pi, row);
+                    }
+                }
+            }
+        }
+
+        // Pass 2: gather retained rows, weighting each by group_size / kept.
+        let mut per_partition: Vec<Vec<(usize, f64)>> = vec![Vec::new(); partitions.len()];
+        for res in reservoirs.values() {
+            let kept = res.rows.len();
+            let w = res.seen as f64 / kept as f64;
+            for &(pi, row) in &res.rows {
+                per_partition[pi].push((row, w));
+            }
+        }
+
+        let mut out: Option<WeightedSample> = None;
+        for (pi, mut rows) in per_partition.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            rows.sort_by_key(|&(r, _)| r);
+            let idx: Vec<usize> = rows.iter().map(|&(r, _)| r).collect();
+            let weights: Vec<f64> = rows.iter().map(|&(_, w)| w).collect();
+            let s = WeightedSample {
+                rows: partitions[pi].take(&idx),
+                weights,
+                stratification: self.stratification.clone(),
+                probability: 0.0,
+                source_rows: 0,
+            };
+            match &mut out {
+                None => out = Some(s),
+                Some(acc) => acc.merge(&s)?,
+            }
+        }
+        let mut sample = out.unwrap_or_else(|| {
+            WeightedSample::empty(
+                partitions
+                    .first()
+                    .map(|b| b.schema().clone())
+                    .unwrap_or_else(|| std::sync::Arc::new(taster_storage::Schema::empty())),
+            )
+        });
+        sample.source_rows = source_rows;
+        sample.stratification = self.stratification.clone();
+        Ok(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use taster_storage::batch::BatchBuilder;
+    use taster_storage::partition::split_batch;
+
+    fn batch(n: usize, groups: i64) -> RecordBatch {
+        BatchBuilder::new()
+            .column("g", (0..n as i64).map(|i| i % groups).collect::<Vec<_>>())
+            .column("v", (0..n).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn caps_every_group_and_keeps_small_groups_whole() {
+        let b = batch(10_000, 10);
+        let parts = split_batch(&b, 4);
+        let mut s = StratifiedSampler::new(vec!["g".into()], 50, 3);
+        let sample = s.sample_partitions(&parts).unwrap();
+
+        let g = sample.rows.column_by_name("g").unwrap();
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for i in 0..g.len() {
+            *counts.entry(g.value(i).as_i64().unwrap()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 10);
+        for (_, c) in counts {
+            assert_eq!(c, 50);
+        }
+        assert_eq!(sample.source_rows, 10_000);
+    }
+
+    #[test]
+    fn weights_reconstruct_group_sizes() {
+        let b = batch(5_000, 5);
+        let mut s = StratifiedSampler::new(vec!["g".into()], 20, 7);
+        let sample = s.sample_partitions(&[b]).unwrap();
+        let g = sample.rows.column_by_name("g").unwrap();
+        let mut est: HashMap<i64, f64> = HashMap::new();
+        for i in 0..g.len() {
+            *est.entry(g.value(i).as_i64().unwrap()).or_insert(0.0) += sample.weights[i];
+        }
+        for (_, e) in est {
+            assert!((e - 1_000.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn small_groups_are_not_scaled() {
+        let b = batch(30, 10); // 3 rows per group, below the cap
+        let mut s = StratifiedSampler::new(vec!["g".into()], 10, 1);
+        let sample = s.sample_partitions(&[b]).unwrap();
+        assert_eq!(sample.len(), 30);
+        assert!(sample.weights.iter().all(|&w| (w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let b = batch(10, 2);
+        let mut s = StratifiedSampler::new(vec!["missing".into()], 5, 1);
+        assert!(s.sample_partitions(&[b]).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Uniform sampler `Γ^U_p` (Section II of the paper).
+//!
+//! Every row passes independently with probability `p`; retained rows carry
+//! weight `1/p`. The sampler is pipelineable (single pass) and partitionable
+//! (per-partition samples merge by concatenation).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use taster_storage::batch::RecordBatch;
+
+use crate::sample::WeightedSample;
+
+/// A Bernoulli (uniform, without replacement) sampler.
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    probability: f64,
+    rng: SmallRng,
+}
+
+impl UniformSampler {
+    /// Create a sampler with pass-through probability `p` (clamped to
+    /// `(0, 1]`) and a deterministic seed.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        Self {
+            probability: probability.clamp(1e-9, 1.0),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured pass-through probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Sample one batch, returning retained row indices and their weights.
+    pub fn sample_indices(&mut self, num_rows: usize) -> (Vec<usize>, Vec<f64>) {
+        let mut idx = Vec::with_capacity((num_rows as f64 * self.probability) as usize + 1);
+        for i in 0..num_rows {
+            if self.rng.random::<f64>() < self.probability {
+                idx.push(i);
+            }
+        }
+        let w = 1.0 / self.probability;
+        let weights = vec![w; idx.len()];
+        (idx, weights)
+    }
+
+    /// Sample a whole batch into a [`WeightedSample`].
+    pub fn sample_batch(&mut self, batch: &RecordBatch) -> WeightedSample {
+        let (idx, weights) = self.sample_indices(batch.num_rows());
+        WeightedSample {
+            rows: batch.take(&idx),
+            weights,
+            stratification: Vec::new(),
+            probability: self.probability,
+            source_rows: batch.num_rows(),
+        }
+    }
+
+    /// Sample a sequence of partitions, merging the per-partition samples
+    /// (this is exactly how the operator is distributed across workers).
+    pub fn sample_partitions(&mut self, partitions: &[RecordBatch]) -> WeightedSample {
+        let mut out: Option<WeightedSample> = None;
+        for p in partitions {
+            let s = self.sample_batch(p);
+            match &mut out {
+                None => out = Some(s),
+                Some(acc) => acc.merge(&s).expect("partitions share a schema"),
+            }
+        }
+        out.unwrap_or_else(|| {
+            WeightedSample::empty(std::sync::Arc::new(taster_storage::Schema::empty()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_storage::batch::BatchBuilder;
+    use taster_storage::partition::split_batch;
+
+    fn batch(n: usize) -> RecordBatch {
+        BatchBuilder::new()
+            .column("id", (0..n as i64).collect::<Vec<_>>())
+            .column("v", (0..n).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sample_size_tracks_probability() {
+        let b = batch(20_000);
+        let mut s = UniformSampler::new(0.1, 42);
+        let sample = s.sample_batch(&b);
+        let n = sample.len() as f64;
+        assert!((1_500.0..2_500.0).contains(&n), "sample size {n}");
+        assert!(sample.weights.iter().all(|&w| (w - 10.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn weight_sum_estimates_source_rows() {
+        let b = batch(50_000);
+        let mut s = UniformSampler::new(0.05, 7);
+        let sample = s.sample_batch(&b);
+        let est = sample.estimated_source_rows();
+        assert!((est - 50_000.0).abs() / 50_000.0 < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn partitioned_sampling_covers_all_partitions() {
+        let b = batch(10_000);
+        let parts = split_batch(&b, 8);
+        let mut s = UniformSampler::new(0.2, 3);
+        let sample = s.sample_partitions(&parts);
+        assert_eq!(sample.source_rows, 10_000);
+        assert!(sample.len() > 1_000);
+    }
+
+    #[test]
+    fn p_one_keeps_everything() {
+        let b = batch(100);
+        let mut s = UniformSampler::new(1.0, 0);
+        let sample = s.sample_batch(&b);
+        assert_eq!(sample.len(), 100);
+        assert!(sample.weights.iter().all(|&w| (w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let b = batch(1_000);
+        let a = UniformSampler::new(0.3, 99).sample_batch(&b);
+        let c = UniformSampler::new(0.3, 99).sample_batch(&b);
+        assert_eq!(a.len(), c.len());
+        assert_eq!(a.rows, c.rows);
+    }
+}

@@ -1,0 +1,85 @@
+//! Taster configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime configuration of a [`crate::TasterEngine`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TasterConfig {
+    /// Space quota of the persistent synopsis warehouse, in bytes. This is
+    /// the `maxSpace` of the tuner's optimization problem and can be changed
+    /// at runtime (storage elasticity, Section V).
+    pub warehouse_quota_bytes: usize,
+    /// Size of the in-memory synopsis buffer, in bytes.
+    pub buffer_quota_bytes: usize,
+    /// Initial sliding-window length `w` used by the tuner to predict future
+    /// queries (the paper starts at 10 and adapts).
+    pub initial_window: usize,
+    /// Adaptation factor `α` for the window length (`w± = (1 ± α)·w`).
+    pub window_alpha: f64,
+    /// Whether the window length adapts at all (disabled for the fixed-`w`
+    /// configurations of Fig. 8).
+    pub adaptive_window: bool,
+    /// Default relative-error target when a query carries no ERROR clause.
+    pub default_relative_error: f64,
+    /// Default confidence level when a query carries no ERROR clause.
+    pub default_confidence: f64,
+    /// Minimum rows the distinct sampler guarantees per group (δ).
+    pub min_rows_per_group: usize,
+    /// Probability threshold below which uniform sampling is considered
+    /// worthwhile (the paper checks `p ≤ 0.1`).
+    pub uniform_probability_threshold: f64,
+    /// Seed for all randomized components (samplers), kept explicit for
+    /// reproducible experiments.
+    pub seed: u64,
+}
+
+impl Default for TasterConfig {
+    fn default() -> Self {
+        Self {
+            warehouse_quota_bytes: 64 << 20,
+            buffer_quota_bytes: 16 << 20,
+            initial_window: 10,
+            window_alpha: 0.25,
+            adaptive_window: true,
+            default_relative_error: 0.10,
+            default_confidence: 0.95,
+            min_rows_per_group: 100,
+            uniform_probability_threshold: 0.1,
+            seed: 0x7a57e1,
+        }
+    }
+}
+
+impl TasterConfig {
+    /// A configuration whose warehouse quota is a fraction of the dataset
+    /// size (the paper expresses budgets as 20%/50%/100% of the data).
+    pub fn with_budget_fraction(dataset_bytes: usize, fraction: f64) -> Self {
+        Self {
+            warehouse_quota_bytes: (dataset_bytes as f64 * fraction) as usize,
+            buffer_quota_bytes: ((dataset_bytes as f64 * fraction) as usize / 4).max(1 << 20),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TasterConfig::default();
+        assert!(c.warehouse_quota_bytes > c.buffer_quota_bytes);
+        assert_eq!(c.initial_window, 10);
+        assert!((c.window_alpha - 0.25).abs() < 1e-9);
+        assert!(c.adaptive_window);
+    }
+
+    #[test]
+    fn budget_fraction_scales_quota() {
+        let c = TasterConfig::with_budget_fraction(1_000_000, 0.5);
+        assert_eq!(c.warehouse_quota_bytes, 500_000);
+        let full = TasterConfig::with_budget_fraction(1_000_000, 1.0);
+        assert!(full.warehouse_quota_bytes > c.warehouse_quota_bytes);
+    }
+}

@@ -1,0 +1,395 @@
+//! The Taster engine façade: parse → plan → tune → execute → materialize.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use taster_engine::physical::execute;
+use taster_engine::sql::ErrorSpec;
+use taster_engine::{parse_query, EngineError, ExecutionContext, LogicalPlan, QueryResult};
+use taster_storage::{Catalog, IoModel};
+
+use crate::config::TasterConfig;
+use crate::hints::{build_offline_sample, OfflineStrategy};
+use crate::metadata::MetadataStore;
+use crate::planner::Planner;
+use crate::store::SynopsisStore;
+use crate::synopsis::SynopsisId;
+use crate::tuner::{ChosenPlan, Tuner};
+
+/// The result of one Taster query, combining the engine result with the
+/// planning/tuning information the experiments report.
+#[derive(Debug)]
+pub struct TasterResult {
+    /// The (possibly approximate) query result.
+    pub result: QueryResult,
+    /// Human-readable description of the chosen plan.
+    pub plan_description: String,
+    /// Materialized synopses the plan reused.
+    pub reused_synopses: Vec<SynopsisId>,
+    /// Synopses created as byproducts of this query.
+    pub created_synopses: Vec<SynopsisId>,
+    /// Time spent in the planner and tuner (wall clock).
+    pub planning_ns: u128,
+    /// Simulated execution time under the engine's I/O model, in seconds.
+    pub simulated_secs: f64,
+    /// `true` if the tuner chose an approximate plan.
+    pub approximate: bool,
+}
+
+/// Summary of an offline (hinted) synopsis build.
+#[derive(Debug, Clone, Copy)]
+pub struct OfflineReport {
+    /// The id the pinned synopsis was registered under.
+    pub synopsis_id: SynopsisId,
+    /// Base rows read during the build.
+    pub rows_scanned: usize,
+    /// Rows written while scrambling (variational builds only).
+    pub rows_scrambled: usize,
+    /// Size of the materialized synopsis in bytes.
+    pub bytes: usize,
+    /// Simulated offline time in seconds (scan + scramble + materialize).
+    pub simulated_secs: f64,
+}
+
+/// The self-tuning, elastic, online AQP engine.
+pub struct TasterEngine {
+    catalog: Arc<Catalog>,
+    config: TasterConfig,
+    io_model: IoModel,
+    metadata: MetadataStore,
+    store: Arc<SynopsisStore>,
+    planner: Planner,
+    tuner: Tuner,
+    queries_executed: u64,
+}
+
+impl TasterEngine {
+    /// Create an engine over a catalog with the given configuration.
+    pub fn new(catalog: Arc<Catalog>, config: TasterConfig) -> Self {
+        let io_model = IoModel::default();
+        Self {
+            store: Arc::new(SynopsisStore::new(
+                config.buffer_quota_bytes,
+                config.warehouse_quota_bytes,
+            )),
+            planner: Planner::new(config, io_model),
+            tuner: Tuner::new(&config),
+            metadata: MetadataStore::new(),
+            catalog,
+            config,
+            io_model,
+            queries_executed: 0,
+        }
+    }
+
+    /// Replace the I/O cost model (affects both planning and the simulated
+    /// times reported in results).
+    pub fn with_io_model(mut self, io_model: IoModel) -> Self {
+        self.io_model = io_model;
+        self.planner = Planner::new(self.config, io_model);
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &TasterConfig {
+        &self.config
+    }
+
+    /// The metadata store (read access for experiments and tests).
+    pub fn metadata(&self) -> &MetadataStore {
+        &self.metadata
+    }
+
+    /// The synopsis store (read access for experiments and tests).
+    pub fn store(&self) -> &SynopsisStore {
+        &self.store
+    }
+
+    /// Current tuner window length.
+    pub fn window(&self) -> usize {
+        self.tuner.window()
+    }
+
+    /// History of tuner window lengths (for the Fig. 8 experiment).
+    pub fn window_history(&self) -> &[usize] {
+        self.tuner.window_history()
+    }
+
+    /// Number of queries executed so far.
+    pub fn queries_executed(&self) -> u64 {
+        self.queries_executed
+    }
+
+    /// Change the synopsis warehouse quota at runtime (storage elasticity).
+    /// The tuner immediately re-evaluates the stored synopses and evicts
+    /// those that no longer fit the new budget.
+    pub fn set_storage_budget(&mut self, bytes: usize) {
+        self.store.set_warehouse_quota(bytes);
+        let evict = self.tuner.reevaluate(&self.metadata, &self.store);
+        for id in evict {
+            if self.store.warehouse_over_quota() || self.store.buffer_over_quota() {
+                self.store.evict(id);
+            }
+        }
+        // If still over quota (e.g. quota shrank drastically), evict in
+        // ascending usefulness order until it fits.
+        let mut ids = self.store.materialized_ids();
+        ids.reverse();
+        while self.store.warehouse_over_quota() {
+            let Some(id) = ids.pop() else { break };
+            self.store.evict(id);
+        }
+    }
+
+    /// Register a user hint: build a synopsis offline and pin it in the
+    /// warehouse. Returns the work performed so callers can account for the
+    /// offline phase separately from query execution (Fig. 7).
+    pub fn add_offline_hint(
+        &mut self,
+        table: &str,
+        strategy: OfflineStrategy,
+        accuracy: Option<ErrorSpec>,
+    ) -> Result<OfflineReport, EngineError> {
+        let accuracy = accuracy.unwrap_or(ErrorSpec {
+            relative_error: self.config.default_relative_error,
+            confidence: self.config.default_confidence,
+        });
+        let build = build_offline_sample(&self.catalog, table, &strategy, accuracy, self.config.seed)?;
+        let id = self.metadata.allocate_id();
+        let mut descriptor = build.descriptor.clone();
+        descriptor.id = id;
+        let id = self.metadata.register(descriptor);
+        let bytes = build.payload.size_bytes();
+        self.metadata.set_actual_size(id, bytes);
+        self.store.insert_into_warehouse(id, &build.payload, true);
+
+        let table_bytes = self.catalog.table(table)?.size_bytes();
+        let scan_ns = self.io_model.scan_cost(table_bytes);
+        let scramble_ns = if build.rows_scrambled > 0 {
+            self.io_model.scan_cost(table_bytes) + self.io_model.materialize_cost(table_bytes)
+        } else {
+            0.0
+        };
+        let materialize_ns = self.io_model.materialize_cost(bytes);
+        Ok(OfflineReport {
+            synopsis_id: id,
+            rows_scanned: build.rows_scanned,
+            rows_scrambled: build.rows_scrambled,
+            bytes,
+            simulated_secs: (scan_ns + scramble_ns + materialize_ns) / 1e9,
+        })
+    }
+
+    /// Execute one SQL query through the full Taster pipeline.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<TasterResult, EngineError> {
+        let query = parse_query(sql)?;
+        let planning_start = Instant::now();
+
+        let output = self
+            .planner
+            .plan(&query, &self.catalog, &mut self.metadata, &self.store)?;
+        self.metadata
+            .record_query(output.exact_cost_ns, output.alternatives());
+
+        let decision = self.tuner.decide(&output, &self.metadata, &self.store);
+        for id in &decision.evict {
+            self.store.evict(*id);
+        }
+        let planning_ns = planning_start.elapsed().as_nanos();
+
+        let (plan, description, reused, created): (&LogicalPlan, String, Vec<SynopsisId>, Vec<SynopsisId>) =
+            match decision.chosen {
+                ChosenPlan::Exact => (
+                    &output.exact_plan,
+                    "exact plan".to_string(),
+                    vec![],
+                    vec![],
+                ),
+                ChosenPlan::Candidate(i) => {
+                    let c = &output.candidates[i];
+                    (&c.plan, c.description.clone(), c.uses.clone(), c.creates.clone())
+                }
+            };
+
+        let ctx = ExecutionContext::new(self.catalog.clone())
+            .with_provider(self.store.clone())
+            .with_io_model(self.io_model)
+            .with_seed(self.config.seed ^ self.queries_executed);
+        let result = execute(plan, &ctx)?;
+
+        // Materialize byproducts into the buffer, then let the tuner's `keep`
+        // set drive promotion to the warehouse / eviction.
+        for (id, payload) in &result.byproducts {
+            self.metadata.set_actual_size(*id, payload.size_bytes());
+            self.store.insert_into_buffer(*id, payload, false);
+        }
+        self.manage_buffer(&decision.keep);
+
+        let simulated_secs = result.metrics.simulated_secs(&self.io_model);
+        self.queries_executed += 1;
+        Ok(TasterResult {
+            approximate: result.approximate,
+            plan_description: description,
+            reused_synopses: reused,
+            created_synopses: created,
+            planning_ns,
+            simulated_secs,
+            result,
+        })
+    }
+
+    /// Apply the buffer policy: synopses in the tuner's keep-set are promoted
+    /// to the warehouse when they fit; once the buffer exceeds its quota the
+    /// remaining (non-pinned) entries are dropped oldest-id-first.
+    fn manage_buffer(&self, keep: &[SynopsisId]) {
+        for id in self.store.buffer_ids() {
+            if keep.contains(&id) {
+                let size = self.store.size_of(id).unwrap_or(0);
+                if size <= self.store.warehouse_free_bytes() {
+                    self.store.promote_to_warehouse(id);
+                }
+            }
+        }
+        if self.store.buffer_over_quota() {
+            for id in self.store.buffer_ids() {
+                if !self.store.buffer_over_quota() {
+                    break;
+                }
+                self.store.evict(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_storage::batch::BatchBuilder;
+    use taster_storage::Table;
+
+    fn catalog(rows: usize) -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let orders = BatchBuilder::new()
+            .column("o_id", (0..rows as i64).collect::<Vec<_>>())
+            .column("o_cust", (0..rows as i64).map(|i| i % 100).collect::<Vec<_>>())
+            .column("o_flag", (0..rows as i64).map(|i| i % 5).collect::<Vec<_>>())
+            .column(
+                "o_price",
+                (0..rows).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+            )
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("orders", orders, 8).unwrap());
+        let cust = BatchBuilder::new()
+            .column("c_id", (0..100i64).collect::<Vec<_>>())
+            .column("c_region", (0..100i64).map(|i| i % 4).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("customer", cust, 1).unwrap());
+        Arc::new(cat)
+    }
+
+    fn engine(rows: usize) -> TasterEngine {
+        let cat = catalog(rows);
+        let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+        TasterEngine::new(cat, config)
+    }
+
+    const Q: &str =
+        "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+    #[test]
+    fn first_query_builds_then_second_reuses() {
+        let mut eng = engine(50_000);
+        let first = eng.execute_sql(Q).unwrap();
+        assert!(first.approximate);
+        assert!(!first.created_synopses.is_empty());
+        assert!(first.result.metrics.base_rows_scanned >= 50_000);
+
+        let second = eng.execute_sql(Q).unwrap();
+        assert!(
+            !second.reused_synopses.is_empty(),
+            "second identical query must reuse the materialized synopsis: {}",
+            second.plan_description
+        );
+        assert_eq!(
+            second.result.metrics.base_rows_scanned, 0,
+            "reuse must avoid scanning the base table"
+        );
+        assert!(second.simulated_secs < first.simulated_secs);
+    }
+
+    #[test]
+    fn approximate_results_are_close_to_exact() {
+        let mut eng = engine(50_000);
+        let _ = eng.execute_sql(Q).unwrap();
+        let approx = eng.execute_sql(Q).unwrap();
+
+        // Exact reference computed directly through the engine.
+        let exact_query = taster_engine::parse_query(Q).unwrap();
+        let exact_plan = exact_query.to_exact_plan(&eng.catalog).unwrap();
+        let ctx = ExecutionContext::new(eng.catalog.clone());
+        let exact = execute(&exact_plan, &ctx).unwrap();
+
+        let (err, missed) = approx.result.error_vs(&exact);
+        assert_eq!(missed, 0, "no groups may be missed");
+        assert!(err < 0.15, "relative error too large: {err}");
+    }
+
+    #[test]
+    fn storage_elasticity_evicts_when_quota_shrinks() {
+        let mut eng = engine(30_000);
+        let _ = eng.execute_sql(Q).unwrap();
+        let _ = eng.execute_sql("SELECT o_cust, AVG(o_price) FROM orders GROUP BY o_cust").unwrap();
+        assert!(eng.store().usage().warehouse_bytes + eng.store().usage().buffer_bytes > 0);
+        eng.set_storage_budget(0);
+        assert_eq!(eng.store().usage().warehouse_bytes, 0);
+    }
+
+    #[test]
+    fn hints_pin_offline_synopses() {
+        use taster_engine::context::SynopsisProvider as _;
+        let mut eng = engine(30_000);
+        let report = eng
+            .add_offline_hint(
+                "orders",
+                OfflineStrategy::Variational { fraction: 0.02 },
+                None,
+            )
+            .unwrap();
+        assert!(report.bytes > 0);
+        assert!(report.rows_scrambled > 0);
+        assert!(report.simulated_secs > 0.0);
+        // The pinned synopsis survives a quota collapse.
+        eng.set_storage_budget(0);
+        assert!(eng.store().sample(report.synopsis_id).is_some());
+    }
+
+    #[test]
+    fn join_query_runs_end_to_end() {
+        let mut eng = engine(20_000);
+        let res = eng
+            .execute_sql(
+                "SELECT c_region, COUNT(*) FROM orders JOIN customer ON o_cust = c_id GROUP BY c_region",
+            )
+            .unwrap();
+        assert_eq!(res.result.num_groups(), 4);
+        let total: f64 = res
+            .result
+            .groups
+            .iter()
+            .map(|g| g.aggregates[0].value)
+            .sum();
+        assert!((total - 20_000.0).abs() / 20_000.0 < 0.1, "{total}");
+    }
+
+    #[test]
+    fn non_approximable_query_falls_back_to_exact() {
+        let mut eng = engine(5_000);
+        let res = eng
+            .execute_sql("SELECT o_id, o_price FROM orders WHERE o_price > 990")
+            .unwrap();
+        assert!(!res.approximate);
+        assert_eq!(res.plan_description, "exact plan");
+    }
+}

@@ -1,0 +1,195 @@
+//! User hints: offline pre-construction of pinned synopses (Section V).
+//!
+//! When the user can predict part of the workload, Taster builds the
+//! corresponding synopses offline, pins them in the warehouse (the tuner
+//! never deletes them) and keeps tuning the remaining space online. The
+//! offline builder supports plain stratified samples and the VerdictDB-style
+//! scramble + variational subsampling used by the Fig. 7 experiment.
+
+use taster_engine::sql::ErrorSpec;
+use taster_engine::{EngineError, SampleMethod, SynopsisPayload};
+use taster_storage::Catalog;
+use taster_synopses::{StratifiedSampler, VariationalSample};
+
+use crate::synopsis::{SynopsisDescriptor, SynopsisKind};
+
+/// How an offline (hinted) sample should be built.
+#[derive(Debug, Clone)]
+pub enum OfflineStrategy {
+    /// Per-group stratified sample with a row cap per group.
+    Stratified {
+        /// Stratification attributes.
+        stratification: Vec<String>,
+        /// Maximum rows kept per group.
+        rows_per_group: usize,
+    },
+    /// VerdictDB-style variational subsampling: a scrambled clone of the
+    /// table followed by a uniform sample partitioned into subsamples.
+    Variational {
+        /// Sampling fraction.
+        fraction: f64,
+    },
+}
+
+/// The outcome of an offline build: the payload to store, its descriptor
+/// template, and the work performed (so the harness can charge it to the
+/// offline bars of Fig. 3 / Fig. 7).
+#[derive(Debug)]
+pub struct OfflineBuild {
+    /// The descriptor to register (id 0; the caller re-ids it).
+    pub descriptor: SynopsisDescriptor,
+    /// The materialized payload.
+    pub payload: SynopsisPayload,
+    /// Base-table rows read while building.
+    pub rows_scanned: usize,
+    /// Rows written while scrambling (0 for stratified builds).
+    pub rows_scrambled: usize,
+}
+
+/// Build an offline sample of `table` using the given strategy.
+pub fn build_offline_sample(
+    catalog: &Catalog,
+    table: &str,
+    strategy: &OfflineStrategy,
+    accuracy: ErrorSpec,
+    seed: u64,
+) -> Result<OfflineBuild, EngineError> {
+    let t = catalog.table(table)?;
+    match strategy {
+        OfflineStrategy::Stratified {
+            stratification,
+            rows_per_group,
+        } => {
+            let mut sampler =
+                StratifiedSampler::new(stratification.clone(), *rows_per_group, seed);
+            let sample = sampler.sample_partitions(t.partitions())?;
+            let bytes = sample.size_bytes();
+            let rows = sample.len();
+            let fingerprint = format!(
+                "offline-stratified({table};{})",
+                stratification.join(",")
+            );
+            Ok(OfflineBuild {
+                descriptor: SynopsisDescriptor {
+                    id: 0,
+                    fingerprint,
+                    base_tables: vec![table.to_string()],
+                    kind: SynopsisKind::Sample {
+                        method: SampleMethod::Distinct {
+                            stratification: stratification.clone(),
+                            delta: *rows_per_group,
+                            probability: 1.0,
+                        },
+                    },
+                    accuracy,
+                    estimated_bytes: bytes,
+                    estimated_rows: rows,
+                    pinned: true,
+                },
+                payload: SynopsisPayload::Sample(sample),
+                rows_scanned: t.num_rows(),
+                rows_scrambled: 0,
+            })
+        }
+        OfflineStrategy::Variational { fraction } => {
+            let vs = VariationalSample::build(t.partitions(), *fraction, 0, seed)?;
+            let bytes = vs.sample.size_bytes();
+            let rows = vs.sample.len();
+            let scramble_rows = vs.scramble_rows;
+            let fingerprint = format!("offline-variational({table};{fraction})");
+            Ok(OfflineBuild {
+                descriptor: SynopsisDescriptor {
+                    id: 0,
+                    fingerprint,
+                    base_tables: vec![table.to_string()],
+                    kind: SynopsisKind::Sample {
+                        method: SampleMethod::Uniform {
+                            probability: *fraction,
+                        },
+                    },
+                    accuracy,
+                    estimated_bytes: bytes,
+                    estimated_rows: rows,
+                    pinned: true,
+                },
+                payload: SynopsisPayload::Sample(vs.sample),
+                rows_scanned: t.num_rows(),
+                rows_scrambled: scramble_rows,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_storage::batch::BatchBuilder;
+    use taster_storage::Table;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let t = BatchBuilder::new()
+            .column("g", (0..10_000i64).map(|i| i % 20).collect::<Vec<_>>())
+            .column("v", (0..10_000).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("facts", t, 4).unwrap());
+        cat
+    }
+
+    #[test]
+    fn stratified_offline_build_is_pinned_and_covers_groups() {
+        let cat = catalog();
+        let build = build_offline_sample(
+            &cat,
+            "facts",
+            &OfflineStrategy::Stratified {
+                stratification: vec!["g".into()],
+                rows_per_group: 25,
+            },
+            ErrorSpec::default(),
+            1,
+        )
+        .unwrap();
+        assert!(build.descriptor.pinned);
+        assert_eq!(build.rows_scanned, 10_000);
+        assert_eq!(build.rows_scrambled, 0);
+        match &build.payload {
+            SynopsisPayload::Sample(s) => assert_eq!(s.len(), 20 * 25),
+            _ => panic!("expected a sample payload"),
+        }
+    }
+
+    #[test]
+    fn variational_offline_build_reports_scramble_cost() {
+        let cat = catalog();
+        let build = build_offline_sample(
+            &cat,
+            "facts",
+            &OfflineStrategy::Variational { fraction: 0.05 },
+            ErrorSpec::default(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(build.rows_scrambled, 10_000);
+        match &build.payload {
+            SynopsisPayload::Sample(s) => {
+                assert!(s.len() > 300 && s.len() < 800, "sample size {}", s.len())
+            }
+            _ => panic!("expected a sample payload"),
+        }
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let cat = catalog();
+        assert!(build_offline_sample(
+            &cat,
+            "missing",
+            &OfflineStrategy::Variational { fraction: 0.1 },
+            ErrorSpec::default(),
+            0,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Taster: self-tuning, elastic and online approximate query processing.
+//!
+//! This crate is the reproduction of the paper's core contribution
+//! (Sections III–V):
+//!
+//! * [`planner`] — the cost-based planner that generates candidate logical
+//!   plans with synopsis operators injected below aggregations, pushes them
+//!   towards the raw data, configures them (uniform vs. distinct sampling,
+//!   sketch-join eligibility) to satisfy the query's accuracy requirement,
+//!   and matches query subplans to materialized synopses,
+//! * [`metadata`] — the synopsis-centric metadata store holding the logical
+//!   definition, accuracy, materialization state and recent usefulness of
+//!   every synopsis the planner has ever proposed,
+//! * [`store`] — the in-memory synopsis buffer and the persistent synopsis
+//!   warehouse, both subject to byte quotas,
+//! * [`tuner`] — the cost:utility tuner that selects which plan to execute
+//!   and which synopses to keep under the space quota, using the
+//!   submodular-greedy algorithm over a sliding window of recent queries,
+//!   with adaptive window length and storage elasticity,
+//! * [`hints`] — user hints: offline pre-construction of pinned synopses
+//!   (including VerdictDB-style variational samples),
+//! * [`engine`] — [`engine::TasterEngine`], the façade tying everything
+//!   together: parse → plan → tune → execute → materialize byproducts.
+
+pub mod config;
+pub mod engine;
+pub mod hints;
+pub mod matching;
+pub mod metadata;
+pub mod planner;
+pub mod store;
+pub mod synopsis;
+pub mod tuner;
+
+pub use config::TasterConfig;
+pub use engine::{TasterEngine, TasterResult};
+pub use metadata::MetadataStore;
+pub use planner::{CandidatePlan, Planner};
+pub use store::SynopsisStore;
+pub use synopsis::{SynopsisDescriptor, SynopsisId, SynopsisKind};
+pub use tuner::Tuner;

@@ -1,0 +1,296 @@
+//! Matching query subplans to materialized synopses (Section IV-A).
+//!
+//! A stored synopsis can replace a query subplan when (i) it summarizes the
+//! same base relation, (ii) its stratification attributes are a superset of
+//! the attributes the query needs covered, (iii) it was built for an accuracy
+//! requirement at least as strict as the current query's, and (iv) it retains
+//! at least as many rows (pass-through probability ≥ what the current query
+//! needs). Mismatching filters are handled by adding a residual filter on top
+//! of the synopsis scan, so they do not participate in the match itself.
+
+use taster_engine::sql::ErrorSpec;
+use taster_engine::SampleMethod;
+
+use crate::metadata::MetadataStore;
+use crate::store::SynopsisStore;
+use crate::synopsis::{SynopsisId, SynopsisKind};
+
+/// What a query needs from a reusable sample of `table`.
+#[derive(Debug, Clone)]
+pub struct SampleRequirement {
+    /// The summarized base relation.
+    pub table: String,
+    /// Attributes that must be covered by stratification.
+    pub stratification: Vec<String>,
+    /// The query's accuracy requirement.
+    pub accuracy: ErrorSpec,
+    /// The minimum pass-through probability the query needs to meet its
+    /// accuracy target.
+    pub min_probability: f64,
+}
+
+/// Find a materialized sample satisfying the requirement. Returns the best
+/// match (the one retaining the fewest rows while still satisfying the
+/// requirement, i.e. the cheapest to read).
+pub fn find_sample_match(
+    metadata: &MetadataStore,
+    store: &SynopsisStore,
+    req: &SampleRequirement,
+) -> Option<SynopsisId> {
+    let mut best: Option<(SynopsisId, f64)> = None;
+    for meta in metadata.by_index_key(&req.table) {
+        let id = meta.descriptor.id;
+        if store.location(id).is_none() {
+            continue;
+        }
+        let SynopsisKind::Sample { method } = &meta.descriptor.kind else {
+            continue;
+        };
+        if !stratification_covers(&meta.descriptor.stratification(), &req.stratification) {
+            continue;
+        }
+        if meta.descriptor.accuracy.relative_error > req.accuracy.relative_error + 1e-12 {
+            continue;
+        }
+        if method.probability() + 1e-12 < req.min_probability {
+            continue;
+        }
+        let p = method.probability();
+        match best {
+            Some((_, best_p)) if best_p <= p => {}
+            _ => best = Some((id, p)),
+        }
+    }
+    best.map(|(id, _)| id)
+}
+
+/// Find a materialized sketch-join over `table` keyed on exactly
+/// `key_columns` and carrying `value_column` (or carrying a value column when
+/// only COUNT is needed — a SUM-carrying sketch also answers COUNT).
+pub fn find_sketch_match(
+    metadata: &MetadataStore,
+    store: &SynopsisStore,
+    table: &str,
+    key_columns: &[String],
+    value_column: &Option<String>,
+) -> Option<SynopsisId> {
+    let index_key = format!("{}|{}", table, key_columns.join(","));
+    for meta in metadata.by_index_key(&index_key) {
+        let id = meta.descriptor.id;
+        if store.location(id).is_none() {
+            continue;
+        }
+        let SynopsisKind::SketchJoin {
+            table: t,
+            key_columns: k,
+            value_column: v,
+        } = &meta.descriptor.kind
+        else {
+            continue;
+        };
+        if t != table || k != key_columns {
+            continue;
+        }
+        let value_ok = match (value_column, v) {
+            (None, _) => true,
+            (Some(need), Some(have)) => need == have,
+            (Some(_), None) => false,
+        };
+        if value_ok {
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// `true` if the stored stratification attribute set covers the required one.
+pub fn stratification_covers(stored: &[String], required: &[String]) -> bool {
+    required.iter().all(|c| stored.contains(c))
+}
+
+/// `true` when `method` retains at least as much data as `other` needs — used
+/// to decide whether an existing *candidate* (not yet built) can be widened
+/// rather than registering a new one.
+pub fn method_subsumes(stored: &SampleMethod, required: &SampleMethod) -> bool {
+    stratification_covers(stored.stratification(), required.stratification())
+        && stored.probability() + 1e-12 >= required.probability()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synopsis::SynopsisDescriptor;
+    use taster_engine::SynopsisPayload;
+    use taster_storage::batch::BatchBuilder;
+    use taster_synopses::WeightedSample;
+
+    fn add_sample(
+        metadata: &mut MetadataStore,
+        store: &SynopsisStore,
+        table: &str,
+        strat: Vec<String>,
+        probability: f64,
+        error: f64,
+        materialize: bool,
+    ) -> SynopsisId {
+        let id = metadata.allocate_id();
+        let method = SampleMethod::Distinct {
+            stratification: strat,
+            delta: 10,
+            probability,
+        };
+        let fp = format!("sample-{id}");
+        let id = metadata.register(SynopsisDescriptor {
+            id,
+            fingerprint: fp,
+            base_tables: vec![table.to_string()],
+            kind: SynopsisKind::Sample { method },
+            accuracy: ErrorSpec {
+                relative_error: error,
+                confidence: 0.95,
+            },
+            estimated_bytes: 100,
+            estimated_rows: 10,
+            pinned: false,
+        });
+        if materialize {
+            let rows = BatchBuilder::new()
+                .column("x", vec![1i64, 2])
+                .build()
+                .unwrap();
+            store.insert_into_buffer(
+                id,
+                &SynopsisPayload::Sample(WeightedSample {
+                    rows,
+                    weights: vec![1.0, 1.0],
+                    stratification: vec![],
+                    probability,
+                    source_rows: 2,
+                }),
+                false,
+            );
+        }
+        id
+    }
+
+    fn req(table: &str, strat: &[&str], error: f64, p: f64) -> SampleRequirement {
+        SampleRequirement {
+            table: table.into(),
+            stratification: strat.iter().map(|s| s.to_string()).collect(),
+            accuracy: ErrorSpec {
+                relative_error: error,
+                confidence: 0.95,
+            },
+            min_probability: p,
+        }
+    }
+
+    #[test]
+    fn match_requires_materialization() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        add_sample(&mut md, &store, "t", vec!["g".into()], 0.1, 0.1, false);
+        assert!(find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.05)).is_none());
+        let id = add_sample(&mut md, &store, "t", vec!["g".into()], 0.1, 0.1, true);
+        assert_eq!(
+            find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.05)),
+            Some(id)
+        );
+    }
+
+    #[test]
+    fn match_checks_stratification_superset_and_accuracy() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let wide = add_sample(
+            &mut md,
+            &store,
+            "t",
+            vec!["g".into(), "h".into()],
+            0.2,
+            0.05,
+            true,
+        );
+        // Needs only g: the wider sample matches.
+        assert_eq!(
+            find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.1)),
+            Some(wide)
+        );
+        // Needs a column the sample is not stratified on: no match.
+        assert!(find_sample_match(&md, &store, &req("t", &["z"], 0.1, 0.1)).is_none());
+        // Needs stricter accuracy than the sample was built for: no match.
+        assert!(find_sample_match(&md, &store, &req("t", &["g"], 0.01, 0.1)).is_none());
+        // Needs a higher probability than the sample retains: no match.
+        assert!(find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.5)).is_none());
+    }
+
+    #[test]
+    fn best_match_is_the_cheapest_sufficient_one() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let small = add_sample(&mut md, &store, "t", vec!["g".into()], 0.05, 0.1, true);
+        let _large = add_sample(&mut md, &store, "t", vec!["g".into()], 0.5, 0.1, true);
+        assert_eq!(
+            find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.01)),
+            Some(small)
+        );
+    }
+
+    #[test]
+    fn sketch_matching_requires_same_keys_and_value() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let id = md.allocate_id();
+        let id = md.register(SynopsisDescriptor {
+            id,
+            fingerprint: "sk".into(),
+            base_tables: vec!["orders".into()],
+            kind: SynopsisKind::SketchJoin {
+                table: "orders".into(),
+                key_columns: vec!["o_cust".into()],
+                value_column: Some("o_price".into()),
+            },
+            accuracy: ErrorSpec::default(),
+            estimated_bytes: 100,
+            estimated_rows: 10,
+            pinned: false,
+        });
+        let sk = taster_synopses::SketchJoin::new(
+            vec!["o_cust".into()],
+            Some("o_price".into()),
+            0.01,
+            0.01,
+        );
+        store.insert_into_warehouse(id, &SynopsisPayload::Sketch(sk), false);
+
+        let keys = vec!["o_cust".to_string()];
+        assert_eq!(
+            find_sketch_match(&md, &store, "orders", &keys, &Some("o_price".into())),
+            Some(id)
+        );
+        // COUNT-only requirement is satisfied by a SUM-carrying sketch.
+        assert_eq!(find_sketch_match(&md, &store, "orders", &keys, &None), Some(id));
+        // Different value column: no match.
+        assert!(find_sketch_match(&md, &store, "orders", &keys, &Some("o_tax".into())).is_none());
+        // Different keys: no match.
+        assert!(
+            find_sketch_match(&md, &store, "orders", &["o_id".to_string()], &None).is_none()
+        );
+    }
+
+    #[test]
+    fn method_subsumption() {
+        let wide = SampleMethod::Distinct {
+            stratification: vec!["a".into(), "b".into()],
+            delta: 10,
+            probability: 0.2,
+        };
+        let narrow = SampleMethod::Distinct {
+            stratification: vec!["a".into()],
+            delta: 10,
+            probability: 0.1,
+        };
+        assert!(method_subsumes(&wide, &narrow));
+        assert!(!method_subsumes(&narrow, &wide));
+    }
+}

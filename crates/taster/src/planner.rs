@@ -1,0 +1,901 @@
+//! The cost-based planner (Section IV).
+//!
+//! For every query the planner produces the exact plan plus a set of
+//! candidate approximate plans:
+//!
+//! 1. **Sample injection** — a synopsis operator is injected below the
+//!    aggregation and pushed down onto the aggregation-side base relation
+//!    (the FROM table of the benchmark queries), *below* that relation's
+//!    filters, so the resulting sample summarizes the raw relation and is
+//!    maximally reusable. The stratification set is derived from the rules of
+//!    Section IV-A: grouping attributes on the relation, join keys on the
+//!    relation, and filter attributes whose value distribution is skewed.
+//!    The sampler type (uniform vs. distinct) and its probability are
+//!    configured from the table statistics and the query's accuracy
+//!    requirement.
+//! 2. **Sample reuse** — if the metadata store knows a *materialized* sample
+//!    that subsumes the required one, a plan scanning that synopsis (plus a
+//!    residual filter) replaces the base-table scan entirely.
+//! 3. **Sketch-join** — when the eligibility conditions of Section IV-A hold
+//!    (the aggregation input comes from one join side, the grouping and
+//!    filter attributes from the other), a sketch-join plan is produced,
+//!    either building the sketch during the query or reusing a materialized
+//!    one.
+//!
+//! All candidates are costed with the engine's [`CostEstimator`]; every
+//! candidate synopsis (built or not) is registered in the metadata store so
+//! the tuner can reason about it later.
+
+use std::collections::HashMap;
+
+use taster_engine::cost::{CostEstimator, SynopsisCostHint};
+use taster_engine::sql::{ErrorSpec, SelectQuery};
+use taster_engine::{
+    EngineError, Expr, LogicalPlan, SampleMethod, SketchRef,
+};
+use taster_storage::{Catalog, IoModel};
+use taster_synopses::estimator::required_probability;
+
+use crate::config::TasterConfig;
+use crate::matching::{find_sample_match, find_sketch_match, SampleRequirement};
+use crate::metadata::{MetadataStore, PlanAlternative};
+use crate::store::SynopsisStore;
+use crate::synopsis::{SynopsisDescriptor, SynopsisId, SynopsisKind};
+
+/// One candidate (approximate) plan.
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    /// The executable logical plan.
+    pub plan: LogicalPlan,
+    /// Materialized synopses the plan reads.
+    pub uses: Vec<SynopsisId>,
+    /// Synopses the plan will build as byproducts.
+    pub creates: Vec<SynopsisId>,
+    /// Estimated cost in simulated nanoseconds.
+    pub cost_ns: f64,
+    /// Estimated cost of answering the *same* query once the synopses this
+    /// plan creates are materialized (equal to `cost_ns` for pure-reuse
+    /// plans). This is the number the metadata store records so the tuner
+    /// can value a synopsis by the queries it would speed up in the future —
+    /// exactly the "estimated cost when this synopsis exists" of Section III.
+    pub future_cost_ns: f64,
+    /// The plan shape used to compute `future_cost_ns` (None for plans that
+    /// create nothing).
+    pub future_plan: Option<LogicalPlan>,
+    /// Human-readable description (for logging / EXPLAIN).
+    pub description: String,
+}
+
+/// Planner output for one query.
+#[derive(Debug, Clone)]
+pub struct PlannerOutput {
+    /// The parsed query.
+    pub query: SelectQuery,
+    /// The best exact plan.
+    pub exact_plan: LogicalPlan,
+    /// Its estimated cost.
+    pub exact_cost_ns: f64,
+    /// All approximate candidates (possibly empty for non-approximable
+    /// queries).
+    pub candidates: Vec<CandidatePlan>,
+}
+
+impl PlannerOutput {
+    /// Plan alternatives in the form the metadata store's query log expects.
+    pub fn alternatives(&self) -> Vec<PlanAlternative> {
+        self.candidates
+            .iter()
+            .map(|c| PlanAlternative {
+                synopses: c
+                    .uses
+                    .iter()
+                    .chain(c.creates.iter())
+                    .copied()
+                    .collect(),
+                cost_ns: c.future_cost_ns,
+            })
+            .collect()
+    }
+}
+
+/// The Taster planner.
+#[derive(Debug)]
+pub struct Planner {
+    config: TasterConfig,
+    io_model: IoModel,
+}
+
+impl Planner {
+    /// Create a planner with the given configuration and cost model.
+    pub fn new(config: TasterConfig, io_model: IoModel) -> Self {
+        Self { config, io_model }
+    }
+
+    /// Generate the exact plan and all approximate candidates for a query,
+    /// registering candidate synopses in the metadata store.
+    pub fn plan(
+        &self,
+        query: &SelectQuery,
+        catalog: &Catalog,
+        metadata: &mut MetadataStore,
+        store: &SynopsisStore,
+    ) -> Result<PlannerOutput, EngineError> {
+        let exact_plan = query.to_exact_plan(catalog)?;
+        let estimator = self.estimator(catalog, metadata, store);
+        let exact_cost_ns = estimator.cost(&exact_plan)?;
+
+        let mut candidates = Vec::new();
+        if query.is_approximable() {
+            self.add_sample_candidates(query, catalog, metadata, store, &mut candidates)?;
+            self.add_sketch_candidates(query, catalog, metadata, store, &mut candidates)?;
+        }
+
+        // Re-cost candidates with up-to-date hints (sizes of newly registered
+        // synopses are estimates; materialized ones use actual sizes).
+        let estimator = self.estimator(catalog, metadata, store);
+        for c in &mut candidates {
+            c.cost_ns = estimator.cost(&c.plan)?;
+            c.future_cost_ns = match &c.future_plan {
+                Some(p) => estimator.cost(p)?,
+                None => c.cost_ns,
+            };
+        }
+
+        Ok(PlannerOutput {
+            query: query.clone(),
+            exact_plan,
+            exact_cost_ns,
+            candidates,
+        })
+    }
+
+    fn estimator<'a>(
+        &self,
+        catalog: &'a Catalog,
+        metadata: &MetadataStore,
+        store: &SynopsisStore,
+    ) -> CostEstimator<'a> {
+        let mut hints = HashMap::new();
+        for id in metadata.synopsis_ids() {
+            if let Some(meta) = metadata.get(id) {
+                hints.insert(
+                    id,
+                    SynopsisCostHint {
+                        rows: meta.descriptor.estimated_rows,
+                        bytes: store.size_of(id).unwrap_or_else(|| meta.size_bytes()),
+                        location: store.location(id),
+                    },
+                );
+            }
+        }
+        CostEstimator::new(catalog, self.io_model).with_hints(hints)
+    }
+
+    // -----------------------------------------------------------------
+    // Sample-based candidates
+    // -----------------------------------------------------------------
+
+    fn add_sample_candidates(
+        &self,
+        query: &SelectQuery,
+        catalog: &Catalog,
+        metadata: &mut MetadataStore,
+        store: &SynopsisStore,
+        out: &mut Vec<CandidatePlan>,
+    ) -> Result<(), EngineError> {
+        // The aggregation-side relation of the benchmark queries is the FROM
+        // table (the fact table); samples summarize it.
+        let fact = query.from.clone();
+        let fact_table = catalog.table(&fact)?;
+        let stats = fact_table.stats();
+        let accuracy = self.accuracy(query);
+
+        // Stratification set (push-down rules of Section IV-A): grouping
+        // attributes on the fact table, join keys on the fact side, and
+        // skewed filter attributes on the fact table.
+        let mut stratification: Vec<String> = Vec::new();
+        for g in &query.group_by {
+            if fact_table.schema().contains(g) {
+                stratification.push(g.clone());
+            }
+        }
+        // Join keys on the fact side are stratified on only when they have
+        // few distinct values. For foreign-key joins against a complete
+        // dimension table (the dominant shape in the benchmarks), every fact
+        // row matches regardless of which rows the sampler keeps, so
+        // guaranteeing δ rows per (near-unique) key would degenerate into
+        // keeping the whole table; the planner instead relies on the
+        // dimension side being complete — the same reasoning that lets
+        // Quickr push samplers below such joins.
+        let join_key_cardinality_cap = (fact_table.num_rows() / 100).max(64);
+        for join in &query.joins {
+            for (a, b) in &join.conditions {
+                let key = if fact_table.schema().contains(a) {
+                    Some(a)
+                } else if fact_table.schema().contains(b) {
+                    Some(b)
+                } else {
+                    None
+                };
+                if let Some(key) = key {
+                    if stats.distinct_count(key) <= join_key_cardinality_cap {
+                        stratification.push(key.clone());
+                    }
+                }
+            }
+        }
+        // Filter attributes on the fact table join the stratification set
+        // only when their value distribution is skewed *and* they have few
+        // distinct values — stratifying on a near-unique column (a date or a
+        // key) would force the sampler to keep essentially every row.
+        for pred in &query.predicates {
+            for col in pred.referenced_columns() {
+                if fact_table.schema().contains(&col)
+                    && stats.is_skewed(&col)
+                    && stats.distinct_count(&col) <= join_key_cardinality_cap
+                {
+                    stratification.push(col);
+                }
+            }
+        }
+        stratification.sort();
+        stratification.dedup();
+
+        // Configure the sampler to satisfy the accuracy requirement. The
+        // sample must leave enough rows in every *output* group, which is
+        // determined by the grouping attributes wherever they live (fact or
+        // dimension side), further thinned by the query's filters.
+        let strat_groups = stats.distinct_combinations(&stratification).max(1);
+        let mut output_groups = 1usize;
+        for g in &query.group_by {
+            for table_name in query.tables() {
+                if let Ok(t) = catalog.table(&table_name) {
+                    if t.schema().contains(g) {
+                        output_groups = output_groups.saturating_mul(t.stats().distinct_count(g).max(1));
+                        break;
+                    }
+                }
+            }
+        }
+        // Accuracy is governed by the rows left in every *output* group (the
+        // stratification keys only drive the coverage guarantee δ of the
+        // distinct sampler). Each predicate roughly halves the rows
+        // contributing to a group; be conservative and size the sample for
+        // the thinned groups.
+        let groups = output_groups.min(fact_table.num_rows().max(1)).max(1);
+        let predicate_inflation = 2usize.pow(query.predicates.len().min(2) as u32);
+        let rows_per_group = (fact_table.num_rows() / groups / predicate_inflation).max(1);
+        // For SUM/COUNT under Bernoulli sampling the relative error scales
+        // with sqrt(1 + cv²)/sqrt(n), not cv/sqrt(n); AVG-only queries can use
+        // the plain cv.
+        let cv = self.aggregate_cv(query, &stats).unwrap_or(1.0);
+        let sum_like = query
+            .aggregates()
+            .iter()
+            .any(|a| matches!(a.func, taster_engine::AggFunc::Sum | taster_engine::AggFunc::Count));
+        let cv_effective = if sum_like { (1.0 + cv * cv).sqrt() } else { cv };
+        let probability = required_probability(
+            rows_per_group,
+            cv_effective,
+            accuracy.relative_error,
+            accuracy.confidence,
+            self.config.min_rows_per_group,
+        );
+        // Quantize the probability onto a coarse grid (rounding up, so the
+        // accuracy requirement is still met). Queries of the same template
+        // whose randomized predicates lead to slightly different probabilities
+        // then map to the *same* synopsis, which is what makes cross-query
+        // reuse effective.
+        let probability = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0]
+            .into_iter()
+            .find(|&g| g + 1e-12 >= probability)
+            .unwrap_or(1.0);
+
+        if std::env::var("TASTER_DEBUG_PLANNER").is_ok() {
+            eprintln!(
+                "[planner] fact={fact} strat={stratification:?} strat_groups={strat_groups} \
+                 output_groups={output_groups} rows_per_group={rows_per_group} cv={cv:.3} \
+                 cv_eff={cv_effective:.3} p={probability:.4}"
+            );
+        }
+        // "Taster generates a plan without samplers if stratification and
+        // accuracy requirements are so restrictive that they cannot be
+        // satisfied with a reasonable sampling probability."
+        if probability > 0.8 {
+            return Ok(());
+        }
+
+        let use_uniform = stratification.is_empty()
+            || (probability <= self.config.uniform_probability_threshold
+                && probability * rows_per_group as f64
+                    >= 2.0 * self.config.min_rows_per_group as f64);
+        let method = if use_uniform {
+            SampleMethod::Uniform { probability }
+        } else {
+            SampleMethod::Distinct {
+                stratification: stratification.clone(),
+                delta: self.config.min_rows_per_group,
+                probability,
+            }
+        };
+
+        // Register the candidate synopsis (deduplicated by fingerprint).
+        let raw_scan = LogicalPlan::Scan {
+            table: fact.clone(),
+            filter: None,
+            projection: None,
+        };
+        // The probability participates in the synopsis identity: a denser
+        // sample of the same relation/stratification is a different synopsis
+        // (and can serve queries that need the sparser one).
+        let sample_fingerprint = format!(
+            "p{probability:.2}:{}",
+            LogicalPlan::Sample {
+                method: method.clone(),
+                synopsis_id: 0,
+                input: Box::new(raw_scan.clone()),
+            }
+            .fingerprint()
+        );
+        let estimated_rows = (fact_table.num_rows() as f64 * probability) as usize
+            + self.config.min_rows_per_group * groups;
+        let estimated_bytes = ((fact_table.size_bytes() as f64) * probability * 1.1) as usize
+            + estimated_rows * 8;
+        let provisional_id = metadata.allocate_id();
+        let synopsis_id = metadata.register(SynopsisDescriptor {
+            id: provisional_id,
+            fingerprint: sample_fingerprint,
+            base_tables: vec![fact.clone()],
+            kind: SynopsisKind::Sample {
+                method: method.clone(),
+            },
+            accuracy,
+            estimated_bytes,
+            estimated_rows,
+            pinned: false,
+        });
+
+        // Candidate A: build the sample during this query (online injection).
+        let fact_predicates = self.fact_predicates(query, catalog)?;
+        let create_plan = self.build_plan_with_fact_input(
+            query,
+            catalog,
+            LogicalPlan::Sample {
+                method: method.clone(),
+                synopsis_id,
+                input: Box::new(raw_scan),
+            },
+            fact_predicates.clone(),
+        )?;
+        let future_plan = self.build_plan_with_fact_input(
+            query,
+            catalog,
+            LogicalPlan::SynopsisScan {
+                id: synopsis_id,
+                filter: None,
+            },
+            fact_predicates.clone(),
+        )?;
+        out.push(CandidatePlan {
+            plan: create_plan,
+            uses: vec![],
+            creates: vec![synopsis_id],
+            cost_ns: 0.0,
+            future_cost_ns: 0.0,
+            future_plan: Some(future_plan),
+            description: format!(
+                "online {} sample of {fact} (p={probability:.4}, strat=[{}])",
+                if use_uniform { "uniform" } else { "distinct" },
+                stratification.join(",")
+            ),
+        });
+
+        // Candidate B: reuse a materialized sample that subsumes this one.
+        // The coverage requirement follows the sampler the planner itself
+        // chose: when a uniform sample satisfies the query (all groups large
+        // enough), any sufficiently dense sample matches; when the query
+        // needs stratification, the stored sample must cover those attributes.
+        let requirement = SampleRequirement {
+            table: fact.clone(),
+            stratification: method.stratification().to_vec(),
+            accuracy,
+            min_probability: probability,
+        };
+        if let Some(existing) = find_sample_match(metadata, store, &requirement) {
+            let reuse_plan = self.build_plan_with_fact_input(
+                query,
+                catalog,
+                LogicalPlan::SynopsisScan {
+                    id: existing,
+                    filter: None,
+                },
+                fact_predicates,
+            )?;
+            out.push(CandidatePlan {
+                plan: reuse_plan,
+                uses: vec![existing],
+                creates: vec![],
+                cost_ns: 0.0,
+                future_cost_ns: 0.0,
+                future_plan: None,
+                description: format!("reuse materialized sample {existing} of {fact}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Coefficient of variation of the first approximable aggregate's input
+    /// column on the fact table, if known.
+    fn aggregate_cv(
+        &self,
+        query: &SelectQuery,
+        stats: &taster_storage::stats::TableStats,
+    ) -> Option<f64> {
+        for agg in query.aggregates() {
+            if let Some(col) = &agg.column {
+                if let Some(cs) = stats.column(col) {
+                    if let Some(cv) = cs.coefficient_of_variation() {
+                        return Some(cv.max(0.2));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn accuracy(&self, query: &SelectQuery) -> ErrorSpec {
+        query.error_spec.unwrap_or(ErrorSpec {
+            relative_error: self.config.default_relative_error,
+            confidence: self.config.default_confidence,
+        })
+    }
+
+    /// Predicates that reference only fact-table columns (to be applied above
+    /// the sample), and the rest (left to the generic builder below).
+    pub fn fact_predicates(
+        &self,
+        query: &SelectQuery,
+        catalog: &Catalog,
+    ) -> Result<Vec<Expr>, EngineError> {
+        let fact = catalog.table(&query.from)?;
+        Ok(query
+            .predicates
+            .iter()
+            .filter(|p| {
+                p.referenced_columns()
+                    .iter()
+                    .all(|c| fact.schema().contains(c))
+            })
+            .cloned()
+            .collect())
+    }
+
+    /// Build the full query plan but with `fact_input` in place of the plain
+    /// fact-table scan: fact predicates are applied directly above the fact
+    /// input, joins and remaining predicates follow, and the aggregation tops
+    /// the plan.
+    pub fn build_plan_with_fact_input(
+        &self,
+        query: &SelectQuery,
+        catalog: &Catalog,
+        fact_input: LogicalPlan,
+        fact_predicates: Vec<Expr>,
+    ) -> Result<LogicalPlan, EngineError> {
+        let fact = catalog.table(&query.from)?;
+        let mut plan = fact_input;
+        for pred in &fact_predicates {
+            plan = LogicalPlan::Filter {
+                predicate: pred.clone(),
+                input: Box::new(plan),
+            };
+        }
+        for join in &query.joins {
+            let right_table = catalog.table(&join.table)?;
+            let mut left_keys = Vec::new();
+            let mut right_keys = Vec::new();
+            for (a, b) in &join.conditions {
+                if right_table.schema().contains(b) {
+                    left_keys.push(a.clone());
+                    right_keys.push(b.clone());
+                } else if right_table.schema().contains(a) {
+                    left_keys.push(b.clone());
+                    right_keys.push(a.clone());
+                } else {
+                    return Err(EngineError::Plan(format!(
+                        "join condition {a} = {b} does not reference table {}",
+                        join.table
+                    )));
+                }
+            }
+            // Push the joined table's own predicates into its scan.
+            let right_preds: Vec<Expr> = query
+                .predicates
+                .iter()
+                .filter(|p| {
+                    p.referenced_columns()
+                        .iter()
+                        .all(|c| right_table.schema().contains(c))
+                })
+                .cloned()
+                .collect();
+            let right_filter = right_preds.into_iter().reduce(Expr::and);
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(LogicalPlan::Scan {
+                    table: join.table.clone(),
+                    filter: right_filter,
+                    projection: None,
+                }),
+                left_keys,
+                right_keys,
+            };
+        }
+        // Predicates referencing neither side alone (cross-table arithmetic)
+        // or columns not on the fact table nor any single dimension are rare
+        // in the benchmark templates; apply whatever is left above the joins.
+        for pred in &query.predicates {
+            let cols = pred.referenced_columns();
+            let on_fact = cols.iter().all(|c| fact.schema().contains(c));
+            let on_some_dim = query.joins.iter().any(|j| {
+                catalog
+                    .table(&j.table)
+                    .map(|t| cols.iter().all(|c| t.schema().contains(c)))
+                    .unwrap_or(false)
+            });
+            if !on_fact && !on_some_dim {
+                plan = LogicalPlan::Filter {
+                    predicate: pred.clone(),
+                    input: Box::new(plan),
+                };
+            }
+        }
+        Ok(LogicalPlan::Aggregate {
+            group_by: query.group_by.clone(),
+            aggregates: query.aggregates(),
+            input: Box::new(plan),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Sketch-join candidates
+    // -----------------------------------------------------------------
+
+    fn add_sketch_candidates(
+        &self,
+        query: &SelectQuery,
+        catalog: &Catalog,
+        metadata: &mut MetadataStore,
+        store: &SynopsisStore,
+        out: &mut Vec<CandidatePlan>,
+    ) -> Result<(), EngineError> {
+        if query.joins.is_empty() {
+            return Ok(());
+        }
+        let aggregates = query.aggregates();
+        if aggregates.is_empty() || aggregates.iter().any(|a| !a.func.is_approximable()) {
+            return Ok(());
+        }
+
+        // Eligibility (Section IV-A, "Choosing and configuring the
+        // synopses"): find a joined relation T such that (a) every aggregate
+        // input column lives on T (or the aggregates are COUNT(*) only),
+        // (b) no grouping attribute lives on T, and (c) no filter predicate
+        // references T. In the benchmark templates T is the fact-side
+        // relation of the aggregation (e.g. `orderproducts`), summarized once
+        // and reused by every query that joins it on the same key.
+        //
+        // Here the FROM table plays that role: the sketch summarizes the FROM
+        // table keyed on its join column, and the *dimension* side becomes
+        // the probe. This matches the instacart sketch templates, where the
+        // groupings and filters are on the joined dimension tables.
+        let fact = catalog.table(&query.from)?;
+        let agg_columns: Vec<String> = aggregates.iter().filter_map(|a| a.column.clone()).collect();
+        let aggregates_on_fact = agg_columns.iter().all(|c| fact.schema().contains(c));
+        if !aggregates_on_fact {
+            return Ok(());
+        }
+        let grouping_on_fact = query
+            .group_by
+            .iter()
+            .any(|g| fact.schema().contains(g));
+        if grouping_on_fact {
+            return Ok(());
+        }
+        let filters_on_fact = query.predicates.iter().any(|p| {
+            p.referenced_columns()
+                .iter()
+                .any(|c| fact.schema().contains(c))
+        });
+        if filters_on_fact {
+            return Ok(());
+        }
+        // Single-join shape only: the probe side is the one joined table (for
+        // multi-join templates the sample-based candidate covers the query).
+        if query.joins.len() != 1 {
+            return Ok(());
+        }
+        let join = &query.joins[0];
+        let dim = catalog.table(&join.table)?;
+        // Resolve key columns per side.
+        let mut fact_keys = Vec::new();
+        let mut dim_keys = Vec::new();
+        for (a, b) in &join.conditions {
+            if fact.schema().contains(a) && dim.schema().contains(b) {
+                fact_keys.push(a.clone());
+                dim_keys.push(b.clone());
+            } else if fact.schema().contains(b) && dim.schema().contains(a) {
+                fact_keys.push(b.clone());
+                dim_keys.push(a.clone());
+            } else {
+                return Ok(());
+            }
+        }
+        // Grouping attributes must all come from the probe (dimension) side.
+        if !query.group_by.iter().all(|g| dim.schema().contains(g)) {
+            return Ok(());
+        }
+        let value_column = agg_columns.first().cloned();
+
+        // Probe-side plan: scan of the dimension table with its predicates.
+        let dim_preds: Vec<Expr> = query
+            .predicates
+            .iter()
+            .filter(|p| {
+                p.referenced_columns()
+                    .iter()
+                    .all(|c| dim.schema().contains(c))
+            })
+            .cloned()
+            .collect();
+        let dim_filter = dim_preds.into_iter().reduce(Expr::and);
+        let probe = LogicalPlan::Scan {
+            table: join.table.clone(),
+            filter: dim_filter,
+            projection: None,
+        };
+
+        // Register the candidate sketch synopsis.
+        let fingerprint = format!(
+            "sketchjoin-summary({};{};{})",
+            query.from,
+            fact_keys.join(","),
+            value_column.clone().unwrap_or_default()
+        );
+        let provisional_id = metadata.allocate_id();
+        let accuracy = self.accuracy(query);
+        let synopsis_id = metadata.register(SynopsisDescriptor {
+            id: provisional_id,
+            fingerprint,
+            base_tables: vec![query.from.clone()],
+            kind: SynopsisKind::SketchJoin {
+                table: query.from.clone(),
+                key_columns: fact_keys.clone(),
+                value_column: value_column.clone(),
+            },
+            accuracy,
+            estimated_bytes: 512 << 10,
+            estimated_rows: fact.num_rows(),
+            pinned: false,
+        });
+
+        let existing = find_sketch_match(metadata, store, &query.from, &fact_keys, &value_column);
+        let (sketch_ref, uses, creates, description) = match existing {
+            Some(id) => (
+                SketchRef::Materialized { id },
+                vec![id],
+                vec![],
+                format!("reuse materialized sketch-join {id} over {}", query.from),
+            ),
+            None => (
+                SketchRef::Build {
+                    table: query.from.clone(),
+                    key_columns: fact_keys.clone(),
+                    value_column: value_column.clone(),
+                },
+                vec![],
+                vec![synopsis_id],
+                format!("sketch-join building sketch over {}", query.from),
+            ),
+        };
+
+        let future_plan = LogicalPlan::SketchJoinAgg {
+            probe: Box::new(probe.clone()),
+            probe_keys: dim_keys.clone(),
+            sketch: SketchRef::Materialized { id: synopsis_id },
+            synopsis_id,
+            group_by: query.group_by.clone(),
+            aggregates: aggregates.clone(),
+        };
+        out.push(CandidatePlan {
+            plan: LogicalPlan::SketchJoinAgg {
+                probe: Box::new(probe),
+                probe_keys: dim_keys,
+                sketch: sketch_ref,
+                synopsis_id,
+                group_by: query.group_by.clone(),
+                aggregates,
+            },
+            uses,
+            creates: creates.clone(),
+            cost_ns: 0.0,
+            future_cost_ns: 0.0,
+            future_plan: if creates.is_empty() {
+                None
+            } else {
+                Some(future_plan)
+            },
+            description,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use taster_engine::parse_query;
+    use taster_storage::batch::BatchBuilder;
+    use taster_storage::Table;
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let n = 20_000usize;
+        let orders = BatchBuilder::new()
+            .column("o_id", (0..n as i64).collect::<Vec<_>>())
+            .column("o_cust", (0..n as i64).map(|i| i % 50).collect::<Vec<_>>())
+            .column("o_flag", (0..n as i64).map(|i| i % 5).collect::<Vec<_>>())
+            .column("o_price", (0..n).map(|i| (i % 97) as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("orders", orders, 4).unwrap());
+        let cust = BatchBuilder::new()
+            .column("c_id", (0..50i64).collect::<Vec<_>>())
+            .column("c_region", (0..50i64).map(|i| i % 5).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        cat.register(Table::from_batch("customer", cust, 1).unwrap());
+        Arc::new(cat)
+    }
+
+    fn planner() -> Planner {
+        Planner::new(TasterConfig::default(), IoModel::default())
+    }
+
+    #[test]
+    fn generates_sample_candidate_for_group_by_query() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let q = parse_query(
+            "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%",
+        )
+        .unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        assert!(!out.candidates.is_empty());
+        assert!(out.exact_cost_ns > 0.0);
+        let create = &out.candidates[0];
+        assert_eq!(create.creates.len(), 1);
+        assert!(create.plan.is_approximate());
+        assert_eq!(md.num_synopses(), 1);
+    }
+
+    #[test]
+    fn reuse_candidate_appears_once_sample_is_materialized() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(64 << 20, 64 << 20);
+        let q = parse_query("SELECT o_flag, AVG(o_price) FROM orders GROUP BY o_flag").unwrap();
+        let p = planner();
+
+        let out1 = p.plan(&q, &cat, &mut md, &store).unwrap();
+        let created_id = out1.candidates[0].creates[0];
+        assert!(
+            !out1.candidates.iter().any(|c| !c.uses.is_empty()),
+            "no reuse before materialization"
+        );
+
+        // Materialize the sample by actually executing the creation plan.
+        let ctx = taster_engine::ExecutionContext::new(cat.clone());
+        let res = taster_engine::physical::execute(&out1.candidates[0].plan, &ctx).unwrap();
+        for (id, payload) in &res.byproducts {
+            store.insert_into_buffer(*id, payload, false);
+            md.set_actual_size(*id, payload.size_bytes());
+        }
+
+        let out2 = p.plan(&q, &cat, &mut md, &store).unwrap();
+        let reuse: Vec<_> = out2
+            .candidates
+            .iter()
+            .filter(|c| c.uses.contains(&created_id))
+            .collect();
+        assert_eq!(reuse.len(), 1, "exactly one reuse candidate expected");
+        assert!(
+            reuse[0].cost_ns < out2.exact_cost_ns,
+            "reuse must be cheaper than exact"
+        );
+        // The same logical synopsis is not registered twice.
+        assert_eq!(md.num_synopses(), 1);
+    }
+
+    #[test]
+    fn sketch_join_candidate_for_eligible_query() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let q = parse_query(
+            "SELECT c_region, COUNT(*) FROM orders JOIN customer ON o_cust = c_id GROUP BY c_region",
+        )
+        .unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        let sketch: Vec<_> = out
+            .candidates
+            .iter()
+            .filter(|c| matches!(c.plan, LogicalPlan::SketchJoinAgg { .. }))
+            .collect();
+        assert_eq!(sketch.len(), 1);
+        assert_eq!(sketch[0].creates.len(), 1);
+    }
+
+    #[test]
+    fn sketch_join_not_generated_when_grouping_on_fact() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let q = parse_query(
+            "SELECT o_flag, COUNT(*) FROM orders JOIN customer ON o_cust = c_id GROUP BY o_flag",
+        )
+        .unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        assert!(!out
+            .candidates
+            .iter()
+            .any(|c| matches!(c.plan, LogicalPlan::SketchJoinAgg { .. })));
+    }
+
+    #[test]
+    fn no_candidates_for_non_approximable_query() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let q = parse_query("SELECT o_id, o_price FROM orders WHERE o_price > 90").unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        assert!(out.candidates.is_empty());
+        assert_eq!(md.num_synopses(), 0);
+    }
+
+    #[test]
+    fn restrictive_accuracy_suppresses_sampling() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        // o_id is unique: stratifying on the grouping column yields one row
+        // per group, so no sampling probability can satisfy the requirement.
+        let q = parse_query(
+            "SELECT o_id, SUM(o_price) FROM orders GROUP BY o_id ERROR WITHIN 1% AT CONFIDENCE 99%",
+        )
+        .unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        assert!(out
+            .candidates
+            .iter()
+            .all(|c| !matches!(c.plan, LogicalPlan::Aggregate { .. }) || c.creates.is_empty()));
+    }
+
+    #[test]
+    fn alternatives_mirror_candidates() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let q = parse_query("SELECT o_flag, COUNT(*) FROM orders GROUP BY o_flag").unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        let alts = out.alternatives();
+        assert_eq!(alts.len(), out.candidates.len());
+        for (a, c) in alts.iter().zip(&out.candidates) {
+            // Alternatives carry the cost assuming the synopsis exists; for
+            // plans that create one this is cheaper than the immediate cost.
+            assert_eq!(a.cost_ns, c.future_cost_ns);
+            assert!(a.cost_ns <= c.cost_ns + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The synopsis buffer and warehouse.
+//!
+//! Materialized synopses live in one of two tiers (Section III):
+//!
+//! * the **synopsis buffer** — a fixed-size in-memory cache holding synopses
+//!   freshly generated as byproducts of query execution; it decouples the
+//!   (expensive) decision to persist a synopsis from the (latency-critical)
+//!   query path,
+//! * the **synopsis warehouse** — the persistent, quota-bounded store
+//!   (HDFS in the paper, a simulated persistent tier here).
+//!
+//! The store implements [`SynopsisProvider`] so the engine's executor can
+//! resolve `SynopsisScan` / `SketchRef::Materialized` nodes directly, and it
+//! reports the tier of every hit so reads are charged at the right simulated
+//! bandwidth.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use taster_engine::context::{SynopsisLocation, SynopsisProvider};
+use taster_engine::SynopsisPayload;
+use taster_synopses::sketch_join::SketchJoin;
+use taster_synopses::WeightedSample;
+
+use crate::synopsis::SynopsisId;
+
+/// A materialized synopsis payload plus bookkeeping.
+#[derive(Debug, Clone)]
+struct Stored {
+    sample: Option<Arc<WeightedSample>>,
+    sketch: Option<Arc<SketchJoin>>,
+    bytes: usize,
+    pinned: bool,
+}
+
+#[derive(Debug, Default)]
+struct Tier {
+    entries: HashMap<SynopsisId, Stored>,
+    used_bytes: usize,
+    quota_bytes: usize,
+}
+
+impl Tier {
+    fn insert(&mut self, id: SynopsisId, stored: Stored) {
+        self.used_bytes += stored.bytes;
+        if let Some(old) = self.entries.insert(id, stored) {
+            self.used_bytes -= old.bytes;
+        }
+    }
+
+    fn remove(&mut self, id: SynopsisId) -> Option<Stored> {
+        let removed = self.entries.remove(&id)?;
+        self.used_bytes -= removed.bytes;
+        Some(removed)
+    }
+}
+
+/// Two-tier synopsis store (buffer + warehouse) with byte quotas.
+#[derive(Debug)]
+pub struct SynopsisStore {
+    buffer: RwLock<Tier>,
+    warehouse: RwLock<Tier>,
+}
+
+/// A snapshot of the store's occupancy, used by the benchmark harnesses
+/// (Fig. 6 plots the warehouse size over time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreUsage {
+    /// Bytes currently held in the buffer.
+    pub buffer_bytes: usize,
+    /// Buffer quota.
+    pub buffer_quota: usize,
+    /// Bytes currently held in the warehouse.
+    pub warehouse_bytes: usize,
+    /// Warehouse quota.
+    pub warehouse_quota: usize,
+    /// Number of synopses in the buffer.
+    pub buffer_count: usize,
+    /// Number of synopses in the warehouse.
+    pub warehouse_count: usize,
+}
+
+impl SynopsisStore {
+    /// Create a store with the given byte quotas.
+    pub fn new(buffer_quota_bytes: usize, warehouse_quota_bytes: usize) -> Self {
+        Self {
+            buffer: RwLock::new(Tier {
+                quota_bytes: buffer_quota_bytes,
+                ..Default::default()
+            }),
+            warehouse: RwLock::new(Tier {
+                quota_bytes: warehouse_quota_bytes,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Current occupancy of both tiers.
+    pub fn usage(&self) -> StoreUsage {
+        let b = self.buffer.read();
+        let w = self.warehouse.read();
+        StoreUsage {
+            buffer_bytes: b.used_bytes,
+            buffer_quota: b.quota_bytes,
+            warehouse_bytes: w.used_bytes,
+            warehouse_quota: w.quota_bytes,
+            buffer_count: b.entries.len(),
+            warehouse_count: w.entries.len(),
+        }
+    }
+
+    /// Change the warehouse quota at runtime (storage elasticity). The tuner
+    /// is responsible for re-evaluating and evicting afterwards.
+    pub fn set_warehouse_quota(&self, bytes: usize) {
+        self.warehouse.write().quota_bytes = bytes;
+    }
+
+    /// The warehouse quota in bytes.
+    pub fn warehouse_quota(&self) -> usize {
+        self.warehouse.read().quota_bytes
+    }
+
+    /// Where a synopsis currently lives, if materialized at all.
+    pub fn location(&self, id: SynopsisId) -> Option<SynopsisLocation> {
+        if self.buffer.read().entries.contains_key(&id) {
+            return Some(SynopsisLocation::Buffer);
+        }
+        if self.warehouse.read().entries.contains_key(&id) {
+            return Some(SynopsisLocation::Warehouse);
+        }
+        None
+    }
+
+    /// Actual size in bytes of a materialized synopsis.
+    pub fn size_of(&self, id: SynopsisId) -> Option<usize> {
+        if let Some(s) = self.buffer.read().entries.get(&id) {
+            return Some(s.bytes);
+        }
+        self.warehouse.read().entries.get(&id).map(|s| s.bytes)
+    }
+
+    /// Ids of the synopses currently held in the in-memory buffer.
+    pub fn buffer_ids(&self) -> Vec<SynopsisId> {
+        let mut ids: Vec<SynopsisId> = self.buffer.read().entries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Ids of all synopses currently materialized (either tier).
+    pub fn materialized_ids(&self) -> Vec<SynopsisId> {
+        let mut ids: Vec<SynopsisId> = self
+            .buffer
+            .read()
+            .entries
+            .keys()
+            .chain(self.warehouse.read().entries.keys())
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Insert a byproduct synopsis into the in-memory buffer.
+    pub fn insert_into_buffer(&self, id: SynopsisId, payload: &SynopsisPayload, pinned: bool) {
+        let stored = to_stored(payload, pinned);
+        self.buffer.write().insert(id, stored);
+    }
+
+    /// Insert a synopsis directly into the warehouse (offline pre-built or
+    /// promoted from the buffer).
+    pub fn insert_into_warehouse(&self, id: SynopsisId, payload: &SynopsisPayload, pinned: bool) {
+        let stored = to_stored(payload, pinned);
+        self.warehouse.write().insert(id, stored);
+    }
+
+    /// Move a synopsis from the buffer to the warehouse, if present.
+    pub fn promote_to_warehouse(&self, id: SynopsisId) -> bool {
+        let Some(stored) = self.buffer.write().remove(id) else {
+            return false;
+        };
+        self.warehouse.write().insert(id, stored);
+        true
+    }
+
+    /// Remove a synopsis from wherever it lives. Pinned synopses are never
+    /// removed (returns `false`).
+    pub fn evict(&self, id: SynopsisId) -> bool {
+        {
+            let mut buffer = self.buffer.write();
+            if let Some(e) = buffer.entries.get(&id) {
+                if e.pinned {
+                    return false;
+                }
+                buffer.remove(id);
+                return true;
+            }
+        }
+        let mut warehouse = self.warehouse.write();
+        if let Some(e) = warehouse.entries.get(&id) {
+            if e.pinned {
+                return false;
+            }
+            warehouse.remove(id);
+            return true;
+        }
+        false
+    }
+
+    /// `true` if the buffer is over its quota.
+    pub fn buffer_over_quota(&self) -> bool {
+        let b = self.buffer.read();
+        b.used_bytes > b.quota_bytes
+    }
+
+    /// `true` if the warehouse is over its quota.
+    pub fn warehouse_over_quota(&self) -> bool {
+        let w = self.warehouse.read();
+        w.used_bytes > w.quota_bytes
+    }
+
+    /// Free warehouse space (in bytes) still available under the quota.
+    pub fn warehouse_free_bytes(&self) -> usize {
+        let w = self.warehouse.read();
+        w.quota_bytes.saturating_sub(w.used_bytes)
+    }
+}
+
+fn to_stored(payload: &SynopsisPayload, pinned: bool) -> Stored {
+    match payload {
+        SynopsisPayload::Sample(s) => Stored {
+            bytes: s.size_bytes(),
+            sample: Some(Arc::new(s.clone())),
+            sketch: None,
+            pinned,
+        },
+        SynopsisPayload::Sketch(s) => Stored {
+            bytes: s.size_bytes(),
+            sample: None,
+            sketch: Some(Arc::new(s.clone())),
+            pinned,
+        },
+    }
+}
+
+impl SynopsisProvider for SynopsisStore {
+    fn sample(&self, id: u64) -> Option<(Arc<WeightedSample>, SynopsisLocation)> {
+        if let Some(s) = self.buffer.read().entries.get(&id) {
+            return s.sample.clone().map(|s| (s, SynopsisLocation::Buffer));
+        }
+        if let Some(s) = self.warehouse.read().entries.get(&id) {
+            return s.sample.clone().map(|s| (s, SynopsisLocation::Warehouse));
+        }
+        None
+    }
+
+    fn sketch(&self, id: u64) -> Option<(Arc<SketchJoin>, SynopsisLocation)> {
+        if let Some(s) = self.buffer.read().entries.get(&id) {
+            return s.sketch.clone().map(|s| (s, SynopsisLocation::Buffer));
+        }
+        if let Some(s) = self.warehouse.read().entries.get(&id) {
+            return s.sketch.clone().map(|s| (s, SynopsisLocation::Warehouse));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_storage::batch::BatchBuilder;
+
+    fn sample_payload(rows: usize) -> SynopsisPayload {
+        let b = BatchBuilder::new()
+            .column("x", (0..rows as i64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        SynopsisPayload::Sample(WeightedSample {
+            rows: b,
+            weights: vec![1.0; rows],
+            stratification: vec![],
+            probability: 1.0,
+            source_rows: rows,
+        })
+    }
+
+    #[test]
+    fn buffer_insert_lookup_and_promote() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_buffer(1, &sample_payload(10), false);
+        assert_eq!(store.location(1), Some(SynopsisLocation::Buffer));
+        assert!(store.sample(1).is_some());
+        assert!(store.promote_to_warehouse(1));
+        assert_eq!(store.location(1), Some(SynopsisLocation::Warehouse));
+        let (_, loc) = store.sample(1).unwrap();
+        assert_eq!(loc, SynopsisLocation::Warehouse);
+        assert!(!store.promote_to_warehouse(1), "already promoted");
+    }
+
+    #[test]
+    fn quota_accounting_and_eviction() {
+        let store = SynopsisStore::new(100, 200);
+        store.insert_into_buffer(1, &sample_payload(100), false);
+        assert!(store.buffer_over_quota());
+        assert!(store.evict(1));
+        assert!(!store.buffer_over_quota());
+        assert_eq!(store.usage().buffer_bytes, 0);
+        assert!(!store.evict(1), "already evicted");
+    }
+
+    #[test]
+    fn pinned_synopses_survive_eviction() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_warehouse(5, &sample_payload(10), true);
+        assert!(!store.evict(5));
+        assert!(store.sample(5).is_some());
+    }
+
+    #[test]
+    fn elastic_quota_changes() {
+        let store = SynopsisStore::new(10, 1000);
+        assert_eq!(store.warehouse_quota(), 1000);
+        store.set_warehouse_quota(10);
+        assert_eq!(store.warehouse_quota(), 10);
+        store.insert_into_warehouse(2, &sample_payload(50), false);
+        assert!(store.warehouse_over_quota());
+        assert_eq!(store.warehouse_free_bytes(), 0);
+    }
+
+    #[test]
+    fn materialized_ids_are_sorted_and_deduped() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_buffer(3, &sample_payload(1), false);
+        store.insert_into_warehouse(1, &sample_payload(1), false);
+        assert_eq!(store.materialized_ids(), vec![1, 3]);
+        assert!(store.size_of(3).unwrap() > 0);
+        assert!(store.size_of(99).is_none());
+    }
+}

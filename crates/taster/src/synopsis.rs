@@ -1,0 +1,138 @@
+//! Synopsis descriptors: the logical identity of a synopsis.
+
+use serde::{Deserialize, Serialize};
+use taster_engine::sql::ErrorSpec;
+use taster_engine::SampleMethod;
+
+/// Unique identifier of a synopsis (candidate or materialized).
+pub type SynopsisId = u64;
+
+/// What kind of synopsis a descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SynopsisKind {
+    /// A weighted sample of a base relation (or subplan), with the given
+    /// sampling method.
+    Sample {
+        /// Sampler configuration.
+        method: SampleMethod,
+    },
+    /// A sketch-join summary of one join side.
+    SketchJoin {
+        /// Summarized table.
+        table: String,
+        /// Join key columns.
+        key_columns: Vec<String>,
+        /// Value column carried by the sketch (None for COUNT-only).
+        value_column: Option<String>,
+    },
+}
+
+impl SynopsisKind {
+    /// Stratification attributes guaranteed by the synopsis (empty for
+    /// uniform samples and sketches).
+    pub fn stratification(&self) -> Vec<String> {
+        match self {
+            SynopsisKind::Sample { method } => method.stratification().to_vec(),
+            SynopsisKind::SketchJoin { .. } => Vec::new(),
+        }
+    }
+
+    /// `true` for sketch synopses.
+    pub fn is_sketch(&self) -> bool {
+        matches!(self, SynopsisKind::SketchJoin { .. })
+    }
+}
+
+/// The logical definition of a synopsis: which subplan it summarizes, with
+/// what guarantees, and how big it is expected to be. This is exactly the
+/// per-synopsis record the paper's metadata store keeps (Section III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynopsisDescriptor {
+    /// Identifier.
+    pub id: SynopsisId,
+    /// Canonical fingerprint of the logical subplan whose results this
+    /// synopsis summarizes.
+    pub fingerprint: String,
+    /// Base relations under the summarized subplan.
+    pub base_tables: Vec<String>,
+    /// Kind and configuration.
+    pub kind: SynopsisKind,
+    /// Accuracy guarantee the synopsis was configured for.
+    pub accuracy: ErrorSpec,
+    /// Estimated size in bytes (refined to the actual size once built).
+    pub estimated_bytes: usize,
+    /// Estimated number of rows (samples) or summarized rows (sketches).
+    pub estimated_rows: usize,
+    /// `true` for user-pinned synopses that the tuner must never evict
+    /// (Section V, user hints).
+    pub pinned: bool,
+}
+
+impl SynopsisDescriptor {
+    /// Stratification attributes of the synopsis.
+    pub fn stratification(&self) -> Vec<String> {
+        self.kind.stratification()
+    }
+
+    /// The key under which the synopsis is indexed in the metadata store:
+    /// its base tables plus, for sketches, the join attributes (Section IV-A
+    /// "Subplan matching is expensive. Therefore, Taster utilizes an index
+    /// ... using their base relations as the key. In the case of joins, the
+    /// join attribute(s) are also included in the key.").
+    pub fn index_key(&self) -> String {
+        let mut key = self.base_tables.join("+");
+        if let SynopsisKind::SketchJoin { key_columns, .. } = &self.kind {
+            key.push('|');
+            key.push_str(&key_columns.join(","));
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_descriptor() -> SynopsisDescriptor {
+        SynopsisDescriptor {
+            id: 1,
+            fingerprint: "sample(a;scan(t;;*))".into(),
+            base_tables: vec!["t".into()],
+            kind: SynopsisKind::Sample {
+                method: SampleMethod::Distinct {
+                    stratification: vec!["a".into()],
+                    delta: 10,
+                    probability: 0.05,
+                },
+            },
+            accuracy: ErrorSpec::default(),
+            estimated_bytes: 1024,
+            estimated_rows: 100,
+            pinned: false,
+        }
+    }
+
+    #[test]
+    fn stratification_comes_from_kind() {
+        assert_eq!(sample_descriptor().stratification(), vec!["a".to_string()]);
+        let sketch = SynopsisKind::SketchJoin {
+            table: "t".into(),
+            key_columns: vec!["k".into()],
+            value_column: None,
+        };
+        assert!(sketch.stratification().is_empty());
+        assert!(sketch.is_sketch());
+    }
+
+    #[test]
+    fn index_key_includes_join_attributes_for_sketches() {
+        let mut d = sample_descriptor();
+        assert_eq!(d.index_key(), "t");
+        d.kind = SynopsisKind::SketchJoin {
+            table: "t".into(),
+            key_columns: vec!["k1".into(), "k2".into()],
+            value_column: Some("v".into()),
+        };
+        assert_eq!(d.index_key(), "t|k1,k2");
+    }
+}

@@ -1,0 +1,546 @@
+//! The continuous synopsis tuner (Section V).
+//!
+//! The tuner solves two problems at every query: which plan to execute now,
+//! and which set of synopses `S` to keep (subject to the warehouse space
+//! quota) so that the gain over the next `w` queries is maximized. Because
+//! the future queries are unknown, the last `w` queries stand in for them.
+//! The objective `gain(Q, S)` is monotone submodular, so a greedy algorithm
+//! achieves a constant-factor approximation ([27] in the paper); following
+//! CELF we take the better of plain-benefit greedy and benefit-per-byte
+//! greedy.
+//!
+//! The window length `w` itself adapts: the tuner periodically evaluates
+//! which of `w⁻ = ⌊(1-α)·w⌋`, `w`, `w⁺ = ⌈(1+α)·w⌉` would have served the
+//! most recent queries best, and switches to it.
+
+use std::collections::HashSet;
+
+use crate::config::TasterConfig;
+use crate::metadata::{MetadataStore, QueryRecord};
+use crate::planner::PlannerOutput;
+use crate::store::SynopsisStore;
+use crate::synopsis::SynopsisId;
+
+/// Which plan the tuner chose for the current query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenPlan {
+    /// Execute the exact (synopsis-free) plan.
+    Exact,
+    /// Execute the candidate at this index in the planner output.
+    Candidate(usize),
+}
+
+/// The tuner's decision for one query.
+#[derive(Debug, Clone)]
+pub struct TunerDecision {
+    /// The plan to execute.
+    pub chosen: ChosenPlan,
+    /// The synopsis set `S` to retain in the warehouse.
+    pub keep: Vec<SynopsisId>,
+    /// Materialized synopses to evict (not in `S`, not pinned).
+    pub evict: Vec<SynopsisId>,
+    /// The window length used for this decision.
+    pub window: usize,
+}
+
+/// The continuous tuner.
+#[derive(Debug)]
+pub struct Tuner {
+    window: usize,
+    alpha: f64,
+    adaptive: bool,
+    queries_since_adaptation: usize,
+    /// History of window values, kept so experiments can report how `w`
+    /// evolved (the paper observes it fluctuating between 12 and 17).
+    window_history: Vec<usize>,
+}
+
+impl Tuner {
+    /// Create a tuner from the engine configuration.
+    pub fn new(config: &TasterConfig) -> Self {
+        Self {
+            window: config.initial_window.max(1),
+            alpha: config.window_alpha.clamp(0.01, 0.9),
+            adaptive: config.adaptive_window,
+            queries_since_adaptation: 0,
+            window_history: vec![config.initial_window.max(1)],
+        }
+    }
+
+    /// The current window length `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The history of window lengths over time.
+    pub fn window_history(&self) -> &[usize] {
+        &self.window_history
+    }
+
+    /// Make the decision for the current query: choose a plan, and choose the
+    /// synopsis set to keep under the warehouse quota.
+    pub fn decide(
+        &mut self,
+        output: &PlannerOutput,
+        metadata: &MetadataStore,
+        store: &SynopsisStore,
+    ) -> TunerDecision {
+        self.maybe_adapt_window(metadata, store);
+
+        let budget = store.warehouse_quota();
+        let recent: Vec<&QueryRecord> = metadata.recent_queries(self.window);
+        let keep = select_synopses(&recent, metadata, store, budget);
+        let keep_set: HashSet<SynopsisId> = keep.iter().copied().collect();
+
+        // Evict everything materialized that did not make the cut.
+        let evict: Vec<SynopsisId> = store
+            .materialized_ids()
+            .into_iter()
+            .filter(|id| !keep_set.contains(id))
+            .filter(|id| {
+                metadata
+                    .get(*id)
+                    .map(|m| !m.descriptor.pinned)
+                    .unwrap_or(true)
+            })
+            .collect();
+
+        // Choose the plan for the query at hand. Candidates that only
+        // *create* synopses are always executable; candidates that *reuse*
+        // synopses need them to still be materialized after eviction.
+        //
+        // The tuner optimizes long-term throughput, not only this query
+        // (Section V): a plan whose byproduct synopsis made it into the
+        // keep-set is credited with part of the benefit that synopsis is
+        // expected to deliver to a future query, so Taster is willing to pay
+        // a small online-materialization overhead now to avoid base-table
+        // scans later.
+        let mut chosen = ChosenPlan::Exact;
+        let mut best_cost = output.exact_cost_ns;
+        for (i, cand) in output.candidates.iter().enumerate() {
+            let usable = cand.uses.iter().all(|id| {
+                keep_set.contains(id) || store.location(*id).is_some() && !evict.contains(id)
+            });
+            if !usable {
+                continue;
+            }
+            let creates_kept = !cand.creates.is_empty()
+                && cand.creates.iter().all(|id| keep_set.contains(id));
+            let credit = if creates_kept {
+                0.5 * (output.exact_cost_ns - cand.future_cost_ns).max(0.0)
+            } else {
+                0.0
+            };
+            let effective = cand.cost_ns - credit;
+            if effective < best_cost {
+                best_cost = effective;
+                chosen = ChosenPlan::Candidate(i);
+            }
+        }
+
+        self.queries_since_adaptation += 1;
+        TunerDecision {
+            chosen,
+            keep,
+            evict,
+            window: self.window,
+        }
+    }
+
+    /// Re-evaluate the synopsis set after an external change (storage
+    /// elasticity: the administrator changed the quota at runtime).
+    pub fn reevaluate(
+        &mut self,
+        metadata: &MetadataStore,
+        store: &SynopsisStore,
+    ) -> Vec<SynopsisId> {
+        let recent: Vec<&QueryRecord> = metadata.recent_queries(self.window);
+        let keep = select_synopses(&recent, metadata, store, store.warehouse_quota());
+        let keep_set: HashSet<SynopsisId> = keep.iter().copied().collect();
+        store
+            .materialized_ids()
+            .into_iter()
+            .filter(|id| !keep_set.contains(id))
+            .filter(|id| {
+                metadata
+                    .get(*id)
+                    .map(|m| !m.descriptor.pinned)
+                    .unwrap_or(true)
+            })
+            .collect()
+    }
+
+    /// Periodically (every `w` queries) check whether a smaller or larger
+    /// window would have produced a better synopsis set for the most recent
+    /// queries, and adopt it.
+    fn maybe_adapt_window(&mut self, metadata: &MetadataStore, store: &SynopsisStore) {
+        if !self.adaptive || self.queries_since_adaptation < self.window {
+            return;
+        }
+        self.queries_since_adaptation = 0;
+
+        let w_minus = (((1.0 - self.alpha) * self.window as f64).floor() as usize).max(2);
+        let w_plus = ((1.0 + self.alpha) * self.window as f64).ceil() as usize;
+        let candidates = [w_minus, self.window, w_plus];
+
+        // Evaluate each candidate window: select synopses using queries
+        // *before* the most recent w, then measure the cost of the most
+        // recent w queries under that selection.
+        let eval_horizon = self.window;
+        let history = metadata.recent_queries(self.window * 3 + eval_horizon);
+        if history.len() <= eval_horizon + 2 {
+            return;
+        }
+        let (train, test) = history.split_at(history.len() - eval_horizon);
+        let budget = store.warehouse_quota();
+
+        let mut best_w = self.window;
+        let mut best_cost = f64::INFINITY;
+        for &w in &candidates {
+            let train_window: Vec<&QueryRecord> =
+                train.iter().rev().take(w).rev().copied().collect();
+            let selection = select_synopses(&train_window, metadata, store, budget);
+            let set: HashSet<SynopsisId> = selection.into_iter().collect();
+            let cost: f64 = test
+                .iter()
+                .map(|q| q.cost_given(&|id| set.contains(&id)))
+                .sum();
+            if cost < best_cost - 1e-6 {
+                best_cost = cost;
+                best_w = w;
+            }
+        }
+        self.window = best_w.max(2);
+        self.window_history.push(self.window);
+    }
+}
+
+/// Greedy submodular selection of the synopsis set under a byte budget.
+///
+/// Runs both plain-benefit greedy and benefit-per-byte greedy and returns the
+/// selection with the larger total gain (the CELF-style guarantee of
+/// `(1 − 1/e)/2` from the paper's reference [27]). Pinned synopses are always
+/// part of the selection and consume budget first.
+pub fn select_synopses(
+    window: &[&QueryRecord],
+    metadata: &MetadataStore,
+    store: &SynopsisStore,
+    budget_bytes: usize,
+) -> Vec<SynopsisId> {
+    // Universe: every synopsis referenced by any alternative in the window,
+    // plus everything currently materialized (it may still serve queries
+    // outside the window).
+    let mut universe: HashSet<SynopsisId> = HashSet::new();
+    for q in window {
+        for alt in &q.alternatives {
+            universe.extend(alt.synopses.iter().copied());
+        }
+    }
+    universe.extend(store.materialized_ids());
+    // Pinned (user-hinted) synopses are part of the selection even when no
+    // recent query referenced them — the user promised they will be useful.
+    for id in metadata.synopsis_ids() {
+        if metadata
+            .get(id)
+            .map(|m| m.descriptor.pinned)
+            .unwrap_or(false)
+        {
+            universe.insert(id);
+        }
+    }
+
+    let size_of = |id: SynopsisId| -> usize {
+        store
+            .size_of(id)
+            .or_else(|| metadata.get(id).map(|m| m.size_bytes()))
+            .unwrap_or(usize::MAX / 4)
+    };
+
+    // Pinned synopses are mandatory.
+    let mut pinned: Vec<SynopsisId> = universe
+        .iter()
+        .copied()
+        .filter(|id| metadata.get(*id).map(|m| m.descriptor.pinned).unwrap_or(false))
+        .collect();
+    pinned.sort_unstable();
+    let pinned_bytes: usize = pinned.iter().map(|&id| size_of(id)).sum();
+    let budget = budget_bytes.saturating_sub(pinned_bytes);
+
+    let candidates: Vec<SynopsisId> = universe
+        .iter()
+        .copied()
+        .filter(|id| !pinned.contains(id))
+        .collect();
+
+    let gain_of_set = |set: &HashSet<SynopsisId>| -> f64 {
+        window
+            .iter()
+            .map(|q| q.gain_given(&|id| set.contains(&id) || pinned.contains(&id)))
+            .sum()
+    };
+
+    let run_greedy = |per_byte: bool| -> (Vec<SynopsisId>, f64) {
+        let mut selected: Vec<SynopsisId> = Vec::new();
+        let mut selected_set: HashSet<SynopsisId> = HashSet::new();
+        let mut used = 0usize;
+        let mut current_gain = gain_of_set(&selected_set);
+        loop {
+            let mut best: Option<(SynopsisId, f64, usize)> = None;
+            for &id in &candidates {
+                if selected_set.contains(&id) {
+                    continue;
+                }
+                let size = size_of(id);
+                if used + size > budget {
+                    continue;
+                }
+                let mut with = selected_set.clone();
+                with.insert(id);
+                let marginal = gain_of_set(&with) - current_gain;
+                if marginal <= 1e-9 {
+                    continue;
+                }
+                let score = if per_byte {
+                    marginal / size.max(1) as f64
+                } else {
+                    marginal
+                };
+                match best {
+                    Some((_, best_score, _)) if best_score >= score => {}
+                    _ => best = Some((id, score, size)),
+                }
+            }
+            let Some((id, _, size)) = best else { break };
+            selected.push(id);
+            selected_set.insert(id);
+            used += size;
+            current_gain = gain_of_set(&selected_set);
+        }
+        (selected, current_gain)
+    };
+
+    let (by_gain, g1) = run_greedy(false);
+    let (by_density, g2) = run_greedy(true);
+    let mut chosen = if g2 > g1 { by_density } else { by_gain };
+    chosen.extend(pinned);
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::PlanAlternative;
+    use crate::synopsis::{SynopsisDescriptor, SynopsisKind};
+    use taster_engine::sql::ErrorSpec;
+    use taster_engine::SampleMethod;
+
+    fn register(md: &mut MetadataStore, bytes: usize, pinned: bool) -> SynopsisId {
+        let id = md.allocate_id();
+        md.register(SynopsisDescriptor {
+            id,
+            fingerprint: format!("fp-{id}"),
+            base_tables: vec!["t".into()],
+            kind: SynopsisKind::Sample {
+                method: SampleMethod::Uniform { probability: 0.1 },
+            },
+            accuracy: ErrorSpec::default(),
+            estimated_bytes: bytes,
+            estimated_rows: 10,
+            pinned,
+        })
+    }
+
+    fn record(md: &mut MetadataStore, exact: f64, alts: Vec<(Vec<SynopsisId>, f64)>) {
+        let alternatives = alts
+            .into_iter()
+            .map(|(synopses, cost_ns)| PlanAlternative { synopses, cost_ns })
+            .collect();
+        md.record_query(exact, alternatives);
+    }
+
+    #[test]
+    fn greedy_respects_budget_and_prefers_high_gain() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1000);
+        let a = register(&mut md, 600, false); // big, high gain
+        let b = register(&mut md, 300, false); // small, medium gain
+        let c = register(&mut md, 300, false); // small, small gain
+        // Three query families, each served by a different synopsis.
+        for _ in 0..3 {
+            record(&mut md, 100.0, vec![(vec![a], 10.0)]);
+            record(&mut md, 100.0, vec![(vec![b], 40.0)]);
+            record(&mut md, 100.0, vec![(vec![c], 90.0)]);
+        }
+        let window: Vec<&QueryRecord> = md.recent_queries(9);
+        let keep = select_synopses(&window, &md, &store, 1000);
+        assert!(keep.contains(&a));
+        assert!(keep.contains(&b));
+        assert!(!keep.contains(&c), "budget exhausted after a+b");
+        let total: usize = keep
+            .iter()
+            .map(|id| md.get(*id).unwrap().size_bytes())
+            .sum();
+        assert!(total <= 1000);
+    }
+
+    #[test]
+    fn density_greedy_wins_when_big_item_crowds_out_better_combo() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1000);
+        let big = register(&mut md, 1000, false);
+        let s1 = register(&mut md, 400, false);
+        let s2 = register(&mut md, 400, false);
+        // big gives 50 gain; s1+s2 give 40+40=80 but each alone gives 40.
+        for _ in 0..3 {
+            record(
+                &mut md,
+                100.0,
+                vec![(vec![big], 50.0), (vec![s1], 60.0), (vec![s2], 60.0)],
+            );
+        }
+        let window: Vec<&QueryRecord> = md.recent_queries(3);
+        let keep = select_synopses(&window, &md, &store, 1000);
+        // Either selection is a valid approximation, but it must fit.
+        let total: usize = keep
+            .iter()
+            .map(|id| md.get(*id).unwrap().size_bytes())
+            .sum();
+        assert!(total <= 1000);
+        assert!(!keep.is_empty());
+    }
+
+    #[test]
+    fn pinned_synopses_are_always_kept() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 500);
+        let pinned = register(&mut md, 400, true);
+        let other = register(&mut md, 400, false);
+        record(&mut md, 100.0, vec![(vec![other], 1.0)]);
+        let window: Vec<&QueryRecord> = md.recent_queries(1);
+        let keep = select_synopses(&window, &md, &store, 500);
+        assert!(keep.contains(&pinned));
+        assert!(!keep.contains(&other), "no budget left after the pinned one");
+    }
+
+    #[test]
+    fn decide_picks_cheapest_usable_plan_and_evicts_losers() {
+        use crate::planner::{CandidatePlan, PlannerOutput};
+        use taster_engine::{parse_query, LogicalPlan};
+
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 10_000);
+        let good = register(&mut md, 100, false);
+        // Materialize a synopsis that nothing in the window wants: it must be
+        // evicted.
+        let stale = register(&mut md, 100, false);
+        let rows = taster_storage::batch::BatchBuilder::new()
+            .column("x", vec![1i64])
+            .build()
+            .unwrap();
+        store.insert_into_warehouse(
+            stale,
+            &taster_engine::SynopsisPayload::Sample(taster_synopses::WeightedSample {
+                rows,
+                weights: vec![1.0],
+                stratification: vec![],
+                probability: 1.0,
+                source_rows: 1,
+            }),
+            false,
+        );
+
+        for _ in 0..5 {
+            record(&mut md, 100.0, vec![(vec![good], 20.0)]);
+        }
+
+        let query = parse_query("SELECT COUNT(*) FROM t").unwrap();
+        let output = PlannerOutput {
+            query,
+            exact_plan: LogicalPlan::Scan {
+                table: "t".into(),
+                filter: None,
+                projection: None,
+            },
+            exact_cost_ns: 100.0,
+            candidates: vec![CandidatePlan {
+                plan: LogicalPlan::Scan {
+                    table: "t".into(),
+                    filter: None,
+                    projection: None,
+                },
+                uses: vec![],
+                creates: vec![good],
+                cost_ns: 20.0,
+                future_cost_ns: 20.0,
+                future_plan: None,
+                description: "create".into(),
+            }],
+        };
+
+        let mut tuner = Tuner::new(&TasterConfig::default());
+        let decision = tuner.decide(&output, &md, &store);
+        assert_eq!(decision.chosen, ChosenPlan::Candidate(0));
+        assert!(decision.keep.contains(&good));
+        assert!(decision.evict.contains(&stale));
+    }
+
+    #[test]
+    fn window_adapts_when_enough_history_exists() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let s = register(&mut md, 100, false);
+        let mut config = TasterConfig {
+            initial_window: 4,
+            ..TasterConfig::default()
+        };
+        config.adaptive_window = true;
+        let mut tuner = Tuner::new(&config);
+
+        let query = taster_engine::parse_query("SELECT COUNT(*) FROM t").unwrap();
+        let output = PlannerOutput {
+            query,
+            exact_plan: taster_engine::LogicalPlan::Scan {
+                table: "t".into(),
+                filter: None,
+                projection: None,
+            },
+            exact_cost_ns: 100.0,
+            candidates: vec![],
+        };
+        for _ in 0..40 {
+            record(&mut md, 100.0, vec![(vec![s], 10.0)]);
+            tuner.decide(&output, &md, &store);
+        }
+        assert!(tuner.window_history().len() > 1, "window never re-evaluated");
+        assert!(tuner.window() >= 2);
+    }
+
+    #[test]
+    fn reevaluate_evicts_everything_when_quota_drops_to_zero() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let id = register(&mut md, 100, false);
+        let rows = taster_storage::batch::BatchBuilder::new()
+            .column("x", vec![1i64])
+            .build()
+            .unwrap();
+        store.insert_into_warehouse(
+            id,
+            &taster_engine::SynopsisPayload::Sample(taster_synopses::WeightedSample {
+                rows,
+                weights: vec![1.0],
+                stratification: vec![],
+                probability: 1.0,
+                source_rows: 1,
+            }),
+            false,
+        );
+        record(&mut md, 100.0, vec![(vec![id], 10.0)]);
+        let mut tuner = Tuner::new(&TasterConfig::default());
+        store.set_warehouse_quota(0);
+        let evict = tuner.reevaluate(&md, &store);
+        assert!(evict.contains(&id));
+    }
+}

@@ -1,0 +1,157 @@
+//! Workload drivers: templates, random sequences and epoch sequences.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A parameterized query template. Instantiating it with a random generator
+/// produces concrete SQL with randomized predicate values.
+pub struct QueryTemplate {
+    /// Template identifier (e.g. "tpch-q6", "sketch-1").
+    pub id: String,
+    generator: Box<dyn Fn(&mut SmallRng) -> String + Send + Sync>,
+}
+
+impl QueryTemplate {
+    /// Create a template from a generator closure.
+    pub fn new(
+        id: impl Into<String>,
+        generator: impl Fn(&mut SmallRng) -> String + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            generator: Box::new(generator),
+        }
+    }
+
+    /// Instantiate the template with random predicate values.
+    pub fn instantiate(&self, rng: &mut SmallRng) -> String {
+        (self.generator)(rng)
+    }
+}
+
+impl std::fmt::Debug for QueryTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QueryTemplate({})", self.id)
+    }
+}
+
+/// One concrete query of a workload sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryInstance {
+    /// The template this query was instantiated from.
+    pub template_id: String,
+    /// The SQL text.
+    pub sql: String,
+}
+
+/// A named workload: a set of templates over a schema registered elsewhere.
+pub struct Workload {
+    /// Workload name ("tpch", "tpcds", "instacart").
+    pub name: String,
+    /// The available templates.
+    pub templates: Vec<QueryTemplate>,
+}
+
+impl Workload {
+    /// Find a template by id.
+    pub fn template(&self, id: &str) -> Option<&QueryTemplate> {
+        self.templates.iter().find(|t| t.id == id)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({}, {} templates)", self.name, self.templates.len())
+    }
+}
+
+/// Generate `n` queries by picking templates uniformly at random and
+/// randomizing their predicates (the Fig. 3 / Fig. 8 methodology).
+pub fn random_sequence(workload: &Workload, n: usize, seed: u64) -> Vec<QueryInstance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t = &workload.templates[rng.random_range(0..workload.templates.len())];
+            QueryInstance {
+                template_id: t.id.clone(),
+                sql: t.instantiate(&mut rng),
+            }
+        })
+        .collect()
+}
+
+/// Generate an epoch-structured sequence (the Fig. 6 methodology): each epoch
+/// draws `per_epoch` queries from its own subset of template ids.
+pub fn epoch_sequence(
+    workload: &Workload,
+    epochs: &[Vec<&str>],
+    per_epoch: usize,
+    seed: u64,
+) -> Vec<QueryInstance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(epochs.len() * per_epoch);
+    for epoch in epochs {
+        let templates: Vec<&QueryTemplate> = epoch
+            .iter()
+            .filter_map(|id| workload.template(id))
+            .collect();
+        assert!(
+            !templates.is_empty(),
+            "epoch references no known templates: {epoch:?}"
+        );
+        for _ in 0..per_epoch {
+            let t = templates[rng.random_range(0..templates.len())];
+            out.push(QueryInstance {
+                template_id: t.id.clone(),
+                sql: t.instantiate(&mut rng),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        Workload {
+            name: "test".into(),
+            templates: vec![
+                QueryTemplate::new("a", |rng| {
+                    format!("SELECT COUNT(*) FROM t WHERE x = {}", rng.random_range(0..10))
+                }),
+                QueryTemplate::new("b", |_| "SELECT SUM(v) FROM t".to_string()),
+            ],
+        }
+    }
+
+    #[test]
+    fn random_sequence_is_deterministic_per_seed() {
+        let w = workload();
+        let a = random_sequence(&w, 20, 7);
+        let b = random_sequence(&w, 20, 7);
+        let c = random_sequence(&w, 20, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().any(|q| q.template_id == "a"));
+        assert!(a.iter().any(|q| q.template_id == "b"));
+    }
+
+    #[test]
+    fn epoch_sequence_respects_epoch_membership() {
+        let w = workload();
+        let seq = epoch_sequence(&w, &[vec!["a"], vec!["b"]], 5, 1);
+        assert_eq!(seq.len(), 10);
+        assert!(seq[..5].iter().all(|q| q.template_id == "a"));
+        assert!(seq[5..].iter().all(|q| q.template_id == "b"));
+    }
+
+    #[test]
+    fn template_lookup() {
+        let w = workload();
+        assert!(w.template("a").is_some());
+        assert!(w.template("zzz").is_none());
+    }
+}

@@ -1,0 +1,267 @@
+//! Instacart-style online-grocery dataset and the Table I micro-benchmark.
+//!
+//! The paper's micro-benchmark (Table I) runs eight templates over an online
+//! grocery schema: `orderproducts` (the fact) joined with `orders`,
+//! `products`, `departments` and `aisles`. Four templates are sketch-friendly
+//! (grouping on the probe/dimension side, COUNT aggregates) and four are
+//! sample-friendly. Variables in the templates are randomized per query.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, Table};
+
+use crate::driver::{QueryTemplate, Workload};
+
+/// Scale configuration for the instacart-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct InstacartScale {
+    /// Rows of the `orderproducts` fact table.
+    pub orderproducts_rows: usize,
+    /// Partitions of the fact table.
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InstacartScale {
+    fn default() -> Self {
+        Self {
+            orderproducts_rows: 40_000,
+            partitions: 8,
+            seed: 11,
+        }
+    }
+}
+
+/// Number of distinct departments in the generated catalog.
+pub const NUM_DEPARTMENTS: usize = 21;
+/// Number of distinct aisles in the generated catalog.
+pub const NUM_AISLES: usize = 134;
+
+/// Generate the instacart-like dataset into a fresh catalog.
+pub fn generate(scale: InstacartScale) -> Arc<Catalog> {
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let catalog = Catalog::new();
+
+    let n_op = scale.orderproducts_rows.max(1_000);
+    let n_orders = (n_op / 8).max(100);
+    let n_products = (n_op / 40).max(100);
+
+    // departments / aisles dimensions.
+    let departments = BatchBuilder::new()
+        .column("d_dept_id", (0..NUM_DEPARTMENTS as i64).collect::<Vec<_>>())
+        .column(
+            "d_department",
+            (0..NUM_DEPARTMENTS)
+                .map(|i| format!("department_{i}"))
+                .collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("departments", departments, 1).unwrap());
+
+    let aisles = BatchBuilder::new()
+        .column("a_aisle_id", (0..NUM_AISLES as i64).collect::<Vec<_>>())
+        .column(
+            "a_aisle",
+            (0..NUM_AISLES).map(|i| format!("aisle_{i}")).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("aisles", aisles, 1).unwrap());
+
+    // products.
+    let mut p_name = Vec::with_capacity(n_products);
+    let mut p_dept = Vec::with_capacity(n_products);
+    let mut p_aisle = Vec::with_capacity(n_products);
+    for i in 0..n_products {
+        p_name.push(format!("product_{}", i % 500));
+        p_dept.push(rng.random_range(0..NUM_DEPARTMENTS as i64));
+        p_aisle.push(rng.random_range(0..NUM_AISLES as i64));
+    }
+    let products = BatchBuilder::new()
+        .column("p_product_id", (0..n_products as i64).collect::<Vec<_>>())
+        .column("p_product_name", p_name)
+        .column("p_dept_id", p_dept)
+        .column("p_aisle_id", p_aisle)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("products", products, 1).unwrap());
+
+    // orders.
+    let mut o_dow = Vec::with_capacity(n_orders);
+    let mut o_hod = Vec::with_capacity(n_orders);
+    for _ in 0..n_orders {
+        o_dow.push(rng.random_range(0..7i64));
+        // Hour-of-day skewed towards daytime shopping.
+        o_hod.push((8 + rng.random_range(0..14)) as i64);
+    }
+    let orders = BatchBuilder::new()
+        .column("o_order_id", (0..n_orders as i64).collect::<Vec<_>>())
+        .column("o_order_dow", o_dow)
+        .column("o_order_hod", o_hod)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("orders", orders, 2).unwrap());
+
+    // orderproducts: the fact table. A few products are extremely popular
+    // (bananas...), producing the skew that makes sketches attractive.
+    let mut op_order = Vec::with_capacity(n_op);
+    let mut op_product = Vec::with_capacity(n_op);
+    let mut op_reordered = Vec::with_capacity(n_op);
+    let mut op_cart_pos = Vec::with_capacity(n_op);
+    for _ in 0..n_op {
+        op_order.push(rng.random_range(0..n_orders as i64));
+        let p = if rng.random_range(0..5) == 0 {
+            rng.random_range(0..20.min(n_products) as i64)
+        } else {
+            rng.random_range(0..n_products as i64)
+        };
+        op_product.push(p);
+        op_reordered.push(rng.random_range(0..2i64));
+        op_cart_pos.push(rng.random_range(1..30) as f64);
+    }
+    let orderproducts = BatchBuilder::new()
+        .column("op_order_id", op_order)
+        .column("op_product_id", op_product)
+        .column("op_reordered", op_reordered)
+        .column("op_cart_position", op_cart_pos)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("orderproducts", orderproducts, scale.partitions).unwrap());
+
+    Arc::new(catalog)
+}
+
+const ERR: &str = "ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+/// The eight Table I templates. The first four are the sketch-friendly
+/// COUNT-over-join shapes; the last four are the sample-friendly shapes
+/// grouping on the fact table side.
+pub fn workload() -> Workload {
+    let mut templates: Vec<QueryTemplate> = Vec::new();
+
+    // sketch-1: order_id, count(*) FROM orderproducts JOIN orders WHERE
+    // o_order_dow = _day_ AND o_order_hod > _hour_.
+    templates.push(QueryTemplate::new("sketch-1", |rng: &mut SmallRng| {
+        format!(
+            "SELECT o_order_dow, COUNT(*) FROM orderproducts \
+             JOIN orders ON op_order_id = o_order_id \
+             WHERE o_order_dow = {} AND o_order_hod > {} GROUP BY o_order_dow {ERR}",
+            rng.random_range(0..7),
+            rng.random_range(8..20)
+        )
+    }));
+    // sketch-2: product_id, count(*) FROM orderproducts JOIN products WHERE
+    // p_product_name = _productname_.
+    templates.push(QueryTemplate::new("sketch-2", |rng: &mut SmallRng| {
+        format!(
+            "SELECT p_product_name, COUNT(*) FROM orderproducts \
+             JOIN products ON op_product_id = p_product_id \
+             WHERE p_product_name = 'product_{}' GROUP BY p_product_name {ERR}",
+            rng.random_range(0..500)
+        )
+    }));
+    // sketch-3 / sketch-4: the department / aisle variants. The engine's SQL
+    // subset joins the dimension attribute directly from `products`, which
+    // the generator denormalizes for exactly this purpose.
+    templates.push(QueryTemplate::new("sketch-3", |rng: &mut SmallRng| {
+        format!(
+            "SELECT p_dept_id, COUNT(*) FROM orderproducts \
+             JOIN products ON op_product_id = p_product_id \
+             WHERE p_dept_id = {} GROUP BY p_dept_id {ERR}",
+            rng.random_range(0..NUM_DEPARTMENTS as i64)
+        )
+    }));
+    templates.push(QueryTemplate::new("sketch-4", |rng: &mut SmallRng| {
+        format!(
+            "SELECT p_aisle_id, COUNT(*) FROM orderproducts \
+             JOIN products ON op_product_id = p_product_id \
+             WHERE p_aisle_id = {} GROUP BY p_aisle_id {ERR}",
+            rng.random_range(0..NUM_AISLES as i64)
+        )
+    }));
+    // sample-1..4: grouping on the fact side.
+    templates.push(QueryTemplate::new("sample-1", |rng: &mut SmallRng| {
+        format!(
+            "SELECT op_product_id, COUNT(*) FROM orderproducts \
+             JOIN orders ON op_order_id = o_order_id \
+             WHERE o_order_dow = {} AND o_order_hod > {} GROUP BY op_product_id {ERR}",
+            rng.random_range(0..7),
+            rng.random_range(8..20)
+        )
+    }));
+    templates.push(QueryTemplate::new("sample-2", |rng: &mut SmallRng| {
+        format!(
+            "SELECT op_order_id, COUNT(*) FROM orderproducts \
+             JOIN products ON op_product_id = p_product_id \
+             WHERE p_product_name = 'product_{}' GROUP BY op_order_id {ERR}",
+            rng.random_range(0..500)
+        )
+    }));
+    templates.push(QueryTemplate::new("sample-3", |rng: &mut SmallRng| {
+        format!(
+            "SELECT op_reordered, COUNT(*) FROM orderproducts \
+             JOIN products ON op_product_id = p_product_id \
+             WHERE p_dept_id = {} GROUP BY op_reordered {ERR}",
+            rng.random_range(0..NUM_DEPARTMENTS as i64)
+        )
+    }));
+    templates.push(QueryTemplate::new("sample-4", |rng: &mut SmallRng| {
+        format!(
+            "SELECT op_reordered, AVG(op_cart_position) FROM orderproducts \
+             JOIN products ON op_product_id = p_product_id \
+             WHERE p_aisle_id = {} GROUP BY op_reordered {ERR}",
+            rng.random_range(0..NUM_AISLES as i64)
+        )
+    }));
+
+    Workload {
+        name: "instacart".into(),
+        templates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::random_sequence;
+
+    #[test]
+    fn schema_is_registered() {
+        let cat = generate(InstacartScale {
+            orderproducts_rows: 2_000,
+            partitions: 2,
+            seed: 3,
+        });
+        for t in ["orderproducts", "orders", "products", "departments", "aisles"] {
+            assert!(cat.contains(t), "missing table {t}");
+        }
+    }
+
+    #[test]
+    fn eight_templates_parse_and_plan() {
+        let cat = generate(InstacartScale {
+            orderproducts_rows: 2_000,
+            partitions: 2,
+            seed: 3,
+        });
+        let w = workload();
+        assert_eq!(w.templates.len(), 8);
+        for q in random_sequence(&w, 16, 9) {
+            let parsed = taster_engine::parse_query(&q.sql)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", q.template_id, q.sql));
+            parsed.to_exact_plan(&cat).unwrap();
+        }
+    }
+
+    #[test]
+    fn popular_products_are_skewed() {
+        let cat = generate(InstacartScale::default());
+        let stats = cat.table("orderproducts").unwrap().stats();
+        assert!(stats.is_skewed("op_product_id"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Benchmark datasets and query workloads.
+//!
+//! The paper evaluates Taster on TPC-H (scale factor 300, 18 of the 22
+//! templates), TPC-DS (scale factor 200, 20 queries) and a synthetic online
+//! grocery store ("instacart", Table I). Those datasets are hundreds of
+//! gigabytes; this crate provides deterministic, laptop-scale generators with
+//! the same *structure* (star-schema joins, skewed and uniform attributes,
+//! per-table column-name prefixes) plus query-template generators that
+//! randomize predicates the same way the paper's methodology does ("randomly
+//! choose one of the available templates with equal probability and generate
+//! a new query by randomly choosing the predicate value").
+
+pub mod driver;
+pub mod instacart;
+pub mod tpcds;
+pub mod tpch;
+
+pub use driver::{epoch_sequence, random_sequence, QueryInstance, QueryTemplate, Workload};

@@ -1,0 +1,293 @@
+//! TPC-DS-like dataset and query templates.
+//!
+//! The paper uses 20 TPC-DS queries over a retail star schema. The generator
+//! below builds the core of that schema — `store_sales` joined with
+//! `date_dim`, `item`, `store` and `customer_demographics` — and 20 aggregate
+//! templates that exercise the joins the paper highlights (in particular the
+//! frequent `store_sales ⋈ date_dim` subplan that Taster summarizes as an
+//! intermediate result).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, Table};
+
+use crate::driver::{QueryTemplate, Workload};
+
+/// Scale configuration for the TPC-DS-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcdsScale {
+    /// Number of `store_sales` rows.
+    pub store_sales_rows: usize,
+    /// Partitions of the fact table.
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpcdsScale {
+    fn default() -> Self {
+        Self {
+            store_sales_rows: 50_000,
+            partitions: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate the TPC-DS-like dataset into a fresh catalog.
+pub fn generate(scale: TpcdsScale) -> Arc<Catalog> {
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let catalog = Catalog::new();
+
+    let n_sales = scale.store_sales_rows.max(1_000);
+    let n_dates = 730usize;
+    let n_items = (n_sales / 50).max(100);
+    let n_stores = 20usize;
+    let n_demo = 200usize;
+
+    let mut ss_date = Vec::with_capacity(n_sales);
+    let mut ss_item = Vec::with_capacity(n_sales);
+    let mut ss_store = Vec::with_capacity(n_sales);
+    let mut ss_demo = Vec::with_capacity(n_sales);
+    let mut ss_quantity = Vec::with_capacity(n_sales);
+    let mut ss_sales_price = Vec::with_capacity(n_sales);
+    let mut ss_net_profit = Vec::with_capacity(n_sales);
+    for _ in 0..n_sales {
+        // Dates are skewed towards the end of the range (holiday season).
+        let d = if rng.random_range(0..4) == 0 {
+            rng.random_range((n_dates * 3 / 4)..n_dates)
+        } else {
+            rng.random_range(0..n_dates)
+        };
+        ss_date.push(d as i64);
+        ss_item.push(rng.random_range(0..n_items as i64));
+        ss_store.push(rng.random_range(0..n_stores as i64));
+        ss_demo.push(rng.random_range(0..n_demo as i64));
+        ss_quantity.push(rng.random_range(1..100) as f64);
+        ss_sales_price.push(rng.random_range(100..20_000) as f64 / 100.0);
+        ss_net_profit.push(rng.random_range(-5_000..15_000) as f64 / 100.0);
+    }
+    let store_sales = BatchBuilder::new()
+        .column("ss_sold_date_sk", ss_date)
+        .column("ss_item_sk", ss_item)
+        .column("ss_store_sk", ss_store)
+        .column("ss_cdemo_sk", ss_demo)
+        .column("ss_quantity", ss_quantity)
+        .column("ss_sales_price", ss_sales_price)
+        .column("ss_net_profit", ss_net_profit)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("store_sales", store_sales, scale.partitions).unwrap());
+
+    let mut d_year = Vec::with_capacity(n_dates);
+    let mut d_moy = Vec::with_capacity(n_dates);
+    let mut d_dow = Vec::with_capacity(n_dates);
+    for d in 0..n_dates {
+        d_year.push(1998 + (d / 365) as i64);
+        d_moy.push(((d / 30) % 12 + 1) as i64);
+        d_dow.push((d % 7) as i64);
+    }
+    let date_dim = BatchBuilder::new()
+        .column("d_date_sk", (0..n_dates as i64).collect::<Vec<_>>())
+        .column("d_year", d_year)
+        .column("d_moy", d_moy)
+        .column("d_dow", d_dow)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("date_dim", date_dim, 1).unwrap());
+
+    let mut i_category = Vec::with_capacity(n_items);
+    let mut i_brand = Vec::with_capacity(n_items);
+    let mut i_price = Vec::with_capacity(n_items);
+    for _ in 0..n_items {
+        i_category.push(
+            ["Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women", "Children"]
+                [rng.random_range(0..10)]
+            .to_string(),
+        );
+        i_brand.push(format!("brand{}", rng.random_range(0..50)));
+        i_price.push(rng.random_range(100..10_000) as f64 / 100.0);
+    }
+    let item = BatchBuilder::new()
+        .column("i_item_sk", (0..n_items as i64).collect::<Vec<_>>())
+        .column("i_category", i_category)
+        .column("i_brand", i_brand)
+        .column("i_current_price", i_price)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("item", item, 1).unwrap());
+
+    let mut s_state = Vec::with_capacity(n_stores);
+    for _ in 0..n_stores {
+        s_state.push(["TN", "CA", "TX", "NY", "WA"][rng.random_range(0..5)].to_string());
+    }
+    let store = BatchBuilder::new()
+        .column("s_store_sk", (0..n_stores as i64).collect::<Vec<_>>())
+        .column("s_state", s_state)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("store", store, 1).unwrap());
+
+    let mut cd_gender = Vec::with_capacity(n_demo);
+    let mut cd_education = Vec::with_capacity(n_demo);
+    for _ in 0..n_demo {
+        cd_gender.push(if rng.random_range(0..2) == 0 { "M" } else { "F" }.to_string());
+        cd_education.push(
+            ["Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced"]
+                [rng.random_range(0..6)]
+            .to_string(),
+        );
+    }
+    let demo = BatchBuilder::new()
+        .column("cd_demo_sk", (0..n_demo as i64).collect::<Vec<_>>())
+        .column("cd_gender", cd_gender)
+        .column("cd_education_status", cd_education)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("customer_demographics", demo, 1).unwrap());
+
+    Arc::new(catalog)
+}
+
+const ERR: &str = "ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+/// The 20 TPC-DS-like query templates.
+pub fn workload() -> Workload {
+    let mut templates: Vec<QueryTemplate> = Vec::new();
+
+    // Ten templates over store_sales ⋈ date_dim, varying grouping and
+    // aggregate — the join the paper calls out as the frequently reused
+    // intermediate result.
+    let date_groupings = ["d_year", "d_moy", "d_dow"];
+    let aggs = ["SUM(ss_sales_price)", "AVG(ss_net_profit)", "SUM(ss_quantity)"];
+    let mut idx = 0;
+    for g in date_groupings {
+        for a in aggs {
+            idx += 1;
+            let id = format!("ds-date-{idx}");
+            let group = g.to_string();
+            let agg = a.to_string();
+            templates.push(QueryTemplate::new(id, move |rng: &mut SmallRng| {
+                format!(
+                    "SELECT {group}, {agg}, COUNT(*) FROM store_sales \
+                     JOIN date_dim ON ss_sold_date_sk = d_date_sk \
+                     WHERE ss_quantity > {} GROUP BY {group} {ERR}",
+                    rng.random_range(1..50)
+                )
+            }));
+        }
+    }
+    // One more date template with a dimension-side predicate.
+    templates.push(QueryTemplate::new("ds-date-10", |rng: &mut SmallRng| {
+        format!(
+            "SELECT d_moy, SUM(ss_sales_price) FROM store_sales \
+             JOIN date_dim ON ss_sold_date_sk = d_date_sk \
+             WHERE d_year = {} GROUP BY d_moy {ERR}",
+            1998 + rng.random_range(0..2)
+        )
+    }));
+
+    // Five item-dimension templates.
+    for (i, agg) in ["SUM(ss_sales_price)", "AVG(ss_sales_price)", "SUM(ss_net_profit)", "COUNT(*)", "SUM(ss_quantity)"]
+        .iter()
+        .enumerate()
+    {
+        let id = format!("ds-item-{}", i + 1);
+        let agg = agg.to_string();
+        templates.push(QueryTemplate::new(id, move |rng: &mut SmallRng| {
+            format!(
+                "SELECT i_category, {agg} FROM store_sales \
+                 JOIN item ON ss_item_sk = i_item_sk \
+                 WHERE ss_sales_price > {} GROUP BY i_category {ERR}",
+                rng.random_range(1..100)
+            )
+        }));
+    }
+
+    // Two store templates.
+    templates.push(QueryTemplate::new("ds-store-1", |rng: &mut SmallRng| {
+        format!(
+            "SELECT s_state, SUM(ss_net_profit) FROM store_sales \
+             JOIN store ON ss_store_sk = s_store_sk \
+             WHERE ss_quantity > {} GROUP BY s_state {ERR}",
+            rng.random_range(1..60)
+        )
+    }));
+    templates.push(QueryTemplate::new("ds-store-2", |rng: &mut SmallRng| {
+        format!(
+            "SELECT s_state, AVG(ss_sales_price), COUNT(*) FROM store_sales \
+             JOIN store ON ss_store_sk = s_store_sk \
+             WHERE ss_net_profit > {} GROUP BY s_state {ERR}",
+            rng.random_range(0..50)
+        )
+    }));
+
+    // Two demographics templates.
+    templates.push(QueryTemplate::new("ds-demo-1", |rng: &mut SmallRng| {
+        format!(
+            "SELECT cd_gender, SUM(ss_sales_price) FROM store_sales \
+             JOIN customer_demographics ON ss_cdemo_sk = cd_demo_sk \
+             WHERE ss_quantity > {} GROUP BY cd_gender {ERR}",
+            rng.random_range(1..50)
+        )
+    }));
+    templates.push(QueryTemplate::new("ds-demo-2", |rng: &mut SmallRng| {
+        format!(
+            "SELECT cd_education_status, AVG(ss_net_profit) FROM store_sales \
+             JOIN customer_demographics ON ss_cdemo_sk = cd_demo_sk \
+             WHERE ss_sales_price > {} GROUP BY cd_education_status {ERR}",
+            rng.random_range(1..100)
+        )
+    }));
+
+    // One flat template over the fact table alone.
+    templates.push(QueryTemplate::new("ds-flat-1", |rng: &mut SmallRng| {
+        format!(
+            "SELECT ss_store_sk, SUM(ss_sales_price) FROM store_sales \
+             WHERE ss_quantity >= {} GROUP BY ss_store_sk {ERR}",
+            rng.random_range(1..40)
+        )
+    }));
+
+    Workload {
+        name: "tpcds".into(),
+        templates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::random_sequence;
+
+    #[test]
+    fn schema_and_foreign_keys() {
+        let cat = generate(TpcdsScale {
+            store_sales_rows: 3_000,
+            partitions: 3,
+            seed: 1,
+        });
+        assert!(cat.contains("store_sales"));
+        assert!(cat.contains("date_dim"));
+        assert_eq!(cat.table("store_sales").unwrap().num_rows(), 3_000);
+    }
+
+    #[test]
+    fn exactly_20_templates_that_parse_and_plan() {
+        let cat = generate(TpcdsScale {
+            store_sales_rows: 2_000,
+            partitions: 2,
+            seed: 2,
+        });
+        let w = workload();
+        assert_eq!(w.templates.len(), 20);
+        for q in random_sequence(&w, 40, 5) {
+            let parsed = taster_engine::parse_query(&q.sql)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", q.template_id, q.sql));
+            parsed.to_exact_plan(&cat).unwrap();
+        }
+    }
+}

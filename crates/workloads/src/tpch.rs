@@ -1,0 +1,425 @@
+//! TPC-H-like dataset and query templates.
+//!
+//! The schema mirrors the TPC-H star around `lineitem`: `orders`, `customer`,
+//! `part` and `supplier` dimensions with the standard column-name prefixes.
+//! Row counts follow the TPC-H ratios (lineitem ≈ 4× orders, orders = 10×
+//! customers, ...) at a laptop scale factor. The 18 templates correspond to
+//! the 18 approximable TPC-H queries the paper uses (all 22 except Q2, Q4,
+//! Q21, Q22), simplified to the engine's SQL subset while keeping each
+//! query's join shape, grouping attributes and selective predicates.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, Table};
+
+use crate::driver::{QueryTemplate, Workload};
+
+/// Scale configuration for the TPC-H-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchScale {
+    /// Number of `lineitem` rows; other tables follow TPC-H ratios.
+    pub lineitem_rows: usize,
+    /// Number of partitions per fact table (distribution factor).
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchScale {
+    fn default() -> Self {
+        Self {
+            lineitem_rows: 60_000,
+            partitions: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate the TPC-H-like dataset and register it in a fresh catalog.
+pub fn generate(scale: TpchScale) -> Arc<Catalog> {
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let catalog = Catalog::new();
+
+    let n_line = scale.lineitem_rows.max(1_000);
+    let n_orders = (n_line / 4).max(100);
+    let n_cust = (n_orders / 10).max(50);
+    let n_part = (n_line / 30).max(50);
+    let n_supp = (n_line / 600).max(20);
+
+    // lineitem: the fact table.
+    let mut l_orderkey = Vec::with_capacity(n_line);
+    let mut l_partkey = Vec::with_capacity(n_line);
+    let mut l_suppkey = Vec::with_capacity(n_line);
+    let mut l_quantity = Vec::with_capacity(n_line);
+    let mut l_price = Vec::with_capacity(n_line);
+    let mut l_discount = Vec::with_capacity(n_line);
+    let mut l_tax = Vec::with_capacity(n_line);
+    let mut l_returnflag = Vec::with_capacity(n_line);
+    let mut l_linestatus = Vec::with_capacity(n_line);
+    let mut l_shipdate = Vec::with_capacity(n_line);
+    let mut l_shipmode = Vec::with_capacity(n_line);
+    for _ in 0..n_line {
+        l_orderkey.push(rng.random_range(0..n_orders as i64));
+        l_partkey.push(rng.random_range(0..n_part as i64));
+        l_suppkey.push(rng.random_range(0..n_supp as i64));
+        l_quantity.push(rng.random_range(1..51) as f64);
+        l_price.push(rng.random_range(90_000..105_000) as f64 / 100.0);
+        l_discount.push(rng.random_range(0..11) as f64 / 100.0);
+        l_tax.push(rng.random_range(0..9) as f64 / 100.0);
+        // Skewed: most lineitems are neither returned nor open.
+        let flag = match rng.random_range(0..10) {
+            0 => "R",
+            1 => "A",
+            _ => "N",
+        };
+        l_returnflag.push(flag.to_string());
+        l_linestatus.push(if rng.random_range(0..2) == 0 { "O" } else { "F" }.to_string());
+        l_shipdate.push(rng.random_range(19_920_101..19_981_231) as i64);
+        let mode = ["MAIL", "SHIP", "AIR", "TRUCK", "RAIL", "FOB", "REG AIR"]
+            [rng.random_range(0..7)];
+        l_shipmode.push(mode.to_string());
+    }
+    let lineitem = BatchBuilder::new()
+        .column("l_orderkey", l_orderkey)
+        .column("l_partkey", l_partkey)
+        .column("l_suppkey", l_suppkey)
+        .column("l_quantity", l_quantity)
+        .column("l_extendedprice", l_price)
+        .column("l_discount", l_discount)
+        .column("l_tax", l_tax)
+        .column("l_returnflag", l_returnflag)
+        .column("l_linestatus", l_linestatus)
+        .column("l_shipdate", l_shipdate)
+        .column("l_shipmode", l_shipmode)
+        .build()
+        .expect("lineitem generator produces consistent columns");
+    catalog.register(Table::from_batch("lineitem", lineitem, scale.partitions).unwrap());
+
+    // orders.
+    let mut o_custkey = Vec::with_capacity(n_orders);
+    let mut o_status = Vec::with_capacity(n_orders);
+    let mut o_total = Vec::with_capacity(n_orders);
+    let mut o_date = Vec::with_capacity(n_orders);
+    let mut o_priority = Vec::with_capacity(n_orders);
+    for _ in 0..n_orders {
+        o_custkey.push(rng.random_range(0..n_cust as i64));
+        o_status.push(["O", "F", "P"][rng.random_range(0..3)].to_string());
+        o_total.push(rng.random_range(1_000..500_000) as f64 / 100.0);
+        o_date.push(rng.random_range(19_920_101..19_981_231) as i64);
+        o_priority.push(
+            ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+                [rng.random_range(0..5)]
+            .to_string(),
+        );
+    }
+    let orders = BatchBuilder::new()
+        .column("o_orderkey", (0..n_orders as i64).collect::<Vec<_>>())
+        .column("o_custkey", o_custkey)
+        .column("o_orderstatus", o_status)
+        .column("o_totalprice", o_total)
+        .column("o_orderdate", o_date)
+        .column("o_orderpriority", o_priority)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("orders", orders, scale.partitions).unwrap());
+
+    // customer.
+    let mut c_nation = Vec::with_capacity(n_cust);
+    let mut c_segment = Vec::with_capacity(n_cust);
+    let mut c_acctbal = Vec::with_capacity(n_cust);
+    for _ in 0..n_cust {
+        c_nation.push(rng.random_range(0..25i64));
+        c_segment.push(
+            ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+                [rng.random_range(0..5)]
+            .to_string(),
+        );
+        c_acctbal.push(rng.random_range(-99_999..999_999) as f64 / 100.0);
+    }
+    let customer = BatchBuilder::new()
+        .column("c_custkey", (0..n_cust as i64).collect::<Vec<_>>())
+        .column("c_nationkey", c_nation)
+        .column("c_mktsegment", c_segment)
+        .column("c_acctbal", c_acctbal)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("customer", customer, 1).unwrap());
+
+    // part.
+    let mut p_brand = Vec::with_capacity(n_part);
+    let mut p_type = Vec::with_capacity(n_part);
+    let mut p_size = Vec::with_capacity(n_part);
+    for _ in 0..n_part {
+        p_brand.push(format!("Brand#{}{}", rng.random_range(1..6), rng.random_range(1..6)));
+        p_type.push(
+            ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+                [rng.random_range(0..6)]
+            .to_string(),
+        );
+        p_size.push(rng.random_range(1..51i64));
+    }
+    let part = BatchBuilder::new()
+        .column("p_partkey", (0..n_part as i64).collect::<Vec<_>>())
+        .column("p_brand", p_brand)
+        .column("p_type", p_type)
+        .column("p_size", p_size)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("part", part, 1).unwrap());
+
+    // supplier.
+    let mut s_nation = Vec::with_capacity(n_supp);
+    for _ in 0..n_supp {
+        s_nation.push(rng.random_range(0..25i64));
+    }
+    let supplier = BatchBuilder::new()
+        .column("s_suppkey", (0..n_supp as i64).collect::<Vec<_>>())
+        .column("s_nationkey", s_nation)
+        .build()
+        .unwrap();
+    catalog.register(Table::from_batch("supplier", supplier, 1).unwrap());
+
+    Arc::new(catalog)
+}
+
+const ERR: &str = "ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+fn date(rng: &mut SmallRng) -> i64 {
+    rng.random_range(19_930_101..19_980_101) as i64
+}
+
+/// The 18 TPC-H-like query templates (Q2/Q4/Q21/Q22 are excluded, matching
+/// the paper's footnote 3).
+pub fn workload() -> Workload {
+    let mut templates: Vec<QueryTemplate> = Vec::new();
+
+    templates.push(QueryTemplate::new("q1", |rng: &mut SmallRng| {
+        format!(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), COUNT(*) \
+             FROM lineitem WHERE l_shipdate <= {} GROUP BY l_returnflag, l_linestatus {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q3", |rng: &mut SmallRng| {
+        format!(
+            "SELECT o_orderpriority, SUM(l_extendedprice) FROM lineitem \
+             JOIN orders ON l_orderkey = o_orderkey \
+             WHERE o_orderdate < {} GROUP BY o_orderpriority {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q5", |rng: &mut SmallRng| {
+        format!(
+            "SELECT c_nationkey, SUM(l_extendedprice) FROM lineitem \
+             JOIN orders ON l_orderkey = o_orderkey \
+             JOIN customer ON o_custkey = c_custkey \
+             WHERE o_orderdate >= {} GROUP BY c_nationkey {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q6", |rng: &mut SmallRng| {
+        format!(
+            "SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem \
+             WHERE l_shipdate >= {} AND l_discount <= {} AND l_quantity < {} {ERR}",
+            date(rng),
+            rng.random_range(2..8) as f64 / 100.0,
+            rng.random_range(20..30)
+        )
+    }));
+    templates.push(QueryTemplate::new("q7", |rng: &mut SmallRng| {
+        format!(
+            "SELECT s_nationkey, SUM(l_extendedprice) FROM lineitem \
+             JOIN supplier ON l_suppkey = s_suppkey \
+             WHERE l_shipdate >= {} GROUP BY s_nationkey {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q8", |rng: &mut SmallRng| {
+        format!(
+            "SELECT p_type, AVG(l_extendedprice) FROM lineitem \
+             JOIN part ON l_partkey = p_partkey \
+             WHERE l_shipdate >= {} GROUP BY p_type {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q9", |rng: &mut SmallRng| {
+        format!(
+            "SELECT s_nationkey, SUM(l_extendedprice), SUM(l_quantity) FROM lineitem \
+             JOIN supplier ON l_suppkey = s_suppkey \
+             JOIN part ON l_partkey = p_partkey \
+             WHERE p_size >= {} GROUP BY s_nationkey {ERR}",
+            rng.random_range(1..30)
+        )
+    }));
+    templates.push(QueryTemplate::new("q10", |rng: &mut SmallRng| {
+        format!(
+            "SELECT c_nationkey, SUM(l_extendedprice) FROM lineitem \
+             JOIN orders ON l_orderkey = o_orderkey \
+             JOIN customer ON o_custkey = c_custkey \
+             WHERE l_returnflag = 'R' AND o_orderdate >= {} GROUP BY c_nationkey {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q11", |rng: &mut SmallRng| {
+        format!(
+            "SELECT s_nationkey, SUM(l_quantity) FROM lineitem \
+             JOIN supplier ON l_suppkey = s_suppkey \
+             WHERE l_quantity > {} GROUP BY s_nationkey {ERR}",
+            rng.random_range(5..25)
+        )
+    }));
+    templates.push(QueryTemplate::new("q12", |rng: &mut SmallRng| {
+        format!(
+            "SELECT l_shipmode, COUNT(*) FROM lineitem \
+             JOIN orders ON l_orderkey = o_orderkey \
+             WHERE l_shipdate >= {} GROUP BY l_shipmode {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q13", |rng: &mut SmallRng| {
+        format!(
+            "SELECT o_orderpriority, COUNT(*) FROM orders \
+             WHERE o_totalprice > {} GROUP BY o_orderpriority {ERR}",
+            rng.random_range(100..2_000)
+        )
+    }));
+    templates.push(QueryTemplate::new("q14", |rng: &mut SmallRng| {
+        format!(
+            "SELECT p_type, SUM(l_extendedprice) FROM lineitem \
+             JOIN part ON l_partkey = p_partkey \
+             WHERE l_shipdate >= {} GROUP BY p_type {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q15", |rng: &mut SmallRng| {
+        format!(
+            "SELECT l_suppkey, SUM(l_extendedprice) FROM lineitem \
+             WHERE l_shipdate >= {} GROUP BY l_suppkey {ERR}",
+            date(rng)
+        )
+    }));
+    templates.push(QueryTemplate::new("q16", |rng: &mut SmallRng| {
+        format!(
+            "SELECT p_brand, COUNT(*) FROM lineitem \
+             JOIN part ON l_partkey = p_partkey \
+             WHERE p_size <= {} GROUP BY p_brand {ERR}",
+            rng.random_range(10..50)
+        )
+    }));
+    templates.push(QueryTemplate::new("q17", |rng: &mut SmallRng| {
+        format!(
+            "SELECT p_brand, AVG(l_quantity) FROM lineitem \
+             JOIN part ON l_partkey = p_partkey \
+             WHERE l_quantity < {} GROUP BY p_brand {ERR}",
+            rng.random_range(10..40)
+        )
+    }));
+    templates.push(QueryTemplate::new("q18", |rng: &mut SmallRng| {
+        format!(
+            "SELECT o_orderstatus, SUM(l_quantity) FROM lineitem \
+             JOIN orders ON l_orderkey = o_orderkey \
+             WHERE l_quantity >= {} GROUP BY o_orderstatus {ERR}",
+            rng.random_range(10..45)
+        )
+    }));
+    templates.push(QueryTemplate::new("q19", |rng: &mut SmallRng| {
+        format!(
+            "SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem \
+             JOIN part ON l_partkey = p_partkey \
+             WHERE p_size <= {} AND l_quantity >= {} GROUP BY l_shipmode {ERR}",
+            rng.random_range(20..50),
+            rng.random_range(1..20)
+        )
+    }));
+    templates.push(QueryTemplate::new("q20", |rng: &mut SmallRng| {
+        format!(
+            "SELECT s_nationkey, COUNT(*) FROM lineitem \
+             JOIN supplier ON l_suppkey = s_suppkey \
+             WHERE l_shipdate >= {} AND l_quantity > {} GROUP BY s_nationkey {ERR}",
+            date(rng),
+            rng.random_range(5..30)
+        )
+    }));
+
+    Workload {
+        name: "tpch".into(),
+        templates,
+    }
+}
+
+/// The four epochs of the workload-shift experiment (Fig. 6): the template
+/// groups the paper lists in Section VI-B.
+pub fn fig6_epochs() -> Vec<Vec<&'static str>> {
+    vec![
+        vec!["q6", "q14", "q17"],
+        vec!["q5", "q8", "q11", "q12"],
+        vec!["q1", "q3", "q16", "q19"],
+        vec!["q7", "q9", "q13", "q18"],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::random_sequence;
+
+    #[test]
+    fn generator_produces_consistent_star_schema() {
+        let cat = generate(TpchScale {
+            lineitem_rows: 5_000,
+            partitions: 4,
+            seed: 1,
+        });
+        assert_eq!(
+            cat.table_names(),
+            vec!["customer", "lineitem", "orders", "part", "supplier"]
+        );
+        let li = cat.table("lineitem").unwrap();
+        assert_eq!(li.num_rows(), 5_000);
+        assert_eq!(li.num_partitions(), 4);
+        // Foreign keys reference existing orders.
+        let orders = cat.table("orders").unwrap();
+        let max_key = li
+            .stats()
+            .column("l_orderkey")
+            .unwrap()
+            .max
+            .clone()
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!((max_key as usize) < orders.num_rows());
+    }
+
+    #[test]
+    fn all_18_templates_parse_and_plan() {
+        let cat = generate(TpchScale {
+            lineitem_rows: 2_000,
+            partitions: 2,
+            seed: 2,
+        });
+        let w = workload();
+        assert_eq!(w.templates.len(), 18);
+        let seq = random_sequence(&w, 36, 3);
+        for q in &seq {
+            let parsed = taster_engine::parse_query(&q.sql)
+                .unwrap_or_else(|e| panic!("template {} failed to parse: {e}\n{}", q.template_id, q.sql));
+            parsed
+                .to_exact_plan(&cat)
+                .unwrap_or_else(|e| panic!("template {} failed to plan: {e}", q.template_id));
+        }
+    }
+
+    #[test]
+    fn fig6_epochs_reference_known_templates() {
+        let w = workload();
+        for epoch in fig6_epochs() {
+            for id in epoch {
+                assert!(w.template(id).is_some(), "unknown template {id}");
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! A dashboard workload with user hints — the Section V / Fig. 7 scenario.
+//!
+//! The operator knows the dashboard will keep aggregating the `orderproducts`
+//! fact table of the instacart-like dataset, so they pin an offline
+//! variational sample (VerdictDB-style) before the first query. Taster never
+//! evicts it and keeps tuning the remaining budget online for the ad-hoc
+//! queries that arrive alongside the dashboard refreshes.
+//!
+//! Run with: `cargo run --release --example dashboard_hints`
+
+use taster_repro::taster::hints::OfflineStrategy;
+use taster_repro::taster::{TasterConfig, TasterEngine};
+use taster_repro::workloads::{instacart, random_sequence};
+
+fn main() {
+    let catalog = instacart::generate(instacart::InstacartScale {
+        orderproducts_rows: 40_000,
+        partitions: 8,
+        seed: 5,
+    });
+    let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
+    let mut taster = TasterEngine::new(catalog, config);
+
+    // Offline phase driven by the hint.
+    let report = taster
+        .add_offline_hint(
+            "orderproducts",
+            OfflineStrategy::Variational { fraction: 0.05 },
+            None,
+        )
+        .expect("hint builds");
+    println!(
+        "offline hint: scanned {} rows, scrambled {} rows, stored {:.2} MB, simulated {:.2}s",
+        report.rows_scanned,
+        report.rows_scrambled,
+        report.bytes as f64 / (1 << 20) as f64,
+        report.simulated_secs
+    );
+
+    // Online phase: a mix of dashboard refreshes and ad-hoc queries.
+    let queries = random_sequence(&instacart::workload(), 24, 3);
+    let mut total = 0.0;
+    let mut reused = 0;
+    for q in &queries {
+        let res = taster.execute_sql(&q.sql).expect("query runs");
+        total += res.simulated_secs;
+        if !res.reused_synopses.is_empty() {
+            reused += 1;
+        }
+    }
+    println!(
+        "online phase: {} queries in {:.2}s simulated; {} reused a materialized synopsis",
+        queries.len(),
+        total,
+        reused
+    );
+
+    // The pinned synopsis survives even a drastic budget cut.
+    taster.set_storage_budget(report.bytes);
+    println!(
+        "after shrinking the budget to the hint size, warehouse still holds {} synopsis(es)",
+        taster.store().usage().warehouse_count
+    );
+}

@@ -1,0 +1,60 @@
+//! Data exploration under a shifting workload — the scenario the paper's
+//! introduction motivates: an analyst whose interests drift, so no offline
+//! sample set can be prepared in advance.
+//!
+//! The example runs three "analysis sessions" over the TPC-H-like dataset,
+//! each focused on different templates, and shows Taster's warehouse being
+//! re-tuned as the interest shifts (the Fig. 6 behaviour, at example scale).
+//!
+//! Run with: `cargo run --release --example data_exploration`
+
+use taster_repro::taster::{TasterConfig, TasterEngine};
+use taster_repro::workloads::{epoch_sequence, tpch};
+
+fn main() {
+    let catalog = tpch::generate(tpch::TpchScale {
+        lineitem_rows: 30_000,
+        partitions: 8,
+        seed: 1,
+    });
+    let workload = tpch::workload();
+
+    // Three exploration phases: pricing, shipping, then supplier analysis.
+    let phases = vec![
+        vec!["q1", "q6"],
+        vec!["q12", "q19"],
+        vec!["q7", "q11", "q20"],
+    ];
+    let queries = epoch_sequence(&workload, &phases, 8, 99);
+
+    let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
+    let mut taster = TasterEngine::new(catalog, config);
+
+    let mut phase_time = vec![0.0f64; phases.len()];
+    for (i, q) in queries.iter().enumerate() {
+        let phase = i / 8;
+        let res = taster.execute_sql(&q.sql).expect("query runs");
+        phase_time[phase] += res.simulated_secs;
+        let usage = taster.store().usage();
+        println!(
+            "q{:02} [{}] {:<28} {:>8.3}s  reuse={:<5} warehouse={:>6.2} MB",
+            i + 1,
+            phase + 1,
+            q.template_id,
+            res.simulated_secs,
+            !res.reused_synopses.is_empty(),
+            usage.warehouse_bytes as f64 / (1 << 20) as f64
+        );
+    }
+
+    println!("\nsimulated time per exploration phase:");
+    for (i, t) in phase_time.iter().enumerate() {
+        println!("  phase {}: {:.2}s", i + 1, t);
+    }
+    println!(
+        "synopses known to the metadata store: {} (materialized: {})",
+        taster.metadata().num_synopses(),
+        taster.store().materialized_ids().len()
+    );
+    println!("tuner window trajectory: {:?}", taster.window_history());
+}

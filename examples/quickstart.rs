@@ -1,0 +1,65 @@
+//! Quickstart: load a small dataset, ask an approximate question, reuse the
+//! synopsis Taster materialized as a byproduct.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use taster_repro::storage::batch::BatchBuilder;
+use taster_repro::storage::{Catalog, Table};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+fn main() {
+    // 1. Build a catalog with one fact table: 200k sales rows.
+    let n = 200_000usize;
+    let sales = BatchBuilder::new()
+        .column("s_id", (0..n as i64).collect::<Vec<_>>())
+        .column("s_region", (0..n as i64).map(|i| i % 12).collect::<Vec<_>>())
+        .column("s_amount", (0..n).map(|i| (i % 500) as f64 / 10.0).collect::<Vec<_>>())
+        .build()
+        .expect("columns have equal length");
+    let catalog = Catalog::new();
+    catalog.register(Table::from_batch("sales", sales, 8).expect("valid table"));
+    let catalog = Arc::new(catalog);
+
+    // 2. Start Taster with a storage budget of 50% of the dataset.
+    let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
+    let mut taster = TasterEngine::new(catalog, config);
+
+    // 3. Ask an approximate question. The first execution samples the table
+    //    online (it still scans it once) and materializes the sample.
+    let sql = "SELECT s_region, AVG(s_amount), COUNT(*) FROM sales GROUP BY s_region \
+               ERROR WITHIN 5% AT CONFIDENCE 95%";
+    let first = taster.execute_sql(sql).expect("query runs");
+    println!("-- first run ({})", first.plan_description);
+    println!(
+        "   scanned {} base rows, created {} synopsis(es), simulated time {:.4}s",
+        first.result.metrics.base_rows_scanned,
+        first.created_synopses.len(),
+        first.simulated_secs
+    );
+
+    // 4. Ask again (or ask a similar question): the materialized synopsis is
+    //    reused and the base table is not touched at all.
+    let second = taster.execute_sql(sql).expect("query runs");
+    println!("-- second run ({})", second.plan_description);
+    println!(
+        "   scanned {} base rows, reused {:?}, simulated time {:.4}s ({}x faster)",
+        second.result.metrics.base_rows_scanned,
+        second.reused_synopses,
+        second.simulated_secs,
+        (first.simulated_secs / second.simulated_secs).round()
+    );
+
+    // 5. Results carry per-group error bounds.
+    println!("-- per-region estimates (value ± CI half-width at 95%)");
+    for group in &second.result.groups {
+        let avg = &group.aggregates[0];
+        println!(
+            "   region {:>2}: AVG = {:>6.2} ± {:.2}",
+            group.key[0],
+            avg.value,
+            avg.ci_half_width(0.95)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Storage elasticity: the administrator grows and shrinks the synopsis
+//! warehouse quota at runtime and Taster adapts which synopses it keeps
+//! (the Fig. 9 behaviour, at example scale).
+//!
+//! Run with: `cargo run --release --example storage_elasticity`
+
+use taster_repro::taster::{TasterConfig, TasterEngine};
+use taster_repro::workloads::{random_sequence, tpch};
+
+fn main() {
+    let catalog = tpch::generate(tpch::TpchScale {
+        lineitem_rows: 30_000,
+        partitions: 8,
+        seed: 17,
+    });
+    let dataset_bytes = catalog.total_size_bytes();
+    let queries = random_sequence(&tpch::workload(), 60, 4);
+
+    let config = TasterConfig::with_budget_fraction(dataset_bytes, 0.2);
+    let mut taster = TasterEngine::new(catalog, config);
+
+    for (phase, fraction) in [0.2f64, 1.0, 0.1].into_iter().enumerate() {
+        let budget = (dataset_bytes as f64 * fraction) as usize;
+        taster.set_storage_budget(budget);
+        let slice = &queries[phase * 20..(phase + 1) * 20];
+        let mut total = 0.0;
+        for q in slice {
+            total += taster.execute_sql(&q.sql).expect("query runs").simulated_secs;
+        }
+        let usage = taster.store().usage();
+        println!(
+            "budget {:>4.0}% ({:>6.2} MB): 20 queries in {:.2}s simulated, warehouse uses {:.2} MB across {} synopses",
+            fraction * 100.0,
+            budget as f64 / (1 << 20) as f64,
+            total,
+            usage.warehouse_bytes as f64 / (1 << 20) as f64,
+            usage.warehouse_count
+        );
+    }
+}

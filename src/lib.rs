@@ -1,0 +1,13 @@
+//! Workspace umbrella crate for the Taster reproduction.
+//!
+//! This crate re-exports the public API of every member crate so that the
+//! runnable examples under `examples/` and the integration tests under
+//! `tests/` can use a single dependency. Downstream users should depend on
+//! the individual crates (`taster-core`, `taster-engine`, ...) directly.
+
+pub use taster_baselines as baselines;
+pub use taster_core as taster;
+pub use taster_engine as engine;
+pub use taster_storage as storage;
+pub use taster_synopses as synopses;
+pub use taster_workloads as workloads;

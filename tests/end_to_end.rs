@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the full Taster pipeline against the exact
+//! engine, over the benchmark workload generators.
+
+use taster_repro::baselines::{BaselineEngine, QuickrEngine};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+use taster_repro::workloads::{random_sequence, tpch};
+
+fn small_catalog() -> std::sync::Arc<taster_repro::storage::Catalog> {
+    tpch::generate(tpch::TpchScale {
+        lineitem_rows: 40_000,
+        partitions: 4,
+        seed: 123,
+    })
+}
+
+#[test]
+fn taster_results_match_exact_within_requested_error() {
+    let catalog = small_catalog();
+    let baseline = BaselineEngine::new(catalog.clone());
+    let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 1.0);
+    let mut taster = TasterEngine::new(catalog, config);
+
+    let queries = random_sequence(&tpch::workload(), 25, 7);
+    let mut approx_queries = 0;
+    for q in &queries {
+        let approx = taster.execute_sql(&q.sql).expect("taster runs");
+        let exact = baseline.execute_sql(&q.sql).expect("baseline runs");
+        let (err, missed) = approx.result.error_vs(&exact.result);
+        assert_eq!(missed, 0, "groups missed on {} ({})", q.template_id, q.sql);
+        assert!(
+            err < 0.30,
+            "error {err:.3} too large on {} ({})",
+            q.template_id,
+            q.sql
+        );
+        if approx.approximate {
+            approx_queries += 1;
+        }
+    }
+    assert!(
+        approx_queries >= queries.len() / 3,
+        "Taster approximated only {approx_queries}/{} queries",
+        queries.len()
+    );
+}
+
+#[test]
+fn taster_reuses_synopses_across_a_workload() {
+    let catalog = small_catalog();
+    let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 1.0);
+    let mut taster = TasterEngine::new(catalog, config);
+
+    let queries = random_sequence(&tpch::workload(), 40, 11);
+    let mut reuse_count = 0;
+    let mut total_base_rows_late = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let res = taster.execute_sql(&q.sql).expect("taster runs");
+        if !res.reused_synopses.is_empty() {
+            reuse_count += 1;
+        }
+        if i >= 30 {
+            total_base_rows_late += res.result.metrics.base_rows_scanned;
+        }
+    }
+    assert!(
+        reuse_count >= 8,
+        "expected substantial synopsis reuse, got {reuse_count}/40"
+    );
+    // Once the warehouse is warm, most queries should not rescan the fact
+    // table (15k rows); allow dimension scans and occasional cold templates.
+    assert!(
+        total_base_rows_late < 10 * 40_000,
+        "late queries still scan too much base data: {total_base_rows_late}"
+    );
+}
+
+#[test]
+fn taster_outperforms_quickr_on_repetitive_workloads() {
+    let catalog = small_catalog();
+    let queries = random_sequence(&tpch::workload(), 30, 13);
+
+    let mut quickr = QuickrEngine::new(catalog.clone());
+    let mut quickr_total = 0.0;
+    for q in &queries {
+        quickr_total += quickr.execute_sql(&q.sql).expect("quickr runs").simulated_secs;
+    }
+
+    let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 1.0);
+    let mut taster = TasterEngine::new(catalog, config);
+    let mut taster_total = 0.0;
+    for q in &queries {
+        taster_total += taster.execute_sql(&q.sql).expect("taster runs").simulated_secs;
+    }
+
+    assert!(
+        taster_total < quickr_total,
+        "Taster ({taster_total:.2}s) should beat Quickr ({quickr_total:.2}s) by reusing synopses"
+    );
+}
+
+#[test]
+fn storage_budget_is_respected_throughout_a_run() {
+    let catalog = small_catalog();
+    let budget = catalog.total_size_bytes() / 5;
+    let config = TasterConfig {
+        warehouse_quota_bytes: budget,
+        buffer_quota_bytes: budget / 4,
+        ..TasterConfig::default()
+    };
+    let mut taster = TasterEngine::new(catalog, config);
+    for q in random_sequence(&tpch::workload(), 30, 19) {
+        taster.execute_sql(&q.sql).expect("taster runs");
+        let usage = taster.store().usage();
+        assert!(
+            usage.warehouse_bytes <= budget,
+            "warehouse over quota: {} > {budget}",
+            usage.warehouse_bytes
+        );
+    }
+}

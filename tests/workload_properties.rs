@@ -1,0 +1,94 @@
+//! Property-based integration tests: estimator unbiasedness and group
+//! coverage over randomly generated data and queries, spanning the storage,
+//! synopses, engine and taster crates.
+
+use proptest::prelude::*;
+
+use std::sync::Arc;
+use taster_repro::engine::physical::execute;
+use taster_repro::engine::{parse_query, ExecutionContext};
+use taster_repro::storage::batch::BatchBuilder;
+use taster_repro::storage::{Catalog, Table};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+/// Build a catalog with a single fact table whose group structure is driven
+/// by the proptest inputs.
+fn catalog(rows: usize, groups: i64, seed: u64) -> Arc<Catalog> {
+    let mut grp = Vec::with_capacity(rows);
+    let mut val = Vec::with_capacity(rows);
+    let mut state = seed | 1;
+    for i in 0..rows {
+        // Simple xorshift so data depends deterministically on the seed.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        grp.push((state % groups as u64) as i64);
+        val.push(((state >> 8) % 1_000) as f64 + (i % 7) as f64);
+    }
+    let batch = BatchBuilder::new()
+        .column("f_group", grp)
+        .column("f_value", val)
+        .build()
+        .unwrap();
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("facts", batch, 4).unwrap());
+    Arc::new(cat)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any generated table, Taster's approximate SUM/COUNT per group is
+    /// within a loose relative error of the exact answer and never misses a
+    /// group (the distinct sampler / uniform-sampler coverage guarantee).
+    #[test]
+    fn approximate_group_by_is_unbiased_and_complete(
+        rows in 5_000usize..20_000,
+        groups in 2i64..30,
+        seed in 1u64..500,
+    ) {
+        let cat = catalog(rows, groups, seed);
+        let sql = "SELECT f_group, SUM(f_value), COUNT(*) FROM facts GROUP BY f_group \
+                   ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+        let exact_plan = parse_query(sql).unwrap().to_exact_plan(&cat).unwrap();
+        let exact = execute(&exact_plan, &ExecutionContext::new(cat.clone())).unwrap();
+
+        let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+        let mut taster = TasterEngine::new(cat, config);
+        // Run twice: the second execution exercises the reuse path.
+        let _ = taster.execute_sql(sql).unwrap();
+        let approx = taster.execute_sql(sql).unwrap();
+
+        let (err, missed) = approx.result.error_vs(&exact);
+        prop_assert_eq!(missed, 0, "missed groups");
+        prop_assert!(err < 0.35, "relative error {} too large", err);
+        prop_assert_eq!(approx.result.num_groups(), exact.num_groups());
+    }
+
+    /// The synopsis warehouse never exceeds its quota, whatever the workload
+    /// mix and budget.
+    #[test]
+    fn warehouse_quota_is_invariant(
+        rows in 4_000usize..10_000,
+        budget_divisor in 2usize..20,
+        seed in 1u64..200,
+    ) {
+        let cat = catalog(rows, 10, seed);
+        let budget = cat.total_size_bytes() / budget_divisor;
+        let config = TasterConfig {
+            warehouse_quota_bytes: budget,
+            buffer_quota_bytes: budget / 2 + 1,
+            ..TasterConfig::default()
+        };
+        let mut taster = TasterEngine::new(cat, config);
+        for q in [
+            "SELECT f_group, AVG(f_value) FROM facts GROUP BY f_group",
+            "SELECT f_group, SUM(f_value) FROM facts GROUP BY f_group",
+            "SELECT COUNT(*) FROM facts WHERE f_value > 100",
+        ] {
+            let _ = taster.execute_sql(q).unwrap();
+            prop_assert!(taster.store().usage().warehouse_bytes <= budget);
+        }
+    }
+}
