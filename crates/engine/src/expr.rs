@@ -3,9 +3,11 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use taster_storage::mask::SelectionMask;
 use taster_storage::{ColumnData, RecordBatch, Value};
 
 use crate::error::EngineError;
+use crate::kernels;
 
 /// Binary operators supported in predicates and arithmetic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -134,42 +136,92 @@ impl Expr {
         }
     }
 
-    /// Evaluate the expression against every row of a batch.
-    pub fn evaluate(&self, batch: &RecordBatch) -> Result<Vec<Value>, EngineError> {
+    /// Evaluate the expression against every row of a batch, producing a
+    /// typed column. Comparisons yield `Bool`, arithmetic yields `Float64`
+    /// (matching the scalar [`Expr::evaluate_row`] semantics exactly).
+    pub fn evaluate(&self, batch: &RecordBatch) -> Result<ColumnData, EngineError> {
+        match self.evaluate_vec(batch)? {
+            Evaluated::Col(c) => Ok(c),
+            Evaluated::Scalar(v) => splat(&v, batch.num_rows()),
+        }
+    }
+
+    /// Columnar evaluation that keeps literal subtrees scalar, so kernels can
+    /// run column⊕scalar loops instead of splatting literals into columns.
+    fn evaluate_vec(&self, batch: &RecordBatch) -> Result<Evaluated, EngineError> {
         match self {
-            Expr::Column(name) => {
-                let col = batch.column_by_name(name)?;
-                Ok(col.iter_values().collect())
-            }
-            Expr::Literal(v) => Ok(vec![v.clone(); batch.num_rows()]),
+            Expr::Column(name) => Ok(Evaluated::Col(batch.column_by_name(name)?.clone())),
+            Expr::Literal(v) => Ok(Evaluated::Scalar(v.clone())),
             Expr::Binary { left, op, right } => {
-                let l = left.evaluate(batch)?;
-                let r = right.evaluate(batch)?;
-                l.iter()
-                    .zip(r.iter())
-                    .map(|(a, b)| eval_binary(a, *op, b))
-                    .collect()
+                let l = left.evaluate_vec(batch)?;
+                let r = right.evaluate_vec(batch)?;
+                if op.is_comparison() {
+                    return Ok(match compare_evaluated(&l, *op, &r)? {
+                        Compared::Mask(mask) => Evaluated::Col(ColumnData::Bool(mask.to_bools())),
+                        Compared::Scalar(v) => Evaluated::Scalar(v),
+                    });
+                }
+                match (*op, l, r) {
+                    (BinaryOp::And | BinaryOp::Or, l, r) => {
+                        let n = batch.num_rows();
+                        let mut m = l.truth_mask(n);
+                        let r = r.truth_mask(n);
+                        if *op == BinaryOp::And {
+                            m.and_with(&r);
+                        } else {
+                            m.or_with(&r);
+                        }
+                        Ok(Evaluated::Col(ColumnData::Bool(m.to_bools())))
+                    }
+                    (_, Evaluated::Col(a), Evaluated::Col(b)) => {
+                        Ok(Evaluated::Col(kernels::arith_columns(&a, *op, &b)?))
+                    }
+                    (_, Evaluated::Col(a), Evaluated::Scalar(b)) => Ok(Evaluated::Col(
+                        kernels::arith_column_scalar(&a, *op, &b, false)?,
+                    )),
+                    (_, Evaluated::Scalar(a), Evaluated::Col(b)) => Ok(Evaluated::Col(
+                        kernels::arith_column_scalar(&b, *op, &a, true)?,
+                    )),
+                    (_, Evaluated::Scalar(a), Evaluated::Scalar(b)) => {
+                        eval_binary(&a, *op, &b).map(Evaluated::Scalar)
+                    }
+                }
             }
         }
     }
 
-    /// Evaluate the expression as a predicate, returning a selection mask.
-    pub fn evaluate_predicate(&self, batch: &RecordBatch) -> Result<Vec<bool>, EngineError> {
-        // Fast path for `col op literal`, the dominant shape in the
-        // benchmark workloads: avoids widening every value.
+    /// Evaluate the expression as a predicate, returning a packed selection
+    /// mask computed by type-specialized kernels.
+    pub fn evaluate_predicate(&self, batch: &RecordBatch) -> Result<SelectionMask, EngineError> {
+        let n = batch.num_rows();
         if let Expr::Binary { left, op, right } = self {
-            if op.is_comparison() {
-                if let (Expr::Column(name), Expr::Literal(lit)) = (left.as_ref(), right.as_ref()) {
-                    let col = batch.column_by_name(name)?;
-                    return Ok(compare_column_literal(col, *op, lit));
+            match op {
+                BinaryOp::And => {
+                    // No short-circuit on an empty left mask: the right side
+                    // must still be evaluated so malformed operands (unknown
+                    // columns, bad types) error regardless of the data.
+                    let mut m = left.evaluate_predicate(batch)?;
+                    m.and_with(&right.evaluate_predicate(batch)?);
+                    return Ok(m);
                 }
+                BinaryOp::Or => {
+                    let mut m = left.evaluate_predicate(batch)?;
+                    m.or_with(&right.evaluate_predicate(batch)?);
+                    return Ok(m);
+                }
+                op if op.is_comparison() => {
+                    let l = left.evaluate_vec(batch)?;
+                    let r = right.evaluate_vec(batch)?;
+                    return Ok(match compare_evaluated(&l, *op, &r)? {
+                        Compared::Mask(mask) => mask,
+                        Compared::Scalar(v) => constant_mask(n, v.as_bool().unwrap_or(false)),
+                    });
+                }
+                _ => {}
             }
         }
-        let values = self.evaluate(batch)?;
-        Ok(values
-            .into_iter()
-            .map(|v| v.as_bool().unwrap_or(false))
-            .collect())
+        // Generic fallback: evaluate to a column and take its truthiness.
+        Ok(self.evaluate_vec(batch)?.truth_mask(n))
     }
 
     /// Evaluate the expression on a single row (used by nested loop paths and
@@ -187,23 +239,80 @@ impl Expr {
     }
 }
 
-fn compare_column_literal(col: &ColumnData, op: BinaryOp, lit: &Value) -> Vec<bool> {
-    let n = col.len();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let v = col.value(i);
-        let keep = match op {
-            BinaryOp::Eq => v == *lit,
-            BinaryOp::NotEq => v != *lit,
-            BinaryOp::Lt => v < *lit,
-            BinaryOp::LtEq => v <= *lit,
-            BinaryOp::Gt => v > *lit,
-            BinaryOp::GtEq => v >= *lit,
-            _ => false,
-        };
-        out.push(keep);
+/// Result of columnar evaluation: a full column, or a scalar for literal
+/// subtrees (splatted only when a caller genuinely needs a column).
+enum Evaluated {
+    Col(ColumnData),
+    Scalar(Value),
+}
+
+impl Evaluated {
+    /// Truthiness under `Value::as_bool().unwrap_or(false)`: bool columns
+    /// pass through, everything else (including a NULL scalar) is false.
+    fn truth_mask(&self, n: usize) -> SelectionMask {
+        match self {
+            Evaluated::Col(c) => kernels::column_truth_mask(c),
+            Evaluated::Scalar(v) => constant_mask(n, v.as_bool().unwrap_or(false)),
+        }
     }
-    out
+}
+
+/// Outcome of comparing two evaluated operands.
+enum Compared {
+    Mask(SelectionMask),
+    Scalar(Value),
+}
+
+/// The one comparison dispatch shared by `evaluate_vec` and
+/// `evaluate_predicate`: column/column, column/scalar (either order, via
+/// [`mirror`]) through the typed kernels; scalar/scalar stays scalar.
+fn compare_evaluated(l: &Evaluated, op: BinaryOp, r: &Evaluated) -> Result<Compared, EngineError> {
+    Ok(match (l, r) {
+        (Evaluated::Col(a), Evaluated::Col(b)) => {
+            Compared::Mask(kernels::compare_columns(a, op, b))
+        }
+        (Evaluated::Col(a), Evaluated::Scalar(b)) => {
+            Compared::Mask(kernels::compare_column_literal(a, op, b))
+        }
+        (Evaluated::Scalar(a), Evaluated::Col(b)) => {
+            Compared::Mask(kernels::compare_column_literal(b, mirror(op), a))
+        }
+        (Evaluated::Scalar(a), Evaluated::Scalar(b)) => Compared::Scalar(eval_binary(a, op, b)?),
+    })
+}
+
+fn constant_mask(n: usize, selected: bool) -> SelectionMask {
+    if selected {
+        SelectionMask::all(n)
+    } else {
+        SelectionMask::none(n)
+    }
+}
+
+/// Materialize a scalar as a constant column of length `n`.
+fn splat(v: &Value, n: usize) -> Result<ColumnData, EngineError> {
+    Ok(match v {
+        Value::Int(x) => ColumnData::Int64(vec![*x; n]),
+        Value::Float(x) => ColumnData::Float64(vec![*x; n]),
+        Value::Str(s) => ColumnData::Utf8(vec![s.clone(); n]),
+        Value::Bool(b) => ColumnData::Bool(vec![*b; n]),
+        Value::Null => {
+            return Err(EngineError::Execution(
+                "cannot evaluate NULL literal as a column".to_string(),
+            ))
+        }
+    })
+}
+
+/// Swap the operand order of a comparison: `lit op col` == `col mirror(op) lit`.
+pub(crate) fn mirror(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
 }
 
 fn eval_binary(left: &Value, op: BinaryOp, right: &Value) -> Result<Value, EngineError> {
@@ -277,7 +386,7 @@ mod tests {
     #[test]
     fn column_and_literal_evaluation() {
         let b = batch();
-        assert_eq!(Expr::col("a").evaluate(&b).unwrap()[2], Value::Int(3));
+        assert_eq!(Expr::col("a").evaluate(&b).unwrap().value(2), Value::Int(3));
         assert_eq!(Expr::lit(5i64).evaluate(&b).unwrap().len(), 4);
         assert!(Expr::col("missing").evaluate(&b).is_err());
     }
@@ -286,9 +395,21 @@ mod tests {
     fn comparison_predicates() {
         let b = batch();
         let p = Expr::binary(Expr::col("a"), BinaryOp::GtEq, Expr::lit(3i64));
-        assert_eq!(p.evaluate_predicate(&b).unwrap(), vec![false, false, true, true]);
+        assert_eq!(
+            p.evaluate_predicate(&b).unwrap().to_bools(),
+            vec![false, false, true, true]
+        );
         let p = Expr::binary(Expr::col("s"), BinaryOp::Eq, Expr::lit("x"));
-        assert_eq!(p.evaluate_predicate(&b).unwrap(), vec![true, false, true, false]);
+        assert_eq!(
+            p.evaluate_predicate(&b).unwrap().to_bools(),
+            vec![true, false, true, false]
+        );
+        // Literal-on-the-left comparisons mirror correctly.
+        let p = Expr::binary(Expr::lit(3i64), BinaryOp::Lt, Expr::col("a"));
+        assert_eq!(
+            p.evaluate_predicate(&b).unwrap().to_bools(),
+            vec![false, false, false, true]
+        );
     }
 
     #[test]
@@ -296,20 +417,26 @@ mod tests {
         let b = batch();
         let p = Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(1i64))
             .and(Expr::binary(Expr::col("b"), BinaryOp::Lt, Expr::lit(40.0)));
-        assert_eq!(p.evaluate_predicate(&b).unwrap(), vec![false, true, true, false]);
+        assert_eq!(
+            p.evaluate_predicate(&b).unwrap().to_bools(),
+            vec![false, true, true, false]
+        );
         let q = Expr::binary(
             Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::lit(1i64)),
             BinaryOp::Or,
             Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::lit(4i64)),
         );
-        assert_eq!(q.evaluate_predicate(&b).unwrap(), vec![true, false, false, true]);
+        assert_eq!(
+            q.evaluate_predicate(&b).unwrap().to_bools(),
+            vec![true, false, false, true]
+        );
     }
 
     #[test]
     fn arithmetic_and_errors() {
         let b = batch();
         let e = Expr::binary(Expr::col("a"), BinaryOp::Mul, Expr::col("b"));
-        assert_eq!(e.evaluate(&b).unwrap()[1], Value::Float(40.0));
+        assert_eq!(e.evaluate(&b).unwrap().value(1), Value::Float(40.0));
         let bad = Expr::binary(Expr::col("s"), BinaryOp::Add, Expr::lit(1i64));
         assert!(bad.evaluate(&b).is_err());
         let div0 = Expr::binary(Expr::col("a"), BinaryOp::Div, Expr::lit(0i64));
@@ -329,8 +456,29 @@ mod tests {
         let e = Expr::binary(Expr::col("a"), BinaryOp::Add, Expr::col("b"));
         let all = e.evaluate(&b).unwrap();
         for i in 0..b.num_rows() {
-            assert_eq!(e.evaluate_row(&b, i).unwrap(), all[i]);
+            assert_eq!(e.evaluate_row(&b, i).unwrap(), all.value(i));
         }
+    }
+
+    #[test]
+    fn null_literal_under_logic_is_false_not_an_error() {
+        let b = batch();
+        // NULL has no boolean value; `as_bool().unwrap_or(false)` semantics
+        // make it false under AND/OR rather than a splat error.
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(1i64))
+            .and(Expr::Literal(Value::Null));
+        assert!(e.evaluate_predicate(&b).unwrap().is_none_selected());
+        let col = e.evaluate(&b).unwrap();
+        assert_eq!(col, ColumnData::Bool(vec![false; 4]));
+        let o = Expr::binary(
+            Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(2i64)),
+            BinaryOp::Or,
+            Expr::Literal(Value::Null),
+        );
+        assert_eq!(
+            o.evaluate_predicate(&b).unwrap().to_bools(),
+            vec![false, false, true, true]
+        );
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Type-specialized compute kernels.
+//!
+//! Every kernel takes whole columns and runs a tight loop over the native
+//! representation (`i64`/`f64`/`&str`/`bool`) — no per-row [`Value`]
+//! construction, no per-row allocation. Comparison semantics are exactly
+//! [`Value::total_cmp`]'s (numeric types compare numerically across
+//! Int/Float; mismatched types compare by type rank), so the vectorized path
+//! and the retained `evaluate_row` path agree bit-for-bit.
+
+use std::cmp::Ordering;
+
+use taster_storage::mask::SelectionMask;
+use taster_storage::{ColumnData, Value};
+
+use crate::error::EngineError;
+use crate::expr::BinaryOp;
+
+/// Does `ord` satisfy the comparison `op`?
+#[inline(always)]
+fn ord_matches(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => false,
+    }
+}
+
+/// Rank used by `Value::total_cmp` for cross-type comparisons.
+fn type_rank_of_column(col: &ColumnData) -> u8 {
+    match col {
+        ColumnData::Bool(_) => 1,
+        ColumnData::Int64(_) | ColumnData::Float64(_) => 2,
+        ColumnData::Utf8(_) => 3,
+    }
+}
+
+fn type_rank_of_value(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+fn constant_mask(len: usize, selected: bool) -> SelectionMask {
+    if selected {
+        SelectionMask::all(len)
+    } else {
+        SelectionMask::none(len)
+    }
+}
+
+#[inline(always)]
+fn mask_from<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> SelectionMask {
+    let mut mask = SelectionMask::none(len);
+    for i in 0..len {
+        if f(i) {
+            mask.set(i);
+        }
+    }
+    mask
+}
+
+/// Compare every row of `col` against a literal, producing a selection mask.
+pub fn compare_column_literal(col: &ColumnData, op: BinaryOp, lit: &Value) -> SelectionMask {
+    debug_assert!(op.is_comparison());
+    let n = col.len();
+    match (col, lit) {
+        (ColumnData::Int64(v), Value::Int(b)) => mask_from(n, |i| ord_matches(op, v[i].cmp(b))),
+        (ColumnData::Int64(v), Value::Float(b)) => {
+            mask_from(n, |i| ord_matches(op, (v[i] as f64).total_cmp(b)))
+        }
+        (ColumnData::Float64(v), Value::Int(b)) => {
+            let b = *b as f64;
+            mask_from(n, |i| ord_matches(op, v[i].total_cmp(&b)))
+        }
+        (ColumnData::Float64(v), Value::Float(b)) => {
+            mask_from(n, |i| ord_matches(op, v[i].total_cmp(b)))
+        }
+        (ColumnData::Utf8(v), Value::Str(b)) => {
+            mask_from(n, |i| ord_matches(op, v[i].as_str().cmp(b.as_str())))
+        }
+        (ColumnData::Bool(v), Value::Bool(b)) => mask_from(n, |i| ord_matches(op, v[i].cmp(b))),
+        // Mismatched types: Value::total_cmp orders by type rank, so the
+        // outcome is the same for every row.
+        (col, lit) => {
+            let ord = type_rank_of_column(col).cmp(&type_rank_of_value(lit));
+            constant_mask(n, ord_matches(op, ord))
+        }
+    }
+}
+
+/// Compare two equal-length columns row-wise, producing a selection mask.
+pub fn compare_columns(left: &ColumnData, op: BinaryOp, right: &ColumnData) -> SelectionMask {
+    debug_assert!(op.is_comparison());
+    debug_assert_eq!(left.len(), right.len());
+    let n = left.len();
+    match (left, right) {
+        (ColumnData::Int64(a), ColumnData::Int64(b)) => {
+            mask_from(n, |i| ord_matches(op, a[i].cmp(&b[i])))
+        }
+        (ColumnData::Int64(a), ColumnData::Float64(b)) => {
+            mask_from(n, |i| ord_matches(op, (a[i] as f64).total_cmp(&b[i])))
+        }
+        (ColumnData::Float64(a), ColumnData::Int64(b)) => {
+            mask_from(n, |i| ord_matches(op, a[i].total_cmp(&(b[i] as f64))))
+        }
+        (ColumnData::Float64(a), ColumnData::Float64(b)) => {
+            mask_from(n, |i| ord_matches(op, a[i].total_cmp(&b[i])))
+        }
+        (ColumnData::Utf8(a), ColumnData::Utf8(b)) => {
+            mask_from(n, |i| ord_matches(op, a[i].cmp(&b[i])))
+        }
+        (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+            mask_from(n, |i| ord_matches(op, a[i].cmp(&b[i])))
+        }
+        (a, b) => {
+            let ord = type_rank_of_column(a).cmp(&type_rank_of_column(b));
+            constant_mask(n, ord_matches(op, ord))
+        }
+    }
+}
+
+/// View of a column as `f64` values for arithmetic; `None` for strings.
+enum NumericCol<'a> {
+    Int(&'a [i64]),
+    Float(&'a [f64]),
+    Bool(&'a [bool]),
+}
+
+impl NumericCol<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumericCol::Int(v) => v[i] as f64,
+            NumericCol::Float(v) => v[i],
+            NumericCol::Bool(v) => {
+                if v[i] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+fn numeric_view<'a>(col: &'a ColumnData, op: BinaryOp) -> Result<NumericCol<'a>, EngineError> {
+    match col {
+        ColumnData::Int64(v) => Ok(NumericCol::Int(v)),
+        ColumnData::Float64(v) => Ok(NumericCol::Float(v)),
+        ColumnData::Bool(v) => Ok(NumericCol::Bool(v)),
+        ColumnData::Utf8(_) => Err(EngineError::Execution(format!(
+            "arithmetic {op} on non-numeric column"
+        ))),
+    }
+}
+
+#[inline(always)]
+fn apply_arith(a: f64, op: BinaryOp, b: f64) -> Result<f64, EngineError> {
+    Ok(match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        BinaryOp::Div => {
+            if b == 0.0 {
+                return Err(EngineError::Execution("division by zero".to_string()));
+            }
+            a / b
+        }
+        _ => unreachable!("apply_arith called with non-arithmetic op"),
+    })
+}
+
+/// Row-wise arithmetic over two equal-length columns, always yielding
+/// `Float64` (matching scalar `eval_binary` semantics).
+pub fn arith_columns(
+    left: &ColumnData,
+    op: BinaryOp,
+    right: &ColumnData,
+) -> Result<ColumnData, EngineError> {
+    debug_assert_eq!(left.len(), right.len());
+    let l = numeric_view(left, op)?;
+    let r = numeric_view(right, op)?;
+    let n = left.len();
+    // Fast path for the dominant case: both sides already f64 and no
+    // division (no per-row error check needed).
+    if let (NumericCol::Float(a), NumericCol::Float(b)) = (&l, &r) {
+        if op != BinaryOp::Div {
+            let out: Vec<f64> = match op {
+                BinaryOp::Add => a.iter().zip(*b).map(|(x, y)| x + y).collect(),
+                BinaryOp::Sub => a.iter().zip(*b).map(|(x, y)| x - y).collect(),
+                _ => a.iter().zip(*b).map(|(x, y)| x * y).collect(),
+            };
+            return Ok(ColumnData::Float64(out));
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(apply_arith(l.get(i), op, r.get(i))?);
+    }
+    Ok(ColumnData::Float64(out))
+}
+
+/// Row-wise arithmetic between a column and a scalar (either side).
+pub fn arith_column_scalar(
+    left: &ColumnData,
+    op: BinaryOp,
+    scalar: &Value,
+    scalar_on_left: bool,
+) -> Result<ColumnData, EngineError> {
+    let l = numeric_view(left, op)?;
+    let Some(s) = scalar.as_f64() else {
+        return Err(EngineError::Execution(format!(
+            "arithmetic on non-numeric values ({scalar})"
+        )));
+    };
+    let n = left.len();
+    let mut out = Vec::with_capacity(n);
+    if scalar_on_left {
+        for i in 0..n {
+            out.push(apply_arith(s, op, l.get(i))?);
+        }
+    } else {
+        for i in 0..n {
+            out.push(apply_arith(l.get(i), op, s)?);
+        }
+    }
+    Ok(ColumnData::Float64(out))
+}
+
+/// Truthiness of a column under `Value::as_bool().unwrap_or(false)`:
+/// booleans pass through, every other type is `false`.
+fn truthiness(col: &ColumnData) -> SelectionMask {
+    match col {
+        ColumnData::Bool(v) => SelectionMask::from_bools(v),
+        other => SelectionMask::none(other.len()),
+    }
+}
+
+/// Mask of rows whose value in a `Bool` column is true; non-bool columns
+/// select nothing (scalar predicate semantics).
+pub fn column_truth_mask(col: &ColumnData) -> SelectionMask {
+    truthiness(col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints() -> ColumnData {
+        ColumnData::Int64(vec![1, 2, 3, 4])
+    }
+
+    #[test]
+    fn compare_int_column_with_float_literal_uses_numeric_order() {
+        let m = compare_column_literal(&ints(), BinaryOp::Gt, &Value::Float(2.5));
+        assert_eq!(m.to_bools(), vec![false, false, true, true]);
+        let m = compare_column_literal(&ints(), BinaryOp::Eq, &Value::Float(3.0));
+        assert_eq!(m.to_bools(), vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn mismatched_types_follow_type_rank() {
+        // Int column (rank 2) vs Str literal (rank 3): every row is Less.
+        let m = compare_column_literal(&ints(), BinaryOp::Lt, &Value::Str("x".into()));
+        assert!(m.is_all_selected());
+        let m = compare_column_literal(&ints(), BinaryOp::Eq, &Value::Str("x".into()));
+        assert!(m.is_none_selected());
+    }
+
+    #[test]
+    fn column_column_comparison_and_arith() {
+        let a = ColumnData::Int64(vec![1, 5, 3]);
+        let b = ColumnData::Float64(vec![2.0, 4.0, 3.0]);
+        let m = compare_columns(&a, BinaryOp::Lt, &b);
+        assert_eq!(m.to_bools(), vec![true, false, false]);
+        let s = arith_columns(&a, BinaryOp::Add, &b).unwrap();
+        assert_eq!(s, ColumnData::Float64(vec![3.0, 9.0, 6.0]));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let a = ColumnData::Int64(vec![1, 2]);
+        let z = ColumnData::Int64(vec![1, 0]);
+        assert!(arith_columns(&a, BinaryOp::Div, &z).is_err());
+        assert!(arith_column_scalar(&a, BinaryOp::Div, &Value::Int(0), false).is_err());
+        assert!(arith_column_scalar(&a, BinaryOp::Div, &Value::Int(2), false).is_ok());
+    }
+
+    #[test]
+    fn truth_mask_treats_non_bool_as_false() {
+        let t = ColumnData::Bool(vec![true, true, false]);
+        let i = ColumnData::Int64(vec![1, 1, 1]);
+        assert_eq!(column_truth_mask(&t).to_bools(), vec![true, true, false]);
+        assert!(column_truth_mask(&i).is_none_selected());
+    }
+}

@@ -26,8 +26,10 @@ pub mod context;
 pub mod cost;
 pub mod error;
 pub mod expr;
+pub mod kernels;
 pub mod logical;
 pub mod optimizer;
+pub mod parallel;
 pub mod physical;
 pub mod result;
 pub mod sql;

@@ -1,0 +1,84 @@
+//! Morsel-driven parallelism on scoped OS threads.
+//!
+//! The executor fans work out one task per partition (scans) or per morsel
+//! (aggregation) onto `std::thread::scope` workers — the registry-free
+//! equivalent of a rayon pool. Results always come back in task order, so
+//! every parallel operator is deterministic up to floating-point merge order.
+
+/// Default row-count threshold below which operators stay single-threaded;
+/// spawning threads for tiny inputs costs more than it saves.
+pub const PARALLEL_ROW_THRESHOLD: usize = 32_768;
+
+/// Number of worker threads to use for an input of `total_rows` rows.
+///
+/// `TASTER_THREADS` overrides the choice (a value of 1 disables parallelism
+/// entirely, which the determinism tests use); otherwise small inputs run
+/// single-threaded and large ones use every available core. The env var is
+/// read per operator, not per row, so the lookup cost is irrelevant.
+pub fn worker_threads(total_rows: usize) -> usize {
+    let configured = std::env::var("TASTER_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if configured > 0 {
+        return configured;
+    }
+    if total_rows < PARALLEL_ROW_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f(0..n)` across up to `threads` scoped workers and return the results
+/// in index order. With `threads <= 1` (or a single task) this is a plain
+/// sequential loop with no thread overhead.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + i));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_threads_is_at_least_one() {
+        assert!(worker_threads(0) >= 1);
+        assert!(worker_threads(10_000_000) >= 1);
+    }
+}

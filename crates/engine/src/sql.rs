@@ -14,9 +14,10 @@
 //! ERROR WITHIN 10% AT CONFIDENCE 95%
 //! ```
 //!
-//! with `AGG ∈ {COUNT, SUM, AVG, MIN, MAX}` and `OP ∈ {=, <>, !=, <, <=, >,
-//! >=}`. Identifiers may be qualified (`lineitem.l_price`); qualifiers are
-//! stripped because all benchmark schemas use globally unique column names.
+//! with `AGG ∈ {COUNT, SUM, AVG, MIN, MAX}` and `OP` one of the six
+//! comparison operators (`=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`). Identifiers
+//! may be qualified (`lineitem.l_price`); qualifiers are stripped because all
+//! benchmark schemas use globally unique column names.
 
 use serde::{Deserialize, Serialize};
 use taster_storage::{Catalog, Value};

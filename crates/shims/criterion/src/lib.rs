@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`) on top of plain `std::time::Instant`
+//! wall-clock measurement. It is not a statistics engine: each benchmark is
+//! warmed up, then timed over enough iterations to cover a fixed measurement
+//! window, and the mean ns/iter is reported.
+//!
+//! Set `TASTER_CRITERION_JSON=/path/to/out.json` to also write the results as
+//! a JSON array (used to record the kernel-bench baselines checked into
+//! `crates/bench/baselines/`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
+/// Hint for how batched inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; batches are timed in one measurement.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Collects benchmark results across groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(self, None, &id.to_string(), f);
+        self
+    }
+
+    /// Print the per-benchmark summary and honour `TASTER_CRITERION_JSON`.
+    pub fn final_summary(&self) {
+        for r in &self.results {
+            println!("{:<52} {:>14.1} ns/iter ({} iters)", r.id, r.ns_per_iter, r.iterations);
+        }
+        if let Ok(path) = std::env::var("TASTER_CRITERION_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                let sep = if i + 1 == self.results.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}{}\n",
+                    r.id, r.ns_per_iter, r.iterations, sep
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                println!("wrote {} results to {path}", self.results.len());
+            }
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the shim sizes measurement by
+    /// wall-clock window, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let group = self.name.clone();
+        run_one(self.criterion, Some(&group), &id.to_string(), f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &mut Criterion, group: Option<&str>, id: &str, mut f: F) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut b);
+    let ns = if b.iterations == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iterations as f64
+    };
+    eprintln!("bench {full_id}: {ns:.1} ns/iter");
+    c.results.push(BenchResult {
+        id: full_id,
+        ns_per_iter: ns,
+        iterations: b.iterations,
+    });
+}
+
+/// Measurement window per benchmark (after one warm-up run).
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+
+/// Passed to the closure given to `bench_function`; runs the timing loop.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement window is covered.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration run.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let reps = (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += reps;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let reps = (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..reps {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed += total;
+        self.iterations += reps;
+    }
+}
+
+/// Define a function running a sequence of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more groups and printing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.iterations > 0));
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde through `#[derive(Serialize, Deserialize)]`
+//! annotations — nothing (de)serializes values yet. With no registry access
+//! in the build environment, this proc-macro crate keeps those annotations
+//! compiling by expanding both derives to nothing. When real serialization
+//! lands (e.g. a wire format for a query server), replace this shim with the
+//! actual serde + serde_derive crates; no source changes will be needed.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -114,6 +114,22 @@ impl RecordBatch {
         }
     }
 
+    /// A new batch keeping only the rows selected by a packed mask.
+    pub fn filter_mask(&self, mask: &crate::mask::SelectionMask) -> RecordBatch {
+        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.filter_mask(mask)).collect();
+        RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows: mask.count_selected(),
+        }
+    }
+
+    /// A new batch containing the rows at the given indices, in order.
+    /// Alias of [`RecordBatch::take`] named for the selection-vector path.
+    pub fn filter_indices(&self, indices: &[usize]) -> RecordBatch {
+        self.take(indices)
+    }
+
     /// A new batch containing the rows at the given indices, in order.
     pub fn take(&self, indices: &[usize]) -> RecordBatch {
         let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.take(indices)).collect();
@@ -165,14 +181,37 @@ impl RecordBatch {
 
     /// Concatenate multiple batches that share a schema.
     pub fn concat(batches: &[RecordBatch]) -> Result<RecordBatch, StorageError> {
+        Self::concat_refs(&batches.iter().collect::<Vec<_>>())
+    }
+
+    /// Concatenate borrowed batches in a single pre-reserved copy (no
+    /// intermediate clone of the first batch, no reallocation churn).
+    pub fn concat_refs(batches: &[&RecordBatch]) -> Result<RecordBatch, StorageError> {
         let Some(first) = batches.first() else {
             return Err(StorageError::Invalid("concat of zero batches".to_string()));
         };
-        let mut out = first.clone();
+        let schema = first.schema().clone();
         for b in &batches[1..] {
-            out.append(b)?;
+            if b.schema().as_ref() != schema.as_ref() {
+                return Err(StorageError::Invalid(
+                    "cannot concat batches with different schemas".to_string(),
+                ));
+            }
         }
-        Ok(out)
+        let num_rows = batches.iter().map(|b| b.num_rows()).sum();
+        let mut columns = Vec::with_capacity(schema.len());
+        for (c, field) in schema.fields().iter().enumerate() {
+            let mut col = ColumnData::with_capacity(field.data_type, num_rows);
+            for b in batches {
+                col.extend_from(b.column(c))?;
+            }
+            columns.push(col);
+        }
+        Ok(RecordBatch {
+            schema,
+            columns,
+            num_rows,
+        })
     }
 
     /// A new batch with an extra column appended (e.g. the sampler weight).

@@ -142,7 +142,7 @@ impl ColumnData {
             ColumnData::Utf8(v) => ColumnData::Utf8(
                 v.iter()
                     .zip(mask)
-                    .filter_map(|(x, &keep)| keep.then(|| x.clone()))
+                    .filter(|&(_x, &keep)| keep).map(|(x, &_keep)| x.clone())
                     .collect(),
             ),
             ColumnData::Bool(v) => ColumnData::Bool(
@@ -151,6 +151,37 @@ impl ColumnData {
                     .filter_map(|(x, &keep)| keep.then_some(*x))
                     .collect(),
             ),
+        }
+    }
+
+    /// A new column containing the rows selected by a packed mask.
+    ///
+    /// Equivalent to `filter(&mask.to_bools())` without materializing the
+    /// boolean array; the typed loops copy straight from the set bits.
+    pub fn filter_mask(&self, mask: &crate::mask::SelectionMask) -> ColumnData {
+        debug_assert_eq!(mask.len(), self.len());
+        let n = mask.count_selected();
+        match self {
+            ColumnData::Int64(v) => {
+                let mut out = Vec::with_capacity(n);
+                out.extend(mask.iter_selected().map(|i| v[i]));
+                ColumnData::Int64(out)
+            }
+            ColumnData::Float64(v) => {
+                let mut out = Vec::with_capacity(n);
+                out.extend(mask.iter_selected().map(|i| v[i]));
+                ColumnData::Float64(out)
+            }
+            ColumnData::Utf8(v) => {
+                let mut out = Vec::with_capacity(n);
+                out.extend(mask.iter_selected().map(|i| v[i].clone()));
+                ColumnData::Utf8(out)
+            }
+            ColumnData::Bool(v) => {
+                let mut out = Vec::with_capacity(n);
+                out.extend(mask.iter_selected().map(|i| v[i]));
+                ColumnData::Bool(out)
+            }
         }
     }
 

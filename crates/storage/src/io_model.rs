@@ -102,6 +102,11 @@ pub struct ExecutionMetrics {
     pub operator_rows: usize,
     /// Bytes of synopses materialized as a byproduct of this query.
     pub bytes_materialized: usize,
+    /// Base-table partitions actually scanned.
+    pub partitions_scanned: usize,
+    /// Base-table partitions skipped by zone-map pruning (their rows and
+    /// bytes are *not* counted in `base_rows_scanned`/`base_bytes_scanned`).
+    pub partitions_pruned: usize,
     /// Wall-clock time actually spent executing, in nanoseconds.
     pub wall_time_ns: u128,
 }
@@ -117,6 +122,8 @@ impl ExecutionMetrics {
         self.buffer_bytes_read += other.buffer_bytes_read;
         self.operator_rows += other.operator_rows;
         self.bytes_materialized += other.bytes_materialized;
+        self.partitions_scanned += other.partitions_scanned;
+        self.partitions_pruned += other.partitions_pruned;
         self.wall_time_ns += other.wall_time_ns;
     }
 
@@ -178,12 +185,16 @@ mod tests {
             buffer_bytes_read: 6,
             operator_rows: 7,
             bytes_materialized: 8,
-            wall_time_ns: 9,
+            partitions_scanned: 9,
+            partitions_pruned: 10,
+            wall_time_ns: 11,
         };
         a.merge(&a.clone());
         assert_eq!(a.base_rows_scanned, 2);
         assert_eq!(a.bytes_materialized, 16);
-        assert_eq!(a.wall_time_ns, 18);
+        assert_eq!(a.partitions_scanned, 18);
+        assert_eq!(a.partitions_pruned, 20);
+        assert_eq!(a.wall_time_ns, 22);
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod io_model;
+pub mod mask;
 pub mod partition;
+pub mod row_key;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -32,6 +34,8 @@ pub use catalog::Catalog;
 pub use column::ColumnData;
 pub use error::StorageError;
 pub use io_model::IoModel;
+pub use mask::SelectionMask;
+pub use row_key::{IntKeyMap, RowKeyMap, RowKeyTable, RowKeys};
 pub use schema::{DataType, Field, Schema};
 pub use table::Table;
 pub use value::Value;

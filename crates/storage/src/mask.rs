@@ -1,0 +1,203 @@
+//! Packed selection bitmasks (selection vectors).
+//!
+//! Predicates evaluate to a [`SelectionMask`] — one bit per row, packed into
+//! `u64` words — instead of a `Vec<bool>`. Conjunction and disjunction become
+//! word-wide bitwise operations, selectivity is a population count, and
+//! filters materialize output batches directly from the set bits without an
+//! intermediate boolean array.
+
+/// A fixed-length bitmask selecting a subset of rows of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelectionMask {
+    /// A mask of `len` rows, all selected.
+    pub fn all(len: usize) -> Self {
+        let full_words = len / 64;
+        let rem = len % 64;
+        let mut words = vec![u64::MAX; full_words];
+        if rem > 0 {
+            words.push((1u64 << rem) - 1);
+        }
+        Self { words, len }
+    }
+
+    /// A mask of `len` rows, none selected.
+    pub fn none(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut mask = Self::none(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                mask.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        mask
+    }
+
+    /// Number of rows covered (selected or not).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Select row `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether row `i` is selected.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of selected rows.
+    pub fn count_selected(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no row is selected.
+    pub fn is_none_selected(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` if every row is selected.
+    pub fn is_all_selected(&self) -> bool {
+        self.count_selected() == self.len
+    }
+
+    /// In-place conjunction with another mask of the same length.
+    pub fn and_with(&mut self, other: &SelectionMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place disjunction with another mask of the same length.
+    pub fn or_with(&mut self, other: &SelectionMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Indices of the selected rows, ascending.
+    pub fn selected_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_selected());
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                out.push(w * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Iterate the selected row indices without materializing them.
+    pub fn iter_selected(&self) -> SelectedIter<'_> {
+        SelectedIter {
+            mask: self,
+            word_idx: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Widen to a boolean vector (compatibility with row-oriented callers).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Iterator over selected indices of a [`SelectionMask`].
+pub struct SelectedIter<'a> {
+    mask: &'a SelectionMask,
+    word_idx: usize,
+    bits: u64,
+}
+
+impl Iterator for SelectedIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.mask.words.len() {
+                return None;
+            }
+            self.bits = self.mask.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_none_and_counts() {
+        for len in [0, 1, 63, 64, 65, 130] {
+            let a = SelectionMask::all(len);
+            assert_eq!(a.count_selected(), len, "len={len}");
+            assert!(a.is_all_selected());
+            let n = SelectionMask::none(len);
+            assert_eq!(n.count_selected(), 0);
+            assert!(n.is_none_selected());
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut m = SelectionMask::none(130);
+        for i in [0, 63, 64, 65, 129] {
+            m.set(i);
+        }
+        assert_eq!(m.selected_indices(), vec![0, 63, 64, 65, 129]);
+        assert_eq!(m.iter_selected().collect::<Vec<_>>(), vec![0, 63, 64, 65, 129]);
+        assert!(m.get(64) && !m.get(1));
+    }
+
+    #[test]
+    fn bitwise_combinators_match_boolean_logic() {
+        let a = SelectionMask::from_bools(&[true, true, false, false]);
+        let b = SelectionMask::from_bools(&[true, false, true, false]);
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.to_bools(), vec![true, false, false, false]);
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(or.to_bools(), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let m = SelectionMask::from_bools(&bools);
+        assert_eq!(m.to_bools(), bools);
+        assert_eq!(m.count_selected(), bools.iter().filter(|&&b| b).count());
+    }
+}

@@ -1,0 +1,628 @@
+//! Compact row-encoded keys for hash joins and grouped aggregation.
+//!
+//! The row-at-a-time executor built a `Vec<Value>` per row to use as a hash
+//! key — one heap allocation (plus one per string) for every tuple flowing
+//! through a join build, join probe or group-by. This module replaces those
+//! with a single byte buffer per batch: every row's key columns are encoded
+//! back-to-back into one `Vec<u8>` with a per-row offset table, and hash
+//! tables over the keys ([`RowKeyMap`], [`RowKeyTable`]) store integer offsets
+//! into that buffer instead of owning keys.
+//!
+//! The encoding is injective and *normalizing*: two keys encode to the same
+//! bytes iff the corresponding `Vec<Value>` keys compare equal under
+//! [`Value`]'s semantics. In particular `Int(2)` and `Float(2.0)` — which are
+//! equal and hash identically — produce identical encodings, so mixed
+//! int/float join keys behave exactly as they did with `Value` keys.
+
+use crate::column::ColumnData;
+use crate::value::Value;
+
+/// Type tags; kept aligned with `Value::hash` so the normalization story is
+/// identical in both places.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+
+/// Append one value's canonical encoding to `buf`.
+#[inline]
+fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Float(x) => encode_f64(buf, *x),
+        Value::Str(s) => encode_str(buf, s),
+        Value::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::Null => buf.push(TAG_NULL),
+    }
+}
+
+#[inline]
+fn encode_f64(buf: &mut Vec<u8>, x: f64) {
+    // Normalize integral floats to the Int encoding (Int(2) == Float(2.0)).
+    // -0.0 is excluded: total_cmp orders it below 0.0, so it must not merge
+    // with Int(0). The bounds and the saturating cast deliberately mirror
+    // `Value::hash` — in particular Float(2^63) saturates onto
+    // Int(i64::MAX), matching Value::total_cmp, which compares Int(a) to
+    // floats through the lossy `a as f64` cast and therefore calls the two
+    // equal.
+    if x.fract() == 0.0
+        && x >= i64::MIN as f64
+        && x <= i64::MAX as f64
+        && !(x == 0.0 && x.is_sign_negative())
+    {
+        buf.push(TAG_INT);
+        buf.extend_from_slice(&(x as i64).to_le_bytes());
+    } else {
+        buf.push(TAG_FLOAT);
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+#[inline]
+fn encode_str(buf: &mut Vec<u8>, s: &str) {
+    buf.push(TAG_STR);
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Offsets are stored as `u32` to halve the offset table; fail loudly rather
+/// than wrap if a batch's keys ever exceed 4 GiB.
+#[inline]
+fn checked_offset(len: usize) -> u32 {
+    u32::try_from(len).expect("row-key buffer exceeded u32 offset range (4 GiB per batch)")
+}
+
+/// The encoded keys of every row of a batch: one flat byte buffer plus a
+/// row-offset table. Buffers are reusable across batches via
+/// [`RowKeys::clear`] + [`RowKeys::encode_columns`].
+#[derive(Debug, Default, Clone)]
+pub struct RowKeys {
+    buf: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` is row i's key; length is `rows + 1`.
+    offsets: Vec<u32>,
+}
+
+impl RowKeys {
+    /// An empty, reusable key buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode the keys of `num_rows` rows drawn from `cols` (in order).
+    pub fn encode_columns(cols: &[&ColumnData], num_rows: usize) -> Self {
+        Self::encode_columns_range(cols, 0..num_rows)
+    }
+
+    /// Encode the keys of rows `range` drawn from `cols`. Local row `i` of
+    /// the result corresponds to batch row `range.start + i` — the morsel
+    /// aggregation path uses this to key a sub-range without slicing columns.
+    pub fn encode_columns_range(cols: &[&ColumnData], range: std::ops::Range<usize>) -> Self {
+        let mut keys = Self::new();
+        keys.reencode_columns_range(cols, range);
+        keys
+    }
+
+    /// Re-encode into this buffer, reusing its allocations.
+    pub fn reencode_columns(&mut self, cols: &[&ColumnData], num_rows: usize) {
+        self.reencode_columns_range(cols, 0..num_rows);
+    }
+
+    /// Range variant of [`RowKeys::reencode_columns`].
+    pub fn reencode_columns_range(&mut self, cols: &[&ColumnData], range: std::ops::Range<usize>) {
+        self.clear();
+        // Fast path for the dominant group-by/join shape — a single Int64 key
+        // column — where the generic per-row column dispatch is pure
+        // overhead.
+        if let [ColumnData::Int64(v)] = cols {
+            self.buf.reserve(range.len() * 9);
+            self.offsets.reserve(range.len() + 1);
+            self.offsets.push(0);
+            for row in range {
+                self.buf.push(TAG_INT);
+                self.buf.extend_from_slice(&v[row].to_le_bytes());
+                self.offsets.push(checked_offset(self.buf.len()));
+            }
+            return;
+        }
+        // Reserve assuming fixed-width columns (9 bytes each); strings grow
+        // the buffer as needed.
+        self.buf.reserve(range.len() * cols.len() * 9);
+        self.offsets.reserve(range.len() + 1);
+        self.offsets.push(0);
+        for row in range {
+            for col in cols {
+                match col {
+                    ColumnData::Int64(v) => {
+                        self.buf.push(TAG_INT);
+                        self.buf.extend_from_slice(&v[row].to_le_bytes());
+                    }
+                    ColumnData::Float64(v) => encode_f64(&mut self.buf, v[row]),
+                    ColumnData::Utf8(v) => encode_str(&mut self.buf, &v[row]),
+                    ColumnData::Bool(v) => {
+                        self.buf.push(TAG_BOOL);
+                        self.buf.push(u8::from(v[row]));
+                    }
+                }
+            }
+            self.offsets.push(checked_offset(self.buf.len()));
+        }
+    }
+
+    /// Encode a single ad-hoc key (e.g. a probe key built from `Value`s).
+    pub fn encode_values(values: &[Value]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(values.len() * 9);
+        for v in values {
+            encode_value(&mut buf, v);
+        }
+        buf
+    }
+
+    /// Forget all rows, keeping allocations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.offsets.clear();
+    }
+
+    /// Number of encoded rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The encoded key of row `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[u8] {
+        &self.buf[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Decode an encoded key back into `Value`s (used to materialize group
+    /// keys once per group, not once per row).
+    pub fn decode(mut key: &[u8]) -> Vec<Value> {
+        let mut out = Vec::new();
+        while let Some((&tag, rest)) = key.split_first() {
+            match tag {
+                TAG_NULL => {
+                    out.push(Value::Null);
+                    key = rest;
+                }
+                TAG_BOOL => {
+                    out.push(Value::Bool(rest[0] != 0));
+                    key = &rest[1..];
+                }
+                TAG_INT => {
+                    let (bytes, tail) = rest.split_at(8);
+                    out.push(Value::Int(i64::from_le_bytes(bytes.try_into().unwrap())));
+                    key = tail;
+                }
+                TAG_FLOAT => {
+                    let (bytes, tail) = rest.split_at(8);
+                    out.push(Value::Float(f64::from_bits(u64::from_le_bytes(
+                        bytes.try_into().unwrap(),
+                    ))));
+                    key = tail;
+                }
+                TAG_STR => {
+                    let (len_bytes, tail) = rest.split_at(4);
+                    let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+                    let (s, tail) = tail.split_at(len);
+                    out.push(Value::Str(String::from_utf8_lossy(s).into_owned()));
+                    key = tail;
+                }
+                _ => unreachable!("corrupt row-key tag {tag}"),
+            }
+        }
+        out
+    }
+}
+
+/// Word-at-a-time multiply-mix hash over the key bytes. Keys here are short
+/// (9 bytes per fixed-width column), so consuming 8-byte chunks instead of
+/// single bytes matters; quality only needs to feed a power-of-two
+/// open-addressed table.
+#[inline]
+pub fn hash_key(key: &[u8]) -> u64 {
+    const K: u64 = 0x9e3779b97f4a7c15;
+    let mut h: u64 = key.len() as u64 ^ K;
+    let mut chunks = key.chunks_exact(8);
+    for c in &mut chunks {
+        let x = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h ^ x).wrapping_mul(K);
+        h ^= h >> 29;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut x = 0u64;
+        for (i, &b) in rem.iter().enumerate() {
+            x |= (b as u64) << (8 * i);
+        }
+        h = (h ^ x).wrapping_mul(K);
+    }
+    // Final avalanche so low bits (the table index) depend on every byte.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^ (h >> 33)
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Open-addressed map from encoded row keys to dense ids `0..n`, with zero
+/// allocations per row: slots store the id plus a representative row index
+/// whose bytes (in the backing [`RowKeys`]) are the canonical key.
+#[derive(Debug)]
+pub struct RowKeyMap {
+    /// Slot -> dense id, or `EMPTY_SLOT`.
+    slots: Vec<u32>,
+    /// Dense id -> (hash, representative row).
+    entries: Vec<(u64, u32)>,
+    mask: usize,
+}
+
+impl RowKeyMap {
+    /// A map pre-sized for roughly `expected` distinct keys.
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        Self {
+            slots: vec![EMPTY_SLOT; cap],
+            entries: Vec::with_capacity(expected),
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct keys inserted.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Representative row (into the backing `RowKeys`) for each dense id.
+    pub fn representatives(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&(_, row)| row as usize)
+    }
+
+    /// Dense id for `keys.key(row)`, inserting a new id if unseen.
+    #[inline]
+    pub fn get_or_insert(&mut self, keys: &RowKeys, row: usize) -> u32 {
+        let key = keys.key(row);
+        let hash = hash_key(key);
+        let mut slot = hash as usize & self.mask;
+        loop {
+            let id = self.slots[slot];
+            if id == EMPTY_SLOT {
+                let new_id = self.entries.len() as u32;
+                self.slots[slot] = new_id;
+                self.entries.push((hash, row as u32));
+                if self.entries.len() * 2 > self.slots.len() {
+                    self.grow(keys);
+                }
+                return new_id;
+            }
+            let (h, rep) = self.entries[id as usize];
+            if h == hash && keys.key(rep as usize) == key {
+                return id;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Dense id for an ad-hoc encoded key, if present.
+    #[inline]
+    pub fn get(&self, keys: &RowKeys, key: &[u8]) -> Option<u32> {
+        let hash = hash_key(key);
+        let mut slot = hash as usize & self.mask;
+        loop {
+            let id = self.slots[slot];
+            if id == EMPTY_SLOT {
+                return None;
+            }
+            let (h, rep) = self.entries[id as usize];
+            if h == hash && keys.key(rep as usize) == key {
+                return Some(id);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self, _keys: &RowKeys) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY_SLOT);
+        for (id, &(hash, _)) in self.entries.iter().enumerate() {
+            let mut slot = hash as usize & self.mask;
+            while self.slots[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = id as u32;
+        }
+    }
+}
+
+/// Open-addressed map from raw `i64` keys to dense ids — the fast path for
+/// the single-`Int64`-key group-by/join shape, skipping byte encoding
+/// entirely. Equality semantics match the encoded path because an `Int64`
+/// column can only ever produce `TAG_INT` encodings.
+#[derive(Debug)]
+pub struct IntKeyMap {
+    /// Slot -> dense id, or `EMPTY_SLOT`.
+    slots: Vec<u32>,
+    /// Dense id -> key.
+    entries: Vec<i64>,
+    mask: usize,
+}
+
+#[inline]
+fn mix_i64(x: i64) -> u64 {
+    let mut h = x as u64 ^ 0x9e3779b97f4a7c15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^ (h >> 33)
+}
+
+impl IntKeyMap {
+    /// A map pre-sized for roughly `expected` distinct keys.
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        Self {
+            slots: vec![EMPTY_SLOT; cap],
+            entries: Vec::with_capacity(expected),
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct keys inserted.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The distinct keys, indexed by dense id.
+    pub fn keys(&self) -> &[i64] {
+        &self.entries
+    }
+
+    /// Dense id for `key`, inserting a new id if unseen.
+    #[inline]
+    pub fn get_or_insert(&mut self, key: i64) -> u32 {
+        let mut slot = mix_i64(key) as usize & self.mask;
+        loop {
+            let id = self.slots[slot];
+            if id == EMPTY_SLOT {
+                let new_id = self.entries.len() as u32;
+                self.slots[slot] = new_id;
+                self.entries.push(key);
+                if self.entries.len() * 2 > self.slots.len() {
+                    self.grow();
+                }
+                return new_id;
+            }
+            if self.entries[id as usize] == key {
+                return id;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY_SLOT);
+        for (id, &key) in self.entries.iter().enumerate() {
+            let mut slot = mix_i64(key) as usize & self.mask;
+            while self.slots[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = id as u32;
+        }
+    }
+}
+
+/// A join build table: encoded build-side keys plus, per distinct key, the
+/// chain of build rows carrying it. Probing allocates nothing.
+#[derive(Debug)]
+pub struct RowKeyTable {
+    keys: RowKeys,
+    map: RowKeyMap,
+    /// Dense id -> first build row with that key, or `EMPTY_SLOT`.
+    heads: Vec<u32>,
+    /// Build row -> next build row with the same key, or `EMPTY_SLOT`.
+    next: Vec<u32>,
+}
+
+impl RowKeyTable {
+    /// Build from the key columns of the build side.
+    pub fn build(cols: &[&ColumnData], num_rows: usize) -> Self {
+        let keys = RowKeys::encode_columns(cols, num_rows);
+        let mut map = RowKeyMap::with_capacity(num_rows.min(1 << 20));
+        let mut heads: Vec<u32> = Vec::new();
+        let mut next = vec![EMPTY_SLOT; num_rows];
+        // Insert rows back-to-front so the O(1) chain prepend leaves every
+        // chain in ascending build-row order — probes then yield matches in
+        // the same order a sequential scan of the build side would.
+        for row in (0..num_rows).rev() {
+            let id = map.get_or_insert(&keys, row) as usize;
+            if id == heads.len() {
+                heads.push(row as u32);
+            } else {
+                next[row] = heads[id];
+                heads[id] = row as u32;
+            }
+        }
+        Self {
+            keys,
+            map,
+            heads,
+            next,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Iterate the build rows matching the encoded probe key.
+    #[inline]
+    pub fn probe<'a>(&'a self, probe_keys: &RowKeys, probe_row: usize) -> MatchIter<'a> {
+        let key = probe_keys.key(probe_row);
+        let head = self
+            .map
+            .get(&self.keys, key)
+            .map_or(EMPTY_SLOT, |id| self.heads[id as usize]);
+        MatchIter { table: self, cur: head }
+    }
+}
+
+/// Iterator over build rows matching one probe key.
+pub struct MatchIter<'a> {
+    table: &'a RowKeyTable,
+    cur: u32,
+}
+
+impl Iterator for MatchIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == EMPTY_SLOT {
+            return None;
+        }
+        let row = self.cur as usize;
+        self.cur = self.table.next[row];
+        Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> (ColumnData, ColumnData) {
+        (
+            ColumnData::Int64(vec![1, 2, 1, 3, 2, 1]),
+            ColumnData::Utf8(vec!["a", "b", "a", "c", "b", "a"].into_iter().map(String::from).collect()),
+        )
+    }
+
+    #[test]
+    fn encoding_matches_value_equality() {
+        let ints = ColumnData::Int64(vec![2]);
+        let floats = ColumnData::Float64(vec![2.0]);
+        let ki = RowKeys::encode_columns(&[&ints], 1);
+        let kf = RowKeys::encode_columns(&[&floats], 1);
+        assert_eq!(ki.key(0), kf.key(0), "Int(2) and Float(2.0) must encode equal");
+        let frac = RowKeys::encode_columns(&[&ColumnData::Float64(vec![2.5])], 1);
+        assert_ne!(ki.key(0), frac.key(0));
+    }
+
+    #[test]
+    fn float_edge_cases_stay_distinct() {
+        // -0.0 orders below 0.0 under total_cmp, so it must not share an
+        // encoding with Int(0)/Float(0.0).
+        let k = RowKeys::encode_columns(&[&ColumnData::Float64(vec![0.0, -0.0])], 2);
+        assert_ne!(k.key(0), k.key(1));
+        let zero_int = RowKeys::encode_columns(&[&ColumnData::Int64(vec![0])], 1);
+        assert_eq!(k.key(0), zero_int.key(0));
+        // Float(2^63) compares Equal to Int(i64::MAX) under Value::total_cmp
+        // (the Int side is cast through f64), so the encodings must merge,
+        // exactly as the old HashMap<Vec<Value>> keys did.
+        let big = RowKeys::encode_columns(
+            &[&ColumnData::Float64(vec![9_223_372_036_854_775_808.0])],
+            1,
+        );
+        let max_int = RowKeys::encode_columns(&[&ColumnData::Int64(vec![i64::MAX])], 1);
+        assert_eq!(
+            Value::Int(i64::MAX),
+            Value::Float(9_223_372_036_854_775_808.0),
+            "premise: Value equality is lossy at 2^63"
+        );
+        assert_eq!(big.key(0), max_int.key(0));
+        // i64::MIN as f64 is exact and representable, so it does normalize.
+        let min_f = RowKeys::encode_columns(&[&ColumnData::Float64(vec![i64::MIN as f64])], 1);
+        let min_i = RowKeys::encode_columns(&[&ColumnData::Int64(vec![i64::MIN])], 1);
+        assert_eq!(min_f.key(0), min_i.key(0));
+    }
+
+    #[test]
+    fn string_lengths_are_delimited() {
+        let a = RowKeys::encode_values(&[Value::Str("ab".into()), Value::Str("c".into())]);
+        let b = RowKeys::encode_values(&[Value::Str("a".into()), Value::Str("bc".into())]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        let vals = vec![
+            Value::Int(-5),
+            Value::Str("hello".into()),
+            Value::Bool(true),
+            Value::Float(2.25),
+            Value::Null,
+        ];
+        let enc = RowKeys::encode_values(&vals);
+        assert_eq!(RowKeys::decode(&enc), vals);
+    }
+
+    #[test]
+    fn group_ids_are_dense_and_consistent() {
+        let (a, b) = cols();
+        let keys = RowKeys::encode_columns(&[&a, &b], 6);
+        let mut map = RowKeyMap::with_capacity(4);
+        let ids: Vec<u32> = (0..6).map(|r| map.get_or_insert(&keys, r)).collect();
+        assert_eq!(ids, vec![0, 1, 0, 2, 1, 0]);
+        assert_eq!(map.len(), 3);
+        let reps: Vec<usize> = map.representatives().collect();
+        assert_eq!(reps, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn map_survives_growth() {
+        let col = ColumnData::Int64((0..10_000).collect());
+        let keys = RowKeys::encode_columns(&[&col], 10_000);
+        let mut map = RowKeyMap::with_capacity(8);
+        for r in 0..10_000 {
+            assert_eq!(map.get_or_insert(&keys, r), r as u32);
+        }
+        for r in 0..10_000 {
+            assert_eq!(map.get_or_insert(&keys, r), r as u32, "lookup after growth");
+        }
+    }
+
+    #[test]
+    fn int_key_map_matches_generic_map() {
+        let vals: Vec<i64> = (0..5_000).map(|i| (i * 37) % 100 - 50).collect();
+        let col = ColumnData::Int64(vals.clone());
+        let keys = RowKeys::encode_columns(&[&col], vals.len());
+        let mut generic = RowKeyMap::with_capacity(8);
+        let mut fast = IntKeyMap::with_capacity(8);
+        for (r, &v) in vals.iter().enumerate() {
+            assert_eq!(generic.get_or_insert(&keys, r), fast.get_or_insert(v));
+        }
+        assert_eq!(generic.len(), fast.len());
+        assert_eq!(fast.keys().len(), fast.len());
+    }
+
+    #[test]
+    fn join_table_probe_finds_all_matches() {
+        let build = ColumnData::Int64(vec![1, 2, 1, 3, 1]);
+        let table = RowKeyTable::build(&[&build], 5);
+        assert_eq!(table.num_keys(), 3);
+        let probe = RowKeys::encode_columns(&[&ColumnData::Int64(vec![1, 4])], 2);
+        let matches: Vec<usize> = table.probe(&probe, 0).collect();
+        assert_eq!(matches, vec![0, 2, 4], "chains stay in build-row order");
+        assert_eq!(table.probe(&probe, 1).count(), 0);
+    }
+}

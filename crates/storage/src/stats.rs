@@ -119,7 +119,7 @@ impl TableStats {
     /// `true` if the column's value distribution is skewed.
     pub fn is_skewed(&self, name: &str) -> bool {
         self.column(name)
-            .map_or(false, |c| c.skew_ratio() > Self::SKEW_THRESHOLD)
+            .is_some_and(|c| c.skew_ratio() > Self::SKEW_THRESHOLD)
     }
 
     /// Number of distinct combinations across a set of columns, approximated
@@ -134,6 +134,96 @@ impl TableStats {
             product = product.saturating_mul(d);
         }
         product.min(self.row_count.max(1) as u128) as usize
+    }
+}
+
+/// Min/max zone for one column of one partition.
+///
+/// Zone maps are the pruning metadata of `exec_scan`: a partition whose
+/// `[min, max]` interval cannot satisfy a conjunct of the scan filter is
+/// skipped without touching its rows. Bounds use [`Value::total_cmp`]
+/// ordering, the same ordering predicates evaluate with, so pruning can never
+/// disagree with the filter itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnZone {
+    /// Smallest value in the partition.
+    pub min: Value,
+    /// Largest value in the partition.
+    pub max: Value,
+}
+
+impl ColumnZone {
+    fn of(col: &ColumnData) -> Option<ColumnZone> {
+        if col.is_empty() {
+            return None;
+        }
+        // Typed min/max loops; no Value widening per row.
+        let (min, max) = match col {
+            ColumnData::Int64(v) => {
+                let min = *v.iter().min().unwrap();
+                let max = *v.iter().max().unwrap();
+                (Value::Int(min), Value::Int(max))
+            }
+            ColumnData::Float64(v) => {
+                let mut min = v[0];
+                let mut max = v[0];
+                for &x in &v[1..] {
+                    if x.total_cmp(&min).is_lt() {
+                        min = x;
+                    }
+                    if x.total_cmp(&max).is_gt() {
+                        max = x;
+                    }
+                }
+                (Value::Float(min), Value::Float(max))
+            }
+            ColumnData::Utf8(v) => {
+                let min = v.iter().min().unwrap().clone();
+                let max = v.iter().max().unwrap().clone();
+                (Value::Str(min), Value::Str(max))
+            }
+            ColumnData::Bool(v) => {
+                let any_true = v.iter().any(|&b| b);
+                let any_false = v.iter().any(|&b| !b);
+                (Value::Bool(!any_false), Value::Bool(any_true))
+            }
+        };
+        Some(ColumnZone { min, max })
+    }
+
+    /// `true` if `value` lies within `[min, max]`.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.min.total_cmp(value).is_le() && self.max.total_cmp(value).is_ge()
+    }
+}
+
+/// Zone maps for one partition: per-column min/max plus the row count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionZones {
+    /// Rows in the partition.
+    pub num_rows: usize,
+    /// Zones keyed by column name (absent for empty partitions).
+    pub columns: HashMap<String, ColumnZone>,
+}
+
+impl PartitionZones {
+    /// Compute zones for one partition in a single typed pass per column.
+    pub fn compute(batch: &RecordBatch) -> PartitionZones {
+        let mut columns = HashMap::with_capacity(batch.num_columns());
+        for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
+            if let Some(zone) = ColumnZone::of(col) {
+                columns.insert(field.name.clone(), zone);
+            }
+        }
+        PartitionZones {
+            num_rows: batch.num_rows(),
+            columns,
+        }
+    }
+
+    /// The zone for a column, if the partition has rows in it.
+    pub fn column(&self, name: &str) -> Option<&ColumnZone> {
+        self.columns.get(name)
     }
 }
 
@@ -263,6 +353,28 @@ mod tests {
         let combos = stats.distinct_combinations(&["k".to_string(), "s".to_string()]);
         assert!(combos <= stats.row_count);
         assert_eq!(stats.distinct_combinations(&[]), 1);
+    }
+
+    #[test]
+    fn zone_maps_cover_every_typed_column() {
+        let z = PartitionZones::compute(&sample_batch());
+        assert_eq!(z.num_rows, 6);
+        assert_eq!(z.column("k").unwrap().min, Value::Int(1));
+        assert_eq!(z.column("k").unwrap().max, Value::Int(3));
+        assert_eq!(z.column("v").unwrap().max, Value::Float(30.0));
+        assert_eq!(z.column("s").unwrap().min, Value::Str("a".into()));
+        assert!(z.column("k").unwrap().contains(&Value::Int(2)));
+        assert!(!z.column("k").unwrap().contains(&Value::Int(4)));
+        assert!(z.column("missing").is_none());
+    }
+
+    #[test]
+    fn zone_maps_of_empty_partition_have_no_columns() {
+        let b = sample_batch();
+        let empty = b.filter(&[false; 6]);
+        let z = PartitionZones::compute(&empty);
+        assert_eq!(z.num_rows, 0);
+        assert!(z.columns.is_empty());
     }
 
     #[test]

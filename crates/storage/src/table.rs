@@ -7,7 +7,7 @@ use crate::batch::RecordBatch;
 use crate::error::StorageError;
 use crate::partition::split_batch;
 use crate::schema::SchemaRef;
-use crate::stats::TableStats;
+use crate::stats::{PartitionZones, TableStats};
 
 /// A named, horizontally partitioned table.
 ///
@@ -20,6 +20,7 @@ pub struct Table {
     schema: SchemaRef,
     partitions: Vec<RecordBatch>,
     stats: RwLock<Option<Arc<TableStats>>>,
+    zones: RwLock<Option<Arc<Vec<PartitionZones>>>>,
 }
 
 impl Table {
@@ -37,6 +38,7 @@ impl Table {
             schema,
             partitions: parts,
             stats: RwLock::new(None),
+            zones: RwLock::new(None),
         })
     }
 
@@ -64,6 +66,7 @@ impl Table {
             schema,
             partitions,
             stats: RwLock::new(None),
+            zones: RwLock::new(None),
         })
     }
 
@@ -122,6 +125,27 @@ impl Table {
     pub fn stats_computed(&self) -> bool {
         self.stats.read().is_some()
     }
+
+    /// Per-partition zone maps (min/max per column), computed on first access
+    /// and cached. `exec_scan` consults these to skip partitions that cannot
+    /// satisfy a filter.
+    pub fn zones(&self) -> Arc<Vec<PartitionZones>> {
+        if let Some(zones) = self.zones.read().as_ref() {
+            return zones.clone();
+        }
+        let mut guard = self.zones.write();
+        if let Some(zones) = guard.as_ref() {
+            return zones.clone();
+        }
+        let zones = Arc::new(
+            self.partitions
+                .iter()
+                .map(PartitionZones::compute)
+                .collect::<Vec<_>>(),
+        );
+        *guard = Some(zones.clone());
+        zones
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +178,19 @@ mod tests {
         let s2 = t.stats();
         assert!(Arc::ptr_eq(&s1, &s2));
         assert_eq!(s1.distinct_count("grp"), 5);
+    }
+
+    #[test]
+    fn zones_are_cached_and_reflect_contiguous_split() {
+        let t = Table::from_batch("t", batch(100), 4).unwrap();
+        let z1 = t.zones();
+        let z2 = t.zones();
+        assert!(Arc::ptr_eq(&z1, &z2));
+        assert_eq!(z1.len(), 4);
+        // Contiguous split: partition 0 holds ids 0..25, partition 3 75..100.
+        use crate::value::Value;
+        assert_eq!(z1[0].column("id").unwrap().max, Value::Int(24));
+        assert_eq!(z1[3].column("id").unwrap().min, Value::Int(75));
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -236,13 +236,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![
-            Value::Str("b".into()),
+        let mut vals = [Value::Str("b".into()),
             Value::Int(1),
             Value::Null,
             Value::Float(0.5),
-            Value::Bool(true),
-        ];
+            Value::Bool(true)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert!(matches!(vals[1], Value::Bool(true)));

@@ -77,9 +77,11 @@ pub fn z_score(confidence: f64) -> f64 {
     t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
 }
 
-/// One group's running moments.
-#[derive(Debug, Clone, Default)]
-struct GroupState {
+/// One group's running moments: everything the HT estimator and its CLT
+/// error bound need, accumulated in a single pass and mergeable across
+/// partitions/morsels.
+#[derive(Debug, Clone)]
+pub struct GroupMoments {
     n: usize,
     sum_w: f64,
     sum_wt: f64,
@@ -89,6 +91,56 @@ struct GroupState {
     min: f64,
     max: f64,
 }
+
+impl Default for GroupMoments {
+    fn default() -> Self {
+        Self {
+            n: 0,
+            sum_w: 0.0,
+            sum_wt: 0.0,
+            sum_wt2: 0.0,
+            sum_w2t2: 0.0,
+            sum_w2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl GroupMoments {
+    /// Fold one `(value, weight)` observation into the moments.
+    #[inline]
+    pub fn observe(&mut self, value: f64, weight: f64) {
+        self.n += 1;
+        self.sum_w += weight;
+        self.sum_wt += weight * value;
+        self.sum_wt2 += weight * value * value;
+        self.sum_w2t2 += weight * weight * value * value;
+        self.sum_w2 += weight * weight;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another group's moments into this one (partitioned execution).
+    pub fn combine(&mut self, other: &GroupMoments) {
+        self.n += other.n;
+        self.sum_w += other.sum_w;
+        self.sum_wt += other.sum_wt;
+        self.sum_wt2 += other.sum_wt2;
+        self.sum_w2t2 += other.sum_w2t2;
+        self.sum_w2 += other.sum_w2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of sample tuples observed.
+    pub fn sample_rows(&self) -> usize {
+        self.n
+    }
+}
+
+/// Backwards-compatible private alias used throughout this module.
+type GroupState = GroupMoments;
 
 /// Single-pass per-group Horvitz–Thompson estimator.
 ///
@@ -123,19 +175,7 @@ impl GroupedEstimator {
     /// Add one sampled tuple: its group key, the aggregation input value and
     /// its HT weight.
     pub fn add(&mut self, group: Vec<Value>, value: f64, weight: f64) {
-        let st = self.groups.entry(group).or_insert_with(|| GroupState {
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            ..Default::default()
-        });
-        st.n += 1;
-        st.sum_w += weight;
-        st.sum_wt += weight * value;
-        st.sum_wt2 += weight * value * value;
-        st.sum_w2t2 += weight * weight * value * value;
-        st.sum_w2 += weight * weight;
-        st.min = st.min.min(value);
-        st.max = st.max.max(value);
+        self.groups.entry(group).or_default().observe(value, weight);
     }
 
     /// Merge another estimator over the same aggregate (partitioned
@@ -143,20 +183,14 @@ impl GroupedEstimator {
     pub fn merge(&mut self, other: &GroupedEstimator) {
         debug_assert_eq!(self.kind, other.kind);
         for (k, o) in &other.groups {
-            let st = self.groups.entry(k.clone()).or_insert_with(|| GroupState {
-                min: f64::INFINITY,
-                max: f64::NEG_INFINITY,
-                ..Default::default()
-            });
-            st.n += o.n;
-            st.sum_w += o.sum_w;
-            st.sum_wt += o.sum_wt;
-            st.sum_wt2 += o.sum_wt2;
-            st.sum_w2t2 += o.sum_w2t2;
-            st.sum_w2 += o.sum_w2;
-            st.min = st.min.min(o.min);
-            st.max = st.max.max(o.max);
+            self.groups.entry(k.clone()).or_default().combine(o);
         }
+    }
+
+    /// Merge pre-accumulated moments for one group (the dense morsel path
+    /// hands its per-group state over through this).
+    pub fn insert_moments(&mut self, group: Vec<Value>, moments: GroupMoments) {
+        self.groups.entry(group).or_default().combine(&moments);
     }
 
     /// Produce the per-group estimates.
@@ -165,6 +199,65 @@ impl GroupedEstimator {
             .iter()
             .map(|(k, st)| (k.clone(), finish_group(self.kind, st)))
             .collect()
+    }
+}
+
+/// Horvitz–Thompson accumulator indexed by dense group ids instead of keys.
+///
+/// The vectorized aggregation path assigns every row a dense group id via a
+/// row-key hash table, then accumulates moments into a flat `Vec` — no
+/// hashing or key cloning per (row, aggregate) pair. [`into_keyed`] converts
+/// the result into an ordinary [`GroupedEstimator`] (one key materialization
+/// per *group*), which is how per-morsel partials are merged.
+///
+/// [`into_keyed`]: DenseGroupedEstimator::into_keyed
+#[derive(Debug, Clone)]
+pub struct DenseGroupedEstimator {
+    kind: AggregateKind,
+    states: Vec<GroupMoments>,
+}
+
+impl DenseGroupedEstimator {
+    /// Create an estimator for one aggregate function.
+    pub fn new(kind: AggregateKind) -> Self {
+        Self {
+            kind,
+            states: Vec::new(),
+        }
+    }
+
+    /// The aggregate being estimated.
+    pub fn kind(&self) -> AggregateKind {
+        self.kind
+    }
+
+    /// Number of groups seen so far.
+    pub fn num_groups(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Add one tuple under the given dense group id. Ids must be assigned
+    /// contiguously from 0 (as [`taster_storage::RowKeyMap`] does).
+    #[inline]
+    pub fn add(&mut self, group_id: u32, value: f64, weight: f64) {
+        let idx = group_id as usize;
+        if idx >= self.states.len() {
+            self.states.resize_with(idx + 1, GroupMoments::default);
+        }
+        self.states[idx].observe(value, weight);
+    }
+
+    /// Convert into a keyed estimator, pairing dense ids with the group keys
+    /// produced by `keys` (in id order).
+    pub fn into_keyed<I>(self, keys: I) -> GroupedEstimator
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut out = GroupedEstimator::new(self.kind);
+        for (moments, key) in self.states.into_iter().zip(keys) {
+            out.insert_moments(key, moments);
+        }
+        out
     }
 }
 
@@ -326,6 +419,98 @@ mod tests {
         est.add(vec![], 5.0, 3.0);
         est.add(vec![], 9.0, 3.0);
         assert_eq!(est.finish()[&vec![]].value, 9.0);
+    }
+
+    /// Split a stream of (group, value, weight) tuples across `parts`
+    /// estimators, merge them, and check the result is exact against one
+    /// estimator fed the whole stream.
+    fn check_merge_exact(kind: AggregateKind, weights: impl Fn(usize) -> f64, parts: usize) {
+        let mut partials: Vec<GroupedEstimator> =
+            (0..parts).map(|_| GroupedEstimator::new(kind)).collect();
+        let mut whole = GroupedEstimator::new(kind);
+        for i in 0..3_000 {
+            let (g, v, w) = (vec![Value::Int(i as i64 % 7)], (i % 113) as f64 * 0.5, weights(i));
+            partials[i % parts].add(g.clone(), v, w);
+            whole.add(g, v, w);
+        }
+        let mut merged = GroupedEstimator::new(kind);
+        for p in &partials {
+            merged.merge(p);
+        }
+        let got = merged.finish();
+        let want = whole.finish();
+        assert_eq!(got.len(), want.len(), "{kind:?}: group count");
+        for (k, w) in &want {
+            let g = &got[k];
+            assert!(
+                (g.value - w.value).abs() <= 1e-9 * w.value.abs().max(1.0),
+                "{kind:?}: value {} vs {}",
+                g.value,
+                w.value
+            );
+            assert!(
+                (g.std_error - w.std_error).abs() <= 1e-9 * w.std_error.abs().max(1.0),
+                "{kind:?}: std_error {} vs {}",
+                g.std_error,
+                w.std_error
+            );
+            assert_eq!(g.sample_rows, w.sample_rows, "{kind:?}: sample_rows");
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_for_unweighted_sum_count_avg() {
+        for kind in [AggregateKind::Sum, AggregateKind::Count, AggregateKind::Avg] {
+            for parts in [2, 3, 8] {
+                check_merge_exact(kind, |_| 1.0, parts);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_for_weighted_sum_count_avg() {
+        // Heterogeneous HT weights, as produced by a distinct sampler mixing
+        // weight-1 (delta) rows with weight-1/p rows.
+        for kind in [AggregateKind::Sum, AggregateKind::Count, AggregateKind::Avg] {
+            for parts in [2, 5] {
+                check_merge_exact(kind, |i| if i % 3 == 0 { 1.0 } else { 10.0 / 3.0 }, parts);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_disjoint_and_overlapping_groups() {
+        let mut a = GroupedEstimator::new(AggregateKind::Sum);
+        let mut b = GroupedEstimator::new(AggregateKind::Sum);
+        a.add(vec![Value::Int(1)], 10.0, 1.0);
+        a.add(vec![Value::Int(2)], 20.0, 1.0);
+        b.add(vec![Value::Int(2)], 5.0, 1.0);
+        b.add(vec![Value::Int(3)], 7.0, 1.0);
+        a.merge(&b);
+        let out = a.finish();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[&vec![Value::Int(1)]].value, 10.0);
+        assert_eq!(out[&vec![Value::Int(2)]].value, 25.0);
+        assert_eq!(out[&vec![Value::Int(3)]].value, 7.0);
+    }
+
+    #[test]
+    fn dense_estimator_matches_keyed_estimator() {
+        let mut dense = DenseGroupedEstimator::new(AggregateKind::Avg);
+        let mut keyed = GroupedEstimator::new(AggregateKind::Avg);
+        for i in 0..500usize {
+            let gid = (i % 4) as u32;
+            let (v, w) = (i as f64, 1.0 + (i % 2) as f64);
+            dense.add(gid, v, w);
+            keyed.add(vec![Value::Int(gid as i64)], v, w);
+        }
+        assert_eq!(dense.num_groups(), 4);
+        let converted = dense.into_keyed((0..4).map(|g| vec![Value::Int(g as i64)]));
+        let got = converted.finish();
+        let want = keyed.finish();
+        for (k, w) in &want {
+            assert_eq!(got[k], *w);
+        }
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl SpaceSaving {
         if self.counts.len() > self.capacity {
             let mut entries: Vec<(Value, Counter)> =
                 self.counts.drain().collect();
-            entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+            entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
             entries.truncate(self.capacity);
             self.counts = entries.into_iter().collect();
         }
@@ -126,9 +126,7 @@ impl SpaceSaving {
 
     /// Approximate in-memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.counts
-            .iter()
-            .map(|(k, _)| k.size_bytes() + 16)
+        self.counts.keys().map(|k| k.size_bytes() + 16)
             .sum::<usize>()
             + 32
     }

@@ -45,7 +45,7 @@ pub use ams::AmsSketch;
 pub use bloom::BloomFilter;
 pub use countmin::CountMinSketch;
 pub use distinct::DistinctSampler;
-pub use estimator::{AggregateEstimate, GroupedEstimator};
+pub use estimator::{AggregateEstimate, DenseGroupedEstimator, GroupMoments, GroupedEstimator};
 pub use fm::FmSketch;
 pub use heavy_hitters::SpaceSaving;
 pub use sample::WeightedSample;

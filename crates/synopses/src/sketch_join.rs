@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn merge_rejects_mismatched_configuration() {
         let b = orders(100);
-        let mut a = SketchJoin::build(&[b.clone()], vec!["custkey".into()], None, 0.01, 0.01)
+        let mut a = SketchJoin::build(std::slice::from_ref(&b), vec!["custkey".into()], None, 0.01, 0.01)
             .unwrap();
         let c = SketchJoin::build(&[b], vec!["price".into()], None, 0.01, 0.01).unwrap();
         assert!(!a.merge(&c));
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn missing_columns_error() {
         let b = orders(10);
-        assert!(SketchJoin::build(&[b.clone()], vec!["nope".into()], None, 0.01, 0.01).is_err());
+        assert!(SketchJoin::build(std::slice::from_ref(&b), vec!["nope".into()], None, 0.01, 0.01).is_err());
         assert!(
             SketchJoin::build(&[b], vec!["custkey".into()], Some("nope".into()), 0.01, 0.01)
                 .is_err()
@@ -253,7 +253,7 @@ mod tests {
     fn sketch_is_much_smaller_than_the_data() {
         let b = orders(200_000);
         let sj = SketchJoin::build(
-            &[b.clone()],
+            std::slice::from_ref(&b),
             vec!["custkey".into()],
             Some("price".into()),
             0.001,

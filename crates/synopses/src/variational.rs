@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn smaller_samples_have_larger_error() {
         let b = batch(100_000);
-        let small = VariationalSample::build(&[b.clone()], 0.005, 16, 3).unwrap();
+        let small = VariationalSample::build(std::slice::from_ref(&b), 0.005, 16, 3).unwrap();
         let large = VariationalSample::build(&[b], 0.2, 16, 3).unwrap();
         let (_, se_small) = small.estimate_sum("v").unwrap();
         let (_, se_large) = large.estimate_sum("v").unwrap();

@@ -1,8 +1,13 @@
 //! Property-based integration tests: estimator unbiasedness and group
 //! coverage over randomly generated data and queries, spanning the storage,
 //! synopses, engine and taster crates.
+//!
+//! proptest is unavailable in the offline build environment, so the
+//! properties are checked over a seeded sweep of randomized cases instead of
+//! proptest's shrinking search; each case prints its inputs on failure.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
 use std::sync::Arc;
 use taster_repro::engine::physical::execute;
@@ -12,7 +17,7 @@ use taster_repro::storage::{Catalog, Table};
 use taster_repro::taster::{TasterConfig, TasterEngine};
 
 /// Build a catalog with a single fact table whose group structure is driven
-/// by the proptest inputs.
+/// by the generated inputs.
 fn catalog(rows: usize, groups: i64, seed: u64) -> Arc<Catalog> {
     let mut grp = Vec::with_capacity(rows);
     let mut val = Vec::with_capacity(rows);
@@ -35,18 +40,18 @@ fn catalog(rows: usize, groups: i64, seed: u64) -> Arc<Catalog> {
     Arc::new(cat)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// For any generated table, Taster's approximate SUM/COUNT per group is
+/// within a loose relative error of the exact answer and never misses a
+/// group (the distinct sampler / uniform-sampler coverage guarantee).
+#[test]
+fn approximate_group_by_is_unbiased_and_complete() {
+    let mut rng = SmallRng::seed_from_u64(aq_seed());
+    for case in 0..12 {
+        let rows: usize = rng.random_range(5_000..20_000);
+        let groups: i64 = rng.random_range(2..30);
+        let seed: u64 = rng.random_range(1..500);
+        let ctx = format!("case {case}: rows={rows} groups={groups} seed={seed}");
 
-    /// For any generated table, Taster's approximate SUM/COUNT per group is
-    /// within a loose relative error of the exact answer and never misses a
-    /// group (the distinct sampler / uniform-sampler coverage guarantee).
-    #[test]
-    fn approximate_group_by_is_unbiased_and_complete(
-        rows in 5_000usize..20_000,
-        groups in 2i64..30,
-        seed in 1u64..500,
-    ) {
         let cat = catalog(rows, groups, seed);
         let sql = "SELECT f_group, SUM(f_value), COUNT(*) FROM facts GROUP BY f_group \
                    ERROR WITHIN 10% AT CONFIDENCE 95%";
@@ -61,19 +66,23 @@ proptest! {
         let approx = taster.execute_sql(sql).unwrap();
 
         let (err, missed) = approx.result.error_vs(&exact);
-        prop_assert_eq!(missed, 0, "missed groups");
-        prop_assert!(err < 0.35, "relative error {} too large", err);
-        prop_assert_eq!(approx.result.num_groups(), exact.num_groups());
+        assert_eq!(missed, 0, "missed groups ({ctx})");
+        assert!(err < 0.35, "relative error {err} too large ({ctx})");
+        assert_eq!(approx.result.num_groups(), exact.num_groups(), "{ctx}");
     }
+}
 
-    /// The synopsis warehouse never exceeds its quota, whatever the workload
-    /// mix and budget.
-    #[test]
-    fn warehouse_quota_is_invariant(
-        rows in 4_000usize..10_000,
-        budget_divisor in 2usize..20,
-        seed in 1u64..200,
-    ) {
+/// The synopsis warehouse never exceeds its quota, whatever the workload
+/// mix and budget.
+#[test]
+fn warehouse_quota_is_invariant() {
+    let mut rng = SmallRng::seed_from_u64(aq_seed() ^ 1);
+    for case in 0..12 {
+        let rows: usize = rng.random_range(4_000..10_000);
+        let budget_divisor: usize = rng.random_range(2..20);
+        let seed: u64 = rng.random_range(1..200);
+        let ctx = format!("case {case}: rows={rows} divisor={budget_divisor} seed={seed}");
+
         let cat = catalog(rows, 10, seed);
         let budget = cat.total_size_bytes() / budget_divisor;
         let config = TasterConfig {
@@ -88,7 +97,17 @@ proptest! {
             "SELECT COUNT(*) FROM facts WHERE f_value > 100",
         ] {
             let _ = taster.execute_sql(q).unwrap();
-            prop_assert!(taster.store().usage().warehouse_bytes <= budget);
+            assert!(
+                taster.store().usage().warehouse_bytes <= budget,
+                "warehouse over quota ({ctx})"
+            );
         }
     }
 }
+
+/// Fixed base seed for the sweeps; change to explore a different slice of the
+/// input space locally.
+fn aq_seed() -> u64 {
+    0x7a57e5
+}
+
