@@ -1,0 +1,155 @@
+//! Micro-benchmarks of the sampler/join hot-path surgery:
+//!
+//! * `sampler/*` — the byte-keyed distinct sampler (stratification columns
+//!   row-encoded once per batch, SpaceSaving sketch keyed by borrowed byte
+//!   slices) against the seed's per-row strategy, reimplemented here as the
+//!   baseline: widen every row to `Vec<Value>`, build a composite `String`
+//!   key, insert a `Value::Str` into a `Value`-keyed sketch.
+//! * `hash_join/*` — the morsel-parallel probe against the serial probe
+//!   (`threads = 1`), same build table, 1M probe rows against a 10k build
+//!   side.
+//!
+//! Run `TASTER_CRITERION_JSON=crates/bench/baselines/sampler_join.json cargo
+//! bench -p taster-bench --bench sampler_join` to refresh the checked-in
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use taster_engine::physical::hash_join_with_threads;
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{RecordBatch, Value};
+use taster_synopses::distinct::{composite_key, DistinctSampler, DistinctSamplerConfig};
+use taster_synopses::SpaceSaving;
+
+const SAMPLER_ROWS: usize = 100_000;
+
+fn sampler_batch() -> RecordBatch {
+    // Two stratification columns (int + string) so the sampler takes the
+    // generic multi-column encode path, not just the i64 fast path.
+    BatchBuilder::new()
+        .column(
+            "k",
+            (0..SAMPLER_ROWS as i64).map(|i| i % 500).collect::<Vec<_>>(),
+        )
+        .column(
+            "s",
+            (0..SAMPLER_ROWS)
+                .map(|i| format!("g{}", i % 7))
+                .collect::<Vec<_>>(),
+        )
+        .column(
+            "v",
+            (0..SAMPLER_ROWS).map(|i| (i % 97) as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let data = sampler_batch();
+    let mut group = c.benchmark_group("sampler");
+
+    group.bench_function("distinct_bytekey_100k", |b| {
+        b.iter_batched(
+            || {
+                DistinctSampler::new(
+                    DistinctSamplerConfig::new(vec!["k".into(), "s".into()], 10, 0.01),
+                    7,
+                )
+            },
+            |mut s| black_box(s.sample_batch(&data).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The seed's inner loop, kept as the recorded baseline: one Vec<Value>
+    // and one composite String allocation per row, Value-keyed sketch.
+    let kcol = data.column_by_name("k").unwrap();
+    let scol = data.column_by_name("s").unwrap();
+    group.bench_function("distinct_composite_string_100k", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SpaceSaving::<Value>::new(65_536),
+                    SmallRng::seed_from_u64(7),
+                )
+            },
+            |(mut counts, mut rng)| {
+                let mut idx: Vec<usize> = Vec::new();
+                let mut weights: Vec<f64> = Vec::new();
+                for row in 0..data.num_rows() {
+                    let key: Vec<Value> = vec![kcol.value(row), scol.value(row)];
+                    let key = Value::Str(composite_key(&key));
+                    let seen = counts.insert(&key);
+                    if seen <= 10 {
+                        idx.push(row);
+                        weights.push(1.0);
+                    } else if rng.random::<f64>() < 0.01 {
+                        idx.push(row);
+                        weights.push(100.0);
+                    }
+                }
+                black_box((data.take(&idx), weights))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+const PROBE_ROWS: usize = 1_000_000;
+const BUILD_ROWS: usize = 10_000;
+
+fn bench_join(c: &mut Criterion) {
+    let probe = BatchBuilder::new()
+        .column(
+            "p_k",
+            (0..PROBE_ROWS as i64)
+                .map(|i| i % BUILD_ROWS as i64)
+                .collect::<Vec<_>>(),
+        )
+        .column(
+            "p_v",
+            (0..PROBE_ROWS).map(|i| i as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    let build = BatchBuilder::new()
+        .column("b_k", (0..BUILD_ROWS as i64).collect::<Vec<_>>())
+        .column(
+            "b_v",
+            (0..BUILD_ROWS).map(|i| i as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    let lk = ["p_k".to_string()];
+    let rk = ["b_k".to_string()];
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("hash_join");
+    group.bench_function("probe_serial_1m", |b| {
+        b.iter(|| {
+            black_box(
+                hash_join_with_threads(&probe, &build, &lk, &rk, 1)
+                    .unwrap()
+                    .num_rows(),
+            )
+        })
+    });
+    group.bench_function("probe_parallel_1m", |b| {
+        b.iter(|| {
+            black_box(
+                hash_join_with_threads(&probe, &build, &lk, &rk, threads)
+                    .unwrap()
+                    .num_rows(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler, bench_join);
+criterion_main!(benches);

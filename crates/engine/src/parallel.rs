@@ -1,9 +1,10 @@
 //! Morsel-driven parallelism on scoped OS threads.
 //!
 //! The executor fans work out one task per partition (scans) or per morsel
-//! (aggregation) onto `std::thread::scope` workers — the registry-free
-//! equivalent of a rayon pool. Results always come back in task order, so
-//! every parallel operator is deterministic up to floating-point merge order.
+//! (aggregation, join probe) onto `std::thread::scope` workers — the
+//! registry-free equivalent of a rayon pool. Results always come back in task
+//! order, so every parallel operator is deterministic up to floating-point
+//! merge order.
 
 /// Default row-count threshold below which operators stay single-threaded;
 /// spawning threads for tiny inputs costs more than it saves.
@@ -27,6 +28,16 @@ pub fn worker_threads(total_rows: usize) -> usize {
         return 1;
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Split `n` rows into contiguous morsels for `threads` workers, returning
+/// `(morsel_rows, num_morsels)`. Morsel `m` covers rows
+/// `m * morsel_rows .. min((m + 1) * morsel_rows, n)`; the split depends only
+/// on `(n, threads)`, which is what keeps morsel-parallel operators
+/// deterministic for a fixed thread count.
+pub fn morsel_layout(n: usize, threads: usize) -> (usize, usize) {
+    let morsel_rows = if threads > 1 { n.div_ceil(threads) } else { n }.max(1);
+    (morsel_rows, n.div_ceil(morsel_rows))
 }
 
 /// Run `f(0..n)` across up to `threads` scoped workers and return the results
@@ -80,5 +91,19 @@ mod tests {
     fn worker_threads_is_at_least_one() {
         assert!(worker_threads(0) >= 1);
         assert!(worker_threads(10_000_000) >= 1);
+    }
+
+    #[test]
+    fn morsel_layout_covers_all_rows_exactly_once() {
+        for n in [0usize, 1, 7, 100, 32_769] {
+            for threads in [1usize, 2, 3, 8] {
+                let (rows, count) = morsel_layout(n, threads);
+                assert!(rows >= 1);
+                let covered: usize = (0..count)
+                    .map(|m| ((m + 1) * rows).min(n) - m * rows)
+                    .sum();
+                assert_eq!(covered, n, "n={n} threads={threads}");
+            }
+        }
     }
 }

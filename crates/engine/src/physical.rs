@@ -23,7 +23,7 @@ use crate::context::{ExecutionContext, SynopsisLocation};
 use crate::error::EngineError;
 use crate::expr::{BinaryOp, Expr};
 use crate::logical::{AggExpr, AggFunc, LogicalPlan, SampleMethod, SketchRef, SynopsisPayload};
-use crate::parallel::{parallel_map, worker_threads};
+use crate::parallel::{morsel_layout, parallel_map, worker_threads};
 use crate::result::{GroupResult, QueryResult};
 
 /// Execute a logical plan and produce a [`QueryResult`].
@@ -354,12 +354,31 @@ fn resolve_sketch(
 
 /// Hash join (equi-join) building on the right input and probing with the
 /// left input. Output schema is `left ⨝ right` with duplicated names from the
-/// right prefixed by `right.`.
+/// right prefixed by `right.`. The probe side runs morsel-parallel; thread
+/// count comes from [`worker_threads`] (`TASTER_THREADS` overrides).
 pub fn hash_join(
     left: &RecordBatch,
     right: &RecordBatch,
     left_keys: &[String],
     right_keys: &[String],
+) -> Result<RecordBatch, EngineError> {
+    hash_join_with_threads(left, right, left_keys, right_keys, worker_threads(left.num_rows()))
+}
+
+/// [`hash_join`] with an explicit probe-side thread count — the parity tests
+/// pin it so serial and parallel probes can be compared without touching the
+/// `TASTER_THREADS` process environment.
+///
+/// The build stays single-threaded ([`RowKeyTable::build`] chains rows in
+/// build order); the probe side splits into contiguous morsels on the scoped
+/// thread pool and the per-morsel match indices concatenate in morsel order,
+/// so the output is identical to a serial probe for any thread count.
+pub fn hash_join_with_threads(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    left_keys: &[String],
+    right_keys: &[String],
+    threads: usize,
 ) -> Result<RecordBatch, EngineError> {
     if left_keys.len() != right_keys.len() || left_keys.is_empty() {
         return Err(EngineError::Plan(
@@ -381,13 +400,28 @@ pub fn hash_join(
     let table = RowKeyTable::build(&right_key_cols, right.num_rows());
     let probe_keys = RowKeys::encode_columns(&left_key_cols, left.num_rows());
 
-    let mut left_idx = Vec::new();
-    let mut right_idx = Vec::new();
-    for row in 0..left.num_rows() {
-        for m in table.probe(&probe_keys, row) {
-            left_idx.push(row);
-            right_idx.push(m);
+    let n = left.num_rows();
+    let threads = threads.max(1);
+    let (morsel_rows, num_morsels) = morsel_layout(n, threads);
+    let pieces: Vec<(Vec<usize>, Vec<usize>)> = parallel_map(num_morsels, threads, |m| {
+        let rows = m * morsel_rows..((m + 1) * morsel_rows).min(n);
+        let mut li = Vec::new();
+        let mut ri = Vec::new();
+        for row in rows {
+            for b in table.probe(&probe_keys, row) {
+                li.push(row);
+                ri.push(b);
+            }
         }
+        (li, ri)
+    });
+
+    let matches: usize = pieces.iter().map(|(l, _)| l.len()).sum();
+    let mut left_idx = Vec::with_capacity(matches);
+    let mut right_idx = Vec::with_capacity(matches);
+    for (li, ri) in pieces {
+        left_idx.extend(li);
+        right_idx.extend(ri);
     }
 
     let left_out = left.take(&left_idx);
@@ -549,8 +583,7 @@ fn exec_aggregate(
 
     let n = batch.num_rows();
     let threads = worker_threads(n);
-    let morsel_rows = if threads > 1 { n.div_ceil(threads) } else { n }.max(1);
-    let num_morsels = n.div_ceil(morsel_rows);
+    let (morsel_rows, num_morsels) = morsel_layout(n, threads);
 
     let partials: Vec<Vec<GroupedEstimator>> = parallel_map(num_morsels, threads, |m| {
         let rows = m * morsel_rows..((m + 1) * morsel_rows).min(n);

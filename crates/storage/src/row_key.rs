@@ -6,7 +6,10 @@
 //! with a single byte buffer per batch: every row's key columns are encoded
 //! back-to-back into one `Vec<u8>` with a per-row offset table, and hash
 //! tables over the keys ([`RowKeyMap`], [`RowKeyTable`]) store integer offsets
-//! into that buffer instead of owning keys.
+//! into that buffer instead of owning keys. The samplers and sketches in
+//! `taster-synopses` key their per-group state (SpaceSaving, count-min,
+//! reservoirs) by the same encoding, so "group identity" means exactly one
+//! thing everywhere in the system.
 //!
 //! The encoding is injective and *normalizing*: two keys encode to the same
 //! bytes iff the corresponding `Vec<Value>` keys compare equal under
@@ -43,25 +46,49 @@ fn encode_value(buf: &mut Vec<u8>, v: &Value) {
     }
 }
 
+/// Canonical key form of an `f64` under [`Value`] equality. Every key
+/// encoding (byte keys here, composite string keys in `taster-synopses`)
+/// derives its float handling from this one function so the normalization
+/// rules cannot silently diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloatKey {
+    /// Compares equal to this integer under `Value` semantics; key as an int.
+    Int(i64),
+    /// Fractional / out-of-range / -0.0; key by the raw IEEE bits.
+    Bits(u64),
+}
+
+/// Normalize a float for keying: integral floats map to the Int form
+/// (Int(2) == Float(2.0)). -0.0 is excluded: total_cmp orders it below 0.0,
+/// so it must not merge with Int(0). The bounds and the saturating cast
+/// deliberately mirror `Value::hash` — in particular Float(2^63) saturates
+/// onto Int(i64::MAX), matching Value::total_cmp, which compares Int(a) to
+/// floats through the lossy `a as f64` cast and therefore calls the two
+/// equal.
 #[inline]
-fn encode_f64(buf: &mut Vec<u8>, x: f64) {
-    // Normalize integral floats to the Int encoding (Int(2) == Float(2.0)).
-    // -0.0 is excluded: total_cmp orders it below 0.0, so it must not merge
-    // with Int(0). The bounds and the saturating cast deliberately mirror
-    // `Value::hash` — in particular Float(2^63) saturates onto
-    // Int(i64::MAX), matching Value::total_cmp, which compares Int(a) to
-    // floats through the lossy `a as f64` cast and therefore calls the two
-    // equal.
+pub fn float_key(x: f64) -> FloatKey {
     if x.fract() == 0.0
         && x >= i64::MIN as f64
         && x <= i64::MAX as f64
         && !(x == 0.0 && x.is_sign_negative())
     {
-        buf.push(TAG_INT);
-        buf.extend_from_slice(&(x as i64).to_le_bytes());
+        FloatKey::Int(x as i64)
     } else {
-        buf.push(TAG_FLOAT);
-        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        FloatKey::Bits(x.to_bits())
+    }
+}
+
+#[inline]
+fn encode_f64(buf: &mut Vec<u8>, x: f64) {
+    match float_key(x) {
+        FloatKey::Int(i) => {
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        FloatKey::Bits(b) => {
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&b.to_le_bytes());
+        }
     }
 }
 

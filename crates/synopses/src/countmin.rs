@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use taster_storage::Value;
 
-use crate::hash::hash_value;
+use crate::hash::{hash_bytes, hash_value};
 
 /// A count-min sketch over f64 counters (so it can also carry SUM payloads
 /// for the sketch-join operator).
@@ -77,6 +77,32 @@ impl CountMinSketch {
     /// Increment `key` by one.
     pub fn insert(&mut self, key: &Value) {
         self.add(key, 1.0);
+    }
+
+    /// Add `count` occurrences of a raw byte key (e.g. a row-encoded key from
+    /// `taster_storage::row_key`). Byte keys live in their own hash domain:
+    /// mix byte-keyed and `Value`-keyed insertions only through the same
+    /// encoding on both sides.
+    pub fn add_bytes(&mut self, key: &[u8], count: f64) {
+        for row in 0..self.depth {
+            let col = (hash_bytes(key, row as u64) % self.width as u64) as usize;
+            self.counters[row * self.width + col] += count;
+        }
+        self.total += count;
+    }
+
+    /// Point estimate of the total mass added for a raw byte key.
+    pub fn estimate_bytes(&self, key: &[u8]) -> f64 {
+        let mut min = f64::INFINITY;
+        for row in 0..self.depth {
+            let col = (hash_bytes(key, row as u64) % self.width as u64) as usize;
+            min = min.min(self.counters[row * self.width + col]);
+        }
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
     }
 
     /// Point estimate of the total mass added for `key` (never an
@@ -158,6 +184,23 @@ mod tests {
         for i in 0..200i64 {
             let est = cm.estimate(&Value::Int(i));
             assert!(est - 100.0 <= bound + 1e-9, "estimate {est} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn byte_keys_never_underestimate_and_merge() {
+        let mut a = CountMinSketch::new(128, 4);
+        let mut b = CountMinSketch::new(128, 4);
+        for i in 0..1000u32 {
+            a.add_bytes(&(i % 50).to_le_bytes(), 1.0);
+            b.add_bytes(&(i % 50).to_le_bytes(), 2.0);
+        }
+        for i in 0..50u32 {
+            assert!(a.estimate_bytes(&i.to_le_bytes()) >= 20.0);
+        }
+        assert!(a.merge(&b));
+        for i in 0..50u32 {
+            assert!(a.estimate_bytes(&i.to_le_bytes()) >= 60.0);
         }
     }
 

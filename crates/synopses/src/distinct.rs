@@ -8,14 +8,25 @@
 //! weight `1/p`.
 //!
 //! Per-group counts are tracked with a [`SpaceSaving`] heavy-hitters sketch so
-//! the operator is single-pass with bounded state. When partitioned over `D`
-//! operator instances, each instance raises its local minimum from `δ` to
-//! `δ/D + ε` with `ε = δ/D` (the paper's adjustment assuming uniformly
-//! distributed data).
+//! the operator is single-pass with bounded state. The sketch is keyed by the
+//! row-encoded byte keys of [`taster_storage::row_key`]: the stratification
+//! columns are encoded once per batch into a reusable byte buffer
+//! ([`RowKeys`]) and each row's key is a borrowed `&[u8]` slice — no per-row
+//! `Vec<Value>` widening, no composite-string allocation, and no
+//! `Int(1)`/`Str("1")` type collisions (the byte encoding is type-tagged and
+//! injective up to `Value` equality).
+//!
+//! The δ check compares the sketch's *lower bound* (`count - error`), so the
+//! coverage guarantee survives sketch evictions: a rare group readmitted
+//! after eviction still gets its δ guaranteed rows (at worst a few extra,
+//! never fewer). When partitioned over `D` operator instances, each instance
+//! raises its local minimum from `δ` to `δ/D + ε` with `ε = δ/D` (the paper's
+//! adjustment assuming uniformly distributed data).
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use taster_storage::batch::RecordBatch;
+use taster_storage::row_key::{float_key, FloatKey, RowKeys};
 use taster_storage::{StorageError, Value};
 
 use crate::heavy_hitters::SpaceSaving;
@@ -50,7 +61,9 @@ impl DistinctSamplerConfig {
 #[derive(Debug, Clone)]
 pub struct DistinctSampler {
     config: DistinctSamplerConfig,
-    counts: SpaceSaving,
+    counts: SpaceSaving<Vec<u8>>,
+    /// Reusable per-batch key buffer (allocations amortize across batches).
+    keys: RowKeys,
     rng: SmallRng,
     /// Effective per-instance minimum (δ/D + ε when distributed).
     local_delta: usize,
@@ -62,6 +75,7 @@ impl DistinctSampler {
         let local_delta = config.delta;
         Self {
             counts: SpaceSaving::new(config.sketch_capacity),
+            keys: RowKeys::new(),
             rng: SmallRng::seed_from_u64(seed),
             config,
             local_delta,
@@ -81,6 +95,7 @@ impl DistinctSampler {
         let local_delta = (per_instance + epsilon).max(1);
         Self {
             counts: SpaceSaving::new(config.sketch_capacity),
+            keys: RowKeys::new(),
             rng: SmallRng::seed_from_u64(seed),
             config,
             local_delta,
@@ -106,12 +121,16 @@ impl DistinctSampler {
             .map(|name| batch.column_by_name(name))
             .collect::<Result<Vec<_>, _>>()?;
 
+        // Encode every row's stratification key into one flat byte buffer up
+        // front; the per-row loop then only hashes borrowed byte slices.
+        self.keys.reencode_columns(&strat_cols, batch.num_rows());
+
         let mut idx = Vec::new();
         let mut weights = Vec::new();
         for row in 0..batch.num_rows() {
-            let key: Vec<Value> = strat_cols.iter().map(|c| c.value(row)).collect();
-            let key = Value::Str(composite_key(&key));
-            let seen = self.counts.insert(&key);
+            // Guaranteed lower bound on this group's occurrences (exact until
+            // the sketch evicts; see the δ discussion in `heavy_hitters`).
+            let seen = self.counts.insert(self.keys.key(row));
             if seen <= self.local_delta as u64 {
                 idx.push(row);
                 weights.push(1.0);
@@ -132,10 +151,16 @@ impl DistinctSampler {
     /// Sample a sequence of partitions with this instance (sequential use of
     /// a single instance; for the distributed setting create one instance per
     /// partition via [`DistinctSampler::new_distributed`] and merge samples).
+    ///
+    /// Returns `Ok(None)` for zero partitions: with no input there is no
+    /// schema to build even an empty sample from, and silently returning a
+    /// `Schema::empty()` sample used to poison downstream
+    /// [`WeightedSample::merge`] calls against real-schema samples. Callers
+    /// decide what an absent sample means.
     pub fn sample_partitions(
         &mut self,
         partitions: &[RecordBatch],
-    ) -> Result<WeightedSample, StorageError> {
+    ) -> Result<Option<WeightedSample>, StorageError> {
         let mut out: Option<WeightedSample> = None;
         for p in partitions {
             let s = self.sample_batch(p)?;
@@ -144,22 +169,65 @@ impl DistinctSampler {
                 Some(acc) => acc.merge(&s)?,
             }
         }
-        Ok(out.unwrap_or_else(|| {
-            WeightedSample::empty(std::sync::Arc::new(taster_storage::Schema::empty()))
-        }))
+        Ok(out)
     }
 }
 
-/// Build a composite string key for a set of stratification values. Using a
-/// single string keeps the heavy-hitters sketch key type simple and cheap to
-/// hash.
+/// Separator between the values of a composite key.
+const KEY_SEP: char = '\u{1f}';
+/// Escape prefix protecting `KEY_SEP`/`KEY_ESC` occurrences inside strings.
+const KEY_ESC: char = '\u{1b}';
+
+/// Build a composite string key for a set of stratification values.
+///
+/// Legacy/readability path: the vectorized samplers key their sketches by the
+/// row-encoded byte keys of [`taster_storage::row_key`] instead. This
+/// function is kept exported for ad-hoc keys and debugging output, and is
+/// *injective up to [`Value`] equality*: every value is prefixed with a type
+/// tag (so `Value::Null`, `Value::Str("NULL")` and `Value::Int(1)` vs
+/// `Value::Str("1")` no longer collide), integral floats normalize to the int
+/// form (`Int(2)` and `Float(2.0)` compare equal and share a key), and
+/// separator characters inside strings are escaped so a string value cannot
+/// fake a column boundary.
 pub fn composite_key(values: &[Value]) -> String {
     let mut s = String::new();
     for (i, v) in values.iter().enumerate() {
         if i > 0 {
-            s.push('\u{1f}');
+            s.push(KEY_SEP);
         }
-        s.push_str(&v.to_string());
+        match v {
+            Value::Null => s.push('n'),
+            Value::Bool(b) => {
+                s.push('b');
+                s.push(if *b { '1' } else { '0' });
+            }
+            Value::Int(x) => {
+                s.push('i');
+                s.push_str(&x.to_string());
+            }
+            // Float normalization is shared with the byte encoding
+            // (`row_key::float_key`): integral floats merge with their int
+            // form, -0.0 stays distinct from 0.
+            Value::Float(x) => match float_key(*x) {
+                FloatKey::Int(i) => {
+                    s.push('i');
+                    s.push_str(&i.to_string());
+                }
+                FloatKey::Bits(b) => {
+                    s.push('f');
+                    s.push_str(&format!("{b:016x}"));
+                }
+            },
+            Value::Str(x) => {
+                s.push('s');
+                for ch in x.chars() {
+                    if ch == KEY_SEP || ch == KEY_ESC {
+                        s.push(KEY_ESC);
+                    }
+                    s.push(ch);
+                }
+            }
+        }
     }
     s
 }
@@ -169,6 +237,7 @@ mod tests {
     use super::*;
     use std::collections::HashMap;
     use taster_storage::batch::BatchBuilder;
+    use taster_storage::partition::split_batch;
 
     /// 5 rare groups with 3 rows each, 1 huge group with the rest.
     fn skewed_batch(n: usize) -> RecordBatch {
@@ -186,6 +255,15 @@ mod tests {
             .unwrap()
     }
 
+    fn group_counts(sample: &WeightedSample) -> HashMap<i64, usize> {
+        let grp = sample.rows.column_by_name("grp").unwrap();
+        let mut seen: HashMap<i64, usize> = HashMap::new();
+        for i in 0..grp.len() {
+            *seen.entry(grp.value(i).as_i64().unwrap()).or_insert(0) += 1;
+        }
+        seen
+    }
+
     #[test]
     fn every_group_is_covered() {
         let b = skewed_batch(50_000);
@@ -193,11 +271,7 @@ mod tests {
         let mut s = DistinctSampler::new(cfg, 1);
         let sample = s.sample_batch(&b).unwrap();
 
-        let grp = sample.rows.column_by_name("grp").unwrap();
-        let mut seen: HashMap<i64, usize> = HashMap::new();
-        for i in 0..grp.len() {
-            *seen.entry(grp.value(i).as_i64().unwrap()).or_insert(0) += 1;
-        }
+        let seen = group_counts(&sample);
         for g in 0..5i64 {
             assert!(
                 seen.get(&g).copied().unwrap_or(0) >= 3,
@@ -206,6 +280,55 @@ mod tests {
         }
         // The dominant group must not be fully retained.
         assert!(seen[&99] < 5_000, "dominant group barely reduced");
+    }
+
+    /// Regression test for the δ-guarantee violation under sketch eviction:
+    /// with `sketch_capacity` smaller than the number of groups, a rare group
+    /// arriving after the sketch filled up used to inherit the evicted
+    /// counter's count, look "already seen `min_count + 1` times", and get
+    /// dropped to the p-probability path — losing the group almost surely at
+    /// small p. The lower-bound δ check keeps it covered.
+    #[test]
+    fn every_group_is_covered_despite_sketch_eviction() {
+        let n = 20_000usize;
+        let fillers = 8i64; // fill the sketch with count-4 counters first
+        let rares = 10i64;
+        let mut grp = Vec::with_capacity(n);
+        for f in 0..fillers {
+            for _ in 0..4 {
+                grp.push(1_000 + f);
+            }
+        }
+        for r in 0..rares {
+            for _ in 0..3 {
+                grp.push(r);
+            }
+        }
+        while grp.len() < n {
+            grp.push(99);
+        }
+        let val: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b = BatchBuilder::new()
+            .column("grp", grp)
+            .column("v", val)
+            .build()
+            .unwrap();
+
+        let mut cfg = DistinctSamplerConfig::new(vec!["grp".into()], 3, 0.001);
+        cfg.sketch_capacity = 8; // < 8 fillers + 10 rares + 1 dominant groups
+        let mut s = DistinctSampler::new(cfg, 42);
+        let sample = s.sample_batch(&b).unwrap();
+
+        let seen = group_counts(&sample);
+        for g in 0..rares {
+            assert!(
+                seen.get(&g).copied().unwrap_or(0) >= 3,
+                "rare group {g} lost under eviction pressure: {seen:?}"
+            );
+        }
+        // Rows admitted via the frequency check must carry weight 1; the
+        // probabilistic remainder of the dominant group must stay sparse.
+        assert!(seen.get(&99).copied().unwrap_or(0) < 1_000);
     }
 
     #[test]
@@ -263,9 +386,101 @@ mod tests {
     }
 
     #[test]
+    fn zero_partitions_yield_explicit_none() {
+        let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 2, 0.5);
+        let mut s = DistinctSampler::new(cfg, 0);
+        assert!(s.sample_partitions(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn partitioned_samples_carry_the_real_schema_and_merge() {
+        let b = skewed_batch(20_000);
+        let parts = split_batch(&b, 4);
+        let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 3, 0.05);
+        let mut s = DistinctSampler::new(cfg.clone(), 9);
+        let merged = s.sample_partitions(&parts).unwrap().expect("non-empty");
+        assert_eq!(merged.rows.schema().as_ref(), b.schema().as_ref());
+        assert_eq!(merged.source_rows, 20_000);
+        // A partitioned sample merges cleanly with another real-schema sample
+        // (the old Schema::empty() placeholder made this error).
+        let mut other = DistinctSampler::new(cfg, 10)
+            .sample_batch(&b)
+            .unwrap();
+        other.merge(&merged).unwrap();
+        assert_eq!(other.source_rows, 40_000);
+    }
+
+    #[test]
     fn composite_key_distinguishes_order_and_values() {
         let a = composite_key(&[Value::Int(1), Value::Int(23)]);
         let b = composite_key(&[Value::Int(12), Value::Int(3)]);
         assert_ne!(a, b);
+    }
+
+    /// Regression test for the old composite-key ambiguities: untagged
+    /// stringification collided `Null` with the literal string "NULL",
+    /// `Int(1)` with `Str("1")`, and a string containing the separator with a
+    /// genuine column boundary.
+    #[test]
+    fn composite_key_is_type_tagged_and_escaped() {
+        assert_ne!(
+            composite_key(&[Value::Null]),
+            composite_key(&[Value::Str("NULL".into())])
+        );
+        assert_ne!(
+            composite_key(&[Value::Int(1)]),
+            composite_key(&[Value::Str("1".into())])
+        );
+        assert_ne!(
+            composite_key(&[Value::Bool(true)]),
+            composite_key(&[Value::Str("true".into())])
+        );
+        // A separator embedded in a string cannot fake a column boundary.
+        assert_ne!(
+            composite_key(&[Value::Str("a\u{1f}sb".into())]),
+            composite_key(&[Value::Str("a".into()), Value::Str("b".into())])
+        );
+        // Int/Float normalization mirrors Value equality.
+        assert_eq!(
+            composite_key(&[Value::Int(2)]),
+            composite_key(&[Value::Float(2.0)])
+        );
+        assert_ne!(
+            composite_key(&[Value::Float(2.5)]),
+            composite_key(&[Value::Int(2)])
+        );
+    }
+
+    /// The byte-keyed sketch must group rows exactly as the old per-row
+    /// `Vec<Value>` keys did: same sampler decisions for a mixed-type
+    /// stratification.
+    #[test]
+    fn multi_column_stratification_groups_like_value_keys() {
+        let n = 5_000usize;
+        let a: Vec<i64> = (0..n as i64).map(|i| i % 7).collect();
+        let s: Vec<String> = (0..n).map(|i| format!("g{}", i % 5)).collect();
+        let b = BatchBuilder::new()
+            .column("a", a.clone())
+            .column("s", s.clone())
+            .column("v", (0..n).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let cfg = DistinctSamplerConfig::new(vec!["a".into(), "s".into()], 4, 1e-9);
+        let mut smp = DistinctSampler::new(cfg, 3);
+        let sample = smp.sample_batch(&b).unwrap();
+        // With p ≈ 0, exactly δ rows pass per (a, s) group: 35 groups × 4.
+        assert_eq!(sample.len(), 35 * 4);
+        let mut per_group: HashMap<(i64, String), usize> = HashMap::new();
+        let ac = sample.rows.column_by_name("a").unwrap();
+        let sc = sample.rows.column_by_name("s").unwrap();
+        for i in 0..sample.len() {
+            let k = (
+                ac.value(i).as_i64().unwrap(),
+                sc.value(i).as_str().unwrap().to_string(),
+            );
+            *per_group.entry(k).or_insert(0) += 1;
+        }
+        assert_eq!(per_group.len(), 35);
+        assert!(per_group.values().all(|&c| c == 4));
     }
 }

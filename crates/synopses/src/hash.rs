@@ -38,6 +38,15 @@ pub fn hash_value(key: &Value, seed: u64) -> u64 {
     splitmix64(h)
 }
 
+/// Hash an arbitrary byte key under the hash function identified by `seed`.
+///
+/// Used by the bytes-keyed sketch paths (e.g. [`crate::SketchJoin`] keyed by
+/// row-encoded keys): same FNV-1a + SplitMix64 construction as
+/// [`hash_value`], so sketches built on different partitions stay mergeable.
+pub fn hash_bytes(key: &[u8], seed: u64) -> u64 {
+    splitmix64(fnv1a_step(fnv1a_seeded(seed), key))
+}
+
 /// Hash a composite key (multiple values) under `seed`.
 pub fn hash_values(keys: &[Value], seed: u64) -> u64 {
     let mut h = fnv1a_seeded(seed ^ 0x9e37_79b9_7f4a_7c15);
@@ -93,6 +102,13 @@ mod tests {
     fn int_and_integral_float_collide_by_design() {
         assert_eq!(hash_value(&Value::Int(42), 7), hash_value(&Value::Float(42.0), 7));
         assert_ne!(hash_value(&Value::Float(42.5), 7), hash_value(&Value::Int(42), 7));
+    }
+
+    #[test]
+    fn byte_hash_is_deterministic_per_seed() {
+        assert_eq!(hash_bytes(b"key", 1), hash_bytes(b"key", 1));
+        assert_ne!(hash_bytes(b"key", 1), hash_bytes(b"key", 2));
+        assert_ne!(hash_bytes(b"key", 1), hash_bytes(b"kez", 1));
     }
 
     #[test]

@@ -7,28 +7,70 @@
 //! rows" ([12]). We use the SpaceSaving algorithm: a fixed number of monitored
 //! keys with counts and over-estimation errors; unmonitored keys evict the
 //! minimum-count entry and inherit its count as error.
+//!
+//! The sketch is generic over its key type: [`Value`] keys serve the
+//! ad-hoc/legacy paths, while the vectorized samplers key it by the
+//! row-encoded byte keys of `taster_storage::row_key` (`SpaceSaving<Vec<u8>>`
+//! probed with `&[u8]` slices, no per-row allocation for monitored keys).
+//!
+//! ## Lower-bound semantics
+//!
+//! [`SpaceSaving::insert`] returns the *guaranteed lower bound* on the key's
+//! frequency (`count - error`), not the raw counter. After an eviction the raw
+//! counter includes the evicted entry's count as inherited error, so a
+//! genuinely new key would otherwise look like it had already been seen
+//! `min_count + 1` times — which made the distinct sampler skip the δ rows it
+//! must guarantee to rare groups. Comparing against the lower bound keeps the
+//! coverage guarantee: the bound never exceeds the true frequency, so a group
+//! is only moved to the probabilistic path once it has *provably* passed δ
+//! rows.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
 
 use serde::{Deserialize, Serialize};
 use taster_storage::Value;
 
+/// Key types a [`SpaceSaving`] sketch can monitor.
+pub trait SketchKey: Hash + Eq + Ord + Clone {
+    /// Approximate in-memory footprint of the key in bytes.
+    fn key_size_bytes(&self) -> usize;
+}
+
+impl SketchKey for Value {
+    fn key_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+impl SketchKey for Vec<u8> {
+    fn key_size_bytes(&self) -> usize {
+        self.len() + std::mem::size_of::<Vec<u8>>()
+    }
+}
+
 /// A SpaceSaving sketch tracking approximate frequencies of the most frequent
 /// keys with bounded memory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SpaceSaving {
+pub struct SpaceSaving<K: SketchKey = Value> {
     capacity: usize,
-    counts: HashMap<Value, Counter>,
+    counts: HashMap<K, Counter>,
     total: u64,
+    /// Monotonic admission counter; gives evictions a deterministic,
+    /// integer-compare tie-break independent of HashMap iteration order.
+    next_seq: u64,
 }
 
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Counter {
     count: u64,
     error: u64,
+    /// Admission order of this entry (older = smaller).
+    seq: u64,
 }
 
-impl SpaceSaving {
+impl<K: SketchKey> SpaceSaving<K> {
     /// Create a sketch that monitors at most `capacity` keys. Frequencies are
     /// overestimated by at most `total_insertions / capacity`.
     pub fn new(capacity: usize) -> Self {
@@ -36,7 +78,14 @@ impl SpaceSaving {
             capacity: capacity.max(1),
             counts: HashMap::new(),
             total: 0,
+            next_seq: 0,
         }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Number of insertions so far.
@@ -49,51 +98,76 @@ impl SpaceSaving {
         self.total / self.capacity as u64
     }
 
-    /// Record one occurrence of `key` and return the (approximate) number of
-    /// occurrences seen so far including this one.
-    pub fn insert(&mut self, key: &Value) -> u64 {
+    /// Record one occurrence of `key` and return the *guaranteed lower bound*
+    /// on its number of occurrences so far, including this one
+    /// (`count - error`; exact while the key has never been evicted).
+    ///
+    /// Borrowed key forms are accepted (`&[u8]` for `SpaceSaving<Vec<u8>>`),
+    /// so the caller only pays an owned-key allocation when the key enters
+    /// the monitored set.
+    pub fn insert<Q>(&mut self, key: &Q) -> u64
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
         self.total += 1;
         if let Some(c) = self.counts.get_mut(key) {
             c.count += 1;
-            return c.count;
+            return c.count - c.error;
         }
         if self.counts.len() < self.capacity {
-            self.counts.insert(key.clone(), Counter { count: 1, error: 0 });
+            let seq = self.next_seq();
+            self.counts
+                .insert(key.to_owned(), Counter { count: 1, error: 0, seq });
             return 1;
         }
         // Evict the minimum-count entry; the newcomer inherits its count as
-        // potential error (classic SpaceSaving replacement).
+        // potential error (classic SpaceSaving replacement). Ties break on
+        // the admission sequence number (oldest wins) so eviction is
+        // deterministic across runs despite HashMap iteration order, at the
+        // cost of one integer compare rather than a key compare.
         let (evict_key, min) = self
             .counts
             .iter()
-            .min_by_key(|(_, c)| c.count)
+            .min_by_key(|(_, c)| (c.count, c.seq))
             .map(|(k, c)| (k.clone(), *c))
             .expect("non-empty by construction");
-        self.counts.remove(&evict_key);
-        let new_count = min.count + 1;
+        self.counts.remove::<K>(&evict_key);
+        let seq = self.next_seq();
         self.counts.insert(
-            key.clone(),
+            key.to_owned(),
             Counter {
-                count: new_count,
+                count: min.count + 1,
                 error: min.count,
+                seq,
             },
         );
-        new_count
+        // Lower bound of a just-admitted key: this one occurrence.
+        1
     }
 
-    /// Approximate frequency of `key` (0 if not currently monitored).
-    pub fn estimate(&self, key: &Value) -> u64 {
+    /// Approximate frequency of `key` (0 if not currently monitored). Never
+    /// an underestimate for monitored keys.
+    pub fn estimate<Q>(&self, key: &Q) -> u64
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.counts.get(key).map_or(0, |c| c.count)
     }
 
     /// Guaranteed lower bound on the frequency of `key`.
-    pub fn lower_bound(&self, key: &Value) -> u64 {
+    pub fn lower_bound<Q>(&self, key: &Q) -> u64
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.counts.get(key).map_or(0, |c| c.count - c.error)
     }
 
     /// Keys whose guaranteed frequency exceeds `threshold`.
-    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(Value, u64)> {
-        let mut out: Vec<(Value, u64)> = self
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut out: Vec<(K, u64)> = self
             .counts
             .iter()
             .filter(|(_, c)| c.count - c.error >= threshold)
@@ -105,20 +179,31 @@ impl SpaceSaving {
 
     /// Merge another sketch (approximate: counts for shared keys are added,
     /// then the result is trimmed back to capacity).
-    pub fn merge(&mut self, other: &SpaceSaving) {
+    pub fn merge(&mut self, other: &SpaceSaving<K>) {
         for (k, c) in &other.counts {
+            // Existing entries always carry seq < next_seq, so seeing
+            // next_seq back from the entry means or_insert admitted the key
+            // and its fresh seq must be consumed.
+            let seq = self.next_seq;
             let entry = self.counts.entry(k.clone()).or_insert(Counter {
                 count: 0,
                 error: 0,
+                seq,
             });
+            if entry.seq == seq {
+                self.next_seq += 1;
+            }
             entry.count += c.count;
             entry.error += c.error;
         }
         self.total += other.total;
         if self.counts.len() > self.capacity {
-            let mut entries: Vec<(Value, Counter)> =
-                self.counts.drain().collect();
-            entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
+            let mut entries: Vec<(K, Counter)> = self.counts.drain().collect();
+            entries.sort_by(|a, b| {
+                b.1.count
+                    .cmp(&a.1.count)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
             entries.truncate(self.capacity);
             self.counts = entries.into_iter().collect();
         }
@@ -126,7 +211,9 @@ impl SpaceSaving {
 
     /// Approximate in-memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.counts.keys().map(|k| k.size_bytes() + 16)
+        self.counts
+            .keys()
+            .map(|k| k.key_size_bytes() + 16)
             .sum::<usize>()
             + 32
     }
@@ -172,6 +259,57 @@ mod tests {
         assert_eq!(ss.insert(&Value::Int(1)), 1);
         assert_eq!(ss.insert(&Value::Int(1)), 2);
         assert_eq!(ss.insert(&Value::Int(1)), 3);
+    }
+
+    #[test]
+    fn insert_returns_lower_bound_after_eviction() {
+        let mut ss = SpaceSaving::new(2);
+        for _ in 0..5 {
+            ss.insert(&Value::Int(1));
+        }
+        for _ in 0..3 {
+            ss.insert(&Value::Int(2));
+        }
+        // Sketch is full; Int(3) evicts Int(2) (min count 3) and inherits its
+        // count as error. The δ check must see "1 occurrence guaranteed", not
+        // the inflated raw counter of 4.
+        assert_eq!(ss.insert(&Value::Int(3)), 1);
+        assert_eq!(ss.estimate(&Value::Int(3)), 4, "raw counter overestimates");
+        assert_eq!(ss.lower_bound(&Value::Int(3)), 1);
+        // Subsequent occurrences raise the lower bound one at a time.
+        assert_eq!(ss.insert(&Value::Int(3)), 2);
+        assert_eq!(ss.insert(&Value::Int(3)), 3);
+    }
+
+    #[test]
+    fn bytes_keyed_sketch_accepts_borrowed_slices() {
+        let mut ss: SpaceSaving<Vec<u8>> = SpaceSaving::new(8);
+        assert_eq!(ss.insert(b"alpha".as_slice()), 1);
+        assert_eq!(ss.insert(b"alpha".as_slice()), 2);
+        assert_eq!(ss.insert(b"beta".as_slice()), 1);
+        assert_eq!(ss.estimate(b"alpha".as_slice()), 2);
+        assert_eq!(ss.lower_bound(b"beta".as_slice()), 1);
+        assert_eq!(ss.estimate(b"gamma".as_slice()), 0);
+        assert!(ss.size_bytes() > 0);
+        let hh = ss.heavy_hitters(2);
+        assert_eq!(hh, vec![(b"alpha".to_vec(), 2)]);
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        // With many equal-count entries, the evicted key is a deterministic
+        // function of the inserted data, not of HashMap iteration order.
+        let runs: Vec<Vec<(Value, u64)>> = (0..3)
+            .map(|_| {
+                let mut ss = SpaceSaving::new(4);
+                for i in 0..64i64 {
+                    ss.insert(&Value::Int(i % 9));
+                }
+                ss.heavy_hitters(0)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
     }
 
     #[test]

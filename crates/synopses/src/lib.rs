@@ -19,7 +19,9 @@
 //!   auxiliary sketches the paper cites for EXISTS, distinct counts and join
 //!   size estimation,
 //! * [`heavy_hitters::SpaceSaving`] — the heavy-hitters sketch that makes the
-//!   distinct sampler single-pass with logarithmic state,
+//!   distinct sampler single-pass with logarithmic state; generic over its
+//!   key type (`Value` or row-encoded bytes) and reporting guaranteed
+//!   lower-bound frequencies from `insert` so δ guarantees survive eviction,
 //! * [`estimator`] — Horvitz–Thompson estimation with single-pass per-group
 //!   CLT confidence intervals (Section IV-B).
 //!
@@ -47,7 +49,7 @@ pub use countmin::CountMinSketch;
 pub use distinct::DistinctSampler;
 pub use estimator::{AggregateEstimate, DenseGroupedEstimator, GroupMoments, GroupedEstimator};
 pub use fm::FmSketch;
-pub use heavy_hitters::SpaceSaving;
+pub use heavy_hitters::{SketchKey, SpaceSaving};
 pub use sample::WeightedSample;
 pub use sketch_join::SketchJoin;
 pub use stratified::StratifiedSampler;

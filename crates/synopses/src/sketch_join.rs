@@ -14,10 +14,10 @@
 
 use serde::{Deserialize, Serialize};
 use taster_storage::batch::RecordBatch;
+use taster_storage::row_key::RowKeys;
 use taster_storage::{StorageError, Value};
 
 use crate::countmin::CountMinSketch;
-use crate::distinct::composite_key;
 
 /// A sketch summarizing `(join_key → COUNT, SUM(agg_column))` of one relation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -75,13 +75,16 @@ impl SketchJoin {
             Some(name) => Some(batch.column_by_name(name)?),
             None => None,
         };
+        // Row-encoded byte keys, computed once per batch: no per-row
+        // Vec<Value> widening or composite-string allocation, and the
+        // type-tagged encoding cannot collide across key types.
+        let keys = RowKeys::encode_columns(&key_cols, batch.num_rows());
         for row in 0..batch.num_rows() {
-            let key_vals: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
-            let key = Value::Str(composite_key(&key_vals));
-            self.count_sketch.add(&key, 1.0);
+            let key = keys.key(row);
+            self.count_sketch.add_bytes(key, 1.0);
             if let Some(col) = value_col {
                 let v = col.value_f64(row).unwrap_or(0.0);
-                self.sum_sketch.add(&key, v);
+                self.sum_sketch.add_bytes(key, v);
             }
         }
         self.rows_summarized += batch.num_rows();
@@ -104,12 +107,14 @@ impl SketchJoin {
     }
 
     /// Probe the sketch with a join key (the values of the key columns on the
-    /// *other* side of the join, in the same order).
+    /// *other* side of the join, in the same order). The probe key goes
+    /// through the same row encoding as the build side, so `Int(2)` probes
+    /// match `Float(2.0)` build keys exactly as `Value` equality dictates.
     pub fn probe(&self, key_values: &[Value]) -> SketchProbe {
-        let key = Value::Str(composite_key(key_values));
+        let key = RowKeys::encode_values(key_values);
         SketchProbe {
-            count: self.count_sketch.estimate(&key),
-            sum: self.sum_sketch.estimate(&key),
+            count: self.count_sketch.estimate_bytes(&key),
+            sum: self.sum_sketch.estimate_bytes(&key),
         }
     }
 

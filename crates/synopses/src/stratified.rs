@@ -11,9 +11,9 @@ use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 use taster_storage::batch::RecordBatch;
-use taster_storage::{StorageError, Value};
+use taster_storage::row_key::RowKeys;
+use taster_storage::StorageError;
 
-use crate::distinct::composite_key;
 use crate::sample::WeightedSample;
 
 /// An offline stratified sampler: keeps at most `cap` rows per distinct
@@ -52,13 +52,17 @@ impl StratifiedSampler {
         &mut self,
         partitions: &[RecordBatch],
     ) -> Result<WeightedSample, StorageError> {
-        // Pass 1: per-group reservoirs of *global* row positions.
+        // Pass 1: per-group reservoirs of *global* row positions. Groups are
+        // keyed by row-encoded bytes: the stratification columns are encoded
+        // once per partition into a reusable buffer and only genuinely new
+        // groups pay an owned-key allocation.
         #[derive(Default)]
         struct Reservoir {
             seen: usize,
             rows: Vec<(usize, usize)>, // (partition, row)
         }
-        let mut reservoirs: HashMap<String, Reservoir> = HashMap::new();
+        let mut reservoirs: HashMap<Vec<u8>, Reservoir> = HashMap::new();
+        let mut keys = RowKeys::new();
         let mut source_rows = 0usize;
 
         for (pi, batch) in partitions.iter().enumerate() {
@@ -68,10 +72,13 @@ impl StratifiedSampler {
                 .iter()
                 .map(|name| batch.column_by_name(name))
                 .collect::<Result<Vec<_>, _>>()?;
+            keys.reencode_columns(&strat_cols, batch.num_rows());
             for row in 0..batch.num_rows() {
-                let key_vals: Vec<Value> = strat_cols.iter().map(|c| c.value(row)).collect();
-                let key = composite_key(&key_vals);
-                let res = reservoirs.entry(key).or_default();
+                let key = keys.key(row);
+                if !reservoirs.contains_key(key) {
+                    reservoirs.insert(key.to_vec(), Reservoir::default());
+                }
+                let res = reservoirs.get_mut(key).expect("just inserted");
                 res.seen += 1;
                 if res.rows.len() < self.cap {
                     res.rows.push((pi, row));

@@ -59,7 +59,11 @@ impl UniformSampler {
 
     /// Sample a sequence of partitions, merging the per-partition samples
     /// (this is exactly how the operator is distributed across workers).
-    pub fn sample_partitions(&mut self, partitions: &[RecordBatch]) -> WeightedSample {
+    ///
+    /// Returns `None` for zero partitions — there is no schema to build an
+    /// empty sample from, and a `Schema::empty()` placeholder would poison
+    /// downstream merges (see [`crate::distinct::DistinctSampler::sample_partitions`]).
+    pub fn sample_partitions(&mut self, partitions: &[RecordBatch]) -> Option<WeightedSample> {
         let mut out: Option<WeightedSample> = None;
         for p in partitions {
             let s = self.sample_batch(p);
@@ -68,9 +72,7 @@ impl UniformSampler {
                 Some(acc) => acc.merge(&s).expect("partitions share a schema"),
             }
         }
-        out.unwrap_or_else(|| {
-            WeightedSample::empty(std::sync::Arc::new(taster_storage::Schema::empty()))
-        })
+        out
     }
 }
 
@@ -112,9 +114,15 @@ mod tests {
         let b = batch(10_000);
         let parts = split_batch(&b, 8);
         let mut s = UniformSampler::new(0.2, 3);
-        let sample = s.sample_partitions(&parts);
+        let sample = s.sample_partitions(&parts).expect("non-empty input");
         assert_eq!(sample.source_rows, 10_000);
         assert!(sample.len() > 1_000);
+    }
+
+    #[test]
+    fn zero_partitions_yield_explicit_none() {
+        let mut s = UniformSampler::new(0.2, 3);
+        assert!(s.sample_partitions(&[]).is_none());
     }
 
     #[test]

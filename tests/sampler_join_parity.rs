@@ -1,0 +1,127 @@
+//! Parity property tests for the PR's two morsel/byte-key surgeries
+//! (mirroring `tests/kernel_parity.rs`):
+//!
+//! * the morsel-parallel hash-join probe must produce *identical* output to
+//!   the serial probe for any thread count — matches concatenate in morsel
+//!   order, and chains stay in build-row order within a probe row;
+//! * the row-encoded byte keys the samplers feed their sketches must group
+//!   rows exactly like the retained per-row `Vec<Value>` keys: two rows share
+//!   a byte key iff their `Vec<Value>` keys compare equal.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use taster_repro::engine::physical::{hash_join, hash_join_with_threads};
+use taster_repro::storage::batch::BatchBuilder;
+use taster_repro::storage::row_key::RowKeys;
+use taster_repro::storage::{ColumnData, RecordBatch, Value};
+
+fn keyed_batch(rng: &mut SmallRng, rows: usize, prefix: &str) -> RecordBatch {
+    let k1: Vec<i64> = (0..rows).map(|_| rng.random_range(-5..6i64)).collect();
+    let k2: Vec<String> = (0..rows)
+        .map(|_| ["red", "green", "blue", ""][rng.random_range(0..4usize)].to_string())
+        .collect();
+    let payload: Vec<f64> = (0..rows).map(|i| i as f64).collect();
+    BatchBuilder::new()
+        .column(format!("{prefix}k1"), k1)
+        .column(format!("{prefix}k2"), k2)
+        .column(format!("{prefix}v"), payload)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn parallel_probe_matches_serial_probe_across_thread_counts() {
+    let mut rng = SmallRng::seed_from_u64(0xbeef);
+    for case in 0..20 {
+        let left_rows = rng.random_range(1..600usize);
+        let right_rows = rng.random_range(1..300usize);
+        let left = keyed_batch(&mut rng, left_rows, "l_");
+        let right = keyed_batch(&mut rng, right_rows, "r_");
+        let lk = ["l_k1".to_string(), "l_k2".to_string()];
+        let rk = ["r_k1".to_string(), "r_k2".to_string()];
+        let serial = hash_join_with_threads(&left, &right, &lk, &rk, 1).unwrap();
+        for threads in 2..=4usize {
+            let parallel = hash_join_with_threads(&left, &right, &lk, &rk, threads).unwrap();
+            assert_eq!(
+                serial, parallel,
+                "case {case}: probe output diverged at {threads} threads"
+            );
+        }
+        // The default entry point (env-driven thread count) agrees too.
+        let default = hash_join(&left, &right, &lk, &rk).unwrap();
+        assert_eq!(serial, default, "case {case}: default join diverged");
+    }
+}
+
+#[test]
+fn parallel_probe_handles_empty_and_skewed_sides() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let left = keyed_batch(&mut rng, 500, "l_");
+    let empty = keyed_batch(&mut rng, 1, "r_");
+    let no_match = {
+        // A right side whose keys never match the left's range.
+        let k1: Vec<i64> = (0..50).map(|i| 1_000 + i).collect();
+        let k2: Vec<String> = (0..50).map(|_| "none".to_string()).collect();
+        BatchBuilder::new()
+            .column("r_k1", k1)
+            .column("r_k2", k2)
+            .build()
+            .unwrap()
+    };
+    let lk = ["l_k1".to_string(), "l_k2".to_string()];
+    let rk = ["r_k1".to_string(), "r_k2".to_string()];
+    for threads in 1..=4usize {
+        let out = hash_join_with_threads(&left, &no_match, &lk, &rk, threads).unwrap();
+        assert_eq!(out.num_rows(), 0, "threads={threads}");
+        let out = hash_join_with_threads(&left, &empty, &lk, &rk, threads).unwrap();
+        let serial = hash_join_with_threads(&left, &empty, &lk, &rk, 1).unwrap();
+        assert_eq!(out, serial, "threads={threads}");
+    }
+}
+
+fn value_key(cols: &[&ColumnData], row: usize) -> Vec<Value> {
+    cols.iter().map(|c| c.value(row)).collect()
+}
+
+#[test]
+fn sampler_byte_keys_group_rows_like_value_keys() {
+    let mut rng = SmallRng::seed_from_u64(0x5a3);
+    for case in 0..30 {
+        let rows = rng.random_range(2..150usize);
+        // Mixed-type stratification: ints in a small range, floats that are
+        // often integral (exercising Int/Float normalization), short strings,
+        // bools.
+        let ints: Vec<i64> = (0..rows).map(|_| rng.random_range(-3..4i64)).collect();
+        let floats: Vec<f64> = (0..rows)
+            .map(|_| (rng.random_range(-6..7i64) as f64) / 2.0)
+            .collect();
+        let strs: Vec<String> = (0..rows)
+            .map(|_| ["a", "b", ""][rng.random_range(0..3usize)].to_string())
+            .collect();
+        let bools: Vec<bool> = (0..rows).map(|_| rng.random_range(0..2i64) == 1).collect();
+        let batch = BatchBuilder::new()
+            .column("i", ints)
+            .column("f", floats)
+            .column("s", strs)
+            .column("b", bools)
+            .build()
+            .unwrap();
+        let cols: Vec<&ColumnData> = ["i", "f", "s", "b"]
+            .iter()
+            .map(|n| batch.column_by_name(n).unwrap())
+            .collect();
+        let keys = RowKeys::encode_columns(&cols, rows);
+        for i in 0..rows {
+            for j in (i + 1)..rows {
+                let bytes_equal = keys.key(i) == keys.key(j);
+                let values_equal = value_key(&cols, i) == value_key(&cols, j);
+                assert_eq!(
+                    bytes_equal, values_equal,
+                    "case {case}: rows {i}/{j} grouped differently \
+                     (bytes {bytes_equal} vs values {values_equal})"
+                );
+            }
+        }
+    }
+}
