@@ -1,5 +1,5 @@
 //! AMS (Alon–Matias–Szegedy) sketch for second frequency moment / join size
-//! estimation (paper reference [6]).
+//! estimation (paper reference \[6\]).
 
 use serde::{Deserialize, Serialize};
 use taster_storage::Value;

@@ -1,5 +1,5 @@
 //! Bloom filter, used for approximating EXISTS sub-queries and membership
-//! checks on join keys (Section II of the paper cites [8], [33]).
+//! checks on join keys (Section II of the paper cites \[8\], \[33\]).
 
 use serde::{Deserialize, Serialize};
 use taster_storage::Value;

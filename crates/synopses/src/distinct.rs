@@ -58,6 +58,37 @@ impl DistinctSamplerConfig {
 }
 
 /// The distinct (stratified-lite) sampler.
+///
+/// # Examples
+///
+/// Every distinct group is guaranteed its first `δ` rows (weight 1); rows
+/// beyond that pass with probability `p` and carry weight `1/p`:
+///
+/// ```
+/// use taster_storage::batch::BatchBuilder;
+/// use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
+///
+/// let batch = BatchBuilder::new()
+///     .column("grp", vec![1i64, 1, 1, 1, 2])
+///     .column("v", vec![10.0, 11.0, 12.0, 13.0, 14.0])
+///     .build()
+///     .unwrap();
+///
+/// // δ = 2 guaranteed rows per group, then pass-through probability ≈ 0.
+/// let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 2, 1e-9);
+/// let mut sampler = DistinctSampler::new(cfg, 7);
+/// let sample = sampler.sample_batch(&batch).unwrap();
+///
+/// // Group 1 keeps exactly δ = 2 of its 4 rows; group 2's single row is
+/// // kept whole. Frequency-check rows carry Horvitz–Thompson weight 1.
+/// assert_eq!(sample.len(), 3);
+/// assert!(sample.weights.iter().all(|&w| w == 1.0));
+/// ```
+///
+/// The δ guarantee survives sketch eviction because the check compares the
+/// sketch's guaranteed *lower bound*, never the inflated raw counter — see
+/// the `sketch_capacity < #groups` regression test in this module and the
+/// eviction discussion in [`crate::heavy_hitters`].
 #[derive(Debug, Clone)]
 pub struct DistinctSampler {
     config: DistinctSamplerConfig,

@@ -1,5 +1,5 @@
 //! Flajolet–Martin sketch for distinct-count estimation (paper reference
-//! [17]), with stochastic averaging across multiple buckets.
+//! \[17\]), with stochastic averaging across multiple buckets.
 
 use serde::{Deserialize, Serialize};
 use taster_storage::Value;

@@ -28,6 +28,17 @@
 //! Every synopsis is *partitionable* (it exposes `merge`) and *pipelineable*
 //! (single pass over its input), the two requirements the paper states as
 //! imperative for high performance.
+//!
+//! ## Key encoding
+//!
+//! Group/join identity is defined once for the whole system: the vectorized
+//! paths key their per-group state by the row-encoded byte keys of
+//! `taster_storage::row_key` (type-tagged, injective up to `Value` equality,
+//! encoded once per batch), while ad-hoc paths use `Value` keys directly. The
+//! generic sketches ([`SpaceSaving`] via [`SketchKey`], `CountMinSketch` via
+//! its `*_bytes` methods) accept both.
+
+#![warn(missing_docs)]
 
 pub mod ams;
 pub mod bloom;
@@ -49,7 +60,7 @@ pub use countmin::CountMinSketch;
 pub use distinct::DistinctSampler;
 pub use estimator::{AggregateEstimate, DenseGroupedEstimator, GroupMoments, GroupedEstimator};
 pub use fm::FmSketch;
-pub use heavy_hitters::{SketchKey, SpaceSaving};
+pub use heavy_hitters::{MinScanSpaceSaving, SketchKey, SpaceSaving};
 pub use sample::WeightedSample;
 pub use sketch_join::SketchJoin;
 pub use stratified::StratifiedSampler;

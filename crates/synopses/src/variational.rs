@@ -1,7 +1,7 @@
 //! VerdictDB-style scramble + variational subsampling.
 //!
 //! The user-hints experiment (Fig. 7) pre-builds samples offline with the
-//! "state-of-the-art variational subsampling approach of VerdictDB [34]".
+//! "state-of-the-art variational subsampling approach of VerdictDB \[34\]".
 //! The offline phase (a) creates a shuffled clone of the table (the
 //! *scramble*), and (b) extracts a uniform sample from it that is divided
 //! into `n_s` disjoint subsamples. At query time the aggregate is computed on

@@ -5,7 +5,7 @@
 //! quota) so that the gain over the next `w` queries is maximized. Because
 //! the future queries are unknown, the last `w` queries stand in for them.
 //! The objective `gain(Q, S)` is monotone submodular, so a greedy algorithm
-//! achieves a constant-factor approximation ([27] in the paper); following
+//! achieves a constant-factor approximation (\[27\] in the paper); following
 //! CELF we take the better of plain-benefit greedy and benefit-per-byte
 //! greedy.
 //!
@@ -219,7 +219,7 @@ impl Tuner {
 ///
 /// Runs both plain-benefit greedy and benefit-per-byte greedy and returns the
 /// selection with the larger total gain (the CELF-style guarantee of
-/// `(1 − 1/e)/2` from the paper's reference [27]). Pinned synopses are always
+/// `(1 − 1/e)/2` from the paper's reference \[27\]). Pinned synopses are always
 /// part of the selection and consume budget first.
 pub fn select_synopses(
     window: &[&QueryRecord],
