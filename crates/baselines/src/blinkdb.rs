@@ -186,7 +186,10 @@ impl BlinkDbEngine {
                 min_probability: 0.0,
             };
             match find_sample_match(&self.metadata, &self.store, &requirement) {
-                Some(id) => {
+                Some(lease) => {
+                    // BlinkDB's offline store never evicts, so the lease is
+                    // only needed for its id.
+                    let id = lease.id();
                     let fact_predicates = self.planner.fact_predicates(&query, &self.catalog)?;
                     self.planner.build_plan_with_fact_input(
                         &query,

@@ -1,0 +1,107 @@
+//! Throughput of the shared, `&self` [`TasterEngine`] under concurrent
+//! sessions.
+//!
+//! Each benchmark runs the same 16-query steady-state workload (a mix of
+//! synopsis-reuse and exact-path queries, warmed so the reusable sample is
+//! already materialized) against ONE engine, split across 1 / 2 / 4 session
+//! threads. With `execute_sql(&mut self)` this workload could not be
+//! expressed at all; the multi-session legs measure how much of the loop
+//! (planning under the metadata lock, tuning under the tuner lock, execution
+//! lock-free) actually overlaps.
+//!
+//! On a multi-core host the sessions sweep shows session-level scaling; on a
+//! single-core host (like the recorded baseline's) all legs should be
+//! near-flat — the delta between `sessions_1` and `sessions_4` is then pure
+//! lock-contention overhead, which is exactly what the baseline guards.
+//!
+//! Run `TASTER_CRITERION_JSON=$PWD/crates/bench/baselines/concurrent_engine.json
+//! cargo bench -p taster-bench --bench concurrent_engine` from the workspace
+//! root to refresh the checked-in baseline (the path must be absolute: bench
+//! binaries run with CWD = `crates/bench`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use taster_core::{TasterConfig, TasterEngine};
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, Table};
+
+const ROWS: usize = 50_000;
+const QUERIES: usize = 16;
+
+const APPROX_Q: &str =
+    "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+/// Non-approximable: always the exact plan, a full scan of `orders` — the
+/// execution-heavy leg of the mix, which runs outside every engine lock.
+const EXACT_Q: &str = "SELECT o_id, o_price FROM orders WHERE o_price > 990";
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::new();
+    let orders = BatchBuilder::new()
+        .column("o_id", (0..ROWS as i64).collect::<Vec<_>>())
+        .column("o_cust", (0..ROWS as i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..ROWS as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column("o_price", (0..ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("orders", orders, 8).unwrap());
+    let cust = BatchBuilder::new()
+        .column("c_id", (0..100i64).collect::<Vec<_>>())
+        .column("c_region", (0..100i64).map(|i| i % 4).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("customer", cust, 1).unwrap());
+    Arc::new(cat)
+}
+
+/// A fresh engine with the reusable sample already materialized, so the
+/// timed section measures steady-state serving, not the first build.
+fn warmed_engine(cat: &Arc<Catalog>) -> TasterEngine {
+    let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+    let engine = TasterEngine::new(cat.clone(), config);
+    engine.execute_sql(APPROX_Q).expect("warm-up query");
+    engine
+}
+
+/// Run the steady-state workload across `sessions` threads sharing `engine`.
+fn drive(engine: &TasterEngine, sessions: usize) {
+    let per_session = QUERIES / sessions;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                scope.spawn(move || {
+                    for i in 0..per_session {
+                        let sql = if i % 2 == 0 { APPROX_Q } else { EXACT_Q };
+                        black_box(engine.execute_sql(sql).expect("query runs"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+fn bench_concurrent_engine(c: &mut Criterion) {
+    // Pin intra-query (morsel) parallelism to one thread so the sessions
+    // sweep isolates session-level scaling: without this the exact scan
+    // already saturates every core from a single session.
+    std::env::set_var("TASTER_THREADS", "1");
+    let cat = catalog();
+    let mut group = c.benchmark_group("concurrent_engine");
+    for sessions in [1usize, 2, 4] {
+        group.bench_function(format!("sessions_{sessions}_x{QUERIES}"), |b| {
+            b.iter_batched(
+                || warmed_engine(&cat),
+                |engine| drive(&engine, sessions),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_engine);
+criterion_main!(benches);

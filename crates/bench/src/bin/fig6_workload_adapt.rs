@@ -41,7 +41,7 @@ fn main() {
     // Execute query-by-query so warehouse occupancy can be sampled after each
     // one; run_taster would hide the trajectory.
     let config = taster_core::TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
-    let mut engine = taster_core::TasterEngine::new(catalog, config);
+    let engine = taster_core::TasterEngine::new(catalog, config);
     for (i, q) in queries.iter().enumerate() {
         let report = engine.execute_sql(&q.sql).expect("query failed");
         let usage = engine.store().usage();

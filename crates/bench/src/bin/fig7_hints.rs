@@ -48,7 +48,7 @@ fn main() {
 
     // Taster + hints: dboff gets a pinned variational sample of lineitem.
     let config = TasterConfig::with_budget_fraction(dboff.total_size_bytes(), 0.5);
-    let mut hinted = TasterEngine::new(dboff, config);
+    let hinted = TasterEngine::new(dboff, config);
     let report = hinted
         .add_offline_hint("lineitem", OfflineStrategy::Variational { fraction: 0.02 }, None)
         .expect("offline hint failed");

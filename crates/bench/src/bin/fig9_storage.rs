@@ -30,7 +30,7 @@ fn main() {
 
     let dataset_bytes = catalog.total_size_bytes();
     let config = TasterConfig::with_budget_fraction(dataset_bytes, phases[0]);
-    let mut engine = TasterEngine::new(catalog, config);
+    let engine = TasterEngine::new(catalog, config);
 
     println!("Fig. 9 — average speed-up over Baseline while the storage budget changes");
     println!("{:<16} {:>18} {:>22}", "storage budget", "avg speedup", "warehouse used (MB)");

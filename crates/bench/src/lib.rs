@@ -162,7 +162,7 @@ pub fn run_taster_with_config(
     config: TasterConfig,
     label: String,
 ) -> (SystemRun, TasterEngine) {
-    let mut engine = TasterEngine::new(catalog, config);
+    let engine = TasterEngine::new(catalog, config);
     let mut out = Vec::with_capacity(queries.len());
     for q in queries {
         let start = Instant::now();

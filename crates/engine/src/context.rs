@@ -6,6 +6,28 @@ use taster_storage::{Catalog, IoModel};
 use taster_synopses::sketch_join::SketchJoin;
 use taster_synopses::WeightedSample;
 
+/// Mix a base seed with a per-query counter into a well-distributed sampler
+/// seed (the splitmix64 finalizer). A concurrent engine hands out counter
+/// values from an atomic, so each query gets its own decorrelated seed
+/// stream regardless of which session thread runs it; a plain
+/// `base ^ counter` would leave consecutive queries' seeds differing only in
+/// their low bits.
+///
+/// ```
+/// use taster_engine::context::mix_seed;
+/// let a = mix_seed(0x7a57e1, 0);
+/// let b = mix_seed(0x7a57e1, 1);
+/// assert_ne!(a, b);
+/// // Deterministic: the same (base, counter) always maps to the same seed.
+/// assert_eq!(a, mix_seed(0x7a57e1, 0));
+/// ```
+pub fn mix_seed(base: u64, counter: u64) -> u64 {
+    let mut z = base ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Where a materialized synopsis currently lives. The executor charges reads
 /// to the matching metric so the harness can convert them to simulated time
 /// with the right bandwidth (in-memory buffer vs. persistent warehouse).

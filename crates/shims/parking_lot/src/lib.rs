@@ -6,7 +6,11 @@
 //! the process is already unwinding, so recovering the inner value is the
 //! behaviour parking_lot users expect.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self};
+
+// Guard types are std's (parking_lot proper defines its own, with the same
+// shape); re-exported so callers can name them in signatures.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Non-poisoning mutex.
 #[derive(Debug, Default)]

@@ -1,20 +1,70 @@
 //! The Taster engine façade: parse → plan → tune → execute → materialize.
+//!
+//! [`TasterEngine`] is a **concurrent, multi-session service**: every public
+//! method takes `&self`, so one engine can be shared (e.g. behind an `Arc` or
+//! scoped-thread borrows) by any number of session threads issuing queries at
+//! once. Internally the mutable pieces sit behind fine-grained locks —
+//! the metadata store behind an `RwLock`, the tuner behind a `Mutex`, the
+//! query counter in an atomic, and the synopsis store behind its own
+//! per-tier locks — acquired in a fixed order (metadata → tuner → store
+//! tiers) so sessions cannot deadlock.
+//!
+//! Synopsis lifetimes across the loop are protected by **leases**: the
+//! planner takes a [`crate::store::SynopsisLease`] on every materialized
+//! synopsis it matches, and the engine holds the planner output (and with it
+//! the leases) until execution finishes. A tuner eviction — from this query's
+//! own decision, a concurrent session, or a storage-elasticity quota change —
+//! therefore only *logically* removes a matched synopsis; the payload stays
+//! readable until the last in-flight plan using it completes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use taster_engine::context::{mix_seed, SynopsisLocation, SynopsisProvider};
 use taster_engine::physical::execute;
 use taster_engine::sql::ErrorSpec;
 use taster_engine::{parse_query, EngineError, ExecutionContext, LogicalPlan, QueryResult};
 use taster_storage::{Catalog, IoModel};
+use taster_synopses::sketch_join::SketchJoin;
+use taster_synopses::WeightedSample;
 
 use crate::config::TasterConfig;
 use crate::hints::{build_offline_sample, OfflineStrategy};
 use crate::metadata::MetadataStore;
 use crate::planner::Planner;
-use crate::store::SynopsisStore;
+use crate::store::{SynopsisLease, SynopsisStore};
 use crate::synopsis::SynopsisId;
 use crate::tuner::{ChosenPlan, Tuner};
+
+/// Per-query provider overlay: the chosen plan's leased synopses resolve
+/// from their plan-time snapshots, everything else from the shared store.
+/// This pins exactly the payloads the planner matched — a concurrent session
+/// evicting or re-materializing the same id mid-query cannot change what
+/// this query reads.
+struct LeasedProvider {
+    leases: Vec<SynopsisLease>,
+    store: SynopsisStore,
+}
+
+impl SynopsisProvider for LeasedProvider {
+    fn sample(&self, id: u64) -> Option<(Arc<WeightedSample>, SynopsisLocation)> {
+        self.leases
+            .iter()
+            .find(|l| l.id() == id)
+            .and_then(|l| l.sample())
+            .or_else(|| self.store.sample(id))
+    }
+
+    fn sketch(&self, id: u64) -> Option<(Arc<SketchJoin>, SynopsisLocation)> {
+        self.leases
+            .iter()
+            .find(|l| l.id() == id)
+            .and_then(|l| l.sketch())
+            .or_else(|| self.store.sketch(id))
+    }
+}
 
 /// The result of one Taster query, combining the engine result with the
 /// planning/tuning information the experiments report.
@@ -52,15 +102,20 @@ pub struct OfflineReport {
 }
 
 /// The self-tuning, elastic, online AQP engine.
+///
+/// All methods take `&self`; see the module docs for the locking discipline
+/// that makes the engine safe to share across session threads.
 pub struct TasterEngine {
     catalog: Arc<Catalog>,
     config: TasterConfig,
     io_model: IoModel,
-    metadata: MetadataStore,
-    store: Arc<SynopsisStore>,
+    metadata: RwLock<MetadataStore>,
+    store: SynopsisStore,
     planner: Planner,
-    tuner: Tuner,
-    queries_executed: u64,
+    tuner: Mutex<Tuner>,
+    /// Queries admitted so far; each admission claims the next slot of the
+    /// deterministic per-query seed schedule.
+    queries_executed: AtomicU64,
 }
 
 impl TasterEngine {
@@ -68,17 +123,14 @@ impl TasterEngine {
     pub fn new(catalog: Arc<Catalog>, config: TasterConfig) -> Self {
         let io_model = IoModel::default();
         Self {
-            store: Arc::new(SynopsisStore::new(
-                config.buffer_quota_bytes,
-                config.warehouse_quota_bytes,
-            )),
+            store: SynopsisStore::new(config.buffer_quota_bytes, config.warehouse_quota_bytes),
             planner: Planner::new(config, io_model),
-            tuner: Tuner::new(&config),
-            metadata: MetadataStore::new(),
+            tuner: Mutex::new(Tuner::new(&config)),
+            metadata: RwLock::new(MetadataStore::new()),
             catalog,
             config,
             io_model,
-            queries_executed: 0,
+            queries_executed: AtomicU64::new(0),
         }
     }
 
@@ -95,9 +147,11 @@ impl TasterEngine {
         &self.config
     }
 
-    /// The metadata store (read access for experiments and tests).
-    pub fn metadata(&self) -> &MetadataStore {
-        &self.metadata
+    /// Read access to the metadata store (for experiments and tests). The
+    /// returned guard holds the metadata read lock — drop it before issuing
+    /// queries from the same thread.
+    pub fn metadata(&self) -> RwLockReadGuard<'_, MetadataStore> {
+        self.metadata.read()
     }
 
     /// The synopsis store (read access for experiments and tests).
@@ -107,37 +161,45 @@ impl TasterEngine {
 
     /// Current tuner window length.
     pub fn window(&self) -> usize {
-        self.tuner.window()
+        self.tuner.lock().window()
     }
 
     /// History of tuner window lengths (for the Fig. 8 experiment).
-    pub fn window_history(&self) -> &[usize] {
-        self.tuner.window_history()
+    pub fn window_history(&self) -> Vec<usize> {
+        self.tuner.lock().window_history().to_vec()
     }
 
-    /// Number of queries executed so far.
+    /// Number of queries admitted so far.
     pub fn queries_executed(&self) -> u64 {
-        self.queries_executed
+        self.queries_executed.load(Ordering::Relaxed)
     }
 
     /// Change the synopsis warehouse quota at runtime (storage elasticity).
     /// The tuner immediately re-evaluates the stored synopses and evicts
     /// those that no longer fit the new budget.
-    pub fn set_storage_budget(&mut self, bytes: usize) {
+    pub fn set_storage_budget(&self, bytes: usize) {
         self.store.set_warehouse_quota(bytes);
-        let evict = self.tuner.reevaluate(&self.metadata, &self.store);
+        let metadata = self.metadata.read();
+        let mut tuner = self.tuner.lock();
+        let evict = tuner.reevaluate(&metadata, &self.store);
         for id in evict {
             if self.store.warehouse_over_quota() || self.store.buffer_over_quota() {
                 self.store.evict(id);
             }
         }
-        // If still over quota (e.g. quota shrank drastically), evict in
-        // ascending usefulness order until it fits.
-        let mut ids = self.store.materialized_ids();
-        ids.reverse();
-        while self.store.warehouse_over_quota() {
-            let Some(id) = ids.pop() else { break };
-            self.store.evict(id);
+        // If still over quota (e.g. quota shrank drastically), evict
+        // warehouse residents in ascending usefulness order (least
+        // benefit-per-byte over the tuner window first) until it fits —
+        // buffer entries cannot free warehouse bytes, so they are spared.
+        if self.store.warehouse_over_quota() {
+            for id in tuner.usefulness_order(&metadata, &self.store) {
+                if !self.store.warehouse_over_quota() {
+                    break;
+                }
+                if self.store.location(id) == Some(SynopsisLocation::Warehouse) {
+                    self.store.evict(id);
+                }
+            }
         }
     }
 
@@ -145,7 +207,7 @@ impl TasterEngine {
     /// warehouse. Returns the work performed so callers can account for the
     /// offline phase separately from query execution (Fig. 7).
     pub fn add_offline_hint(
-        &mut self,
+        &self,
         table: &str,
         strategy: OfflineStrategy,
         accuracy: Option<ErrorSpec>,
@@ -155,12 +217,16 @@ impl TasterEngine {
             confidence: self.config.default_confidence,
         });
         let build = build_offline_sample(&self.catalog, table, &strategy, accuracy, self.config.seed)?;
-        let id = self.metadata.allocate_id();
-        let mut descriptor = build.descriptor.clone();
-        descriptor.id = id;
-        let id = self.metadata.register(descriptor);
         let bytes = build.payload.size_bytes();
-        self.metadata.set_actual_size(id, bytes);
+        let id = {
+            let mut metadata = self.metadata.write();
+            let id = metadata.allocate_id();
+            let mut descriptor = build.descriptor.clone();
+            descriptor.id = id;
+            let id = metadata.register(descriptor);
+            metadata.set_actual_size(id, bytes);
+            id
+        };
         self.store.insert_into_warehouse(id, &build.payload, true);
 
         let table_bytes = self.catalog.table(table)?.size_bytes();
@@ -180,53 +246,98 @@ impl TasterEngine {
         })
     }
 
-    /// Execute one SQL query through the full Taster pipeline.
-    pub fn execute_sql(&mut self, sql: &str) -> Result<TasterResult, EngineError> {
+    /// Execute one SQL query through the full Taster pipeline, drawing the
+    /// sampler seed from the engine's deterministic per-query schedule.
+    pub fn execute_sql(&self, sql: &str) -> Result<TasterResult, EngineError> {
+        let slot = self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.execute_sql_seeded(sql, mix_seed(self.config.seed, slot))
+    }
+
+    /// Execute one SQL query with an explicit sampler seed.
+    ///
+    /// [`execute_sql`](Self::execute_sql) derives the seed from an atomic
+    /// query counter, which is deterministic for a serial caller but assigns
+    /// seeds to queries in admission order when sessions race. Tests and
+    /// experiments that need a query's randomness pinned regardless of thread
+    /// interleaving pass the seed explicitly. Queries run through this method
+    /// do not advance the engine's seed schedule.
+    pub fn execute_sql_seeded(&self, sql: &str, seed: u64) -> Result<TasterResult, EngineError> {
         let query = parse_query(sql)?;
         let planning_start = Instant::now();
 
-        let output = self
-            .planner
-            .plan(&query, &self.catalog, &mut self.metadata, &self.store)?;
-        self.metadata
-            .record_query(output.exact_cost_ns, output.alternatives());
+        // Plan and decide under the metadata lock: planning registers
+        // candidate synopses and appends to the query log, and the tuner's
+        // decision must see the log state its own query just produced.
+        // Matched synopses come back leased (inside `output`), so nothing
+        // decided here — or concurrently — can pull them out from under the
+        // execution below. Lock order: metadata → tuner → store tiers.
+        let (output, decision) = {
+            let mut metadata = self.metadata.write();
+            let output = self
+                .planner
+                .plan(&query, &self.catalog, &mut metadata, &self.store)?;
+            metadata.record_query(output.exact_cost_ns, output.alternatives());
+            let decision = self.tuner.lock().decide(&output, &metadata, &self.store);
+            (output, decision)
+        };
 
-        let decision = self.tuner.decide(&output, &self.metadata, &self.store);
+        // Apply the evict set before executing, as the tuner intended.
+        // Entries leased by this plan (or any concurrent in-flight plan) are
+        // only logically removed and stay readable until those plans finish.
         for id in &decision.evict {
             self.store.evict(*id);
         }
         let planning_ns = planning_start.elapsed().as_nanos();
 
-        let (plan, description, reused, created): (&LogicalPlan, String, Vec<SynopsisId>, Vec<SynopsisId>) =
-            match decision.chosen {
-                ChosenPlan::Exact => (
-                    &output.exact_plan,
-                    "exact plan".to_string(),
-                    vec![],
-                    vec![],
-                ),
-                ChosenPlan::Candidate(i) => {
-                    let c = &output.candidates[i];
-                    (&c.plan, c.description.clone(), c.uses.clone(), c.creates.clone())
-                }
-            };
+        let (plan, description, reused, created, leases): (
+            &LogicalPlan,
+            String,
+            Vec<SynopsisId>,
+            Vec<SynopsisId>,
+            Vec<SynopsisLease>,
+        ) = match decision.chosen {
+            ChosenPlan::Exact => (
+                &output.exact_plan,
+                "exact plan".to_string(),
+                vec![],
+                vec![],
+                vec![],
+            ),
+            ChosenPlan::Candidate(i) => {
+                let c = &output.candidates[i];
+                (
+                    &c.plan,
+                    c.description.clone(),
+                    c.uses.clone(),
+                    c.creates.clone(),
+                    c.leases.clone(),
+                )
+            }
+        };
 
         let ctx = ExecutionContext::new(self.catalog.clone())
-            .with_provider(self.store.clone())
+            .with_provider(Arc::new(LeasedProvider {
+                leases,
+                store: self.store.clone(),
+            }))
             .with_io_model(self.io_model)
-            .with_seed(self.config.seed ^ self.queries_executed);
+            .with_seed(seed);
         let result = execute(plan, &ctx)?;
 
         // Materialize byproducts into the buffer, then let the tuner's `keep`
         // set drive promotion to the warehouse / eviction.
-        for (id, payload) in &result.byproducts {
-            self.metadata.set_actual_size(*id, payload.size_bytes());
-            self.store.insert_into_buffer(*id, payload, false);
+        if !result.byproducts.is_empty() {
+            let mut metadata = self.metadata.write();
+            for (id, payload) in &result.byproducts {
+                metadata.set_actual_size(*id, payload.size_bytes());
+                self.store.insert_into_buffer(*id, payload, false);
+            }
         }
         self.manage_buffer(&decision.keep);
 
         let simulated_secs = result.metrics.simulated_secs(&self.io_model);
-        self.queries_executed += 1;
+        // `output` (and the leases of every matched candidate) drops here:
+        // synopses the tuner evicted mid-flight are reaped now.
         Ok(TasterResult {
             approximate: result.approximate,
             plan_description: description,
@@ -300,7 +411,7 @@ mod tests {
 
     #[test]
     fn first_query_builds_then_second_reuses() {
-        let mut eng = engine(50_000);
+        let eng = engine(50_000);
         let first = eng.execute_sql(Q).unwrap();
         assert!(first.approximate);
         assert!(!first.created_synopses.is_empty());
@@ -321,7 +432,7 @@ mod tests {
 
     #[test]
     fn approximate_results_are_close_to_exact() {
-        let mut eng = engine(50_000);
+        let eng = engine(50_000);
         let _ = eng.execute_sql(Q).unwrap();
         let approx = eng.execute_sql(Q).unwrap();
 
@@ -338,7 +449,7 @@ mod tests {
 
     #[test]
     fn storage_elasticity_evicts_when_quota_shrinks() {
-        let mut eng = engine(30_000);
+        let eng = engine(30_000);
         let _ = eng.execute_sql(Q).unwrap();
         let _ = eng.execute_sql("SELECT o_cust, AVG(o_price) FROM orders GROUP BY o_cust").unwrap();
         assert!(eng.store().usage().warehouse_bytes + eng.store().usage().buffer_bytes > 0);
@@ -349,7 +460,7 @@ mod tests {
     #[test]
     fn hints_pin_offline_synopses() {
         use taster_engine::context::SynopsisProvider as _;
-        let mut eng = engine(30_000);
+        let eng = engine(30_000);
         let report = eng
             .add_offline_hint(
                 "orders",
@@ -367,7 +478,7 @@ mod tests {
 
     #[test]
     fn join_query_runs_end_to_end() {
-        let mut eng = engine(20_000);
+        let eng = engine(20_000);
         let res = eng
             .execute_sql(
                 "SELECT c_region, COUNT(*) FROM orders JOIN customer ON o_cust = c_id GROUP BY c_region",
@@ -385,11 +496,122 @@ mod tests {
 
     #[test]
     fn non_approximable_query_falls_back_to_exact() {
-        let mut eng = engine(5_000);
+        let eng = engine(5_000);
         let res = eng
             .execute_sql("SELECT o_id, o_price FROM orders WHERE o_price > 990")
             .unwrap();
         assert!(!res.approximate);
         assert_eq!(res.plan_description, "exact plan");
+    }
+
+    /// The headline synopsis-lifetime race, reproduced at component level:
+    /// a synopsis matched (and leased) at plan time, then evicted by a
+    /// tuner's evict-set before the plan runs — exactly what a concurrent
+    /// session's tuner can do between this session's planning and execution.
+    /// The leased plan must still execute, produce the same result as before
+    /// the eviction, and the synopsis must be gone once the plan is dropped.
+    #[test]
+    fn leased_synopsis_survives_tuner_eviction_until_query_completes() {
+        use taster_engine::context::SynopsisProvider as _;
+
+        let eng = engine(30_000);
+        // Materialize a sample, then verify it is matched by a reuse plan.
+        let first = eng.execute_sql(Q).unwrap();
+        let id = first.created_synopses[0];
+        assert!(eng.store().location(id).is_some());
+
+        let query = parse_query(Q).unwrap();
+        let mut metadata = eng.metadata.write();
+        let output = eng
+            .planner
+            .plan(&query, &eng.catalog, &mut metadata, &eng.store)
+            .unwrap();
+        drop(metadata);
+        let reuse = output
+            .candidates
+            .iter()
+            .find(|c| c.uses.contains(&id))
+            .expect("materialized sample must produce a reuse candidate");
+        assert_eq!(reuse.leases.len(), 1, "match must carry a lease");
+
+        let ctx = ExecutionContext::new(eng.catalog.clone())
+            .with_provider(Arc::new(eng.store().clone()))
+            .with_seed(7);
+        let before = execute(&reuse.plan, &ctx).unwrap();
+
+        // A (concurrent) tuner evicts the matched synopsis mid-query.
+        assert!(eng.store().evict(id));
+        assert_eq!(eng.store().location(id), None, "logically evicted");
+
+        // The leased plan still executes and sees the identical payload.
+        let during = execute(&reuse.plan, &ctx).unwrap();
+        assert_eq!(before.groups.len(), during.groups.len());
+        for (b, d) in before.groups.iter().zip(&during.groups) {
+            assert_eq!(b.key, d.key);
+            for (ab, ad) in b.aggregates.iter().zip(&d.aggregates) {
+                assert_eq!(ab.value, ad.value, "eviction must not change the result");
+            }
+        }
+
+        // Once the query (the planner output holding the lease) completes,
+        // the synopsis is reaped.
+        drop(output);
+        assert!(eng.store().sample(id).is_none(), "gone after the query");
+    }
+
+    /// Fallback eviction under storage elasticity follows ascending
+    /// usefulness (benefit-per-byte over the tuner window), not ascending id.
+    #[test]
+    fn storage_budget_fallback_evicts_least_useful_first() {
+        let eng = engine(30_000);
+        // Query A's synopsis is heavily reused (high usefulness); it gets a
+        // *lower* id than query B's, so the old ascending-id fallback would
+        // evict it first.
+        for _ in 0..6 {
+            let _ = eng.execute_sql(Q).unwrap();
+        }
+        let useful = eng.execute_sql(Q).unwrap().reused_synopses[0];
+        let other = eng
+            .execute_sql("SELECT o_cust, AVG(o_price) FROM orders GROUP BY o_cust")
+            .unwrap();
+        let less_useful = other.created_synopses[0];
+        assert!(useful < less_useful, "usefulness order must beat id order");
+        // Both must be in the warehouse for the quota shrink to bite.
+        for id in [useful, less_useful] {
+            assert!(
+                eng.store().location(id).is_some(),
+                "synopsis {id} must be materialized"
+            );
+        }
+
+        // Shrink the budget so only the more useful synopsis fits.
+        let keep_bytes = eng.store().size_of(useful).unwrap();
+        eng.set_storage_budget(keep_bytes);
+        assert!(
+            eng.store().location(useful).is_some(),
+            "high-usefulness synopsis must survive"
+        );
+        assert!(
+            eng.store().location(less_useful).is_none(),
+            "low-usefulness synopsis must be evicted first"
+        );
+    }
+
+    /// `execute_sql` takes `&self`: a trivial smoke test that two threads can
+    /// share one engine without any external synchronization. (The full
+    /// determinism soak lives in `tests/concurrent_engine.rs`.)
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let eng = engine(20_000);
+        std::thread::scope(|scope| {
+            let e = &eng;
+            let handles: Vec<_> = (0..2)
+                .map(|_| scope.spawn(move || e.execute_sql(Q).unwrap().result.num_groups()))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 5);
+            }
+        });
+        assert_eq!(eng.queries_executed(), 2);
     }
 }

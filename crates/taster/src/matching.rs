@@ -12,7 +12,7 @@ use taster_engine::sql::ErrorSpec;
 use taster_engine::SampleMethod;
 
 use crate::metadata::MetadataStore;
-use crate::store::SynopsisStore;
+use crate::store::{SynopsisLease, SynopsisStore};
 use crate::synopsis::{SynopsisId, SynopsisKind};
 
 /// What a query needs from a reusable sample of `table`.
@@ -29,14 +29,16 @@ pub struct SampleRequirement {
     pub min_probability: f64,
 }
 
-/// Find a materialized sample satisfying the requirement. Returns the best
-/// match (the one retaining the fewest rows while still satisfying the
-/// requirement, i.e. the cheapest to read).
+/// Find a materialized sample satisfying the requirement. Returns a lease on
+/// the best match (the one retaining the fewest rows while still satisfying
+/// the requirement, i.e. the cheapest to read); the lease keeps the synopsis
+/// readable until the matched plan has run, even if the tuner evicts it in
+/// the meantime.
 pub fn find_sample_match(
     metadata: &MetadataStore,
     store: &SynopsisStore,
     req: &SampleRequirement,
-) -> Option<SynopsisId> {
+) -> Option<SynopsisLease> {
     let mut best: Option<(SynopsisId, f64)> = None;
     for meta in metadata.by_index_key(&req.table) {
         let id = meta.descriptor.id;
@@ -52,6 +54,12 @@ pub fn find_sample_match(
         if meta.descriptor.accuracy.relative_error > req.accuracy.relative_error + 1e-12 {
             continue;
         }
+        // Both halves of the ErrorSpec must be at least as strict as the
+        // query's: a sample built for 90% confidence cannot answer a
+        // 99%-confidence query even if its relative-error bound is tighter.
+        if meta.descriptor.accuracy.confidence + 1e-12 < req.accuracy.confidence {
+            continue;
+        }
         if method.probability() + 1e-12 < req.min_probability {
             continue;
         }
@@ -61,19 +69,22 @@ pub fn find_sample_match(
             _ => best = Some((id, p)),
         }
     }
-    best.map(|(id, _)| id)
+    // The lease can still fail if a concurrent session evicted the synopsis
+    // between the scan above and here; the match is then simply dropped.
+    best.and_then(|(id, _)| store.lease(id))
 }
 
 /// Find a materialized sketch-join over `table` keyed on exactly
 /// `key_columns` and carrying `value_column` (or carrying a value column when
-/// only COUNT is needed — a SUM-carrying sketch also answers COUNT).
+/// only COUNT is needed — a SUM-carrying sketch also answers COUNT). Returns
+/// a lease, like [`find_sample_match`].
 pub fn find_sketch_match(
     metadata: &MetadataStore,
     store: &SynopsisStore,
     table: &str,
     key_columns: &[String],
     value_column: &Option<String>,
-) -> Option<SynopsisId> {
+) -> Option<SynopsisLease> {
     let index_key = format!("{}|{}", table, key_columns.join(","));
     for meta in metadata.by_index_key(&index_key) {
         let id = meta.descriptor.id;
@@ -97,7 +108,9 @@ pub fn find_sketch_match(
             (Some(_), None) => false,
         };
         if value_ok {
-            return Some(id);
+            if let Some(lease) = store.lease(id) {
+                return Some(lease);
+            }
         }
     }
     None
@@ -133,6 +146,20 @@ mod tests {
         error: f64,
         materialize: bool,
     ) -> SynopsisId {
+        add_sample_conf(metadata, store, table, strat, probability, error, 0.95, materialize)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_sample_conf(
+        metadata: &mut MetadataStore,
+        store: &SynopsisStore,
+        table: &str,
+        strat: Vec<String>,
+        probability: f64,
+        error: f64,
+        confidence: f64,
+        materialize: bool,
+    ) -> SynopsisId {
         let id = metadata.allocate_id();
         let method = SampleMethod::Distinct {
             stratification: strat,
@@ -147,7 +174,7 @@ mod tests {
             kind: SynopsisKind::Sample { method },
             accuracy: ErrorSpec {
                 relative_error: error,
-                confidence: 0.95,
+                confidence,
             },
             estimated_bytes: 100,
             estimated_rows: 10,
@@ -174,15 +201,35 @@ mod tests {
     }
 
     fn req(table: &str, strat: &[&str], error: f64, p: f64) -> SampleRequirement {
+        req_conf(table, strat, error, 0.95, p)
+    }
+
+    fn req_conf(
+        table: &str,
+        strat: &[&str],
+        error: f64,
+        confidence: f64,
+        p: f64,
+    ) -> SampleRequirement {
         SampleRequirement {
             table: table.into(),
             stratification: strat.iter().map(|s| s.to_string()).collect(),
             accuracy: ErrorSpec {
                 relative_error: error,
-                confidence: 0.95,
+                confidence,
             },
             min_probability: p,
         }
+    }
+
+    /// Id of a sample match, if any (the tests reason about identity, not
+    /// lifetime, so the lease is dropped immediately).
+    fn match_id(
+        metadata: &MetadataStore,
+        store: &SynopsisStore,
+        r: &SampleRequirement,
+    ) -> Option<SynopsisId> {
+        find_sample_match(metadata, store, r).map(|lease| lease.id())
     }
 
     #[test]
@@ -192,10 +239,7 @@ mod tests {
         add_sample(&mut md, &store, "t", vec!["g".into()], 0.1, 0.1, false);
         assert!(find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.05)).is_none());
         let id = add_sample(&mut md, &store, "t", vec!["g".into()], 0.1, 0.1, true);
-        assert_eq!(
-            find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.05)),
-            Some(id)
-        );
+        assert_eq!(match_id(&md, &store, &req("t", &["g"], 0.1, 0.05)), Some(id));
     }
 
     #[test]
@@ -212,10 +256,7 @@ mod tests {
             true,
         );
         // Needs only g: the wider sample matches.
-        assert_eq!(
-            find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.1)),
-            Some(wide)
-        );
+        assert_eq!(match_id(&md, &store, &req("t", &["g"], 0.1, 0.1)), Some(wide));
         // Needs a column the sample is not stratified on: no match.
         assert!(find_sample_match(&md, &store, &req("t", &["z"], 0.1, 0.1)).is_none());
         // Needs stricter accuracy than the sample was built for: no match.
@@ -225,15 +266,55 @@ mod tests {
     }
 
     #[test]
+    fn match_checks_confidence_half_of_error_spec() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        // Built for 90% confidence: tighter relative error than anything the
+        // queries below ask for, but the confidence is the weaker half.
+        let low_conf = add_sample_conf(
+            &mut md,
+            &store,
+            "t",
+            vec!["g".into()],
+            0.2,
+            0.05,
+            0.90,
+            true,
+        );
+        // A 99%-confidence query must NOT be served by the 90% sample.
+        assert!(
+            find_sample_match(&md, &store, &req_conf("t", &["g"], 0.1, 0.99, 0.1)).is_none(),
+            "a 90%-confidence sample must not satisfy a 99%-confidence query"
+        );
+        // A query at or below the stored confidence matches fine.
+        assert_eq!(
+            match_id(&md, &store, &req_conf("t", &["g"], 0.1, 0.90, 0.1)),
+            Some(low_conf)
+        );
+        // A stricter (higher-confidence) sample serves a laxer query.
+        let high_conf = add_sample_conf(
+            &mut md,
+            &store,
+            "t",
+            vec!["g".into(), "h".into()],
+            0.2,
+            0.05,
+            0.99,
+            true,
+        );
+        assert_eq!(
+            match_id(&md, &store, &req_conf("t", &["g", "h"], 0.1, 0.95, 0.1)),
+            Some(high_conf)
+        );
+    }
+
+    #[test]
     fn best_match_is_the_cheapest_sufficient_one() {
         let mut md = MetadataStore::new();
         let store = SynopsisStore::new(1 << 20, 1 << 20);
         let small = add_sample(&mut md, &store, "t", vec!["g".into()], 0.05, 0.1, true);
         let _large = add_sample(&mut md, &store, "t", vec!["g".into()], 0.5, 0.1, true);
-        assert_eq!(
-            find_sample_match(&md, &store, &req("t", &["g"], 0.1, 0.01)),
-            Some(small)
-        );
+        assert_eq!(match_id(&md, &store, &req("t", &["g"], 0.1, 0.01)), Some(small));
     }
 
     #[test]
@@ -265,11 +346,15 @@ mod tests {
 
         let keys = vec!["o_cust".to_string()];
         assert_eq!(
-            find_sketch_match(&md, &store, "orders", &keys, &Some("o_price".into())),
+            find_sketch_match(&md, &store, "orders", &keys, &Some("o_price".into()))
+                .map(|l| l.id()),
             Some(id)
         );
         // COUNT-only requirement is satisfied by a SUM-carrying sketch.
-        assert_eq!(find_sketch_match(&md, &store, "orders", &keys, &None), Some(id));
+        assert_eq!(
+            find_sketch_match(&md, &store, "orders", &keys, &None).map(|l| l.id()),
+            Some(id)
+        );
         // Different value column: no match.
         assert!(find_sketch_match(&md, &store, "orders", &keys, &Some("o_tax".into())).is_none());
         // Different keys: no match.

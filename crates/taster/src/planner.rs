@@ -39,7 +39,7 @@ use taster_synopses::estimator::required_probability;
 use crate::config::TasterConfig;
 use crate::matching::{find_sample_match, find_sketch_match, SampleRequirement};
 use crate::metadata::{MetadataStore, PlanAlternative};
-use crate::store::SynopsisStore;
+use crate::store::{SynopsisLease, SynopsisStore};
 use crate::synopsis::{SynopsisDescriptor, SynopsisId, SynopsisKind};
 
 /// One candidate (approximate) plan.
@@ -64,6 +64,11 @@ pub struct CandidatePlan {
     pub future_plan: Option<LogicalPlan>,
     /// Human-readable description (for logging / EXPLAIN).
     pub description: String,
+    /// Leases on every synopsis in `uses`, taken at match time. Holding the
+    /// planner output through execution guarantees the matched synopses stay
+    /// readable even if a tuner (this session's or a concurrent one) evicts
+    /// them between planning and execution.
+    pub leases: Vec<SynopsisLease>,
 }
 
 /// Planner output for one query.
@@ -388,6 +393,7 @@ impl Planner {
                 if use_uniform { "uniform" } else { "distinct" },
                 stratification.join(",")
             ),
+            leases: vec![],
         });
 
         // Candidate B: reuse a materialized sample that subsumes this one.
@@ -401,7 +407,8 @@ impl Planner {
             accuracy,
             min_probability: probability,
         };
-        if let Some(existing) = find_sample_match(metadata, store, &requirement) {
+        if let Some(lease) = find_sample_match(metadata, store, &requirement) {
+            let existing = lease.id();
             let reuse_plan = self.build_plan_with_fact_input(
                 query,
                 catalog,
@@ -419,6 +426,7 @@ impl Planner {
                 future_cost_ns: 0.0,
                 future_plan: None,
                 description: format!("reuse materialized sample {existing} of {fact}"),
+                leases: vec![lease],
             });
         }
         Ok(())
@@ -679,13 +687,17 @@ impl Planner {
         });
 
         let existing = find_sketch_match(metadata, store, &query.from, &fact_keys, &value_column);
-        let (sketch_ref, uses, creates, description) = match existing {
-            Some(id) => (
-                SketchRef::Materialized { id },
-                vec![id],
-                vec![],
-                format!("reuse materialized sketch-join {id} over {}", query.from),
-            ),
+        let (sketch_ref, uses, creates, description, leases) = match existing {
+            Some(lease) => {
+                let id = lease.id();
+                (
+                    SketchRef::Materialized { id },
+                    vec![id],
+                    vec![],
+                    format!("reuse materialized sketch-join {id} over {}", query.from),
+                    vec![lease],
+                )
+            }
             None => (
                 SketchRef::Build {
                     table: query.from.clone(),
@@ -695,6 +707,7 @@ impl Planner {
                 vec![],
                 vec![synopsis_id],
                 format!("sketch-join building sketch over {}", query.from),
+                vec![],
             ),
         };
 
@@ -725,6 +738,7 @@ impl Planner {
                 Some(future_plan)
             },
             description,
+            leases,
         });
         Ok(())
     }

@@ -9,15 +9,45 @@
 //! * the **synopsis warehouse** — the persistent, quota-bounded store
 //!   (HDFS in the paper, a simulated persistent tier here).
 //!
+//! A synopsis id occupies **at most one tier at a time**: inserting into one
+//! tier removes any live copy from the other, so byte accounting can never
+//! double-count a synopsis.
+//!
 //! The store implements [`SynopsisProvider`] so the engine's executor can
 //! resolve `SynopsisScan` / `SketchRef::Materialized` nodes directly, and it
 //! reports the tier of every hit so reads are charged at the right simulated
 //! bandwidth.
+//!
+//! # Leases and deferred eviction
+//!
+//! Concurrent sessions race the tuner: session A's planner matches a
+//! materialized synopsis, then session B's tuner (or A's own, later in the
+//! same query) decides to evict it before A has executed its plan. To make
+//! the matched plan executable regardless, the store hands out
+//! reference-counted **leases** ([`SynopsisStore::lease`]):
+//!
+//! * a lease snapshots the payload (and tier) **as matched** — the engine
+//!   executes leased plans through that snapshot, so neither eviction nor a
+//!   concurrent re-materialization of the same id (same fingerprint, new
+//!   sample) can change what an in-flight plan reads;
+//! * evicting a leased synopsis removes it *logically* — it stops appearing
+//!   in [`location`], [`materialized_ids`], sizes and quota accounting, so
+//!   planners stop matching it and its space is immediately reusable — while
+//!   the payload moves to a graveyard that keeps it resolvable through the
+//!   provider until the last lease on the id drops;
+//! * pinned synopses are never evicted, leased or not.
+//!
+//! `SynopsisStore` is a cheap-to-clone handle (`Arc` inner): clones share the
+//! same tiers, which is how one store serves the engine façade, the planner
+//! and the executor's [`SynopsisProvider`] at once.
+//!
+//! [`location`]: SynopsisStore::location
+//! [`materialized_ids`]: SynopsisStore::materialized_ids
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use taster_engine::context::{SynopsisLocation, SynopsisProvider};
 use taster_engine::SynopsisPayload;
 use taster_synopses::sketch_join::SketchJoin;
@@ -42,11 +72,13 @@ struct Tier {
 }
 
 impl Tier {
-    fn insert(&mut self, id: SynopsisId, stored: Stored) {
+    fn insert(&mut self, id: SynopsisId, stored: Stored) -> Option<Stored> {
         self.used_bytes += stored.bytes;
-        if let Some(old) = self.entries.insert(id, stored) {
+        let old = self.entries.insert(id, stored);
+        if let Some(old) = &old {
             self.used_bytes -= old.bytes;
         }
+        old
     }
 
     fn remove(&mut self, id: SynopsisId) -> Option<Stored> {
@@ -56,15 +88,138 @@ impl Tier {
     }
 }
 
-/// Two-tier synopsis store (buffer + warehouse) with byte quotas.
+/// Shared state behind a [`SynopsisStore`] handle.
+///
+/// Lock order: `buffer` → `warehouse` → `leases` → `graveyard` (any prefix
+/// may be skipped, never reordered).
 #[derive(Debug)]
-pub struct SynopsisStore {
+struct StoreInner {
     buffer: RwLock<Tier>,
     warehouse: RwLock<Tier>,
+    /// Outstanding lease count per synopsis id. Counts are per *id*: a lease
+    /// taken on an earlier copy of an id keeps protecting the graveyard
+    /// payload even if the id is re-materialized meanwhile.
+    leases: Mutex<HashMap<SynopsisId, usize>>,
+    /// Logically evicted (or displaced-by-reinsert) payloads kept readable
+    /// for outstanding lease holders, tagged with the tier they lived in (so
+    /// reads stay charged at the right simulated bandwidth); reaped when the
+    /// id's last lease drops.
+    graveyard: Mutex<HashMap<SynopsisId, (Stored, SynopsisLocation)>>,
+}
+
+impl StoreInner {
+    /// Park a displaced payload for its lease holders; dropped instead when
+    /// no lease on the id is outstanding. Checking the count and burying
+    /// happen under the leases lock so a racing last-release cannot strand an
+    /// unreapable graveyard entry. If the graveyard already holds a copy for
+    /// this id, the older one wins — outstanding leases predate the newcomer
+    /// (lease holders that matter read their own snapshot anyway; the
+    /// graveyard is the by-id fallback).
+    fn bury_if_leased(&self, id: SynopsisId, stored: Option<Stored>, from: SynopsisLocation) {
+        let Some(stored) = stored else { return };
+        let leases = self.leases.lock();
+        if leases.get(&id).copied().unwrap_or(0) > 0 {
+            self.graveyard.lock().entry(id).or_insert((stored, from));
+        }
+    }
+
+    fn retain(&self, id: SynopsisId) {
+        *self.leases.lock().entry(id).or_insert(0) += 1;
+    }
+
+    /// Drop one lease on `id`; on the last release the graveyard copy (if
+    /// any) is reaped. The graveyard lock nests inside the leases lock,
+    /// mirroring `bury_if_leased`.
+    fn release(&self, id: SynopsisId) {
+        let mut leases = self.leases.lock();
+        let Some(count) = leases.get_mut(&id) else {
+            return;
+        };
+        *count -= 1;
+        if *count == 0 {
+            leases.remove(&id);
+            self.graveyard.lock().remove(&id);
+        }
+    }
+}
+
+/// A reference-counted lease on a materialized synopsis, snapshotting the
+/// payload as it was at match time.
+///
+/// While at least one lease on an id is alive, [`SynopsisStore::evict`] only
+/// *logically* removes the entry: the payload stays resolvable through the
+/// [`SynopsisProvider`] so an already-planned query can still read it; it is
+/// reaped when the last lease drops. The engine resolves leased plans through
+/// the lease's own [`sample`](Self::sample) / [`sketch`](Self::sketch)
+/// snapshot, which additionally pins the exact payload against concurrent
+/// re-materializations of the same id. Cloning a lease takes another
+/// reference.
+pub struct SynopsisLease {
+    inner: Arc<StoreInner>,
+    id: SynopsisId,
+    sample: Option<Arc<WeightedSample>>,
+    sketch: Option<Arc<SketchJoin>>,
+    location: SynopsisLocation,
+}
+
+impl SynopsisLease {
+    /// The leased synopsis id.
+    pub fn id(&self) -> SynopsisId {
+        self.id
+    }
+
+    /// The sample payload as matched at plan time, with the tier it lived in
+    /// (for simulated read charging).
+    pub fn sample(&self) -> Option<(Arc<WeightedSample>, SynopsisLocation)> {
+        self.sample.clone().map(|s| (s, self.location))
+    }
+
+    /// The sketch payload as matched at plan time, with its tier.
+    pub fn sketch(&self) -> Option<(Arc<SketchJoin>, SynopsisLocation)> {
+        self.sketch.clone().map(|s| (s, self.location))
+    }
+}
+
+impl Clone for SynopsisLease {
+    fn clone(&self) -> Self {
+        self.inner.retain(self.id);
+        SynopsisLease {
+            inner: Arc::clone(&self.inner),
+            id: self.id,
+            sample: self.sample.clone(),
+            sketch: self.sketch.clone(),
+            location: self.location,
+        }
+    }
+}
+
+impl Drop for SynopsisLease {
+    fn drop(&mut self) {
+        self.inner.release(self.id);
+    }
+}
+
+impl std::fmt::Debug for SynopsisLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynopsisLease")
+            .field("id", &self.id)
+            .field("location", &self.location)
+            .finish()
+    }
+}
+
+/// Two-tier synopsis store (buffer + warehouse) with byte quotas.
+///
+/// Cloning the store yields another handle to the *same* tiers; all methods
+/// take `&self` and are safe to call from multiple sessions concurrently.
+#[derive(Debug, Clone)]
+pub struct SynopsisStore {
+    inner: Arc<StoreInner>,
 }
 
 /// A snapshot of the store's occupancy, used by the benchmark harnesses
-/// (Fig. 6 plots the warehouse size over time).
+/// (Fig. 6 plots the warehouse size over time). Logically evicted entries
+/// (alive only for lease holders) are excluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreUsage {
     /// Bytes currently held in the buffer.
@@ -85,21 +240,25 @@ impl SynopsisStore {
     /// Create a store with the given byte quotas.
     pub fn new(buffer_quota_bytes: usize, warehouse_quota_bytes: usize) -> Self {
         Self {
-            buffer: RwLock::new(Tier {
-                quota_bytes: buffer_quota_bytes,
-                ..Default::default()
-            }),
-            warehouse: RwLock::new(Tier {
-                quota_bytes: warehouse_quota_bytes,
-                ..Default::default()
+            inner: Arc::new(StoreInner {
+                buffer: RwLock::new(Tier {
+                    quota_bytes: buffer_quota_bytes,
+                    ..Default::default()
+                }),
+                warehouse: RwLock::new(Tier {
+                    quota_bytes: warehouse_quota_bytes,
+                    ..Default::default()
+                }),
+                leases: Mutex::new(HashMap::new()),
+                graveyard: Mutex::new(HashMap::new()),
             }),
         }
     }
 
     /// Current occupancy of both tiers.
     pub fn usage(&self) -> StoreUsage {
-        let b = self.buffer.read();
-        let w = self.warehouse.read();
+        let b = self.inner.buffer.read();
+        let w = self.inner.warehouse.read();
         StoreUsage {
             buffer_bytes: b.used_bytes,
             buffer_quota: b.quota_bytes,
@@ -113,36 +272,44 @@ impl SynopsisStore {
     /// Change the warehouse quota at runtime (storage elasticity). The tuner
     /// is responsible for re-evaluating and evicting afterwards.
     pub fn set_warehouse_quota(&self, bytes: usize) {
-        self.warehouse.write().quota_bytes = bytes;
+        self.inner.warehouse.write().quota_bytes = bytes;
     }
 
     /// The warehouse quota in bytes.
     pub fn warehouse_quota(&self) -> usize {
-        self.warehouse.read().quota_bytes
+        self.inner.warehouse.read().quota_bytes
     }
 
-    /// Where a synopsis currently lives, if materialized at all.
+    /// Where a synopsis currently lives, if materialized at all. Logically
+    /// evicted (graveyard) entries report `None`. Both tier locks are read
+    /// simultaneously so a concurrent cross-tier move cannot make a live
+    /// entry transiently report as absent.
     pub fn location(&self, id: SynopsisId) -> Option<SynopsisLocation> {
-        if self.buffer.read().entries.contains_key(&id) {
+        let buffer = self.inner.buffer.read();
+        let warehouse = self.inner.warehouse.read();
+        if buffer.entries.contains_key(&id) {
             return Some(SynopsisLocation::Buffer);
         }
-        if self.warehouse.read().entries.contains_key(&id) {
+        if warehouse.entries.contains_key(&id) {
             return Some(SynopsisLocation::Warehouse);
         }
         None
     }
 
-    /// Actual size in bytes of a materialized synopsis.
+    /// Actual size in bytes of a materialized synopsis (both tier locks held,
+    /// like [`location`](Self::location)).
     pub fn size_of(&self, id: SynopsisId) -> Option<usize> {
-        if let Some(s) = self.buffer.read().entries.get(&id) {
+        let buffer = self.inner.buffer.read();
+        let warehouse = self.inner.warehouse.read();
+        if let Some(s) = buffer.entries.get(&id) {
             return Some(s.bytes);
         }
-        self.warehouse.read().entries.get(&id).map(|s| s.bytes)
+        warehouse.entries.get(&id).map(|s| s.bytes)
     }
 
     /// Ids of the synopses currently held in the in-memory buffer.
     pub fn buffer_ids(&self) -> Vec<SynopsisId> {
-        let mut ids: Vec<SynopsisId> = self.buffer.read().entries.keys().copied().collect();
+        let mut ids: Vec<SynopsisId> = self.inner.buffer.read().entries.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -150,11 +317,12 @@ impl SynopsisStore {
     /// Ids of all synopses currently materialized (either tier).
     pub fn materialized_ids(&self) -> Vec<SynopsisId> {
         let mut ids: Vec<SynopsisId> = self
+            .inner
             .buffer
             .read()
             .entries
             .keys()
-            .chain(self.warehouse.read().entries.keys())
+            .chain(self.inner.warehouse.read().entries.keys())
             .copied()
             .collect();
         ids.sort_unstable();
@@ -162,67 +330,120 @@ impl SynopsisStore {
         ids
     }
 
-    /// Insert a byproduct synopsis into the in-memory buffer.
+    /// Take a lease on a materialized synopsis, snapshotting its payload and
+    /// protecting it from physical removal until the lease is dropped.
+    /// Returns `None` if the synopsis is not (or no longer) materialized.
+    pub fn lease(&self, id: SynopsisId) -> Option<SynopsisLease> {
+        let buffer = self.inner.buffer.read();
+        let warehouse = self.inner.warehouse.read();
+        let (entry, location) = if let Some(e) = buffer.entries.get(&id) {
+            (e, SynopsisLocation::Buffer)
+        } else if let Some(e) = warehouse.entries.get(&id) {
+            (e, SynopsisLocation::Warehouse)
+        } else {
+            return None;
+        };
+        let lease = SynopsisLease {
+            inner: Arc::clone(&self.inner),
+            id,
+            sample: entry.sample.clone(),
+            sketch: entry.sketch.clone(),
+            location,
+        };
+        self.inner.retain(id);
+        Some(lease)
+    }
+
+    /// Insert a byproduct synopsis into the in-memory buffer. Any live copy
+    /// in the warehouse is removed first (tiers are exclusive); displaced
+    /// copies with outstanding leases stay readable until those drop.
     pub fn insert_into_buffer(&self, id: SynopsisId, payload: &SynopsisPayload, pinned: bool) {
         let stored = to_stored(payload, pinned);
-        self.buffer.write().insert(id, stored);
+        let mut buffer = self.inner.buffer.write();
+        let mut warehouse = self.inner.warehouse.write();
+        let displaced = warehouse.remove(id);
+        let replaced = buffer.insert(id, stored);
+        drop(warehouse);
+        drop(buffer);
+        self.inner
+            .bury_if_leased(id, displaced, SynopsisLocation::Warehouse);
+        self.inner.bury_if_leased(id, replaced, SynopsisLocation::Buffer);
     }
 
     /// Insert a synopsis directly into the warehouse (offline pre-built or
-    /// promoted from the buffer).
+    /// promoted from the buffer). Any live copy in the buffer is removed
+    /// first (tiers are exclusive); displaced copies with outstanding leases
+    /// stay readable until those drop.
     pub fn insert_into_warehouse(&self, id: SynopsisId, payload: &SynopsisPayload, pinned: bool) {
         let stored = to_stored(payload, pinned);
-        self.warehouse.write().insert(id, stored);
+        let mut buffer = self.inner.buffer.write();
+        let mut warehouse = self.inner.warehouse.write();
+        let displaced = buffer.remove(id);
+        let replaced = warehouse.insert(id, stored);
+        drop(warehouse);
+        drop(buffer);
+        self.inner.bury_if_leased(id, displaced, SynopsisLocation::Buffer);
+        self.inner
+            .bury_if_leased(id, replaced, SynopsisLocation::Warehouse);
     }
 
-    /// Move a synopsis from the buffer to the warehouse, if present.
+    /// Move a synopsis from the buffer to the warehouse, if present. Both
+    /// tier locks are held for the move so the entry is never in limbo.
     pub fn promote_to_warehouse(&self, id: SynopsisId) -> bool {
-        let Some(stored) = self.buffer.write().remove(id) else {
+        let mut buffer = self.inner.buffer.write();
+        let mut warehouse = self.inner.warehouse.write();
+        let Some(stored) = buffer.remove(id) else {
             return false;
         };
-        self.warehouse.write().insert(id, stored);
+        let replaced = warehouse.insert(id, stored);
+        drop(warehouse);
+        drop(buffer);
+        self.inner
+            .bury_if_leased(id, replaced, SynopsisLocation::Warehouse);
         true
     }
 
     /// Remove a synopsis from wherever it lives. Pinned synopses are never
-    /// removed (returns `false`).
+    /// removed (returns `false`). A leased synopsis is removed *logically* —
+    /// it stops being matched, listed or counted against quotas — but its
+    /// payload stays readable until the last lease drops.
     pub fn evict(&self, id: SynopsisId) -> bool {
-        {
-            let mut buffer = self.buffer.write();
+        let (removed, from) = {
+            let mut buffer = self.inner.buffer.write();
             if let Some(e) = buffer.entries.get(&id) {
                 if e.pinned {
                     return false;
                 }
-                buffer.remove(id);
-                return true;
+                (buffer.remove(id), SynopsisLocation::Buffer)
+            } else {
+                drop(buffer);
+                let mut warehouse = self.inner.warehouse.write();
+                match warehouse.entries.get(&id) {
+                    Some(e) if e.pinned => return false,
+                    Some(_) => (warehouse.remove(id), SynopsisLocation::Warehouse),
+                    None => return false,
+                }
             }
-        }
-        let mut warehouse = self.warehouse.write();
-        if let Some(e) = warehouse.entries.get(&id) {
-            if e.pinned {
-                return false;
-            }
-            warehouse.remove(id);
-            return true;
-        }
-        false
+        };
+        self.inner.bury_if_leased(id, removed, from);
+        true
     }
 
     /// `true` if the buffer is over its quota.
     pub fn buffer_over_quota(&self) -> bool {
-        let b = self.buffer.read();
+        let b = self.inner.buffer.read();
         b.used_bytes > b.quota_bytes
     }
 
     /// `true` if the warehouse is over its quota.
     pub fn warehouse_over_quota(&self) -> bool {
-        let w = self.warehouse.read();
+        let w = self.inner.warehouse.read();
         w.used_bytes > w.quota_bytes
     }
 
     /// Free warehouse space (in bytes) still available under the quota.
     pub fn warehouse_free_bytes(&self) -> usize {
-        let w = self.warehouse.read();
+        let w = self.inner.warehouse.read();
         w.quota_bytes.saturating_sub(w.used_bytes)
     }
 }
@@ -245,24 +466,46 @@ fn to_stored(payload: &SynopsisPayload, pinned: bool) -> Stored {
 }
 
 impl SynopsisProvider for SynopsisStore {
+    /// Resolve a sample by id. Logically evicted entries still resolve (via
+    /// the graveyard, charged at the tier they lived in): a lease holder
+    /// executing an already-planned query must be able to read the payload.
+    /// Both tier locks are read simultaneously, like
+    /// [`location`](SynopsisStore::location).
     fn sample(&self, id: u64) -> Option<(Arc<WeightedSample>, SynopsisLocation)> {
-        if let Some(s) = self.buffer.read().entries.get(&id) {
-            return s.sample.clone().map(|s| (s, SynopsisLocation::Buffer));
+        {
+            let buffer = self.inner.buffer.read();
+            let warehouse = self.inner.warehouse.read();
+            if let Some(sample) = buffer.entries.get(&id).and_then(|s| s.sample.clone()) {
+                return Some((sample, SynopsisLocation::Buffer));
+            }
+            if let Some(sample) = warehouse.entries.get(&id).and_then(|s| s.sample.clone()) {
+                return Some((sample, SynopsisLocation::Warehouse));
+            }
         }
-        if let Some(s) = self.warehouse.read().entries.get(&id) {
-            return s.sample.clone().map(|s| (s, SynopsisLocation::Warehouse));
-        }
-        None
+        self.inner
+            .graveyard
+            .lock()
+            .get(&id)
+            .and_then(|(s, loc)| s.sample.clone().map(|sample| (sample, *loc)))
     }
 
+    /// Resolve a sketch by id (graveyard included, see [`Self::sample`]).
     fn sketch(&self, id: u64) -> Option<(Arc<SketchJoin>, SynopsisLocation)> {
-        if let Some(s) = self.buffer.read().entries.get(&id) {
-            return s.sketch.clone().map(|s| (s, SynopsisLocation::Buffer));
+        {
+            let buffer = self.inner.buffer.read();
+            let warehouse = self.inner.warehouse.read();
+            if let Some(sketch) = buffer.entries.get(&id).and_then(|s| s.sketch.clone()) {
+                return Some((sketch, SynopsisLocation::Buffer));
+            }
+            if let Some(sketch) = warehouse.entries.get(&id).and_then(|s| s.sketch.clone()) {
+                return Some((sketch, SynopsisLocation::Warehouse));
+            }
         }
-        if let Some(s) = self.warehouse.read().entries.get(&id) {
-            return s.sketch.clone().map(|s| (s, SynopsisLocation::Warehouse));
-        }
-        None
+        self.inner
+            .graveyard
+            .lock()
+            .get(&id)
+            .and_then(|(s, loc)| s.sketch.clone().map(|sketch| (sketch, *loc)))
     }
 }
 
@@ -336,5 +579,177 @@ mod tests {
         assert_eq!(store.materialized_ids(), vec![1, 3]);
         assert!(store.size_of(3).unwrap() > 0);
         assert!(store.size_of(99).is_none());
+    }
+
+    #[test]
+    fn tiers_are_exclusive_on_insert() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let payload = sample_payload(10);
+        let bytes = match &payload {
+            SynopsisPayload::Sample(s) => s.size_bytes(),
+            SynopsisPayload::Sketch(s) => s.size_bytes(),
+        };
+        // Warehouse copy first, then re-insert into the buffer: exactly one
+        // copy and one tier's worth of bytes must remain.
+        store.insert_into_warehouse(7, &payload, false);
+        store.insert_into_buffer(7, &payload, false);
+        let usage = store.usage();
+        assert_eq!(usage.warehouse_count, 0, "warehouse copy must be removed");
+        assert_eq!(usage.warehouse_bytes, 0);
+        assert_eq!(usage.buffer_count, 1);
+        assert_eq!(usage.buffer_bytes, bytes);
+        assert_eq!(store.location(7), Some(SynopsisLocation::Buffer));
+        // And the other way around.
+        store.insert_into_warehouse(7, &payload, false);
+        let usage = store.usage();
+        assert_eq!(usage.buffer_count, 0);
+        assert_eq!(usage.buffer_bytes, 0);
+        assert_eq!(usage.warehouse_count, 1);
+        assert_eq!(usage.warehouse_bytes, bytes);
+        // A single evict removes the id entirely.
+        assert!(store.evict(7));
+        assert_eq!(store.location(7), None);
+        assert_eq!(store.usage().warehouse_bytes, 0);
+    }
+
+    #[test]
+    fn reinserting_same_tier_does_not_double_count() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_buffer(4, &sample_payload(10), false);
+        let once = store.usage().buffer_bytes;
+        store.insert_into_buffer(4, &sample_payload(10), false);
+        assert_eq!(store.usage().buffer_bytes, once);
+        assert_eq!(store.usage().buffer_count, 1);
+    }
+
+    #[test]
+    fn leased_synopsis_survives_eviction_until_release() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_buffer(9, &sample_payload(20), false);
+        let lease = store.lease(9).expect("materialized synopsis is leasable");
+        assert_eq!(lease.id(), 9);
+        assert!(lease.sample().is_some());
+        assert!(lease.sketch().is_none());
+
+        // Eviction succeeds logically: the synopsis disappears from
+        // locations, listings and byte accounting ...
+        assert!(store.evict(9));
+        assert_eq!(store.location(9), None);
+        assert!(store.materialized_ids().is_empty());
+        assert_eq!(store.usage().buffer_bytes, 0);
+        assert!(store.size_of(9).is_none());
+        assert!(store.lease(9).is_none(), "evicted entries are not leasable");
+        // ... but the payload stays readable for the lease holder, charged
+        // at the tier it lived in.
+        let (_, loc) = store.sample(9).expect("graveyard read");
+        assert_eq!(loc, SynopsisLocation::Buffer);
+        // A second evict is a no-op: the entry is already logically gone.
+        assert!(!store.evict(9));
+
+        // Cloned leases keep it alive too.
+        let lease2 = lease.clone();
+        drop(lease);
+        assert!(store.sample(9).is_some());
+        drop(lease2);
+        assert!(store.sample(9).is_none(), "last lease drop reaps the entry");
+    }
+
+    #[test]
+    fn lease_released_without_eviction_leaves_entry_live() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_warehouse(3, &sample_payload(5), false);
+        let lease = store.lease(3).unwrap();
+        drop(lease);
+        assert_eq!(store.location(3), Some(SynopsisLocation::Warehouse));
+        assert!(store.evict(3));
+        assert!(store.sample(3).is_none());
+    }
+
+    #[test]
+    fn lease_follows_promotion_between_tiers() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_buffer(11, &sample_payload(8), false);
+        let lease = store.lease(11).unwrap();
+        assert!(store.promote_to_warehouse(11));
+        // Evicting after the move still defers removal to the lease.
+        assert!(store.evict(11));
+        assert!(store.sample(11).is_some());
+        assert_eq!(store.usage().warehouse_bytes, 0);
+        drop(lease);
+        assert!(store.sample(11).is_none());
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_while_leased() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_warehouse(6, &sample_payload(4), true);
+        let lease = store.lease(6).unwrap();
+        assert!(!store.evict(6), "pinned synopses are never evicted");
+        drop(lease);
+        assert!(store.sample(6).is_some());
+        assert_eq!(store.location(6), Some(SynopsisLocation::Warehouse));
+    }
+
+    /// A lease pins the *payload matched at plan time*: re-materializing the
+    /// same id (same fingerprint, new build) must not change what the lease
+    /// holder reads, and releases must never reap the live replacement.
+    #[test]
+    fn lease_snapshot_survives_rematerialization_of_same_id() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_warehouse(5, &sample_payload(10), false);
+        let lease = store.lease(5).unwrap();
+        let (snap, _) = lease.sample().unwrap();
+        assert_eq!(snap.len(), 10);
+
+        // Tuner evicts the leased copy, then a concurrent build re-creates
+        // the id with a different payload.
+        assert!(store.evict(5));
+        store.insert_into_buffer(5, &sample_payload(20), false);
+        assert_eq!(store.location(5), Some(SynopsisLocation::Buffer));
+
+        // The lease still serves its own snapshot ...
+        let (snap2, _) = lease.sample().unwrap();
+        assert_eq!(snap2.len(), 10, "lease must pin the matched payload");
+        // ... while by-id provider reads resolve to the live replacement.
+        let (live, _) = store.sample(5).unwrap();
+        assert_eq!(live.len(), 20);
+
+        // A second lease on the live copy, then both drop: the live entry
+        // must survive, only the graveyard copy is reaped.
+        let lease_live = store.lease(5).unwrap();
+        drop(lease);
+        drop(lease_live);
+        let (live, _) = store.sample(5).unwrap();
+        assert_eq!(live.len(), 20, "live replacement must not be reaped");
+        assert_eq!(store.location(5), Some(SynopsisLocation::Buffer));
+    }
+
+    /// Re-inserting over a *live* leased copy (same tier) parks the displaced
+    /// payload for the lease instead of dropping it.
+    #[test]
+    fn reinsert_over_leased_copy_parks_old_payload() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_buffer(8, &sample_payload(10), false);
+        let lease = store.lease(8).unwrap();
+        store.insert_into_buffer(8, &sample_payload(30), false);
+        let (snap, _) = lease.sample().unwrap();
+        assert_eq!(snap.len(), 10, "lease snapshot unaffected by re-insert");
+        assert_eq!(store.usage().buffer_count, 1, "one live copy");
+        drop(lease);
+        let (live, _) = store.sample(8).unwrap();
+        assert_eq!(live.len(), 30);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let handle = store.clone();
+        handle.insert_into_buffer(1, &sample_payload(3), false);
+        assert_eq!(store.location(1), Some(SynopsisLocation::Buffer));
+        let lease = store.lease(1).unwrap();
+        assert!(handle.evict(1));
+        assert!(handle.sample(1).is_some());
+        drop(lease);
+        assert!(store.sample(1).is_none());
     }
 }

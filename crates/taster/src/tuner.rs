@@ -170,6 +170,48 @@ impl Tuner {
             .collect()
     }
 
+    /// Materialized, unpinned synopses in **ascending usefulness** order —
+    /// the order in which fallback eviction (storage elasticity shrinking the
+    /// quota below what the keep-set needs) should proceed, least useful
+    /// first.
+    ///
+    /// Usefulness is the benefit-per-byte the synopsis alone delivers over
+    /// the tuner's current window (the same gain the greedy selection
+    /// optimizes, restricted to a singleton set); ties break by id,
+    /// ascending, so the order is deterministic.
+    pub fn usefulness_order(
+        &self,
+        metadata: &MetadataStore,
+        store: &SynopsisStore,
+    ) -> Vec<SynopsisId> {
+        let recent: Vec<&QueryRecord> = metadata.recent_queries(self.window);
+        let mut scored: Vec<(f64, SynopsisId)> = store
+            .materialized_ids()
+            .into_iter()
+            .filter(|id| {
+                metadata
+                    .get(*id)
+                    .map(|m| !m.descriptor.pinned)
+                    .unwrap_or(true)
+            })
+            .map(|id| {
+                let gain: f64 = recent.iter().map(|q| q.gain_given(&|s| s == id)).sum();
+                let bytes = store
+                    .size_of(id)
+                    .or_else(|| metadata.get(id).map(|m| m.size_bytes()))
+                    .unwrap_or(1)
+                    .max(1);
+                (gain / bytes as f64, id)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.into_iter().map(|(_, id)| id).collect()
+    }
+
     /// Periodically (every `w` queries) check whether a smaller or larger
     /// window would have produced a better synopsis set for the most recent
     /// queries, and adopt it.
@@ -476,6 +518,7 @@ mod tests {
                 future_cost_ns: 20.0,
                 future_plan: None,
                 description: "create".into(),
+                leases: vec![],
             }],
         };
 

@@ -19,7 +19,7 @@ fn main() {
         seed: 5,
     });
     let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
 
     // Offline phase driven by the hint.
     let report = taster

@@ -28,7 +28,7 @@ fn main() {
     let queries = epoch_sequence(&workload, &phases, 8, 99);
 
     let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
 
     let mut phase_time = vec![0.0f64; phases.len()];
     for (i, q) in queries.iter().enumerate() {

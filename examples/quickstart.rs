@@ -24,7 +24,7 @@ fn main() {
 
     // 2. Start Taster with a storage budget of 50% of the dataset.
     let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
 
     // 3. Ask an approximate question. The first execution samples the table
     //    online (it still scans it once) and materializes the sample.

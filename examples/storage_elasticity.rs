@@ -17,7 +17,7 @@ fn main() {
     let queries = random_sequence(&tpch::workload(), 60, 4);
 
     let config = TasterConfig::with_budget_fraction(dataset_bytes, 0.2);
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
 
     for (phase, fraction) in [0.2f64, 1.0, 0.1].into_iter().enumerate() {
         let budget = (dataset_bytes as f64 * fraction) as usize;

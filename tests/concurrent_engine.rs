@@ -1,0 +1,211 @@
+//! Concurrent soak test for the multi-session [`TasterEngine`].
+//!
+//! N threads share ONE engine (`execute_sql` takes `&self`) and hammer it
+//! with a fixed workload under a fixed seed schedule. Because every query of
+//! a template runs with the same pinned seed, a query's result is independent
+//! of thread interleaving: whichever session builds the template's synopsis
+//! builds the identical sample, and reuse plans aggregate the identical rows.
+//! The soak therefore checks the concurrent run **query-for-query** against a
+//! serial run of the same schedule — any synopsis-lifetime race (a tuner
+//! evicting a matched synopsis out from under an in-flight plan) would
+//! surface as an execution error or a diverging result.
+
+use std::sync::Arc;
+
+use taster_repro::storage::{batch::BatchBuilder, Catalog, Table};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+/// Approximable template: builds (then reuses) a distinct sample of `orders`.
+const APPROX_Q: &str =
+    "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+/// Exact template over the dimension table (no sample can satisfy it, so the
+/// tuner always picks the exact plan) — exercises the loop's exact path
+/// concurrently with the synopsis path.
+const EXACT_Q: &str = "SELECT c_region, COUNT(*) FROM customer GROUP BY c_region";
+
+/// One seed per template: every instance of a template samples identically,
+/// which is what makes the workload order-insensitive.
+const APPROX_SEED: u64 = 0xdead_beef_cafe;
+
+const THREADS: usize = 4;
+const QUERIES_PER_THREAD: usize = 8;
+
+fn catalog(rows: usize) -> Arc<Catalog> {
+    let cat = Catalog::new();
+    let orders = BatchBuilder::new()
+        .column("o_id", (0..rows as i64).collect::<Vec<_>>())
+        .column("o_cust", (0..rows as i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..rows as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column(
+            "o_price",
+            (0..rows).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("orders", orders, 8).unwrap());
+    let cust = BatchBuilder::new()
+        .column("c_id", (0..100i64).collect::<Vec<_>>())
+        .column("c_region", (0..100i64).map(|i| i % 4).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("customer", cust, 1).unwrap());
+    Arc::new(cat)
+}
+
+fn engine() -> TasterEngine {
+    let cat = catalog(50_000);
+    let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+    TasterEngine::new(cat, config)
+}
+
+/// A query result flattened to comparable form: sorted `(group key, values)`.
+type FlatResult = Vec<(String, Vec<f64>)>;
+
+fn run_one(engine: &TasterEngine, sql: &str, seed: u64) -> FlatResult {
+    let res = engine
+        .execute_sql_seeded(sql, seed)
+        .expect("query must not fail, even when its synopsis is evicted mid-flight");
+    let mut flat: FlatResult = res
+        .result
+        .groups
+        .iter()
+        .map(|g| {
+            (
+                format!("{:?}", g.key),
+                g.aggregates.iter().map(|a| a.value).collect(),
+            )
+        })
+        .collect();
+    flat.sort_by(|a, b| a.0.cmp(&b.0));
+    flat
+}
+
+/// The per-thread schedule: alternating approximate and exact templates.
+fn schedule() -> Vec<(&'static str, u64)> {
+    (0..QUERIES_PER_THREAD)
+        .map(|i| {
+            if i % 2 == 0 {
+                (APPROX_Q, APPROX_SEED)
+            } else {
+                (EXACT_Q, APPROX_SEED + 1)
+            }
+        })
+        .collect()
+}
+
+/// Serial reference: the same schedule on a fresh engine, single-threaded.
+/// Returns one reference result per template (and asserts the serial run
+/// itself is internally consistent: every instance of a template agrees).
+fn serial_reference() -> (FlatResult, FlatResult) {
+    let eng = engine();
+    let mut approx_ref: Option<FlatResult> = None;
+    let mut exact_ref: Option<FlatResult> = None;
+    for _ in 0..THREADS {
+        for (sql, seed) in schedule() {
+            let flat = run_one(&eng, sql, seed);
+            let slot = if sql == APPROX_Q {
+                &mut approx_ref
+            } else {
+                &mut exact_ref
+            };
+            match slot {
+                Some(prev) => assert_eq!(
+                    prev, &flat,
+                    "serial run must be internally deterministic for {sql}"
+                ),
+                None => *slot = Some(flat),
+            }
+        }
+    }
+    (approx_ref.unwrap(), exact_ref.unwrap())
+}
+
+fn concurrent_run(approx_ref: &FlatResult, exact_ref: &FlatResult) {
+    let eng = engine();
+    std::thread::scope(|scope| {
+        let eng = &eng;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    for (sql, seed) in schedule() {
+                        let flat = run_one(eng, sql, seed);
+                        let expect = if sql == APPROX_Q { approx_ref } else { exact_ref };
+                        assert_eq!(
+                            &flat, expect,
+                            "concurrent result diverged from the serial run for {sql}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("session thread must not panic");
+        }
+    });
+
+    // Post-soak store invariants: no tier over quota (manage_buffer ran after
+    // every query), byte accounting matches the live entries, and the
+    // approximate template's synopsis is still materialized for reuse.
+    let usage = eng.store().usage();
+    assert!(
+        usage.buffer_bytes <= usage.buffer_quota,
+        "buffer over quota after soak: {usage:?}"
+    );
+    assert!(
+        usage.warehouse_bytes <= usage.warehouse_quota,
+        "warehouse over quota after soak: {usage:?}"
+    );
+    let ids = eng.store().materialized_ids();
+    assert_eq!(
+        ids.len(),
+        usage.buffer_count + usage.warehouse_count,
+        "id listing and tier counts must agree: {ids:?} vs {usage:?}"
+    );
+    let accounted: usize = ids
+        .iter()
+        .filter_map(|&id| eng.store().size_of(id))
+        .sum();
+    assert_eq!(
+        accounted,
+        usage.buffer_bytes + usage.warehouse_bytes,
+        "byte accounting must match the live entries (no double counting)"
+    );
+    assert!(
+        !ids.is_empty(),
+        "the reused synopsis must still be materialized"
+    );
+}
+
+#[test]
+fn concurrent_soak_matches_serial_run_query_for_query() {
+    let (approx_ref, exact_ref) = serial_reference();
+    assert!(!approx_ref.is_empty() && !exact_ref.is_empty());
+    // Two independent concurrent soaks: the run must be deterministic, not
+    // just correct once.
+    concurrent_run(&approx_ref, &exact_ref);
+    concurrent_run(&approx_ref, &exact_ref);
+}
+
+/// The engine's own seed schedule (`execute_sql`) admits queries atomically:
+/// a concurrent burst consumes exactly one seed slot per query and the
+/// counter never loses an increment.
+#[test]
+fn seed_schedule_slots_are_unique_under_contention() {
+    let eng = engine();
+    std::thread::scope(|scope| {
+        let eng = &eng;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        eng.execute_sql(EXACT_Q).expect("query runs");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert_eq!(eng.queries_executed(), (THREADS * 3) as u64);
+}

@@ -18,7 +18,7 @@ fn taster_results_match_exact_within_requested_error() {
     let catalog = small_catalog();
     let baseline = BaselineEngine::new(catalog.clone());
     let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 1.0);
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
 
     let queries = random_sequence(&tpch::workload(), 25, 7);
     let mut approx_queries = 0;
@@ -48,7 +48,7 @@ fn taster_results_match_exact_within_requested_error() {
 fn taster_reuses_synopses_across_a_workload() {
     let catalog = small_catalog();
     let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 1.0);
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
 
     let queries = random_sequence(&tpch::workload(), 40, 11);
     let mut reuse_count = 0;
@@ -86,7 +86,7 @@ fn taster_outperforms_quickr_on_repetitive_workloads() {
     }
 
     let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 1.0);
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
     let mut taster_total = 0.0;
     for q in &queries {
         taster_total += taster.execute_sql(&q.sql).expect("taster runs").simulated_secs;
@@ -107,7 +107,7 @@ fn storage_budget_is_respected_throughout_a_run() {
         buffer_quota_bytes: budget / 4,
         ..TasterConfig::default()
     };
-    let mut taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog, config);
     for q in random_sequence(&tpch::workload(), 30, 19) {
         taster.execute_sql(&q.sql).expect("taster runs");
         let usage = taster.store().usage();

@@ -60,7 +60,7 @@ fn approximate_group_by_is_unbiased_and_complete() {
         let exact = execute(&exact_plan, &ExecutionContext::new(cat.clone())).unwrap();
 
         let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
-        let mut taster = TasterEngine::new(cat, config);
+        let taster = TasterEngine::new(cat, config);
         // Run twice: the second execution exercises the reuse path.
         let _ = taster.execute_sql(sql).unwrap();
         let approx = taster.execute_sql(sql).unwrap();
@@ -90,7 +90,7 @@ fn warehouse_quota_is_invariant() {
             buffer_quota_bytes: budget / 2 + 1,
             ..TasterConfig::default()
         };
-        let mut taster = TasterEngine::new(cat, config);
+        let taster = TasterEngine::new(cat, config);
         for q in [
             "SELECT f_group, AVG(f_value) FROM facts GROUP BY f_group",
             "SELECT f_group, SUM(f_value) FROM facts GROUP BY f_group",
