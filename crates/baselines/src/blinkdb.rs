@@ -184,6 +184,11 @@ impl BlinkDbEngine {
                 stratification: strat,
                 accuracy: query.accuracy(),
                 min_probability: 0.0,
+                // BlinkDB's offline samples are built once over a static
+                // snapshot; the baseline does not model ingestion, so any
+                // staleness is tolerated.
+                table_rows: 0,
+                max_staleness: f64::INFINITY,
             };
             match find_sample_match(&self.metadata, &self.store, &requirement) {
                 Some(lease) => {

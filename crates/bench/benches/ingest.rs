@@ -1,0 +1,133 @@
+//! Micro-benchmarks of the online-ingestion path:
+//!
+//! * `append/*` — `Table::append` throughput for chunked appends, with and
+//!   without zone maps resident (the zones-resident leg pays the incremental
+//!   widening, the cold leg defers zone work to the first pruning scan).
+//! * `refresh/*` — incrementally absorbing an appended delta into an
+//!   existing synopsis vs rebuilding it from scratch over the concatenated
+//!   table: the sketch-join and the uniform sample, at a 10% delta. The
+//!   incremental legs should cost ~the delta fraction of the rebuild legs.
+//!
+//! Run `TASTER_CRITERION_JSON=crates/bench/baselines/ingest.json cargo bench
+//! -p taster-bench --bench ingest` to refresh the checked-in baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{RecordBatch, Table};
+use taster_synopses::{SketchJoin, UniformSampler};
+
+const BASE_ROWS: usize = 1_000_000;
+const DELTA_ROWS: usize = 100_000;
+const CHUNK_ROWS: usize = 10_000;
+
+fn rows(lo: usize, hi: usize) -> RecordBatch {
+    BatchBuilder::new()
+        .column("k", (lo as i64..hi as i64).map(|i| i % 1_000).collect::<Vec<_>>())
+        .column("v", (lo..hi).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+}
+
+fn bench_append(c: &mut Criterion) {
+    let delta_chunks: Vec<RecordBatch> = (0..DELTA_ROWS / CHUNK_ROWS)
+        .map(|i| rows(BASE_ROWS + i * CHUNK_ROWS, BASE_ROWS + (i + 1) * CHUNK_ROWS))
+        .collect();
+
+    let mut group = c.benchmark_group("append");
+    group.bench_function("chunked_100k_zones_cold", |b| {
+        b.iter_batched(
+            || Table::from_batch("t", rows(0, BASE_ROWS), 16).unwrap(),
+            |table| {
+                for chunk in &delta_chunks {
+                    black_box(table.append(chunk).unwrap());
+                }
+                table
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("chunked_100k_zones_resident", |b| {
+        b.iter_batched(
+            || {
+                let table = Table::from_batch("t", rows(0, BASE_ROWS), 16).unwrap();
+                let _ = table.snapshot().zones(); // force residency
+                table
+            },
+            |table| {
+                for chunk in &delta_chunks {
+                    black_box(table.append(chunk).unwrap());
+                }
+                table
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let base = rows(0, BASE_ROWS);
+    let delta = rows(BASE_ROWS, BASE_ROWS + DELTA_ROWS);
+    let whole = {
+        let mut w = base.clone();
+        w.append(&delta).unwrap();
+        w
+    };
+
+    let mut group = c.benchmark_group("refresh");
+
+    let built = SketchJoin::build(
+        std::slice::from_ref(&base),
+        vec!["k".into()],
+        Some("v".into()),
+        0.001,
+        0.01,
+    )
+    .unwrap();
+    group.bench_function("sketch_incremental_10pct", |b| {
+        b.iter_batched(
+            || built.clone(),
+            |mut sk| {
+                sk.add_batch(&delta).unwrap();
+                sk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("sketch_rebuild", |b| {
+        b.iter(|| {
+            black_box(
+                SketchJoin::build(
+                    std::slice::from_ref(&whole),
+                    vec!["k".into()],
+                    Some("v".into()),
+                    0.001,
+                    0.01,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let sample = UniformSampler::new(0.1, 7).sample_batch(&base);
+    group.bench_function("uniform_incremental_10pct", |b| {
+        b.iter_batched(
+            || (UniformSampler::new(0.1, 9), sample.clone()),
+            |(mut sampler, mut sample)| {
+                sampler.update(&mut sample, &delta).unwrap();
+                sample
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("uniform_rebuild", |b| {
+        b.iter(|| black_box(UniformSampler::new(0.1, 7).sample_batch(&whole)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_refresh);
+criterion_main!(benches);

@@ -21,7 +21,21 @@ fn main() {
     let rows = env_usize("TASTER_BENCH_ROWS", 60_000);
     let queries = random_sequence(&tpch::workload(), num_queries, 888);
 
-    println!("Fig. 8 — cumulative execution time vs tuner window configuration");
+    // Report the dataset scale from the live table statistics, not from the
+    // requested row count: the generator clamps small scales, and tables can
+    // grow after load, so the stats are the only number guaranteed correct.
+    {
+        let catalog = tpch::generate(tpch::TpchScale {
+            lineitem_rows: rows,
+            partitions: 8,
+            seed: 42,
+        });
+        let li = catalog.table("lineitem").expect("registered");
+        println!(
+            "Fig. 8 — cumulative execution time vs tuner window configuration ({} lineitem rows per run, from Table stats)",
+            li.stats().row_count
+        );
+    }
     println!("{:<18} {:>20}", "configuration", "execution time (s)");
 
     let mut results = Vec::new();

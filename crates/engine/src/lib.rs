@@ -22,6 +22,8 @@
 //! * [`context`] — execution context carrying the catalog, the I/O model,
 //!   the synopsis provider and execution metrics.
 
+#![warn(missing_docs)]
+
 pub mod context;
 pub mod cost;
 pub mod error;

@@ -177,7 +177,12 @@ fn exec_scan(
     state: &mut ExecState,
 ) -> Result<RecordBatch, EngineError> {
     let table = ctx.catalog.table(table)?;
-    let partitions = table.partitions();
+    // One atomic snapshot: the partitions and the zone maps computed from
+    // exactly those partitions. Taking them in two separate calls could
+    // straddle a concurrent append and prune new data with stale bounds (or
+    // index zones that do not line up with the partition list).
+    let snapshot = table.snapshot();
+    let partitions = snapshot.partitions();
 
     // Validate filter column references up front: pruning may skip every
     // partition, and a malformed filter must error regardless of the data.
@@ -192,7 +197,7 @@ fn exec_scan(
     // rows/bytes are not charged to the scan metrics.
     let selected: Vec<usize> = match filter {
         Some(f) => {
-            let zones = table.zones();
+            let zones = snapshot.zones();
             (0..partitions.len())
                 .filter(|&i| !partition_cannot_match(f, &zones[i]))
                 .collect()
@@ -223,7 +228,7 @@ fn exec_scan(
 
     if filter.is_none() && proj_names.is_none() {
         // Pass-through scan: one pre-reserved copy, no per-partition clones.
-        let refs: Vec<&RecordBatch> = selected.iter().map(|&i| &partitions[i]).collect();
+        let refs: Vec<&RecordBatch> = selected.iter().map(|&i| partitions[i].as_ref()).collect();
         return Ok(RecordBatch::concat_refs(&refs)?);
     }
 
@@ -231,7 +236,7 @@ fn exec_scan(
     let threads = worker_threads(scanned_rows);
     let pieces: Vec<Result<RecordBatch, EngineError>> =
         parallel_map(selected.len(), threads, |k| {
-            let part = &partitions[selected[k]];
+            let part = partitions[selected[k]].as_ref();
             let mut batch = match filter {
                 Some(f) => {
                     let mask = f.evaluate_predicate(part)?;
@@ -334,10 +339,11 @@ fn resolve_sketch(
             value_column,
         } => {
             let t = ctx.catalog.table(table)?;
-            state.metrics.base_rows_scanned += t.num_rows();
-            state.metrics.base_bytes_scanned += t.size_bytes();
+            let snapshot = t.snapshot();
+            state.metrics.base_rows_scanned += snapshot.num_rows();
+            state.metrics.base_bytes_scanned += snapshot.size_bytes();
             let sk = SketchJoin::build(
-                t.partitions(),
+                snapshot.partitions(),
                 key_columns.clone(),
                 value_column.clone(),
                 0.0005,

@@ -16,6 +16,8 @@
 //!   rows-scanned into simulated scan time, independent of the laptop the
 //!   reproduction happens to run on.
 
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod catalog;
 pub mod column;

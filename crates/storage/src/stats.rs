@@ -80,30 +80,11 @@ impl TableStats {
 
     /// Compute statistics over a set of partitions (one streaming pass).
     pub fn compute(partitions: &[RecordBatch]) -> TableStats {
-        let mut row_count = 0;
-        let mut size_bytes = 0;
-        let mut per_column: HashMap<String, ColumnAccumulator> = HashMap::new();
-
+        let mut builder = TableStatsBuilder::new();
         for batch in partitions {
-            row_count += batch.num_rows();
-            size_bytes += batch.size_bytes();
-            for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
-                let acc = per_column
-                    .entry(field.name.clone())
-                    .or_insert_with(|| ColumnAccumulator::new(field.name.clone()));
-                acc.update(col);
-            }
+            builder.update(batch);
         }
-
-        let columns = per_column
-            .into_iter()
-            .map(|(name, acc)| (name, acc.finish()))
-            .collect();
-        TableStats {
-            row_count,
-            size_bytes,
-            columns,
-        }
+        builder.snapshot()
     }
 
     /// Statistics for one column, if present.
@@ -195,6 +176,18 @@ impl ColumnZone {
     pub fn contains(&self, value: &Value) -> bool {
         self.min.total_cmp(value).is_le() && self.max.total_cmp(value).is_ge()
     }
+
+    /// Widen this zone so it also covers `other` (append path: the zone of a
+    /// grown partition is the union of the old zone and the appended slice's
+    /// zone — no rescan of the existing rows).
+    pub fn widen(&mut self, other: &ColumnZone) {
+        if other.min.total_cmp(&self.min).is_lt() {
+            self.min = other.min.clone();
+        }
+        if other.max.total_cmp(&self.max).is_gt() {
+            self.max = other.max.clone();
+        }
+    }
 }
 
 /// Zone maps for one partition: per-column min/max plus the row count.
@@ -225,8 +218,77 @@ impl PartitionZones {
     pub fn column(&self, name: &str) -> Option<&ColumnZone> {
         self.columns.get(name)
     }
+
+    /// Extend these zones with the zones of a slice appended to the same
+    /// partition: per-column bounds widen, the row count grows. An empty
+    /// partition (no column zones) adopts the slice's zones wholesale.
+    pub fn extend_with(&mut self, appended: &PartitionZones) {
+        self.num_rows += appended.num_rows;
+        for (name, zone) in &appended.columns {
+            match self.columns.get_mut(name) {
+                Some(existing) => existing.widen(zone),
+                None => {
+                    self.columns.insert(name.clone(), zone.clone());
+                }
+            }
+        }
+    }
 }
 
+/// Streaming accumulator behind [`TableStats`]: retains the per-column
+/// frequency maps and moment sums so statistics can be **extended** with new
+/// rows instead of recomputed from scratch — the ingestion path feeds every
+/// appended batch through the table's resident builder
+/// (see [`crate::table::Table::stats`]).
+#[derive(Debug, Default)]
+pub struct TableStatsBuilder {
+    row_count: usize,
+    size_bytes: usize,
+    per_column: HashMap<String, ColumnAccumulator>,
+}
+
+impl TableStatsBuilder {
+    /// An empty builder (zero rows seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one batch into the statistics.
+    pub fn update(&mut self, batch: &RecordBatch) {
+        self.row_count += batch.num_rows();
+        self.size_bytes += batch.size_bytes();
+        for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
+            let acc = self
+                .per_column
+                .entry(field.name.clone())
+                .or_insert_with(|| ColumnAccumulator::new(field.name.clone()));
+            acc.update(col);
+        }
+    }
+
+    /// Total rows folded in so far — the resume point for incremental
+    /// catch-up after appends.
+    pub fn rows_seen(&self) -> usize {
+        self.row_count
+    }
+
+    /// Materialize the current statistics without consuming the builder, so
+    /// further batches can still be folded in later.
+    pub fn snapshot(&self) -> TableStats {
+        let columns = self
+            .per_column
+            .iter()
+            .map(|(name, acc)| (name.clone(), acc.stats()))
+            .collect();
+        TableStats {
+            row_count: self.row_count,
+            size_bytes: self.size_bytes,
+            columns,
+        }
+    }
+}
+
+#[derive(Debug)]
 struct ColumnAccumulator {
     name: String,
     frequencies: HashMap<Value, usize>,
@@ -276,7 +338,7 @@ impl ColumnAccumulator {
         }
     }
 
-    fn finish(self) -> ColumnStats {
+    fn stats(&self) -> ColumnStats {
         let max_frequency = self.frequencies.values().copied().max().unwrap_or(0);
         let min_frequency = self.frequencies.values().copied().min().unwrap_or(0);
         let (mean, variance) = if self.numeric && self.count > 0 {
@@ -287,10 +349,10 @@ impl ColumnAccumulator {
             (None, None)
         };
         ColumnStats {
-            name: self.name,
+            name: self.name.clone(),
             distinct_count: self.frequencies.len(),
-            min: self.min,
-            max: self.max,
+            min: self.min.clone(),
+            max: self.max.clone(),
             max_frequency,
             min_frequency,
             mean,
@@ -375,6 +437,51 @@ mod tests {
         let z = PartitionZones::compute(&empty);
         assert_eq!(z.num_rows, 0);
         assert!(z.columns.is_empty());
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch_recompute() {
+        let b = sample_batch();
+        let parts = crate::partition::split_batch(&b, 3);
+        let mut builder = TableStatsBuilder::new();
+        builder.update(&parts[0]);
+        let partial = builder.snapshot();
+        assert_eq!(partial.row_count, parts[0].num_rows());
+        // Folding in the remaining partitions must land exactly on the
+        // from-scratch statistics — snapshot() does not consume the builder.
+        builder.update(&parts[1]);
+        builder.update(&parts[2]);
+        assert_eq!(builder.rows_seen(), 6);
+        let incremental = builder.snapshot();
+        let scratch = TableStats::compute(&[b]);
+        assert_eq!(incremental.row_count, scratch.row_count);
+        assert_eq!(incremental.distinct_count("k"), scratch.distinct_count("k"));
+        assert_eq!(
+            incremental.column("v").unwrap().mean,
+            scratch.column("v").unwrap().mean
+        );
+        assert_eq!(
+            incremental.column("k").unwrap().max_frequency,
+            scratch.column("k").unwrap().max_frequency
+        );
+    }
+
+    #[test]
+    fn zone_widening_covers_appended_slice() {
+        let b = sample_batch();
+        let mut z = PartitionZones::compute(&b.slice(0, 3));
+        let tail = PartitionZones::compute(&b.slice(3, 3));
+        z.extend_with(&tail);
+        let whole = PartitionZones::compute(&b);
+        assert_eq!(z.num_rows, whole.num_rows);
+        for name in ["k", "v", "s"] {
+            assert_eq!(z.column(name), whole.column(name), "column {name}");
+        }
+        // An empty partition's zones adopt the appended slice wholesale.
+        let mut empty = PartitionZones::compute(&b.filter(&[false; 6]));
+        empty.extend_with(&whole);
+        assert_eq!(empty.column("k"), whole.column("k"));
+        assert_eq!(empty.num_rows, 6);
     }
 
     #[test]

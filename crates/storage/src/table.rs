@@ -1,49 +1,240 @@
-//! Partitioned tables.
+//! Partitioned tables with an online append path.
+//!
+//! A [`Table`] publishes its data as immutable [`TableSnapshot`]s: the
+//! partition list and the zone maps derived from exactly those partitions
+//! travel together, so a scan that prunes against a snapshot's zones can
+//! never disagree with the rows it reads. [`Table::append`] installs a new
+//! snapshot copy-on-write — partitions are `Arc`-shared, only the grown tail
+//! partition is rewritten — which makes appends safe to run concurrently
+//! with scans, samplers and synopsis builds holding older snapshots.
 
-use parking_lot::RwLock;
-use std::sync::Arc;
+use parking_lot::{Mutex, RwLock};
+use std::sync::{Arc, OnceLock};
 
 use crate::batch::RecordBatch;
 use crate::error::StorageError;
 use crate::partition::split_batch;
 use crate::schema::SchemaRef;
-use crate::stats::{PartitionZones, TableStats};
+use crate::stats::{PartitionZones, TableStats, TableStatsBuilder};
 
-/// A named, horizontally partitioned table.
+/// An immutable, internally consistent view of a table: the partitions plus
+/// the zone maps computed from exactly those partitions.
+///
+/// Snapshots are what scans, samplers and synopsis builders operate on; a
+/// concurrent [`Table::append`] publishes a *new* snapshot and never mutates
+/// one that has been handed out. Zone maps are computed lazily per snapshot
+/// (first pruning scan pays) and maintained incrementally across appends:
+/// when the parent snapshot had zones, the child widens the tail zone with
+/// the appended slice instead of rescanning.
+#[derive(Debug)]
+pub struct TableSnapshot {
+    schema: SchemaRef,
+    partitions: Vec<Arc<RecordBatch>>,
+    zones: OnceLock<Vec<PartitionZones>>,
+    version: u64,
+    num_rows: usize,
+    size_bytes: usize,
+}
+
+impl TableSnapshot {
+    fn new(schema: SchemaRef, partitions: Vec<Arc<RecordBatch>>, version: u64) -> Self {
+        let num_rows = partitions.iter().map(|p| p.num_rows()).sum();
+        let size_bytes = partitions.iter().map(|p| p.size_bytes()).sum();
+        Self {
+            schema,
+            partitions,
+            zones: OnceLock::new(),
+            version,
+            num_rows,
+            size_bytes,
+        }
+    }
+
+    /// The snapshot's partitions.
+    pub fn partitions(&self) -> &[Arc<RecordBatch>] {
+        &self.partitions
+    }
+
+    /// Zone maps for every partition, computed on first access and cached in
+    /// the snapshot. Always consistent with [`partitions`](Self::partitions):
+    /// both live in the same immutable snapshot.
+    pub fn zones(&self) -> &[PartitionZones] {
+        self.zones.get_or_init(|| {
+            self.partitions
+                .iter()
+                .map(|p| PartitionZones::compute(p))
+                .collect()
+        })
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total rows in the snapshot.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Monotonic snapshot version (bumped by every append).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The schema shared by all partitions.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// All rows concatenated into one batch.
+    pub fn to_batch(&self) -> Result<RecordBatch, StorageError> {
+        if self.partitions.is_empty() {
+            return Ok(RecordBatch::empty(self.schema.clone()));
+        }
+        let refs: Vec<&RecordBatch> = self.partitions.iter().map(|p| p.as_ref()).collect();
+        RecordBatch::concat_refs(&refs)
+    }
+
+    /// The rows at global positions `start..` as a sequence of batches
+    /// (partition suffixes). Because appends only ever extend the tail, the
+    /// global row order of a table is stable: position `k` refers to the same
+    /// row in every snapshot that contains it. This is the delta-read used by
+    /// incremental synopsis refresh and stats catch-up.
+    pub fn rows_from(&self, start: usize) -> Vec<RecordBatch> {
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        for p in &self.partitions {
+            let end = offset + p.num_rows();
+            if end > start {
+                if offset >= start {
+                    out.push(p.as_ref().clone());
+                } else {
+                    out.push(p.slice(start - offset, end - start));
+                }
+            }
+            offset = end;
+        }
+        out
+    }
+}
+
+/// What one [`Table::append`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Rows appended.
+    pub rows: usize,
+    /// `true` if the (unsealed) tail partition was extended in place.
+    pub extended_tail: bool,
+    /// Number of new partitions created for the overflow.
+    pub new_partitions: usize,
+    /// The snapshot version the append produced.
+    pub version: u64,
+}
+
+/// Cached statistics plus the streaming builder that produced them, so later
+/// appends only fold in the delta rows.
+#[derive(Debug)]
+struct StatsCache {
+    builder: TableStatsBuilder,
+    stats: Arc<TableStats>,
+    version: u64,
+}
+
+/// A named, horizontally partitioned table supporting online appends.
 ///
 /// Statistics are computed lazily on first access (mirroring Taster, which
 /// collects dataset statistics "during the first access to any table") and
-/// cached thereafter.
+/// maintained **incrementally** thereafter: an append does not invalidate the
+/// statistics wholesale, the resident [`TableStatsBuilder`] absorbs exactly
+/// the new rows on the next [`stats`](Table::stats) call.
+///
+/// # Examples
+///
+/// Appends extend the unsealed tail partition, seal overflow into new
+/// partitions, and bump the snapshot version — scans planned against an older
+/// snapshot keep reading exactly the rows they planned over:
+///
+/// ```
+/// use taster_storage::batch::BatchBuilder;
+/// use taster_storage::Table;
+///
+/// let seed = BatchBuilder::new()
+///     .column("id", (0..100i64).collect::<Vec<_>>())
+///     .build()
+///     .unwrap();
+/// // 4 partitions of 25 rows; partitions seal at 25 rows.
+/// let t = Table::from_batch("t", seed, 4).unwrap();
+/// let before = t.snapshot();
+///
+/// let more = BatchBuilder::new()
+///     .column("id", (100..160i64).collect::<Vec<_>>())
+///     .build()
+///     .unwrap();
+/// let report = t.append(&more).unwrap();
+/// assert_eq!(report.rows, 60);
+/// assert_eq!(report.new_partitions, 3); // 60 overflow rows → 3 × 25-row cap
+///
+/// assert_eq!(t.num_rows(), 160);
+/// assert_eq!(before.num_rows(), 100, "old snapshot is untouched");
+/// assert!(t.snapshot().version() > before.version());
+/// ```
 #[derive(Debug)]
 pub struct Table {
     name: String,
     schema: SchemaRef,
-    partitions: Vec<RecordBatch>,
-    stats: RwLock<Option<Arc<TableStats>>>,
-    zones: RwLock<Option<Arc<Vec<PartitionZones>>>>,
+    /// Rows at which a partition seals; appends extend the tail partition up
+    /// to this bound and then start new partitions.
+    seal_rows: usize,
+    current: RwLock<Arc<TableSnapshot>>,
+    /// Serializes appenders so the heavy work (tail clone, zone computation)
+    /// happens *outside* the `current` write lock: readers taking snapshots
+    /// only ever block on the final pointer swap.
+    append_lock: Mutex<()>,
+    stats: RwLock<Option<StatsCache>>,
 }
 
 impl Table {
+    fn build(
+        name: String,
+        schema: SchemaRef,
+        partitions: Vec<Arc<RecordBatch>>,
+        seal_rows: usize,
+    ) -> Self {
+        Self {
+            name,
+            schema: schema.clone(),
+            seal_rows: seal_rows.max(1),
+            current: RwLock::new(Arc::new(TableSnapshot::new(schema, partitions, 0))),
+            append_lock: Mutex::new(()),
+            stats: RwLock::new(None),
+        }
+    }
+
     /// Create a table from a single batch, splitting it into `partitions`
-    /// chunks (the distribution factor `D`).
+    /// chunks (the distribution factor `D`). Partitions seal at the resulting
+    /// chunk size, so appends keep roughly the same partition granularity.
     pub fn from_batch(
         name: impl Into<String>,
         batch: RecordBatch,
         partitions: usize,
     ) -> Result<Self, StorageError> {
         let schema = batch.schema().clone();
-        let parts = split_batch(&batch, partitions);
-        Ok(Self {
-            name: name.into(),
-            schema,
-            partitions: parts,
-            stats: RwLock::new(None),
-            zones: RwLock::new(None),
-        })
+        let seal_rows = batch.num_rows().div_ceil(partitions.max(1)).max(1);
+        let parts = split_batch(&batch, partitions)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        Ok(Self::build(name.into(), schema, parts, seal_rows))
     }
 
     /// Create a table directly from pre-built partitions (they must share a
-    /// schema).
+    /// schema). Partitions seal at the size of the largest one.
     pub fn from_partitions(
         name: impl Into<String>,
         partitions: Vec<RecordBatch>,
@@ -61,13 +252,17 @@ impl Table {
                 ));
             }
         }
-        Ok(Self {
-            name: name.into(),
-            schema,
-            partitions,
-            stats: RwLock::new(None),
-            zones: RwLock::new(None),
-        })
+        let seal_rows = partitions.iter().map(RecordBatch::num_rows).max().unwrap_or(1);
+        let parts = partitions.into_iter().map(Arc::new).collect();
+        Ok(Self::build(name.into(), schema, parts, seal_rows))
+    }
+
+    /// Create an empty, append-only table (one empty partition) for
+    /// pure-streaming ingestion. `seal_rows` is the partition size appends
+    /// fill up to before starting a new partition.
+    pub fn empty(name: impl Into<String>, schema: SchemaRef, seal_rows: usize) -> Self {
+        let parts = vec![Arc::new(RecordBatch::empty(schema.clone()))];
+        Self::build(name.into(), schema, parts, seal_rows)
     }
 
     /// Table name.
@@ -80,44 +275,159 @@ impl Table {
         &self.schema
     }
 
-    /// The table's partitions.
-    pub fn partitions(&self) -> &[RecordBatch] {
-        &self.partitions
+    /// The current snapshot: partitions and their zone maps, consistent with
+    /// each other. Readers that look at partitions *and* zones (e.g. a
+    /// pruning scan) must take one snapshot and use both sides of it — two
+    /// separate calls could straddle an append.
+    pub fn snapshot(&self) -> Arc<TableSnapshot> {
+        self.current.read().clone()
     }
 
-    /// Number of partitions (distribution factor `D`).
+    /// The partition seal size (rows) governing the append path.
+    pub fn seal_rows(&self) -> usize {
+        self.seal_rows
+    }
+
+    /// Current snapshot version (0 for a freshly created table; +1 per
+    /// append).
+    pub fn version(&self) -> u64 {
+        self.current.read().version()
+    }
+
+    /// Number of partitions (distribution factor `D`) in the current
+    /// snapshot.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.current.read().num_partitions()
     }
 
-    /// Total number of rows.
+    /// Total number of rows in the current snapshot.
     pub fn num_rows(&self) -> usize {
-        self.partitions.iter().map(RecordBatch::num_rows).sum()
+        self.current.read().num_rows()
     }
 
-    /// Approximate total size in bytes.
+    /// Approximate total size in bytes of the current snapshot.
     pub fn size_bytes(&self) -> usize {
-        self.partitions.iter().map(RecordBatch::size_bytes).sum()
+        self.current.read().size_bytes()
     }
 
     /// All rows concatenated into one batch (used by small dimension tables
     /// and by tests; fact tables are normally consumed partition-by-partition).
     pub fn to_batch(&self) -> Result<RecordBatch, StorageError> {
-        RecordBatch::concat(&self.partitions)
+        self.snapshot().to_batch()
     }
 
-    /// Table statistics, computed on first call and cached.
+    /// Append a batch of rows.
+    ///
+    /// The unsealed tail partition is extended up to
+    /// [`seal_rows`](Self::seal_rows); overflow rows seal into new partitions
+    /// of at most `seal_rows` rows each. Zone maps are maintained
+    /// incrementally — the grown tail's zone widens with the appended slice's
+    /// zone, new partitions get fresh zones — and the new (partitions, zones)
+    /// pair is published atomically as one snapshot, so a concurrent pruning
+    /// scan either sees the old data with the old zones or the new data with
+    /// the new zones, never a stale mix.
+    pub fn append(&self, batch: &RecordBatch) -> Result<AppendReport, StorageError> {
+        if batch.schema().as_ref() != self.schema.as_ref() {
+            return Err(StorageError::Invalid(format!(
+                "append to table '{}' with a different schema",
+                self.name
+            )));
+        }
+        // Appends serialize on their own mutex; the snapshot read below is
+        // therefore stable (only appenders replace it), and all the heavy
+        // work runs without holding the `current` write lock — readers block
+        // only on the final pointer swap.
+        let _appender = self.append_lock.lock();
+        let old = self.snapshot();
+        if batch.num_rows() == 0 {
+            return Ok(AppendReport {
+                rows: 0,
+                extended_tail: false,
+                new_partitions: 0,
+                version: old.version(),
+            });
+        }
+
+        let mut partitions = old.partitions.clone();
+        // Maintain zones only if the parent snapshot had computed them;
+        // otherwise the child recomputes lazily on first pruning scan.
+        let mut zones = old.zones.get().cloned();
+
+        let mut offset = 0usize;
+        let mut extended_tail = false;
+        if let Some(tail) = partitions.last() {
+            if tail.num_rows() < self.seal_rows {
+                let take = (self.seal_rows - tail.num_rows()).min(batch.num_rows());
+                let slice = batch.slice(0, take);
+                let mut grown = tail.as_ref().clone();
+                grown.append(&slice)?;
+                if let Some(zones) = zones.as_mut() {
+                    let slice_zones = PartitionZones::compute(&slice);
+                    zones
+                        .last_mut()
+                        .expect("zones track partitions 1:1")
+                        .extend_with(&slice_zones);
+                }
+                *partitions.last_mut().expect("tail exists") = Arc::new(grown);
+                offset = take;
+                extended_tail = true;
+            }
+        }
+        let mut new_partitions = 0usize;
+        while offset < batch.num_rows() {
+            let len = self.seal_rows.min(batch.num_rows() - offset);
+            let part = batch.slice(offset, len);
+            if let Some(zones) = zones.as_mut() {
+                zones.push(PartitionZones::compute(&part));
+            }
+            partitions.push(Arc::new(part));
+            offset += len;
+            new_partitions += 1;
+        }
+
+        let snap = TableSnapshot::new(self.schema.clone(), partitions, old.version() + 1);
+        if let Some(zones) = zones {
+            let _ = snap.zones.set(zones);
+        }
+        let version = snap.version();
+        *self.current.write() = Arc::new(snap);
+        Ok(AppendReport {
+            rows: batch.num_rows(),
+            extended_tail,
+            new_partitions,
+            version,
+        })
+    }
+
+    /// Table statistics, computed on first call and maintained incrementally:
+    /// after appends, only the not-yet-seen suffix of rows is folded into the
+    /// resident streaming builder (appends never rewrite existing row
+    /// positions, so the builder's `rows_seen` is a valid resume point).
     pub fn stats(&self) -> Arc<TableStats> {
-        if let Some(stats) = self.stats.read().as_ref() {
-            return stats.clone();
+        if let Some(cache) = self.stats.read().as_ref() {
+            if cache.version == self.current.read().version() {
+                return cache.stats.clone();
+            }
         }
         let mut guard = self.stats.write();
-        if let Some(stats) = guard.as_ref() {
-            return stats.clone();
+        // Re-take the snapshot *under* the write lock: a thread that raced
+        // in with an older snapshot must not fold a shorter suffix and move
+        // the cache version backwards (which would de-cache fresh stats and
+        // force re-materialization on every subsequent call).
+        let snap = self.snapshot();
+        let cache = guard.get_or_insert_with(|| StatsCache {
+            builder: TableStatsBuilder::new(),
+            stats: Arc::new(TableStats::compute(&[])),
+            version: u64::MAX,
+        });
+        if cache.version == u64::MAX || cache.version < snap.version() {
+            for delta in snap.rows_from(cache.builder.rows_seen()) {
+                cache.builder.update(&delta);
+            }
+            cache.stats = Arc::new(cache.builder.snapshot());
+            cache.version = snap.version();
         }
-        let stats = Arc::new(TableStats::compute(&self.partitions));
-        *guard = Some(stats.clone());
-        stats
+        cache.stats.clone()
     }
 
     /// `true` once statistics have been computed (used by tests asserting the
@@ -125,53 +435,35 @@ impl Table {
     pub fn stats_computed(&self) -> bool {
         self.stats.read().is_some()
     }
-
-    /// Per-partition zone maps (min/max per column), computed on first access
-    /// and cached. `exec_scan` consults these to skip partitions that cannot
-    /// satisfy a filter.
-    pub fn zones(&self) -> Arc<Vec<PartitionZones>> {
-        if let Some(zones) = self.zones.read().as_ref() {
-            return zones.clone();
-        }
-        let mut guard = self.zones.write();
-        if let Some(zones) = guard.as_ref() {
-            return zones.clone();
-        }
-        let zones = Arc::new(
-            self.partitions
-                .iter()
-                .map(PartitionZones::compute)
-                .collect::<Vec<_>>(),
-        );
-        *guard = Some(zones.clone());
-        zones
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::batch::BatchBuilder;
+    use crate::value::Value;
 
-    fn batch(n: usize) -> RecordBatch {
+    fn batch(range: std::ops::Range<i64>) -> RecordBatch {
         BatchBuilder::new()
-            .column("id", (0..n as i64).collect::<Vec<_>>())
-            .column("grp", (0..n as i64).map(|i| i % 5).collect::<Vec<_>>())
+            .column("id", range.clone().collect::<Vec<_>>())
+            .column("grp", range.map(|i| i % 5).collect::<Vec<_>>())
             .build()
             .unwrap()
     }
 
     #[test]
     fn from_batch_partitions_rows() {
-        let t = Table::from_batch("t", batch(100), 8).unwrap();
+        let t = Table::from_batch("t", batch(0..100), 8).unwrap();
         assert_eq!(t.num_partitions(), 8);
         assert_eq!(t.num_rows(), 100);
         assert_eq!(t.to_batch().unwrap().num_rows(), 100);
+        assert_eq!(t.seal_rows(), 13); // ceil(100 / 8)
+        assert_eq!(t.version(), 0);
     }
 
     #[test]
     fn stats_are_lazy_and_cached() {
-        let t = Table::from_batch("t", batch(50), 4).unwrap();
+        let t = Table::from_batch("t", batch(0..50), 4).unwrap();
         assert!(!t.stats_computed());
         let s1 = t.stats();
         assert!(t.stats_computed());
@@ -182,25 +474,152 @@ mod tests {
 
     #[test]
     fn zones_are_cached_and_reflect_contiguous_split() {
-        let t = Table::from_batch("t", batch(100), 4).unwrap();
-        let z1 = t.zones();
-        let z2 = t.zones();
-        assert!(Arc::ptr_eq(&z1, &z2));
-        assert_eq!(z1.len(), 4);
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        let snap = t.snapshot();
+        let z = snap.zones();
+        assert_eq!(z.len(), 4);
         // Contiguous split: partition 0 holds ids 0..25, partition 3 75..100.
-        use crate::value::Value;
-        assert_eq!(z1[0].column("id").unwrap().max, Value::Int(24));
-        assert_eq!(z1[3].column("id").unwrap().min, Value::Int(75));
+        assert_eq!(z[0].column("id").unwrap().max, Value::Int(24));
+        assert_eq!(z[3].column("id").unwrap().min, Value::Int(75));
+        // Second access hits the snapshot-cached zones (same allocation).
+        assert!(std::ptr::eq(z.as_ptr(), snap.zones().as_ptr()));
     }
 
     #[test]
     fn partitions_must_share_schema() {
-        let a = batch(10);
+        let a = batch(0..10);
         let b = BatchBuilder::new()
             .column("other", vec![1.0f64])
             .build()
             .unwrap();
         assert!(Table::from_partitions("t", vec![a, b]).is_err());
         assert!(Table::from_partitions("t", vec![]).is_err());
+    }
+
+    #[test]
+    fn append_extends_tail_then_seals_new_partitions() {
+        // 100 rows over 4 partitions => seal at 25, all partitions full.
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        let r = t.append(&batch(100..110)).unwrap();
+        assert_eq!(r.rows, 10);
+        assert!(!r.extended_tail, "full tail cannot be extended");
+        assert_eq!(r.new_partitions, 1);
+        assert_eq!(t.num_rows(), 110);
+        assert_eq!(t.num_partitions(), 5);
+
+        // The new tail has 10 of 25 rows: the next append extends it.
+        let r = t.append(&batch(110..140)).unwrap();
+        assert!(r.extended_tail);
+        assert_eq!(r.new_partitions, 1); // 15 rows into the tail, 15 sealed
+        assert_eq!(t.num_rows(), 140);
+        assert_eq!(t.num_partitions(), 6);
+        assert_eq!(t.version(), 2);
+
+        // Row order is append order: global positions are stable.
+        let all = t.to_batch().unwrap();
+        for i in 0..140 {
+            assert_eq!(all.row(i)[0], Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn append_rejects_schema_mismatch_and_ignores_empty() {
+        let t = Table::from_batch("t", batch(0..10), 2).unwrap();
+        let wrong = BatchBuilder::new()
+            .column("x", vec![1.0f64])
+            .build()
+            .unwrap();
+        assert!(t.append(&wrong).is_err());
+        let empty = batch(0..10).filter(&[false; 10]);
+        let r = t.append(&empty).unwrap();
+        assert_eq!(r.rows, 0);
+        assert_eq!(r.version, 0, "empty append does not bump the version");
+    }
+
+    #[test]
+    fn append_updates_zones_incrementally_and_atomically() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        // Force zone computation on the current snapshot.
+        assert_eq!(t.snapshot().zones().len(), 4);
+        t.append(&batch(100..130)).unwrap();
+        let snap = t.snapshot();
+        // The child snapshot inherited zones without recomputation (they were
+        // installed eagerly by the append): the tail zone covers the new ids.
+        assert!(snap.zones.get().is_some(), "append carried zones forward");
+        let z = snap.zones();
+        assert_eq!(z.len(), snap.num_partitions());
+        let tail = z.last().unwrap();
+        assert!(tail.column("id").unwrap().contains(&Value::Int(129)));
+        // Every row is covered by its partition's zone.
+        for (p, pz) in snap.partitions().iter().zip(z) {
+            assert_eq!(p.num_rows(), pz.num_rows);
+            for i in 0..p.num_rows() {
+                let v = p.row(i)[0].clone();
+                assert!(pz.column("id").unwrap().contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn old_snapshots_survive_appends_unchanged() {
+        let t = Table::from_batch("t", batch(0..40), 2).unwrap();
+        let before = t.snapshot();
+        t.append(&batch(40..80)).unwrap();
+        assert_eq!(before.num_rows(), 40);
+        assert_eq!(before.version(), 0);
+        assert_eq!(t.snapshot().num_rows(), 80);
+        // Untouched partitions are shared, not copied.
+        assert!(Arc::ptr_eq(
+            &before.partitions()[0],
+            &t.snapshot().partitions()[0]
+        ));
+    }
+
+    #[test]
+    fn stats_catch_up_incrementally_after_append() {
+        let t = Table::from_batch("t", batch(0..50), 4).unwrap();
+        let s1 = t.stats();
+        assert_eq!(s1.row_count, 50);
+        t.append(&batch(50..90)).unwrap();
+        let s2 = t.stats();
+        assert_eq!(s2.row_count, 90);
+        assert_eq!(s2.distinct_count("id"), 90);
+        // Matches a from-scratch computation over the grown table.
+        let scratch =
+            TableStats::compute(&[t.to_batch().unwrap()]);
+        assert_eq!(s2.distinct_count("grp"), scratch.distinct_count("grp"));
+        assert_eq!(
+            s2.column("id").unwrap().max,
+            scratch.column("id").unwrap().max
+        );
+    }
+
+    #[test]
+    fn rows_from_returns_exactly_the_suffix() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        t.append(&batch(100..130)).unwrap();
+        let snap = t.snapshot();
+        for start in [0usize, 10, 25, 99, 100, 115, 130] {
+            let suffix = snap.rows_from(start);
+            let rows: usize = suffix.iter().map(RecordBatch::num_rows).sum();
+            assert_eq!(rows, 130 - start, "start={start}");
+            if let Some(first) = suffix.first() {
+                assert_eq!(first.row(0)[0], Value::Int(start as i64));
+            }
+        }
+        assert!(snap.rows_from(130).is_empty());
+    }
+
+    #[test]
+    fn empty_table_accepts_streaming_appends() {
+        let schema = batch(0..1).schema().clone();
+        let t = Table::empty("stream", schema, 16);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.to_batch().unwrap().num_rows(), 0);
+        let r = t.append(&batch(0..40)).unwrap();
+        assert!(r.extended_tail, "empty tail partition is unsealed");
+        assert_eq!(t.num_rows(), 40);
+        assert_eq!(t.num_partitions(), 3); // 16 + 16 + 8
+        assert_eq!(t.stats().distinct_count("grp"), 5);
     }
 }

@@ -188,19 +188,66 @@ impl DistinctSampler {
     /// `Schema::empty()` sample used to poison downstream
     /// [`WeightedSample::merge`] calls against real-schema samples. Callers
     /// decide what an absent sample means.
-    pub fn sample_partitions(
+    pub fn sample_partitions<B: std::borrow::Borrow<RecordBatch>>(
         &mut self,
-        partitions: &[RecordBatch],
+        partitions: &[B],
     ) -> Result<Option<WeightedSample>, StorageError> {
         let mut out: Option<WeightedSample> = None;
         for p in partitions {
-            let s = self.sample_batch(p)?;
+            let s = self.sample_batch(p.borrow())?;
             match &mut out {
                 None => out = Some(s),
                 Some(acc) => acc.merge(&s)?,
             }
         }
         Ok(out)
+    }
+
+    /// Absorb a batch of **appended** rows into an existing sample
+    /// (incremental maintenance: the sampler streams over the delta only, no
+    /// rebuild over the old rows).
+    ///
+    /// The sampler is single-pass by construction, so feeding it the appended
+    /// rows continues exactly the stream it would have seen had the rows been
+    /// present at build time — *when the same sampler instance is kept*. A
+    /// **fresh** sampler instance (the refresh path, which has only the
+    /// materialized sample, not the build-time sketch state) re-guarantees δ
+    /// rows for every group it encounters in the delta: already-covered
+    /// groups may gain up to δ extra weight-1 rows, which keeps estimates
+    /// unbiased (those rows are retained with probability 1) and keeps the
+    /// coverage guarantee — a new group appearing only in the appended rows
+    /// gets its δ rows from the delta pass.
+    ///
+    /// ```
+    /// use taster_storage::batch::BatchBuilder;
+    /// use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
+    ///
+    /// let old = BatchBuilder::new()
+    ///     .column("grp", vec![1i64; 100])
+    ///     .build()
+    ///     .unwrap();
+    /// let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 3, 1e-9);
+    /// let mut sampler = DistinctSampler::new(cfg.clone(), 7);
+    /// let mut sample = sampler.sample_batch(&old).unwrap();
+    /// assert_eq!(sample.len(), 3); // δ rows of group 1
+    ///
+    /// // Appended rows introduce a brand-new group 2: a fresh maintenance
+    /// // pass (the refresh path) must cover it with δ rows too.
+    /// let delta = BatchBuilder::new()
+    ///     .column("grp", vec![2i64; 50])
+    ///     .build()
+    ///     .unwrap();
+    /// DistinctSampler::new(cfg, 8).update(&mut sample, &delta).unwrap();
+    /// assert_eq!(sample.len(), 6);
+    /// assert_eq!(sample.source_rows, 150);
+    /// ```
+    pub fn update(
+        &mut self,
+        sample: &mut WeightedSample,
+        batch: &RecordBatch,
+    ) -> Result<(), StorageError> {
+        let delta = self.sample_batch(batch)?;
+        sample.merge(&delta)
     }
 }
 
@@ -420,7 +467,7 @@ mod tests {
     fn zero_partitions_yield_explicit_none() {
         let cfg = DistinctSamplerConfig::new(vec!["grp".into()], 2, 0.5);
         let mut s = DistinctSampler::new(cfg, 0);
-        assert!(s.sample_partitions(&[]).unwrap().is_none());
+        assert!(s.sample_partitions::<RecordBatch>(&[]).unwrap().is_none());
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use fm::FmSketch;
 pub use heavy_hitters::{MinScanSpaceSaving, SketchKey, SpaceSaving};
 pub use sample::WeightedSample;
 pub use sketch_join::SketchJoin;
-pub use stratified::StratifiedSampler;
+pub use stratified::{StratifiedReservoir, StratifiedSampler};
 pub use uniform::UniformSampler;
 pub use variational::VariationalSample;
 

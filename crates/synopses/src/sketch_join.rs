@@ -65,6 +65,38 @@ impl SketchJoin {
     }
 
     /// Fold one batch of the summarized relation into the sketch.
+    ///
+    /// This is also the **incremental maintenance** path: count-min sketches
+    /// are order-insensitive linear summaries, so folding appended rows into
+    /// an existing sketch lands on *exactly* the sketch a from-scratch build
+    /// over the concatenated stream would produce.
+    ///
+    /// ```
+    /// use taster_storage::batch::BatchBuilder;
+    /// use taster_storage::Value;
+    /// use taster_synopses::SketchJoin;
+    ///
+    /// let chunk = |lo: i64, hi: i64| {
+    ///     BatchBuilder::new()
+    ///         .column("k", (lo..hi).map(|i| i % 10).collect::<Vec<_>>())
+    ///         .column("v", (lo..hi).map(|i| i as f64).collect::<Vec<_>>())
+    ///         .build()
+    ///         .unwrap()
+    /// };
+    ///
+    /// // Build over the first 1000 rows, then absorb an appended chunk.
+    /// let mut incremental =
+    ///     SketchJoin::build(&[chunk(0, 1000)], vec!["k".into()], Some("v".into()), 0.01, 0.01)
+    ///         .unwrap();
+    /// incremental.add_batch(&chunk(1000, 1500)).unwrap();
+    ///
+    /// // From-scratch build over the concatenated stream: identical probes.
+    /// let scratch =
+    ///     SketchJoin::build(&[chunk(0, 1500)], vec!["k".into()], Some("v".into()), 0.01, 0.01)
+    ///         .unwrap();
+    /// assert_eq!(incremental.probe(&[Value::Int(7)]), scratch.probe(&[Value::Int(7)]));
+    /// assert_eq!(incremental.rows_summarized(), 1500);
+    /// ```
     pub fn add_batch(&mut self, batch: &RecordBatch) -> Result<(), StorageError> {
         let key_cols: Vec<&taster_storage::ColumnData> = self
             .key_columns
@@ -91,9 +123,10 @@ impl SketchJoin {
         Ok(())
     }
 
-    /// Build a sketch-join over all partitions of a relation.
-    pub fn build(
-        partitions: &[RecordBatch],
+    /// Build a sketch-join over all partitions of a relation (owned or
+    /// `Arc`-shared).
+    pub fn build<B: std::borrow::Borrow<RecordBatch>>(
+        partitions: &[B],
         key_columns: Vec<String>,
         value_column: Option<String>,
         epsilon: f64,
@@ -101,7 +134,7 @@ impl SketchJoin {
     ) -> Result<Self, StorageError> {
         let mut sj = Self::new(key_columns, value_column, epsilon, delta);
         for p in partitions {
-            sj.add_batch(p)?;
+            sj.add_batch(p.borrow())?;
         }
         Ok(sj)
     }

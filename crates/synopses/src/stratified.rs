@@ -47,10 +47,11 @@ impl StratifiedSampler {
     }
 
     /// Build the stratified sample over a set of partitions (conceptually the
-    /// offline preparation pass of BlinkDB).
-    pub fn sample_partitions(
+    /// offline preparation pass of BlinkDB). Accepts owned or `Arc`-shared
+    /// partitions.
+    pub fn sample_partitions<B: std::borrow::Borrow<RecordBatch>>(
         &mut self,
-        partitions: &[RecordBatch],
+        partitions: &[B],
     ) -> Result<WeightedSample, StorageError> {
         // Pass 1: per-group reservoirs of *global* row positions. Groups are
         // keyed by row-encoded bytes: the stratification columns are encoded
@@ -66,6 +67,7 @@ impl StratifiedSampler {
         let mut source_rows = 0usize;
 
         for (pi, batch) in partitions.iter().enumerate() {
+            let batch = batch.borrow();
             source_rows += batch.num_rows();
             let strat_cols: Vec<&taster_storage::ColumnData> = self
                 .stratification
@@ -110,7 +112,7 @@ impl StratifiedSampler {
             let idx: Vec<usize> = rows.iter().map(|&(r, _)| r).collect();
             let weights: Vec<f64> = rows.iter().map(|&(_, w)| w).collect();
             let s = WeightedSample {
-                rows: partitions[pi].take(&idx),
+                rows: partitions[pi].borrow().take(&idx),
                 weights,
                 stratification: self.stratification.clone(),
                 probability: 0.0,
@@ -125,13 +127,159 @@ impl StratifiedSampler {
             WeightedSample::empty(
                 partitions
                     .first()
-                    .map(|b| b.schema().clone())
+                    .map(|b| b.borrow().schema().clone())
                     .unwrap_or_else(|| std::sync::Arc::new(taster_storage::Schema::empty())),
             )
         });
         sample.source_rows = source_rows;
         sample.stratification = self.stratification.clone();
         Ok(sample)
+    }
+}
+
+/// Incremental per-group reservoir maintenance for stratified samples.
+///
+/// The blocking [`StratifiedSampler`] reads its whole input twice, which is
+/// fine offline but useless once the table keeps growing. The reservoir
+/// **owns** its retained rows (copied out of the input batches), so it can
+/// [`absorb`](Self::absorb) appended batches one at a time — classic
+/// Algorithm-R reservoir sampling per stratum — and materialize a weighted
+/// sample of the entire stream seen so far at any point, without ever
+/// revisiting old rows.
+///
+/// ```
+/// use taster_storage::batch::BatchBuilder;
+/// use taster_synopses::stratified::StratifiedReservoir;
+///
+/// let mut res = StratifiedReservoir::new(vec!["g".into()], 4, 11);
+/// for chunk in 0..5 {
+///     let batch = BatchBuilder::new()
+///         .column("g", (0..100i64).map(|i| i % 3).collect::<Vec<_>>())
+///         .column("v", (0..100).map(|i| (chunk * 100 + i) as f64).collect::<Vec<_>>())
+///         .build()
+///         .unwrap();
+///     res.absorb(&batch).unwrap();
+/// }
+/// let sample = res.to_sample().unwrap();
+/// assert_eq!(sample.len(), 3 * 4); // every stratum capped at 4 rows
+/// assert_eq!(sample.source_rows, 500);
+/// // Per-group weight sums reconstruct the true group sizes.
+/// let total: f64 = sample.weights.iter().sum();
+/// assert!((total - 500.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StratifiedReservoir {
+    stratification: Vec<String>,
+    cap: usize,
+    rng: SmallRng,
+    schema: Option<taster_storage::schema::SchemaRef>,
+    groups: HashMap<Vec<u8>, OwnedReservoir>,
+    keys: RowKeys,
+    source_rows: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct OwnedReservoir {
+    seen: usize,
+    /// Retained rows, materialized as values (schema order).
+    rows: Vec<Vec<taster_storage::Value>>,
+}
+
+impl StratifiedReservoir {
+    /// Create a maintainer keeping at most `cap` rows per distinct
+    /// combination of the stratification columns.
+    pub fn new(stratification: Vec<String>, cap: usize, seed: u64) -> Self {
+        Self {
+            stratification,
+            cap: cap.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+            schema: None,
+            groups: HashMap::new(),
+            keys: RowKeys::new(),
+            source_rows: 0,
+        }
+    }
+
+    /// Rows folded in so far.
+    pub fn rows_seen(&self) -> usize {
+        self.source_rows
+    }
+
+    /// Number of strata observed so far.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Fold one (appended) batch into the per-stratum reservoirs.
+    pub fn absorb(&mut self, batch: &RecordBatch) -> Result<(), StorageError> {
+        match &self.schema {
+            None => self.schema = Some(batch.schema().clone()),
+            Some(s) if s.as_ref() == batch.schema().as_ref() => {}
+            Some(_) => {
+                return Err(StorageError::Invalid(
+                    "stratified reservoir fed batches with different schemas".to_string(),
+                ))
+            }
+        }
+        let strat_cols: Vec<&taster_storage::ColumnData> = self
+            .stratification
+            .iter()
+            .map(|name| batch.column_by_name(name))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.keys.reencode_columns(&strat_cols, batch.num_rows());
+        for row in 0..batch.num_rows() {
+            let key = self.keys.key(row);
+            if !self.groups.contains_key(key) {
+                self.groups.insert(key.to_vec(), OwnedReservoir::default());
+            }
+            let res = self.groups.get_mut(key).expect("just inserted");
+            res.seen += 1;
+            if res.rows.len() < self.cap {
+                res.rows.push(batch.row(row));
+            } else {
+                let j = self.rng.random_range(0..res.seen);
+                if j < self.cap {
+                    res.rows[j] = batch.row(row);
+                }
+            }
+        }
+        self.source_rows += batch.num_rows();
+        Ok(())
+    }
+
+    /// Materialize the current state as a weighted sample: each retained row
+    /// carries weight `group_size / kept`, so per-group weight sums stay
+    /// unbiased. Returns `None` before any batch has been absorbed (no schema
+    /// to build a sample from).
+    pub fn to_sample(&self) -> Option<WeightedSample> {
+        let schema = self.schema.clone()?;
+        let mut columns: Vec<taster_storage::ColumnData> = schema
+            .fields()
+            .iter()
+            .map(|f| taster_storage::ColumnData::new_empty(f.data_type))
+            .collect();
+        let mut weights = Vec::new();
+        // Deterministic output order: sort groups by key bytes.
+        let mut keys: Vec<&Vec<u8>> = self.groups.keys().collect();
+        keys.sort();
+        for key in keys {
+            let res = &self.groups[key];
+            let w = res.seen as f64 / res.rows.len().max(1) as f64;
+            for row in &res.rows {
+                for (col, v) in columns.iter_mut().zip(row) {
+                    col.push(v).expect("reservoir rows match the schema");
+                }
+                weights.push(w);
+            }
+        }
+        let rows = RecordBatch::try_new(schema, columns).expect("columns built from schema");
+        Some(WeightedSample {
+            rows,
+            weights,
+            stratification: self.stratification.clone(),
+            probability: 0.0,
+            source_rows: self.source_rows,
+        })
     }
 }
 
@@ -198,5 +346,61 @@ mod tests {
         let b = batch(10, 2);
         let mut s = StratifiedSampler::new(vec!["missing".into()], 5, 1);
         assert!(s.sample_partitions(&[b]).is_err());
+    }
+
+    #[test]
+    fn reservoir_matches_blocking_sampler_semantics() {
+        // Absorbing a stream chunk-by-chunk must produce the same *shape* of
+        // sample (cap per group, exact weight sums) as the blocking sampler
+        // over the concatenation.
+        let mut res = StratifiedReservoir::new(vec!["g".into()], 20, 7);
+        for _ in 0..4 {
+            res.absorb(&batch(1_000, 5)).unwrap();
+        }
+        assert_eq!(res.rows_seen(), 4_000);
+        assert_eq!(res.num_groups(), 5);
+        let sample = res.to_sample().expect("absorbed batches");
+        assert_eq!(sample.len(), 5 * 20);
+        let g = sample.rows.column_by_name("g").unwrap();
+        let mut est: HashMap<i64, f64> = HashMap::new();
+        for i in 0..g.len() {
+            *est.entry(g.value(i).as_i64().unwrap()).or_insert(0.0) += sample.weights[i];
+        }
+        for (_, e) in est {
+            assert!((e - 800.0).abs() < 1e-6, "weight sum {e}");
+        }
+    }
+
+    #[test]
+    fn reservoir_keeps_small_groups_whole_and_covers_new_groups() {
+        let mut res = StratifiedReservoir::new(vec!["g".into()], 10, 3);
+        res.absorb(&batch(30, 10)).unwrap(); // 3 rows per group
+        let s = res.to_sample().unwrap();
+        assert_eq!(s.len(), 30);
+        assert!(s.weights.iter().all(|&w| (w - 1.0).abs() < 1e-12));
+        // A group appearing only in a later batch is covered too.
+        let late = BatchBuilder::new()
+            .column("g", vec![999i64; 4])
+            .column("v", vec![1.0f64; 4])
+            .build()
+            .unwrap();
+        res.absorb(&late).unwrap();
+        assert_eq!(res.num_groups(), 11);
+        let s = res.to_sample().unwrap();
+        assert_eq!(s.len(), 34);
+        assert_eq!(s.source_rows, 34);
+    }
+
+    #[test]
+    fn reservoir_rejects_schema_drift_and_needs_input() {
+        let mut res = StratifiedReservoir::new(vec!["g".into()], 5, 1);
+        assert!(res.to_sample().is_none());
+        res.absorb(&batch(10, 2)).unwrap();
+        let other = BatchBuilder::new()
+            .column("x", vec![1.0f64])
+            .build()
+            .unwrap();
+        assert!(res.absorb(&other).is_err());
+        assert!(res.absorb(&batch(0, 2)).is_ok(), "empty batch is a no-op");
     }
 }

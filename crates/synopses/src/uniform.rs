@@ -59,20 +59,66 @@ impl UniformSampler {
 
     /// Sample a sequence of partitions, merging the per-partition samples
     /// (this is exactly how the operator is distributed across workers).
+    /// Accepts owned or `Arc`-shared partitions (table snapshots hand out the
+    /// latter).
     ///
     /// Returns `None` for zero partitions — there is no schema to build an
     /// empty sample from, and a `Schema::empty()` placeholder would poison
     /// downstream merges (see [`crate::distinct::DistinctSampler::sample_partitions`]).
-    pub fn sample_partitions(&mut self, partitions: &[RecordBatch]) -> Option<WeightedSample> {
+    pub fn sample_partitions<B: std::borrow::Borrow<RecordBatch>>(
+        &mut self,
+        partitions: &[B],
+    ) -> Option<WeightedSample> {
         let mut out: Option<WeightedSample> = None;
         for p in partitions {
-            let s = self.sample_batch(p);
+            let s = self.sample_batch(p.borrow());
             match &mut out {
                 None => out = Some(s),
                 Some(acc) => acc.merge(&s).expect("partitions share a schema"),
             }
         }
         out
+    }
+
+    /// Absorb a batch of **appended** rows into an existing sample
+    /// (incremental maintenance: no rebuild over the old rows).
+    ///
+    /// Bernoulli sampling is memoryless — each row passes independently with
+    /// probability `p` — so sampling only the delta and merging is
+    /// statistically identical to resampling the concatenated stream: the
+    /// maintained sample stays an unbiased Horvitz–Thompson sample of the
+    /// grown relation.
+    ///
+    /// ```
+    /// use taster_storage::batch::BatchBuilder;
+    /// use taster_synopses::UniformSampler;
+    ///
+    /// let old = BatchBuilder::new()
+    ///     .column("v", (0..1000i64).collect::<Vec<_>>())
+    ///     .build()
+    ///     .unwrap();
+    /// let mut sampler = UniformSampler::new(0.5, 7);
+    /// let mut sample = sampler.sample_batch(&old);
+    ///
+    /// // The table grows; only the new rows are sampled.
+    /// let delta = BatchBuilder::new()
+    ///     .column("v", (1000..1500i64).collect::<Vec<_>>())
+    ///     .build()
+    ///     .unwrap();
+    /// sampler.update(&mut sample, &delta).unwrap();
+    ///
+    /// assert_eq!(sample.source_rows, 1500);
+    /// // The weight sum still estimates the (grown) source row count.
+    /// let est = sample.estimated_source_rows();
+    /// assert!((est - 1500.0).abs() / 1500.0 < 0.1, "estimate {est}");
+    /// ```
+    pub fn update(
+        &mut self,
+        sample: &mut WeightedSample,
+        batch: &RecordBatch,
+    ) -> Result<(), taster_storage::StorageError> {
+        let delta = self.sample_batch(batch);
+        sample.merge(&delta)
     }
 }
 
@@ -122,7 +168,7 @@ mod tests {
     #[test]
     fn zero_partitions_yield_explicit_none() {
         let mut s = UniformSampler::new(0.2, 3);
-        assert!(s.sample_partitions(&[]).is_none());
+        assert!(s.sample_partitions::<RecordBatch>(&[]).is_none());
     }
 
     #[test]

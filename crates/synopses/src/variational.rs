@@ -38,8 +38,8 @@ impl VariationalSample {
     /// `fraction` is the sampling fraction; `num_subsamples` defaults to
     /// `n_s ≈ sample_size^0.5` when 0 is passed (VerdictDB recommends
     /// `n^0.5`-sized subsamples).
-    pub fn build(
-        partitions: &[RecordBatch],
+    pub fn build<B: std::borrow::Borrow<RecordBatch>>(
+        partitions: &[B],
         fraction: f64,
         num_subsamples: u32,
         seed: u64,
@@ -49,7 +49,8 @@ impl VariationalSample {
 
         // Offline step (a): scramble — materialize a shuffled clone. We track
         // its cost (every row is read and written once) for the harness.
-        let whole = RecordBatch::concat(partitions)?;
+        let refs: Vec<&RecordBatch> = partitions.iter().map(|p| p.borrow()).collect();
+        let whole = RecordBatch::concat_refs(&refs)?;
         let mut order: Vec<usize> = (0..whole.num_rows()).collect();
         order.shuffle(&mut rng);
         let scrambled = whole.take(&order);

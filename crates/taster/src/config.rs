@@ -28,6 +28,12 @@ pub struct TasterConfig {
     /// Probability threshold below which uniform sampling is considered
     /// worthwhile (the paper checks `p ≤ 0.1`).
     pub uniform_probability_threshold: f64,
+    /// Maximum tolerated synopsis staleness, as the fraction of the base
+    /// table's current rows that arrived *after* the synopsis was built
+    /// (`1 − rows_at_build / rows_now`). A synopsis staler than this is not a
+    /// match for any query, and the tuner refreshes (or evicts) it — the
+    /// online-ingestion half of the paper's "always fresh enough" contract.
+    pub max_staleness: f64,
     /// Seed for all randomized components (samplers), kept explicit for
     /// reproducible experiments.
     pub seed: u64,
@@ -45,6 +51,7 @@ impl Default for TasterConfig {
             default_confidence: 0.95,
             min_rows_per_group: 100,
             uniform_probability_threshold: 0.1,
+            max_staleness: 0.2,
             seed: 0x7a57e1,
         }
     }

@@ -25,17 +25,21 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use taster_engine::context::{mix_seed, SynopsisLocation, SynopsisProvider};
 use taster_engine::physical::execute;
 use taster_engine::sql::ErrorSpec;
-use taster_engine::{parse_query, EngineError, ExecutionContext, LogicalPlan, QueryResult};
+use taster_engine::{
+    parse_query, EngineError, ExecutionContext, LogicalPlan, QueryResult, SampleMethod,
+    SynopsisPayload,
+};
 use taster_storage::{Catalog, IoModel};
+use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
 use taster_synopses::sketch_join::SketchJoin;
-use taster_synopses::WeightedSample;
+use taster_synopses::{UniformSampler, WeightedSample};
 
 use crate::config::TasterConfig;
 use crate::hints::{build_offline_sample, OfflineStrategy};
 use crate::metadata::MetadataStore;
 use crate::planner::Planner;
 use crate::store::{SynopsisLease, SynopsisStore};
-use crate::synopsis::SynopsisId;
+use crate::synopsis::{SynopsisId, SynopsisKind};
 use crate::tuner::{ChosenPlan, Tuner};
 
 /// Per-query provider overlay: the chosen plan's leased synopses resolve
@@ -116,6 +120,8 @@ pub struct TasterEngine {
     /// Queries admitted so far; each admission claims the next slot of the
     /// deterministic per-query seed schedule.
     queries_executed: AtomicU64,
+    /// Incremental synopsis refreshes performed (online ingestion).
+    refreshes: AtomicU64,
 }
 
 impl TasterEngine {
@@ -131,6 +137,7 @@ impl TasterEngine {
             config,
             io_model,
             queries_executed: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
         }
     }
 
@@ -145,6 +152,12 @@ impl TasterEngine {
     /// The engine configuration.
     pub fn config(&self) -> &TasterConfig {
         &self.config
+    }
+
+    /// A shared handle to the catalog the engine executes over (ingest
+    /// drivers append through it while queries run).
+    pub fn catalog_handle(&self) -> Arc<Catalog> {
+        self.catalog.clone()
     }
 
     /// Read access to the metadata store (for experiments and tests). The
@@ -172,6 +185,12 @@ impl TasterEngine {
     /// Number of queries admitted so far.
     pub fn queries_executed(&self) -> u64 {
         self.queries_executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of incremental synopsis refreshes performed so far (the
+    /// ingestion counterpart of builds/evictions).
+    pub fn synopsis_refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
     }
 
     /// Change the synopsis warehouse quota at runtime (storage elasticity).
@@ -225,6 +244,15 @@ impl TasterEngine {
             descriptor.id = id;
             let id = metadata.register(descriptor);
             metadata.set_actual_size(id, bytes);
+            // The build snapshot is the rows the payload *covers* (its own
+            // source_rows), not a fresh num_rows() read: under concurrent
+            // ingest the table may have grown since the build's snapshot,
+            // and recording the larger figure would under-report staleness.
+            let covered = match &build.payload {
+                SynopsisPayload::Sample(s) => s.source_rows,
+                SynopsisPayload::Sketch(sk) => sk.rows_summarized(),
+            };
+            metadata.set_build_snapshot(id, covered);
             id
         };
         self.store.insert_into_warehouse(id, &build.payload, true);
@@ -264,6 +292,29 @@ impl TasterEngine {
     pub fn execute_sql_seeded(&self, sql: &str, seed: u64) -> Result<TasterResult, EngineError> {
         let query = parse_query(sql)?;
         let planning_start = Instant::now();
+
+        // Online ingestion: bring stale synopses up to date *before*
+        // planning, so the planner can match the refreshed payload instead of
+        // paying for a from-scratch rebuild — this is the tuner weighing
+        // "refresh what exists" against "materialize anew". Stale synopses
+        // whose projected growth no longer fits their tier are evicted here
+        // under the same budget the keep/evict selection uses.
+        let actions = {
+            let metadata = self.metadata.read();
+            let tuner = self.tuner.lock();
+            tuner.refresh_actions(
+                &metadata,
+                &self.store,
+                &|t| self.catalog.table(t).ok().map(|t| t.num_rows()),
+                self.config.max_staleness,
+            )
+        };
+        for id in actions.evict {
+            self.store.evict(id);
+        }
+        for id in actions.refresh {
+            self.refresh_synopsis(id);
+        }
 
         // Plan and decide under the metadata lock: planning registers
         // candidate synopses and appends to the query log, and the tuner's
@@ -325,11 +376,19 @@ impl TasterEngine {
         let result = execute(plan, &ctx)?;
 
         // Materialize byproducts into the buffer, then let the tuner's `keep`
-        // set drive promotion to the warehouse / eviction.
+        // set drive promotion to the warehouse / eviction. The build snapshot
+        // records exactly the rows the payload covers (the sample's source
+        // rows / the sketch's summarized rows), which is what staleness is
+        // judged against as the base table keeps growing.
         if !result.byproducts.is_empty() {
             let mut metadata = self.metadata.write();
             for (id, payload) in &result.byproducts {
                 metadata.set_actual_size(*id, payload.size_bytes());
+                let covered = match payload {
+                    SynopsisPayload::Sample(s) => s.source_rows,
+                    SynopsisPayload::Sketch(sk) => sk.rows_summarized(),
+                };
+                metadata.set_build_snapshot(*id, covered);
                 self.store.insert_into_buffer(*id, payload, false);
             }
         }
@@ -347,6 +406,127 @@ impl TasterEngine {
             simulated_secs,
             result,
         })
+    }
+
+    /// Incrementally refresh a stale synopsis in place: absorb exactly the
+    /// base-table rows appended since its build snapshot (no rebuild over the
+    /// old rows) and re-insert the grown payload into the tier it lives in.
+    ///
+    /// The replacement goes through the store's lease/graveyard machinery:
+    /// in-flight plans that leased the old payload keep reading their
+    /// snapshot, the next plan sees the refreshed one. Returns `false` when
+    /// there is nothing to do (not materialized, table not grown, or the
+    /// descriptor is not refreshable).
+    pub fn refresh_synopsis(&self, id: SynopsisId) -> bool {
+        if self.store.location(id).is_none() {
+            return false;
+        }
+        let descriptor = {
+            let metadata = self.metadata.read();
+            let Some(meta) = metadata.get(id) else {
+                return false;
+            };
+            meta.descriptor.clone()
+        };
+        let [table] = &descriptor.base_tables[..] else {
+            return false;
+        };
+        let Ok(table) = self.catalog.table(table) else {
+            return false;
+        };
+        let snapshot = table.snapshot();
+
+        // The resume point comes from the *payload itself* (the sample's
+        // `source_rows` / the sketch's `rows_summarized`), not the metadata
+        // snapshot: a concurrent session may have refreshed between our
+        // staleness check and here, and resuming from the metadata value
+        // would absorb the same delta twice. Reading the payload's own
+        // coverage makes refresh idempotent — a raced second refresh sees an
+        // empty delta (or recomputes the identical payload, since the seed
+        // derives from the resume point).
+        let payload = match &descriptor.kind {
+            SynopsisKind::Sample { method } => {
+                let Some((old, _)) = self.store.sample(id) else {
+                    return false;
+                };
+                let built = old.source_rows;
+                if snapshot.num_rows() <= built {
+                    self.catch_up_build_snapshot(id, built);
+                    return false;
+                }
+                // Appends only extend the tail, so global row positions are
+                // stable and `rows_from(built)` is exactly the unseen suffix.
+                let delta = snapshot.rows_from(built);
+                let seed = mix_seed(self.config.seed ^ id, built as u64);
+                let mut sample = (*old).clone();
+                let absorbed = match method {
+                    SampleMethod::Uniform { probability } => {
+                        let mut s = UniformSampler::new(*probability, seed);
+                        delta.iter().try_for_each(|b| s.update(&mut sample, b))
+                    }
+                    SampleMethod::Distinct {
+                        stratification,
+                        delta: min_rows,
+                        probability,
+                    } => {
+                        let cfg = DistinctSamplerConfig::new(
+                            stratification.clone(),
+                            *min_rows,
+                            *probability,
+                        );
+                        let mut s = DistinctSampler::new(cfg, seed);
+                        delta.iter().try_for_each(|b| s.update(&mut sample, b))
+                    }
+                };
+                if absorbed.is_err() {
+                    return false;
+                }
+                SynopsisPayload::Sample(sample)
+            }
+            SynopsisKind::SketchJoin { .. } => {
+                let Some((old, _)) = self.store.sketch(id) else {
+                    return false;
+                };
+                let built = old.rows_summarized();
+                if snapshot.num_rows() <= built {
+                    self.catch_up_build_snapshot(id, built);
+                    return false;
+                }
+                let delta = snapshot.rows_from(built);
+                let mut sketch = (*old).clone();
+                if delta.iter().try_for_each(|b| sketch.add_batch(b)).is_err() {
+                    return false;
+                }
+                SynopsisPayload::Sketch(sketch)
+            }
+        };
+
+        // Atomic in-place replace: if a concurrent tuner evicted (or moved)
+        // the entry while the delta was being absorbed, the refresh is
+        // dropped rather than resurrecting an entry the budget decision
+        // removed.
+        if !self.store.refresh_in_place(id, &payload) {
+            return false;
+        }
+        let mut metadata = self.metadata.write();
+        metadata.set_actual_size(id, payload.size_bytes());
+        metadata.record_refresh(id, snapshot.num_rows());
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// A racing session refreshed the payload but may not have written the
+    /// metadata snapshot yet (payload insert happens before the metadata
+    /// write): fold the payload's own coverage into the metadata so this
+    /// session's planner does not reject the freshly refreshed synopsis as
+    /// stale.
+    fn catch_up_build_snapshot(&self, id: SynopsisId, covered: usize) {
+        let mut metadata = self.metadata.write();
+        if let Some(meta) = metadata.get(id) {
+            if meta.rows_at_build.unwrap_or(0) < covered {
+                metadata.set_build_snapshot(id, covered);
+            }
+        }
     }
 
     /// Apply the buffer policy: synopses in the tuner's keep-set are promoted
@@ -408,6 +588,20 @@ mod tests {
 
     const Q: &str =
         "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+    /// More `orders` rows continuing the generator pattern of [`catalog`].
+    fn orders_delta(lo: usize, hi: usize) -> taster_storage::RecordBatch {
+        BatchBuilder::new()
+            .column("o_id", (lo as i64..hi as i64).collect::<Vec<_>>())
+            .column("o_cust", (lo as i64..hi as i64).map(|i| i % 100).collect::<Vec<_>>())
+            .column("o_flag", (lo as i64..hi as i64).map(|i| i % 5).collect::<Vec<_>>())
+            .column(
+                "o_price",
+                (lo..hi).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+            )
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn first_query_builds_then_second_reuses() {
@@ -595,6 +789,87 @@ mod tests {
             eng.store().location(less_useful).is_none(),
             "low-usefulness synopsis must be evicted first"
         );
+    }
+
+    /// Online ingestion end to end: a materialized sample goes stale as its
+    /// base table grows past the staleness bound; the tuner's refresh action
+    /// absorbs the appended rows *before* planning, so the next query reuses
+    /// the refreshed synopsis instead of rebuilding — and its estimate covers
+    /// the grown table.
+    #[test]
+    fn appends_trigger_staleness_refresh_and_reuse() {
+        let eng = engine(50_000);
+        let first = eng.execute_sql(Q).unwrap();
+        let id = first.created_synopses[0];
+        let second = eng.execute_sql(Q).unwrap();
+        assert!(second.reused_synopses.contains(&id));
+        assert_eq!(eng.synopsis_refreshes(), 0);
+
+        // Grow orders by 50% — far past the default max_staleness (0.2).
+        let orders = eng.catalog.table("orders").unwrap();
+        orders.append(&orders_delta(50_000, 75_000)).unwrap();
+        assert_eq!(orders.num_rows(), 75_000);
+        assert!(
+            eng.metadata().get(id).unwrap().staleness(75_000) > eng.config.max_staleness,
+            "the materialized sample must now be stale"
+        );
+
+        let third = eng.execute_sql(Q).unwrap();
+        assert!(
+            eng.synopsis_refreshes() >= 1,
+            "the stale synopsis must be refreshed, not rebuilt"
+        );
+        assert!(
+            third.reused_synopses.contains(&id),
+            "the refreshed synopsis must be matched again: {}",
+            third.plan_description
+        );
+        assert_eq!(
+            third.result.metrics.base_rows_scanned, 0,
+            "reuse of the refreshed synopsis must not rescan the base table"
+        );
+        let meta = eng.metadata().get(id).unwrap().clone();
+        assert_eq!(meta.rows_at_build, Some(75_000), "snapshot covers the growth");
+        assert!(meta.refresh_count >= 1);
+
+        // The refreshed estimate tracks the *grown* table, not the old one.
+        let exact_plan = parse_query(Q)
+            .unwrap()
+            .to_exact_plan(&eng.catalog)
+            .unwrap();
+        let exact = execute(&exact_plan, &ExecutionContext::new(eng.catalog.clone())).unwrap();
+        let (err, missed) = third.result.error_vs(&exact);
+        assert_eq!(missed, 0);
+        assert!(err < 0.15, "relative error vs grown-table exact: {err}");
+    }
+
+    /// Refresh goes through the lease/graveyard machinery: an in-flight plan
+    /// that leased the pre-refresh payload keeps reading its snapshot, while
+    /// by-id reads resolve to the refreshed copy.
+    #[test]
+    fn refresh_preserves_leased_snapshot_for_inflight_plans() {
+        let eng = engine(30_000);
+        let first = eng.execute_sql(Q).unwrap();
+        let id = first.created_synopses[0];
+        let lease = eng.store().lease(id).expect("materialized sample");
+        let (before, _) = lease.sample().unwrap();
+
+        let orders = eng.catalog.table("orders").unwrap();
+        orders.append(&orders_delta(30_000, 45_000)).unwrap();
+        assert!(eng.refresh_synopsis(id), "grown table must refresh");
+        assert!(!eng.refresh_synopsis(id), "second refresh is a no-op");
+
+        let (snapshot, _) = lease.sample().unwrap();
+        assert!(
+            Arc::ptr_eq(&before, &snapshot),
+            "the lease must pin the pre-refresh payload"
+        );
+        assert_eq!(snapshot.source_rows, 30_000);
+        let (live, _) = eng.store().sample(id).expect("live refreshed copy");
+        assert_eq!(live.source_rows, 45_000, "by-id reads see the refresh");
+        drop(lease);
+        let (live, _) = eng.store().sample(id).unwrap();
+        assert_eq!(live.source_rows, 45_000, "live copy survives lease drop");
     }
 
     /// `execute_sql` takes `&self`: a trivial smoke test that two threads can

@@ -62,7 +62,7 @@ pub fn build_offline_sample(
         } => {
             let mut sampler =
                 StratifiedSampler::new(stratification.clone(), *rows_per_group, seed);
-            let sample = sampler.sample_partitions(t.partitions())?;
+            let sample = sampler.sample_partitions(t.snapshot().partitions())?;
             let bytes = sample.size_bytes();
             let rows = sample.len();
             let fingerprint = format!(
@@ -92,7 +92,7 @@ pub fn build_offline_sample(
             })
         }
         OfflineStrategy::Variational { fraction } => {
-            let vs = VariationalSample::build(t.partitions(), *fraction, 0, seed)?;
+            let vs = VariationalSample::build(t.snapshot().partitions(), *fraction, 0, seed)?;
             let bytes = vs.sample.size_bytes();
             let rows = vs.sample.len();
             let scramble_rows = vs.scramble_rows;

@@ -3,10 +3,16 @@
 //! A stored synopsis can replace a query subplan when (i) it summarizes the
 //! same base relation, (ii) its stratification attributes are a superset of
 //! the attributes the query needs covered, (iii) it was built for an accuracy
-//! requirement at least as strict as the current query's, and (iv) it retains
+//! requirement at least as strict as the current query's, (iv) it retains
 //! at least as many rows (pass-through probability ≥ what the current query
-//! needs). Mismatching filters are handled by adding a residual filter on top
-//! of the synopsis scan, so they do not participate in the match itself.
+//! needs), and (v) it is **fresh enough**: under online ingestion the base
+//! table keeps growing, and a synopsis that has never seen more than a
+//! bounded fraction of the current rows
+//! ([`SampleRequirement::max_staleness`]) is not a match — the query falls
+//! back to building a fresh synopsis (or the exact plan) and the tuner's
+//! refresh action brings the stale one up to date. Mismatching filters are
+//! handled by adding a residual filter on top of the synopsis scan, so they
+//! do not participate in the match itself.
 
 use taster_engine::sql::ErrorSpec;
 use taster_engine::SampleMethod;
@@ -27,6 +33,12 @@ pub struct SampleRequirement {
     /// The minimum pass-through probability the query needs to meet its
     /// accuracy target.
     pub min_probability: f64,
+    /// Rows the base table holds *now* (the planner reads this off the
+    /// table's current snapshot); staleness is judged against it.
+    pub table_rows: usize,
+    /// Maximum tolerated staleness (fraction of current rows the synopsis
+    /// has not seen); from [`crate::config::TasterConfig::max_staleness`].
+    pub max_staleness: f64,
 }
 
 /// Find a materialized sample satisfying the requirement. Returns a lease on
@@ -63,6 +75,12 @@ pub fn find_sample_match(
         if method.probability() + 1e-12 < req.min_probability {
             continue;
         }
+        // Staleness bound: a synopsis blind to too many of the table's
+        // current rows cannot answer for them, however accurate it was at
+        // build time.
+        if meta.staleness(req.table_rows) > req.max_staleness + 1e-12 {
+            continue;
+        }
         let p = method.probability();
         match best {
             Some((_, best_p)) if best_p <= p => {}
@@ -76,19 +94,25 @@ pub fn find_sample_match(
 
 /// Find a materialized sketch-join over `table` keyed on exactly
 /// `key_columns` and carrying `value_column` (or carrying a value column when
-/// only COUNT is needed — a SUM-carrying sketch also answers COUNT). Returns
-/// a lease, like [`find_sample_match`].
+/// only COUNT is needed — a SUM-carrying sketch also answers COUNT). The
+/// sketch must be no staler than `max_staleness` against the table's current
+/// `table_rows`. Returns a lease, like [`find_sample_match`].
 pub fn find_sketch_match(
     metadata: &MetadataStore,
     store: &SynopsisStore,
     table: &str,
     key_columns: &[String],
     value_column: &Option<String>,
+    table_rows: usize,
+    max_staleness: f64,
 ) -> Option<SynopsisLease> {
     let index_key = format!("{}|{}", table, key_columns.join(","));
     for meta in metadata.by_index_key(&index_key) {
         let id = meta.descriptor.id;
         if store.location(id).is_none() {
+            continue;
+        }
+        if meta.staleness(table_rows) > max_staleness + 1e-12 {
             continue;
         }
         let SynopsisKind::SketchJoin {
@@ -219,6 +243,8 @@ mod tests {
                 confidence,
             },
             min_probability: p,
+            table_rows: 1_000,
+            max_staleness: 0.2,
         }
     }
 
@@ -346,20 +372,88 @@ mod tests {
 
         let keys = vec!["o_cust".to_string()];
         assert_eq!(
-            find_sketch_match(&md, &store, "orders", &keys, &Some("o_price".into()))
+            find_sketch_match(&md, &store, "orders", &keys, &Some("o_price".into()), 0, 0.2)
                 .map(|l| l.id()),
             Some(id)
         );
         // COUNT-only requirement is satisfied by a SUM-carrying sketch.
         assert_eq!(
-            find_sketch_match(&md, &store, "orders", &keys, &None).map(|l| l.id()),
+            find_sketch_match(&md, &store, "orders", &keys, &None, 0, 0.2).map(|l| l.id()),
             Some(id)
         );
         // Different value column: no match.
-        assert!(find_sketch_match(&md, &store, "orders", &keys, &Some("o_tax".into())).is_none());
+        assert!(find_sketch_match(&md, &store, "orders", &keys, &Some("o_tax".into()), 0, 0.2).is_none());
         // Different keys: no match.
         assert!(
-            find_sketch_match(&md, &store, "orders", &["o_id".to_string()], &None).is_none()
+            find_sketch_match(&md, &store, "orders", &["o_id".to_string()], &None, 0, 0.2).is_none()
+        );
+    }
+
+    /// The staleness half of matching: a synopsis whose build snapshot covers
+    /// too small a fraction of the table's current rows is not a match, even
+    /// when every accuracy/stratification/probability condition holds.
+    #[test]
+    fn stale_synopses_are_not_matched() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let id = add_sample(&mut md, &store, "t", vec!["g".into()], 0.1, 0.05, true);
+        // Built when the table had 800 rows.
+        md.set_build_snapshot(id, 800);
+
+        let mut r = req("t", &["g"], 0.1, 0.05);
+        r.max_staleness = 0.2;
+        // Table still at 900 rows: staleness 1 − 800/900 ≈ 0.11 ≤ 0.2.
+        r.table_rows = 900;
+        assert_eq!(match_id(&md, &store, &r), Some(id));
+        // Table grew to 1200 rows: staleness 1 − 800/1200 ≈ 0.33 > 0.2.
+        r.table_rows = 1_200;
+        assert!(find_sample_match(&md, &store, &r).is_none());
+        // A refresh (new build snapshot) makes it matchable again.
+        md.record_refresh(id, 1_200);
+        assert_eq!(match_id(&md, &store, &r), Some(id));
+        assert_eq!(md.get(id).unwrap().refresh_count, 1);
+        // A plain rebuild (same fingerprint, new build snapshot) is not a
+        // refresh.
+        md.set_build_snapshot(id, 1_300);
+        assert_eq!(md.get(id).unwrap().refresh_count, 1);
+        // A synopsis with no recorded snapshot (static-table legacy path)
+        // reports zero staleness and keeps matching.
+        let legacy = add_sample(&mut md, &store, "u", vec!["g".into()], 0.1, 0.05, true);
+        let mut r = req("u", &["g"], 0.1, 0.05);
+        r.table_rows = usize::MAX;
+        assert_eq!(match_id(&md, &store, &r), Some(legacy));
+    }
+
+    #[test]
+    fn stale_sketches_are_not_matched() {
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let id = md.allocate_id();
+        let id = md.register(SynopsisDescriptor {
+            id,
+            fingerprint: "sk-stale".into(),
+            base_tables: vec!["orders".into()],
+            kind: SynopsisKind::SketchJoin {
+                table: "orders".into(),
+                key_columns: vec!["k".into()],
+                value_column: None,
+            },
+            accuracy: ErrorSpec::default(),
+            estimated_bytes: 100,
+            estimated_rows: 10,
+            pinned: false,
+        });
+        let sk = taster_synopses::SketchJoin::new(vec!["k".into()], None, 0.01, 0.01);
+        store.insert_into_warehouse(id, &SynopsisPayload::Sketch(sk), false);
+        md.set_build_snapshot(id, 500);
+        let keys = vec!["k".to_string()];
+        assert!(
+            find_sketch_match(&md, &store, "orders", &keys, &None, 550, 0.2).is_some(),
+            "within the staleness bound"
+        );
+        assert!(
+            find_sketch_match(&md, &store, "orders", &keys, &None, 1_000, 0.2).is_none(),
+            "staler than the bound"
         );
     }
 

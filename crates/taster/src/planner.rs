@@ -406,6 +406,8 @@ impl Planner {
             stratification: method.stratification().to_vec(),
             accuracy,
             min_probability: probability,
+            table_rows: fact_table.num_rows(),
+            max_staleness: self.config.max_staleness,
         };
         if let Some(lease) = find_sample_match(metadata, store, &requirement) {
             let existing = lease.id();
@@ -686,7 +688,15 @@ impl Planner {
             pinned: false,
         });
 
-        let existing = find_sketch_match(metadata, store, &query.from, &fact_keys, &value_column);
+        let existing = find_sketch_match(
+            metadata,
+            store,
+            &query.from,
+            &fact_keys,
+            &value_column,
+            fact.num_rows(),
+            self.config.max_staleness,
+        );
         let (sketch_ref, uses, creates, description, leases) = match existing {
             Some(lease) => {
                 let id = lease.id();

@@ -387,6 +387,33 @@ impl SynopsisStore {
             .bury_if_leased(id, replaced, SynopsisLocation::Warehouse);
     }
 
+    /// Replace the payload of a **live** synopsis in whatever tier it
+    /// currently occupies (the incremental-refresh path). Both tier locks
+    /// are held across the presence check and the replacement, so a
+    /// concurrent eviction or tier move cannot be overwritten: if the id is
+    /// no longer live anywhere, nothing is inserted and `false` is returned
+    /// — a refresh must never resurrect an entry the tuner evicted while
+    /// the delta was being absorbed. The entry's existing pinned flag is
+    /// preserved; a displaced leased payload stays readable until its
+    /// leases drop.
+    pub fn refresh_in_place(&self, id: SynopsisId, payload: &SynopsisPayload) -> bool {
+        let mut buffer = self.inner.buffer.write();
+        let mut warehouse = self.inner.warehouse.write();
+        let (tier, location) = if buffer.entries.contains_key(&id) {
+            (&mut *buffer, SynopsisLocation::Buffer)
+        } else if warehouse.entries.contains_key(&id) {
+            (&mut *warehouse, SynopsisLocation::Warehouse)
+        } else {
+            return false;
+        };
+        let pinned = tier.entries.get(&id).map(|e| e.pinned).unwrap_or(false);
+        let replaced = tier.insert(id, to_stored(payload, pinned));
+        drop(warehouse);
+        drop(buffer);
+        self.inner.bury_if_leased(id, replaced, location);
+        true
+    }
+
     /// Move a synopsis from the buffer to the warehouse, if present. Both
     /// tier locks are held for the move so the entry is never in limbo.
     pub fn promote_to_warehouse(&self, id: SynopsisId) -> bool {
@@ -738,6 +765,34 @@ mod tests {
         drop(lease);
         let (live, _) = store.sample(8).unwrap();
         assert_eq!(live.len(), 30);
+    }
+
+    /// The refresh path replaces in place: same tier, pinned flag
+    /// preserved, leased old payload parked — and it must never resurrect
+    /// an entry that was evicted while the refresh was being computed.
+    #[test]
+    fn refresh_in_place_respects_tier_eviction_and_leases() {
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        store.insert_into_warehouse(2, &sample_payload(10), true);
+        let lease = store.lease(2).unwrap();
+
+        assert!(store.refresh_in_place(2, &sample_payload(25)));
+        assert_eq!(store.location(2), Some(SynopsisLocation::Warehouse));
+        let (live, _) = store.sample(2).unwrap();
+        assert_eq!(live.len(), 25, "live copy is the refreshed payload");
+        let (snap, _) = lease.sample().unwrap();
+        assert_eq!(snap.len(), 10, "lease keeps the pre-refresh snapshot");
+        // Pinned flag survived the replace: eviction still refuses.
+        assert!(!store.evict(2));
+        drop(lease);
+
+        // Concurrent eviction wins: a refresh computed against a payload
+        // that has since been evicted is dropped, not resurrected.
+        store.insert_into_buffer(3, &sample_payload(5), false);
+        assert!(store.evict(3));
+        assert!(!store.refresh_in_place(3, &sample_payload(9)));
+        assert_eq!(store.location(3), None);
+        assert!(store.sample(3).is_none());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 
 use std::collections::HashSet;
 
+use taster_engine::context::SynopsisLocation;
+
 use crate::config::TasterConfig;
 use crate::metadata::{MetadataStore, QueryRecord};
 use crate::planner::PlannerOutput;
@@ -41,6 +43,15 @@ pub struct TunerDecision {
     pub evict: Vec<SynopsisId>,
     /// The window length used for this decision.
     pub window: usize,
+}
+
+/// What to do about stale synopses: refresh these in place, evict those.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshActions {
+    /// Synopses to refresh incrementally (absorb the appended rows).
+    pub refresh: Vec<SynopsisId>,
+    /// Stale synopses whose projected refreshed size no longer fits; evict.
+    pub evict: Vec<SynopsisId>,
 }
 
 /// The continuous tuner.
@@ -210,6 +221,64 @@ impl Tuner {
                 .then(a.1.cmp(&b.1))
         });
         scored.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Decide what to do about **stale** materialized synopses (online
+    /// ingestion): for every synopsis whose base table has grown past
+    /// `max_staleness`, either refresh it in place or evict it.
+    ///
+    /// Refresh competes with build/evict under the same storage budget: the
+    /// refreshed payload will cover `rows_now` rows, so its size is projected
+    /// by the growth factor, and when the projected *growth* no longer fits
+    /// the free space of the synopsis's tier the synopsis is evicted instead
+    /// (the next query that wants it will register a rebuild candidate, and
+    /// the ordinary keep/evict selection decides whether it earns its bytes
+    /// back). Pinned synopses are always refreshed — the user promised they
+    /// are useful, and the tuner may never drop them.
+    ///
+    /// `rows_of` maps a base-table name to its current row count (the engine
+    /// passes a catalog lookup). Multi-table synopses are skipped: nothing in
+    /// the planner produces them today, and a partial refresh would be wrong.
+    pub fn refresh_actions(
+        &self,
+        metadata: &MetadataStore,
+        store: &SynopsisStore,
+        rows_of: &dyn Fn(&str) -> Option<usize>,
+        max_staleness: f64,
+    ) -> RefreshActions {
+        let mut actions = RefreshActions::default();
+        for id in store.materialized_ids() {
+            let Some(meta) = metadata.get(id) else {
+                continue;
+            };
+            let [table] = &meta.descriptor.base_tables[..] else {
+                continue;
+            };
+            let Some(rows_now) = rows_of(table) else {
+                continue;
+            };
+            if meta.staleness(rows_now) <= max_staleness + 1e-12 {
+                continue;
+            }
+            let current = store.size_of(id).unwrap_or(0);
+            let built = meta.rows_at_build.unwrap_or(0).max(1);
+            let projected =
+                ((current as f64) * (rows_now as f64 / built as f64)).ceil() as usize;
+            let free = match store.location(id) {
+                Some(SynopsisLocation::Warehouse) => store.warehouse_free_bytes(),
+                // Buffer entries are transient byproducts; the buffer policy
+                // (promote or drop) runs after every query anyway.
+                _ => usize::MAX,
+            };
+            if meta.descriptor.pinned || projected.saturating_sub(current) <= free {
+                actions.refresh.push(id);
+            } else {
+                actions.evict.push(id);
+            }
+        }
+        actions.refresh.sort_unstable();
+        actions.evict.sort_unstable();
+        actions
     }
 
     /// Periodically (every `w` queries) check whether a smaller or larger
@@ -558,6 +627,58 @@ mod tests {
         }
         assert!(tuner.window_history().len() > 1, "window never re-evaluated");
         assert!(tuner.window() >= 2);
+    }
+
+    /// Refresh competes with evict under the storage budget: a stale synopsis
+    /// is refreshed while its projected growth fits the warehouse, evicted
+    /// once it does not; pinned synopses always refresh.
+    #[test]
+    fn refresh_actions_respect_staleness_bound_and_budget() {
+        let payload = |rows: usize| {
+            let b = taster_storage::batch::BatchBuilder::new()
+                .column("x", (0..rows as i64).collect::<Vec<_>>())
+                .build()
+                .unwrap();
+            taster_engine::SynopsisPayload::Sample(taster_synopses::WeightedSample {
+                rows: b,
+                weights: vec![1.0; rows],
+                stratification: vec![],
+                probability: 1.0,
+                source_rows: rows,
+            })
+        };
+
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let fresh = register(&mut md, 100, false);
+        let stale = register(&mut md, 100, false);
+        store.insert_into_warehouse(fresh, &payload(10), false);
+        store.insert_into_warehouse(stale, &payload(10), false);
+        md.set_build_snapshot(fresh, 1_000);
+        md.set_build_snapshot(stale, 500);
+
+        let tuner = Tuner::new(&TasterConfig::default());
+        // Table at 1000 rows: `stale` has seen only half of them.
+        let rows_of = |_: &str| Some(1_000usize);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, 0.2);
+        assert_eq!(actions.refresh, vec![stale]);
+        assert!(actions.evict.is_empty());
+
+        // Shrink the warehouse quota so the projected 2x growth cannot fit:
+        // the stale synopsis must be evicted instead of refreshed.
+        let used = store.usage().warehouse_bytes;
+        store.set_warehouse_quota(used);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, 0.2);
+        assert_eq!(actions.evict, vec![stale]);
+        assert!(actions.refresh.is_empty());
+
+        // A pinned synopsis refreshes even without budget headroom.
+        let pinned = register(&mut md, 100, true);
+        store.insert_into_warehouse(pinned, &payload(10), true);
+        md.set_build_snapshot(pinned, 500);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, 0.2);
+        assert!(actions.refresh.contains(&pinned));
+        assert!(!actions.evict.contains(&pinned));
     }
 
     #[test]

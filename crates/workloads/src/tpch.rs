@@ -38,30 +38,38 @@ impl Default for TpchScale {
     }
 }
 
-/// Generate the TPC-H-like dataset and register it in a fresh catalog.
-pub fn generate(scale: TpchScale) -> Arc<Catalog> {
-    let mut rng = SmallRng::seed_from_u64(scale.seed);
-    let catalog = Catalog::new();
-
+/// Dimension-table cardinalities implied by a scale (TPC-H ratios).
+fn cardinalities(scale: &TpchScale) -> (usize, usize, usize, usize, usize) {
     let n_line = scale.lineitem_rows.max(1_000);
     let n_orders = (n_line / 4).max(100);
     let n_cust = (n_orders / 10).max(50);
     let n_part = (n_line / 30).max(50);
     let n_supp = (n_line / 600).max(20);
+    (n_line, n_orders, n_cust, n_part, n_supp)
+}
 
-    // lineitem: the fact table.
-    let mut l_orderkey = Vec::with_capacity(n_line);
-    let mut l_partkey = Vec::with_capacity(n_line);
-    let mut l_suppkey = Vec::with_capacity(n_line);
-    let mut l_quantity = Vec::with_capacity(n_line);
-    let mut l_price = Vec::with_capacity(n_line);
-    let mut l_discount = Vec::with_capacity(n_line);
-    let mut l_tax = Vec::with_capacity(n_line);
-    let mut l_returnflag = Vec::with_capacity(n_line);
-    let mut l_linestatus = Vec::with_capacity(n_line);
-    let mut l_shipdate = Vec::with_capacity(n_line);
-    let mut l_shipmode = Vec::with_capacity(n_line);
-    for _ in 0..n_line {
+/// Generate `n` lineitem rows drawing keys/values from `rng` (shared by the
+/// initial load and the growth-phase batches so appended rows follow the same
+/// distributions as the seed data).
+fn lineitem_rows(
+    rng: &mut SmallRng,
+    n: usize,
+    n_orders: usize,
+    n_part: usize,
+    n_supp: usize,
+) -> taster_storage::RecordBatch {
+    let mut l_orderkey = Vec::with_capacity(n);
+    let mut l_partkey = Vec::with_capacity(n);
+    let mut l_suppkey = Vec::with_capacity(n);
+    let mut l_quantity = Vec::with_capacity(n);
+    let mut l_price = Vec::with_capacity(n);
+    let mut l_discount = Vec::with_capacity(n);
+    let mut l_tax = Vec::with_capacity(n);
+    let mut l_returnflag = Vec::with_capacity(n);
+    let mut l_linestatus = Vec::with_capacity(n);
+    let mut l_shipdate = Vec::with_capacity(n);
+    let mut l_shipmode = Vec::with_capacity(n);
+    for _ in 0..n {
         l_orderkey.push(rng.random_range(0..n_orders as i64));
         l_partkey.push(rng.random_range(0..n_part as i64));
         l_suppkey.push(rng.random_range(0..n_supp as i64));
@@ -82,7 +90,7 @@ pub fn generate(scale: TpchScale) -> Arc<Catalog> {
             [rng.random_range(0..7)];
         l_shipmode.push(mode.to_string());
     }
-    let lineitem = BatchBuilder::new()
+    BatchBuilder::new()
         .column("l_orderkey", l_orderkey)
         .column("l_partkey", l_partkey)
         .column("l_suppkey", l_suppkey)
@@ -95,7 +103,33 @@ pub fn generate(scale: TpchScale) -> Arc<Catalog> {
         .column("l_shipdate", l_shipdate)
         .column("l_shipmode", l_shipmode)
         .build()
-        .expect("lineitem generator produces consistent columns");
+        .expect("lineitem generator produces consistent columns")
+}
+
+/// A batch of `rows` additional `lineitem` rows following the same value
+/// distributions (and dimension-key ranges) as [`generate`] produced for
+/// `scale` — the data-growth phases of the ingestion experiments append
+/// these to the registered `lineitem` table via
+/// [`taster_storage::Table::append`]. Deterministic per `(scale.seed, seed)`.
+pub fn lineitem_growth_batch(
+    scale: &TpchScale,
+    rows: usize,
+    seed: u64,
+) -> taster_storage::RecordBatch {
+    let (_, n_orders, _, n_part, n_supp) = cardinalities(scale);
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    lineitem_rows(&mut rng, rows, n_orders, n_part, n_supp)
+}
+
+/// Generate the TPC-H-like dataset and register it in a fresh catalog.
+pub fn generate(scale: TpchScale) -> Arc<Catalog> {
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let catalog = Catalog::new();
+
+    let (n_line, n_orders, n_cust, n_part, n_supp) = cardinalities(&scale);
+
+    // lineitem: the fact table.
+    let lineitem = lineitem_rows(&mut rng, n_line, n_orders, n_part, n_supp);
     catalog.register(Table::from_batch("lineitem", lineitem, scale.partitions).unwrap());
 
     // orders.
@@ -365,6 +399,35 @@ pub fn fig6_epochs() -> Vec<Vec<&'static str>> {
 mod tests {
     use super::*;
     use crate::driver::random_sequence;
+
+    #[test]
+    fn growth_batches_append_cleanly_onto_the_generated_table() {
+        let scale = TpchScale {
+            lineitem_rows: 5_000,
+            partitions: 4,
+            seed: 1,
+        };
+        let cat = generate(scale);
+        let li = cat.table("lineitem").unwrap();
+        let delta = lineitem_growth_batch(&scale, 1_250, 7);
+        assert_eq!(delta.schema().as_ref(), li.schema().as_ref());
+        // Deterministic per seed, different across seeds.
+        assert_eq!(delta, lineitem_growth_batch(&scale, 1_250, 7));
+        assert_ne!(delta, lineitem_growth_batch(&scale, 1_250, 8));
+        let report = li.append(&delta).unwrap();
+        assert_eq!(report.rows, 1_250);
+        assert_eq!(li.num_rows(), 6_250);
+        // Appended foreign keys stay within the dimension cardinalities.
+        let orders = cat.table("orders").unwrap();
+        let max_key = delta
+            .column_by_name("l_orderkey")
+            .unwrap()
+            .iter_values()
+            .map(|v| v.as_i64().unwrap())
+            .max()
+            .unwrap();
+        assert!((max_key as usize) < orders.num_rows());
+    }
 
     #[test]
     fn generator_produces_consistent_star_schema() {

@@ -5,6 +5,9 @@
 //! The example runs three "analysis sessions" over the TPC-H-like dataset,
 //! each focused on different templates, and shows Taster's warehouse being
 //! re-tuned as the interest shifts (the Fig. 6 behaviour, at example scale).
+//! Between sessions the `lineitem` table keeps growing (online ingestion), so
+//! every row count printed below is read from the live `Table` statistics —
+//! never from a constant captured at load time.
 //!
 //! Run with: `cargo run --release --example data_exploration`
 
@@ -12,11 +15,12 @@ use taster_repro::taster::{TasterConfig, TasterEngine};
 use taster_repro::workloads::{epoch_sequence, tpch};
 
 fn main() {
-    let catalog = tpch::generate(tpch::TpchScale {
+    let scale = tpch::TpchScale {
         lineitem_rows: 30_000,
         partitions: 8,
         seed: 1,
-    });
+    };
+    let catalog = tpch::generate(scale);
     let workload = tpch::workload();
 
     // Three exploration phases: pricing, shipping, then supplier analysis.
@@ -28,22 +32,38 @@ fn main() {
     let queries = epoch_sequence(&workload, &phases, 8, 99);
 
     let config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 0.5);
-    let taster = TasterEngine::new(catalog, config);
+    let taster = TasterEngine::new(catalog.clone(), config);
+    let lineitem = catalog.table("lineitem").expect("registered");
 
     let mut phase_time = vec![0.0f64; phases.len()];
     for (i, q) in queries.iter().enumerate() {
         let phase = i / 8;
+        // New data arrives while the analyst works: between sessions the fact
+        // table grows by 15%. Row counts below come from `Table::stats()`,
+        // which catches up incrementally after each append.
+        if i > 0 && i % 8 == 0 {
+            let current = lineitem.stats().row_count;
+            let delta = tpch::lineitem_growth_batch(&scale, current * 15 / 100, i as u64);
+            lineitem.append(&delta).expect("append");
+            println!(
+                "-- ingest before phase {}: lineitem grew to {} rows (snapshot v{})",
+                phase + 1,
+                lineitem.stats().row_count,
+                lineitem.version()
+            );
+        }
         let res = taster.execute_sql(&q.sql).expect("query runs");
         phase_time[phase] += res.simulated_secs;
         let usage = taster.store().usage();
         println!(
-            "q{:02} [{}] {:<28} {:>8.3}s  reuse={:<5} warehouse={:>6.2} MB",
+            "q{:02} [{}] {:<28} {:>8.3}s  reuse={:<5} warehouse={:>6.2} MB  rows={}",
             i + 1,
             phase + 1,
             q.template_id,
             res.simulated_secs,
             !res.reused_synopses.is_empty(),
-            usage.warehouse_bytes as f64 / (1 << 20) as f64
+            usage.warehouse_bytes as f64 / (1 << 20) as f64,
+            lineitem.stats().row_count
         );
     }
 
@@ -52,9 +72,15 @@ fn main() {
         println!("  phase {}: {:.2}s", i + 1, t);
     }
     println!(
-        "synopses known to the metadata store: {} (materialized: {})",
+        "synopses known to the metadata store: {} (materialized: {}, refreshed {} times)",
         taster.metadata().num_synopses(),
-        taster.store().materialized_ids().len()
+        taster.store().materialized_ids().len(),
+        taster.synopsis_refreshes()
+    );
+    println!(
+        "lineitem ended at {} rows across {} partitions (from Table stats, not the load-time constant)",
+        lineitem.stats().row_count,
+        lineitem.num_partitions()
     );
     println!("tuner window trajectory: {:?}", taster.window_history());
 }
