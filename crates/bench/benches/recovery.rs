@@ -1,0 +1,172 @@
+//! Durability micro-benchmarks:
+//!
+//! * `wal/*` — `Table::append` throughput with and without the write-ahead
+//!   log armed, on the same chunked-append shape as the ingest baseline
+//!   (`append/chunked_100k_zones_cold`), so the WAL's per-append overhead
+//!   (serialize + frame + fsync group commit) reads directly against the
+//!   ~14 ns/row in-memory ingest cost.
+//! * `restart/*` — time-to-first-answer after a restart: recovering a
+//!   durable directory and answering from the recovered synopsis (warm)
+//!   vs starting a fresh in-memory engine whose first query must scan the
+//!   base table and build its synopsis from scratch (cold).
+//!
+//! Run `TASTER_CRITERION_JSON=crates/bench/baselines/recovery.json cargo
+//! bench -p taster-bench --bench recovery` to refresh the checked-in
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use taster_core::persist::Durability;
+use taster_core::{TasterConfig, TasterEngine};
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, RecordBatch, StdVfs, Table};
+
+const BASE_ROWS: usize = 1_000_000;
+const DELTA_ROWS: usize = 100_000;
+const CHUNK_ROWS: usize = 10_000;
+
+const ENGINE_ROWS: usize = 100_000;
+const Q: &str =
+    "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+fn scratch_root() -> PathBuf {
+    std::env::temp_dir().join(format!("taster-bench-recovery-{}", std::process::id()))
+}
+
+fn scratch_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = scratch_root().join(N.fetch_add(1, Ordering::Relaxed).to_string());
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn rows(lo: usize, hi: usize) -> RecordBatch {
+    BatchBuilder::new()
+        .column("k", (lo as i64..hi as i64).map(|i| i % 1_000).collect::<Vec<_>>())
+        .column("v", (lo..hi).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+}
+
+fn orders(lo: usize, hi: usize) -> RecordBatch {
+    BatchBuilder::new()
+        .column("o_id", (lo as i64..hi as i64).collect::<Vec<_>>())
+        .column("o_flag", (lo as i64..hi as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column(
+            "o_price",
+            (lo..hi).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let delta_chunks: Vec<RecordBatch> = (0..DELTA_ROWS / CHUNK_ROWS)
+        .map(|i| rows(BASE_ROWS + i * CHUNK_ROWS, BASE_ROWS + (i + 1) * CHUNK_ROWS))
+        .collect();
+
+    let mut group = c.benchmark_group("wal");
+    group.bench_function("append_chunked_100k_off", |b| {
+        b.iter_batched(
+            || Table::from_batch("t", rows(0, BASE_ROWS), 16).unwrap(),
+            |table| {
+                for chunk in &delta_chunks {
+                    black_box(table.append(chunk).unwrap());
+                }
+                table
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("append_chunked_100k_on", |b| {
+        b.iter_batched(
+            || {
+                let dir = scratch_dir();
+                let (durability, _) = Durability::open(&StdVfs, &dir).unwrap();
+                let table = Table::from_batch("t", rows(0, BASE_ROWS), 16).unwrap();
+                table.set_append_sink(Some(Arc::new(durability)));
+                table
+            },
+            |table| {
+                for chunk in &delta_chunks {
+                    black_box(table.append(chunk).unwrap());
+                }
+                table
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+    std::fs::remove_dir_all(scratch_root()).ok();
+}
+
+fn engine_config(cat: &Catalog) -> TasterConfig {
+    TasterConfig {
+        initial_window: 64,
+        adaptive_window: false,
+        ..TasterConfig::with_budget_fraction(cat.total_size_bytes() * 2, 1.0)
+    }
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("orders", orders(0, ENGINE_ROWS), 8).unwrap());
+    let cat = Arc::new(cat);
+    let cfg = engine_config(&cat);
+
+    // Pristine durable state: an engine that built, promoted and persisted
+    // its synopsis, then shut down. Each warm iteration recovers a copy.
+    let pristine = scratch_dir();
+    {
+        let eng = TasterEngine::open_durable(cat.clone(), cfg, &pristine).unwrap();
+        let _ = eng.execute_sql(Q).unwrap();
+        let reuse = eng.execute_sql(Q).unwrap();
+        assert!(!reuse.reused_synopses.is_empty(), "bench setup must promote");
+    }
+
+    let mut group = c.benchmark_group("restart");
+    group.bench_function("warm_recover_first_answer", |b| {
+        b.iter_batched(
+            || {
+                let dir = scratch_dir();
+                for f in ["wal.log", "pages.dat"] {
+                    std::fs::copy(pristine.join(f), dir.join(f)).unwrap();
+                }
+                dir
+            },
+            |dir| {
+                let (eng, report) = TasterEngine::recover(cfg, &dir).unwrap();
+                let res = eng.execute_sql_seeded(Q, 7).unwrap();
+                assert!(report.synopses_recovered >= 1);
+                assert_eq!(res.result.metrics.base_rows_scanned, 0);
+                black_box(res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // A restart without durability reloads the base data from source and
+    // pays the first query's base scan + synopsis build; both are inside the
+    // timed routine. (The sources here are in-memory generators, so this
+    // undercounts a real cold restart — the simulated I/O model, not this
+    // wall clock, is what the experiments report.)
+    group.bench_function("cold_start_first_answer", |b| {
+        b.iter(|| {
+            let cat = Catalog::new();
+            cat.register(Table::from_batch("orders", orders(0, ENGINE_ROWS), 8).unwrap());
+            let cat = Arc::new(cat);
+            let eng = TasterEngine::new(cat, cfg);
+            let res = eng.execute_sql_seeded(Q, 7).unwrap();
+            assert!(res.result.metrics.base_rows_scanned >= ENGINE_ROWS);
+            black_box(res)
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(scratch_root()).ok();
+}
+
+criterion_group!(benches, bench_wal_append, bench_restart);
+criterion_main!(benches);

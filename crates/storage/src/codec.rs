@@ -1,0 +1,459 @@
+//! Hand-rolled binary serialization for the durability layer.
+//!
+//! The build environment is air-gapped (the in-tree `serde` is a no-op shim),
+//! so persistent records are encoded with an explicit little-endian format:
+//! fixed-width integers, `f64` as IEEE bits, strings and byte arrays as
+//! `u32` length + payload. Decoders validate every length and tag and return
+//! [`StorageError::Corrupt`] instead of panicking — a torn or bit-flipped
+//! record must surface as a recoverable error, never as UB or an abort.
+//!
+//! The format is versioned at the container level (WAL frames and the pager
+//! header carry magic + version), not per value.
+
+use std::sync::Arc;
+
+use crate::batch::RecordBatch;
+use crate::column::ColumnData;
+use crate::error::StorageError;
+use crate::schema::{DataType, Field, Schema, SchemaRef};
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64` (persistent formats must not depend on the
+    /// host word size).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write a length-prefixed byte array.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(what: &str) -> StorageError {
+    StorageError::Corrupt(format!("truncated or invalid {what}"))
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StorageError> {
+        if self.remaining() < n {
+            return Err(corrupt(what));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a `bool` (any nonzero byte is `true`).
+    pub fn get_bool(&mut self) -> Result<bool, StorageError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StorageError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StorageError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, StorageError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, StorageError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, rejecting values that do not
+    /// fit the host word size.
+    pub fn get_usize(&mut self) -> Result<usize, StorageError> {
+        usize::try_from(self.get_u64()?).map_err(|_| corrupt("usize"))
+    }
+
+    /// Read a length-prefixed byte array.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], StorageError> {
+        let len = self.get_u32()? as usize;
+        self.take(len, "byte array")
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StorageError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("utf-8 string"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage-type codecs
+// ---------------------------------------------------------------------------
+
+const TYPE_INT64: u8 = 0;
+const TYPE_FLOAT64: u8 = 1;
+const TYPE_UTF8: u8 = 2;
+const TYPE_BOOL: u8 = 3;
+
+/// Encode a [`DataType`].
+pub fn encode_data_type(w: &mut ByteWriter, dt: DataType) {
+    w.put_u8(match dt {
+        DataType::Int64 => TYPE_INT64,
+        DataType::Float64 => TYPE_FLOAT64,
+        DataType::Utf8 => TYPE_UTF8,
+        DataType::Bool => TYPE_BOOL,
+    });
+}
+
+/// Decode a [`DataType`].
+pub fn decode_data_type(r: &mut ByteReader) -> Result<DataType, StorageError> {
+    match r.get_u8()? {
+        TYPE_INT64 => Ok(DataType::Int64),
+        TYPE_FLOAT64 => Ok(DataType::Float64),
+        TYPE_UTF8 => Ok(DataType::Utf8),
+        TYPE_BOOL => Ok(DataType::Bool),
+        tag => Err(StorageError::Corrupt(format!("unknown data type tag {tag}"))),
+    }
+}
+
+/// Encode a [`Schema`] (field count, then name + type per field).
+pub fn encode_schema(w: &mut ByteWriter, schema: &Schema) {
+    w.put_u32(schema.len() as u32);
+    for field in schema.fields() {
+        w.put_str(&field.name);
+        encode_data_type(w, field.data_type);
+    }
+}
+
+/// Decode a [`Schema`].
+pub fn decode_schema(r: &mut ByteReader) -> Result<Schema, StorageError> {
+    let n = r.get_u32()? as usize;
+    let mut fields = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let data_type = decode_data_type(r)?;
+        fields.push(Field::new(name, data_type));
+    }
+    Ok(Schema::new(fields))
+}
+
+/// Encode a [`ColumnData`] (type tag, length, then the raw values).
+pub fn encode_column(w: &mut ByteWriter, col: &ColumnData) {
+    encode_data_type(w, col.data_type());
+    match col {
+        ColumnData::Int64(v) => {
+            w.put_u64(v.len() as u64);
+            for x in v {
+                w.put_i64(*x);
+            }
+        }
+        ColumnData::Float64(v) => {
+            w.put_u64(v.len() as u64);
+            for x in v {
+                w.put_f64(*x);
+            }
+        }
+        ColumnData::Utf8(v) => {
+            w.put_u64(v.len() as u64);
+            for x in v {
+                w.put_str(x);
+            }
+        }
+        ColumnData::Bool(v) => {
+            w.put_u64(v.len() as u64);
+            for x in v {
+                w.put_bool(*x);
+            }
+        }
+    }
+}
+
+/// Decode a [`ColumnData`].
+pub fn decode_column(r: &mut ByteReader) -> Result<ColumnData, StorageError> {
+    let dt = decode_data_type(r)?;
+    let len = r.get_usize()?;
+    // Fixed-width types can validate the length against the remaining bytes
+    // *before* allocating, so a corrupt length cannot trigger a huge
+    // allocation.
+    let mut col = match dt {
+        DataType::Int64 | DataType::Float64 => {
+            if r.remaining() < len.saturating_mul(8) {
+                return Err(corrupt("column values"));
+            }
+            ColumnData::with_capacity(dt, len)
+        }
+        DataType::Bool => {
+            if r.remaining() < len {
+                return Err(corrupt("column values"));
+            }
+            ColumnData::with_capacity(dt, len)
+        }
+        DataType::Utf8 => ColumnData::with_capacity(dt, len.min(1 << 20)),
+    };
+    match &mut col {
+        ColumnData::Int64(v) => {
+            for _ in 0..len {
+                v.push(r.get_i64()?);
+            }
+        }
+        ColumnData::Float64(v) => {
+            for _ in 0..len {
+                v.push(r.get_f64()?);
+            }
+        }
+        ColumnData::Utf8(v) => {
+            for _ in 0..len {
+                v.push(r.get_str()?);
+            }
+        }
+        ColumnData::Bool(v) => {
+            for _ in 0..len {
+                v.push(r.get_bool()?);
+            }
+        }
+    }
+    Ok(col)
+}
+
+/// Encode a [`RecordBatch`] (schema + columns).
+pub fn encode_batch(w: &mut ByteWriter, batch: &RecordBatch) {
+    encode_schema(w, batch.schema());
+    w.put_u64(batch.num_rows() as u64);
+    for col in batch.columns() {
+        encode_column(w, col);
+    }
+}
+
+/// Decode a [`RecordBatch`], re-validating the schema/column invariants via
+/// [`RecordBatch::try_new`].
+pub fn decode_batch(r: &mut ByteReader) -> Result<RecordBatch, StorageError> {
+    let schema: SchemaRef = Arc::new(decode_schema(r)?);
+    let num_rows = r.get_usize()?;
+    let mut columns = Vec::with_capacity(schema.len());
+    for _ in 0..schema.len() {
+        let col = decode_column(r)?;
+        if col.len() != num_rows {
+            return Err(StorageError::Corrupt(format!(
+                "column length {} disagrees with batch rows {num_rows}",
+                col.len()
+            )));
+        }
+        columns.push(col);
+    }
+    if schema.is_empty() && num_rows > 0 {
+        return Err(corrupt("batch (rows without columns)"));
+    }
+    RecordBatch::try_new(schema, columns)
+        .map_err(|e| StorageError::Corrupt(format!("decoded batch failed validation: {e}")))
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes` —
+/// the checksum framing every WAL record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchBuilder;
+
+    fn round_trip_batch(batch: &RecordBatch) -> RecordBatch {
+        let mut w = ByteWriter::new();
+        encode_batch(&mut w, batch);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let out = decode_batch(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        out
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(-0.125);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+        assert!(r.get_u8().is_err(), "overrun is an error, not a panic");
+    }
+
+    #[test]
+    fn batch_round_trips_all_column_types() {
+        let batch = BatchBuilder::new()
+            .column("i", vec![1i64, -2, 3])
+            .column("f", vec![0.5f64, f64::MAX, -1.0])
+            .column("s", vec!["a", "", "long string with spaces"])
+            .column("b", vec![true, false, true])
+            .build()
+            .unwrap();
+        assert_eq!(round_trip_batch(&batch), batch);
+        // Empty batches round-trip too.
+        let empty = RecordBatch::empty(batch.schema().clone());
+        assert_eq!(round_trip_batch(&empty), empty);
+    }
+
+    #[test]
+    fn truncated_bytes_decode_to_corrupt_not_panic() {
+        let batch = BatchBuilder::new()
+            .column("x", (0..100i64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let mut w = ByteWriter::new();
+        encode_batch(&mut w, &batch);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let err = decode_batch(&mut r).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Corrupt(_)),
+                "cut at {cut} must yield Corrupt, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_does_not_overallocate() {
+        // A column claiming u64::MAX values must fail cleanly.
+        let mut w = ByteWriter::new();
+        encode_data_type(&mut w, DataType::Int64);
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(decode_column(&mut r).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

@@ -13,6 +13,13 @@ pub enum StorageError {
     TypeMismatch(String),
     /// Generic invariant violation (mismatched schemas on append, etc.).
     Invalid(String),
+    /// An underlying file operation failed (stringified `std::io::Error`, so
+    /// the error type stays `Clone`/`PartialEq` for the callers that match
+    /// on it).
+    Io(String),
+    /// Persistent data failed validation: a CRC mismatch, a truncated frame,
+    /// an unknown record tag, or a decoded value that violates an invariant.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -22,8 +29,16 @@ impl fmt::Display for StorageError {
             StorageError::TableNotFound(name) => write!(f, "table not found: {name}"),
             StorageError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
             StorageError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(err: std::io::Error) -> Self {
+        StorageError::Io(err.to_string())
+    }
+}

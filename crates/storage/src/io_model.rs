@@ -38,6 +38,12 @@ pub struct IoModel {
     pub cpu_ns_per_row: f64,
     /// Fixed per-query planning/coordination overhead (driver side).
     pub per_query_overhead_ns: f64,
+    /// Cost of one cold-tier *page read* measured against the real pager.
+    /// Used instead of `warehouse_ns_per_byte` whenever a query actually
+    /// touched persistent pages (`ExecutionMetrics::cold_pages_read > 0`),
+    /// so persistent runs are charged for the I/O they truly did, including
+    /// padding and page-granularity rounding the byte model cannot see.
+    pub cold_page_read_ns: f64,
 }
 
 impl Default for IoModel {
@@ -51,6 +57,9 @@ impl Default for IoModel {
             materialize_ns_per_byte: 5.0,
             cpu_ns_per_row: 50.0,
             per_query_overhead_ns: 2_000_000.0,
+            // One 4 KiB page at the warehouse byte rate: the two models agree
+            // on a fully utilized page and diverge only on padding.
+            cold_page_read_ns: 4096.0 * 2.5,
         }
     }
 }
@@ -80,6 +89,12 @@ impl IoModel {
     pub fn cpu_cost(&self, rows: usize) -> f64 {
         self.cpu_ns_per_row * rows as f64
     }
+
+    /// Cost (ns) of `pages` cold-tier page reads measured against the real
+    /// pager (persistent mode only).
+    pub fn cold_page_cost(&self, pages: u64) -> f64 {
+        self.cold_page_read_ns * pages as f64
+    }
 }
 
 /// Accumulated execution metrics for a query (or a whole workload), reported
@@ -107,6 +122,10 @@ pub struct ExecutionMetrics {
     /// Base-table partitions skipped by zone-map pruning (their rows and
     /// bytes are *not* counted in `base_rows_scanned`/`base_bytes_scanned`).
     pub partitions_pruned: usize,
+    /// Cold-tier pages actually read through the real pager (persistent mode
+    /// only; zero for in-memory runs). When non-zero, `simulated_ns` charges
+    /// the warehouse tier by pages instead of the simulated byte model.
+    pub cold_pages_read: u64,
     /// Wall-clock time actually spent executing, in nanoseconds.
     pub wall_time_ns: u128,
 }
@@ -124,6 +143,7 @@ impl ExecutionMetrics {
         self.bytes_materialized += other.bytes_materialized;
         self.partitions_scanned += other.partitions_scanned;
         self.partitions_pruned += other.partitions_pruned;
+        self.cold_pages_read += other.cold_pages_read;
         self.wall_time_ns += other.wall_time_ns;
     }
 
@@ -133,9 +153,19 @@ impl ExecutionMetrics {
     /// the query's critical path (the buffer decouples it); harnesses that
     /// want to charge it (e.g. the BlinkDB offline phase) call
     /// [`IoModel::materialize_cost`] explicitly.
+    ///
+    /// When `cold_pages_read` is non-zero the warehouse tier is charged by
+    /// the *measured* page count instead of the simulated byte model: the
+    /// query demonstrably went to the persistent cold tier, and page-granular
+    /// accounting (including padding) is strictly more faithful there.
     pub fn simulated_ns(&self, model: &IoModel) -> f64 {
+        let warehouse = if self.cold_pages_read > 0 {
+            model.cold_page_cost(self.cold_pages_read)
+        } else {
+            model.warehouse_read_cost(self.warehouse_bytes_read)
+        };
         model.scan_cost(self.base_bytes_scanned)
-            + model.warehouse_read_cost(self.warehouse_bytes_read)
+            + warehouse
             + model.buffer_read_cost(self.buffer_bytes_read)
             + model.cpu_cost(self.operator_rows + self.base_rows_scanned)
             + model.per_query_overhead_ns
@@ -187,14 +217,38 @@ mod tests {
             bytes_materialized: 8,
             partitions_scanned: 9,
             partitions_pruned: 10,
-            wall_time_ns: 11,
+            cold_pages_read: 11,
+            wall_time_ns: 12,
         };
         a.merge(&a.clone());
         assert_eq!(a.base_rows_scanned, 2);
         assert_eq!(a.bytes_materialized, 16);
         assert_eq!(a.partitions_scanned, 18);
         assert_eq!(a.partitions_pruned, 20);
-        assert_eq!(a.wall_time_ns, 22);
+        assert_eq!(a.cold_pages_read, 22);
+        assert_eq!(a.wall_time_ns, 24);
+    }
+
+    #[test]
+    fn measured_pages_replace_simulated_warehouse_bytes() {
+        let m = IoModel::default();
+        let simulated = ExecutionMetrics {
+            warehouse_bytes_read: 100_000,
+            ..Default::default()
+        };
+        // Same bytes, but the pager measured 30 real page reads (padding
+        // included): the page model must be charged, not the byte model.
+        let measured = ExecutionMetrics {
+            warehouse_bytes_read: 100_000,
+            cold_pages_read: 30,
+            ..Default::default()
+        };
+        let page_cost = m.cold_page_cost(30);
+        assert_eq!(
+            measured.simulated_ns(&m),
+            m.per_query_overhead_ns + page_cost
+        );
+        assert_ne!(measured.simulated_ns(&m), simulated.simulated_ns(&m));
     }
 
     #[test]

@@ -14,30 +14,43 @@
 //! * a simulated I/O / cluster cost model ([`io_model::IoModel`]) so that the
 //!   planner can cost plans and the benchmark harness can convert
 //!   rows-scanned into simulated scan time, independent of the laptop the
-//!   reproduction happens to run on.
+//!   reproduction happens to run on,
+//! * a durability substrate — a [`vfs`] abstraction with deterministic fault
+//!   injection, a CRC-framed group-commit write-ahead log ([`wal`]), and a
+//!   fixed-size page/blob store ([`pager`]) — that the engine layer composes
+//!   into WAL-backed persistence and crash recovery.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
 pub mod catalog;
+pub mod codec;
 pub mod column;
 pub mod error;
 pub mod io_model;
 pub mod mask;
+pub mod pager;
 pub mod partition;
 pub mod row_key;
 pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod vfs;
+pub mod wal;
 
 pub use batch::RecordBatch;
 pub use catalog::Catalog;
+pub use codec::{ByteReader, ByteWriter};
 pub use column::ColumnData;
 pub use error::StorageError;
 pub use io_model::IoModel;
 pub use mask::SelectionMask;
+pub use pager::{BlobRef, Pager};
 pub use row_key::{IntKeyMap, RowKeyMap, RowKeyTable, RowKeys};
 pub use schema::{DataType, Field, Schema};
-pub use table::Table;
+pub use table::{AppendSink, Table};
 pub use value::Value;
+pub use vfs::{FaultPlan, FaultVfs, MemVfs, StdVfs, Vfs, VfsFile};
+pub use wal::{Wal, WalReplay};

@@ -1,0 +1,286 @@
+//! Fixed-size page store with a blob interface.
+//!
+//! The pager is the cold tier's physical layer: sealed partitions and
+//! synopsis payloads are written as **blobs** — byte strings stored across a
+//! run of contiguous fixed-size pages — and referenced by compact
+//! [`BlobRef`]s that the WAL records inline. The protocol between the two is
+//! write-ordered: a blob is fully written and synced *before* the WAL commit
+//! that references it, so a crash can at worst leave unreferenced (garbage)
+//! pages, never a referenced-but-torn blob.
+//!
+//! Page 0 is a header page carrying magic, format version and the page size;
+//! allocation is append-only (the next free page is derived from the file
+//! length, so no allocation metadata can be corrupted by a crash).
+//!
+//! Every blob read counts the pages it touched in a shared counter
+//! ([`Pager::pages_read`]) — the real measurement the cost model's cold-tier
+//! path is derived from when persistence is enabled (replacing the simulated
+//! byte model used for in-memory runs).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::StorageError;
+use crate::vfs::{Vfs, VfsFile};
+
+const MAGIC: &[u8; 8] = b"TASTRPG1";
+/// Default page size: 4 KiB, the classic unit of torn-write atomicity.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Reference to a blob stored in the pager: its first page and exact byte
+/// length. Encoded into WAL records (16 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobRef {
+    /// First page of the blob's contiguous page run.
+    pub first_page: u64,
+    /// Exact blob length in bytes.
+    pub len: u64,
+}
+
+impl BlobRef {
+    /// Encode into a [`ByteWriter`].
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.first_page);
+        w.put_u64(self.len);
+    }
+
+    /// Decode from a [`ByteReader`].
+    pub fn decode(r: &mut ByteReader) -> Result<Self, StorageError> {
+        Ok(Self {
+            first_page: r.get_u64()?,
+            len: r.get_u64()?,
+        })
+    }
+}
+
+struct PagerInner {
+    file: Arc<dyn VfsFile>,
+    /// Next page to allocate (append-only).
+    next_page: u64,
+}
+
+/// A page store over one [`VfsFile`]. Cheap to share: writes serialize on an
+/// internal lock, reads go straight to the (positional) file.
+#[derive(Clone)]
+pub struct Pager {
+    inner: Arc<Mutex<PagerInner>>,
+    file: Arc<dyn VfsFile>,
+    page_size: usize,
+    pages_read: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("page_size", &self.page_size)
+            .field("pages_read", &self.pages_read.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Open (creating if absent) a page store at `path` with the default page
+    /// size. An existing store's header is validated; its recorded page size
+    /// wins over the default.
+    pub fn open(vfs: &dyn Vfs, path: &Path) -> Result<Self, StorageError> {
+        Self::open_with_page_size(vfs, path, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Open with an explicit page size (used by tests exercising small
+    /// pages; existing stores keep the size they were created with).
+    pub fn open_with_page_size(
+        vfs: &dyn Vfs,
+        path: &Path,
+        page_size: usize,
+    ) -> Result<Self, StorageError> {
+        let page_size = page_size.max(64);
+        let file = vfs.open(path)?;
+        let len = file.len()?;
+        let page_size = if len == 0 {
+            // Fresh store: write the header page.
+            let mut header = ByteWriter::new();
+            header.put_bytes(MAGIC);
+            header.put_u32(page_size as u32);
+            let mut page = header.into_bytes();
+            page.resize(page_size, 0);
+            file.write_at(0, &page)?;
+            file.sync()?;
+            page_size
+        } else {
+            // Existing store: validate the header and adopt its page size.
+            let mut header = vec![0u8; 64.min(len as usize)];
+            let read = file.read_at(0, &mut header)?;
+            header.truncate(read);
+            let mut r = ByteReader::new(&header);
+            let magic = r.get_bytes()?;
+            if magic != MAGIC {
+                return Err(StorageError::Corrupt(
+                    "page store header magic mismatch".to_string(),
+                ));
+            }
+            let recorded = r.get_u32()? as usize;
+            if recorded < 64 {
+                return Err(StorageError::Corrupt(format!(
+                    "page store header claims page size {recorded}"
+                )));
+            }
+            recorded
+        };
+        let next_page = file.len()?.div_ceil(page_size as u64).max(1);
+        Ok(Self {
+            inner: Arc::new(Mutex::new(PagerInner {
+                file: file.clone(),
+                next_page,
+            })),
+            file,
+            page_size,
+            pages_read: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The store's page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages a blob of `len` bytes occupies.
+    pub fn pages_for(&self, len: u64) -> u64 {
+        len.div_ceil(self.page_size as u64).max(1)
+    }
+
+    /// Total pages read through [`read_blob`](Self::read_blob) since the
+    /// pager was opened — the real cold-tier I/O measurement.
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Write `data` as a new blob across freshly allocated contiguous pages.
+    /// The blob is **not** synced; callers batch blob writes and call
+    /// [`sync`](Self::sync) once before committing the WAL records that
+    /// reference them.
+    pub fn write_blob(&self, data: &[u8]) -> Result<BlobRef, StorageError> {
+        let pages = self.pages_for(data.len() as u64);
+        let mut inner = self.inner.lock();
+        let first_page = inner.next_page;
+        let offset = first_page * self.page_size as u64;
+        // Pad to whole pages so the file length stays page-aligned and the
+        // next allocation lands on a fresh page.
+        let padded_len = (pages * self.page_size as u64) as usize;
+        let mut padded = Vec::with_capacity(padded_len);
+        padded.extend_from_slice(data);
+        padded.resize(padded_len, 0);
+        inner.file.write_at(offset, &padded)?;
+        inner.next_page += pages;
+        Ok(BlobRef {
+            first_page,
+            len: data.len() as u64,
+        })
+    }
+
+    /// Read a blob back, counting the pages touched.
+    pub fn read_blob(&self, blob: BlobRef) -> Result<Vec<u8>, StorageError> {
+        let offset = blob.first_page * self.page_size as u64;
+        let len = usize::try_from(blob.len)
+            .map_err(|_| StorageError::Corrupt("blob length overflows usize".to_string()))?;
+        let mut data = vec![0u8; len];
+        let read = self.file.read_at(offset, &mut data)?;
+        if read < len {
+            return Err(StorageError::Corrupt(format!(
+                "blob at page {} truncated: {read} of {len} bytes",
+                blob.first_page
+            )));
+        }
+        self.pages_read
+            .fetch_add(self.pages_for(blob.len), Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Durably flush all written blobs.
+    pub fn sync(&self) -> Result<(), StorageError> {
+        self.file.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    fn pager(vfs: &MemVfs, page_size: usize) -> Pager {
+        Pager::open_with_page_size(vfs, Path::new("pages"), page_size).unwrap()
+    }
+
+    #[test]
+    fn blobs_round_trip_and_count_pages() {
+        let vfs = MemVfs::new();
+        let p = pager(&vfs, 128);
+        let small = p.write_blob(b"tiny").unwrap();
+        let big_data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let big = p.write_blob(&big_data).unwrap();
+        p.sync().unwrap();
+
+        assert_eq!(p.read_blob(small).unwrap(), b"tiny");
+        assert_eq!(p.read_blob(big).unwrap(), big_data);
+        // tiny = 1 page, big = ceil(1000/128) = 8 pages.
+        assert_eq!(p.pages_read(), 9);
+        assert_eq!(p.pages_for(big.len), 8);
+    }
+
+    #[test]
+    fn blobs_never_share_pages() {
+        let vfs = MemVfs::new();
+        let p = pager(&vfs, 128);
+        let a = p.write_blob(&[0xAA; 100]).unwrap();
+        let b = p.write_blob(&[0xBB; 100]).unwrap();
+        assert_ne!(a.first_page, b.first_page);
+        assert_eq!(b.first_page, a.first_page + 1);
+        assert_eq!(p.read_blob(a).unwrap(), vec![0xAA; 100]);
+    }
+
+    #[test]
+    fn reopen_resumes_allocation_after_existing_blobs() {
+        let vfs = MemVfs::new();
+        let first = {
+            let p = pager(&vfs, 128);
+            let blob = p.write_blob(&[7u8; 300]).unwrap();
+            p.sync().unwrap();
+            blob
+        };
+        let p = Pager::open_with_page_size(&vfs, Path::new("pages"), 4096).unwrap();
+        assert_eq!(p.page_size(), 128, "existing page size wins");
+        let second = p.write_blob(&[9u8; 10]).unwrap();
+        assert!(second.first_page > first.first_page + 2);
+        assert_eq!(p.read_blob(first).unwrap(), vec![7u8; 300]);
+        assert_eq!(p.read_blob(second).unwrap(), vec![9u8; 10]);
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let vfs = MemVfs::new();
+        let _ = pager(&vfs, 128);
+        let mut bytes = vfs.contents(Path::new("pages"));
+        bytes[5] ^= 0xFF; // clobber the magic
+        vfs.set_contents(Path::new("pages"), bytes);
+        let err = Pager::open_with_page_size(&vfs, Path::new("pages"), 128).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncated_blob_reads_are_corrupt_not_panics() {
+        let vfs = MemVfs::new();
+        let p = pager(&vfs, 128);
+        let blob = p.write_blob(&[1u8; 200]).unwrap();
+        // Chop the file mid-blob.
+        let mut bytes = vfs.contents(Path::new("pages"));
+        bytes.truncate(bytes.len() - 150);
+        vfs.set_contents(Path::new("pages"), bytes);
+        assert!(matches!(
+            p.read_blob(blob),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+}

@@ -102,8 +102,18 @@ fn encode_str(buf: &mut Vec<u8>, s: &str) {
 /// Offsets are stored as `u32` to halve the offset table; fail loudly rather
 /// than wrap if a batch's keys ever exceed 4 GiB.
 #[inline]
+#[allow(clippy::expect_used)] // deliberate loud failure, not a recoverable error
 fn checked_offset(len: usize) -> u32 {
     u32::try_from(len).expect("row-key buffer exceeded u32 offset range (4 GiB per batch)")
+}
+
+/// First 8 bytes of `bytes` as an array; caller guarantees `bytes.len() >= 8`
+/// (always via `split_at(8)` / `chunks_exact(8)`).
+#[inline]
+fn word(bytes: &[u8]) -> [u8; 8] {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[..8]);
+    w
 }
 
 /// The encoded keys of every row of a batch: one flat byte buffer plus a
@@ -224,19 +234,21 @@ impl RowKeys {
                 }
                 TAG_INT => {
                     let (bytes, tail) = rest.split_at(8);
-                    out.push(Value::Int(i64::from_le_bytes(bytes.try_into().unwrap())));
+                    out.push(Value::Int(i64::from_le_bytes(word(bytes))));
                     key = tail;
                 }
                 TAG_FLOAT => {
                     let (bytes, tail) = rest.split_at(8);
-                    out.push(Value::Float(f64::from_bits(u64::from_le_bytes(
-                        bytes.try_into().unwrap(),
-                    ))));
+                    out.push(Value::Float(f64::from_bits(u64::from_le_bytes(word(
+                        bytes,
+                    )))));
                     key = tail;
                 }
                 TAG_STR => {
                     let (len_bytes, tail) = rest.split_at(4);
-                    let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+                    let mut len = [0u8; 4];
+                    len.copy_from_slice(len_bytes);
+                    let len = u32::from_le_bytes(len) as usize;
                     let (s, tail) = tail.split_at(len);
                     out.push(Value::Str(String::from_utf8_lossy(s).into_owned()));
                     key = tail;
@@ -258,7 +270,7 @@ pub fn hash_key(key: &[u8]) -> u64 {
     let mut h: u64 = key.len() as u64 ^ K;
     let mut chunks = key.chunks_exact(8);
     for c in &mut chunks {
-        let x = u64::from_le_bytes(c.try_into().unwrap());
+        let x = u64::from_le_bytes(word(c));
         h = (h ^ x).wrapping_mul(K);
         h ^= h >> 29;
     }

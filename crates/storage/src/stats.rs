@@ -141,8 +141,8 @@ impl ColumnZone {
         // Typed min/max loops; no Value widening per row.
         let (min, max) = match col {
             ColumnData::Int64(v) => {
-                let min = *v.iter().min().unwrap();
-                let max = *v.iter().max().unwrap();
+                let min = *v.iter().min()?;
+                let max = *v.iter().max()?;
                 (Value::Int(min), Value::Int(max))
             }
             ColumnData::Float64(v) => {
@@ -159,8 +159,8 @@ impl ColumnZone {
                 (Value::Float(min), Value::Float(max))
             }
             ColumnData::Utf8(v) => {
-                let min = v.iter().min().unwrap().clone();
-                let max = v.iter().max().unwrap().clone();
+                let min = v.iter().min()?.clone();
+                let max = v.iter().max()?.clone();
                 (Value::Str(min), Value::Str(max))
             }
             ColumnData::Bool(v) => {

@@ -146,6 +146,20 @@ struct StatsCache {
     version: u64,
 }
 
+/// Write-ahead hook invoked by [`Table::append`] **before** the new snapshot
+/// is published.
+///
+/// A durability layer implements this to log the batch (and make it durable)
+/// while the table's append lock is held, giving WAL-before-data ordering: if
+/// the sink returns an error the append is aborted and the table is
+/// unchanged; if the process crashes after the sink succeeded but before the
+/// snapshot swap, replaying the log reapplies the batch — the recovered table
+/// is always a prefix of acknowledged appends.
+pub trait AppendSink: Send + Sync {
+    /// Durably record `batch` as the next append to table `table`.
+    fn log_append(&self, table: &str, batch: &RecordBatch) -> Result<(), StorageError>;
+}
+
 /// A named, horizontally partitioned table supporting online appends.
 ///
 /// Statistics are computed lazily on first access (mirroring Taster, which
@@ -184,7 +198,6 @@ struct StatsCache {
 /// assert_eq!(before.num_rows(), 100, "old snapshot is untouched");
 /// assert!(t.snapshot().version() > before.version());
 /// ```
-#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: SchemaRef,
@@ -197,6 +210,20 @@ pub struct Table {
     /// only ever block on the final pointer swap.
     append_lock: Mutex<()>,
     stats: RwLock<Option<StatsCache>>,
+    /// Optional write-ahead hook consulted (under the append lock) before a
+    /// new snapshot is published.
+    append_sink: RwLock<Option<Arc<dyn AppendSink>>>,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("schema", &self.schema)
+            .field("seal_rows", &self.seal_rows)
+            .field("current", &self.current)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Table {
@@ -213,6 +240,7 @@ impl Table {
             current: RwLock::new(Arc::new(TableSnapshot::new(schema, partitions, 0))),
             append_lock: Mutex::new(()),
             stats: RwLock::new(None),
+            append_sink: RwLock::new(None),
         }
     }
 
@@ -239,6 +267,19 @@ impl Table {
         name: impl Into<String>,
         partitions: Vec<RecordBatch>,
     ) -> Result<Self, StorageError> {
+        let seal = partitions.iter().map(RecordBatch::num_rows).max().unwrap_or(1);
+        Self::from_partitions_with_seal(name, partitions, seal)
+    }
+
+    /// Like [`from_partitions`](Self::from_partitions) but with an explicit
+    /// partition seal size, so a recovered table reproduces the append
+    /// behaviour of the table it was checkpointed from (whose tail partition
+    /// may have been smaller than its seal bound).
+    pub fn from_partitions_with_seal(
+        name: impl Into<String>,
+        partitions: Vec<RecordBatch>,
+        seal_rows: usize,
+    ) -> Result<Self, StorageError> {
         let Some(first) = partitions.first() else {
             return Err(StorageError::Invalid(
                 "a table needs at least one (possibly empty) partition".to_string(),
@@ -252,7 +293,6 @@ impl Table {
                 ));
             }
         }
-        let seal_rows = partitions.iter().map(RecordBatch::num_rows).max().unwrap_or(1);
         let parts = partitions.into_iter().map(Arc::new).collect();
         Ok(Self::build(name.into(), schema, parts, seal_rows))
     }
@@ -286,6 +326,13 @@ impl Table {
     /// The partition seal size (rows) governing the append path.
     pub fn seal_rows(&self) -> usize {
         self.seal_rows
+    }
+
+    /// Attach (or replace) the write-ahead [`AppendSink`] consulted by every
+    /// subsequent [`append`](Self::append). Pass-through for in-memory
+    /// tables; the durability layer installs one when persistence is enabled.
+    pub fn set_append_sink(&self, sink: Option<Arc<dyn AppendSink>>) {
+        *self.append_sink.write() = sink;
     }
 
     /// Current snapshot version (0 for a freshly created table; +1 per
@@ -348,6 +395,14 @@ impl Table {
             });
         }
 
+        // WAL-before-data: make the batch durable before any in-memory state
+        // changes. A sink failure aborts the append with the table unchanged;
+        // a crash after this point is repaired by log replay.
+        let sink = self.append_sink.read().clone();
+        if let Some(sink) = sink {
+            sink.log_append(&self.name, batch)?;
+        }
+
         let mut partitions = old.partitions.clone();
         // Maintain zones only if the parent snapshot had computed them;
         // otherwise the child recomputes lazily on first pruning scan.
@@ -355,20 +410,18 @@ impl Table {
 
         let mut offset = 0usize;
         let mut extended_tail = false;
-        if let Some(tail) = partitions.last() {
-            if tail.num_rows() < self.seal_rows {
-                let take = (self.seal_rows - tail.num_rows()).min(batch.num_rows());
+        // `last_mut` (not `last` + indexed writeback) keeps the borrow local
+        // and avoids any unwrap on the tail slot.
+        if let Some(tail_slot) = partitions.last_mut() {
+            if tail_slot.num_rows() < self.seal_rows {
+                let take = (self.seal_rows - tail_slot.num_rows()).min(batch.num_rows());
                 let slice = batch.slice(0, take);
-                let mut grown = tail.as_ref().clone();
+                let mut grown = tail_slot.as_ref().clone();
                 grown.append(&slice)?;
-                if let Some(zones) = zones.as_mut() {
-                    let slice_zones = PartitionZones::compute(&slice);
-                    zones
-                        .last_mut()
-                        .expect("zones track partitions 1:1")
-                        .extend_with(&slice_zones);
+                if let Some(tail_zone) = zones.as_mut().and_then(|z| z.last_mut()) {
+                    tail_zone.extend_with(&PartitionZones::compute(&slice));
                 }
-                *partitions.last_mut().expect("tail exists") = Arc::new(grown);
+                *tail_slot = Arc::new(grown);
                 offset = take;
                 extended_tail = true;
             }
@@ -608,6 +661,65 @@ mod tests {
             }
         }
         assert!(snap.rows_from(130).is_empty());
+    }
+
+    #[test]
+    fn from_partitions_with_seal_controls_append_granularity() {
+        let parts = vec![batch(0..25), batch(25..40)];
+        let t = Table::from_partitions_with_seal("t", parts, 25).unwrap();
+        assert_eq!(t.seal_rows(), 25);
+        // Tail holds 15 of 25 rows: the next append extends it first.
+        let r = t.append(&batch(40..60)).unwrap();
+        assert!(r.extended_tail);
+        assert_eq!(r.new_partitions, 1); // 10 into the tail, 10 sealed
+        assert_eq!(t.num_partitions(), 3);
+    }
+
+    #[test]
+    fn failing_append_sink_aborts_append_before_publish() {
+        struct Failing;
+        impl AppendSink for Failing {
+            fn log_append(&self, _: &str, _: &RecordBatch) -> Result<(), StorageError> {
+                Err(StorageError::Io("disk full".to_string()))
+            }
+        }
+        let t = Table::from_batch("t", batch(0..10), 2).unwrap();
+        t.set_append_sink(Some(Arc::new(Failing)));
+        let err = t.append(&batch(10..20)).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert_eq!(t.num_rows(), 10, "failed append leaves the table unchanged");
+        assert_eq!(t.version(), 0);
+        // Detaching the sink restores the in-memory append path.
+        t.set_append_sink(None);
+        assert!(t.append(&batch(10..20)).is_ok());
+        assert_eq!(t.num_rows(), 20);
+    }
+
+    #[test]
+    fn append_sink_sees_batch_before_snapshot_publishes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting {
+            rows: AtomicUsize,
+        }
+        impl AppendSink for Counting {
+            fn log_append(&self, table: &str, batch: &RecordBatch) -> Result<(), StorageError> {
+                assert_eq!(table, "t");
+                self.rows.fetch_add(batch.num_rows(), Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let sink = Arc::new(Counting {
+            rows: AtomicUsize::new(0),
+        });
+        let t = Table::from_batch("t", batch(0..10), 2).unwrap();
+        t.set_append_sink(Some(sink.clone()));
+        t.append(&batch(10..30)).unwrap();
+        t.append(&batch(30..35)).unwrap();
+        assert_eq!(sink.rows.load(Ordering::SeqCst), 25);
+        // Empty appends are no-ops and never reach the sink.
+        let empty = batch(0..10).filter(&[false; 10]);
+        t.append(&empty).unwrap();
+        assert_eq!(sink.rows.load(Ordering::SeqCst), 25);
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Virtual file system: the single seam between the durability layer and the
+//! operating system.
+//!
+//! Every file operation the pager and the write-ahead log perform goes
+//! through the [`Vfs`] / [`VfsFile`] traits, which makes the whole durability
+//! stack testable under **deterministic fault injection**: [`FaultVfs`] wraps
+//! any other implementation and, driven by a seeded [`FaultPlan`], injects
+//! torn writes at byte granularity, short reads, fsync failures and
+//! crash-point panics at exact operation counts. The same schedule replayed
+//! against the same workload injects the same faults — recovery tests are
+//! reproducible bit for bit.
+//!
+//! Implementations:
+//!
+//! * [`StdVfs`] — real files via `std::fs` (positional reads/writes, no seek
+//!   state, safe for concurrent readers),
+//! * [`MemVfs`] — an in-memory file system for fast deterministic tests; a
+//!   cloned handle shares the same files, and
+//! * [`FaultVfs`] — the fault-injecting wrapper.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::StorageError;
+
+/// An open file handle. All operations are positional (no cursor), so one
+/// handle can serve concurrent readers; writers are expected to serialize
+/// externally (the WAL and pager each own their file behind a lock).
+// `len` is a file length, not a collection length — no `is_empty` wanted.
+#[allow(clippy::len_without_is_empty)]
+pub trait VfsFile: Send + Sync {
+    /// Read up to `buf.len()` bytes at `offset`. Returns the number of bytes
+    /// actually read — fewer than requested only at end of file (or under an
+    /// injected short read).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError>;
+
+    /// Write all of `data` at `offset`, extending the file if needed. A torn
+    /// write (injected or real) may persist a prefix of `data` and then
+    /// return an error — callers must treat any error as "bytes at and after
+    /// `offset` are undefined".
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Durably flush all written data to stable storage.
+    fn sync(&self) -> Result<(), StorageError>;
+
+    /// Current file length in bytes.
+    fn len(&self) -> Result<u64, StorageError>;
+
+    /// Truncate (or extend with zeros) to exactly `len` bytes.
+    fn truncate(&self, len: u64) -> Result<(), StorageError>;
+}
+
+/// A file system. Opening a missing file creates it empty.
+pub trait Vfs: Send + Sync {
+    /// Open (creating if absent) the file at `path`.
+    fn open(&self, path: &Path) -> Result<Arc<dyn VfsFile>, StorageError>;
+
+    /// `true` if a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs: real files
+// ---------------------------------------------------------------------------
+
+/// The production [`Vfs`]: real files through `std::fs`, with positional I/O.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+struct StdFile {
+    file: std::fs::File,
+}
+
+impl VfsFile for StdFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        use std::os::unix::fs::FileExt;
+        let mut read = 0usize;
+        while read < buf.len() {
+            match self.file.read_at(&mut buf[read..], offset + read as u64) {
+                Ok(0) => break,
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(read)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, offset)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64, StorageError> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn truncate(&self, len: u64) -> Result<(), StorageError> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn open(&self, path: &Path) -> Result<Arc<dyn VfsFile>, StorageError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Arc::new(StdFile { file }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemVfs: in-memory files for deterministic tests
+// ---------------------------------------------------------------------------
+
+/// An in-memory [`Vfs`]. Cloned handles share the same files, which is how a
+/// test hands "the same disk" to a writer and a later recovery pass.
+#[derive(Debug, Default, Clone)]
+pub struct MemVfs {
+    files: Arc<Mutex<HashMap<PathBuf, Arc<MemFile>>>>,
+}
+
+/// One in-memory file (shared, internally locked).
+#[derive(Debug, Default)]
+pub struct MemFile {
+    data: Mutex<Vec<u8>>,
+}
+
+impl MemVfs {
+    /// A fresh, empty in-memory file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raw bytes of the file at `path` (empty if absent) — tests use this to
+    /// snapshot a WAL and replay truncated prefixes of it.
+    pub fn contents(&self, path: &Path) -> Vec<u8> {
+        self.files
+            .lock()
+            .get(path)
+            .map(|f| f.data.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Overwrite the file at `path` with `bytes` (creating it if absent).
+    pub fn set_contents(&self, path: &Path, bytes: Vec<u8>) {
+        let file = self
+            .files
+            .lock()
+            .entry(path.to_path_buf())
+            .or_default()
+            .clone();
+        *file.data.lock() = bytes;
+    }
+
+    /// Remove the file at `path`, if present.
+    pub fn remove(&self, path: &Path) {
+        self.files.lock().remove(path);
+    }
+}
+
+impl VfsFile for MemFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        let data = self.data.lock();
+        let offset = offset as usize;
+        if offset >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - offset);
+        buf[..n].copy_from_slice(&data[offset..offset + n]);
+        Ok(n)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        let mut file = self.data.lock();
+        let end = offset as usize + data.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64, StorageError> {
+        Ok(self.data.lock().len() as u64)
+    }
+
+    fn truncate(&self, len: u64) -> Result<(), StorageError> {
+        self.data.lock().resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+impl Vfs for MemVfs {
+    fn open(&self, path: &Path) -> Result<Arc<dyn VfsFile>, StorageError> {
+        let file = self
+            .files
+            .lock()
+            .entry(path.to_path_buf())
+            .or_default()
+            .clone();
+        Ok(file)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().contains_key(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs: deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected fault, fired when the shared operation counter reaches
+/// `at_op` (operations are counted across *all* files opened through the same
+/// [`FaultVfs`], in execution order, so a schedule pins faults to exact
+/// points of the workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The write at this operation persists only its first `keep` bytes and
+    /// then fails (a torn write at byte granularity).
+    TornWrite {
+        /// Operation count at which the fault fires.
+        at_op: u64,
+        /// Bytes of the write that reach the file before the failure.
+        keep: usize,
+    },
+    /// The read at this operation returns at most `max` bytes.
+    ShortRead {
+        /// Operation count at which the fault fires.
+        at_op: u64,
+        /// Upper bound on the bytes returned.
+        max: usize,
+    },
+    /// The sync at this operation fails (data may or may not be durable —
+    /// exactly the contract of a failed fsync).
+    FailSync {
+        /// Operation count at which the fault fires.
+        at_op: u64,
+    },
+    /// The operation at this count panics, simulating a process crash at an
+    /// exact instruction boundary. Writes scheduled before the crash are
+    /// already in the file; nothing after it runs.
+    Crash {
+        /// Operation count at which the fault fires.
+        at_op: u64,
+    },
+}
+
+impl Fault {
+    fn at_op(&self) -> u64 {
+        match self {
+            Fault::TornWrite { at_op, .. }
+            | Fault::ShortRead { at_op, .. }
+            | Fault::FailSync { at_op }
+            | Fault::Crash { at_op } => *at_op,
+        }
+    }
+}
+
+/// A deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with exactly the given faults.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+
+    /// Derive a single pseudo-random fault from `seed`, landing somewhere in
+    /// the first `horizon` operations. The same seed always produces the same
+    /// fault — test failures name the seed, so any run is replayable.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        // splitmix64: small, deterministic, no external dependency.
+        let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let at_op = next() % horizon.max(1);
+        let fault = match next() % 4 {
+            0 => Fault::TornWrite {
+                at_op,
+                keep: (next() % 64) as usize,
+            },
+            1 => Fault::ShortRead {
+                at_op,
+                max: (next() % 16) as usize,
+            },
+            2 => Fault::FailSync { at_op },
+            _ => Fault::Crash { at_op },
+        };
+        Self::new(vec![fault])
+    }
+}
+
+/// Shared fault state: the operation counter plus the pending schedule.
+#[derive(Debug)]
+struct FaultState {
+    ops: AtomicU64,
+    plan: Mutex<FaultPlan>,
+}
+
+impl FaultState {
+    /// Count one operation and return the fault scheduled for it, if any.
+    fn tick(&self) -> Option<Fault> {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        let mut plan = self.plan.lock();
+        let idx = plan.faults.iter().position(|f| f.at_op() == op)?;
+        Some(plan.faults.remove(idx))
+    }
+}
+
+/// A [`Vfs`] wrapper that injects the faults of a [`FaultPlan`] into an inner
+/// implementation. Cloned handles share the operation counter and schedule.
+#[derive(Clone)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<FaultState>,
+}
+
+impl FaultVfs {
+    /// Wrap `inner`, injecting the faults of `plan`.
+    pub fn new(inner: Arc<dyn Vfs>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            state: Arc::new(FaultState {
+                ops: AtomicU64::new(0),
+                plan: Mutex::new(plan),
+            }),
+        }
+    }
+
+    /// Operations performed so far (reads + writes + syncs across all files).
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// Replace the remaining fault schedule.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.state.plan.lock() = plan;
+    }
+}
+
+struct FaultFile {
+    inner: Arc<dyn VfsFile>,
+    state: Arc<FaultState>,
+}
+
+impl VfsFile for FaultFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        match self.state.tick() {
+            Some(Fault::ShortRead { max, .. }) => {
+                let n = buf.len().min(max);
+                self.inner.read_at(offset, &mut buf[..n])
+            }
+            Some(Fault::Crash { .. }) => panic!("injected crash (read)"),
+            _ => self.inner.read_at(offset, buf),
+        }
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        match self.state.tick() {
+            Some(Fault::TornWrite { keep, .. }) => {
+                let keep = keep.min(data.len());
+                self.inner.write_at(offset, &data[..keep])?;
+                Err(StorageError::Io(format!(
+                    "injected torn write: {keep} of {} bytes persisted",
+                    data.len()
+                )))
+            }
+            Some(Fault::Crash { .. }) => panic!("injected crash (write)"),
+            _ => self.inner.write_at(offset, data),
+        }
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        match self.state.tick() {
+            Some(Fault::FailSync { .. }) => {
+                Err(StorageError::Io("injected fsync failure".to_string()))
+            }
+            Some(Fault::Crash { .. }) => panic!("injected crash (sync)"),
+            _ => self.inner.sync(),
+        }
+    }
+
+    fn len(&self) -> Result<u64, StorageError> {
+        self.inner.len()
+    }
+
+    fn truncate(&self, len: u64) -> Result<(), StorageError> {
+        self.inner.truncate(len)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn open(&self, path: &Path) -> Result<Arc<dyn VfsFile>, StorageError> {
+        Ok(Arc::new(FaultFile {
+            inner: self.inner.open(path)?,
+            state: self.state.clone(),
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_round_trips_and_shares_files() {
+        let vfs = MemVfs::new();
+        let path = Path::new("dir/file.bin");
+        let f = vfs.open(path).unwrap();
+        f.write_at(0, b"hello").unwrap();
+        f.write_at(5, b" world").unwrap();
+        assert_eq!(f.len().unwrap(), 11);
+
+        // A second handle (via a cloned vfs) sees the same bytes.
+        let f2 = vfs.clone().open(path).unwrap();
+        let mut buf = [0u8; 11];
+        assert_eq!(f2.read_at(0, &mut buf).unwrap(), 11);
+        assert_eq!(&buf, b"hello world");
+
+        // Reads past the end are short, not errors.
+        assert_eq!(f2.read_at(100, &mut buf).unwrap(), 0);
+        f.truncate(5).unwrap();
+        assert_eq!(vfs.contents(path), b"hello");
+    }
+
+    #[test]
+    fn std_vfs_round_trips_in_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("taster-vfs-{}", std::process::id()));
+        let path = dir.join("probe.bin");
+        let vfs = StdVfs;
+        let f = vfs.open(&path).unwrap();
+        f.write_at(0, b"abc").unwrap();
+        f.sync().unwrap();
+        assert!(vfs.exists(&path));
+        let mut buf = [0u8; 3];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"abc");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_exact_prefix() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultPlan::new(vec![Fault::TornWrite { at_op: 1, keep: 3 }]),
+        );
+        let path = Path::new("wal");
+        let f = vfs.open(path).unwrap();
+        f.write_at(0, b"first").unwrap(); // op 0: clean
+        let err = f.write_at(5, b"second").unwrap_err(); // op 1: torn after 3 bytes
+        assert!(matches!(err, StorageError::Io(_)));
+        assert_eq!(mem.contents(path), b"firstsec");
+        // The schedule is consumed: later writes succeed.
+        f.write_at(0, b"x").unwrap();
+        assert_eq!(vfs.ops(), 3);
+    }
+
+    #[test]
+    fn short_read_and_sync_failure_fire_once() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(
+            Arc::new(mem),
+            FaultPlan::new(vec![
+                Fault::ShortRead { at_op: 1, max: 2 },
+                Fault::FailSync { at_op: 2 },
+            ]),
+        );
+        let f = vfs.open(Path::new("f")).unwrap();
+        f.write_at(0, b"0123456789").unwrap(); // op 0
+        let mut buf = [0u8; 10];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 2); // op 1: short
+        assert!(f.sync().is_err()); // op 2: failed fsync
+        assert!(f.sync().is_ok()); // schedule exhausted
+    }
+
+    #[test]
+    fn crash_fault_panics_at_exact_op() {
+        let vfs = FaultVfs::new(
+            Arc::new(MemVfs::new()),
+            FaultPlan::new(vec![Fault::Crash { at_op: 1 }]),
+        );
+        let f = vfs.open(Path::new("f")).unwrap();
+        f.write_at(0, b"ok").unwrap();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = f.write_at(2, b"boom");
+        }));
+        assert!(crashed.is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 1000);
+        let b = FaultPlan::seeded(42, 1000);
+        assert_eq!(a.faults, b.faults);
+        let c = FaultPlan::seeded(43, 1000);
+        // Different seeds *may* collide on the fault kind, but the full
+        // schedule (kind + op) differing for at least one of a few seeds is
+        // overwhelmingly likely; check a weaker but deterministic property:
+        assert!(c.faults[0].at_op() < 1000);
+    }
+}

@@ -1,0 +1,425 @@
+//! Write-ahead log with CRC-framed records and group commit.
+//!
+//! # Frame format
+//!
+//! Every record is one frame, appended sequentially:
+//!
+//! ```text
+//! [len: u32][crc: u32][kind: u8][payload: len-1 bytes]
+//! ```
+//!
+//! `len` counts `kind + payload`; `crc` is CRC-32 over exactly those bytes.
+//! Record kinds are opaque to the WAL except for [`COMMIT_KIND`], which marks
+//! the **atomicity boundary**: everything appended since the previous commit
+//! becomes visible together, or not at all.
+//!
+//! # Commit protocol (fsync-batched group commit)
+//!
+//! [`Wal::append`] buffers frames in memory; [`Wal::commit`] writes all
+//! buffered frames plus one commit frame with a single `write_at`, then
+//! issues **one** `sync`. Any number of logical records therefore share one
+//! fsync — the group-commit batching that keeps the per-append overhead
+//! bounded. Only after the sync returns does the in-memory tail offset
+//! advance; a failed write or sync leaves the file logically unchanged (the
+//! torn bytes sit past the last durable commit and are ignored — and
+//! physically truncated — by replay).
+//!
+//! # Replay
+//!
+//! [`Wal::replay`] scans frames from the start, validating lengths and CRCs.
+//! It stops at the first torn or invalid frame and delivers **only the
+//! records up to and including the last valid commit frame** — a half-written
+//! transaction is invisible. Replaying any prefix of a WAL therefore yields
+//! the state at some earlier commit boundary, which is what makes recovery
+//! idempotent.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::codec::crc32;
+use crate::error::StorageError;
+use crate::vfs::{Vfs, VfsFile};
+
+/// Frame kind reserved for commit markers.
+pub const COMMIT_KIND: u8 = 0xC0;
+
+const FRAME_HEADER: usize = 9; // len(4) + crc(4) + kind(1)
+/// Upper bound on one frame's `kind + payload` bytes (64 MiB): replay rejects
+/// larger lengths as corruption instead of attempting the allocation.
+const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// One logical record recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Application-defined record kind (never [`COMMIT_KIND`]).
+    pub kind: u8,
+    /// Record payload.
+    pub payload: Vec<u8>,
+}
+
+/// What a [`Wal::replay`] pass found.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Records up to and including the last valid commit, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset just past the last valid commit frame — the point the log
+    /// is truncated to before appending resumes.
+    pub durable_len: u64,
+    /// Frames (including uncommitted ones) that were read before the scan
+    /// stopped.
+    pub frames_scanned: usize,
+    /// `true` if the scan stopped because of a torn or corrupt frame (as
+    /// opposed to a clean end of file).
+    pub tore: bool,
+}
+
+/// An append-only write-ahead log over one [`VfsFile`].
+///
+/// The `Wal` itself is not internally synchronized — callers own it behind a
+/// lock (one writer at a time), which also serializes the group-commit
+/// batches.
+pub struct Wal {
+    file: Arc<dyn VfsFile>,
+    /// Offset of the next frame to be written (= bytes durably committed).
+    tail: u64,
+    /// Frames appended but not yet committed.
+    pending: Vec<u8>,
+    /// Records in `pending` (for introspection / tests).
+    pending_records: usize,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("tail", &self.tail)
+            .field("pending_records", &self.pending_records)
+            .finish()
+    }
+}
+
+fn encode_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    let len = 1 + payload.len();
+    let mut body = Vec::with_capacity(len);
+    body.push(kind);
+    body.extend_from_slice(payload);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path`, replay it, truncate any
+    /// torn tail, and return the log positioned for appending along with the
+    /// replayed records.
+    pub fn open(vfs: &dyn Vfs, path: &Path) -> Result<(Self, WalReplay), StorageError> {
+        let file = vfs.open(path)?;
+        let replay = Self::scan(file.as_ref())?;
+        // Drop the torn tail so future appends start at a clean boundary.
+        if replay.durable_len < file.len()? {
+            file.truncate(replay.durable_len)?;
+        }
+        Ok((
+            Self {
+                file,
+                tail: replay.durable_len,
+                pending: Vec::new(),
+                pending_records: 0,
+            },
+            replay,
+        ))
+    }
+
+    /// Replay the log at `path` without taking write ownership (read-only
+    /// recovery; the file is not truncated).
+    pub fn replay(vfs: &dyn Vfs, path: &Path) -> Result<WalReplay, StorageError> {
+        let file = vfs.open(path)?;
+        Self::scan(file.as_ref())
+    }
+
+    fn scan(file: &dyn VfsFile) -> Result<WalReplay, StorageError> {
+        let len = file.len()?;
+        let mut bytes = vec![0u8; len as usize];
+        let read = file.read_at(0, &mut bytes)?;
+        bytes.truncate(read);
+
+        let mut replay = WalReplay::default();
+        let mut offset = 0usize;
+        let mut committed_records = 0usize;
+        let mut uncommitted: Vec<WalRecord> = Vec::new();
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining < FRAME_HEADER {
+                replay.tore = remaining != 0;
+                break;
+            }
+            let frame_len =
+                u32::from_le_bytes([bytes[offset], bytes[offset + 1], bytes[offset + 2], bytes[offset + 3]]);
+            let crc =
+                u32::from_le_bytes([bytes[offset + 4], bytes[offset + 5], bytes[offset + 6], bytes[offset + 7]]);
+            if frame_len == 0 || frame_len > MAX_FRAME_LEN {
+                replay.tore = true;
+                break;
+            }
+            let body_start = offset + 8;
+            let body_end = body_start + frame_len as usize;
+            if body_end > bytes.len() {
+                replay.tore = true;
+                break;
+            }
+            let body = &bytes[body_start..body_end];
+            if crc32(body) != crc {
+                replay.tore = true;
+                break;
+            }
+            replay.frames_scanned += 1;
+            offset = body_end;
+            if body[0] == COMMIT_KIND {
+                replay.records.append(&mut uncommitted);
+                committed_records = replay.records.len();
+                replay.durable_len = offset as u64;
+            } else {
+                uncommitted.push(WalRecord {
+                    kind: body[0],
+                    payload: body[1..].to_vec(),
+                });
+            }
+        }
+        replay.records.truncate(committed_records);
+        Ok(replay)
+    }
+
+    /// Buffer one record for the next commit. Nothing reaches the file until
+    /// [`commit`](Self::commit).
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+        if kind == COMMIT_KIND {
+            return Err(StorageError::Invalid(
+                "record kind 0xC0 is reserved for commit frames".to_string(),
+            ));
+        }
+        encode_frame(&mut self.pending, kind, payload);
+        self.pending_records += 1;
+        Ok(())
+    }
+
+    /// Number of records buffered for the next commit.
+    pub fn pending_records(&self) -> usize {
+        self.pending_records
+    }
+
+    /// Write all buffered records plus a commit frame, then fsync once
+    /// (group commit). On success the records are durable; on failure the
+    /// buffered batch is dropped and the file's logical content is unchanged
+    /// (any torn bytes lie past the last durable commit and will be ignored
+    /// and truncated by the next replay).
+    pub fn commit(&mut self) -> Result<(), StorageError> {
+        if self.pending_records == 0 {
+            return Ok(());
+        }
+        let mut batch = std::mem::take(&mut self.pending);
+        self.pending_records = 0;
+        encode_frame(&mut batch, COMMIT_KIND, &[]);
+        let write = self.file.write_at(self.tail, &batch);
+        let sync = write.and_then(|()| self.file.sync());
+        match sync {
+            Ok(()) => {
+                self.tail += batch.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Leave the torn tail in place; replay ignores it. Future
+                // commits overwrite it at the same offset.
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes durably committed (the offset replay would report).
+    pub fn durable_len(&self) -> u64 {
+        self.tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{Fault, FaultPlan, FaultVfs, MemVfs};
+
+    fn mem_wal(vfs: &MemVfs) -> Wal {
+        Wal::open(vfs, Path::new("wal")).unwrap().0
+    }
+
+    #[test]
+    fn committed_records_replay_in_order() {
+        let vfs = MemVfs::new();
+        let mut wal = mem_wal(&vfs);
+        wal.append(1, b"alpha").unwrap();
+        wal.append(2, b"beta").unwrap();
+        wal.commit().unwrap();
+        wal.append(3, b"gamma").unwrap();
+        wal.commit().unwrap();
+
+        let replay = Wal::replay(&vfs, Path::new("wal")).unwrap();
+        assert!(!replay.tore);
+        assert_eq!(
+            replay.records,
+            vec![
+                WalRecord { kind: 1, payload: b"alpha".to_vec() },
+                WalRecord { kind: 2, payload: b"beta".to_vec() },
+                WalRecord { kind: 3, payload: b"gamma".to_vec() },
+            ]
+        );
+        assert_eq!(replay.durable_len, wal.durable_len());
+    }
+
+    #[test]
+    fn uncommitted_records_are_invisible() {
+        let vfs = MemVfs::new();
+        let mut wal = mem_wal(&vfs);
+        wal.append(1, b"committed").unwrap();
+        wal.commit().unwrap();
+        wal.append(2, b"buffered, never committed").unwrap();
+        // No commit: the record never even reaches the file.
+        let replay = Wal::replay(&vfs, Path::new("wal")).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].kind, 1);
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_commit_prefix() {
+        let vfs = MemVfs::new();
+        let mut wal = mem_wal(&vfs);
+        let mut lens_after_commit = vec![(0u64, 0usize)];
+        for batch in 0..5u8 {
+            for i in 0..=batch {
+                wal.append(batch + 1, &[i; 3]).unwrap();
+            }
+            wal.commit().unwrap();
+            let records_so_far: usize = (1..=batch as usize + 1).sum();
+            lens_after_commit.push((wal.durable_len(), records_so_far));
+        }
+        let full = vfs.contents(Path::new("wal"));
+
+        for cut in 0..=full.len() {
+            vfs.set_contents(Path::new("truncated"), full[..cut].to_vec());
+            let replay = Wal::replay(&vfs, Path::new("truncated")).unwrap();
+            // Expected: the largest commit boundary at or below the cut.
+            let &(boundary, records) = lens_after_commit
+                .iter()
+                .rev()
+                .find(|(len, _)| *len <= cut as u64)
+                .unwrap();
+            assert_eq!(replay.durable_len, boundary, "cut at {cut}");
+            assert_eq!(replay.records.len(), records, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_stops_replay_at_previous_commit() {
+        let vfs = MemVfs::new();
+        let mut wal = mem_wal(&vfs);
+        wal.append(1, b"first").unwrap();
+        wal.commit().unwrap();
+        let boundary = wal.durable_len();
+        wal.append(2, b"second").unwrap();
+        wal.commit().unwrap();
+
+        // Flip a byte in the second batch: its commit must become invisible.
+        let mut bytes = vfs.contents(Path::new("wal"));
+        let victim = boundary as usize + FRAME_HEADER + 2;
+        bytes[victim] ^= 0xFF;
+        vfs.set_contents(Path::new("wal"), bytes);
+
+        let replay = Wal::replay(&vfs, Path::new("wal")).unwrap();
+        assert!(replay.tore);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.durable_len, boundary);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_resumes() {
+        let vfs = MemVfs::new();
+        let mut wal = mem_wal(&vfs);
+        wal.append(1, b"keep").unwrap();
+        wal.commit().unwrap();
+        let keep_len = wal.durable_len();
+        drop(wal);
+        // Simulate a torn batch after the commit.
+        let mut bytes = vfs.contents(Path::new("wal"));
+        bytes.extend_from_slice(&[0xAB; 7]);
+        vfs.set_contents(Path::new("wal"), bytes);
+
+        let (mut wal, replay) = Wal::open(&vfs, Path::new("wal")).unwrap();
+        assert!(replay.tore);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(vfs.contents(Path::new("wal")).len() as u64, keep_len);
+        // Appending after the truncation produces a clean log.
+        wal.append(2, b"more").unwrap();
+        wal.commit().unwrap();
+        let replay = Wal::replay(&vfs, Path::new("wal")).unwrap();
+        assert!(!replay.tore);
+        assert_eq!(replay.records.len(), 2);
+    }
+
+    #[test]
+    fn torn_commit_write_keeps_log_consistent() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(Arc::new(mem.clone()), FaultPlan::none());
+        let (mut wal, _) = Wal::open(&vfs, Path::new("wal")).unwrap();
+        wal.append(1, b"durable").unwrap();
+        wal.commit().unwrap();
+
+        // Tear the next commit's write after a few bytes.
+        vfs.set_plan(FaultPlan::new(vec![Fault::TornWrite {
+            at_op: vfs.ops(),
+            keep: 5,
+        }]));
+        wal.append(2, b"torn away").unwrap();
+        assert!(wal.commit().is_err());
+
+        let replay = Wal::replay(&mem, Path::new("wal")).unwrap();
+        assert_eq!(replay.records.len(), 1, "torn batch must be invisible");
+        assert!(replay.tore);
+
+        // The same WAL object keeps working: the next commit overwrites the
+        // torn tail at the durable offset.
+        wal.append(3, b"retry").unwrap();
+        wal.commit().unwrap();
+        let replay = Wal::replay(&mem, Path::new("wal")).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].payload, b"retry");
+    }
+
+    #[test]
+    fn failed_fsync_is_reported_and_recoverable() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(Arc::new(mem.clone()), FaultPlan::none());
+        let (mut wal, _) = Wal::open(&vfs, Path::new("wal")).unwrap();
+        wal.append(1, b"a").unwrap();
+        wal.commit().unwrap();
+        let acknowledged = wal.durable_len();
+        // Fail the next sync (the op after the batch write).
+        vfs.set_plan(FaultPlan::new(vec![Fault::FailSync {
+            at_op: vfs.ops() + 1,
+        }]));
+        wal.append(2, b"b").unwrap();
+        assert!(matches!(wal.commit(), Err(StorageError::Io(_))));
+        // The batch was never acknowledged: the WAL's durable offset stays
+        // put, and the next commit overwrites the unacknowledged bytes.
+        assert_eq!(wal.durable_len(), acknowledged);
+        wal.append(3, b"c").unwrap();
+        wal.commit().unwrap();
+        let replay = Wal::replay(&mem, Path::new("wal")).unwrap();
+        let kinds: Vec<u8> = replay.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![1, 3], "unacknowledged batch must not survive");
+    }
+
+    #[test]
+    fn commit_kind_is_reserved() {
+        let vfs = MemVfs::new();
+        let mut wal = mem_wal(&vfs);
+        assert!(wal.append(COMMIT_KIND, b"nope").is_err());
+        assert_eq!(wal.pending_records(), 0);
+        wal.commit().unwrap(); // empty commit is a no-op
+        assert_eq!(wal.durable_len(), 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! (`N` is the L1 norm of all insertions).
 
 use serde::{Deserialize, Serialize};
-use taster_storage::Value;
+use taster_storage::{ByteReader, ByteWriter, StorageError, Value};
 
 use crate::hash::{hash_bytes, hash_value};
 
@@ -156,6 +156,53 @@ impl CountMinSketch {
     pub fn size_bytes(&self) -> usize {
         self.counters.len() * std::mem::size_of::<f64>() + 64
     }
+
+    /// Serialize the sketch into a [`ByteWriter`] (fixed-width little-endian;
+    /// counters stored densely). Used by the durability layer to persist
+    /// warehouse-resident sketches.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64(self.width as u64);
+        w.put_u64(self.depth as u64);
+        w.put_f64(self.total);
+        for &c in &self.counters {
+            w.put_f64(c);
+        }
+    }
+
+    /// Deserialize a sketch previously written by
+    /// [`encode_into`](Self::encode_into). Corrupt dimensions are rejected
+    /// before any counter allocation happens.
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, StorageError> {
+        let width = usize::try_from(r.get_u64()?)
+            .map_err(|_| StorageError::Corrupt("sketch width overflows usize".to_string()))?;
+        let depth = usize::try_from(r.get_u64()?)
+            .map_err(|_| StorageError::Corrupt("sketch depth overflows usize".to_string()))?;
+        let total = r.get_f64()?;
+        let cells = width
+            .checked_mul(depth)
+            .ok_or_else(|| StorageError::Corrupt("sketch dimensions overflow".to_string()))?;
+        if width == 0 || depth == 0 {
+            return Err(StorageError::Corrupt(
+                "sketch dimensions must be non-zero".to_string(),
+            ));
+        }
+        if r.remaining() < cells.saturating_mul(8) {
+            return Err(StorageError::Corrupt(format!(
+                "sketch claims {cells} counters but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut counters = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            counters.push(r.get_f64()?);
+        }
+        Ok(Self {
+            width,
+            depth,
+            counters,
+            total,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -252,5 +299,32 @@ mod tests {
     #[test]
     fn size_bytes_reflects_dimensions() {
         assert!(CountMinSketch::new(1024, 5).size_bytes() > CountMinSketch::new(64, 2).size_bytes());
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_truncation() {
+        let mut cm = CountMinSketch::new(64, 4);
+        for i in 0..1000i64 {
+            cm.add(&Value::Int(i % 50), 1.5);
+        }
+        let mut w = taster_storage::ByteWriter::new();
+        cm.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let back =
+            CountMinSketch::decode_from(&mut taster_storage::ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.width(), 64);
+        assert_eq!(back.depth(), 4);
+        assert_eq!(back.total(), cm.total());
+        for i in 0..50i64 {
+            assert_eq!(back.estimate(&Value::Int(i)), cm.estimate(&Value::Int(i)));
+        }
+        // Any truncation is a typed error, never a panic or overallocation.
+        for cut in 0..bytes.len() {
+            assert!(
+                CountMinSketch::decode_from(&mut taster_storage::ByteReader::new(&bytes[..cut]))
+                    .is_err(),
+                "cut={cut}"
+            );
+        }
     }
 }

@@ -1,8 +1,9 @@
 //! Weighted samples: the materialized output of any sampler.
 
 use taster_storage::batch::RecordBatch;
+use taster_storage::codec::{decode_batch, encode_batch};
 use taster_storage::schema::{DataType, Field};
-use taster_storage::{ColumnData, StorageError};
+use taster_storage::{ByteReader, ByteWriter, ColumnData, StorageError};
 
 use crate::WEIGHT_COLUMN;
 
@@ -86,6 +87,59 @@ impl WeightedSample {
     pub fn estimated_source_rows(&self) -> f64 {
         self.weights.iter().sum()
     }
+
+    /// Serialize into a [`ByteWriter`] (durability-layer payload format).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        encode_batch(w, &self.rows);
+        w.put_u64(self.weights.len() as u64);
+        for &wt in &self.weights {
+            w.put_f64(wt);
+        }
+        w.put_u32(self.stratification.len() as u32);
+        for s in &self.stratification {
+            w.put_str(s);
+        }
+        w.put_f64(self.probability);
+        w.put_u64(self.source_rows as u64);
+    }
+
+    /// Deserialize a sample written by [`encode_into`](Self::encode_into).
+    /// Weight/row misalignment is rejected as corruption.
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, StorageError> {
+        let rows = decode_batch(r)?;
+        let num_weights = usize::try_from(r.get_u64()?)
+            .map_err(|_| StorageError::Corrupt("weight count overflows usize".to_string()))?;
+        if num_weights != rows.num_rows() {
+            return Err(StorageError::Corrupt(format!(
+                "sample has {} rows but {num_weights} weights",
+                rows.num_rows()
+            )));
+        }
+        if r.remaining() < num_weights.saturating_mul(8) {
+            return Err(StorageError::Corrupt(
+                "sample weights truncated".to_string(),
+            ));
+        }
+        let mut weights = Vec::with_capacity(num_weights);
+        for _ in 0..num_weights {
+            weights.push(r.get_f64()?);
+        }
+        let num_strata = r.get_u32()? as usize;
+        let mut stratification = Vec::with_capacity(num_strata.min(1024));
+        for _ in 0..num_strata {
+            stratification.push(r.get_str()?);
+        }
+        let probability = r.get_f64()?;
+        let source_rows = usize::try_from(r.get_u64()?)
+            .map_err(|_| StorageError::Corrupt("source_rows overflows usize".to_string()))?;
+        Ok(Self {
+            rows,
+            weights,
+            stratification,
+            probability,
+            source_rows,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +179,29 @@ mod tests {
         assert_eq!(a.len(), 6);
         assert_eq!(a.source_rows, 12);
         assert!((a.estimated_source_rows() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn codec_round_trips_all_fields() {
+        let mut s = sample();
+        s.stratification = vec!["grp".to_string()];
+        let mut w = ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let back = WeightedSample::decode_from(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.weights, s.weights);
+        assert_eq!(back.stratification, s.stratification);
+        assert_eq!(back.probability, s.probability);
+        assert_eq!(back.source_rows, s.source_rows);
+        assert_eq!(back.rows.row(2), s.rows.row(2));
+        // Every truncation point errors instead of panicking.
+        for cut in 0..bytes.len() {
+            assert!(
+                WeightedSample::decode_from(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                "cut={cut}"
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 use taster_storage::batch::RecordBatch;
 use taster_storage::row_key::RowKeys;
-use taster_storage::{StorageError, Value};
+use taster_storage::{ByteReader, ByteWriter, StorageError, Value};
 
 use crate::countmin::CountMinSketch;
 
@@ -181,6 +181,49 @@ impl SketchJoin {
             self.sum_sketch.error_bound(),
         )
     }
+
+    /// Serialize into a [`ByteWriter`] (durability-layer payload format).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(self.key_columns.len() as u32);
+        for k in &self.key_columns {
+            w.put_str(k);
+        }
+        match &self.value_column {
+            Some(v) => {
+                w.put_bool(true);
+                w.put_str(v);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.rows_summarized as u64);
+        self.count_sketch.encode_into(w);
+        self.sum_sketch.encode_into(w);
+    }
+
+    /// Deserialize a sketch-join written by [`encode_into`](Self::encode_into).
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, StorageError> {
+        let num_keys = r.get_u32()? as usize;
+        let mut key_columns = Vec::with_capacity(num_keys.min(1024));
+        for _ in 0..num_keys {
+            key_columns.push(r.get_str()?);
+        }
+        let value_column = if r.get_bool()? {
+            Some(r.get_str()?)
+        } else {
+            None
+        };
+        let rows_summarized = usize::try_from(r.get_u64()?)
+            .map_err(|_| StorageError::Corrupt("rows_summarized overflows usize".to_string()))?;
+        let count_sketch = CountMinSketch::decode_from(r)?;
+        let sum_sketch = CountMinSketch::decode_from(r)?;
+        Ok(Self {
+            key_columns,
+            value_column,
+            count_sketch,
+            sum_sketch,
+            rows_summarized,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +327,35 @@ mod tests {
         assert!(
             SketchJoin::build(&[b], vec!["custkey".into()], Some("nope".into()), 0.01, 0.01)
                 .is_err()
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_probes_exactly() {
+        let b = orders(20_000);
+        let sj = SketchJoin::build(
+            &[b],
+            vec!["custkey".into()],
+            Some("price".into()),
+            0.001,
+            0.01,
+        )
+        .unwrap();
+        let mut w = taster_storage::ByteWriter::new();
+        sj.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let back =
+            SketchJoin::decode_from(&mut taster_storage::ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.rows_summarized(), sj.rows_summarized());
+        assert_eq!(back.key_columns, sj.key_columns);
+        assert_eq!(back.value_column, sj.value_column);
+        for k in 0..50i64 {
+            assert_eq!(back.probe(&[Value::Int(k)]), sj.probe(&[Value::Int(k)]));
+        }
+        // Truncated payloads decode to errors, not panics.
+        let cut = bytes.len() / 2;
+        assert!(
+            SketchJoin::decode_from(&mut taster_storage::ByteReader::new(&bytes[..cut])).is_err()
         );
     }
 

@@ -29,7 +29,7 @@ use taster_engine::{
     parse_query, EngineError, ExecutionContext, LogicalPlan, QueryResult, SampleMethod,
     SynopsisPayload,
 };
-use taster_storage::{Catalog, IoModel};
+use taster_storage::{Catalog, IoModel, StdVfs, Table, Vfs};
 use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
 use taster_synopses::sketch_join::SketchJoin;
 use taster_synopses::{UniformSampler, WeightedSample};
@@ -37,6 +37,7 @@ use taster_synopses::{UniformSampler, WeightedSample};
 use crate::config::TasterConfig;
 use crate::hints::{build_offline_sample, OfflineStrategy};
 use crate::metadata::MetadataStore;
+use crate::persist::{Durability, PayloadRef, SynopsisSnapshot, TunerState};
 use crate::planner::Planner;
 use crate::store::{SynopsisLease, SynopsisStore};
 use crate::synopsis::{SynopsisId, SynopsisKind};
@@ -122,6 +123,31 @@ pub struct TasterEngine {
     queries_executed: AtomicU64,
     /// Incremental synopsis refreshes performed (online ingestion).
     refreshes: AtomicU64,
+    /// WAL-backed persistence, present when the engine was opened in
+    /// persistent mode ([`open_durable`](Self::open_durable) /
+    /// [`recover`](Self::recover)); `None` for in-memory engines.
+    durability: Option<Arc<Durability>>,
+}
+
+/// What [`TasterEngine::recover`] reconstructed from the durability log.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Tables restored into the catalog.
+    pub tables: usize,
+    /// Total rows across the restored tables.
+    pub rows: usize,
+    /// Warehouse synopses restored ready-to-serve (no rebuild needed).
+    pub synopses_recovered: usize,
+    /// Logged synopses rejected because their coverage exceeds the recovered
+    /// base tables (torn or stale entries).
+    pub synopses_dropped: usize,
+    /// Committed WAL records applied during replay.
+    pub wal_records_applied: usize,
+    /// Cold-tier pages read while loading checkpoint and payload blobs — the
+    /// measured I/O cost of the warm restart.
+    pub pages_read: u64,
+    /// `true` if a torn tail was truncated while opening the log.
+    pub wal_tail_torn: bool,
 }
 
 impl TasterEngine {
@@ -138,7 +164,255 @@ impl TasterEngine {
             io_model,
             queries_executed: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
+            durability: None,
         }
+    }
+
+    /// Open an engine in **persistent mode**: durability files live under
+    /// `dir` (`wal.log` + `pages.dat`), every table append is logged
+    /// write-ahead before it publishes, and warehouse synopses + tuner state
+    /// are persisted after each query. The current catalog contents are
+    /// checkpointed immediately, so a crash at any later point recovers at
+    /// least this state. Use [`recover`](Self::recover) to restart from an
+    /// existing directory.
+    pub fn open_durable(
+        catalog: Arc<Catalog>,
+        config: TasterConfig,
+        dir: &std::path::Path,
+    ) -> Result<Self, EngineError> {
+        Self::open_durable_with_vfs(catalog, config, &StdVfs, dir)
+    }
+
+    /// [`open_durable`](Self::open_durable) over an explicit [`Vfs`] — the
+    /// fault-injection tests run on `MemVfs`/`FaultVfs` through this.
+    pub fn open_durable_with_vfs(
+        catalog: Arc<Catalog>,
+        config: TasterConfig,
+        vfs: &dyn Vfs,
+        dir: &std::path::Path,
+    ) -> Result<Self, EngineError> {
+        let (durability, _) = Durability::open(vfs, dir).map_err(EngineError::Storage)?;
+        let durability = Arc::new(durability);
+        let mut engine = Self::new(catalog, config);
+        engine.durability = Some(durability.clone());
+        durability
+            .checkpoint_tables(&engine.catalog)
+            .map_err(EngineError::Storage)?;
+        engine.attach_append_sinks()?;
+        engine.sync_durability()?;
+        Ok(engine)
+    }
+
+    /// Recover an engine from the durability files under `dir`: replay the
+    /// WAL, rebuild the catalog (checkpointed partitions + logged appends),
+    /// re-register surviving warehouse synopses ready-to-serve, and restore
+    /// the tuner window and counters. Synopses whose recorded coverage
+    /// exceeds the recovered base tables (torn or stale entries) are dropped;
+    /// merely *stale* synopses are kept and caught up by the ordinary
+    /// staleness-refresh machinery on the next query.
+    ///
+    /// Recovery is idempotent: replaying any committed WAL prefix yields a
+    /// valid published snapshot, and recovering twice from the same directory
+    /// yields the same engine state.
+    pub fn recover(
+        config: TasterConfig,
+        dir: &std::path::Path,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        Self::recover_with_vfs(config, &StdVfs, dir)
+    }
+
+    /// [`recover`](Self::recover) over an explicit [`Vfs`].
+    pub fn recover_with_vfs(
+        config: TasterConfig,
+        vfs: &dyn Vfs,
+        dir: &std::path::Path,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        let (durability, replayed) = Durability::open(vfs, dir).map_err(EngineError::Storage)?;
+        let durability = Arc::new(durability);
+
+        let catalog = Catalog::new();
+        let mut rows = 0usize;
+        let mut replayed_appends = 0usize;
+        let tables = replayed.tables.len();
+        for t in replayed.tables {
+            replayed_appends += t.appends.len();
+            let table = if t.partitions.is_empty() {
+                // Appends without a checkpoint: seed an empty table from the
+                // first logged batch's schema.
+                let Some(first) = t.appends.first() else {
+                    continue;
+                };
+                Table::empty(t.name, first.schema().clone(), t.seal_rows)
+            } else {
+                Table::from_partitions_with_seal(t.name, t.partitions, t.seal_rows)
+                    .map_err(EngineError::Storage)?
+            };
+            // Re-applying logged appends before any sink is attached: replay
+            // must not re-log its own input.
+            for batch in &t.appends {
+                table.append(batch).map_err(EngineError::Storage)?;
+            }
+            rows += table.num_rows();
+            catalog.register(table);
+        }
+
+        let mut engine = Self::new(Arc::new(catalog), config);
+        engine.durability = Some(durability.clone());
+
+        // Restore surviving synopses: latest-upsert-wins state from the log,
+        // validated against the recovered tables. Coverage beyond the
+        // recovered rows means the entry refers to data that did not survive
+        // (e.g. an append acknowledged after the synopsis record but torn
+        // from the log) — drop it rather than serve phantom rows.
+        let mut recovered = 0usize;
+        let mut dropped = 0usize;
+        {
+            let mut metadata = engine.metadata.write();
+            for s in replayed.synopses {
+                let covered = s.rows_at_build.unwrap_or(0);
+                let valid = s.descriptor.base_tables.iter().all(|t| {
+                    engine
+                        .catalog
+                        .table(t)
+                        .map(|t| t.num_rows() >= covered)
+                        .unwrap_or(false)
+                });
+                if !valid {
+                    durability.drop_from_baseline(s.id);
+                    dropped += 1;
+                    continue;
+                }
+                metadata.restore(
+                    s.descriptor.clone(),
+                    s.actual_bytes,
+                    s.rows_at_build,
+                    s.refresh_count,
+                );
+                engine.store.insert_into_warehouse(s.id, &s.payload, s.pinned);
+                recovered += 1;
+            }
+        }
+
+        if let Some(t) = &replayed.tuner {
+            engine
+                .tuner
+                .lock()
+                .restore_window(t.window, t.history.clone());
+            engine
+                .queries_executed
+                .store(t.queries_executed, Ordering::Relaxed);
+            engine.refreshes.store(t.refreshes, Ordering::Relaxed);
+        }
+
+        // Compact: checkpoint the recovered tables (superseding the replayed
+        // appends) before re-arming the write-ahead path, then record the
+        // eviction of any dropped synopses. When the log held no appends past
+        // its checkpoint there is nothing to fold in, and re-checkpointing
+        // would make every restart cost a full table rewrite — skip it.
+        if replayed_appends > 0 {
+            durability
+                .checkpoint_tables(&engine.catalog)
+                .map_err(EngineError::Storage)?;
+        }
+        engine.attach_append_sinks()?;
+        engine.sync_durability()?;
+
+        let report = RecoveryReport {
+            tables,
+            rows,
+            synopses_recovered: recovered,
+            synopses_dropped: dropped,
+            wal_records_applied: replayed.records_applied,
+            pages_read: durability.pages_read(),
+            wal_tail_torn: replayed.tore,
+        };
+        Ok((engine, report))
+    }
+
+    /// The durability layer, when the engine runs in persistent mode.
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
+    }
+
+    /// Checkpoint all tables to the durability log (cold-tier spill and log
+    /// compaction point). No-op for in-memory engines.
+    pub fn checkpoint(&self) -> Result<(), EngineError> {
+        if let Some(d) = &self.durability {
+            d.checkpoint_tables(&self.catalog)
+                .map_err(EngineError::Storage)?;
+        }
+        Ok(())
+    }
+
+    /// Install the durability layer as every table's [`AppendSink`]
+    /// (write-ahead logging for the ingest path).
+    fn attach_append_sinks(&self) -> Result<(), EngineError> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        for name in self.catalog.table_names() {
+            let table = self.catalog.table(&name).map_err(EngineError::Storage)?;
+            table.set_append_sink(Some(durability.clone()));
+        }
+        Ok(())
+    }
+
+    /// Persist the current warehouse residents and tuner state (diff-based;
+    /// a quiet engine costs no I/O). Called after every state-changing entry
+    /// point in persistent mode.
+    fn sync_durability(&self) -> Result<(), EngineError> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        let residents = self.collect_warehouse_snapshots();
+        let tuner = {
+            let t = self.tuner.lock();
+            TunerState {
+                window: t.window(),
+                history: t.window_history().to_vec(),
+                queries_executed: self.queries_executed.load(Ordering::Relaxed),
+                refreshes: self.refreshes.load(Ordering::Relaxed),
+            }
+        };
+        durability
+            .sync_warehouse(&residents, tuner)
+            .map_err(EngineError::Storage)
+    }
+
+    /// Gather every warehouse-resident synopsis with its metadata, as the
+    /// durability layer wants it. Payloads travel as `Arc`s — no copies.
+    fn collect_warehouse_snapshots(&self) -> Vec<SynopsisSnapshot> {
+        let metadata = self.metadata.read();
+        let mut out = Vec::new();
+        for id in self.store.materialized_ids() {
+            if self.store.location(id) != Some(SynopsisLocation::Warehouse) {
+                continue;
+            }
+            let Some(meta) = metadata.get(id) else {
+                continue;
+            };
+            let payload = match &meta.descriptor.kind {
+                SynopsisKind::Sample { .. } => {
+                    self.store.sample(id).map(|(p, _)| PayloadRef::Sample(p))
+                }
+                SynopsisKind::SketchJoin { .. } => {
+                    self.store.sketch(id).map(|(p, _)| PayloadRef::Sketch(p))
+                }
+            };
+            let Some(payload) = payload else {
+                continue;
+            };
+            out.push(SynopsisSnapshot {
+                id,
+                descriptor: meta.descriptor.clone(),
+                actual_bytes: meta.actual_bytes.unwrap_or(meta.descriptor.estimated_bytes),
+                rows_at_build: meta.rows_at_build,
+                refresh_count: meta.refresh_count,
+                pinned: meta.descriptor.pinned,
+                payload,
+            });
+        }
+        out
     }
 
     /// Replace the I/O cost model (affects both planning and the simulated
@@ -220,6 +494,11 @@ impl TasterEngine {
                 }
             }
         }
+        drop(tuner);
+        drop(metadata);
+        // Best-effort: the diff stays pending on failure and the next
+        // successful sync (e.g. after the next query) records the evictions.
+        let _ = self.sync_durability();
     }
 
     /// Register a user hint: build a synopsis offline and pin it in the
@@ -256,6 +535,7 @@ impl TasterEngine {
             id
         };
         self.store.insert_into_warehouse(id, &build.payload, true);
+        self.sync_durability()?;
 
         let table_bytes = self.catalog.table(table)?.size_bytes();
         let scan_ns = self.io_model.scan_cost(table_bytes);
@@ -373,7 +653,20 @@ impl TasterEngine {
             }))
             .with_io_model(self.io_model)
             .with_seed(seed);
-        let result = execute(plan, &ctx)?;
+        let mut result = execute(plan, &ctx)?;
+
+        // Persistent mode: charge reused warehouse synopses by the *measured*
+        // page footprint of their durable payloads (the pager's accounting)
+        // instead of the simulated byte model — `simulated_ns` switches to
+        // the page model whenever `cold_pages_read` is non-zero.
+        if let Some(durability) = &self.durability {
+            let pages: u64 = reused
+                .iter()
+                .filter(|id| self.store.location(**id) == Some(SynopsisLocation::Warehouse))
+                .map(|id| durability.pages_for_synopsis(*id))
+                .sum();
+            result.metrics.cold_pages_read += pages;
+        }
 
         // Materialize byproducts into the buffer, then let the tuner's `keep`
         // set drive promotion to the warehouse / eviction. The build snapshot
@@ -393,6 +686,10 @@ impl TasterEngine {
             }
         }
         self.manage_buffer(&decision.keep);
+
+        // Make this query's warehouse effects durable (diff-based — one group
+        // commit when something changed, no I/O otherwise).
+        self.sync_durability()?;
 
         let simulated_secs = result.metrics.simulated_secs(&self.io_model);
         // `output` (and the leases of every matched candidate) drops here:

@@ -20,20 +20,27 @@
 //! * [`hints`] — user hints: offline pre-construction of pinned synopses
 //!   (including VerdictDB-style variational samples),
 //! * [`engine`] — [`engine::TasterEngine`], the façade tying everything
-//!   together: parse → plan → tune → execute → materialize byproducts.
+//!   together: parse → plan → tune → execute → materialize byproducts,
+//! * [`persist`] — WAL-backed durability: table appends and warehouse
+//!   synopses are logged write-ahead, so [`TasterEngine::recover`] restarts a
+//!   crashed engine warm (answering from recovered synopses, no rebuilds).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod engine;
 pub mod hints;
 pub mod matching;
 pub mod metadata;
+pub mod persist;
 pub mod planner;
 pub mod store;
 pub mod synopsis;
 pub mod tuner;
 
 pub use config::TasterConfig;
-pub use engine::{TasterEngine, TasterResult};
+pub use engine::{RecoveryReport, TasterEngine, TasterResult};
+pub use persist::Durability;
 pub use metadata::MetadataStore;
 pub use planner::{CandidatePlan, Planner};
 pub use store::SynopsisStore;

@@ -1,0 +1,694 @@
+//! WAL-backed durability for the synopsis warehouse and the cold tier.
+//!
+//! [`Durability`] composes the storage crate's primitives — the CRC-framed
+//! group-commit [`Wal`] and the page/blob [`Pager`] — into the persistence
+//! protocol [`crate::TasterEngine`] uses when opened in persistent mode:
+//!
+//! * **Table appends** are logged write-ahead: `Durability` implements
+//!   [`AppendSink`], so every [`taster_storage::Table::append`] commits a
+//!   `TableAppend` record (batch inline) *before* the new snapshot publishes.
+//! * **Checkpoints** spill every table's sealed partitions to pager blobs and
+//!   commit one self-contained `Checkpoint` record; on replay a checkpoint
+//!   resets the table to exactly that state, superseding earlier appends.
+//! * **Warehouse synopses** are persisted by diff: after every query the
+//!   engine hands the current warehouse residents to
+//!   [`sync_warehouse`](Durability::sync_warehouse), which writes payload
+//!   blobs + `SynopsisUpsert` records for new/changed entries, `SynopsisEvict`
+//!   for departed ones, and a `TunerCheckpoint` when the tuner state moved —
+//!   all under **one** group commit (one fsync).
+//!
+//! The commit protocol is blob-first: payload blobs are written and synced
+//! *before* the WAL commit that references them, so a crash can at worst
+//! leave unreferenced pages, never a referenced-but-torn blob. Replaying any
+//! WAL prefix therefore always yields a valid published state — recovery is
+//! idempotent.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use taster_engine::sql::ErrorSpec;
+use taster_engine::{SampleMethod, SynopsisPayload};
+use taster_storage::codec::{decode_batch, encode_batch};
+use taster_storage::table::AppendSink;
+use taster_storage::{
+    BlobRef, ByteReader, ByteWriter, Catalog, Pager, RecordBatch, StorageError, Vfs, Wal,
+};
+use taster_synopses::sketch_join::SketchJoin;
+use taster_synopses::WeightedSample;
+
+use crate::synopsis::{SynopsisDescriptor, SynopsisId, SynopsisKind};
+
+/// WAL record kinds (the commit marker `0xC0` is owned by the WAL itself).
+const KIND_TABLE_APPEND: u8 = 1;
+const KIND_CHECKPOINT: u8 = 2;
+const KIND_SYNOPSIS_UPSERT: u8 = 3;
+const KIND_SYNOPSIS_EVICT: u8 = 4;
+const KIND_TUNER: u8 = 5;
+
+/// Payload-blob kind tags.
+const PAYLOAD_SAMPLE: u8 = 0;
+const PAYLOAD_SKETCH: u8 = 1;
+
+/// Tuner/counter state carried by a `TunerCheckpoint` record, so a recovered
+/// engine resumes with the adapted window (and its history) instead of
+/// re-learning it from scratch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TunerState {
+    /// Current tuner window length `w`.
+    pub window: usize,
+    /// History of window lengths (the Fig. 8 series).
+    pub history: Vec<usize>,
+    /// Queries admitted so far (drives the deterministic seed schedule).
+    pub queries_executed: u64,
+    /// Incremental refreshes performed so far.
+    pub refreshes: u64,
+}
+
+/// A shared handle to a live payload (no deep copy on the sync path — the
+/// store already hands payloads out as `Arc`s).
+pub enum PayloadRef {
+    /// A weighted sample.
+    Sample(Arc<WeightedSample>),
+    /// A sketch-join summary.
+    Sketch(Arc<SketchJoin>),
+}
+
+/// One synopsis as the engine wants it persisted: metadata plus the live
+/// payload. Produced by the engine's warehouse walk, consumed by
+/// [`Durability::sync_warehouse`].
+pub struct SynopsisSnapshot {
+    /// Synopsis id.
+    pub id: SynopsisId,
+    /// Logical definition.
+    pub descriptor: SynopsisDescriptor,
+    /// Materialized size in bytes.
+    pub actual_bytes: usize,
+    /// Base rows the payload covers.
+    pub rows_at_build: Option<usize>,
+    /// Incremental refreshes applied so far.
+    pub refresh_count: usize,
+    /// `true` for user-pinned synopses.
+    pub pinned: bool,
+    /// The payload to serialize.
+    pub payload: PayloadRef,
+}
+
+/// A synopsis reconstructed from the log during recovery.
+pub struct RecoveredSynopsis {
+    /// Synopsis id.
+    pub id: SynopsisId,
+    /// Logical definition.
+    pub descriptor: SynopsisDescriptor,
+    /// Materialized size in bytes.
+    pub actual_bytes: usize,
+    /// Base rows the payload covers.
+    pub rows_at_build: Option<usize>,
+    /// Incremental refreshes applied before the crash.
+    pub refresh_count: usize,
+    /// `true` for user-pinned synopses.
+    pub pinned: bool,
+    /// The decoded payload.
+    pub payload: SynopsisPayload,
+}
+
+/// A table reconstructed from the log: the partitions of its last checkpoint
+/// plus every append committed after it, in order.
+pub struct RecoveredTable {
+    /// Table name.
+    pub name: String,
+    /// Partition seal size the table was created with.
+    pub seal_rows: usize,
+    /// Checkpointed partitions (empty when the table was never checkpointed).
+    pub partitions: Vec<RecordBatch>,
+    /// Post-checkpoint appends, oldest first.
+    pub appends: Vec<RecordBatch>,
+}
+
+/// Everything a WAL replay reconstructed, handed to the engine's recovery.
+pub struct Replayed {
+    /// Tables, in first-seen order.
+    pub tables: Vec<RecoveredTable>,
+    /// Surviving synopses (latest upsert wins, evicts applied).
+    pub synopses: Vec<RecoveredSynopsis>,
+    /// Latest tuner checkpoint, if any.
+    pub tuner: Option<TunerState>,
+    /// Committed records applied during replay.
+    pub records_applied: usize,
+    /// `true` if a torn tail was truncated while opening the log.
+    pub tore: bool,
+}
+
+/// What the durability layer remembers about a persisted synopsis — the diff
+/// key for [`Durability::sync_warehouse`] plus the blob for page accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PersistedMeta {
+    actual_bytes: usize,
+    rows_at_build: Option<usize>,
+    refresh_count: usize,
+    blob: BlobRef,
+}
+
+/// The durability layer: one WAL + one page store per engine directory.
+pub struct Durability {
+    pager: Pager,
+    wal: Mutex<Wal>,
+    /// Synopses currently durable, keyed by id — the diff baseline.
+    persisted: Mutex<HashMap<SynopsisId, PersistedMeta>>,
+    /// Last tuner state committed, to skip redundant checkpoints.
+    last_tuner: Mutex<Option<TunerState>>,
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("pager", &self.pager)
+            .field("persisted", &self.persisted.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Durability {
+    /// Open (creating if absent) the durability files under `dir` —
+    /// `wal.log` and `pages.dat` — replaying any existing log. The returned
+    /// [`Replayed`] holds the reconstructed state; the `Durability` itself is
+    /// armed with the surviving synopses as its diff baseline.
+    pub fn open(vfs: &dyn Vfs, dir: &Path) -> Result<(Self, Replayed), StorageError> {
+        let pager = Pager::open(vfs, &dir.join("pages.dat"))?;
+        let (wal, replay) = Wal::open(vfs, &dir.join("wal.log"))?;
+
+        let mut tables: Vec<RecoveredTable> = Vec::new();
+        let mut synopses: HashMap<SynopsisId, (RecoveredSynopsis, PersistedMeta)> = HashMap::new();
+        let mut tuner: Option<TunerState> = None;
+        let records_applied = replay.records.len();
+
+        for record in &replay.records {
+            let mut r = ByteReader::new(&record.payload);
+            match record.kind {
+                KIND_TABLE_APPEND => {
+                    let name = r.get_str()?;
+                    let batch = decode_batch(&mut r)?;
+                    match tables.iter_mut().find(|t| t.name == name) {
+                        Some(t) => t.appends.push(batch),
+                        None => tables.push(RecoveredTable {
+                            name,
+                            // Never checkpointed: adopt the first append's
+                            // size as the seal bound (the engine checkpoints
+                            // on open, so this is a crash-between path).
+                            seal_rows: batch.num_rows().max(1),
+                            partitions: Vec::new(),
+                            appends: vec![batch],
+                        }),
+                    }
+                }
+                KIND_CHECKPOINT => {
+                    let ntables = r.get_u32()? as usize;
+                    for _ in 0..ntables {
+                        let name = r.get_str()?;
+                        let seal_rows = usize::try_from(r.get_u64()?).map_err(|_| {
+                            StorageError::Corrupt("seal_rows overflows usize".to_string())
+                        })?;
+                        let nparts = r.get_u32()? as usize;
+                        let mut partitions = Vec::with_capacity(nparts.min(4096));
+                        for _ in 0..nparts {
+                            let blob = BlobRef::decode(&mut r)?;
+                            let bytes = pager.read_blob(blob)?;
+                            partitions.push(decode_batch(&mut ByteReader::new(&bytes))?);
+                        }
+                        // A checkpoint *resets* the table: earlier appends
+                        // are folded into the checkpointed partitions.
+                        match tables.iter_mut().find(|t| t.name == name) {
+                            Some(t) => {
+                                t.seal_rows = seal_rows;
+                                t.partitions = partitions;
+                                t.appends.clear();
+                            }
+                            None => tables.push(RecoveredTable {
+                                name,
+                                seal_rows,
+                                partitions,
+                                appends: Vec::new(),
+                            }),
+                        }
+                    }
+                }
+                KIND_SYNOPSIS_UPSERT => {
+                    let (rec, meta) = decode_synopsis_upsert(&mut r, &pager)?;
+                    synopses.insert(rec.id, (rec, meta));
+                }
+                KIND_SYNOPSIS_EVICT => {
+                    let id = r.get_u64()?;
+                    synopses.remove(&id);
+                }
+                KIND_TUNER => {
+                    tuner = Some(decode_tuner(&mut r)?);
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "unknown WAL record kind {other}"
+                    )));
+                }
+            }
+        }
+
+        let mut persisted = HashMap::with_capacity(synopses.len());
+        let mut survivors = Vec::with_capacity(synopses.len());
+        for (id, (rec, meta)) in synopses {
+            persisted.insert(id, meta);
+            survivors.push(rec);
+        }
+        survivors.sort_by_key(|s| s.id);
+
+        Ok((
+            Self {
+                pager,
+                wal: Mutex::new(wal),
+                persisted: Mutex::new(persisted),
+                last_tuner: Mutex::new(tuner.clone()),
+            },
+            Replayed {
+                tables,
+                synopses: survivors,
+                tuner,
+                records_applied,
+                tore: replay.tore,
+            },
+        ))
+    }
+
+    /// Total pages read through the underlying pager (recovery blob reads and
+    /// any later cold reads) — the measured cold-tier I/O.
+    pub fn pages_read(&self) -> u64 {
+        self.pager.pages_read()
+    }
+
+    /// Pages the persisted payload of synopsis `id` occupies, or 0 when the
+    /// synopsis is not durable. Queries that reuse a warehouse synopsis in
+    /// persistent mode are charged this measured figure instead of the
+    /// simulated byte model.
+    pub fn pages_for_synopsis(&self, id: SynopsisId) -> u64 {
+        self.persisted
+            .lock()
+            .get(&id)
+            .map(|m| self.pager.pages_for(m.blob.len))
+            .unwrap_or(0)
+    }
+
+    /// Ids of all synopses currently durable (tests and diagnostics).
+    pub fn persisted_ids(&self) -> Vec<SynopsisId> {
+        let mut ids: Vec<SynopsisId> = self.persisted.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Forget a synopsis from the diff baseline without logging (used when
+    /// recovery rejects a stale entry: the follow-up
+    /// [`sync_warehouse`](Self::sync_warehouse) then records the eviction).
+    pub fn drop_from_baseline(&self, id: SynopsisId) {
+        self.persisted.lock().remove(&id);
+    }
+
+    /// Spill every table's current snapshot to pager blobs and commit one
+    /// self-contained `Checkpoint` record. On replay this record resets each
+    /// named table, superseding all earlier appends — it is both the cold-tier
+    /// spill path and the log-compaction point.
+    pub fn checkpoint_tables(&self, catalog: &Catalog) -> Result<(), StorageError> {
+        let mut names = catalog.table_names();
+        names.sort();
+        let mut payload = ByteWriter::new();
+        payload.put_u32(names.len() as u32);
+        for name in &names {
+            let table = catalog.table(name)?;
+            let snapshot = table.snapshot();
+            payload.put_str(name);
+            payload.put_u64(table.seal_rows() as u64);
+            payload.put_u32(snapshot.partitions().len() as u32);
+            for part in snapshot.partitions() {
+                let mut bytes = ByteWriter::new();
+                encode_batch(&mut bytes, part);
+                let blob = self.pager.write_blob(&bytes.into_bytes())?;
+                blob.encode(&mut payload);
+            }
+        }
+        // Blob-first commit protocol: partitions are durable before the
+        // record referencing them.
+        self.pager.sync()?;
+        let mut wal = self.wal.lock();
+        wal.append(KIND_CHECKPOINT, &payload.into_bytes())?;
+        wal.commit()
+    }
+
+    /// Diff the current warehouse residents (plus tuner state) against what
+    /// is already durable and commit exactly the delta: upserts for
+    /// new/changed synopses, evicts for departed ones, a tuner checkpoint
+    /// when the tuner moved. One group commit; a no-op diff costs no fsync.
+    pub fn sync_warehouse(
+        &self,
+        residents: &[SynopsisSnapshot],
+        tuner: TunerState,
+    ) -> Result<(), StorageError> {
+        let mut persisted = self.persisted.lock();
+        let mut upserts: Vec<(SynopsisId, Vec<u8>, PersistedMeta)> = Vec::new();
+        let mut blobs_written = false;
+
+        for snap in residents {
+            let current = persisted.get(&snap.id);
+            let changed = match current {
+                None => true,
+                Some(m) => {
+                    m.actual_bytes != snap.actual_bytes
+                        || m.rows_at_build != snap.rows_at_build
+                        || m.refresh_count != snap.refresh_count
+                }
+            };
+            if !changed {
+                continue;
+            }
+            let mut bytes = ByteWriter::new();
+            match &snap.payload {
+                PayloadRef::Sample(s) => {
+                    bytes.put_u8(PAYLOAD_SAMPLE);
+                    s.encode_into(&mut bytes);
+                }
+                PayloadRef::Sketch(sk) => {
+                    bytes.put_u8(PAYLOAD_SKETCH);
+                    sk.encode_into(&mut bytes);
+                }
+            }
+            let blob = self.pager.write_blob(&bytes.into_bytes())?;
+            blobs_written = true;
+            let meta = PersistedMeta {
+                actual_bytes: snap.actual_bytes,
+                rows_at_build: snap.rows_at_build,
+                refresh_count: snap.refresh_count,
+                blob,
+            };
+            let mut record = ByteWriter::new();
+            encode_synopsis_upsert(&mut record, snap, blob);
+            upserts.push((snap.id, record.into_bytes(), meta));
+        }
+
+        let resident_ids: std::collections::HashSet<SynopsisId> =
+            residents.iter().map(|s| s.id).collect();
+        let evicts: Vec<SynopsisId> = persisted
+            .keys()
+            .filter(|id| !resident_ids.contains(id))
+            .copied()
+            .collect();
+
+        let mut last_tuner = self.last_tuner.lock();
+        let tuner_changed = last_tuner.as_ref() != Some(&tuner);
+
+        if upserts.is_empty() && evicts.is_empty() && !tuner_changed {
+            return Ok(());
+        }
+
+        if blobs_written {
+            self.pager.sync()?;
+        }
+        let mut wal = self.wal.lock();
+        for (_, record, _) in &upserts {
+            wal.append(KIND_SYNOPSIS_UPSERT, record)?;
+        }
+        for id in &evicts {
+            let mut record = ByteWriter::new();
+            record.put_u64(*id);
+            wal.append(KIND_SYNOPSIS_EVICT, &record.into_bytes())?;
+        }
+        if tuner_changed {
+            let mut record = ByteWriter::new();
+            encode_tuner(&mut record, &tuner);
+            wal.append(KIND_TUNER, &record.into_bytes())?;
+        }
+        wal.commit()?;
+
+        // Only a successful commit moves the baseline: a failed sync leaves
+        // the diff pending so the next call retries it.
+        for (id, _, meta) in upserts {
+            persisted.insert(id, meta);
+        }
+        for id in evicts {
+            persisted.remove(&id);
+        }
+        *last_tuner = Some(tuner);
+        Ok(())
+    }
+}
+
+impl AppendSink for Durability {
+    fn log_append(&self, table: &str, batch: &RecordBatch) -> Result<(), StorageError> {
+        let mut payload = ByteWriter::new();
+        payload.put_str(table);
+        encode_batch(&mut payload, batch);
+        let mut wal = self.wal.lock();
+        wal.append(KIND_TABLE_APPEND, &payload.into_bytes())?;
+        wal.commit()
+    }
+}
+
+fn encode_sample_method(w: &mut ByteWriter, method: &SampleMethod) {
+    match method {
+        SampleMethod::Uniform { probability } => {
+            w.put_u8(0);
+            w.put_f64(*probability);
+        }
+        SampleMethod::Distinct {
+            stratification,
+            delta,
+            probability,
+        } => {
+            w.put_u8(1);
+            w.put_u32(stratification.len() as u32);
+            for s in stratification {
+                w.put_str(s);
+            }
+            w.put_u64(*delta as u64);
+            w.put_f64(*probability);
+        }
+    }
+}
+
+fn decode_sample_method(r: &mut ByteReader) -> Result<SampleMethod, StorageError> {
+    match r.get_u8()? {
+        0 => Ok(SampleMethod::Uniform {
+            probability: r.get_f64()?,
+        }),
+        1 => {
+            let n = r.get_u32()? as usize;
+            let mut stratification = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                stratification.push(r.get_str()?);
+            }
+            let delta = usize::try_from(r.get_u64()?)
+                .map_err(|_| StorageError::Corrupt("delta overflows usize".to_string()))?;
+            let probability = r.get_f64()?;
+            Ok(SampleMethod::Distinct {
+                stratification,
+                delta,
+                probability,
+            })
+        }
+        tag => Err(StorageError::Corrupt(format!(
+            "unknown sample method tag {tag}"
+        ))),
+    }
+}
+
+fn encode_kind(w: &mut ByteWriter, kind: &SynopsisKind) {
+    match kind {
+        SynopsisKind::Sample { method } => {
+            w.put_u8(0);
+            encode_sample_method(w, method);
+        }
+        SynopsisKind::SketchJoin {
+            table,
+            key_columns,
+            value_column,
+        } => {
+            w.put_u8(1);
+            w.put_str(table);
+            w.put_u32(key_columns.len() as u32);
+            for k in key_columns {
+                w.put_str(k);
+            }
+            match value_column {
+                Some(v) => {
+                    w.put_bool(true);
+                    w.put_str(v);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+}
+
+fn decode_kind(r: &mut ByteReader) -> Result<SynopsisKind, StorageError> {
+    match r.get_u8()? {
+        0 => Ok(SynopsisKind::Sample {
+            method: decode_sample_method(r)?,
+        }),
+        1 => {
+            let table = r.get_str()?;
+            let n = r.get_u32()? as usize;
+            let mut key_columns = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                key_columns.push(r.get_str()?);
+            }
+            let value_column = if r.get_bool()? {
+                Some(r.get_str()?)
+            } else {
+                None
+            };
+            Ok(SynopsisKind::SketchJoin {
+                table,
+                key_columns,
+                value_column,
+            })
+        }
+        tag => Err(StorageError::Corrupt(format!(
+            "unknown synopsis kind tag {tag}"
+        ))),
+    }
+}
+
+fn encode_descriptor(w: &mut ByteWriter, d: &SynopsisDescriptor) {
+    w.put_u64(d.id);
+    w.put_str(&d.fingerprint);
+    w.put_u32(d.base_tables.len() as u32);
+    for t in &d.base_tables {
+        w.put_str(t);
+    }
+    encode_kind(w, &d.kind);
+    w.put_f64(d.accuracy.relative_error);
+    w.put_f64(d.accuracy.confidence);
+    w.put_u64(d.estimated_bytes as u64);
+    w.put_u64(d.estimated_rows as u64);
+    w.put_bool(d.pinned);
+}
+
+fn decode_descriptor(r: &mut ByteReader) -> Result<SynopsisDescriptor, StorageError> {
+    let id = r.get_u64()?;
+    let fingerprint = r.get_str()?;
+    let n = r.get_u32()? as usize;
+    let mut base_tables = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        base_tables.push(r.get_str()?);
+    }
+    let kind = decode_kind(r)?;
+    let accuracy = ErrorSpec {
+        relative_error: r.get_f64()?,
+        confidence: r.get_f64()?,
+    };
+    let estimated_bytes = usize::try_from(r.get_u64()?)
+        .map_err(|_| StorageError::Corrupt("estimated_bytes overflows usize".to_string()))?;
+    let estimated_rows = usize::try_from(r.get_u64()?)
+        .map_err(|_| StorageError::Corrupt("estimated_rows overflows usize".to_string()))?;
+    let pinned = r.get_bool()?;
+    Ok(SynopsisDescriptor {
+        id,
+        fingerprint,
+        base_tables,
+        kind,
+        accuracy,
+        estimated_bytes,
+        estimated_rows,
+        pinned,
+    })
+}
+
+fn encode_synopsis_upsert(w: &mut ByteWriter, snap: &SynopsisSnapshot, blob: BlobRef) {
+    w.put_u64(snap.id);
+    encode_descriptor(w, &snap.descriptor);
+    w.put_u64(snap.actual_bytes as u64);
+    match snap.rows_at_build {
+        Some(rows) => {
+            w.put_bool(true);
+            w.put_u64(rows as u64);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_u64(snap.refresh_count as u64);
+    w.put_bool(snap.pinned);
+    blob.encode(w);
+}
+
+fn decode_synopsis_upsert(
+    r: &mut ByteReader,
+    pager: &Pager,
+) -> Result<(RecoveredSynopsis, PersistedMeta), StorageError> {
+    let id = r.get_u64()?;
+    let descriptor = decode_descriptor(r)?;
+    let actual_bytes = usize::try_from(r.get_u64()?)
+        .map_err(|_| StorageError::Corrupt("actual_bytes overflows usize".to_string()))?;
+    let rows_at_build = if r.get_bool()? {
+        Some(usize::try_from(r.get_u64()?).map_err(|_| {
+            StorageError::Corrupt("rows_at_build overflows usize".to_string())
+        })?)
+    } else {
+        None
+    };
+    let refresh_count = usize::try_from(r.get_u64()?)
+        .map_err(|_| StorageError::Corrupt("refresh_count overflows usize".to_string()))?;
+    let pinned = r.get_bool()?;
+    let blob = BlobRef::decode(r)?;
+
+    let bytes = pager.read_blob(blob)?;
+    let mut pr = ByteReader::new(&bytes);
+    let payload = match pr.get_u8()? {
+        PAYLOAD_SAMPLE => SynopsisPayload::Sample(WeightedSample::decode_from(&mut pr)?),
+        PAYLOAD_SKETCH => SynopsisPayload::Sketch(SketchJoin::decode_from(&mut pr)?),
+        tag => {
+            return Err(StorageError::Corrupt(format!(
+                "unknown payload kind tag {tag}"
+            )))
+        }
+    };
+    Ok((
+        RecoveredSynopsis {
+            id,
+            descriptor,
+            actual_bytes,
+            rows_at_build,
+            refresh_count,
+            pinned,
+            payload,
+        },
+        PersistedMeta {
+            actual_bytes,
+            rows_at_build,
+            refresh_count,
+            blob,
+        },
+    ))
+}
+
+fn encode_tuner(w: &mut ByteWriter, t: &TunerState) {
+    w.put_u64(t.window as u64);
+    w.put_u32(t.history.len() as u32);
+    for &h in &t.history {
+        w.put_u64(h as u64);
+    }
+    w.put_u64(t.queries_executed);
+    w.put_u64(t.refreshes);
+}
+
+fn decode_tuner(r: &mut ByteReader) -> Result<TunerState, StorageError> {
+    let window = usize::try_from(r.get_u64()?)
+        .map_err(|_| StorageError::Corrupt("window overflows usize".to_string()))?;
+    let n = r.get_u32()? as usize;
+    let mut history = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        history.push(usize::try_from(r.get_u64()?).map_err(|_| {
+            StorageError::Corrupt("window history entry overflows usize".to_string())
+        })?);
+    }
+    let queries_executed = r.get_u64()?;
+    let refreshes = r.get_u64()?;
+    Ok(TunerState {
+        window,
+        history,
+        queries_executed,
+        refreshes,
+    })
+}

@@ -88,6 +88,17 @@ impl Tuner {
         &self.window_history
     }
 
+    /// Restore the adapted window (and its history) from durable state, so a
+    /// recovered engine resumes tuning where the crashed one left off instead
+    /// of re-learning the window from the initial value.
+    pub fn restore_window(&mut self, window: usize, history: Vec<usize>) {
+        self.window = window.max(1);
+        if !history.is_empty() {
+            self.window_history = history;
+        }
+        self.queries_since_adaptation = 0;
+    }
+
     /// Make the decision for the current query: choose a plan, and choose the
     /// synopsis set to keep under the warehouse quota.
     pub fn decide(
