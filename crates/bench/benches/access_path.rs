@@ -1,0 +1,204 @@
+//! Micro-benchmarks of the cost-based access-path machinery:
+//!
+//! * `point/*`, `range/*`, `and/*` — the same predicate executed through the
+//!   index access path vs the zone-pruned scan vs the plan the cost model
+//!   actually picks when fed synopsis-backed cardinalities (`planned`). The
+//!   keys are LCG-shuffled, so every partition's zone covers the whole domain
+//!   and zone pruning alone skips nothing — any win is the index's.
+//!
+//! Before the measurements a verification pass asserts the PR's acceptance
+//! criteria: on every leg the cost model's pick matches the measured winner,
+//! and the point probe (≤0.1% selectivity) beats the scan by ≥5× in both
+//! simulated and measured time.
+//!
+//! Run `TASTER_CRITERION_JSON=crates/bench/baselines/access_path.json cargo
+//! bench -p taster-bench --bench access_path` to refresh the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use taster_core::{CardinalityCache, SynopsisCardinality};
+use taster_engine::physical::execute;
+use taster_engine::{
+    index_access_path, AccessPath, BinaryOp, CostEstimator, ExecutionContext, Expr, LogicalPlan,
+};
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, IoModel, Table};
+
+const ROWS: usize = 2_000_000;
+const PARTITIONS: usize = 32;
+
+fn catalog() -> Arc<Catalog> {
+    let mut key: Vec<i64> = (0..ROWS as i64).collect();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for i in (1..key.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((state >> 11) % (i as u64 + 1)) as usize;
+        key.swap(i, j);
+    }
+    let flag: Vec<i64> = (0..ROWS as i64).map(|i| i % 7).collect();
+    let price: Vec<f64> = (0..ROWS).map(|i| (i % 997) as f64).collect();
+    let batch = BatchBuilder::new()
+        .column("k", key)
+        .column("flag", flag)
+        .column("price", price)
+        .build()
+        .unwrap();
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("t", batch, PARTITIONS).unwrap());
+    let t = cat.table("t").unwrap();
+    t.create_index("k").unwrap();
+    t.create_index("flag").unwrap();
+    Arc::new(cat)
+}
+
+/// The three predicate shapes under test, with their names.
+fn shapes() -> Vec<(&'static str, Expr)> {
+    vec![
+        // One row out of 2M: 5e-7 selectivity, far below the 0.1% criterion.
+        (
+            "point",
+            Expr::binary(Expr::col("k"), BinaryOp::Eq, Expr::lit(1_234i64)),
+        ),
+        // 1% of the key domain.
+        (
+            "range",
+            Expr::binary(Expr::col("k"), BinaryOp::Lt, Expr::lit(20_000i64)),
+        ),
+        // ~0.14% after intersecting the range with one of seven flags.
+        (
+            "and",
+            Expr::binary(Expr::col("k"), BinaryOp::Lt, Expr::lit(20_000i64)).and(Expr::binary(
+                Expr::col("flag"),
+                BinaryOp::Eq,
+                Expr::lit(3i64),
+            )),
+        ),
+    ]
+}
+
+fn scan(filter: &Expr, access: Option<AccessPath>) -> LogicalPlan {
+    LogicalPlan::Scan {
+        table: "t".into(),
+        filter: Some(filter.clone()),
+        projection: None,
+        access,
+    }
+}
+
+/// Wall-clock and simulated seconds of one execution.
+fn run(plan: &LogicalPlan, cat: &Arc<Catalog>) -> (f64, f64) {
+    let ctx = ExecutionContext::new(cat.clone());
+    let start = Instant::now();
+    let res = execute(plan, &ctx).unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    (wall, res.metrics.simulated_secs(&IoModel::default()))
+}
+
+/// Assert the acceptance criteria before measuring: the cost model's pick
+/// matches the measured winner on every shape, and the point probe clears 5×.
+fn verify(cat: &Arc<Catalog>) {
+    let cache = CardinalityCache::new();
+    let cards = SynopsisCardinality::new(cat, &cache, 0.2);
+    let estimator = CostEstimator::new(cat, IoModel::default()).with_cardinality(&cards);
+    let indexed = cat.table("t").unwrap().indexed_columns();
+
+    for (name, pred) in shapes() {
+        let path = index_access_path(&pred, &indexed).expect("shape must be indexable");
+        let plain = scan(&pred, None);
+        let via_index = scan(&pred, Some(path));
+        let cost_scan = estimator.cost(&plain).unwrap();
+        let cost_index = estimator.cost(&via_index).unwrap();
+
+        // Median-of-three to keep the comparison stable under noise.
+        let wall = |p: &LogicalPlan| {
+            let mut t: Vec<f64> = (0..3).map(|_| run(p, cat).0).collect();
+            t.sort_by(f64::total_cmp);
+            t[1]
+        };
+        let wall_scan = wall(&plain);
+        let wall_index = wall(&via_index);
+        assert_eq!(
+            cost_index < cost_scan,
+            wall_index < wall_scan,
+            "{name}: cost model pick (index={cost_index:.0}ns scan={cost_scan:.0}ns) \
+             disagrees with measurement (index={wall_index:.6}s scan={wall_scan:.6}s)"
+        );
+
+        if name == "point" {
+            let (_, sim_scan) = run(&plain, cat);
+            let (_, sim_index) = run(&via_index, cat);
+            assert!(
+                sim_scan >= 5.0 * sim_index,
+                "point: simulated speedup {:.1}x < 5x",
+                sim_scan / sim_index
+            );
+            assert!(
+                wall_scan >= 5.0 * wall_index,
+                "point: measured speedup {:.1}x < 5x",
+                wall_scan / wall_index
+            );
+        }
+        eprintln!(
+            "[access_path] {name}: cost index/scan = {:.3}, wall index/scan = {:.3}",
+            cost_index / cost_scan,
+            wall_index / wall_scan
+        );
+    }
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let cat = catalog();
+    verify(&cat);
+
+    let cache = CardinalityCache::new();
+    let indexed = cat.table("t").unwrap().indexed_columns();
+
+    for (name, pred) in shapes() {
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+
+        let plain = scan(&pred, None);
+        group.bench_function("scan", |b| {
+            b.iter(|| black_box(run(&plain, &cat)))
+        });
+
+        let path = index_access_path(&pred, &indexed).unwrap();
+        let via_index = scan(&pred, Some(path));
+        group.bench_function("index", |b| {
+            b.iter(|| black_box(run(&via_index, &cat)))
+        });
+
+        // What the planner would actually do: derive, gate and pick by cost
+        // with synopsis-fed cardinalities, then execute the winner.
+        group.bench_function("planned", |b| {
+            b.iter(|| {
+                let cards = SynopsisCardinality::new(&cat, &cache, 0.2);
+                let estimator =
+                    CostEstimator::new(&cat, IoModel::default()).with_cardinality(&cards);
+                let plan = match index_access_path(&pred, &indexed)
+                    .and_then(|p| estimator.gate_access_path("t", p, 0.25))
+                {
+                    Some(p) => {
+                        let annotated = scan(&pred, Some(p));
+                        if estimator.cost(&annotated).unwrap() < estimator.cost(&plain).unwrap() {
+                            annotated
+                        } else {
+                            plain.clone()
+                        }
+                    }
+                    None => plain.clone(),
+                };
+                black_box(run(&plan, &cat))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

@@ -78,6 +78,7 @@ fn bench_group_by(c: &mut Criterion) {
             table: "facts".into(),
             filter: None,
             projection: None,
+            access: None,
         }),
     };
 
@@ -132,6 +133,7 @@ fn bench_scan_pruning(c: &mut Criterion) {
             ),
         ),
         projection: None,
+        access: None,
     };
 
     // Warm the lazily-computed zone maps so the bench measures scans.

@@ -8,16 +8,39 @@
 //!
 //! Synopsis sizes are not derivable from the catalog (they live in Taster's
 //! metadata store), so the estimator accepts a [`SynopsisCostHint`] per
-//! synopsis id.
+//! synopsis id. Likewise, per-column frequency knowledge lives in synopses
+//! (CountMin sketches, distinct samplers) owned by the Taster layer, so the
+//! estimator pulls selectivities through the [`CardinalityProvider`] trait
+//! instead of hard-coding textbook constants — the constants remain only as
+//! the fallback when no synopsis covers a column.
 
 use std::collections::HashMap;
+use std::fmt;
 
-use taster_storage::{Catalog, IoModel};
+use taster_storage::{Catalog, IoModel, Value};
 
 use crate::context::SynopsisLocation;
 use crate::error::EngineError;
-use crate::expr::Expr;
-use crate::logical::{LogicalPlan, SketchRef};
+use crate::expr::{mirror, BinaryOp, Expr};
+use crate::logical::{AccessPath, LogicalPlan, SketchRef};
+
+/// Synopsis-backed cardinality estimates consumed by the [`CostEstimator`].
+///
+/// Implementations answer from whatever summaries they hold — CountMin point
+/// frequencies, quantile-style range fractions, distinct sketches — and
+/// return `None` whenever a (table, column) pair is not covered, in which
+/// case the estimator falls back to its textbook defaults. All fractions are
+/// of the table's *current* row count.
+pub trait CardinalityProvider: fmt::Debug {
+    /// Estimated fraction of rows where `column = value`.
+    fn point_selectivity(&self, table: &str, column: &str, value: &Value) -> Option<f64>;
+    /// Estimated fraction of rows where `column <op> value` for a
+    /// range comparison (`<`, `<=`, `>`, `>=`).
+    fn range_selectivity(&self, table: &str, column: &str, op: BinaryOp, value: &Value)
+        -> Option<f64>;
+    /// Estimated number of distinct values in `column` (equality fanout).
+    fn distinct_count(&self, table: &str, column: &str) -> Option<u64>;
+}
 
 /// Size/location information about a materialized (or planned) synopsis,
 /// supplied by the caller's metadata store.
@@ -38,6 +61,7 @@ pub struct CostEstimator<'a> {
     catalog: &'a Catalog,
     io: IoModel,
     hints: HashMap<u64, SynopsisCostHint>,
+    cards: Option<&'a dyn CardinalityProvider>,
     /// Default selectivity for a filter predicate the estimator knows nothing
     /// about (classic textbook 1/3).
     pub default_selectivity: f64,
@@ -59,6 +83,7 @@ impl<'a> CostEstimator<'a> {
             catalog,
             io,
             hints: HashMap::new(),
+            cards: None,
             default_selectivity: 0.33,
         }
     }
@@ -66,6 +91,13 @@ impl<'a> CostEstimator<'a> {
     /// Provide size/location hints for synopsis ids referenced by the plans.
     pub fn with_hints(mut self, hints: HashMap<u64, SynopsisCostHint>) -> Self {
         self.hints = hints;
+        self
+    }
+
+    /// Feed the estimator synopsis-backed cardinality estimates. Without a
+    /// provider every selectivity falls back to the textbook constants.
+    pub fn with_cardinality(mut self, provider: &'a dyn CardinalityProvider) -> Self {
+        self.cards = Some(provider);
         self
     }
 
@@ -77,20 +109,40 @@ impl<'a> CostEstimator<'a> {
     /// Estimate rows and cost for a plan.
     pub fn estimate(&self, plan: &LogicalPlan) -> Result<PlanEstimate, EngineError> {
         match plan {
-            LogicalPlan::Scan { table, filter, .. } => {
+            LogicalPlan::Scan {
+                table,
+                filter,
+                access,
+                ..
+            } => {
                 let t = self.catalog.table(table)?;
                 let rows = t.num_rows() as f64;
                 let bytes = t.size_bytes();
-                let selectivity = filter.as_ref().map_or(1.0, |f| self.selectivity(f));
+                let selectivity = filter
+                    .as_ref()
+                    .map_or(1.0, |f| self.selectivity(f, Some(table)));
+                let cost_ns = match access {
+                    Some(path) if !matches!(path, AccessPath::ZonePrunedScan) => {
+                        // Index path: read and evaluate only the probed
+                        // fraction, plus a binary-search probe per partition.
+                        let frac = self.access_fraction(table, path);
+                        let probes = t.num_partitions() as f64 * rows.max(2.0).log2();
+                        self.io.scan_cost((bytes as f64 * frac) as usize)
+                            + self.io.cpu_cost((rows * frac) as usize)
+                            + self.io.cpu_ns_per_row * probes
+                    }
+                    _ => self.io.scan_cost(bytes) + self.io.cpu_cost(t.num_rows()),
+                };
                 Ok(PlanEstimate {
                     rows: rows * selectivity,
-                    cost_ns: self.io.scan_cost(bytes) + self.io.cpu_cost(t.num_rows()),
+                    cost_ns,
                 })
             }
             LogicalPlan::Filter { predicate, input } => {
                 let i = self.estimate(input)?;
+                let table = input.base_tables().into_iter().next();
                 Ok(PlanEstimate {
-                    rows: i.rows * self.selectivity(predicate),
+                    rows: i.rows * self.selectivity(predicate, table.as_deref()),
                     cost_ns: i.cost_ns + self.io.cpu_cost(i.rows as usize),
                 })
             }
@@ -210,14 +262,128 @@ impl<'a> CostEstimator<'a> {
         groups.min(input_rows.max(1.0))
     }
 
-    fn selectivity(&self, predicate: &Expr) -> f64 {
-        // Conjunctions multiply; everything else uses the default.
+    /// Estimated fraction of rows satisfying `predicate`, optionally scoped
+    /// to a base table so synopsis-fed estimates can be consulted.
+    ///
+    /// Boolean connectives follow the independence model: conjunctions
+    /// multiply, disjunctions use inclusion–exclusion
+    /// `1 − (1 − s₁)(1 − s₂)`, and a negated comparison (`!=`) is the
+    /// complement `1 − s` of the corresponding equality. Comparison atoms ask
+    /// the [`CardinalityProvider`] first (point frequency, then `1/distinct`
+    /// fanout, then range fraction) and fall back to the textbook constants
+    /// (0.1 for equality, `default_selectivity` otherwise) when no synopsis
+    /// covers the column.
+    pub fn selectivity(&self, predicate: &Expr, table: Option<&str>) -> f64 {
         match predicate {
-            Expr::Binary { left, op, right } if *op == crate::expr::BinaryOp::And => {
-                (self.selectivity(left) * self.selectivity(right)).max(1e-4)
-            }
-            Expr::Binary { op, .. } if *op == crate::expr::BinaryOp::Eq => 0.1,
+            Expr::Binary { left, op, right } => match op {
+                BinaryOp::And => {
+                    (self.selectivity(left, table) * self.selectivity(right, table)).max(1e-4)
+                }
+                BinaryOp::Or => {
+                    let l = self.selectivity(left, table);
+                    let r = self.selectivity(right, table);
+                    (1.0 - (1.0 - l) * (1.0 - r)).clamp(1e-4, 1.0)
+                }
+                op if op.is_comparison() => {
+                    let (col, op, lit) = match (left.as_ref(), right.as_ref()) {
+                        (Expr::Column(c), Expr::Literal(v)) => (c, *op, v),
+                        (Expr::Literal(v), Expr::Column(c)) => (c, mirror(*op), v),
+                        _ => return self.default_selectivity,
+                    };
+                    match op {
+                        BinaryOp::Eq => self.eq_selectivity(table, col, lit),
+                        BinaryOp::NotEq => {
+                            (1.0 - self.eq_selectivity(table, col, lit)).clamp(1e-4, 1.0)
+                        }
+                        BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => table
+                            .and_then(|t| {
+                                self.cards.and_then(|c| c.range_selectivity(t, col, op, lit))
+                            })
+                            .map_or(self.default_selectivity, |s| s.clamp(1e-6, 1.0)),
+                        _ => self.default_selectivity,
+                    }
+                }
+                _ => self.default_selectivity,
+            },
             _ => self.default_selectivity,
+        }
+    }
+
+    /// Selectivity of `column = value`: synopsis point estimate, then
+    /// `1/distinct` fanout, then the textbook 0.1.
+    fn eq_selectivity(&self, table: Option<&str>, column: &str, value: &Value) -> f64 {
+        if let (Some(t), Some(cards)) = (table, self.cards) {
+            if let Some(s) = cards.point_selectivity(t, column, value) {
+                return s.clamp(1e-6, 1.0);
+            }
+            if let Some(d) = cards.distinct_count(t, column) {
+                if d > 0 {
+                    return (1.0 / d as f64).clamp(1e-6, 1.0);
+                }
+            }
+        }
+        0.1
+    }
+
+    /// Estimated fraction of the table an access path gathers before the
+    /// residual filter runs. This is the quantity the index-path scan cost is
+    /// proportional to (the executor charges the probed rows, not the table).
+    pub fn access_fraction(&self, table: &str, path: &AccessPath) -> f64 {
+        match path {
+            AccessPath::ZonePrunedScan => 1.0,
+            AccessPath::IndexEq { column, value } => {
+                self.eq_selectivity(Some(table), column, value)
+            }
+            AccessPath::IndexRange { column, op, value } => self
+                .cards
+                .and_then(|c| c.range_selectivity(table, column, *op, value))
+                .map_or(self.default_selectivity, |s| s.clamp(1e-6, 1.0)),
+            AccessPath::IndexAnd(parts) => parts
+                .iter()
+                .map(|p| self.access_fraction(table, p))
+                .product::<f64>()
+                .max(1e-6),
+            AccessPath::IndexOr(parts) => (1.0
+                - parts
+                    .iter()
+                    .map(|p| 1.0 - self.access_fraction(table, p))
+                    .product::<f64>())
+            .clamp(1e-6, 1.0),
+        }
+    }
+
+    /// Fanout-gate an access path: drop index atoms whose estimated gathered
+    /// fraction exceeds `max_fraction` (a wide index probe gathers-then-
+    /// discards most of the table and loses to the vectorized scan).
+    ///
+    /// Conjunctions keep whichever conjuncts survive (the residual filter
+    /// covers the rest; a single survivor is unwrapped), while disjunctions
+    /// are all-or-nothing — removing one arm of an `OR` would break the
+    /// superset contract. Returns `None` when nothing index-worthy remains.
+    pub fn gate_access_path(
+        &self,
+        table: &str,
+        path: AccessPath,
+        max_fraction: f64,
+    ) -> Option<AccessPath> {
+        match path {
+            AccessPath::IndexAnd(parts) => {
+                let mut kept: Vec<AccessPath> = parts
+                    .into_iter()
+                    .filter_map(|p| self.gate_access_path(table, p, max_fraction))
+                    .collect();
+                match kept.len() {
+                    0 => None,
+                    1 => kept.pop(),
+                    _ => Some(AccessPath::IndexAnd(kept)),
+                }
+            }
+            AccessPath::IndexOr(parts) => parts
+                .into_iter()
+                .map(|p| self.gate_access_path(table, p, max_fraction))
+                .collect::<Option<Vec<_>>>()
+                .map(AccessPath::IndexOr),
+            atom => (self.access_fraction(table, &atom) <= max_fraction).then_some(atom),
         }
     }
 }
@@ -251,6 +417,7 @@ mod tests {
             table: table.into(),
             filter: None,
             projection: None,
+            access: None,
         }
     }
 
@@ -324,6 +491,118 @@ mod tests {
         let f = est.estimate(&filtered).unwrap();
         let b = est.estimate(&scan("big")).unwrap();
         assert!(f.rows < b.rows);
+    }
+
+    #[test]
+    fn or_and_noteq_selectivities_compose() {
+        // Regression: `Or` and `!=` used to fall through to the flat default,
+        // so `k = 3 OR k = 5` was estimated *less* selective than `k = 3`.
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, IoModel::default());
+        let eq = Expr::binary(Expr::col("k"), BinaryOp::Eq, Expr::lit(3i64));
+        assert!((est.selectivity(&eq, None) - 0.1).abs() < 1e-9);
+
+        let or = Expr::binary(eq.clone(), BinaryOp::Or, eq.clone());
+        let expect = 1.0 - (1.0 - 0.1) * (1.0 - 0.1);
+        assert!((est.selectivity(&or, None) - expect).abs() < 1e-9);
+
+        let ne = Expr::binary(Expr::col("k"), BinaryOp::NotEq, Expr::lit(3i64));
+        assert!((est.selectivity(&ne, None) - 0.9).abs() < 1e-9);
+
+        // Conjunctions still multiply, and the Or estimate stays within (0,1].
+        let and = eq.clone().and(ne);
+        assert!((est.selectivity(&and, None) - 0.09).abs() < 1e-9);
+        assert!(est.selectivity(&or, None) <= 1.0);
+    }
+
+    #[derive(Debug)]
+    struct FixedCards;
+    impl CardinalityProvider for FixedCards {
+        fn point_selectivity(&self, _t: &str, _c: &str, _v: &Value) -> Option<f64> {
+            Some(0.001)
+        }
+        fn range_selectivity(
+            &self,
+            _t: &str,
+            _c: &str,
+            _op: BinaryOp,
+            _v: &Value,
+        ) -> Option<f64> {
+            Some(0.02)
+        }
+        fn distinct_count(&self, _t: &str, _c: &str) -> Option<u64> {
+            Some(500)
+        }
+    }
+
+    #[test]
+    fn cardinality_provider_overrides_textbook_constants() {
+        let cat = catalog();
+        let cards = FixedCards;
+        let est = CostEstimator::new(&cat, IoModel::default()).with_cardinality(&cards);
+        let eq = Expr::binary(Expr::col("k"), BinaryOp::Eq, Expr::lit(3i64));
+        // With table context the provider answers; without it, the fallback.
+        assert!((est.selectivity(&eq, Some("big")) - 0.001).abs() < 1e-9);
+        assert!((est.selectivity(&eq, None) - 0.1).abs() < 1e-9);
+        let lt = Expr::binary(Expr::col("k"), BinaryOp::Lt, Expr::lit(3i64));
+        assert!((est.selectivity(&lt, Some("big")) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_path_costs_less_than_full_scan_when_selective() {
+        let cat = catalog();
+        let cards = FixedCards;
+        let est = CostEstimator::new(&cat, IoModel::default()).with_cardinality(&cards);
+        let filter = Expr::binary(Expr::col("k"), BinaryOp::Eq, Expr::lit(3i64));
+        let indexed = LogicalPlan::Scan {
+            table: "big".into(),
+            filter: Some(filter.clone()),
+            projection: None,
+            access: Some(AccessPath::IndexEq {
+                column: "k".into(),
+                value: taster_storage::Value::Int(3),
+            }),
+        };
+        let scanned = LogicalPlan::Scan {
+            table: "big".into(),
+            filter: Some(filter),
+            projection: None,
+            access: None,
+        };
+        let i = est.estimate(&indexed).unwrap();
+        let s = est.estimate(&scanned).unwrap();
+        assert!(i.cost_ns * 5.0 < s.cost_ns, "index {} vs scan {}", i.cost_ns, s.cost_ns);
+        // The access path changes cost, not the row estimate.
+        assert!((i.rows - s.rows).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_gate_prunes_wide_probes() {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, IoModel::default());
+        // Default constants: Eq → 0.1 (survives a 0.25 gate), range → 0.33
+        // (gated out).
+        let eq = AccessPath::IndexEq {
+            column: "k".into(),
+            value: taster_storage::Value::Int(3),
+        };
+        let range = AccessPath::IndexRange {
+            column: "v".into(),
+            op: BinaryOp::Lt,
+            value: taster_storage::Value::Int(10),
+        };
+        let and = AccessPath::IndexAnd(vec![eq.clone(), range.clone()]);
+        // The surviving single conjunct is unwrapped.
+        assert_eq!(est.gate_access_path("big", and, 0.25), Some(eq.clone()));
+        // An Or with a too-wide arm is dropped entirely.
+        let or = AccessPath::IndexOr(vec![eq.clone(), range.clone()]);
+        assert_eq!(est.gate_access_path("big", or, 0.25), None);
+        assert_eq!(est.gate_access_path("big", range, 0.25), None);
+        let tight_or = AccessPath::IndexOr(vec![eq.clone(), eq.clone()]);
+        assert!(matches!(
+            est.gate_access_path("big", tight_or, 0.25),
+            Some(AccessPath::IndexOr(_))
+        ));
     }
 
     #[test]

@@ -37,8 +37,12 @@ pub mod result;
 pub mod sql;
 
 pub use context::{ExecutionContext, SynopsisLocation, SynopsisProvider};
+pub use cost::{CardinalityProvider, CostEstimator};
 pub use error::EngineError;
 pub use expr::{BinaryOp, Expr};
-pub use logical::{AggExpr, AggFunc, LogicalPlan, SampleMethod, SketchRef, SynopsisPayload};
+pub use logical::{
+    AccessPath, AggExpr, AggFunc, LogicalPlan, SampleMethod, SketchRef, SynopsisPayload,
+};
+pub use optimizer::index_access_path;
 pub use result::{GroupResult, QueryResult};
 pub use sql::{parse_query, SelectQuery};

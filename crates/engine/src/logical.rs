@@ -12,11 +12,74 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use taster_storage::Value;
 use taster_synopses::estimator::AggregateKind;
 use taster_synopses::sketch_join::SketchJoin;
 use taster_synopses::WeightedSample;
 
-use crate::expr::Expr;
+use crate::expr::{BinaryOp, Expr};
+
+/// How a [`LogicalPlan::Scan`] physically reaches its rows.
+///
+/// The access-path taxonomy follows the classic planner design (and
+/// ROADMAP item 2): the default is a zone-pruned full scan; when the scanned
+/// table carries sparse secondary indexes
+/// ([`taster_storage::Table::create_index`]), equality and range predicates
+/// can instead probe the per-partition indexes, and conjunctions /
+/// disjunctions of indexable terms intersect / union the probed row sets.
+/// Index paths are a *cost* choice, never a correctness one: the executor
+/// re-evaluates the full filter over the probed superset, and partitions
+/// without an index slot (the unsealed tail) fall back to a scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPath {
+    /// Scan every partition the zone maps cannot exclude (the default; a
+    /// `Scan` with no access path behaves identically).
+    ZonePrunedScan,
+    /// Probe a secondary index for rows where `column = value`.
+    IndexEq {
+        /// Indexed column.
+        column: String,
+        /// Probe value.
+        value: Value,
+    },
+    /// Probe a secondary index for a one-sided range `column op value`
+    /// (`op` is one of `<`, `<=`, `>`, `>=`).
+    IndexRange {
+        /// Indexed column.
+        column: String,
+        /// Comparison operator.
+        op: BinaryOp,
+        /// Range bound.
+        value: Value,
+    },
+    /// Intersect the row sets of several index probes (an indexable
+    /// conjunction; non-indexable conjuncts stay in the residual filter).
+    IndexAnd(Vec<AccessPath>),
+    /// Union the row sets of several index probes. Only valid when *every*
+    /// branch of the disjunction is indexable — a missing branch would make
+    /// the union an under-approximation.
+    IndexOr(Vec<AccessPath>),
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPath::ZonePrunedScan => f.write_str("zonescan"),
+            AccessPath::IndexEq { column, value } => write!(f, "ix_eq({column}={value})"),
+            AccessPath::IndexRange { column, op, value } => {
+                write!(f, "ix_range({column}{op}{value})")
+            }
+            AccessPath::IndexAnd(children) => {
+                let parts: Vec<String> = children.iter().map(|c| c.to_string()).collect();
+                write!(f, "ix_and({})", parts.join(","))
+            }
+            AccessPath::IndexOr(children) => {
+                let parts: Vec<String> = children.iter().map(|c| c.to_string()).collect();
+                write!(f, "ix_or({})", parts.join(","))
+            }
+        }
+    }
+}
 
 /// Aggregate functions exposed at the SQL level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -190,6 +253,11 @@ pub enum LogicalPlan {
         filter: Option<Expr>,
         /// Optional pushed-down projection.
         projection: Option<Vec<String>>,
+        /// Physical access path chosen by the cost-based planner. `None`
+        /// (the default) is the zone-pruned scan; index paths instruct the
+        /// executor to probe secondary indexes and re-filter the superset.
+        #[serde(default)]
+        access: Option<AccessPath>,
     },
     /// Filter rows by a predicate.
     Filter {
@@ -305,6 +373,39 @@ impl LogicalPlan {
         }
     }
 
+    /// All non-trivial access paths annotated on scans anywhere in the plan,
+    /// in plan-tree order. Empty for plans that read via plain zone-pruned
+    /// scans; used by the service layer to label which access path a chosen
+    /// plan actually uses.
+    pub fn access_paths(&self) -> Vec<&AccessPath> {
+        let mut out = Vec::new();
+        self.collect_access_paths(&mut out);
+        out
+    }
+
+    fn collect_access_paths<'a>(&'a self, out: &mut Vec<&'a AccessPath>) {
+        match self {
+            LogicalPlan::Scan { access, .. } => {
+                if let Some(path) = access {
+                    if *path != AccessPath::ZonePrunedScan {
+                        out.push(path);
+                    }
+                }
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sample { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.collect_access_paths(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_access_paths(out);
+                right.collect_access_paths(out);
+            }
+            LogicalPlan::SketchJoinAgg { probe, .. } => probe.collect_access_paths(out),
+            LogicalPlan::SynopsisScan { .. } => {}
+        }
+    }
+
     /// `true` if the plan contains any synopsis operator (sampler, synopsis
     /// scan or sketch-join).
     pub fn is_approximate(&self) -> bool {
@@ -331,13 +432,21 @@ impl LogicalPlan {
                 table,
                 filter,
                 projection,
+                access,
             } => {
                 let f = filter.as_ref().map(|e| e.to_string()).unwrap_or_default();
                 let p = projection
                     .as_ref()
                     .map(|cols| cols.join(","))
                     .unwrap_or_else(|| "*".to_string());
-                format!("scan({table};{f};{p})")
+                // The access path is appended only when set: a plain scan's
+                // fingerprint is byte-identical to what it was before access
+                // paths existed, so materialized synopsis identities (which
+                // embed scan fingerprints) survive the planner upgrade.
+                match access {
+                    Some(a) => format!("scan({table};{f};{p};@{a})"),
+                    None => format!("scan({table};{f};{p})"),
+                }
             }
             LogicalPlan::Filter { predicate, input } => {
                 format!("filter({};{})", predicate, input.fingerprint())
@@ -429,6 +538,7 @@ impl LogicalPlan {
                 table,
                 filter,
                 projection,
+                access,
             } => {
                 out.push_str(&format!("{pad}Scan: {table}"));
                 if let Some(f) = filter {
@@ -436,6 +546,9 @@ impl LogicalPlan {
                 }
                 if let Some(p) = projection {
                     out.push_str(&format!(" projection=[{}]", p.join(", ")));
+                }
+                if let Some(a) = access {
+                    out.push_str(&format!(" access={a}"));
                 }
                 out.push('\n');
             }
@@ -531,11 +644,13 @@ mod tests {
                     table: "r".into(),
                     filter: Some(Expr::binary(Expr::col("x"), BinaryOp::Gt, Expr::lit(1i64))),
                     projection: None,
+                    access: None,
                 }),
                 right: Box::new(LogicalPlan::Scan {
                     table: "s".into(),
                     filter: None,
                     projection: None,
+                    access: None,
                 }),
                 left_keys: vec!["k".into()],
                 right_keys: vec!["k".into()],
@@ -563,6 +678,7 @@ mod tests {
             table: "r".into(),
             filter: None,
             projection: None,
+            access: None,
         };
         assert_ne!(plan().fingerprint(), other.fingerprint());
     }

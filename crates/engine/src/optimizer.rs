@@ -6,8 +6,8 @@
 //! `taster-core` planner; the rules here are the baseline rewrites any engine
 //! (Catalyst included) performs regardless of approximation.
 
-use crate::expr::Expr;
-use crate::logical::LogicalPlan;
+use crate::expr::{mirror, BinaryOp, Expr};
+use crate::logical::{AccessPath, LogicalPlan};
 
 /// Apply all rewrite rules until a fixpoint (bounded by a small iteration
 /// count; the rules strictly shrink the plan so this converges immediately in
@@ -95,15 +95,22 @@ fn try_push(predicate: Expr, input: LogicalPlan) -> LogicalPlan {
             table,
             filter,
             projection,
+            access,
         } => {
             let filter = match filter {
                 Some(existing) => Some(existing.and(predicate)),
                 None => Some(predicate),
             };
+            // An access path is derived from the *final* pushed-down filter
+            // (the planner runs `optimize` first, then annotates), so a scan
+            // reached here carries none; thread it through regardless — the
+            // executor re-filters with the full predicate, so a stale path
+            // could only cost, never corrupt.
             LogicalPlan::Scan {
                 table,
                 filter,
                 projection,
+                access,
             }
         }
         // Merge adjacent filters.
@@ -154,6 +161,89 @@ fn try_push(predicate: Expr, input: LogicalPlan) -> LogicalPlan {
     }
 }
 
+/// Derive the best structurally-available index [`AccessPath`] for a pushed-
+/// down scan predicate, given the set of columns that carry a sparse
+/// secondary index on the scanned table.
+///
+/// The derivation is purely syntactic — costing and fanout gating happen in
+/// the cost model ([`crate::cost::CostEstimator::gate_access_path`]); this
+/// function only answers "*could* an index serve this predicate at all":
+///
+/// * `col = lit` on an indexed column → [`AccessPath::IndexEq`],
+/// * `col </<=/>/>= lit` on an indexed column → [`AccessPath::IndexRange`]
+///   (literal-first comparisons are mirrored, `!=` is never indexable — its
+///   complement is almost the whole table),
+/// * `a AND b` → the conjunction of whatever sides are indexable (one side is
+///   enough: the executor re-applies the full residual predicate),
+/// * `a OR b` → [`AccessPath::IndexOr`] only when **both** sides are
+///   indexable, because a disjunction with an unindexable arm can match rows
+///   the index never returns (the same rule SQLite's OR-optimization uses).
+///
+/// Returns `None` when no index can serve any required part of the
+/// predicate; callers then fall back to [`AccessPath::ZonePrunedScan`].
+pub fn index_access_path(filter: &Expr, indexed: &[String]) -> Option<AccessPath> {
+    match filter {
+        Expr::Binary { left, op, right } => match op {
+            BinaryOp::And => {
+                let l = index_access_path(left, indexed);
+                let r = index_access_path(right, indexed);
+                match (l, r) {
+                    (Some(a), Some(b)) => {
+                        // Flatten nested conjunctions into one IndexAnd.
+                        let mut parts = Vec::new();
+                        for p in [a, b] {
+                            match p {
+                                AccessPath::IndexAnd(mut inner) => parts.append(&mut inner),
+                                other => parts.push(other),
+                            }
+                        }
+                        Some(AccessPath::IndexAnd(parts))
+                    }
+                    (Some(a), None) | (None, Some(a)) => Some(a),
+                    (None, None) => None,
+                }
+            }
+            BinaryOp::Or => {
+                let a = index_access_path(left, indexed)?;
+                let b = index_access_path(right, indexed)?;
+                let mut parts = Vec::new();
+                for p in [a, b] {
+                    match p {
+                        AccessPath::IndexOr(mut inner) => parts.append(&mut inner),
+                        other => parts.push(other),
+                    }
+                }
+                Some(AccessPath::IndexOr(parts))
+            }
+            _ => {
+                let (column, op, value) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column(c), Expr::Literal(v)) => (c, *op, v),
+                    (Expr::Literal(v), Expr::Column(c)) => (c, mirror(*op), v),
+                    _ => return None,
+                };
+                if !indexed.iter().any(|i| i == column) {
+                    return None;
+                }
+                match op {
+                    BinaryOp::Eq => Some(AccessPath::IndexEq {
+                        column: column.clone(),
+                        value: value.clone(),
+                    }),
+                    BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+                        Some(AccessPath::IndexRange {
+                            column: column.clone(),
+                            op,
+                            value: value.clone(),
+                        })
+                    }
+                    _ => None,
+                }
+            }
+        },
+        _ => None,
+    }
+}
+
 /// Best-effort check whether every column in `cols` can be produced by the
 /// subplan. Works structurally (scans expose all their table's columns) so it
 /// does not need a catalog; when unsure it answers `false`, which only
@@ -194,6 +284,7 @@ mod tests {
             table: t.into(),
             filter: None,
             projection: None,
+            access: None,
         }
     }
 
@@ -250,6 +341,58 @@ mod tests {
             },
             other => panic!("expected Join at root, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn index_path_derivation_covers_atoms_and_connectives() {
+        use taster_storage::Value;
+        let indexed = vec!["o_id".to_string(), "o_price".to_string()];
+        let eq = Expr::binary(Expr::col("o_id"), BinaryOp::Eq, Expr::lit(7i64));
+        assert_eq!(
+            index_access_path(&eq, &indexed),
+            Some(AccessPath::IndexEq {
+                column: "o_id".into(),
+                value: Value::Int(7),
+            })
+        );
+
+        // Literal-first comparisons are mirrored: 5 < o_price ≡ o_price > 5.
+        let mirrored = Expr::binary(Expr::lit(5i64), BinaryOp::Lt, Expr::col("o_price"));
+        assert_eq!(
+            index_access_path(&mirrored, &indexed),
+            Some(AccessPath::IndexRange {
+                column: "o_price".into(),
+                op: BinaryOp::Gt,
+                value: Value::Int(5),
+            })
+        );
+
+        // NotEq and unindexed columns are not servable.
+        let ne = Expr::binary(Expr::col("o_id"), BinaryOp::NotEq, Expr::lit(7i64));
+        assert_eq!(index_access_path(&ne, &indexed), None);
+        let other = Expr::binary(Expr::col("o_flag"), BinaryOp::Eq, Expr::lit(1i64));
+        assert_eq!(index_access_path(&other, &indexed), None);
+
+        // AND keeps whichever sides are indexable; nested ANDs flatten.
+        let partial = eq.clone().and(other.clone());
+        assert!(matches!(
+            index_access_path(&partial, &indexed),
+            Some(AccessPath::IndexEq { .. })
+        ));
+        let both = eq.clone().and(mirrored.clone()).and(eq.clone());
+        match index_access_path(&both, &indexed) {
+            Some(AccessPath::IndexAnd(parts)) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flattened IndexAnd, got {other:?}"),
+        }
+
+        // OR requires every arm to be indexable.
+        let or_ok = Expr::binary(eq.clone(), BinaryOp::Or, mirrored.clone());
+        assert!(matches!(
+            index_access_path(&or_ok, &indexed),
+            Some(AccessPath::IndexOr(parts)) if parts.len() == 2
+        ));
+        let or_bad = Expr::binary(eq, BinaryOp::Or, other);
+        assert_eq!(index_access_path(&or_bad, &indexed), None);
     }
 
     #[test]

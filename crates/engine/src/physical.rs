@@ -22,7 +22,9 @@ use taster_synopses::{AggregateEstimate, UniformSampler, WEIGHT_COLUMN};
 use crate::context::{ExecutionContext, SynopsisLocation};
 use crate::error::EngineError;
 use crate::expr::{BinaryOp, Expr};
-use crate::logical::{AggExpr, AggFunc, LogicalPlan, SampleMethod, SketchRef, SynopsisPayload};
+use crate::logical::{
+    AccessPath, AggExpr, AggFunc, LogicalPlan, SampleMethod, SketchRef, SynopsisPayload,
+};
 use crate::parallel::{morsel_layout, parallel_map, worker_threads};
 use crate::result::{GroupResult, QueryResult};
 
@@ -59,7 +61,15 @@ fn exec_node(
             table,
             filter,
             projection,
-        } => exec_scan(table, filter.as_ref(), projection.as_deref(), ctx, state),
+            access,
+        } => exec_scan(
+            table,
+            filter.as_ref(),
+            projection.as_deref(),
+            access.as_ref(),
+            ctx,
+            state,
+        ),
         LogicalPlan::Filter { predicate, input } => {
             let batch = exec_node(input, ctx, state)?;
             state.metrics.operator_rows += batch.num_rows();
@@ -173,6 +183,7 @@ fn exec_scan(
     table: &str,
     filter: Option<&Expr>,
     projection: Option<&[String]>,
+    access: Option<&AccessPath>,
     ctx: &ExecutionContext,
     state: &mut ExecState,
 ) -> Result<RecordBatch, EngineError> {
@@ -206,12 +217,6 @@ fn exec_scan(
     };
     state.metrics.partitions_pruned += partitions.len() - selected.len();
     state.metrics.partitions_scanned += selected.len();
-    let mut scanned_rows = 0;
-    for &i in &selected {
-        scanned_rows += partitions[i].num_rows();
-        state.metrics.base_bytes_scanned += partitions[i].size_bytes();
-    }
-    state.metrics.base_rows_scanned += scanned_rows;
 
     let proj_names: Option<Vec<&str>> =
         projection.map(|cols| cols.iter().map(String::as_str).collect());
@@ -225,6 +230,66 @@ fn exec_scan(
         }
         return Ok(empty);
     }
+
+    // Index-driven access path: probe the per-partition secondary indexes
+    // for a (usually tiny) superset of matching rows, gather those rows, and
+    // re-evaluate the full filter on the gathered batch. Partitions without
+    // an index slot — the unsealed tail, or columns indexed after this plan
+    // was cached — degrade to a full partition scan, so the path is always
+    // exactly correct. Only the gathered rows (plus fallback partitions) are
+    // charged to the scan metrics; that asymmetry is what the cost model's
+    // access-path comparison predicts.
+    let index_path = match access {
+        Some(AccessPath::ZonePrunedScan) | None => None,
+        Some(p) => Some(p),
+    };
+    if let (Some(path), Some(f)) = (index_path, filter) {
+        let probe_rows: usize = selected.iter().map(|&i| partitions[i].num_rows()).sum();
+        let threads = worker_threads(probe_rows);
+        let pieces: Vec<Result<(RecordBatch, usize, usize), EngineError>> =
+            parallel_map(selected.len(), threads, |k| {
+                let i = selected[k];
+                let part = partitions[i].as_ref();
+                let (superset, rows, bytes) = match probe_access(path, &snapshot, i) {
+                    Some(ranges) => {
+                        let rows = taster_storage::index::ranges_len(&ranges);
+                        let bytes = if part.num_rows() == 0 {
+                            0
+                        } else {
+                            (part.size_bytes() as f64 * rows as f64 / part.num_rows() as f64)
+                                as usize
+                        };
+                        let mask = taster_storage::index::ranges_to_mask(&ranges, part.num_rows());
+                        (part.filter_mask(&mask), rows, bytes)
+                    }
+                    // No usable index for this partition: scan it whole.
+                    None => (part.clone(), part.num_rows(), part.size_bytes()),
+                };
+                // The probed set is a superset (e.g. an IndexAnd with one
+                // unindexed conjunct); the full predicate always re-runs.
+                let mask = f.evaluate_predicate(&superset)?;
+                let mut batch = superset.filter_mask(&mask);
+                if let Some(names) = &proj_names {
+                    batch = batch.project(names)?;
+                }
+                Ok((batch, rows, bytes))
+            });
+        let mut out = Vec::with_capacity(pieces.len());
+        for piece in pieces {
+            let (batch, rows, bytes) = piece?;
+            state.metrics.base_rows_scanned += rows;
+            state.metrics.base_bytes_scanned += bytes;
+            out.push(batch);
+        }
+        return Ok(RecordBatch::concat_refs(&out.iter().collect::<Vec<_>>())?);
+    }
+
+    let mut scanned_rows = 0;
+    for &i in &selected {
+        scanned_rows += partitions[i].num_rows();
+        state.metrics.base_bytes_scanned += partitions[i].size_bytes();
+    }
+    state.metrics.base_rows_scanned += scanned_rows;
 
     if filter.is_none() && proj_names.is_none() {
         // Pass-through scan: one pre-reserved copy, no per-partition clones.
@@ -251,6 +316,59 @@ fn exec_scan(
         });
     let pieces: Vec<RecordBatch> = pieces.into_iter().collect::<Result<_, _>>()?;
     Ok(RecordBatch::concat_refs(&pieces.iter().collect::<Vec<_>>())?)
+}
+
+/// Probe the snapshot's secondary indexes for partition `part`, returning the
+/// sorted, disjoint row ranges the access path selects — or `None` when the
+/// required index slot is missing and the caller must scan the partition.
+///
+/// Composition rules mirror the superset contract: an [`AccessPath::IndexAnd`]
+/// intersects whichever children *can* probe (a missing conjunct only widens
+/// the superset), while an [`AccessPath::IndexOr`] demands every arm — a
+/// disjunct that cannot probe could contribute rows the union would miss.
+fn probe_access(
+    path: &AccessPath,
+    snapshot: &taster_storage::table::TableSnapshot,
+    part: usize,
+) -> Option<Vec<(u32, u32)>> {
+    match path {
+        AccessPath::ZonePrunedScan => None,
+        AccessPath::IndexEq { column, value } => {
+            let idx = snapshot.index(column)?.get(part)?.as_ref()?;
+            Some(idx.probe_eq(value))
+        }
+        AccessPath::IndexRange { column, op, value } => {
+            let (ord, inclusive) = match op {
+                BinaryOp::Lt => (std::cmp::Ordering::Less, false),
+                BinaryOp::LtEq => (std::cmp::Ordering::Less, true),
+                BinaryOp::Gt => (std::cmp::Ordering::Greater, false),
+                BinaryOp::GtEq => (std::cmp::Ordering::Greater, true),
+                _ => return None,
+            };
+            let idx = snapshot.index(column)?.get(part)?.as_ref()?;
+            Some(idx.probe_cmp(value, ord, inclusive))
+        }
+        AccessPath::IndexAnd(parts) => {
+            let mut acc: Option<Vec<(u32, u32)>> = None;
+            for p in parts {
+                if let Some(r) = probe_access(p, snapshot, part) {
+                    acc = Some(match acc {
+                        Some(a) => taster_storage::index::intersect_ranges(&a, &r),
+                        None => r,
+                    });
+                }
+            }
+            acc
+        }
+        AccessPath::IndexOr(parts) => {
+            let mut acc: Vec<(u32, u32)> = Vec::new();
+            for p in parts {
+                let r = probe_access(p, snapshot, part)?;
+                taster_storage::index::merge_ranges(&mut acc, &r);
+            }
+            Some(acc)
+        }
+    }
 }
 
 /// `true` if the zone maps prove no row of the partition can satisfy `filter`.
@@ -795,6 +913,7 @@ mod tests {
                 Expr::lit(3i64),
             )),
             projection: Some(vec!["o_id".into(), "o_price".into()]),
+            access: None,
         };
         let res = execute(&plan, &ctx()).unwrap();
         assert_eq!(res.rows.num_rows(), 100);
@@ -816,6 +935,7 @@ mod tests {
                 table: "orders".into(),
                 filter: None,
                 projection: None,
+                access: None,
             }),
         };
         let res = execute(&plan, &ctx()).unwrap();
@@ -842,11 +962,13 @@ mod tests {
                     table: "orders".into(),
                     filter: None,
                     projection: None,
+                    access: None,
                 }),
                 right: Box::new(LogicalPlan::Scan {
                     table: "customers".into(),
                     filter: None,
                     projection: None,
+                    access: None,
                 }),
                 left_keys: vec!["o_cust".into()],
                 right_keys: vec!["c_id".into()],
@@ -877,6 +999,7 @@ mod tests {
                     table: "orders".into(),
                     filter: None,
                     projection: None,
+                    access: None,
                 }),
             }),
         };
@@ -893,6 +1016,7 @@ mod tests {
                 table: "orders".into(),
                 filter: None,
                 projection: None,
+                access: None,
             }),
         };
         let exact = execute(&exact_plan, &ctx()).unwrap();
@@ -908,6 +1032,7 @@ mod tests {
                 table: "customers".into(),
                 filter: None,
                 projection: None,
+                access: None,
             }),
             probe_keys: vec!["c_id".into()],
             sketch: SketchRef::Build {
@@ -956,6 +1081,7 @@ mod tests {
                     )),
             ),
             projection: None,
+            access: None,
         };
         let res = execute(&plan, &ctx).unwrap();
         assert_eq!(res.rows.num_rows(), 1000);
@@ -982,6 +1108,7 @@ mod tests {
                 Expr::lit(1_000_000i64),
             )),
             projection: Some(vec!["o_id".into()]),
+            access: None,
         };
         let res = execute(&plan, &ctx()).unwrap();
         assert_eq!(res.rows.num_rows(), 0);
@@ -1052,6 +1179,7 @@ mod tests {
                 table: "orders".into(),
                 filter: None,
                 projection: None,
+                access: None,
             }),
         };
         let res = execute(&plan, &ctx()).unwrap();

@@ -119,6 +119,7 @@ impl SelectQuery {
             table: self.from.clone(),
             filter: None,
             projection: None,
+            access: None,
         };
         let mut left_tables = vec![self.from.clone()];
 
@@ -146,6 +147,7 @@ impl SelectQuery {
                     table: join.table.clone(),
                     filter: None,
                     projection: None,
+                    access: None,
                 }),
                 left_keys,
                 right_keys,

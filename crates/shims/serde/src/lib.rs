@@ -10,13 +10,19 @@
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.
-#[proc_macro_derive(Serialize)]
+///
+/// Registers the `serde` helper attribute so field annotations like
+/// `#[serde(default)]` parse, exactly as the real derive does.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op stand-in for `serde_derive::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+///
+/// Registers the `serde` helper attribute so field annotations like
+/// `#[serde(default)]` parse, exactly as the real derive does.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }

@@ -1,0 +1,389 @@
+//! Sparse per-partition secondary indexes over sealed partitions.
+//!
+//! A [`PartitionIndex`] maps every distinct value of one column inside one
+//! *sealed* (immutable) partition to the compressed set of row positions that
+//! hold it: a sorted run of `(key, row-ranges)` entries, ordered by
+//! [`Value::total_cmp`] and keyed by the canonical row-encoded bytes from
+//! [`crate::row_key`] (so `Int(2)` and `Float(2.0)` share one entry, exactly
+//! as the comparison kernels treat them as equal).
+//!
+//! The index is *sparse* in the sense of the paper's storage layer: it exists
+//! only for partitions that have sealed, and only for columns an operator
+//! asked to index. The unsealed tail partition is always scanned, which is
+//! what makes the design append-friendly — an append can extend the tail or
+//! seal it into an immutable partition, but it can never rewrite rows a
+//! sealed index describes, so published indexes are never invalidated.
+//! Indexes travel inside [`crate::table::TableSnapshot`]s and are published
+//! atomically with the partitions and zone maps they describe; a scan that
+//! probes a snapshot's index can never disagree with the rows it reads.
+
+use std::sync::Arc;
+
+use crate::batch::RecordBatch;
+use crate::error::StorageError;
+use crate::mask::SelectionMask;
+use crate::row_key::RowKeys;
+use crate::value::Value;
+
+/// One distinct key inside a [`PartitionIndex`]: the decoded value (used for
+/// ordered probes), its canonical row-encoded bytes (the identity the join
+/// and grouping machinery already uses), and the compressed, ascending row
+/// ranges `[start, end)` holding that key.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    /// Decoded key, the sort/probe key under [`Value::total_cmp`].
+    key: Value,
+    /// Canonical row-encoded bytes for the key (identity; equal bytes ⟺
+    /// equal key under the engine's equality semantics).
+    key_bytes: Vec<u8>,
+    /// Maximal runs of consecutive rows holding the key, ascending.
+    ranges: Vec<(u32, u32)>,
+}
+
+/// A sorted secondary index over one column of one immutable partition.
+///
+/// # Examples
+///
+/// ```
+/// use taster_storage::batch::BatchBuilder;
+/// use taster_storage::index::PartitionIndex;
+/// use taster_storage::value::Value;
+///
+/// let part = BatchBuilder::new()
+///     .column("grp", vec![3i64, 1, 3, 2, 1, 3])
+///     .build()
+///     .unwrap();
+/// let idx = PartitionIndex::build(&part, "grp").unwrap();
+/// // Rows holding grp = 3, as compressed [start, end) ranges.
+/// assert_eq!(idx.probe_eq(&Value::Int(3)), vec![(0, 1), (2, 3), (5, 6)]);
+/// // Range probes use the same total order as the comparison kernels:
+/// // rows with grp < 3.
+/// let lt3 = idx.probe_cmp(&Value::Int(3), std::cmp::Ordering::Less, false);
+/// assert_eq!(lt3, vec![(1, 2), (3, 5)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionIndex {
+    column: String,
+    num_rows: usize,
+    entries: Vec<IndexEntry>,
+}
+
+impl PartitionIndex {
+    /// Build an index over `column` of an (immutable) partition.
+    ///
+    /// Cost is `O(n log n)` in the partition's rows; the result is a run of
+    /// entries sorted by [`Value::total_cmp`] with equal-key rows compressed
+    /// into maximal `[start, end)` ranges.
+    pub fn build(partition: &RecordBatch, column: &str) -> Result<Self, StorageError> {
+        let col = partition.column_by_name(column)?;
+        let n = col.len();
+        let mut pairs: Vec<(Value, u32)> = (0..n).map(|i| (col.value(i), i as u32)).collect();
+        // Stable order: by key first, then by row, so equal-key rows come out
+        // ascending and compress into maximal runs.
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut entries: Vec<IndexEntry> = Vec::new();
+        for (key, row) in pairs {
+            let is_new = entries
+                .last()
+                .is_none_or(|e| e.key.total_cmp(&key) != std::cmp::Ordering::Equal);
+            if is_new {
+                let key_bytes = RowKeys::encode_values(std::slice::from_ref(&key));
+                entries.push(IndexEntry {
+                    key,
+                    key_bytes,
+                    ranges: vec![(row, row + 1)],
+                });
+            } else if let Some(entry) = entries.last_mut() {
+                match entry.ranges.last_mut() {
+                    Some(last) if last.1 == row => last.1 = row + 1,
+                    _ => entry.ranges.push((row, row + 1)),
+                }
+            }
+        }
+        Ok(Self {
+            column: column.to_string(),
+            num_rows: n,
+            entries,
+        })
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Rows in the partition the index was built over.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of distinct keys in the partition.
+    pub fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate in-memory size of the index in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| {
+                std::mem::size_of::<IndexEntry>()
+                    + e.key_bytes.len()
+                    + e.ranges.len() * std::mem::size_of::<(u32, u32)>()
+            })
+            .sum()
+    }
+
+    /// Locate `key`'s entry by binary search under [`Value::total_cmp`];
+    /// the match is double-checked against the canonical encoded bytes.
+    fn find(&self, key: &Value) -> Option<&IndexEntry> {
+        let idx = self
+            .entries
+            .binary_search_by(|e| e.key.total_cmp(key))
+            .ok()?;
+        let entry = &self.entries[idx];
+        debug_assert_eq!(
+            entry.key_bytes,
+            RowKeys::encode_values(std::slice::from_ref(key)),
+            "total_cmp equality must agree with row-key identity"
+        );
+        Some(entry)
+    }
+
+    /// Row ranges `[start, end)` of every row whose key equals `key` under
+    /// the engine's equality semantics (`total_cmp == Equal`). Empty if the
+    /// key is absent.
+    pub fn probe_eq(&self, key: &Value) -> Vec<(u32, u32)> {
+        self.find(key).map(|e| e.ranges.clone()).unwrap_or_default()
+    }
+
+    /// Row ranges of every row whose key lies in the interval bounded below
+    /// by `lo` and above by `hi` (each bound inclusive when its flag is set;
+    /// `None` leaves that side unbounded).
+    fn probe_between(
+        &self,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Vec<(u32, u32)> {
+        let start = match lo {
+            None => 0,
+            Some((v, inclusive)) => self.entries.partition_point(|e| {
+                let ord = e.key.total_cmp(v);
+                if inclusive {
+                    ord == std::cmp::Ordering::Less
+                } else {
+                    ord != std::cmp::Ordering::Greater
+                }
+            }),
+        };
+        let end = match hi {
+            None => self.entries.len(),
+            Some((v, inclusive)) => self.entries.partition_point(|e| {
+                let ord = e.key.total_cmp(v);
+                if inclusive {
+                    ord != std::cmp::Ordering::Greater
+                } else {
+                    ord == std::cmp::Ordering::Less
+                }
+            }),
+        };
+        // Each entry's ranges are sorted, but entries of different keys
+        // interleave arbitrarily in row order: collect everything once and
+        // coalesce in one pass instead of merging per entry (which would be
+        // quadratic in the number of matched keys — painful for sparse keys,
+        // where a range probe matches hundreds of single-row entries).
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for entry in &self.entries[start..end.max(start)] {
+            ranges.extend_from_slice(&entry.ranges);
+        }
+        ranges.sort_unstable();
+        coalesce_ranges(&mut ranges);
+        ranges
+    }
+
+    /// Row ranges of every row whose key compares `ordering` against `key`:
+    /// `Less`/`Greater` for strict bounds, with `inclusive` widening them to
+    /// `<=` / `>=`. This is the physical leg of `IndexRange` access paths.
+    pub fn probe_cmp(&self, key: &Value, ordering: std::cmp::Ordering, inclusive: bool) -> Vec<(u32, u32)> {
+        match ordering {
+            std::cmp::Ordering::Less => self.probe_between(None, Some((key, inclusive))),
+            std::cmp::Ordering::Greater => self.probe_between(Some((key, inclusive)), None),
+            std::cmp::Ordering::Equal => self.probe_eq(key),
+        }
+    }
+
+    /// Materialize row ranges into a [`SelectionMask`] over the partition.
+    pub fn mask_from_ranges(&self, ranges: &[(u32, u32)]) -> SelectionMask {
+        ranges_to_mask(ranges, self.num_rows)
+    }
+}
+
+/// Coalesce a run of ranges sorted by start into a disjoint union in place,
+/// merging overlapping and touching neighbours.
+fn coalesce_ranges(ranges: &mut Vec<(u32, u32)>) {
+    let mut kept = 0usize;
+    for i in 0..ranges.len() {
+        let next = ranges[i];
+        if kept > 0 && next.0 <= ranges[kept - 1].1 {
+            ranges[kept - 1].1 = ranges[kept - 1].1.max(next.1);
+        } else {
+            ranges[kept] = next;
+            kept += 1;
+        }
+    }
+    ranges.truncate(kept);
+}
+
+/// Merge a sorted, disjoint run of ranges into an accumulator that is kept
+/// sorted and disjoint (the union). Both inputs are ascending.
+pub fn merge_ranges(acc: &mut Vec<(u32, u32)>, more: &[(u32, u32)]) {
+    if more.is_empty() {
+        return;
+    }
+    if acc.is_empty() {
+        acc.extend_from_slice(more);
+        return;
+    }
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(acc.len() + more.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < acc.len() || j < more.len() {
+        let next = if j >= more.len() || (i < acc.len() && acc[i].0 <= more[j].0) {
+            let r = acc[i];
+            i += 1;
+            r
+        } else {
+            let r = more[j];
+            j += 1;
+            r
+        };
+        match out.last_mut() {
+            Some(last) if next.0 <= last.1 => last.1 = last.1.max(next.1),
+            _ => out.push(next),
+        }
+    }
+    *acc = out;
+}
+
+/// Intersect two sorted, disjoint range runs.
+pub fn intersect_ranges(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Total rows covered by a (disjoint) range run.
+pub fn ranges_len(ranges: &[(u32, u32)]) -> usize {
+    ranges.iter().map(|&(s, e)| (e - s) as usize).sum()
+}
+
+/// Materialize `[start, end)` row ranges into a [`SelectionMask`] of
+/// `num_rows` bits.
+pub fn ranges_to_mask(ranges: &[(u32, u32)], num_rows: usize) -> SelectionMask {
+    let mut mask = SelectionMask::none(num_rows);
+    for &(s, e) in ranges {
+        for row in s..e.min(num_rows as u32) {
+            mask.set(row as usize);
+        }
+    }
+    mask
+}
+
+/// The secondary indexes carried by one snapshot: for each indexed column, a
+/// per-partition slot that is `Some` for sealed (immutable, indexed)
+/// partitions and `None` for the unsealed tail — scans fall back to a full
+/// partition scan wherever the slot is `None`, so a missing index is never a
+/// correctness question, only a cost one.
+pub type ColumnIndexes = Vec<Option<Arc<PartitionIndex>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchBuilder;
+
+    fn part(vals: Vec<i64>) -> RecordBatch {
+        BatchBuilder::new().column("v", vals).build().unwrap()
+    }
+
+    #[test]
+    fn build_groups_and_compresses_rows() {
+        let idx = PartitionIndex::build(&part(vec![3, 1, 3, 2, 1, 3]), "v").unwrap();
+        assert_eq!(idx.num_keys(), 3);
+        assert_eq!(idx.num_rows(), 6);
+        assert_eq!(idx.probe_eq(&Value::Int(3)), vec![(0, 1), (2, 3), (5, 6)]);
+        assert_eq!(idx.probe_eq(&Value::Int(1)), vec![(1, 2), (4, 5)]);
+        assert_eq!(idx.probe_eq(&Value::Int(9)), Vec::<(u32, u32)>::new());
+        // Consecutive equal keys compress into one run.
+        let idx = PartitionIndex::build(&part(vec![7, 7, 7, 8]), "v").unwrap();
+        assert_eq!(idx.probe_eq(&Value::Int(7)), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn probe_cmp_matches_scan_semantics() {
+        let vals = vec![5i64, 1, 9, 3, 5, 7, 1];
+        let idx = PartitionIndex::build(&part(vals.clone()), "v").unwrap();
+        for bound in [0i64, 1, 4, 5, 9, 10] {
+            for (ord, inclusive) in [
+                (std::cmp::Ordering::Less, false),
+                (std::cmp::Ordering::Less, true),
+                (std::cmp::Ordering::Greater, false),
+                (std::cmp::Ordering::Greater, true),
+            ] {
+                let ranges = idx.probe_cmp(&Value::Int(bound), ord, inclusive);
+                let mask = idx.mask_from_ranges(&ranges);
+                for (row, v) in vals.iter().enumerate() {
+                    let expect = match (ord, inclusive) {
+                        (std::cmp::Ordering::Less, false) => *v < bound,
+                        (std::cmp::Ordering::Less, true) => *v <= bound,
+                        (std::cmp::Ordering::Greater, false) => *v > bound,
+                        (std::cmp::Ordering::Greater, true) => *v >= bound,
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(mask.get(row), expect, "bound={bound} ord={ord:?} inc={inclusive} row={row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_share_an_entry() {
+        let b = BatchBuilder::new()
+            .column("v", vec![2.0f64, 3.5, 2.0])
+            .build()
+            .unwrap();
+        let idx = PartitionIndex::build(&b, "v").unwrap();
+        // The engine treats Int(2) == Float(2.0); so does the index.
+        assert_eq!(idx.probe_eq(&Value::Int(2)), vec![(0, 1), (2, 3)]);
+        assert_eq!(idx.probe_eq(&Value::Float(2.0)), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn range_set_algebra() {
+        let mut acc = vec![(0u32, 2u32), (5, 7)];
+        merge_ranges(&mut acc, &[(1, 3), (7, 9), (11, 12)]);
+        assert_eq!(acc, vec![(0, 3), (5, 9), (11, 12)]);
+        assert_eq!(
+            intersect_ranges(&[(0, 4), (6, 10)], &[(2, 7), (9, 12)]),
+            vec![(2, 4), (6, 7), (9, 10)]
+        );
+        assert_eq!(ranges_len(&[(0, 3), (5, 9)]), 7);
+        let mask = ranges_to_mask(&[(1, 3)], 4);
+        assert_eq!(mask.to_bools(), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        assert!(PartitionIndex::build(&part(vec![1]), "nope").is_err());
+    }
+}

@@ -28,6 +28,7 @@ pub mod catalog;
 pub mod codec;
 pub mod column;
 pub mod error;
+pub mod index;
 pub mod io_model;
 pub mod mask;
 pub mod pager;
@@ -45,6 +46,7 @@ pub use catalog::Catalog;
 pub use codec::{ByteReader, ByteWriter};
 pub use column::ColumnData;
 pub use error::StorageError;
+pub use index::PartitionIndex;
 pub use io_model::IoModel;
 pub use mask::SelectionMask;
 pub use pager::{BlobRef, Pager};

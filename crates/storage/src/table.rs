@@ -9,10 +9,12 @@
 //! with scans, samplers and synopsis builds holding older snapshots.
 
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use crate::batch::RecordBatch;
 use crate::error::StorageError;
+use crate::index::{ColumnIndexes, PartitionIndex};
 use crate::partition::split_batch;
 use crate::schema::SchemaRef;
 use crate::stats::{PartitionZones, TableStats, TableStatsBuilder};
@@ -31,6 +33,11 @@ pub struct TableSnapshot {
     schema: SchemaRef,
     partitions: Vec<Arc<RecordBatch>>,
     zones: OnceLock<Vec<PartitionZones>>,
+    /// Sparse secondary indexes, one per-partition slot vector per indexed
+    /// column. Slots are `Some` only for sealed partitions; the unsealed
+    /// tail is always `None` and is scanned. Like `zones`, the indexes are
+    /// published atomically with the partitions they describe.
+    indexes: HashMap<String, ColumnIndexes>,
     version: u64,
     num_rows: usize,
     size_bytes: usize,
@@ -44,6 +51,7 @@ impl TableSnapshot {
             schema,
             partitions,
             zones: OnceLock::new(),
+            indexes: HashMap::new(),
             version,
             num_rows,
             size_bytes,
@@ -65,6 +73,32 @@ impl TableSnapshot {
                 .map(|p| PartitionZones::compute(p))
                 .collect()
         })
+    }
+
+    /// Per-partition secondary index slots for `column`, if an index was
+    /// created for it ([`Table::create_index`]). The returned slice is
+    /// parallel to [`partitions`](Self::partitions); a `None` slot (the
+    /// unsealed tail, or a partition sealed before indexing caught up) must
+    /// be scanned instead of probed.
+    pub fn index(&self, column: &str) -> Option<&[Option<Arc<PartitionIndex>>]> {
+        self.indexes.get(column).map(|v| v.as_slice())
+    }
+
+    /// Columns with a secondary index in this snapshot (sorted).
+    pub fn indexed_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self.indexes.keys().cloned().collect();
+        cols.sort();
+        cols
+    }
+
+    /// Approximate in-memory size of all secondary indexes, in bytes.
+    pub fn index_size_bytes(&self) -> usize {
+        self.indexes
+            .values()
+            .flatten()
+            .flatten()
+            .map(|idx| idx.size_bytes())
+            .sum()
     }
 
     /// Number of partitions.
@@ -438,7 +472,33 @@ impl Table {
             new_partitions += 1;
         }
 
-        let snap = TableSnapshot::new(self.schema.clone(), partitions, old.version() + 1);
+        // Seal-time index maintenance: sealed partitions are immutable, so
+        // their index slots are carried forward `Arc`-shared; any partition
+        // that sealed during *this* append (the grown tail reaching
+        // `seal_rows`, or overflow partitions of exactly `seal_rows` rows)
+        // gets its index built now. The new unsealed tail keeps a `None`
+        // slot and is always scanned — appends therefore never invalidate a
+        // published index.
+        let mut indexes = old.indexes.clone();
+        let old_n = old.partitions.len();
+        for (col, slots) in indexes.iter_mut() {
+            if old_n > 0 && slots.len() == old_n {
+                let tail = &partitions[old_n - 1];
+                if slots[old_n - 1].is_none() && tail.num_rows() >= self.seal_rows {
+                    slots[old_n - 1] = PartitionIndex::build(tail, col).ok().map(Arc::new);
+                }
+            }
+            for part in &partitions[old_n..] {
+                slots.push(if part.num_rows() >= self.seal_rows {
+                    PartitionIndex::build(part, col).ok().map(Arc::new)
+                } else {
+                    None
+                });
+            }
+        }
+
+        let mut snap = TableSnapshot::new(self.schema.clone(), partitions, old.version() + 1);
+        snap.indexes = indexes;
         if let Some(zones) = zones {
             let _ = snap.zones.set(zones);
         }
@@ -450,6 +510,79 @@ impl Table {
             new_partitions,
             version,
         })
+    }
+
+    /// Create a sparse secondary index on `column`.
+    ///
+    /// Indexes are built for every currently *sealed* partition (a partition
+    /// holding at least [`seal_rows`](Self::seal_rows) rows, plus every
+    /// non-tail partition, which can never grow again); the unsealed tail is
+    /// left unindexed and is always scanned. The indexed snapshot is
+    /// published atomically, and subsequent [`append`](Self::append)s
+    /// maintain the index at seal time: partitions sealed by an append are
+    /// indexed inside that append, sealed partitions carry their index
+    /// forward `Arc`-shared. Idempotent — indexing an already indexed
+    /// column re-publishes without rebuilding sealed slots.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use taster_storage::batch::BatchBuilder;
+    /// use taster_storage::value::Value;
+    /// use taster_storage::Table;
+    ///
+    /// let b = BatchBuilder::new()
+    ///     .column("id", (0..100i64).collect::<Vec<_>>())
+    ///     .build()
+    ///     .unwrap();
+    /// let t = Table::from_batch("t", b, 4).unwrap();
+    /// t.create_index("id").unwrap();
+    /// let snap = t.snapshot();
+    /// let slots = snap.index("id").unwrap();
+    /// // Partition 1 holds ids 25..50: probing 30 hits exactly one row.
+    /// let hits = slots[1].as_ref().unwrap().probe_eq(&Value::Int(30));
+    /// assert_eq!(hits, vec![(5, 6)]);
+    /// ```
+    pub fn create_index(&self, column: &str) -> Result<(), StorageError> {
+        // Validate against the schema up front so the append path can treat
+        // per-partition build failures as impossible.
+        self.schema.index_of(column)?;
+        let _appender = self.append_lock.lock();
+        let old = self.snapshot();
+        if old.indexes.contains_key(column) {
+            return Ok(());
+        }
+        let last = old.partitions.len().saturating_sub(1);
+        let slots: ColumnIndexes = old
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let sealed = i < last || p.num_rows() >= self.seal_rows;
+                if sealed {
+                    PartitionIndex::build(p, column).ok().map(Arc::new)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut snap = TableSnapshot::new(
+            self.schema.clone(),
+            old.partitions.clone(),
+            old.version() + 1,
+        );
+        snap.indexes = old.indexes.clone();
+        snap.indexes.insert(column.to_string(), slots);
+        if let Some(zones) = old.zones.get().cloned() {
+            let _ = snap.zones.set(zones);
+        }
+        *self.current.write() = Arc::new(snap);
+        Ok(())
+    }
+
+    /// Columns with a secondary index in the current snapshot (sorted).
+    pub fn indexed_columns(&self) -> Vec<String> {
+        self.current.read().indexed_columns()
     }
 
     /// Table statistics, computed on first call and maintained incrementally:
@@ -720,6 +853,90 @@ mod tests {
         let empty = batch(0..10).filter(&[false; 10]);
         t.append(&empty).unwrap();
         assert_eq!(sink.rows.load(Ordering::SeqCst), 25);
+    }
+
+    #[test]
+    fn create_index_covers_sealed_partitions_only() {
+        // 100 rows over 4 partitions => seal at 25, all partitions sealed.
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        let v0 = t.version();
+        t.create_index("id").unwrap();
+        assert_eq!(t.indexed_columns(), vec!["id".to_string()]);
+        assert_eq!(t.version(), v0 + 1, "index publication is a new snapshot");
+        let snap = t.snapshot();
+        let slots = snap.index("id").unwrap();
+        assert_eq!(slots.len(), 4);
+        assert!(slots.iter().all(Option::is_some));
+        assert!(snap.index_size_bytes() > 0);
+        assert!(snap.index("grp").is_none(), "only requested columns indexed");
+        // Probing partition 2 (ids 50..75) for id = 60 hits local row 10.
+        let hits = slots[2].as_ref().unwrap().probe_eq(&Value::Int(60));
+        assert_eq!(hits, vec![(10, 11)]);
+        // Idempotent.
+        t.create_index("id").unwrap();
+        assert_eq!(t.indexed_columns(), vec!["id".to_string()]);
+        // Unknown columns are rejected.
+        assert!(t.create_index("nope").is_err());
+    }
+
+    #[test]
+    fn append_maintains_indexes_at_seal_time() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        t.create_index("id").unwrap();
+        // 30 appended rows: 25 seal a new partition, 5 form an unsealed tail.
+        t.append(&batch(100..130)).unwrap();
+        let snap = t.snapshot();
+        let slots = snap.index("id").unwrap();
+        assert_eq!(slots.len(), snap.num_partitions());
+        assert!(slots[4].is_some(), "partition sealed by the append is indexed");
+        assert!(slots[5].is_none(), "unsealed tail is never indexed");
+        // Old sealed slots are carried forward, not rebuilt.
+        let before = t.snapshot();
+        t.append(&batch(130..140)).unwrap();
+        let after = t.snapshot();
+        let (b, a) = (before.index("id").unwrap(), after.index("id").unwrap());
+        for i in 0..4 {
+            assert!(Arc::ptr_eq(
+                b[i].as_ref().unwrap(),
+                a[i].as_ref().unwrap()
+            ));
+        }
+        // The tail grew 5 -> 15 rows, still unsealed.
+        assert!(a[5].is_none());
+        // Growing the tail to its seal bound builds its index in the append.
+        t.append(&batch(140..150)).unwrap();
+        let snap = t.snapshot();
+        let slots = snap.index("id").unwrap();
+        let tail_idx = slots[5].as_ref().expect("tail sealed at 25 rows");
+        assert_eq!(tail_idx.num_rows(), 25);
+        assert_eq!(tail_idx.probe_eq(&Value::Int(149)), vec![(24, 25)]);
+    }
+
+    #[test]
+    fn indexes_ride_snapshot_publication() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        t.create_index("id").unwrap();
+        let old = t.snapshot();
+        t.append(&batch(100..200)).unwrap();
+        // The pre-append snapshot still describes exactly its own rows.
+        let slots = old.index("id").unwrap();
+        assert_eq!(slots.len(), old.num_partitions());
+        assert!(slots[3]
+            .as_ref()
+            .unwrap()
+            .probe_eq(&Value::Int(99))
+            .len()
+            == 1);
+        // And the new snapshot's index covers the new sealed partitions.
+        let new = t.snapshot();
+        let slots = new.index("id").unwrap();
+        assert_eq!(slots.len(), new.num_partitions());
+        let covered: usize = slots
+            .iter()
+            .flatten()
+            .map(|i| i.num_rows())
+            .sum();
+        assert_eq!(covered, 200, "200 rows in sealed partitions are indexed");
     }
 
     #[test]

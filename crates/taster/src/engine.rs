@@ -607,10 +607,30 @@ impl TasterEngine {
             let output = self
                 .planner
                 .plan(&query, &self.catalog, &mut metadata, &self.store)?;
-            metadata.record_query(output.exact_cost_ns, output.alternatives());
+            let seq = metadata.record_query(output.exact_cost_ns, output.alternatives());
             let decision = self.tuner.lock().decide(&output, &metadata, &self.store);
+            // Label the log entry with the access paths of the chosen plan,
+            // so the usefulness window can tell index wins apart from
+            // synopsis wins (and the tuner never credits a synopsis for a
+            // speedup an index delivered).
+            let chosen_plan = match decision.chosen {
+                ChosenPlan::Exact => &output.exact_plan,
+                ChosenPlan::Candidate(i) => &output.candidates[i].plan,
+            };
+            let paths = chosen_plan.access_paths();
+            if !paths.is_empty() {
+                let label = paths
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                metadata.record_access_choice(seq, label);
+            }
             (output, decision)
         };
+        if std::env::var("TASTER_EXPLAIN").map(|v| v == "1").unwrap_or(false) {
+            eprintln!("{}", output.explain());
+        }
 
         // Apply the evict set before executing, as the tuner intended.
         // Entries leased by this plan (or any concurrent in-flight plan) are
@@ -898,6 +918,33 @@ mod tests {
             )
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn index_path_wins_for_selective_point_query_and_is_recorded() {
+        let cat = catalog(50_000);
+        cat.table("orders").unwrap().create_index("o_id").unwrap();
+        let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+        let eng = TasterEngine::new(cat, config);
+
+        let res = eng
+            .execute_sql("SELECT o_id, o_price FROM orders WHERE o_id = 4242")
+            .unwrap();
+        assert!(!res.approximate);
+        assert!(
+            res.plan_description.contains("index access path"),
+            "tuner must pick the index candidate, chose: {}",
+            res.plan_description
+        );
+        assert_eq!(res.result.rows.num_rows(), 1);
+        // The probe charges only the probed rows, not whole partitions.
+        assert!(
+            res.result.metrics.base_rows_scanned < 1_000,
+            "probed {} rows",
+            res.result.metrics.base_rows_scanned
+        );
+        // The win lands in the query log, visible to the usefulness window.
+        assert!(eng.metadata.read().access_path_wins(10) >= 1);
     }
 
     #[test]

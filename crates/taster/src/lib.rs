@@ -27,6 +27,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cardinality;
 pub mod config;
 pub mod engine;
 pub mod hints;
@@ -38,6 +39,7 @@ pub mod store;
 pub mod synopsis;
 pub mod tuner;
 
+pub use cardinality::{CardinalityCache, SynopsisCardinality};
 pub use config::TasterConfig;
 pub use engine::{RecoveryReport, TasterEngine, TasterResult};
 pub use persist::Durability;

@@ -31,11 +31,12 @@ use std::collections::HashMap;
 use taster_engine::cost::{CostEstimator, SynopsisCostHint};
 use taster_engine::sql::{ErrorSpec, SelectQuery};
 use taster_engine::{
-    EngineError, Expr, LogicalPlan, SampleMethod, SketchRef,
+    index_access_path, EngineError, Expr, LogicalPlan, SampleMethod, SketchRef,
 };
 use taster_storage::{Catalog, IoModel};
 use taster_synopses::estimator::required_probability;
 
+use crate::cardinality::{CardinalityCache, SynopsisCardinality};
 use crate::config::TasterConfig;
 use crate::matching::{find_sample_match, find_sketch_match, SampleRequirement};
 use crate::metadata::{MetadataStore, PlanAlternative};
@@ -62,6 +63,9 @@ pub struct CandidatePlan {
     /// The plan shape used to compute `future_cost_ns` (None for plans that
     /// create nothing).
     pub future_plan: Option<LogicalPlan>,
+    /// Estimated output rows of `plan` (populated during re-costing; shown by
+    /// [`PlannerOutput::explain`]).
+    pub est_rows: f64,
     /// Human-readable description (for logging / EXPLAIN).
     pub description: String,
     /// Leases on every synopsis in `uses`, taken at match time. Holding the
@@ -80,6 +84,8 @@ pub struct PlannerOutput {
     pub exact_plan: LogicalPlan,
     /// Its estimated cost.
     pub exact_cost_ns: f64,
+    /// Its estimated output rows.
+    pub exact_rows: f64,
     /// All approximate candidates (possibly empty for non-approximable
     /// queries).
     pub candidates: Vec<CandidatePlan>,
@@ -101,6 +107,51 @@ impl PlannerOutput {
             })
             .collect()
     }
+
+    /// Render the planning decision as an aligned EXPLAIN-style block: one
+    /// row per considered plan (the exact plan first), with estimated output
+    /// rows, estimated cost and the access paths the plan uses. The engine
+    /// prints this to stderr when `TASTER_EXPLAIN=1`.
+    pub fn explain(&self) -> String {
+        fn paths(plan: &LogicalPlan) -> String {
+            let ps = plan.access_paths();
+            if ps.is_empty() {
+                "zonescan".to_string()
+            } else {
+                ps.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan for: {}\n{:<52} {:>14} {:>14}  {}\n",
+            self.query.text, "plan", "est rows", "est cost ms", "access"
+        ));
+        out.push_str(&format!(
+            "{:<52} {:>14.0} {:>14.3}  {}\n",
+            "exact",
+            self.exact_rows,
+            self.exact_cost_ns / 1e6,
+            paths(&self.exact_plan)
+        ));
+        for c in &self.candidates {
+            let mut desc = c.description.clone();
+            if desc.len() > 52 {
+                desc.truncate(49);
+                desc.push_str("...");
+            }
+            out.push_str(&format!(
+                "{:<52} {:>14.0} {:>14.3}  {}\n",
+                desc,
+                c.est_rows,
+                c.cost_ns / 1e6,
+                paths(&c.plan)
+            ));
+        }
+        out
+    }
 }
 
 /// The Taster planner.
@@ -108,12 +159,19 @@ impl PlannerOutput {
 pub struct Planner {
     config: TasterConfig,
     io_model: IoModel,
+    /// Lazily built, cross-query cache of per-column frequency summaries
+    /// backing synopsis-fed cardinality estimation.
+    cards: CardinalityCache,
 }
 
 impl Planner {
     /// Create a planner with the given configuration and cost model.
     pub fn new(config: TasterConfig, io_model: IoModel) -> Self {
-        Self { config, io_model }
+        Self {
+            config,
+            io_model,
+            cards: CardinalityCache::new(),
+        }
     }
 
     /// Generate the exact plan and all approximate candidates for a query,
@@ -125,11 +183,16 @@ impl Planner {
         metadata: &mut MetadataStore,
         store: &SynopsisStore,
     ) -> Result<PlannerOutput, EngineError> {
+        let cards = SynopsisCardinality::new(catalog, &self.cards, self.config.max_staleness);
         let exact_plan = query.to_exact_plan(catalog)?;
-        let estimator = self.estimator(catalog, metadata, store);
-        let exact_cost_ns = estimator.cost(&exact_plan)?;
+        let estimator = self.estimator(catalog, metadata, store, &cards);
+        let exact = estimator.estimate(&exact_plan)?;
 
         let mut candidates = Vec::new();
+        // Index access paths are exact plans — they compete for *every*
+        // query, approximable or not, in the same cost comparison as the
+        // synopsis candidates.
+        self.add_index_candidates(&exact_plan, catalog, &estimator, &mut candidates);
         if query.is_approximable() {
             self.add_sample_candidates(query, catalog, metadata, store, &mut candidates)?;
             self.add_sketch_candidates(query, catalog, metadata, store, &mut candidates)?;
@@ -137,9 +200,11 @@ impl Planner {
 
         // Re-cost candidates with up-to-date hints (sizes of newly registered
         // synopses are estimates; materialized ones use actual sizes).
-        let estimator = self.estimator(catalog, metadata, store);
+        let estimator = self.estimator(catalog, metadata, store, &cards);
         for c in &mut candidates {
-            c.cost_ns = estimator.cost(&c.plan)?;
+            let est = estimator.estimate(&c.plan)?;
+            c.cost_ns = est.cost_ns;
+            c.est_rows = est.rows;
             c.future_cost_ns = match &c.future_plan {
                 Some(p) => estimator.cost(p)?,
                 None => c.cost_ns,
@@ -149,7 +214,8 @@ impl Planner {
         Ok(PlannerOutput {
             query: query.clone(),
             exact_plan,
-            exact_cost_ns,
+            exact_cost_ns: exact.cost_ns,
+            exact_rows: exact.rows,
             candidates,
         })
     }
@@ -159,6 +225,7 @@ impl Planner {
         catalog: &'a Catalog,
         metadata: &MetadataStore,
         store: &SynopsisStore,
+        cards: &'a dyn taster_engine::cost::CardinalityProvider,
     ) -> CostEstimator<'a> {
         let mut hints = HashMap::new();
         for id in metadata.synopsis_ids() {
@@ -173,7 +240,143 @@ impl Planner {
                 );
             }
         }
-        CostEstimator::new(catalog, self.io_model).with_hints(hints)
+        CostEstimator::new(catalog, self.io_model)
+            .with_hints(hints)
+            .with_cardinality(cards)
+    }
+
+    // -----------------------------------------------------------------
+    // Index-access-path candidates
+    // -----------------------------------------------------------------
+
+    /// Fraction-of-table cap above which an index probe is not worth the
+    /// random-access overhead and the candidate is suppressed.
+    const MAX_INDEX_FRACTION: f64 = 0.25;
+
+    /// Derive index access paths for every filtered scan of the exact plan
+    /// and, when at least one scan is annotated, emit the annotated plan as a
+    /// candidate. The candidate reads no synopses and creates none, so the
+    /// tuner compares it to the exact plan on cost alone.
+    fn add_index_candidates(
+        &self,
+        exact_plan: &LogicalPlan,
+        catalog: &Catalog,
+        estimator: &CostEstimator<'_>,
+        out: &mut Vec<CandidatePlan>,
+    ) {
+        let mut labels = Vec::new();
+        let annotated = Self::annotate_scans(exact_plan, catalog, estimator, &mut labels);
+        if labels.is_empty() {
+            return;
+        }
+        out.push(CandidatePlan {
+            plan: annotated,
+            uses: vec![],
+            creates: vec![],
+            cost_ns: 0.0,
+            future_cost_ns: 0.0,
+            future_plan: None,
+            description: format!("index access path: {}", labels.join(", ")),
+            leases: vec![],
+            est_rows: 0.0,
+        });
+    }
+
+    /// Recursively rewrite the plan, annotating each filtered base-table scan
+    /// with the best derivable (and fanout-gated) index access path. Pushes a
+    /// `table@path` label per annotated scan into `labels`.
+    fn annotate_scans(
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        estimator: &CostEstimator<'_>,
+        labels: &mut Vec<String>,
+    ) -> LogicalPlan {
+        let recurse =
+            |p: &LogicalPlan, labels: &mut Vec<String>| Self::annotate_scans(p, catalog, estimator, labels);
+        match plan {
+            LogicalPlan::Scan {
+                table,
+                filter,
+                projection,
+                access,
+            } => {
+                let mut access = access.clone();
+                if let (Some(f), Ok(t)) = (filter, catalog.table(table)) {
+                    let indexed = t.indexed_columns();
+                    if let Some(path) = index_access_path(f, &indexed) {
+                        if let Some(gated) =
+                            estimator.gate_access_path(table, path, Self::MAX_INDEX_FRACTION)
+                        {
+                            labels.push(format!("{table}@{gated}"));
+                            access = Some(gated);
+                        }
+                    }
+                }
+                LogicalPlan::Scan {
+                    table: table.clone(),
+                    filter: filter.clone(),
+                    projection: projection.clone(),
+                    access,
+                }
+            }
+            LogicalPlan::Filter { predicate, input } => LogicalPlan::Filter {
+                predicate: predicate.clone(),
+                input: Box::new(recurse(input, labels)),
+            },
+            LogicalPlan::Project { columns, input } => LogicalPlan::Project {
+                columns: columns.clone(),
+                input: Box::new(recurse(input, labels)),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => LogicalPlan::Join {
+                left: Box::new(recurse(left, labels)),
+                right: Box::new(recurse(right, labels)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+            },
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                input,
+            } => LogicalPlan::Aggregate {
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+                input: Box::new(recurse(input, labels)),
+            },
+            LogicalPlan::Sample {
+                method,
+                synopsis_id,
+                input,
+            } => LogicalPlan::Sample {
+                method: method.clone(),
+                synopsis_id: *synopsis_id,
+                input: Box::new(recurse(input, labels)),
+            },
+            LogicalPlan::SketchJoinAgg {
+                probe,
+                probe_keys,
+                sketch,
+                synopsis_id,
+                group_by,
+                aggregates,
+            } => LogicalPlan::SketchJoinAgg {
+                probe: Box::new(recurse(probe, labels)),
+                probe_keys: probe_keys.clone(),
+                sketch: sketch.clone(),
+                synopsis_id: *synopsis_id,
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+            },
+            LogicalPlan::Limit { n, input } => LogicalPlan::Limit {
+                n: *n,
+                input: Box::new(recurse(input, labels)),
+            },
+            LogicalPlan::SynopsisScan { .. } => plan.clone(),
+        }
     }
 
     // -----------------------------------------------------------------
@@ -329,6 +532,7 @@ impl Planner {
             table: fact.clone(),
             filter: None,
             projection: None,
+            access: None,
         };
         // The probability participates in the synopsis identity: a denser
         // sample of the same relation/stratification is a different synopsis
@@ -394,6 +598,7 @@ impl Planner {
                 stratification.join(",")
             ),
             leases: vec![],
+            est_rows: 0.0,
         });
 
         // Candidate B: reuse a materialized sample that subsumes this one.
@@ -429,6 +634,7 @@ impl Planner {
                 future_plan: None,
                 description: format!("reuse materialized sample {existing} of {fact}"),
                 leases: vec![lease],
+                est_rows: 0.0,
             });
         }
         Ok(())
@@ -535,6 +741,7 @@ impl Planner {
                     table: join.table.clone(),
                     filter: right_filter,
                     projection: None,
+                    access: None,
                 }),
                 left_keys,
                 right_keys,
@@ -662,6 +869,7 @@ impl Planner {
             table: join.table.clone(),
             filter: dim_filter,
             projection: None,
+            access: None,
         };
 
         // Register the candidate sketch synopsis.
@@ -749,6 +957,7 @@ impl Planner {
             },
             description,
             leases,
+            est_rows: 0.0,
         });
         Ok(())
     }
@@ -904,6 +1113,54 @@ mod tests {
             .candidates
             .iter()
             .all(|c| !matches!(c.plan, LogicalPlan::Aggregate { .. }) || c.creates.is_empty()));
+    }
+
+    #[test]
+    fn index_candidate_generated_and_cheaper_for_point_query() {
+        let cat = catalog();
+        cat.table("orders").unwrap().create_index("o_id").unwrap();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let q = parse_query("SELECT o_id, o_price FROM orders WHERE o_id = 7").unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        let ix: Vec<_> = out
+            .candidates
+            .iter()
+            .filter(|c| !c.plan.access_paths().is_empty())
+            .collect();
+        assert_eq!(ix.len(), 1, "exactly one index-path candidate");
+        assert!(ix[0].uses.is_empty() && ix[0].creates.is_empty());
+        assert!(
+            ix[0].cost_ns < out.exact_cost_ns,
+            "point index probe ({:.0}ns) must be cheaper than the scan ({:.0}ns)",
+            ix[0].cost_ns,
+            out.exact_cost_ns
+        );
+        let ex = out.explain();
+        assert!(ex.contains("ix_eq"), "explain shows the access path:\n{ex}");
+        assert!(ex.contains("exact"), "explain lists the exact plan:\n{ex}");
+    }
+
+    #[test]
+    fn no_index_candidate_without_indexes_or_for_wide_predicates() {
+        let cat = catalog();
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        // No index exists: no candidate, however selective the predicate.
+        let q = parse_query("SELECT o_id FROM orders WHERE o_id = 7").unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        assert!(out.candidates.iter().all(|c| c.plan.access_paths().is_empty()));
+
+        // An index on a 5-value column: an equality matches ~20% of the
+        // table, within the fan-out gate, but a >= range over most of the
+        // domain is gated out.
+        cat.table("orders").unwrap().create_index("o_flag").unwrap();
+        let wide = parse_query("SELECT o_id FROM orders WHERE o_flag >= 0").unwrap();
+        let out = planner().plan(&wide, &cat, &mut md, &store).unwrap();
+        assert!(
+            out.candidates.iter().all(|c| c.plan.access_paths().is_empty()),
+            "a probe matching the whole table must be gated out"
+        );
     }
 
     #[test]

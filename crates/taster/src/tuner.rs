@@ -584,13 +584,16 @@ mod tests {
                 table: "t".into(),
                 filter: None,
                 projection: None,
+                access: None,
             },
             exact_cost_ns: 100.0,
+            exact_rows: 1.0,
             candidates: vec![CandidatePlan {
                 plan: LogicalPlan::Scan {
                     table: "t".into(),
                     filter: None,
                     projection: None,
+                    access: None,
                 },
                 uses: vec![],
                 creates: vec![good],
@@ -599,6 +602,7 @@ mod tests {
                 future_plan: None,
                 description: "create".into(),
                 leases: vec![],
+                est_rows: 0.0,
             }],
         };
 
@@ -628,8 +632,10 @@ mod tests {
                 table: "t".into(),
                 filter: None,
                 projection: None,
+                access: None,
             },
             exact_cost_ns: 100.0,
+            exact_rows: 1.0,
             candidates: vec![],
         };
         for _ in 0..40 {

@@ -97,6 +97,7 @@ fn pruning_scan_after_appends_equals_brute_force() {
                 table: "t".into(),
                 filter: Some(filter),
                 projection: None,
+                access: None,
             };
             let result = execute(&plan, &ctx).unwrap();
 
