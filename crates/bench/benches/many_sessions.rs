@@ -1,0 +1,202 @@
+//! Many-session service throughput: a sweep of 64 → 4096 simulated clients
+//! multiplexed onto one [`SessionService`] (8 workers, bounded queue).
+//!
+//! Each simulated client issues one query — alternating the reusable
+//! `ERROR WITHIN` template and a non-approximable exact scan — through the
+//! full admission pipeline, retrying with backoff on typed `Overloaded`
+//! rejections. A bounded pool of driver threads plays the clients, so the
+//! 4096-client leg measures service multiplexing, not OS thread-spawn cost.
+//!
+//! What the sweep is for: with shared scans batching the concurrent exact
+//! scans into one morsel pass per snapshot and the warmed synopsis serving
+//! every approximate query, per-query cost must degrade **sub-linearly** as
+//! the client count grows 64×. The `verify` pass (run once, untimed, before
+//! the criterion legs) asserts exactly that, plus a bounded p99 and that the
+//! contended leg performed fewer scan passes than it served scan-bearing
+//! queries — if sharing breaks, the bench fails loudly instead of recording
+//! a quietly-linear baseline.
+//!
+//! Run `TASTER_CRITERION_JSON=$PWD/crates/bench/baselines/many_sessions.json
+//! cargo bench -p taster-bench --bench many_sessions` from the workspace
+//! root to refresh the checked-in baseline (the path must be absolute: bench
+//! binaries run with CWD = `crates/bench`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use taster_core::{TasterConfig, TasterEngine};
+use taster_server::{Response, ServiceConfig, SessionService, TenantBudgets};
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, Table};
+
+const ROWS: usize = 50_000;
+/// Real OS threads playing the simulated clients.
+const DRIVERS: usize = 16;
+const WORKERS: usize = 8;
+const QUEUE: usize = 32;
+const SWEEP: [usize; 4] = [64, 256, 1024, 4096];
+
+const APPROX_Q: &str =
+    "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+/// Non-approximable: always the exact plan, a full scan of `orders` — the
+/// leg shared scans must batch across concurrent sessions.
+const EXACT_Q: &str = "SELECT o_id, o_price FROM orders WHERE o_price > 990";
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::new();
+    let orders = BatchBuilder::new()
+        .column("o_id", (0..ROWS as i64).collect::<Vec<_>>())
+        .column("o_cust", (0..ROWS as i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..ROWS as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column("o_price", (0..ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("orders", orders, 8).unwrap());
+    Arc::new(cat)
+}
+
+/// A service over a warmed engine: the reusable sample is already
+/// materialized, so the timed sweep measures steady-state serving.
+fn warmed_service(cat: &Arc<Catalog>) -> (Arc<TasterEngine>, Arc<SessionService>) {
+    let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+    let engine = Arc::new(TasterEngine::new(cat.clone(), config));
+    engine.execute_sql(APPROX_Q).expect("warm-up query");
+    let service = SessionService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers: WORKERS,
+            max_queue: QUEUE,
+            default_budgets: TenantBudgets::default(),
+        },
+    );
+    (engine, service)
+}
+
+/// Play `clients` simulated clients over the bounded driver pool; returns
+/// per-client latencies (including any admission backoff) in seconds.
+fn drive(service: &Arc<SessionService>, clients: usize) -> Vec<f64> {
+    let next = AtomicUsize::new(0);
+    let latencies = Mutex::new(Vec::with_capacity(clients));
+    std::thread::scope(|scope| {
+        for _ in 0..DRIVERS {
+            let session = service.session("bench");
+            let next = &next;
+            let latencies = &latencies;
+            scope.spawn(move || loop {
+                let client = next.fetch_add(1, Ordering::Relaxed);
+                if client >= clients {
+                    break;
+                }
+                let sql = if client.is_multiple_of(2) { APPROX_Q } else { EXACT_Q };
+                let start = Instant::now();
+                loop {
+                    match session.query(sql) {
+                        Response::Reply(reply) => {
+                            black_box(reply);
+                            break;
+                        }
+                        Response::Reject { kind, message } => {
+                            assert!(
+                                kind.to_string() == "overloaded",
+                                "only admission may reject the sweep: {message}"
+                            );
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                }
+                latencies
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(start.elapsed().as_secs_f64());
+            });
+        }
+    });
+    latencies.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+fn p99(latencies: &mut [f64]) -> f64 {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    latencies[(latencies.len() * 99).div_ceil(100).saturating_sub(1)]
+}
+
+/// The untimed self-verification pass: the numbers the baseline records are
+/// only meaningful if sharing actually happened and degradation really is
+/// sub-linear, so assert both before recording anything.
+fn verify(cat: &Arc<Catalog>) {
+    let small = SWEEP[0];
+    let large = SWEEP[SWEEP.len() - 1];
+
+    let (_, service) = warmed_service(cat);
+    let start = Instant::now();
+    let lat_small = drive(&service, small);
+    let per_query_small = start.elapsed().as_secs_f64() / small as f64;
+    assert_eq!(lat_small.len(), small, "every simulated client served");
+    service.shutdown();
+
+    let (engine, service) = warmed_service(cat);
+    let start = Instant::now();
+    let mut lat_large = drive(&service, large);
+    let per_query_large = start.elapsed().as_secs_f64() / large as f64;
+    assert_eq!(lat_large.len(), large, "every simulated client served");
+
+    // Shared scans must batch the contended leg: strictly fewer morsel
+    // passes than scan-bearing queries, with real attachments.
+    let scans = engine.shared_scan_stats();
+    let scan_queries = large / 2;
+    assert!(
+        (scans.passes as usize) < scan_queries,
+        "contended leg must share passes: {scans:?} over {scan_queries} scan queries"
+    );
+    assert!(scans.attached >= 1, "no session ever attached: {scans:?}");
+
+    // Sub-linear degradation: 64× the clients must not cost 64× per query —
+    // shared passes and the warmed synopsis keep per-query cost near-flat
+    // (allow 8× for queueing under a 5× oversubscribed driver pool).
+    assert!(
+        per_query_large < per_query_small * 8.0,
+        "per-query cost degraded super-linearly: {per_query_small:.6}s → {per_query_large:.6}s"
+    );
+
+    // Bounded tail latency even at 4096 clients.
+    let p99 = p99(&mut lat_large);
+    assert!(p99 < 0.5, "p99 unbounded under load: {p99:.3}s");
+
+    let stats = service.admission_stats();
+    eprintln!(
+        "verify: per-query {:.1}us -> {:.1}us (x{:.2}), p99 {:.1}ms, {scans:?}, {stats:?}",
+        per_query_small * 1e6,
+        per_query_large * 1e6,
+        per_query_large / per_query_small,
+        p99 * 1e3,
+    );
+    service.shutdown();
+}
+
+fn bench_many_sessions(c: &mut Criterion) {
+    // Pin intra-query (morsel) parallelism to one thread so the sweep
+    // isolates session multiplexing: without this the exact scan already
+    // saturates every core from a single session.
+    std::env::set_var("TASTER_THREADS", "1");
+    let cat = catalog();
+    verify(&cat);
+    let mut group = c.benchmark_group("many_sessions");
+    for clients in SWEEP {
+        group.bench_function(format!("clients_{clients}"), |b| {
+            b.iter_batched(
+                || warmed_service(&cat).1,
+                |service| {
+                    black_box(drive(&service, clients));
+                    service.shutdown();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_many_sessions);
+criterion_main!(benches);

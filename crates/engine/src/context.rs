@@ -6,6 +6,8 @@ use taster_storage::{Catalog, IoModel};
 use taster_synopses::sketch_join::SketchJoin;
 use taster_synopses::WeightedSample;
 
+use crate::shared_scan::SharedScanRegistry;
+
 /// Mix a base seed with a per-query counter into a well-distributed sampler
 /// seed (the splitmix64 finalizer). A concurrent engine hands out counter
 /// values from an atomic, so each query gets its own decorrelated seed
@@ -82,6 +84,11 @@ pub struct ExecutionContext {
     /// Seed driving all samplers spawned by this execution (kept explicit so
     /// whole experiments are reproducible).
     pub seed: u64,
+    /// Optional shared-scan registry: when present, zone-pruned morsel passes
+    /// with identical `(table, snapshot version, filter, projection)` keys
+    /// coalesce across concurrent executions (see
+    /// [`crate::shared_scan`]). `None` runs every scan solo.
+    pub shared_scans: Option<Arc<SharedScanRegistry>>,
 }
 
 impl ExecutionContext {
@@ -94,6 +101,7 @@ impl ExecutionContext {
             provider: Arc::new(EmptyProvider),
             confidence: 0.95,
             seed: 0x7a57e5,
+            shared_scans: None,
         }
     }
 
@@ -112,6 +120,13 @@ impl ExecutionContext {
     /// Replace the cost model.
     pub fn with_io_model(mut self, io_model: IoModel) -> Self {
         self.io_model = io_model;
+        self
+    }
+
+    /// Attach a shared-scan registry so concurrent executions through this
+    /// context coalesce identical morsel passes.
+    pub fn with_shared_scans(mut self, registry: Arc<SharedScanRegistry>) -> Self {
+        self.shared_scans = Some(registry);
         self
     }
 }

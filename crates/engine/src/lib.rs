@@ -20,7 +20,9 @@
 //! * [`cost`] — the cost model used by both the exact planner and Taster's
 //!   cost-based planner,
 //! * [`context`] — execution context carrying the catalog, the I/O model,
-//!   the synopsis provider and execution metrics.
+//!   the synopsis provider and execution metrics,
+//! * [`shared_scan`] — the attach/detach registry that lets concurrent
+//!   queries over the same table snapshot share one morsel pass.
 
 #![warn(missing_docs)]
 
@@ -34,6 +36,7 @@ pub mod optimizer;
 pub mod parallel;
 pub mod physical;
 pub mod result;
+pub mod shared_scan;
 pub mod sql;
 
 pub use context::{ExecutionContext, SynopsisLocation, SynopsisProvider};
@@ -45,4 +48,5 @@ pub use logical::{
 };
 pub use optimizer::index_access_path;
 pub use result::{GroupResult, QueryResult};
+pub use shared_scan::{SharedScanRegistry, SharedScanStats};
 pub use sql::{parse_query, SelectQuery};

@@ -27,6 +27,7 @@ use crate::logical::{
 };
 use crate::parallel::{morsel_layout, parallel_map, worker_threads};
 use crate::result::{GroupResult, QueryResult};
+use crate::shared_scan::{ScanKey, ScanPass};
 
 /// Execute a logical plan and produce a [`QueryResult`].
 pub fn execute(plan: &LogicalPlan, ctx: &ExecutionContext) -> Result<QueryResult, EngineError> {
@@ -284,38 +285,71 @@ fn exec_scan(
         return Ok(RecordBatch::concat_refs(&out.iter().collect::<Vec<_>>())?);
     }
 
-    let mut scanned_rows = 0;
-    for &i in &selected {
-        scanned_rows += partitions[i].num_rows();
-        state.metrics.base_bytes_scanned += partitions[i].size_bytes();
-    }
-    state.metrics.base_rows_scanned += scanned_rows;
+    // The zone-pruned morsel pass below is a pure function of the snapshot,
+    // the filter and the projection — identical concurrent scans may attach
+    // to one pass through the shared-scan registry when the context carries
+    // one. The key includes the snapshot version, so attach points never
+    // straddle a concurrent append: a query seeing a newer snapshot leads its
+    // own pass. Attached queries charge the same rows/bytes a solo run would.
+    let run_pass = || -> Result<ScanPass, EngineError> {
+        let mut rows_scanned = 0;
+        let mut bytes_scanned = 0;
+        for &i in &selected {
+            rows_scanned += partitions[i].num_rows();
+            bytes_scanned += partitions[i].size_bytes();
+        }
 
-    if filter.is_none() && proj_names.is_none() {
-        // Pass-through scan: one pre-reserved copy, no per-partition clones.
-        let refs: Vec<&RecordBatch> = selected.iter().map(|&i| partitions[i].as_ref()).collect();
-        return Ok(RecordBatch::concat_refs(&refs)?);
+        let batch = if filter.is_none() && proj_names.is_none() {
+            // Pass-through scan: one pre-reserved copy, no per-partition
+            // clones.
+            let refs: Vec<&RecordBatch> =
+                selected.iter().map(|&i| partitions[i].as_ref()).collect();
+            RecordBatch::concat_refs(&refs)?
+        } else {
+            // Morsel-driven scan: one filter+project task per surviving
+            // partition.
+            let threads = worker_threads(rows_scanned);
+            let pieces: Vec<Result<RecordBatch, EngineError>> =
+                parallel_map(selected.len(), threads, |k| {
+                    let part = partitions[selected[k]].as_ref();
+                    let mut batch = match filter {
+                        Some(f) => {
+                            let mask = f.evaluate_predicate(part)?;
+                            part.filter_mask(&mask)
+                        }
+                        None => part.clone(),
+                    };
+                    if let Some(names) = &proj_names {
+                        batch = batch.project(names)?;
+                    }
+                    Ok(batch)
+                });
+            let pieces: Vec<RecordBatch> = pieces.into_iter().collect::<Result<_, _>>()?;
+            RecordBatch::concat_refs(&pieces.iter().collect::<Vec<_>>())?
+        };
+        Ok(ScanPass {
+            batch,
+            rows_scanned,
+            bytes_scanned,
+        })
+    };
+
+    if let Some(registry) = &ctx.shared_scans {
+        let key = ScanKey {
+            table: table.name().to_string(),
+            snapshot_version: snapshot.version(),
+            shape: format!("{filter:?}|{projection:?}"),
+        };
+        let (pass, _attached) = registry.run_or_attach(key, run_pass)?;
+        state.metrics.base_rows_scanned += pass.rows_scanned;
+        state.metrics.base_bytes_scanned += pass.bytes_scanned;
+        return Ok(pass.batch.clone());
     }
 
-    // Morsel-driven scan: one filter+project task per surviving partition.
-    let threads = worker_threads(scanned_rows);
-    let pieces: Vec<Result<RecordBatch, EngineError>> =
-        parallel_map(selected.len(), threads, |k| {
-            let part = partitions[selected[k]].as_ref();
-            let mut batch = match filter {
-                Some(f) => {
-                    let mask = f.evaluate_predicate(part)?;
-                    part.filter_mask(&mask)
-                }
-                None => part.clone(),
-            };
-            if let Some(names) = &proj_names {
-                batch = batch.project(names)?;
-            }
-            Ok(batch)
-        });
-    let pieces: Vec<RecordBatch> = pieces.into_iter().collect::<Result<_, _>>()?;
-    Ok(RecordBatch::concat_refs(&pieces.iter().collect::<Vec<_>>())?)
+    let pass = run_pass()?;
+    state.metrics.base_rows_scanned += pass.rows_scanned;
+    state.metrics.base_bytes_scanned += pass.bytes_scanned;
+    Ok(pass.batch)
 }
 
 /// Probe the snapshot's secondary indexes for partition `part`, returning the

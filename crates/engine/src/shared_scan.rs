@@ -1,0 +1,329 @@
+//! Shared morsel passes: concurrent queries attach to one scan.
+//!
+//! Under many-session traffic the same table is scanned by many queries at
+//! once, often with the identical filter/projection shape (dashboards issuing
+//! the same template, a fleet of sessions warming the same synopsis). The
+//! scan result is a pure function of `(snapshot version, filter, projection)`
+//! — the PR 5 [`TableSnapshot`](taster_storage::table::TableSnapshot) is
+//! immutable — so running the morsel pass once and handing the batch to every
+//! concurrent query is bit-identical to running it per query.
+//!
+//! [`SharedScanRegistry`] implements that attach/detach protocol:
+//!
+//! * the **first** query to arrive at a scan key becomes the *leader*: it
+//!   runs the real morsel pass and publishes the result;
+//! * queries arriving while the pass is in flight **attach**: they block on
+//!   the leader's cell and receive the identical [`ScanPass`] (same batch,
+//!   same metric charges — an attached query reports exactly what a solo run
+//!   would);
+//! * the key includes the **snapshot version**, so a query that observes a
+//!   mid-pass [`append`](taster_storage::Table::append) computes a different
+//!   key and starts its own pass over the newer snapshot — attach points
+//!   straddling an append can never mix rows from two versions;
+//! * when the leader finishes (or fails), the key is retired; late arrivals
+//!   start a fresh pass.
+//!
+//! The registry is optional: executors without one (the default
+//! [`ExecutionContext`](crate::context::ExecutionContext)) run every scan
+//! solo. Index-probe access paths never share — the probe reads a tiny,
+//! query-specific row subset, so there is nothing worth batching.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use taster_storage::RecordBatch;
+
+use crate::error::EngineError;
+
+/// Identity of one shareable scan pass.
+///
+/// Two queries may share a pass only if every field matches: same table, same
+/// published snapshot version (immutable partition list + zone maps), and the
+/// same filter/projection shape. The shape string is derived from the plan's
+/// own deterministic debug representation, so structurally identical scans
+/// collide and anything else does not.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScanKey {
+    /// Table name.
+    pub table: String,
+    /// `TableSnapshot::version()` the scan runs over.
+    pub snapshot_version: u64,
+    /// Fingerprint of the filter + projection shape.
+    pub shape: String,
+}
+
+/// The published output of one morsel pass, shared by every attached query.
+///
+/// `rows_scanned` / `bytes_scanned` are the base-table charges a *solo* run
+/// of this scan would report; attached queries charge the same numbers so
+/// shared and solo executions are indistinguishable in their metrics.
+#[derive(Debug, Clone)]
+pub struct ScanPass {
+    /// The filtered, projected, concatenated scan output.
+    pub batch: RecordBatch,
+    /// Base rows read by the pass (surviving partitions only).
+    pub rows_scanned: usize,
+    /// Base bytes read by the pass.
+    pub bytes_scanned: usize,
+}
+
+/// Counters describing how much scan work was shared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedScanStats {
+    /// Morsel passes actually executed (leaders).
+    pub passes: u64,
+    /// Queries that attached to an in-flight pass instead of scanning.
+    pub attached: u64,
+}
+
+/// One in-flight pass: the leader publishes into `result`, attachers wait on
+/// `done`. Failures travel as strings so the slot stays cloneable.
+#[derive(Default)]
+struct Cell {
+    result: Mutex<Option<Result<Arc<ScanPass>, String>>>,
+    done: Condvar,
+}
+
+/// The attach/detach registry; one per engine, shared by all sessions.
+///
+/// All methods take `&self` and the registry is safe to share across session
+/// threads (`Arc<SharedScanRegistry>`).
+#[derive(Default)]
+pub struct SharedScanRegistry {
+    inflight: Mutex<HashMap<ScanKey, Arc<Cell>>>,
+    passes: AtomicU64,
+    attached: AtomicU64,
+}
+
+/// Retires the leader's key on every exit path. If the leader unwinds before
+/// publishing (a panic inside the pass), the guard publishes a failure so
+/// attached queries error out instead of blocking forever.
+struct LeaderGuard<'a> {
+    registry: &'a SharedScanRegistry,
+    key: &'a ScanKey,
+    cell: &'a Cell,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock(&self.cell.result);
+            if slot.is_none() {
+                *slot = Some(Err("scan pass abandoned by its leader".to_string()));
+            }
+            self.cell.done.notify_all();
+        }
+        lock(&self.registry.inflight).remove(self.key);
+    }
+}
+
+/// Poison-transparent lock: the registry's invariants hold on every exit path
+/// (the leader guard publishes before unlocking), so a panic elsewhere on the
+/// holding thread must not cascade into every attached session.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SharedScanRegistry {
+    /// A fresh registry with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run the scan pass for `key`, or attach to one already in flight.
+    ///
+    /// Returns the pass output and whether this call attached (`true`) or led
+    /// the pass (`false`). The leader's error is returned verbatim to the
+    /// leader and mirrored (stringified) to every attached query.
+    pub fn run_or_attach<F>(&self, key: ScanKey, pass: F) -> Result<(Arc<ScanPass>, bool), EngineError>
+    where
+        F: FnOnce() -> Result<ScanPass, EngineError>,
+    {
+        let (cell, leading) = {
+            let mut inflight = lock(&self.inflight);
+            match inflight.entry(key.clone()) {
+                Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                Entry::Vacant(v) => {
+                    let cell = Arc::new(Cell::default());
+                    v.insert(Arc::clone(&cell));
+                    (cell, true)
+                }
+            }
+        };
+
+        if leading {
+            let guard = LeaderGuard {
+                registry: self,
+                key: &key,
+                cell: &cell,
+            };
+            let outcome = pass().map(Arc::new);
+            {
+                let mut slot = lock(&cell.result);
+                *slot = Some(outcome.clone().map_err(|e| e.to_string()));
+                cell.done.notify_all();
+            }
+            drop(guard);
+            self.passes.fetch_add(1, Ordering::Relaxed);
+            outcome.map(|p| (p, false))
+        } else {
+            let mut slot = lock(&cell.result);
+            while slot.is_none() {
+                slot = cell.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+            let published = slot.clone();
+            drop(slot);
+            self.attached.fetch_add(1, Ordering::Relaxed);
+            match published {
+                Some(Ok(p)) => Ok((p, true)),
+                Some(Err(msg)) => Err(EngineError::Execution(format!(
+                    "attached scan pass failed: {msg}"
+                ))),
+                None => unreachable!("waited until the slot was published"),
+            }
+        }
+    }
+
+    /// Snapshot of the pass/attach counters.
+    pub fn stats(&self) -> SharedScanStats {
+        SharedScanStats {
+            passes: self.passes.load(Ordering::Relaxed),
+            attached: self.attached.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of passes currently in flight (for tests and introspection).
+    pub fn inflight_len(&self) -> usize {
+        lock(&self.inflight).len()
+    }
+}
+
+impl std::fmt::Debug for SharedScanRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedScanRegistry")
+            .field("stats", &self.stats())
+            .field("inflight", &self.inflight_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use taster_storage::batch::BatchBuilder;
+
+    fn key(version: u64, shape: &str) -> ScanKey {
+        ScanKey {
+            table: "orders".to_string(),
+            snapshot_version: version,
+            shape: shape.to_string(),
+        }
+    }
+
+    fn pass(tag: i64) -> ScanPass {
+        let batch = BatchBuilder::new()
+            .column("x", vec![tag])
+            .build()
+            .expect("batch");
+        ScanPass {
+            batch,
+            rows_scanned: 1,
+            bytes_scanned: 8,
+        }
+    }
+
+    #[test]
+    fn solo_pass_runs_and_retires_key() {
+        let reg = SharedScanRegistry::new();
+        let (out, attached) = reg.run_or_attach(key(1, "f"), || Ok(pass(7))).unwrap();
+        assert!(!attached);
+        assert_eq!(out.rows_scanned, 1);
+        assert_eq!(reg.inflight_len(), 0);
+        assert_eq!(reg.stats(), SharedScanStats { passes: 1, attached: 0 });
+    }
+
+    #[test]
+    fn concurrent_queries_attach_to_one_pass() {
+        let reg = Arc::new(SharedScanRegistry::new());
+        let threads = 8;
+        let gate = Arc::new(Barrier::new(threads));
+        // A leader that blocks until every thread has arrived guarantees the
+        // other seven attach deterministically.
+        let entered = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                let gate = Arc::clone(&gate);
+                let entered = Arc::clone(&entered);
+                std::thread::spawn(move || {
+                    if i == 0 {
+                        reg.run_or_attach(key(1, "f"), || {
+                            entered.wait(); // leader is registered; release the pack
+                            gate.wait(); // wait until all attachers have launched
+                            // Linger so the released pack reaches the
+                            // registry while this pass is still in flight.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            Ok(pass(1))
+                        })
+                        .unwrap()
+                    } else {
+                        entered.wait();
+                        gate.wait();
+                        reg.run_or_attach(key(1, "f"), || Ok(pass(1))).unwrap()
+                    }
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let stats = reg.stats();
+        // The barrier only guarantees the leader is in flight when the pack
+        // is released; stragglers arriving after the pass retires lead their
+        // own. Every query must still account to exactly one pass.
+        assert!(stats.passes >= 1);
+        assert_eq!(stats.passes + stats.attached, threads as u64);
+        assert!(stats.attached >= 1, "at least one query must attach");
+        for (out, _) in results {
+            assert_eq!(out.rows_scanned, 1);
+        }
+        assert_eq!(reg.inflight_len(), 0);
+    }
+
+    #[test]
+    fn different_snapshot_versions_never_share() {
+        let reg = SharedScanRegistry::new();
+        let (_, a) = reg.run_or_attach(key(1, "f"), || Ok(pass(1))).unwrap();
+        let (_, b) = reg.run_or_attach(key(2, "f"), || Ok(pass(2))).unwrap();
+        assert!(!a && !b);
+        assert_eq!(reg.stats().passes, 2);
+    }
+
+    #[test]
+    fn leader_error_reaches_attachers_and_retires_key() {
+        let reg = Arc::new(SharedScanRegistry::new());
+        let reg2 = Arc::clone(&reg);
+        let in_pass = Arc::new(Barrier::new(2));
+        let in_pass2 = Arc::clone(&in_pass);
+        let leader = std::thread::spawn(move || {
+            reg2.run_or_attach(key(1, "f"), || {
+                in_pass2.wait();
+                // Give the attacher a moment to block on the cell.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                Err(EngineError::Execution("boom".to_string()))
+            })
+        });
+        in_pass.wait();
+        let attached = reg.run_or_attach(key(1, "f"), || Ok(pass(1)));
+        assert!(leader.join().unwrap().is_err());
+        match attached {
+            // Attached while the failing pass was in flight: the error mirrors.
+            Err(EngineError::Execution(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            // Arrived after the key retired: led a fresh, successful pass.
+            Ok((_, attached)) => assert!(!attached),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(reg.inflight_len(), 0);
+    }
+}

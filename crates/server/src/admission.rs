@@ -1,0 +1,159 @@
+//! Admission control: a hard cap on concurrently admitted queries.
+//!
+//! The session service runs a fixed worker pool over a queue. Without
+//! admission control a burst of sessions would grow that queue without bound
+//! — every query eventually runs, but tail latency explodes and memory grows
+//! with the backlog. The controller instead caps *admitted* work at
+//! `workers + max_queue`: up to `workers` queries executing plus `max_queue`
+//! waiting. The request over the cap is rejected immediately with
+//! [`RejectKind::Overloaded`](crate::proto::RejectKind::Overloaded) — typed
+//! backpressure the session can dispatch on — and never touches the engine,
+//! so an overloaded server stays responsive and never hangs or panics.
+//!
+//! Admission is a single compare-and-swap; the permit is RAII, so every exit
+//! path (success, engine error, a session that disconnects mid-queue) gives
+//! the slot back.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Counters describing admission behaviour since startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted (granted a permit).
+    pub admitted: u64,
+    /// Requests rejected as `Overloaded`.
+    pub rejected: u64,
+    /// Highest number of simultaneously admitted requests observed.
+    pub peak_inflight: usize,
+    /// Currently admitted requests.
+    pub inflight: usize,
+}
+
+/// The shared admission gate. Cheap to clone via `Arc`.
+#[derive(Debug)]
+pub struct AdmissionController {
+    limit: usize,
+    inflight: AtomicUsize,
+    peak: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// RAII admission slot: dropping it releases the slot, whatever happened to
+/// the query it admitted.
+#[derive(Debug)]
+pub struct Permit {
+    controller: Arc<AdmissionController>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.controller.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl AdmissionController {
+    /// A controller admitting at most `limit` concurrent requests.
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(Self {
+            limit: limit.max(1),
+            inflight: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Try to admit one request. Returns the permit, or `None` when the
+    /// server is at its admission limit (the caller should answer
+    /// `Overloaded`).
+    pub fn try_admit(self: &Arc<Self>) -> Option<Permit> {
+        let mut current = self.inflight.load(Ordering::Acquire);
+        loop {
+            if current >= self.limit {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    self.peak.fetch_max(current + 1, Ordering::Relaxed);
+                    return Some(Permit {
+                        controller: Arc::clone(self),
+                    });
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The admission limit (`workers + max_queue` for the session service).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Snapshot of the admission counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            peak_inflight: self.peak.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_the_limit_then_rejects() {
+        let ctrl = AdmissionController::new(2);
+        let a = ctrl.try_admit().expect("first");
+        let _b = ctrl.try_admit().expect("second");
+        assert!(ctrl.try_admit().is_none(), "third must be rejected");
+        let stats = ctrl.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.inflight, 2);
+        assert_eq!(stats.peak_inflight, 2);
+
+        drop(a);
+        assert!(ctrl.try_admit().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn permits_release_on_drop_even_under_races() {
+        let ctrl = AdmissionController::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let ctrl = Arc::clone(&ctrl);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(permit) = ctrl.try_admit() {
+                            std::hint::black_box(&permit);
+                            drop(permit);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = ctrl.stats();
+        assert_eq!(stats.inflight, 0, "every permit returned");
+        assert!(stats.peak_inflight <= 4, "cap never exceeded");
+    }
+
+    #[test]
+    fn zero_limit_is_clamped_to_one() {
+        let ctrl = AdmissionController::new(0);
+        assert_eq!(ctrl.limit(), 1);
+        assert!(ctrl.try_admit().is_some());
+    }
+}

@@ -1,0 +1,103 @@
+//! `taster-server` — serve the Taster engine over TCP.
+//!
+//! ```text
+//! taster-server [ADDR] [--workers N] [--queue N]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:7878`; use port `0` for an ephemeral
+//! one), loads a small demo `orders`/`customer` catalog, and serves the wire
+//! protocol until killed. Pair it with
+//! [`Client`](taster_server::Client) or any length-prefixed-frame speaker.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use taster_core::{TasterConfig, TasterEngine};
+use taster_server::{ServiceConfig, SessionService, TcpServer};
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, StorageError, Table};
+
+const DEMO_ROWS: usize = 50_000;
+
+fn demo_catalog() -> Result<Arc<Catalog>, StorageError> {
+    let cat = Catalog::new();
+    let orders = BatchBuilder::new()
+        .column("o_id", (0..DEMO_ROWS as i64).collect::<Vec<_>>())
+        .column(
+            "o_cust",
+            (0..DEMO_ROWS as i64).map(|i| i % 100).collect::<Vec<_>>(),
+        )
+        .column(
+            "o_flag",
+            (0..DEMO_ROWS as i64).map(|i| i % 5).collect::<Vec<_>>(),
+        )
+        .column(
+            "o_price",
+            (0..DEMO_ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+        )
+        .build()?;
+    cat.register(Table::from_batch("orders", orders, 8)?);
+    let cust = BatchBuilder::new()
+        .column("c_id", (0..100i64).collect::<Vec<_>>())
+        .column("c_region", (0..100i64).map(|i| i % 4).collect::<Vec<_>>())
+        .build()?;
+    cat.register(Table::from_batch("customer", cust, 1)?);
+    Ok(Arc::new(cat))
+}
+
+fn parse_args() -> Result<(String, ServiceConfig), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                config.workers = v.parse().map_err(|_| format!("bad --workers: {v}"))?;
+            }
+            "--queue" => {
+                let v = args.next().ok_or("--queue needs a value")?;
+                config.max_queue = v.parse().map_err(|_| format!("bad --queue: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: taster-server [ADDR] [--workers N] [--queue N]".to_string())
+            }
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok((addr, config))
+}
+
+fn main() -> ExitCode {
+    let (addr, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let catalog = match demo_catalog() {
+        Ok(catalog) => catalog,
+        Err(err) => {
+            eprintln!("demo catalog failed to build: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let taster_config = TasterConfig::with_budget_fraction(catalog.total_size_bytes(), 1.0);
+    let engine = Arc::new(TasterEngine::new(catalog, taster_config));
+    let service = SessionService::start(engine, config);
+    let server = match TcpServer::bind(service, &addr) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("bind {addr} failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("taster-server listening on {}", server.local_addr());
+    println!("demo tables: orders ({DEMO_ROWS} rows), customer (100 rows)");
+    // Serve until the process is killed; the accept loop owns the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

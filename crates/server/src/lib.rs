@@ -1,0 +1,33 @@
+//! Multi-session front-end for the Taster engine.
+//!
+//! The engine crate proves one [`TasterEngine`](taster_core::engine::TasterEngine)
+//! is safe to share across threads; this crate turns that into a *service*:
+//!
+//! * [`proto`] — a dependency-free, length-prefixed wire protocol over
+//!   `std::net`, with **typed rejections** (`Overloaded`, `ErrorBudget`,
+//!   `Sql`, `Internal`) so sessions can dispatch on backpressure,
+//! * [`admission`] — admission control: a CAS-gated cap of
+//!   `workers + max_queue` concurrently admitted queries, RAII permits, and
+//!   immediate `Overloaded` rejection beyond the cap,
+//! * [`tenant`] — per-tenant budgets: a storage budget enforced by evicting
+//!   the tenant's oldest synopses, and an error budget flooring the accuracy
+//!   a tenant may request,
+//! * [`service`] — the session service multiplexing sessions onto a worker
+//!   pool over one shared engine, where concurrent queries share morsel
+//!   passes and concurrent synopsis builds coalesce,
+//! * [`server`] — the TCP transport ([`TcpServer`] / [`Client`]) framing the
+//!   same pipeline over sockets.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod tenant;
+
+pub use admission::{AdmissionController, AdmissionStats, Permit};
+pub use proto::{GroupRow, QueryReply, RejectKind, Request, Response};
+pub use server::{Client, TcpServer};
+pub use service::{ServiceConfig, Session, SessionService};
+pub use tenant::{TenantBudgets, TenantRegistry};

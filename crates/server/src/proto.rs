@@ -1,0 +1,369 @@
+//! The wire protocol spoken between [`Client`](crate::server::Client) and
+//! [`TcpServer`](crate::server::TcpServer).
+//!
+//! Frames are `u32` little-endian length + payload over any `Read`/`Write`
+//! pair (the server uses `std::net::TcpStream`); payloads are encoded with
+//! the storage crate's [`codec`](taster_storage::codec) — the same
+//! hand-rolled, bounds-checked little-endian format the durability layer
+//! uses, because the build environment has no serialization crates.
+//!
+//! The protocol is deliberately minimal: one request shape
+//! ([`Request`]: tenant + explain flag + SQL text) and one response shape
+//! ([`Response`]: either a [`QueryReply`] or a typed rejection). Typed
+//! rejections are the backpressure contract — an overloaded server answers
+//! [`RejectKind::Overloaded`] immediately instead of queueing unboundedly or
+//! dropping the connection.
+
+use std::io::{self, Read, Write};
+
+use taster_storage::codec::{ByteReader, ByteWriter};
+use taster_storage::StorageError;
+
+/// Upper bound on a single frame; anything larger is a protocol error, not a
+/// bigger allocation.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// One query request from a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Tenant the session belongs to (budget accounting key).
+    pub tenant: String,
+    /// Request the planner's plan comparison in the reply.
+    pub explain: bool,
+    /// The SQL text.
+    pub sql: String,
+}
+
+/// Why a request was rejected without executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// Admission control: every worker is busy and the queue is full. The
+    /// session should back off and retry; nothing was executed.
+    Overloaded,
+    /// The request asks for a tighter accuracy than the tenant's error
+    /// budget allows.
+    ErrorBudget,
+    /// The SQL text failed to parse.
+    Sql,
+    /// The engine failed while executing the (admitted, parsed) query.
+    Internal,
+}
+
+impl std::fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectKind::Overloaded => write!(f, "overloaded"),
+            RejectKind::ErrorBudget => write!(f, "error-budget"),
+            RejectKind::Sql => write!(f, "sql"),
+            RejectKind::Internal => write!(f, "internal"),
+        }
+    }
+}
+
+/// One output group of an aggregate reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// Group-key values, stringified in GROUP BY order.
+    pub key: Vec<String>,
+    /// `(estimate, standard error)` per aggregate, in SELECT order.
+    pub aggregates: Vec<(f64, f64)>,
+}
+
+/// A successful query reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Human-readable description of the plan the tuner chose.
+    pub plan: String,
+    /// `true` if a synopsis participated in the plan.
+    pub approximate: bool,
+    /// Relational output row count.
+    pub rows: usize,
+    /// Aggregate groups (empty for non-aggregate queries).
+    pub groups: Vec<GroupRow>,
+    /// Simulated execution time under the engine's I/O model, in seconds.
+    pub simulated_secs: f64,
+    /// The planner's plan comparison, when the request set `explain`.
+    pub explain: Option<String>,
+}
+
+/// What the server sends back for every request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The query executed; here is its result.
+    Reply(QueryReply),
+    /// The request was rejected (typed) or failed; `message` says why.
+    Reject {
+        /// The rejection class a session dispatches on.
+        kind: RejectKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// `true` when this is an admission-control rejection.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            Response::Reject {
+                kind: RejectKind::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.tenant);
+        w.put_bool(self.explain);
+        w.put_str(&self.sql);
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
+        let mut r = ByteReader::new(bytes);
+        let tenant = r.get_str()?;
+        let explain = r.get_bool()?;
+        let sql = r.get_str()?;
+        Ok(Self {
+            tenant,
+            explain,
+            sql,
+        })
+    }
+}
+
+impl RejectKind {
+    fn tag(self) -> u8 {
+        match self {
+            RejectKind::Overloaded => 0,
+            RejectKind::ErrorBudget => 1,
+            RejectKind::Sql => 2,
+            RejectKind::Internal => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, StorageError> {
+        match tag {
+            0 => Ok(RejectKind::Overloaded),
+            1 => Ok(RejectKind::ErrorBudget),
+            2 => Ok(RejectKind::Sql),
+            3 => Ok(RejectKind::Internal),
+            other => Err(StorageError::Corrupt(format!(
+                "unknown reject kind tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Reply(reply) => {
+                w.put_u8(0);
+                w.put_str(&reply.plan);
+                w.put_bool(reply.approximate);
+                w.put_usize(reply.rows);
+                w.put_u32(reply.groups.len() as u32);
+                for g in &reply.groups {
+                    w.put_u32(g.key.len() as u32);
+                    for k in &g.key {
+                        w.put_str(k);
+                    }
+                    w.put_u32(g.aggregates.len() as u32);
+                    for (value, std_error) in &g.aggregates {
+                        w.put_f64(*value);
+                        w.put_f64(*std_error);
+                    }
+                }
+                w.put_f64(reply.simulated_secs);
+                w.put_bool(reply.explain.is_some());
+                if let Some(explain) = &reply.explain {
+                    w.put_str(explain);
+                }
+            }
+            Response::Reject { kind, message } => {
+                w.put_u8(1);
+                w.put_u8(kind.tag());
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
+        let mut r = ByteReader::new(bytes);
+        match r.get_u8()? {
+            0 => {
+                let plan = r.get_str()?;
+                let approximate = r.get_bool()?;
+                let rows = r.get_usize()?;
+                let num_groups = r.get_u32()? as usize;
+                let mut groups = Vec::with_capacity(num_groups.min(1024));
+                for _ in 0..num_groups {
+                    let key_len = r.get_u32()? as usize;
+                    let mut key = Vec::with_capacity(key_len.min(64));
+                    for _ in 0..key_len {
+                        key.push(r.get_str()?);
+                    }
+                    let agg_len = r.get_u32()? as usize;
+                    let mut aggregates = Vec::with_capacity(agg_len.min(64));
+                    for _ in 0..agg_len {
+                        let value = r.get_f64()?;
+                        let std_error = r.get_f64()?;
+                        aggregates.push((value, std_error));
+                    }
+                    groups.push(GroupRow { key, aggregates });
+                }
+                let simulated_secs = r.get_f64()?;
+                let explain = if r.get_bool()? {
+                    Some(r.get_str()?)
+                } else {
+                    None
+                };
+                Ok(Response::Reply(QueryReply {
+                    plan,
+                    approximate,
+                    rows,
+                    groups,
+                    simulated_secs,
+                    explain,
+                }))
+            }
+            1 => {
+                let kind = RejectKind::from_tag(r.get_u8()?)?;
+                let message = r.get_str()?;
+                Ok(Response::Reject { kind, message })
+            }
+            other => Err(StorageError::Corrupt(format!(
+                "unknown response tag {other}"
+            ))),
+        }
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds protocol maximum", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed its session).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame, over the protocol maximum"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let req = Request {
+            tenant: "acme".to_string(),
+            explain: true,
+            sql: "SELECT COUNT(*) FROM t".to_string(),
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let resp = Response::Reply(QueryReply {
+            plan: "exact plan".to_string(),
+            approximate: false,
+            rows: 3,
+            groups: vec![GroupRow {
+                key: vec!["a".to_string(), "1".to_string()],
+                aggregates: vec![(10.5, 0.25), (2.0, 0.0)],
+            }],
+            simulated_secs: 0.125,
+            explain: Some("plan for: q\n".to_string()),
+        });
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn reject_roundtrips_every_kind() {
+        for kind in [
+            RejectKind::Overloaded,
+            RejectKind::ErrorBudget,
+            RejectKind::Sql,
+            RejectKind::Internal,
+        ] {
+            let resp = Response::Reject {
+                kind,
+                message: "why".to_string(),
+            };
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_a_decode_error() {
+        let req = Request {
+            tenant: "t".to_string(),
+            explain: false,
+            sql: "SELECT 1".to_string(),
+        };
+        let bytes = req.encode();
+        assert!(Request::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

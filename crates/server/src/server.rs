@@ -1,0 +1,162 @@
+//! TCP transport: a dependency-free server and client over `std::net`.
+//!
+//! [`TcpServer`] binds a listener, accepts connections on a dedicated
+//! thread, and runs one thread per connection that reads request frames,
+//! pushes them through the shared [`SessionService`] pipeline and writes
+//! response frames back. All the interesting policy (admission, budgets,
+//! shared scans) lives in the service — the transport only frames bytes, so
+//! in-process tests and benchmarks can drive [`SessionService`] directly and
+//! exercise exactly what the network path exercises.
+//!
+//! [`Client`] is the matching blocking client: one TCP connection, one
+//! session, synchronous request/response.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::proto::{read_frame, write_frame, RejectKind, Request, Response};
+use crate::service::SessionService;
+
+/// A session thread plus the stream handle `stop()` uses to hang it up.
+type Connection = (JoinHandle<()>, TcpStream);
+
+/// A running TCP front-end over a [`SessionService`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn serve_connection(service: &SessionService, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let response = match Request::decode(&payload) {
+            Ok(request) => service.submit(request),
+            Err(err) => Response::Reject {
+                kind: RejectKind::Internal,
+                message: format!("malformed request frame: {err}"),
+            },
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+    Ok(())
+}
+
+impl TcpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting sessions against `service`.
+    pub fn bind(service: Arc<SessionService>, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&connections);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let Ok(shutdown_handle) = stream.try_clone() else {
+                    continue;
+                };
+                let service = Arc::clone(&service);
+                let handle = std::thread::spawn(move || {
+                    // A torn connection is the session's problem, not the
+                    // server's: the error ends this one session thread.
+                    let _ = serve_connection(&service, stream);
+                });
+                lock(&accept_conns).push((handle, shutdown_handle));
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            connections,
+        })
+    }
+
+    /// The bound address (ephemeral-port friendly).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections, hang up every live session, and join all
+    /// session threads. Idempotent.
+    pub fn stop(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = lock(&self.accept_thread).take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *lock(&self.connections));
+        for (handle, stream) in handles {
+            // Sessions blocked in read_frame() would otherwise pin the join
+            // until their client hangs up.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer").field("addr", &self.addr).finish()
+    }
+}
+
+/// A blocking wire-protocol client: one connection, one session.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    tenant: String,
+}
+
+impl Client {
+    /// Connect to a [`TcpServer`] as `tenant`.
+    pub fn connect<A: ToSocketAddrs>(addr: A, tenant: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Execute `sql`; set `explain` to carry the planner's plan comparison
+    /// in the reply.
+    pub fn query(&mut self, sql: &str, explain: bool) -> io::Result<Response> {
+        let request = Request {
+            tenant: self.tenant.clone(),
+            explain,
+            sql: sql.to_string(),
+        };
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the session")
+        })?;
+        Response::decode(&payload)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+    }
+}

@@ -1,0 +1,327 @@
+//! The session service: many sessions multiplexed onto a worker pool over
+//! one shared [`TasterEngine`].
+//!
+//! A [`Session`] is a lightweight handle a connection (or an in-process
+//! client) holds; [`SessionService::submit`] is the admission pipeline every
+//! request walks:
+//!
+//! 1. **admit** — a single CAS against the [`AdmissionController`]; over the
+//!    `workers + max_queue` cap the request is rejected `Overloaded` without
+//!    touching the engine (typed backpressure, bounded queue depth);
+//! 2. **validate** — the SQL is parsed and checked against the tenant's
+//!    error budget *on the session thread*, so malformed or over-budget
+//!    requests never occupy a worker;
+//! 3. **enqueue** — the job (request + RAII permit + reply channel) goes to
+//!    the worker pool; workers drain a shared queue;
+//! 4. **execute** — the worker runs the query through the engine, charges
+//!    created synopses to the tenant (evicting the tenant's oldest synopses
+//!    if over its storage budget) and replies.
+//!
+//! Sharing one engine is what makes multi-session execution cheap:
+//! concurrent queries over the same table snapshot attach to one morsel pass
+//! (the engine's [`SharedScanRegistry`](taster_engine::SharedScanRegistry)),
+//! and concurrent builds of the same synopsis coalesce into one
+//! ([`Coalescer`](taster_core::Coalescer)). A session that disconnects
+//! mid-flight costs nothing durable: its reply send fails silently, the RAII
+//! permit frees its admission slot, and the engine's plan-time leases drop
+//! when the query finishes, letting the store reap evicted payloads.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use taster_core::engine::{TasterEngine, TasterResult};
+use taster_core::SynopsisId;
+use taster_engine::{parse_query, EngineError};
+
+use crate::admission::{AdmissionController, AdmissionStats, Permit};
+use crate::proto::{GroupRow, QueryReply, RejectKind, Request, Response};
+use crate::tenant::{TenantBudgets, TenantRegistry};
+
+/// Sizing knobs for a [`SessionService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Jobs that may wait beyond the executing ones; the admission limit is
+    /// `workers + max_queue`.
+    pub max_queue: usize,
+    /// Budgets applied to tenants without explicit ones.
+    pub default_budgets: TenantBudgets,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_queue: 16,
+            default_budgets: TenantBudgets::default(),
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    permit: Permit,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The multi-session front-end over one shared engine.
+pub struct SessionService {
+    engine: Arc<TasterEngine>,
+    admission: Arc<AdmissionController>,
+    tenants: TenantRegistry,
+    queue: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// One session's handle onto the service: a tenant identity plus the shared
+/// submit pipeline. Cheap to clone per connection.
+#[derive(Clone)]
+pub struct Session {
+    service: Arc<SessionService>,
+    tenant: String,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn classify(err: &EngineError) -> RejectKind {
+    match err {
+        EngineError::Parse(_) => RejectKind::Sql,
+        _ => RejectKind::Internal,
+    }
+}
+
+fn to_reply(result: &TasterResult) -> QueryReply {
+    QueryReply {
+        plan: result.plan_description.clone(),
+        approximate: result.approximate,
+        rows: result.result.rows.num_rows(),
+        groups: result
+            .result
+            .groups
+            .iter()
+            .map(|g| GroupRow {
+                key: g.key.iter().map(|v| v.to_string()).collect(),
+                aggregates: g
+                    .aggregates
+                    .iter()
+                    .map(|a| (a.value, a.std_error))
+                    .collect(),
+            })
+            .collect(),
+        simulated_secs: result.simulated_secs,
+        explain: result.explain.clone(),
+    }
+}
+
+impl SessionService {
+    /// Start the service: spawn `config.workers` worker threads over a
+    /// shared queue against `engine`.
+    pub fn start(engine: Arc<TasterEngine>, config: ServiceConfig) -> Arc<Self> {
+        let workers = config.workers.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let service = Arc::new(Self {
+            engine: Arc::clone(&engine),
+            admission: AdmissionController::new(workers + config.max_queue),
+            tenants: TenantRegistry::new(config.default_budgets),
+            queue: Mutex::new(Some(tx)),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            handles.push(std::thread::spawn(move || loop {
+                // Hold the receiver lock only for the dequeue, never during
+                // execution.
+                let job = { lock(&rx).recv() };
+                match job {
+                    Ok(job) => service.run_job(job),
+                    Err(_) => break, // queue sender dropped: shutdown
+                }
+            }));
+        }
+        *lock(&service.workers) = handles;
+        service
+    }
+
+    /// Open a session for `tenant`.
+    pub fn session(self: &Arc<Self>, tenant: &str) -> Session {
+        Session {
+            service: Arc::clone(self),
+            tenant: tenant.to_string(),
+        }
+    }
+
+    /// The full admission pipeline for one request; always returns (a typed
+    /// rejection under overload or failure, never a hang).
+    pub fn submit(&self, request: Request) -> Response {
+        let Some(permit) = self.admission.try_admit() else {
+            return Response::Reject {
+                kind: RejectKind::Overloaded,
+                message: format!(
+                    "admission limit of {} concurrent requests reached; back off and retry",
+                    self.admission.limit()
+                ),
+            };
+        };
+        // Cheap pre-validation on the session thread: a request that cannot
+        // run must not occupy a worker. The permit drops on every early
+        // return, releasing the admission slot.
+        let query = match parse_query(&request.sql) {
+            Ok(query) => query,
+            Err(err) => {
+                return Response::Reject {
+                    kind: RejectKind::Sql,
+                    message: err.to_string(),
+                }
+            }
+        };
+        if let Err(message) = self.tenants.check_error_budget(&request.tenant, &query) {
+            return Response::Reject {
+                kind: RejectKind::ErrorBudget,
+                message,
+            };
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            request,
+            permit,
+            reply: reply_tx,
+        };
+        let Some(sender) = lock(&self.queue).clone() else {
+            return Response::Reject {
+                kind: RejectKind::Internal,
+                message: "session service is shut down".to_string(),
+            };
+        };
+        if sender.send(job).is_err() {
+            return Response::Reject {
+                kind: RejectKind::Internal,
+                message: "session service is shut down".to_string(),
+            };
+        }
+        reply_rx.recv().unwrap_or_else(|_| Response::Reject {
+            kind: RejectKind::Internal,
+            message: "worker exited before replying".to_string(),
+        })
+    }
+
+    fn run_job(&self, job: Job) {
+        let Job {
+            request,
+            permit,
+            reply,
+        } = job;
+        let outcome = if request.explain {
+            self.engine.execute_sql_explained(&request.sql)
+        } else {
+            self.engine.execute_sql(&request.sql)
+        };
+        let response = match outcome {
+            Ok(result) => {
+                // Charge this query's created synopses to its tenant; evict
+                // the tenant's oldest synopses while over its storage budget
+                // (leases keep concurrent readers of those payloads safe).
+                let created: Vec<(SynopsisId, usize)> = {
+                    let metadata = self.engine.metadata();
+                    result
+                        .created_synopses
+                        .iter()
+                        .map(|id| (*id, metadata.get(*id).map_or(0, |m| m.size_bytes())))
+                        .collect()
+                };
+                for id in self.tenants.charge_created(&request.tenant, &created) {
+                    self.engine.store().evict(id);
+                }
+                Response::Reply(to_reply(&result))
+            }
+            Err(err) => Response::Reject {
+                kind: classify(&err),
+                message: err.to_string(),
+            },
+        };
+        // Release the admission slot before replying, so a session that
+        // observed its reply also observes the slot free.
+        drop(permit);
+        // A disconnected session has dropped its receiver; the failed send
+        // is the entire cost of the abandoned query.
+        let _ = reply.send(response);
+    }
+
+    /// The shared engine (for tests and introspection).
+    pub fn engine(&self) -> &Arc<TasterEngine> {
+        &self.engine
+    }
+
+    /// Admission counters since startup.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// The tenant budget registry.
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
+    /// Stop accepting work and join the worker pool. In-queue jobs finish
+    /// first; later submits answer a typed `Internal` rejection. Idempotent.
+    pub fn shutdown(&self) {
+        drop(lock(&self.queue).take());
+        let handles = std::mem::take(&mut *lock(&self.workers));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SessionService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for SessionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionService")
+            .field("admission", &self.admission.stats())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Execute `sql` on behalf of this session's tenant.
+    pub fn query(&self, sql: &str) -> Response {
+        self.service.submit(Request {
+            tenant: self.tenant.clone(),
+            explain: false,
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Execute `sql` and carry the planner's plan comparison in the reply.
+    pub fn query_explained(&self, sql: &str) -> Response {
+        self.service.submit(Request {
+            tenant: self.tenant.clone(),
+            explain: true,
+            sql: sql.to_string(),
+        })
+    }
+
+    /// The tenant this session belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}

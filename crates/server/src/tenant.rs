@@ -1,0 +1,203 @@
+//! Per-tenant budgets: synopsis storage and accuracy floors.
+//!
+//! The engine's storage quotas (buffer/warehouse) are global; a multi-tenant
+//! front-end additionally needs *fair-share* accounting, or one tenant's
+//! synopsis-hungry workload starves everyone else's warehouse space. The
+//! registry tracks, per tenant, the synopses its queries created and their
+//! byte sizes; when a tenant exceeds its storage budget the service evicts
+//! that tenant's **oldest** synopses (the engine's lease/graveyard machinery
+//! keeps in-flight readers safe across the eviction).
+//!
+//! The **error budget** works the other way around: it is a floor on the
+//! relative error a tenant may request. Tighter accuracy means larger
+//! samples, more build work and more storage, so a tenant budgeted at 5%
+//! asking for `ERROR WITHIN 1%` is rejected with a typed
+//! [`RejectKind::ErrorBudget`](crate::proto::RejectKind::ErrorBudget) before
+//! the query is admitted to a worker.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, MutexGuard};
+
+use taster_core::SynopsisId;
+use taster_engine::SelectQuery;
+
+/// Budget knobs for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantBudgets {
+    /// Bytes of materialized synopses this tenant may hold; `None` is
+    /// unlimited.
+    pub storage_bytes: Option<usize>,
+    /// Floor on the requestable relative error (e.g. `0.05`: the tenant may
+    /// not ask for tighter than 5%). `0.0` allows any accuracy.
+    pub floor_relative_error: f64,
+}
+
+impl Default for TenantBudgets {
+    fn default() -> Self {
+        Self {
+            storage_bytes: None,
+            floor_relative_error: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    budgets: Option<TenantBudgets>,
+    /// Synopses created by this tenant's queries, oldest first.
+    created: VecDeque<(SynopsisId, usize)>,
+    bytes: usize,
+}
+
+/// Registry of tenant budgets and per-tenant synopsis accounting.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    default: TenantBudgets,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl TenantRegistry {
+    /// A registry applying `default` to tenants without explicit budgets.
+    pub fn new(default: TenantBudgets) -> Self {
+        Self {
+            default,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Set explicit budgets for one tenant.
+    pub fn set_budgets(&self, tenant: &str, budgets: TenantBudgets) {
+        lock(&self.tenants)
+            .entry(tenant.to_string())
+            .or_default()
+            .budgets = Some(budgets);
+    }
+
+    /// The budgets in effect for `tenant`.
+    pub fn budgets(&self, tenant: &str) -> TenantBudgets {
+        lock(&self.tenants)
+            .get(tenant)
+            .and_then(|s| s.budgets)
+            .unwrap_or(self.default)
+    }
+
+    /// Check a parsed query against the tenant's error budget. Returns the
+    /// rejection message when the requested accuracy is tighter than the
+    /// budget floor.
+    pub fn check_error_budget(&self, tenant: &str, query: &SelectQuery) -> Result<(), String> {
+        let floor = self.budgets(tenant).floor_relative_error;
+        if let Some(spec) = &query.error_spec {
+            if spec.relative_error < floor {
+                return Err(format!(
+                    "tenant '{tenant}' may not request relative error below {:.1}% \
+                     (asked for {:.1}%)",
+                    floor * 100.0,
+                    spec.relative_error * 100.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge `created` synopses (id + bytes) to the tenant and return the
+    /// tenant's oldest synopsis ids that must be evicted to get back under
+    /// its storage budget (empty while within budget).
+    pub fn charge_created(
+        &self,
+        tenant: &str,
+        created: &[(SynopsisId, usize)],
+    ) -> Vec<SynopsisId> {
+        if created.is_empty() {
+            return Vec::new();
+        }
+        let mut tenants = lock(&self.tenants);
+        let state = tenants.entry(tenant.to_string()).or_default();
+        for (id, bytes) in created {
+            state.created.push_back((*id, *bytes));
+            state.bytes += bytes;
+        }
+        let budget = state.budgets.unwrap_or(self.default);
+        let Some(limit) = budget.storage_bytes else {
+            return Vec::new();
+        };
+        let mut evict = Vec::new();
+        while state.bytes > limit && state.created.len() > 1 {
+            if let Some((id, bytes)) = state.created.pop_front() {
+                state.bytes -= bytes;
+                evict.push(id);
+            }
+        }
+        evict
+    }
+
+    /// Bytes of synopses currently charged to `tenant`.
+    pub fn charged_bytes(&self, tenant: &str) -> usize {
+        lock(&self.tenants).get(tenant).map_or(0, |s| s.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_engine::parse_query;
+
+    #[test]
+    fn error_budget_floor_rejects_tighter_requests() {
+        let reg = TenantRegistry::new(TenantBudgets::default());
+        reg.set_budgets(
+            "acme",
+            TenantBudgets {
+                storage_bytes: None,
+                floor_relative_error: 0.05,
+            },
+        );
+        let tight = parse_query(
+            "SELECT SUM(x) FROM t GROUP BY g ERROR WITHIN 1% AT CONFIDENCE 95%",
+        )
+        .unwrap();
+        let loose = parse_query(
+            "SELECT SUM(x) FROM t GROUP BY g ERROR WITHIN 10% AT CONFIDENCE 95%",
+        )
+        .unwrap();
+        let exact = parse_query("SELECT SUM(x) FROM t GROUP BY g").unwrap();
+        assert!(reg.check_error_budget("acme", &tight).is_err());
+        assert!(reg.check_error_budget("acme", &loose).is_ok());
+        assert!(
+            reg.check_error_budget("acme", &exact).is_ok(),
+            "exact queries carry no accuracy request to budget"
+        );
+        assert!(
+            reg.check_error_budget("other", &tight).is_ok(),
+            "unbudgeted tenants use the permissive default"
+        );
+    }
+
+    #[test]
+    fn storage_budget_evicts_oldest_first() {
+        let reg = TenantRegistry::new(TenantBudgets {
+            storage_bytes: Some(100),
+            floor_relative_error: 0.0,
+        });
+        assert!(reg.charge_created("t", &[(1, 60)]).is_empty());
+        assert!(reg.charge_created("t", &[(2, 30)]).is_empty());
+        // 60 + 30 + 50 = 140 > 100: evict oldest (id 1), landing at 80.
+        assert_eq!(reg.charge_created("t", &[(3, 50)]), vec![1]);
+        assert_eq!(reg.charged_bytes("t"), 80);
+    }
+
+    #[test]
+    fn one_oversized_synopsis_is_kept_not_thrashed() {
+        let reg = TenantRegistry::new(TenantBudgets {
+            storage_bytes: Some(10),
+            floor_relative_error: 0.0,
+        });
+        // A single synopsis over the whole budget stays (evicting the only
+        // copy would just force a rebuild next query — thrash, not fairness).
+        assert!(reg.charge_created("t", &[(9, 50)]).is_empty());
+        assert_eq!(reg.charge_created("t", &[(10, 50)]), vec![9]);
+    }
+}

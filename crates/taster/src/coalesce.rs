@@ -1,0 +1,227 @@
+//! Coalescing of concurrent synopsis builds.
+//!
+//! Two sessions racing the same query template plan the same
+//! [`SampleRequirement`](crate::matching::SampleRequirement): the planner's
+//! fingerprint dedup ([`MetadataStore::register`](crate::metadata::MetadataStore::register))
+//! hands both the **same synopsis id**, so both tuners may choose the same
+//! create-plan and the engine would build the identical synopsis twice —
+//! twice the base-table scan, twice the sampler work, for one warehouse
+//! entry.
+//!
+//! [`Coalescer`] turns that race into one build:
+//!
+//! * the first session to start building an id becomes its **builder** and
+//!   holds a [`BuildGuard`] for the duration (build + byproduct
+//!   materialization into the store);
+//! * a session that finds a build for its id already in flight blocks until
+//!   the builder's guard drops, then reads the freshly materialized synopsis
+//!   through a plan-time lease and executes the candidate's `future_plan`
+//!   (the plan the planner already costed for "this synopsis exists") —
+//!   the PR 4 lease/graveyard machinery makes that read safe even if a
+//!   concurrent tuner evicts the id in between;
+//! * if the builder failed, or the id was evicted *and reaped* before the
+//!   loser could lease it, the loser simply builds it itself — coalescing is
+//!   an optimization, never a correctness dependency.
+//!
+//! The coalescer never blocks the builder and costs one map lookup per
+//! create-plan; serial workloads never contend.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::synopsis::SynopsisId;
+
+/// One in-flight build: `finished` flips when the builder's guard drops.
+#[derive(Default)]
+struct Cell {
+    finished: Mutex<bool>,
+    done: Condvar,
+}
+
+/// Poison-transparent lock (a panicking builder must not cascade into every
+/// waiting session; the guard still flips `finished` during unwind).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Outcome of [`Coalescer::begin`].
+#[derive(Debug)]
+pub enum BuildTicket {
+    /// No build of this id was in flight: the caller is now the builder and
+    /// must hold the guard until the byproduct is in the store.
+    Build(BuildGuard),
+    /// Another session was building this id; `begin` blocked until that build
+    /// finished. The caller should try to lease the materialized synopsis
+    /// (and fall back to building on a miss).
+    Coalesced,
+}
+
+/// Held by the builder for the duration of a build; dropping it (on success,
+/// error, or unwind) wakes every coalesced waiter and retires the id.
+pub struct BuildGuard {
+    coalescer: Arc<Inner>,
+    id: SynopsisId,
+}
+
+/// Registry of in-flight synopsis builds, keyed by synopsis id. One inner is
+/// shared by every session of an engine through [`Coalescer`] handles.
+#[derive(Default)]
+struct Inner {
+    inflight: Mutex<HashMap<SynopsisId, Arc<Cell>>>,
+}
+
+impl Drop for BuildGuard {
+    fn drop(&mut self) {
+        let cell = lock(&self.coalescer.inflight).remove(&self.id);
+        if let Some(cell) = cell {
+            *lock(&cell.finished) = true;
+            cell.done.notify_all();
+        }
+    }
+}
+
+impl std::fmt::Debug for BuildGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuildGuard").field("id", &self.id).finish()
+    }
+}
+
+/// The shareable coalescer handle (cheap clone, `Arc` inner).
+#[derive(Default, Clone)]
+pub struct Coalescer {
+    inner: Arc<Inner>,
+}
+
+impl Coalescer {
+    /// A fresh coalescer with nothing in flight.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announce intent to build synopsis `id`.
+    ///
+    /// Returns [`BuildTicket::Build`] (with the guard) when no build of `id`
+    /// is in flight, or blocks until the in-flight build completes and
+    /// returns [`BuildTicket::Coalesced`].
+    pub fn begin(&self, id: SynopsisId) -> BuildTicket {
+        let cell = {
+            let mut inflight = lock(&self.inner.inflight);
+            match inflight.entry(id) {
+                Entry::Vacant(v) => {
+                    v.insert(Arc::new(Cell::default()));
+                    return BuildTicket::Build(BuildGuard {
+                        coalescer: Arc::clone(&self.inner),
+                        id,
+                    });
+                }
+                Entry::Occupied(e) => Arc::clone(e.get()),
+            }
+        };
+        let mut finished = lock(&cell.finished);
+        while !*finished {
+            finished = cell.done.wait(finished).unwrap_or_else(|e| e.into_inner());
+        }
+        BuildTicket::Coalesced
+    }
+
+    /// Number of builds currently in flight (tests and introspection).
+    pub fn inflight_len(&self) -> usize {
+        lock(&self.inner.inflight).len()
+    }
+}
+
+impl std::fmt::Debug for Coalescer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coalescer")
+            .field("inflight", &self.inflight_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn uncontended_begin_is_a_build_ticket() {
+        let c = Coalescer::new();
+        let ticket = c.begin(7);
+        assert!(matches!(ticket, BuildTicket::Build(_)));
+        assert_eq!(c.inflight_len(), 1);
+        drop(ticket);
+        assert_eq!(c.inflight_len(), 0);
+        // After the guard drops the id is buildable again.
+        assert!(matches!(c.begin(7), BuildTicket::Build(_)));
+    }
+
+    #[test]
+    fn distinct_ids_never_coalesce() {
+        let c = Coalescer::new();
+        let a = c.begin(1);
+        let b = c.begin(2);
+        assert!(matches!(a, BuildTicket::Build(_)));
+        assert!(matches!(b, BuildTicket::Build(_)));
+    }
+
+    #[test]
+    fn racing_builders_coalesce_to_one_build() {
+        let c = Coalescer::new();
+        let builds = AtomicU64::new(0);
+        let coalesced = AtomicU64::new(0);
+        let in_build = Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| match c.begin(42) {
+                BuildTicket::Build(guard) => {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    in_build.wait(); // the loser starts while this build runs
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    drop(guard);
+                }
+                BuildTicket::Coalesced => {
+                    coalesced.fetch_add(1, Ordering::Relaxed);
+                    in_build.wait();
+                }
+            });
+            scope.spawn(|| {
+                in_build.wait();
+                match c.begin(42) {
+                    BuildTicket::Build(guard) => {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        drop(guard);
+                    }
+                    BuildTicket::Coalesced => {
+                        coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "exactly one build");
+        assert_eq!(coalesced.load(Ordering::Relaxed), 1, "the loser coalesced");
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn guard_drop_during_unwind_wakes_waiters() {
+        let c = Coalescer::new();
+        let in_build = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| {
+                let _guard = match c.begin(9) {
+                    BuildTicket::Build(g) => g,
+                    BuildTicket::Coalesced => unreachable!("first begin builds"),
+                };
+                in_build.wait();
+                panic!("builder dies mid-build");
+            });
+            in_build.wait();
+            // Must unblock despite the builder's panic (guard drops during
+            // its unwind).
+            assert!(matches!(c.begin(9), BuildTicket::Coalesced));
+            assert!(h.join().is_err());
+        });
+        assert_eq!(c.inflight_len(), 0);
+    }
+}

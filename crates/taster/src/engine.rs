@@ -17,23 +17,24 @@
 //! therefore only *logically* removes a matched synopsis; the payload stays
 //! readable until the last in-flight plan using it completes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use taster_engine::context::{mix_seed, SynopsisLocation, SynopsisProvider};
 use taster_engine::physical::execute;
+use taster_engine::shared_scan::{SharedScanRegistry, SharedScanStats};
 use taster_engine::sql::ErrorSpec;
 use taster_engine::{
-    parse_query, EngineError, ExecutionContext, LogicalPlan, QueryResult, SampleMethod,
-    SynopsisPayload,
+    parse_query, EngineError, ExecutionContext, QueryResult, SampleMethod, SynopsisPayload,
 };
 use taster_storage::{Catalog, IoModel, StdVfs, Table, Vfs};
 use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
 use taster_synopses::sketch_join::SketchJoin;
 use taster_synopses::{UniformSampler, WeightedSample};
 
+use crate::coalesce::{BuildGuard, BuildTicket, Coalescer};
 use crate::config::TasterConfig;
 use crate::hints::{build_offline_sample, OfflineStrategy};
 use crate::metadata::MetadataStore;
@@ -89,6 +90,13 @@ pub struct TasterResult {
     pub simulated_secs: f64,
     /// `true` if the tuner chose an approximate plan.
     pub approximate: bool,
+    /// The planner's plan comparison for this query, populated when explain
+    /// output is enabled (`TASTER_EXPLAIN=1` at engine construction,
+    /// [`TasterEngine::set_explain`], or
+    /// [`TasterEngine::execute_sql_explained`]). Carried per query instead of
+    /// printed to a global stream, so concurrent sessions never interleave
+    /// explain blocks — each session prints (or ships) its own.
+    pub explain: Option<String>,
 }
 
 /// Summary of an offline (hinted) synopsis build.
@@ -123,6 +131,20 @@ pub struct TasterEngine {
     queries_executed: AtomicU64,
     /// Incremental synopsis refreshes performed (online ingestion).
     refreshes: AtomicU64,
+    /// Shared-scan registry: concurrent executions of identical zone-pruned
+    /// morsel passes attach to one pass (see `taster_engine::shared_scan`).
+    shared_scans: Arc<SharedScanRegistry>,
+    /// In-flight build registry: concurrent create-plans for the same
+    /// synopsis id coalesce into one build.
+    coalescer: Coalescer,
+    /// Queries that executed a synopsis-building plan.
+    builds: AtomicU64,
+    /// Queries that coalesced onto a concurrent session's build instead of
+    /// building themselves.
+    builds_coalesced: AtomicU64,
+    /// When set, every query's [`TasterResult::explain`] carries the plan
+    /// comparison. Seeded from `TASTER_EXPLAIN=1` at construction.
+    explain_enabled: AtomicBool,
     /// WAL-backed persistence, present when the engine was opened in
     /// persistent mode ([`open_durable`](Self::open_durable) /
     /// [`recover`](Self::recover)); `None` for in-memory engines.
@@ -164,6 +186,13 @@ impl TasterEngine {
             io_model,
             queries_executed: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
+            shared_scans: Arc::new(SharedScanRegistry::new()),
+            coalescer: Coalescer::new(),
+            builds: AtomicU64::new(0),
+            builds_coalesced: AtomicU64::new(0),
+            explain_enabled: AtomicBool::new(
+                std::env::var("TASTER_EXPLAIN").map(|v| v == "1").unwrap_or(false),
+            ),
             durability: None,
         }
     }
@@ -467,6 +496,30 @@ impl TasterEngine {
         self.refreshes.load(Ordering::Relaxed)
     }
 
+    /// Number of queries that executed a synopsis-building plan.
+    pub fn synopsis_builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of queries that coalesced onto a concurrent session's build
+    /// instead of building the same synopsis themselves.
+    pub fn builds_coalesced(&self) -> u64 {
+        self.builds_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Counters for the shared-scan registry: morsel passes run vs. queries
+    /// that attached to a concurrent pass.
+    pub fn shared_scan_stats(&self) -> SharedScanStats {
+        self.shared_scans.stats()
+    }
+
+    /// Enable or disable per-query explain output at runtime (equivalent to
+    /// constructing the engine under `TASTER_EXPLAIN=1`). When enabled, every
+    /// [`TasterResult::explain`] carries the planner's comparison.
+    pub fn set_explain(&self, enabled: bool) {
+        self.explain_enabled.store(enabled, Ordering::Relaxed);
+    }
+
     /// Change the synopsis warehouse quota at runtime (storage elasticity).
     /// The tuner immediately re-evaluates the stored synopses and evicts
     /// those that no longer fit the new budget.
@@ -561,6 +614,16 @@ impl TasterEngine {
         self.execute_sql_seeded(sql, mix_seed(self.config.seed, slot))
     }
 
+    /// [`execute_sql`](Self::execute_sql), but force the plan comparison into
+    /// [`TasterResult::explain`] for this query regardless of the engine-wide
+    /// explain toggle. This is the per-session explain path: the server
+    /// front-end calls it for requests carrying the explain flag, so each
+    /// session receives its own complete block.
+    pub fn execute_sql_explained(&self, sql: &str) -> Result<TasterResult, EngineError> {
+        let slot = self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.execute_inner(sql, mix_seed(self.config.seed, slot), true)
+    }
+
     /// Execute one SQL query with an explicit sampler seed.
     ///
     /// [`execute_sql`](Self::execute_sql) derives the seed from an atomic
@@ -570,6 +633,15 @@ impl TasterEngine {
     /// interleaving pass the seed explicitly. Queries run through this method
     /// do not advance the engine's seed schedule.
     pub fn execute_sql_seeded(&self, sql: &str, seed: u64) -> Result<TasterResult, EngineError> {
+        self.execute_inner(sql, seed, false)
+    }
+
+    fn execute_inner(
+        &self,
+        sql: &str,
+        seed: u64,
+        force_explain: bool,
+    ) -> Result<TasterResult, EngineError> {
         let query = parse_query(sql)?;
         let planning_start = Instant::now();
 
@@ -628,43 +700,92 @@ impl TasterEngine {
             }
             (output, decision)
         };
-        if std::env::var("TASTER_EXPLAIN").map(|v| v == "1").unwrap_or(false) {
-            eprintln!("{}", output.explain());
-        }
+        // Explain output rides the result (never a shared stream): each
+        // session gets its own complete block, so concurrent explains cannot
+        // interleave.
+        let explain = if force_explain || self.explain_enabled.load(Ordering::Relaxed) {
+            Some(output.explain())
+        } else {
+            None
+        };
 
-        // Apply the evict set before executing, as the tuner intended.
+        // Apply the tuner's evict set before executing — but only under real
+        // storage pressure. The keep-set is a knapsack under the storage
+        // budget: while everything materialized still fits its tier, evicting
+        // the not-kept remainder frees nothing anyone needs and forces a
+        // gratuitous rebuild the moment the workload window swings back (a
+        // session storm interleaving exact and approximate queries would
+        // otherwise thrash build/evict once per swing of the query window).
         // Entries leased by this plan (or any concurrent in-flight plan) are
         // only logically removed and stay readable until those plans finish.
         for id in &decision.evict {
+            let usage = self.store.usage();
+            if usage.buffer_bytes <= usage.buffer_quota
+                && usage.warehouse_bytes <= usage.warehouse_quota
+            {
+                break;
+            }
             self.store.evict(*id);
         }
         let planning_ns = planning_start.elapsed().as_nanos();
 
-        let (plan, description, reused, created, leases): (
-            &LogicalPlan,
-            String,
-            Vec<SynopsisId>,
-            Vec<SynopsisId>,
-            Vec<SynopsisLease>,
-        ) = match decision.chosen {
-            ChosenPlan::Exact => (
-                &output.exact_plan,
-                "exact plan".to_string(),
-                vec![],
-                vec![],
-                vec![],
-            ),
-            ChosenPlan::Candidate(i) => {
-                let c = &output.candidates[i];
-                (
-                    &c.plan,
-                    c.description.clone(),
-                    c.uses.clone(),
-                    c.creates.clone(),
-                    c.leases.clone(),
-                )
-            }
+        let chosen = match decision.chosen {
+            ChosenPlan::Exact => None,
+            ChosenPlan::Candidate(i) => Some(&output.candidates[i]),
         };
+        let mut plan = chosen.map_or(&output.exact_plan, |c| &c.plan);
+        let mut description =
+            chosen.map_or_else(|| "exact plan".to_string(), |c| c.description.clone());
+        let mut reused = chosen.map_or_else(Vec::new, |c| c.uses.clone());
+        let mut created = chosen.map_or_else(Vec::new, |c| c.creates.clone());
+        let mut leases = chosen.map_or_else(Vec::new, |c| c.leases.clone());
+
+        // Build coalescing: when the chosen plan would materialize a synopsis
+        // another session is already building (same template → same id via
+        // fingerprint dedup), block for that build instead of duplicating it,
+        // then lease the fresh payload and execute the candidate's
+        // `future_plan` — the plan the planner already costed for "this
+        // synopsis exists". A lease miss (builder failed, or an eviction
+        // reaped the id before we arrived — the PR 4 graveyard only shields
+        // payloads leased *before* eviction) falls back to building.
+        let mut build_guard: Option<BuildGuard> = None;
+        if let (Some(c), [id]) = (chosen, created.as_slice()) {
+            let id = *id;
+            let mut attempts = 0;
+            loop {
+                // A racer may have materialized this synopsis between this
+                // session's planning and now (its build both started and
+                // retired inside our planning window). Lease and reuse it —
+                // rebuilding what the store already holds is the one thing
+                // the coalescer exists to prevent.
+                if let (Some(lease), Some(future)) =
+                    (self.store.lease(id), c.future_plan.as_ref())
+                {
+                    plan = future;
+                    reused = vec![id];
+                    created = vec![];
+                    leases = vec![lease];
+                    description = format!("{} [coalesced]", c.description);
+                    self.builds_coalesced.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                match self.coalescer.begin(id) {
+                    BuildTicket::Build(guard) => {
+                        build_guard = Some(guard);
+                        break;
+                    }
+                    BuildTicket::Coalesced => {
+                        // Woken by the builder: loop back to the lease probe.
+                        attempts += 1;
+                        if attempts >= 3 {
+                            // Coalescing is an optimization, never a
+                            // correctness dependency: build unprotected.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
 
         let ctx = ExecutionContext::new(self.catalog.clone())
             .with_provider(Arc::new(LeasedProvider {
@@ -672,7 +793,8 @@ impl TasterEngine {
                 store: self.store.clone(),
             }))
             .with_io_model(self.io_model)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_shared_scans(Arc::clone(&self.shared_scans));
         let mut result = execute(plan, &ctx)?;
 
         // Persistent mode: charge reused warehouse synopses by the *measured*
@@ -694,6 +816,8 @@ impl TasterEngine {
         // rows / the sketch's summarized rows), which is what staleness is
         // judged against as the base table keeps growing.
         if !result.byproducts.is_empty() {
+            self.builds
+                .fetch_add(result.byproducts.len() as u64, Ordering::Relaxed);
             let mut metadata = self.metadata.write();
             for (id, payload) in &result.byproducts {
                 metadata.set_actual_size(*id, payload.size_bytes());
@@ -706,6 +830,10 @@ impl TasterEngine {
             }
         }
         self.manage_buffer(&decision.keep);
+        // Only now — with the byproduct inserted into the store — may
+        // coalesced waiters wake: their first act is `store.lease(id)`, which
+        // must find the materialized payload.
+        drop(build_guard);
 
         // Make this query's warehouse effects durable (diff-based — one group
         // commit when something changed, no I/O otherwise).
@@ -721,6 +849,7 @@ impl TasterEngine {
             created_synopses: created,
             planning_ns,
             simulated_secs,
+            explain,
             result,
         })
     }

@@ -21,6 +21,9 @@
 //!   (including VerdictDB-style variational samples),
 //! * [`engine`] — [`engine::TasterEngine`], the façade tying everything
 //!   together: parse → plan → tune → execute → materialize byproducts,
+//! * [`coalesce`] — build coalescing for racing sessions: concurrent builds
+//!   of the same synopsis id collapse into one, losers lease the winner's
+//!   payload,
 //! * [`persist`] — WAL-backed durability: table appends and warehouse
 //!   synopses are logged write-ahead, so [`TasterEngine::recover`] restarts a
 //!   crashed engine warm (answering from recovered synopses, no rebuilds).
@@ -28,6 +31,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cardinality;
+pub mod coalesce;
 pub mod config;
 pub mod engine;
 pub mod hints;
@@ -40,6 +44,7 @@ pub mod synopsis;
 pub mod tuner;
 
 pub use cardinality::{CardinalityCache, SynopsisCardinality};
+pub use coalesce::{BuildTicket, Coalescer};
 pub use config::TasterConfig;
 pub use engine::{RecoveryReport, TasterEngine, TasterResult};
 pub use persist::Durability;

@@ -473,6 +473,20 @@ impl SynopsisStore {
         let w = self.inner.warehouse.read();
         w.quota_bytes.saturating_sub(w.used_bytes)
     }
+
+    /// Number of logically evicted payloads currently parked for lease
+    /// holders. A quiescent store (no in-flight plans) must report zero —
+    /// the overload/backpressure tests assert exactly that after a storm.
+    pub fn graveyard_len(&self) -> usize {
+        self.inner.graveyard.lock().len()
+    }
+
+    /// Number of synopsis ids with at least one outstanding lease. Like
+    /// [`graveyard_len`](Self::graveyard_len), zero once every session's
+    /// in-flight plans have completed.
+    pub fn outstanding_leases(&self) -> usize {
+        self.inner.leases.lock().len()
+    }
 }
 
 fn to_stored(payload: &SynopsisPayload, pinned: bool) -> Stored {

@@ -8,6 +8,7 @@
 pub use taster_baselines as baselines;
 pub use taster_core as taster;
 pub use taster_engine as engine;
+pub use taster_server as server;
 pub use taster_storage as storage;
 pub use taster_synopses as synopses;
 pub use taster_workloads as workloads;

@@ -1,0 +1,128 @@
+//! Many-sessions soak: a fleet of sessions hammers one service; everything
+//! must be served (with bounded retry on typed backpressure), shared scans
+//! must actually share, and the engine must come out of the storm clean.
+//!
+//! This is the CI soak leg — it runs under both `TASTER_THREADS=1` and `=4`
+//! in the matrix, so the shared morsel pass is exercised in its serial and
+//! parallel forms under real session concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use taster_repro::server::{Response, ServiceConfig, SessionService, TenantBudgets};
+use taster_repro::storage::{batch::BatchBuilder, Catalog, Table};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+const ROWS: usize = 50_000;
+const SESSIONS: usize = 64;
+const QUERIES_PER_SESSION: usize = 4;
+
+const APPROX_Q: &str =
+    "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+const EXACT_Q: &str = "SELECT o_id, o_price FROM orders WHERE o_price > 500";
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::new();
+    let orders = BatchBuilder::new()
+        .column("o_id", (0..ROWS as i64).collect::<Vec<_>>())
+        .column("o_cust", (0..ROWS as i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..ROWS as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column(
+            "o_price",
+            (0..ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("orders", orders, 8).unwrap());
+    Arc::new(cat)
+}
+
+#[test]
+fn many_sessions_soak() {
+    let cat = catalog();
+    let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+    let engine = Arc::new(TasterEngine::new(cat, config));
+    let service = SessionService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers: 8,
+            max_queue: 16,
+            default_budgets: TenantBudgets::default(),
+        },
+    );
+    let limit = 8 + 16;
+
+    let served = AtomicU64::new(0);
+    let backoffs = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for s in 0..SESSIONS {
+            let session = service.session(if s % 2 == 0 { "alpha" } else { "beta" });
+            let served = &served;
+            let backoffs = &backoffs;
+            scope.spawn(move || {
+                for q in 0..QUERIES_PER_SESSION {
+                    let sql = if (s + q) % 2 == 0 { APPROX_Q } else { EXACT_Q };
+                    // Typed backpressure contract: on Overloaded, back off
+                    // and retry; everything else must be a reply.
+                    loop {
+                        match session.query(sql) {
+                            Response::Reply(reply) => {
+                                assert!(
+                                    reply.rows > 0 || !reply.groups.is_empty(),
+                                    "a served query has output"
+                                );
+                                served.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Response::Reject { kind, message } => {
+                                assert_eq!(
+                                    kind.to_string(),
+                                    "overloaded",
+                                    "only admission may reject the soak workload: {message}"
+                                );
+                                backoffs.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        served.load(Ordering::Relaxed),
+        (SESSIONS * QUERIES_PER_SESSION) as u64,
+        "every query eventually served"
+    );
+
+    let stats = service.admission_stats();
+    assert!(stats.peak_inflight <= limit, "bounded depth: {stats:?}");
+    assert_eq!(stats.inflight, 0, "all permits returned: {stats:?}");
+
+    // Scan sharing must have happened: with 8 workers racing identical
+    // exact scans, attached passes are structural, not lucky.
+    let scans = engine.shared_scan_stats();
+    assert!(
+        scans.attached >= 1,
+        "the soak must share scan passes: {scans:?}"
+    );
+
+    // Build dedup: one logical template → the synopsis was built once or
+    // rebuilt after eviction, never once per racing session.
+    assert!(
+        engine.synopsis_builds() <= 3,
+        "{SESSIONS} sessions must not duplicate the template's build: {} builds",
+        engine.synopsis_builds()
+    );
+
+    // Post-storm hygiene: quotas respected, nothing leaked.
+    let usage = engine.store().usage();
+    assert!(usage.buffer_bytes <= usage.buffer_quota, "{usage:?}");
+    assert!(usage.warehouse_bytes <= usage.warehouse_quota, "{usage:?}");
+    assert_eq!(engine.store().outstanding_leases(), 0);
+    assert_eq!(engine.store().graveyard_len(), 0);
+
+    service.shutdown();
+}

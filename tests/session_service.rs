@@ -1,0 +1,343 @@
+//! Session-service behaviour under load: typed backpressure, budget
+//! rejections, lease hygiene after disconnects, and per-session explain.
+//!
+//! These tests drive the service both in-process (the exact pipeline the TCP
+//! path uses) and over real sockets. The invariants: an overloaded server
+//! answers a typed `Overloaded` rejection — it never hangs, never panics,
+//! never queues beyond its cap; abandoned sessions leak nothing (the store's
+//! lease table and graveyard drain to zero once the storm passes); and
+//! explain output rides each session's own reply, so concurrent explains
+//! cannot interleave.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use taster_repro::server::{
+    Client, RejectKind, Response, ServiceConfig, SessionService, TcpServer, TenantBudgets,
+};
+use taster_repro::storage::{batch::BatchBuilder, Catalog, Table};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+const ROWS: usize = 100_000;
+/// Exact full scan: slow enough (in debug builds) to keep workers busy while
+/// a storm of submits hits admission.
+const SLOW_Q: &str = "SELECT o_id, o_price FROM orders WHERE o_price > 500";
+const APPROX_Q: &str =
+    "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::new();
+    let orders = BatchBuilder::new()
+        .column("o_id", (0..ROWS as i64).collect::<Vec<_>>())
+        .column("o_cust", (0..ROWS as i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..ROWS as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column(
+            "o_price",
+            (0..ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("orders", orders, 8).unwrap());
+    Arc::new(cat)
+}
+
+fn service(config: ServiceConfig) -> Arc<SessionService> {
+    let cat = catalog();
+    let taster_config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+    SessionService::start(Arc::new(TasterEngine::new(cat, taster_config)), config)
+}
+
+#[test]
+fn overload_storm_rejects_typed_never_hangs() {
+    let service = service(ServiceConfig {
+        workers: 2,
+        max_queue: 2,
+        default_budgets: TenantBudgets::default(),
+    });
+    let limit = 4; // workers + max_queue
+    const SESSIONS: usize = 16;
+    const MAX_ROUNDS: usize = 20;
+
+    let overloaded = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    for _ in 0..MAX_ROUNDS {
+        let start = Barrier::new(SESSIONS);
+        std::thread::scope(|scope| {
+            for _ in 0..SESSIONS {
+                let session = service.session("storm");
+                let start = &start;
+                let overloaded = &overloaded;
+                let served = &served;
+                scope.spawn(move || {
+                    start.wait();
+                    // submit() is synchronous: returning at all is the
+                    // no-hang property under test.
+                    match session.query(SLOW_Q) {
+                        Response::Reply(reply) => {
+                            assert!(reply.rows > 0, "the scan returns rows");
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::Reject { kind, message } => {
+                            assert_eq!(
+                                kind,
+                                RejectKind::Overloaded,
+                                "only admission may reject this query: {message}"
+                            );
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        if overloaded.load(Ordering::Relaxed) > 0 && served.load(Ordering::Relaxed) > 0 {
+            break;
+        }
+    }
+    assert!(
+        overloaded.load(Ordering::Relaxed) > 0,
+        "{SESSIONS} sessions racing a {limit}-slot service must overflow admission"
+    );
+    assert!(
+        served.load(Ordering::Relaxed) > 0,
+        "admitted sessions must still be served during the storm"
+    );
+
+    let stats = service.admission_stats();
+    assert!(
+        stats.peak_inflight <= limit,
+        "queue depth stayed bounded: {stats:?}"
+    );
+    assert_eq!(stats.inflight, 0, "every permit returned: {stats:?}");
+
+    // The storm leaks nothing: plan-time leases all dropped, graveyard
+    // reaped.
+    assert_eq!(service.engine().store().outstanding_leases(), 0);
+    assert_eq!(service.engine().store().graveyard_len(), 0);
+}
+
+#[test]
+fn error_budget_rejections_are_typed() {
+    let service = service(ServiceConfig::default());
+    service.tenants().set_budgets(
+        "metered",
+        TenantBudgets {
+            storage_bytes: None,
+            floor_relative_error: 0.05,
+        },
+    );
+    let session = service.session("metered");
+
+    let tight = session.query(
+        "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 1% AT CONFIDENCE 95%",
+    );
+    match tight {
+        Response::Reject { kind, .. } => assert_eq!(kind, RejectKind::ErrorBudget),
+        other => panic!("tighter-than-budget accuracy must be rejected, got {other:?}"),
+    }
+    assert!(
+        matches!(session.query(APPROX_Q), Response::Reply(_)),
+        "a within-budget request runs"
+    );
+    match session.query("SELEC nonsense") {
+        Response::Reject { kind, .. } => assert_eq!(kind, RejectKind::Sql),
+        other => panic!("malformed SQL must be a typed rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn tenant_storage_budget_evicts_oldest_synopsis() {
+    let service = service(ServiceConfig::default());
+    // A second table with the identical shape: the same template against it
+    // reliably creates a second synopsis (the tuner already judged this
+    // template worth materializing on `orders`).
+    let twin = BatchBuilder::new()
+        .column("o_id", (0..ROWS as i64).collect::<Vec<_>>())
+        .column("o_cust", (0..ROWS as i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..ROWS as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column(
+            "o_price",
+            (0..ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    service
+        .engine()
+        .catalog_handle()
+        .register(Table::from_batch("orders_twin", twin, 8).unwrap());
+
+    // A 1-byte budget: any second synopsis pushes the first out.
+    service.tenants().set_budgets(
+        "small",
+        TenantBudgets {
+            storage_bytes: Some(1),
+            floor_relative_error: 0.0,
+        },
+    );
+    let session = service.session("small");
+    assert!(matches!(session.query(APPROX_Q), Response::Reply(_)));
+    let first_ids = service.engine().store().materialized_ids();
+    assert!(!first_ids.is_empty(), "the first template built a synopsis");
+
+    // The same template on the twin table → a different synopsis id → over
+    // budget → the tenant's oldest synopsis is evicted from the store.
+    let second = session.query(
+        "SELECT o_flag, SUM(o_price) FROM orders_twin GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%",
+    );
+    assert!(matches!(second, Response::Reply(_)));
+    let remaining = service.engine().store().materialized_ids();
+    assert!(
+        first_ids.iter().any(|id| !remaining.contains(id)),
+        "over-budget tenant keeps only its newest synopsis: {first_ids:?} -> {remaining:?}"
+    );
+}
+
+/// Two sessions explaining simultaneously must each get their own complete
+/// plan comparison — the regression this guards: `TASTER_EXPLAIN=1` used to
+/// print to the engine's global stderr, interleaving concurrent sessions.
+#[test]
+fn concurrent_explains_never_interleave() {
+    let service = service(ServiceConfig::default());
+    const ROUNDS: usize = 10;
+    let queries = [SLOW_Q, APPROX_Q];
+    let start = Barrier::new(queries.len());
+    std::thread::scope(|scope| {
+        for sql in queries {
+            let session = service.session("explainer");
+            let start = &start;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    start.wait();
+                    let response = session.query_explained(sql);
+                    let Response::Reply(reply) = response else {
+                        panic!("explain query failed: {response:?}");
+                    };
+                    let explain = reply.explain.expect("explain was requested");
+                    assert!(
+                        explain.starts_with("plan for: "),
+                        "a complete block starts with its own header: {explain:?}"
+                    );
+                    assert!(
+                        explain.contains(sql),
+                        "the block describes this session's query"
+                    );
+                    assert_eq!(
+                        explain.matches("plan for: ").count(),
+                        1,
+                        "exactly one header per block — no interleaving: {explain:?}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// The engine-wide toggle fills `explain` for every session's queries
+/// without touching any global stream.
+#[test]
+fn engine_wide_explain_toggle_rides_the_result() {
+    let service = service(ServiceConfig::default());
+    let session = service.session("t");
+    let Response::Reply(off) = session.query(SLOW_Q) else {
+        panic!("query failed")
+    };
+    assert!(off.explain.is_none(), "explain off by default");
+
+    service.engine().set_explain(true);
+    let Response::Reply(on) = session.query(SLOW_Q) else {
+        panic!("query failed")
+    };
+    let explain = on.explain.expect("toggle routes explain into the result");
+    assert!(explain.starts_with("plan for: "));
+
+    service.engine().set_explain(false);
+    let Response::Reply(off_again) = session.query(SLOW_Q) else {
+        panic!("query failed")
+    };
+    assert!(off_again.explain.is_none());
+}
+
+/// Mirrors the README "Serving over TCP" quickstart — keep the two in sync.
+#[test]
+fn readme_tcp_quickstart_works() {
+    let service = service(ServiceConfig::default());
+    let server = TcpServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr(), "acme").expect("connect");
+    match client.query(APPROX_Q, false).expect("wire round-trip") {
+        Response::Reply(reply) => {
+            assert!(reply.approximate, "the sampled plan answers this template");
+            assert_eq!(reply.groups.len(), 5, "one group per o_flag value");
+        }
+        Response::Reject { kind, message } => panic!("rejected: {kind} {message}"),
+    }
+    server.stop();
+}
+
+/// Sessions that connect, fire a query, and vanish without reading the reply
+/// must leak nothing: every admission permit returns and the store's lease
+/// table and graveyard drain to zero.
+#[test]
+fn disconnected_sessions_drop_leases_and_permits() {
+    let service = service(ServiceConfig {
+        workers: 2,
+        max_queue: 4,
+        default_budgets: TenantBudgets::default(),
+    });
+    let server = TcpServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for _ in 0..12 {
+            scope.spawn(move || {
+                // Fire the request, then hang up without reading the reply
+                // (Client::query would block on the response, so frame the
+                // request by hand over a raw stream).
+                use taster_repro::server::proto::write_frame;
+                use taster_repro::server::Request;
+                let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+                let request = Request {
+                    tenant: "ghost".to_string(),
+                    explain: false,
+                    sql: APPROX_Q.to_string(),
+                };
+                write_frame(&mut raw, &request.encode()).expect("send frame");
+                drop(raw); // disconnect before the reply
+            });
+        }
+    });
+
+    // Drain: the workers finish whatever was admitted; permits and leases
+    // must all return.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = service.admission_stats();
+        if stats.inflight == 0
+            && service.engine().store().outstanding_leases() == 0
+            && service.engine().store().graveyard_len() == 0
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned sessions leaked permits or leases: {stats:?}, \
+             leases={}, graveyard={}",
+            service.engine().store().outstanding_leases(),
+            service.engine().store().graveyard_len()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.stop();
+}
+
+#[test]
+fn shutdown_is_typed_and_idempotent() {
+    let service = service(ServiceConfig::default());
+    let session = service.session("t");
+    assert!(matches!(session.query(SLOW_Q), Response::Reply(_)));
+    service.shutdown();
+    service.shutdown(); // idempotent
+    match session.query(SLOW_Q) {
+        Response::Reject { kind, .. } => assert_eq!(kind, RejectKind::Internal),
+        other => panic!("submits after shutdown must reject, got {other:?}"),
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared-scan parity: N queries coalesced onto one morsel pass must be
+//! **bit-identical** to the same queries run solo.
+//!
+//! The shared-scan registry hands every attached query the leader's batch;
+//! if sharing changed results in any way (row order, float formatting from a
+//! different bit pattern, a stale snapshot) this property test catches it,
+//! because the reference run never shares anything. The scan templates are
+//! **non-aggregate** on purpose: an aggregate without an `ERROR WITHIN`
+//! clause is still approximable under the engine's default accuracy spec, so
+//! its plan (and hence its result) would depend on tuner state rather than
+//! on the scan under test. Runs under whatever `TASTER_THREADS` the
+//! environment sets — CI sweeps 1 and 4, covering both the serial and the
+//! morsel-parallel pass implementations.
+//!
+//! The second test races queries against a concurrent `Table::append`, so
+//! attach points straddle snapshot versions: the scan key includes the
+//! snapshot version, hence every query must see exactly the before- or the
+//! after-append result, never a mix.
+//!
+//! Threads never assert between barrier rounds — a mid-round panic would
+//! strand the other threads on the barrier and turn a failure into a hang.
+//! Every thread collects, the main thread asserts after joining.
+
+use std::sync::{Arc, Barrier};
+
+use taster_repro::storage::{batch::BatchBuilder, Catalog, RecordBatch, Table};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+/// Exact, non-approximable templates (non-aggregate → the planner has no
+/// synopsis candidate; the full filtered scan IS the query).
+const SCAN_WIDE: &str = "SELECT o_id, o_price FROM orders WHERE o_price > 500";
+const SCAN_NARROW: &str = "SELECT o_id, o_flag, o_price FROM orders WHERE o_price > 990";
+/// Approximate template mixed in: its build/reuse path must stay correct
+/// while exact queries share passes around it.
+const APPROX_Q: &str =
+    "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+const APPROX_SEED: u64 = 0x5ca1_ab1e;
+const ROWS: usize = 50_000;
+const THREADS: usize = 8;
+const ROUNDS: usize = 20;
+
+fn catalog(rows: usize) -> Arc<Catalog> {
+    let cat = Catalog::new();
+    let orders = BatchBuilder::new()
+        .column("o_id", (0..rows as i64).collect::<Vec<_>>())
+        .column("o_cust", (0..rows as i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..rows as i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column(
+            "o_price",
+            (0..rows).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap();
+    cat.register(Table::from_batch("orders", orders, 8).unwrap());
+    Arc::new(cat)
+}
+
+fn engine(cat: Arc<Catalog>) -> TasterEngine {
+    let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+    TasterEngine::new(cat, config)
+}
+
+/// A result flattened to a bit-comparable string: the relational output's
+/// debug form (float formatting distinguishes bit patterns, including the
+/// sign of zero) plus the sorted per-group aggregate bit patterns.
+fn run_one(engine: &TasterEngine, sql: &str, seed: u64) -> Result<String, String> {
+    let res = engine.execute_sql_seeded(sql, seed).map_err(|e| e.to_string())?;
+    let mut groups: Vec<String> = res
+        .result
+        .groups
+        .iter()
+        .map(|g| {
+            format!(
+                "{:?}={:?}",
+                g.key,
+                g.aggregates.iter().map(|a| a.value.to_bits()).collect::<Vec<_>>()
+            )
+        })
+        .collect();
+    groups.sort();
+    Ok(format!("{:?}|{groups:?}", res.result.rows))
+}
+
+/// The per-thread template: threads 0..5 share `SCAN_WIDE`, 5..7 share
+/// `SCAN_NARROW` (several identical scans race every round), thread 7
+/// exercises the synopsis path with a pinned seed.
+fn template(thread: usize) -> (&'static str, u64) {
+    match thread {
+        0..=4 => (SCAN_WIDE, 1),
+        5 | 6 => (SCAN_NARROW, 2),
+        _ => (APPROX_Q, APPROX_SEED),
+    }
+}
+
+#[test]
+fn coalesced_queries_are_bit_identical_to_solo_runs() {
+    // Solo reference: a fresh engine, every template once, nothing shared
+    // (single thread → no concurrent pass to attach to).
+    let reference: Vec<String> = {
+        let eng = engine(catalog(ROWS));
+        (0..THREADS)
+            .map(|t| {
+                let (sql, seed) = template(t);
+                run_one(&eng, sql, seed).expect("solo reference must run")
+            })
+            .collect()
+    };
+
+    let eng = engine(catalog(ROWS));
+    let start = Barrier::new(THREADS);
+    let collected: Vec<Vec<Result<String, String>>> = std::thread::scope(|scope| {
+        let eng = &eng;
+        let start = &start;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let (sql, seed) = template(t);
+                    (0..ROUNDS)
+                        .map(|_| {
+                            start.wait(); // release the round as a pack
+                            run_one(eng, sql, seed)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread must not panic"))
+            .collect()
+    });
+
+    for (t, rounds) in collected.iter().enumerate() {
+        let (sql, _) = template(t);
+        for (round, outcome) in rounds.iter().enumerate() {
+            match outcome {
+                Ok(flat) => assert_eq!(
+                    flat, &reference[t],
+                    "round {round}: shared-scan result diverged from the solo run for {sql}"
+                ),
+                Err(err) => panic!("round {round}: {sql} failed under sharing: {err}"),
+            }
+        }
+    }
+
+    let stats = eng.shared_scan_stats();
+    assert!(
+        stats.attached >= 1,
+        "with {THREADS} threads x {ROUNDS} barrier-released rounds of identical \
+         scans, at least one query must have attached: {stats:?}"
+    );
+    assert!(stats.passes >= 1, "someone must have led a pass: {stats:?}");
+}
+
+#[test]
+fn append_straddling_queries_see_exactly_one_snapshot() {
+    let cat = catalog(ROWS);
+    let eng = engine(Arc::clone(&cat));
+    let table = cat.table("orders").unwrap();
+
+    let appended: RecordBatch = BatchBuilder::new()
+        .column("o_id", (ROWS as i64..ROWS as i64 + 1000).collect::<Vec<_>>())
+        .column("o_cust", (0..1000i64).map(|i| i % 100).collect::<Vec<_>>())
+        .column("o_flag", (0..1000i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column("o_price", (0..1000).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+
+    let ref_before = run_one(&eng, SCAN_NARROW, 1).expect("before-append reference");
+    // The after-append reference comes from a second engine over an
+    // identical, already-grown catalog — the engine under test must not see
+    // the grown table before its append happens mid-race.
+    let ref_after = {
+        let cat2 = catalog(ROWS);
+        cat2.table("orders").unwrap().append(&appended).unwrap();
+        let eng2 = engine(cat2);
+        run_one(&eng2, SCAN_NARROW, 1).expect("after-append reference")
+    };
+    assert_ne!(ref_before, ref_after, "the append must change the result");
+
+    // Race: THREADS query threads + one appender, all released together.
+    // Attach points straddle the snapshot flip; each query must match one of
+    // the two references exactly.
+    let start = Barrier::new(THREADS + 1);
+    let collected: Vec<Vec<Result<String, String>>> = std::thread::scope(|scope| {
+        let eng = &eng;
+        let start = &start;
+        let table = &table;
+        let appended = &appended;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    start.wait();
+                    (0..8).map(|_| run_one(eng, SCAN_NARROW, 1)).collect()
+                })
+            })
+            .collect();
+        let appender = scope.spawn(move || {
+            start.wait();
+            table.append(appended).expect("concurrent append");
+        });
+        let collected = handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread must not panic"))
+            .collect();
+        appender.join().expect("appender must not panic");
+        collected
+    });
+
+    for rounds in &collected {
+        for outcome in rounds {
+            let flat = outcome.as_ref().expect("straddling query must not fail");
+            assert!(
+                flat == &ref_before || flat == &ref_after,
+                "a query mixed rows across snapshot versions"
+            );
+        }
+    }
+
+    // After the race settles, every query sees the appended rows.
+    assert_eq!(run_one(&eng, SCAN_NARROW, 1).unwrap(), ref_after);
+}
