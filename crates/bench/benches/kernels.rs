@@ -6,7 +6,11 @@
 //! * `group_by/*` — row-key dense aggregation vs. per-row `Vec<Value>` keys
 //!   into a keyed hash map (1M rows, 8 groups),
 //! * `scan/*` — zone-map-pruned vs. unpruned scans under a selective range
-//!   predicate (64 partitions, ~2 match the range).
+//!   predicate (64 partitions, ~2 match the range),
+//! * `str_filter/*`, `str_group_by/*` — string-heavy legs (2M rows, 64
+//!   categories) comparing the dictionary code kernels against raw-`Utf8`
+//!   string comparison; the harness asserts the encoded legs are ≥2× faster
+//!   (and bit-identical) before recording anything.
 //!
 //! Run `TASTER_CRITERION_JSON=crates/bench/baselines/kernels.json cargo bench
 //! -p taster-bench --bench kernels` to refresh the checked-in baseline.
@@ -157,5 +161,125 @@ fn bench_scan_pruning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_filter, bench_group_by, bench_scan_pruning);
+const STR_ROWS: usize = 2_000_000;
+const CATEGORIES: usize = 64;
+
+/// 2M rows over 64 categorical strings with a long shared prefix (the shape
+/// where per-row string comparison hurts most), plus a value column.
+fn string_batch() -> RecordBatch {
+    BatchBuilder::new()
+        .column(
+            "cat",
+            (0..STR_ROWS)
+                .map(|i| format!("category_{:02}", (i * 7) % CATEGORIES))
+                .collect::<Vec<_>>(),
+        )
+        .column("v", (0..STR_ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+}
+
+/// Median-of-3 wall time of `f`, used by the ≥2× self-verification below.
+fn time_it(mut f: impl FnMut() -> usize) -> std::time::Duration {
+    let mut samples: Vec<std::time::Duration> = (0..3)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[1]
+}
+
+fn bench_string_filter(c: &mut Criterion) {
+    let raw = string_batch();
+    let enc = raw.dict_encode_strings();
+    assert!(enc.has_dict_columns());
+    let eq = Expr::binary(Expr::col("cat"), BinaryOp::Eq, Expr::lit("category_31"));
+    let range = Expr::binary(Expr::col("cat"), BinaryOp::GtEq, Expr::lit("category_16"))
+        .and(Expr::binary(Expr::col("cat"), BinaryOp::Lt, Expr::lit("category_48")));
+
+    // Self-verify before recording: same selected rows, ≥2× faster encoded.
+    for (name, pred) in [("eq", &eq), ("range", &range)] {
+        let count = |b: &RecordBatch| pred.evaluate_predicate(b).unwrap().count_selected();
+        assert_eq!(count(&raw), count(&enc), "str_filter/{name} diverges");
+        assert!(count(&raw) > 0, "str_filter/{name} selects nothing — weak leg");
+        let (r, d) = (time_it(|| count(&raw)), time_it(|| count(&enc)));
+        assert!(
+            d * 2 <= r,
+            "str_filter/{name}: dict kernels must be ≥2× faster (raw {r:?}, dict {d:?})"
+        );
+    }
+
+    let mut group = c.benchmark_group("str_filter");
+    group.bench_function("eq_dict_2m", |b| {
+        b.iter(|| black_box(eq.evaluate_predicate(&enc).unwrap().count_selected()))
+    });
+    group.bench_function("eq_raw_2m", |b| {
+        b.iter(|| black_box(eq.evaluate_predicate(&raw).unwrap().count_selected()))
+    });
+    group.bench_function("range_dict_2m", |b| {
+        b.iter(|| black_box(range.evaluate_predicate(&enc).unwrap().count_selected()))
+    });
+    group.bench_function("range_raw_2m", |b| {
+        b.iter(|| black_box(range.evaluate_predicate(&raw).unwrap().count_selected()))
+    });
+    group.finish();
+}
+
+fn bench_string_group_by(c: &mut Criterion) {
+    // Single-partition tables so the scan's concat keeps the encoded
+    // partition's representation: sealed → dict, under-seal → raw Utf8.
+    let batch = string_batch();
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("s_dict", batch.clone(), 1).unwrap());
+    cat.register(
+        Table::from_partitions_with_seal("s_raw", vec![batch], STR_ROWS + 1).unwrap(),
+    );
+    assert_eq!(cat.table("s_dict").unwrap().snapshot().encoding_counts(), (1, 0));
+    assert_eq!(cat.table("s_raw").unwrap().snapshot().encoding_counts(), (0, 1));
+    let ctx = ExecutionContext::new(Arc::new(cat));
+    let plan = |table: &str| LogicalPlan::Aggregate {
+        group_by: vec!["cat".into()],
+        aggregates: vec![
+            AggExpr::new(AggFunc::Count, None),
+            AggExpr::new(AggFunc::Sum, Some("v".into())),
+        ],
+        input: Box::new(LogicalPlan::Scan {
+            table: table.into(),
+            filter: None,
+            projection: None,
+            access: None,
+        }),
+    };
+    let groups = |table: &str| execute(&plan(table), &ctx).unwrap().num_groups();
+
+    // Self-verify: same groups, ≥2× faster over codes.
+    assert_eq!(groups("s_dict"), CATEGORIES);
+    assert_eq!(groups("s_raw"), CATEGORIES);
+    let (r, d) = (time_it(|| groups("s_raw")), time_it(|| groups("s_dict")));
+    assert!(
+        d * 2 <= r,
+        "str_group_by: dict grouping must be ≥2× faster (raw {r:?}, dict {d:?})"
+    );
+
+    let mut group = c.benchmark_group("str_group_by");
+    group.bench_function("categorical_dict_2m_64g", |b| {
+        b.iter(|| black_box(groups("s_dict")))
+    });
+    group.bench_function("categorical_raw_2m_64g", |b| {
+        b.iter(|| black_box(groups("s_raw")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter,
+    bench_group_by,
+    bench_scan_pruning,
+    bench_string_filter,
+    bench_string_group_by
+);
 criterion_main!(benches);

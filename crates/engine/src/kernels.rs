@@ -34,7 +34,7 @@ fn type_rank_of_column(col: &ColumnData) -> u8 {
     match col {
         ColumnData::Bool(_) => 1,
         ColumnData::Int64(_) | ColumnData::Float64(_) => 2,
-        ColumnData::Utf8(_) => 3,
+        ColumnData::Utf8(_) | ColumnData::Dict { .. } => 3,
     }
 }
 
@@ -85,6 +85,9 @@ pub fn compare_column_literal(col: &ColumnData, op: BinaryOp, lit: &Value) -> Se
         (ColumnData::Utf8(v), Value::Str(b)) => {
             mask_from(n, |i| ord_matches(op, v[i].as_str().cmp(b.as_str())))
         }
+        (ColumnData::Dict { codes, dict }, Value::Str(b)) => {
+            compare_dict_literal(codes, dict, op, b)
+        }
         (ColumnData::Bool(v), Value::Bool(b)) => mask_from(n, |i| ord_matches(op, v[i].cmp(b))),
         // Mismatched types: Value::total_cmp orders by type rank, so the
         // outcome is the same for every row.
@@ -92,6 +95,51 @@ pub fn compare_column_literal(col: &ColumnData, op: BinaryOp, lit: &Value) -> Se
             let ord = type_rank_of_column(col).cmp(&type_rank_of_value(lit));
             constant_mask(n, ord_matches(op, ord))
         }
+    }
+}
+
+/// Dictionary fast path for `col op literal`: bind the literal to a code (or
+/// code boundary) once via binary search over the sorted-unique dictionary,
+/// then run a tight loop over the dense `u32` codes. The encoding is
+/// order-preserving, so code order == string order and every comparison op
+/// reduces to integer compares — no per-row string walk.
+fn compare_dict_literal(
+    codes: &[u32],
+    dict: &taster_storage::Dictionary,
+    op: BinaryOp,
+    lit: &str,
+) -> SelectionMask {
+    let n = codes.len();
+    // `lb` is the first code whose string is >= lit; `present` says whether
+    // that code *is* lit. Together they bound every comparison.
+    let lb = dict.lower_bound(lit);
+    let present = (lb as usize) < dict.len() && dict.get(lb) == lit;
+    match op {
+        BinaryOp::Eq => {
+            if present {
+                mask_from(n, |i| codes[i] == lb)
+            } else {
+                constant_mask(n, false)
+            }
+        }
+        BinaryOp::NotEq => {
+            if present {
+                mask_from(n, |i| codes[i] != lb)
+            } else {
+                constant_mask(n, true)
+            }
+        }
+        BinaryOp::Lt => mask_from(n, |i| codes[i] < lb),
+        BinaryOp::GtEq => mask_from(n, |i| codes[i] >= lb),
+        BinaryOp::LtEq => {
+            let ub = lb + u32::from(present); // first code strictly > lit
+            mask_from(n, |i| codes[i] < ub)
+        }
+        BinaryOp::Gt => {
+            let ub = lb + u32::from(present);
+            mask_from(n, |i| codes[i] >= ub)
+        }
+        _ => constant_mask(n, false),
     }
 }
 
@@ -115,6 +163,25 @@ pub fn compare_columns(left: &ColumnData, op: BinaryOp, right: &ColumnData) -> S
         }
         (ColumnData::Utf8(a), ColumnData::Utf8(b)) => {
             mask_from(n, |i| ord_matches(op, a[i].cmp(&b[i])))
+        }
+        (
+            ColumnData::Dict { codes: a, dict: da },
+            ColumnData::Dict { codes: b, dict: db },
+        ) => {
+            // Same dictionary (the common case: two references into one
+            // partition): order-preserving codes compare directly. Different
+            // dictionaries: codes aren't comparable, fall back to strings.
+            if std::sync::Arc::ptr_eq(da, db) || da == db {
+                mask_from(n, |i| ord_matches(op, a[i].cmp(&b[i])))
+            } else {
+                mask_from(n, |i| ord_matches(op, da.get(a[i]).cmp(db.get(b[i]))))
+            }
+        }
+        (ColumnData::Dict { codes, dict }, ColumnData::Utf8(b)) => {
+            mask_from(n, |i| ord_matches(op, dict.get(codes[i]).cmp(b[i].as_str())))
+        }
+        (ColumnData::Utf8(a), ColumnData::Dict { codes, dict }) => {
+            mask_from(n, |i| ord_matches(op, a[i].as_str().cmp(dict.get(codes[i]))))
         }
         (ColumnData::Bool(a), ColumnData::Bool(b)) => {
             mask_from(n, |i| ord_matches(op, a[i].cmp(&b[i])))
@@ -155,7 +222,7 @@ fn numeric_view<'a>(col: &'a ColumnData, op: BinaryOp) -> Result<NumericCol<'a>,
         ColumnData::Int64(v) => Ok(NumericCol::Int(v)),
         ColumnData::Float64(v) => Ok(NumericCol::Float(v)),
         ColumnData::Bool(v) => Ok(NumericCol::Bool(v)),
-        ColumnData::Utf8(_) => Err(EngineError::Execution(format!(
+        ColumnData::Utf8(_) | ColumnData::Dict { .. } => Err(EngineError::Execution(format!(
             "arithmetic {op} on non-numeric column"
         ))),
     }
@@ -291,6 +358,69 @@ mod tests {
         assert!(arith_columns(&a, BinaryOp::Div, &z).is_err());
         assert!(arith_column_scalar(&a, BinaryOp::Div, &Value::Int(0), false).is_err());
         assert!(arith_column_scalar(&a, BinaryOp::Div, &Value::Int(2), false).is_ok());
+    }
+
+    const COMPARISONS: [BinaryOp; 6] = [
+        BinaryOp::Eq,
+        BinaryOp::NotEq,
+        BinaryOp::Lt,
+        BinaryOp::LtEq,
+        BinaryOp::Gt,
+        BinaryOp::GtEq,
+    ];
+
+    fn strs(vals: &[&str]) -> ColumnData {
+        ColumnData::Utf8(vals.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn dict_literal_comparisons_match_utf8_for_every_op() {
+        let raw = strs(&["pear", "apple", "", "quince", "apple", "fig"]);
+        let dict = raw.dict_encode();
+        // Present, absent-in-the-middle, below-all and above-all literals.
+        for lit in ["apple", "banana", "", "zzz", "fig"] {
+            for op in COMPARISONS {
+                let r = compare_column_literal(&raw, op, &Value::Str(lit.into()));
+                let d = compare_column_literal(&dict, op, &Value::Str(lit.into()));
+                assert_eq!(
+                    r.to_bools(),
+                    d.to_bools(),
+                    "op {op:?} literal {lit:?} diverged"
+                );
+            }
+        }
+        // Mismatched literal types hit the constant-mask path identically.
+        let r = compare_column_literal(&raw, BinaryOp::Gt, &Value::Int(1));
+        let d = compare_column_literal(&dict, BinaryOp::Gt, &Value::Int(1));
+        assert_eq!(r.to_bools(), d.to_bools());
+        assert!(d.is_all_selected(), "rank 3 > rank 2 on every row");
+    }
+
+    #[test]
+    fn dict_column_comparisons_match_utf8_in_every_pairing() {
+        let a = strs(&["b", "a", "c", "a", "b"]);
+        let b = strs(&["a", "a", "d", "b", "b"]);
+        let (da, db) = (a.dict_encode(), b.dict_encode());
+        for op in COMPARISONS {
+            let expect = compare_columns(&a, op, &b).to_bools();
+            // dict/dict with *different* dictionaries, dict/utf8, utf8/dict.
+            assert_eq!(compare_columns(&da, op, &db).to_bools(), expect, "{op:?}");
+            assert_eq!(compare_columns(&da, op, &b).to_bools(), expect, "{op:?}");
+            assert_eq!(compare_columns(&a, op, &db).to_bools(), expect, "{op:?}");
+        }
+        // Same dictionary on both sides takes the raw code compare.
+        for op in COMPARISONS {
+            let expect = compare_columns(&a, op, &a).to_bools();
+            assert_eq!(compare_columns(&da, op, &da).to_bools(), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn dict_arithmetic_is_rejected_like_utf8() {
+        let d = strs(&["a", "b"]).dict_encode();
+        let i = ColumnData::Int64(vec![1, 2]);
+        assert!(arith_columns(&d, BinaryOp::Add, &i).is_err());
+        assert!(column_truth_mask(&d).is_none_selected());
     }
 
     #[test]

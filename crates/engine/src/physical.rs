@@ -638,6 +638,24 @@ fn assign_group_ids(
             let keys = map.keys().iter().map(|&k| vec![Value::Int(k)]).collect();
             (gids, keys)
         }
+        [ColumnData::Dict { codes, dict }] => {
+            // Codes are dense in [0, dict.len()): a flat remap array replaces
+            // the hash map entirely, and each distinct key string is cloned
+            // out of the dictionary exactly once, in first-appearance order
+            // (matching the generic path's group numbering).
+            let mut remap = vec![u32::MAX; dict.len()];
+            let mut gids = Vec::with_capacity(len);
+            let mut keys: Vec<Vec<Value>> = Vec::new();
+            for &code in &codes[rows] {
+                let slot = &mut remap[code as usize];
+                if *slot == u32::MAX {
+                    *slot = keys.len() as u32;
+                    keys.push(vec![Value::Str(dict.get(code).to_string())]);
+                }
+                gids.push(*slot);
+            }
+            (gids, keys)
+        }
         _ => {
             let keys = RowKeys::encode_columns_range(group_cols, rows);
             let mut map = RowKeyMap::with_capacity(1024.min(len));
@@ -699,7 +717,7 @@ fn aggregate_morsel(
             }
             // Strings have no numeric interpretation; `value_f64` returned
             // None and the row-at-a-time path folded in 0.0.
-            (_, Some(ColumnData::Utf8(_))) => {
+            (_, Some(ColumnData::Utf8(_) | ColumnData::Dict { .. })) => {
                 for (local, &gid) in gids.iter().enumerate() {
                     dense.add(gid, 0.0, weights.get(start + local));
                 }
@@ -935,6 +953,23 @@ mod tests {
 
     fn ctx() -> ExecutionContext {
         ExecutionContext::new(catalog())
+    }
+
+    #[test]
+    fn dict_group_ids_match_utf8_path() {
+        let raw = ColumnData::Utf8(
+            (0..64)
+                .map(|i| ["ash", "beech", "cedar"][i % 3].to_string())
+                .collect(),
+        );
+        let enc = raw.dict_encode();
+        assert!(enc.is_dict_encoded());
+        for rows in [0..64usize, 5..41, 64..64] {
+            let (g_raw, k_raw) = assign_group_ids(&[&raw], rows.clone());
+            let (g_enc, k_enc) = assign_group_ids(&[&enc], rows);
+            assert_eq!(g_raw, g_enc);
+            assert_eq!(k_raw, k_enc);
+        }
     }
 
     #[test]

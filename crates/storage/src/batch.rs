@@ -250,6 +250,33 @@ impl RecordBatch {
     pub fn size_bytes(&self) -> usize {
         self.columns.iter().map(ColumnData::size_bytes).sum()
     }
+
+    /// True if any column is a plain (un-encoded) string column.
+    pub fn has_plain_utf8(&self) -> bool {
+        self.columns
+            .iter()
+            .any(|c| matches!(c, ColumnData::Utf8(_)))
+    }
+
+    /// True if any column is dictionary-encoded.
+    pub fn has_dict_columns(&self) -> bool {
+        self.columns.iter().any(ColumnData::is_dict_encoded)
+    }
+
+    /// A new batch with every plain string column dictionary-encoded.
+    ///
+    /// The schema is unchanged — encoded columns still report
+    /// [`crate::schema::DataType::Utf8`] — and the batch is logically equal to
+    /// `self`. Called by the `Table` seal path; already-encoded and
+    /// non-string columns are cloned as-is.
+    pub fn dict_encode_strings(&self) -> RecordBatch {
+        let columns: Vec<ColumnData> = self.columns.iter().map(ColumnData::dict_encode).collect();
+        RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows: self.num_rows,
+        }
+    }
 }
 
 /// Convenience builder for constructing batches from named columns.
@@ -356,6 +383,19 @@ mod tests {
                 ColumnData::Float64(vec![1.0; 4])
             )
             .is_err());
+    }
+
+    #[test]
+    fn dict_encode_strings_is_logically_equal() {
+        let b = batch();
+        assert!(b.has_plain_utf8());
+        let e = b.dict_encode_strings();
+        assert!(e.has_dict_columns());
+        assert!(!e.has_plain_utf8());
+        assert_eq!(e, b);
+        assert_eq!(e.row(2)[2], Value::Str("c".to_string()));
+        // Numeric columns are untouched.
+        assert_eq!(e.column(0), b.column(0));
     }
 
     #[test]

@@ -189,6 +189,11 @@ const TYPE_INT64: u8 = 0;
 const TYPE_FLOAT64: u8 = 1;
 const TYPE_UTF8: u8 = 2;
 const TYPE_BOOL: u8 = 3;
+/// Wire tag for dictionary-encoded string columns. Not a [`DataType`] —
+/// encoded columns report `DataType::Utf8` logically — but a distinct
+/// physical representation, so durable tables round-trip *encoded* and
+/// recovery never pays a re-encode (or loses the encoding).
+const TYPE_DICT_UTF8: u8 = 4;
 
 /// Encode a [`DataType`].
 pub fn encode_data_type(w: &mut ByteWriter, dt: DataType) {
@@ -200,15 +205,19 @@ pub fn encode_data_type(w: &mut ByteWriter, dt: DataType) {
     });
 }
 
-/// Decode a [`DataType`].
-pub fn decode_data_type(r: &mut ByteReader) -> Result<DataType, StorageError> {
-    match r.get_u8()? {
+fn data_type_from_tag(tag: u8) -> Result<DataType, StorageError> {
+    match tag {
         TYPE_INT64 => Ok(DataType::Int64),
         TYPE_FLOAT64 => Ok(DataType::Float64),
         TYPE_UTF8 => Ok(DataType::Utf8),
         TYPE_BOOL => Ok(DataType::Bool),
         tag => Err(StorageError::Corrupt(format!("unknown data type tag {tag}"))),
     }
+}
+
+/// Decode a [`DataType`].
+pub fn decode_data_type(r: &mut ByteReader) -> Result<DataType, StorageError> {
+    data_type_from_tag(r.get_u8()?)
 }
 
 /// Encode a [`Schema`] (field count, then name + type per field).
@@ -233,7 +242,23 @@ pub fn decode_schema(r: &mut ByteReader) -> Result<Schema, StorageError> {
 }
 
 /// Encode a [`ColumnData`] (type tag, length, then the raw values).
+///
+/// Dictionary-encoded columns use their own wire tag and persist the
+/// dictionary once plus the dense `u32` codes, so a sealed string partition
+/// is both smaller on disk and already encoded when it comes back.
 pub fn encode_column(w: &mut ByteWriter, col: &ColumnData) {
+    if let ColumnData::Dict { codes, dict } = col {
+        w.put_u8(TYPE_DICT_UTF8);
+        w.put_u64(codes.len() as u64);
+        w.put_u32(dict.len() as u32);
+        for s in dict.values() {
+            w.put_str(s);
+        }
+        for &c in codes {
+            w.put_u32(c);
+        }
+        return;
+    }
     encode_data_type(w, col.data_type());
     match col {
         ColumnData::Int64(v) => {
@@ -260,12 +285,49 @@ pub fn encode_column(w: &mut ByteWriter, col: &ColumnData) {
                 w.put_bool(*x);
             }
         }
+        // Handled by the early return above.
+        ColumnData::Dict { .. } => {}
     }
 }
 
 /// Decode a [`ColumnData`].
 pub fn decode_column(r: &mut ByteReader) -> Result<ColumnData, StorageError> {
-    let dt = decode_data_type(r)?;
+    // Read the raw tag: the dictionary representation has its own wire tag
+    // even though the column it decodes to reports `DataType::Utf8`.
+    let tag = r.get_u8()?;
+    if tag == TYPE_DICT_UTF8 {
+        let len = r.get_usize()?;
+        let dict_len = r.get_u32()? as usize;
+        let mut values = Vec::with_capacity(dict_len.min(1 << 20));
+        for _ in 0..dict_len {
+            values.push(r.get_str()?);
+        }
+        // Codes are only meaningful over a sorted-unique dictionary; a
+        // corrupt one must fail here, not mis-order every later comparison.
+        if !values.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StorageError::Corrupt(
+                "dictionary is not sorted and unique".to_string(),
+            ));
+        }
+        if r.remaining() < len.saturating_mul(4) {
+            return Err(corrupt("dictionary codes"));
+        }
+        let mut codes = Vec::with_capacity(len);
+        for _ in 0..len {
+            let c = r.get_u32()?;
+            if c as usize >= dict_len {
+                return Err(StorageError::Corrupt(format!(
+                    "dictionary code {c} out of range for dictionary of {dict_len}"
+                )));
+            }
+            codes.push(c);
+        }
+        return Ok(ColumnData::Dict {
+            codes,
+            dict: Arc::new(crate::column::Dictionary::from_sorted_unique(values)),
+        });
+    }
+    let dt = data_type_from_tag(tag)?;
     let len = r.get_usize()?;
     // Fixed-width types can validate the length against the remaining bytes
     // *before* allocating, so a corrupt length cannot trigger a huge
@@ -306,6 +368,8 @@ pub fn decode_column(r: &mut ByteReader) -> Result<ColumnData, StorageError> {
                 v.push(r.get_bool()?);
             }
         }
+        // `with_capacity` only builds plain columns; Dict decoded above.
+        ColumnData::Dict { .. } => {}
     }
     Ok(col)
 }
@@ -436,6 +500,76 @@ mod tests {
                 "cut at {cut} must yield Corrupt, got {err}"
             );
         }
+    }
+
+    #[test]
+    fn dict_batch_round_trips_encoded() {
+        let batch = BatchBuilder::new()
+            .column("i", vec![1i64, 2, 3, 4])
+            .column("s", vec!["pear", "apple", "pear", ""])
+            .build()
+            .unwrap()
+            .dict_encode_strings();
+        assert!(batch.has_dict_columns());
+        let out = round_trip_batch(&batch);
+        assert!(
+            out.has_dict_columns(),
+            "round-trip preserves the encoding, not just the values"
+        );
+        assert_eq!(out, batch);
+        // And the decoded column still compares equal to the raw form.
+        let raw = BatchBuilder::new()
+            .column("i", vec![1i64, 2, 3, 4])
+            .column("s", vec!["pear", "apple", "pear", ""])
+            .build()
+            .unwrap();
+        assert_eq!(out, raw);
+    }
+
+    #[test]
+    fn truncated_dict_bytes_decode_to_corrupt_not_panic() {
+        let batch = BatchBuilder::new()
+            .column("s", vec!["aa", "bb", "aa", "cc", "bb"])
+            .build()
+            .unwrap()
+            .dict_encode_strings();
+        let mut w = ByteWriter::new();
+        encode_batch(&mut w, &batch);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let err = decode_batch(&mut r).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Corrupt(_)),
+                "cut at {cut} must yield Corrupt, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_or_unsorted_dictionaries_are_corrupt() {
+        // Code 7 with a 2-entry dictionary.
+        let mut w = ByteWriter::new();
+        w.put_u8(4); // TYPE_DICT_UTF8
+        w.put_u64(1);
+        w.put_u32(2);
+        w.put_str("a");
+        w.put_str("b");
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let err = decode_column(&mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+        // Unsorted dictionary.
+        let mut w = ByteWriter::new();
+        w.put_u8(4);
+        w.put_u64(1);
+        w.put_u32(2);
+        w.put_str("b");
+        w.put_str("a");
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        let err = decode_column(&mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
     }
 
     #[test]

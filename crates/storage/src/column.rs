@@ -1,17 +1,114 @@
 //! Columnar data arrays.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::StorageError;
 use crate::schema::DataType;
 use crate::value::Value;
 
+/// An order-preserving string dictionary: the distinct values of one
+/// dictionary-encoded column, **sorted and unique**, so that code order
+/// equals string order (`codes[i] < codes[j]` ⇔ `strings[i] < strings[j]`).
+///
+/// Dictionaries are built once per sealed partition and shared behind an
+/// `Arc` by every column derived from that partition (slices, filtered
+/// copies, index gathers), so re-encoding never happens downstream of a
+/// seal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dictionary {
+    values: Vec<String>,
+}
+
+impl Dictionary {
+    /// Build a dictionary from values that are already sorted and unique.
+    ///
+    /// # Panics
+    /// Debug builds panic if the order-preserving invariant is violated.
+    pub fn from_sorted_unique(values: Vec<String>) -> Self {
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "dictionary values must be sorted and unique"
+        );
+        Self { values }
+    }
+
+    /// Dictionary-encode a string slice: returns the shared dictionary and
+    /// one code per input row. Codes are assigned in sort order, preserving
+    /// string order.
+    pub fn encode(strings: &[String]) -> (Arc<Dictionary>, Vec<u32>) {
+        let mut distinct: Vec<&str> = strings.iter().map(String::as_str).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let dict = Dictionary::from_sorted_unique(
+            distinct.iter().map(|s| s.to_string()).collect(),
+        );
+        // Every input string is in its own dictionary, so the lower bound
+        // *is* the exact code (avoids an `expect` under the crate's
+        // `clippy::expect_used` lint).
+        let codes = strings.iter().map(|s| dict.lower_bound(s)).collect();
+        (Arc::new(dict), codes)
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the dictionary holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The string for `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of bounds.
+    pub fn get(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// All distinct values in sorted order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// The code of `s`, if present (binary search over the sorted values).
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.values
+            .binary_search_by(|v| v.as_str().cmp(s))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The first code whose string is `>= s` (equals [`Self::len`] when every
+    /// value is smaller). Because codes are order-preserving, this single
+    /// boundary turns any string range predicate into a code comparison.
+    pub fn lower_bound(&self, s: &str) -> u32 {
+        self.values.partition_point(|v| v.as_str() < s) as u32
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.values.iter().map(|s| s.len() + 24).sum()
+    }
+}
+
 /// A single typed column of values.
 ///
 /// Columns are append-only vectors; the engine operates on whole columns
 /// where possible and falls back to row-at-a-time [`Value`]s only for group
 /// keys and final results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// String columns exist in two representations: plain [`ColumnData::Utf8`]
+/// (the mutable, unsealed form) and [`ColumnData::Dict`] (the sealed,
+/// dictionary-encoded form produced by `Table`'s seal path). Both report
+/// [`DataType::Utf8`] and are logically interchangeable — encoding is a
+/// storage choice, never a correctness choice — which the manual
+/// [`PartialEq`] below makes literal: a `Dict` column equals the `Utf8`
+/// column holding the same strings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ColumnData {
     /// 64-bit integers.
     Int64(Vec<i64>),
@@ -21,6 +118,14 @@ pub enum ColumnData {
     Utf8(Vec<String>),
     /// Booleans.
     Bool(Vec<bool>),
+    /// Dictionary-encoded UTF-8 strings: one `u32` code per row into a
+    /// shared, order-preserving [`Dictionary`].
+    Dict {
+        /// Per-row codes into `dict`.
+        codes: Vec<u32>,
+        /// The shared sorted-unique dictionary.
+        dict: Arc<Dictionary>,
+    },
 }
 
 impl ColumnData {
@@ -44,12 +149,13 @@ impl ColumnData {
         }
     }
 
-    /// The column's data type.
+    /// The column's data type. Dictionary-encoded columns are `Utf8`: the
+    /// encoding is invisible to schemas, projections and batch validation.
     pub fn data_type(&self) -> DataType {
         match self {
             ColumnData::Int64(_) => DataType::Int64,
             ColumnData::Float64(_) => DataType::Float64,
-            ColumnData::Utf8(_) => DataType::Utf8,
+            ColumnData::Utf8(_) | ColumnData::Dict { .. } => DataType::Utf8,
             ColumnData::Bool(_) => DataType::Bool,
         }
     }
@@ -61,6 +167,7 @@ impl ColumnData {
             ColumnData::Float64(v) => v.len(),
             ColumnData::Utf8(v) => v.len(),
             ColumnData::Bool(v) => v.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
         }
     }
 
@@ -69,7 +176,47 @@ impl ColumnData {
         self.len() == 0
     }
 
+    /// `true` for a dictionary-encoded string column.
+    pub fn is_dict_encoded(&self) -> bool {
+        matches!(self, ColumnData::Dict { .. })
+    }
+
+    /// The codes and dictionary of a dictionary-encoded column, if it is one.
+    pub fn as_dict(&self) -> Option<(&[u32], &Arc<Dictionary>)> {
+        match self {
+            ColumnData::Dict { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Dictionary-encode a `Utf8` column (idempotent on `Dict`, identity on
+    /// non-string columns). Called by `Table`'s seal path; the unsealed tail
+    /// always stays `Utf8`.
+    pub fn dict_encode(&self) -> ColumnData {
+        match self {
+            ColumnData::Utf8(v) => {
+                let (dict, codes) = Dictionary::encode(v);
+                ColumnData::Dict { codes, dict }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Decode a `Dict` column back to plain `Utf8` (identity otherwise).
+    pub fn decode_dict(&self) -> ColumnData {
+        match self {
+            ColumnData::Dict { codes, dict } => ColumnData::Utf8(
+                codes.iter().map(|&c| dict.get(c).to_string()).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
     /// The value at `idx` widened to a [`Value`].
+    ///
+    /// This is an owned-clone site for string columns: the `Value` owns its
+    /// `String`. Callers that only *inspect* the string should use
+    /// [`Self::value_str`] instead.
     ///
     /// # Panics
     /// Panics if `idx` is out of bounds.
@@ -79,6 +226,21 @@ impl ColumnData {
             ColumnData::Float64(v) => Value::Float(v[idx]),
             ColumnData::Utf8(v) => Value::Str(v[idx].clone()),
             ColumnData::Bool(v) => Value::Bool(v[idx]),
+            ColumnData::Dict { codes, dict } => Value::Str(dict.get(codes[idx]).to_string()),
+        }
+    }
+
+    /// The string at `idx` borrowed from the column, if this is a string
+    /// column (either representation). The allocation-free counterpart of
+    /// [`Self::value`] for call sites that only inspect the value.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds on a string column.
+    pub fn value_str(&self, idx: usize) -> Option<&str> {
+        match self {
+            ColumnData::Utf8(v) => Some(&v[idx]),
+            ColumnData::Dict { codes, dict } => Some(dict.get(codes[idx])),
+            _ => None,
         }
     }
 
@@ -88,11 +250,14 @@ impl ColumnData {
             ColumnData::Int64(v) => Some(v[idx] as f64),
             ColumnData::Float64(v) => Some(v[idx]),
             ColumnData::Bool(v) => Some(if v[idx] { 1.0 } else { 0.0 }),
-            ColumnData::Utf8(_) => None,
+            ColumnData::Utf8(_) | ColumnData::Dict { .. } => None,
         }
     }
 
     /// Append a value, coercing numerics where it is lossless.
+    ///
+    /// Dictionary-encoded columns are sealed and reject appends — the table
+    /// append path only ever grows the unsealed (`Utf8`) tail.
     pub fn push(&mut self, value: &Value) -> Result<(), StorageError> {
         match (self, value) {
             (ColumnData::Int64(v), Value::Int(x)) => v.push(*x),
@@ -101,6 +266,11 @@ impl ColumnData {
             (ColumnData::Float64(v), Value::Int(x)) => v.push(*x as f64),
             (ColumnData::Utf8(v), Value::Str(x)) => v.push(x.clone()),
             (ColumnData::Bool(v), Value::Bool(x)) => v.push(*x),
+            (ColumnData::Dict { .. }, val) => {
+                return Err(StorageError::TypeMismatch(format!(
+                    "cannot push {val} into a sealed dictionary-encoded column"
+                )))
+            }
             (col, val) => {
                 return Err(StorageError::TypeMismatch(format!(
                     "cannot push {val} into {} column",
@@ -112,6 +282,9 @@ impl ColumnData {
     }
 
     /// A new column containing the values at the selected indices, in order.
+    ///
+    /// For string columns this is an owned-clone site on `Utf8` input;
+    /// `Dict` input gathers only the 4-byte codes and shares the dictionary.
     pub fn take(&self, indices: &[usize]) -> ColumnData {
         match self {
             ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i]).collect()),
@@ -120,6 +293,10 @@ impl ColumnData {
                 ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
             }
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Dict { codes, dict } => ColumnData::Dict {
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+                dict: dict.clone(),
+            },
         }
     }
 
@@ -151,6 +328,14 @@ impl ColumnData {
                     .filter_map(|(x, &keep)| keep.then_some(*x))
                     .collect(),
             ),
+            ColumnData::Dict { codes, dict } => ColumnData::Dict {
+                codes: codes
+                    .iter()
+                    .zip(mask)
+                    .filter_map(|(x, &keep)| keep.then_some(*x))
+                    .collect(),
+                dict: dict.clone(),
+            },
         }
     }
 
@@ -182,10 +367,19 @@ impl ColumnData {
                 out.extend(mask.iter_selected().map(|i| v[i]));
                 ColumnData::Bool(out)
             }
+            ColumnData::Dict { codes, dict } => {
+                let mut out = Vec::with_capacity(n);
+                out.extend(mask.iter_selected().map(|i| codes[i]));
+                ColumnData::Dict {
+                    codes: out,
+                    dict: dict.clone(),
+                }
+            }
         }
     }
 
-    /// A zero-copy-ish slice (clones the underlying range).
+    /// A zero-copy-ish slice (clones the underlying range; `Dict` slices
+    /// clone only codes and share the dictionary).
     pub fn slice(&self, offset: usize, len: usize) -> ColumnData {
         let end = (offset + len).min(self.len());
         match self {
@@ -193,15 +387,39 @@ impl ColumnData {
             ColumnData::Float64(v) => ColumnData::Float64(v[offset..end].to_vec()),
             ColumnData::Utf8(v) => ColumnData::Utf8(v[offset..end].to_vec()),
             ColumnData::Bool(v) => ColumnData::Bool(v[offset..end].to_vec()),
+            ColumnData::Dict { codes, dict } => ColumnData::Dict {
+                codes: codes[offset..end].to_vec(),
+                dict: dict.clone(),
+            },
         }
     }
 
-    /// Append all values from another column of the same type.
+    /// Append all values from another column of the same logical type.
+    ///
+    /// `Dict` sources decode into `Utf8` targets (the mixed sealed/unsealed
+    /// concat path); a `Dict` *target* is first decoded in place, since a
+    /// grown column is no longer the sealed partition the dictionary
+    /// described.
     pub fn extend_from(&mut self, other: &ColumnData) -> Result<(), StorageError> {
+        if let ColumnData::Dict { .. } = self {
+            *self = self.decode_dict();
+        }
         match (self, other) {
             (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
             (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(b),
             (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend_from_slice(b),
+            (this @ ColumnData::Utf8(_), ColumnData::Dict { .. })
+                if this.is_empty() =>
+            {
+                // An empty Utf8 target adopts the encoded source wholesale:
+                // the single-partition concat path (one sealed partition
+                // surviving zone pruning) keeps its encoding downstream
+                // instead of decoding row by row.
+                *this = other.clone();
+            }
+            (ColumnData::Utf8(a), ColumnData::Dict { codes, dict }) => {
+                a.extend(codes.iter().map(|&c| dict.get(c).to_string()));
+            }
             (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
             (a, b) => {
                 return Err(StorageError::TypeMismatch(format!(
@@ -226,6 +444,42 @@ impl ColumnData {
             ColumnData::Float64(v) => v.len() * 8,
             ColumnData::Utf8(v) => v.iter().map(|s| s.len() + 24).sum(),
             ColumnData::Bool(v) => v.len(),
+            ColumnData::Dict { codes, dict } => codes.len() * 4 + dict.size_bytes(),
+        }
+    }
+}
+
+/// Logical, representation-independent equality: a `Dict` column equals the
+/// `Utf8` column holding the same strings. Required because recovered tables
+/// round-trip through the codec *encoded* while in-memory fixtures are often
+/// raw, and batch equality must not depend on that storage choice.
+impl PartialEq for ColumnData {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a == b,
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a == b,
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a == b,
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a == b,
+            (
+                ColumnData::Dict { codes: ca, dict: da },
+                ColumnData::Dict { codes: cb, dict: db },
+            ) => {
+                if Arc::ptr_eq(da, db) || da == db {
+                    ca == cb
+                } else {
+                    ca.len() == cb.len()
+                        && ca
+                            .iter()
+                            .zip(cb)
+                            .all(|(&a, &b)| da.get(a) == db.get(b))
+                }
+            }
+            (ColumnData::Utf8(a), ColumnData::Dict { codes, dict })
+            | (ColumnData::Dict { codes, dict }, ColumnData::Utf8(a)) => {
+                a.len() == codes.len()
+                    && a.iter().zip(codes).all(|(s, &c)| s.as_str() == dict.get(c))
+            }
+            _ => false,
         }
     }
 }
@@ -263,6 +517,28 @@ impl From<Vec<bool>> for ColumnData {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn empty_utf8_target_adopts_dict_source() {
+        let raw = ColumnData::Utf8(vec!["b".into(), "a".into(), "b".into()]);
+        let enc = raw.dict_encode();
+        assert!(enc.is_dict_encoded());
+
+        // Empty target: adoption keeps the encoding (and shares the dict Arc).
+        let mut target = ColumnData::new_empty(DataType::Utf8);
+        target.extend_from(&enc).unwrap();
+        assert!(target.is_dict_encoded());
+        assert_eq!(target, raw);
+
+        // Non-empty target: decoded row by row, stays Utf8.
+        let mut target = ColumnData::Utf8(vec!["z".into()]);
+        target.extend_from(&enc).unwrap();
+        assert!(!target.is_dict_encoded());
+        assert_eq!(
+            target,
+            ColumnData::Utf8(vec!["z".into(), "b".into(), "a".into(), "b".into()])
+        );
+    }
 
     #[test]
     fn push_and_read_back() {
@@ -316,5 +592,81 @@ mod tests {
         assert_eq!(ColumnData::from(vec![2.5f64]).value_f64(0), Some(2.5));
         assert_eq!(ColumnData::from(vec![true]).value_f64(0), Some(1.0));
         assert_eq!(ColumnData::from(vec!["x"]).value_f64(0), None);
+    }
+
+    #[test]
+    fn dictionary_is_order_preserving() {
+        let raw: ColumnData = vec!["pear", "apple", "pear", "", "quince"].into();
+        let enc = raw.dict_encode();
+        let (codes, dict) = enc.as_dict().unwrap();
+        assert_eq!(dict.values(), &["", "apple", "pear", "quince"]);
+        assert_eq!(codes, &[2, 1, 2, 0, 3]);
+        // Code order == string order.
+        for i in 0..dict.len() as u32 {
+            for j in 0..dict.len() as u32 {
+                assert_eq!(i.cmp(&j), dict.get(i).cmp(dict.get(j)));
+            }
+        }
+        assert_eq!(dict.code_of("pear"), Some(2));
+        assert_eq!(dict.code_of("zebra"), None);
+        assert_eq!(dict.lower_bound("b"), 2);
+        assert_eq!(dict.lower_bound("zzz"), 4);
+    }
+
+    #[test]
+    fn dict_equals_utf8_with_same_content() {
+        let raw: ColumnData = vec!["b", "a", "b"].into();
+        let enc = raw.dict_encode();
+        assert!(enc.is_dict_encoded());
+        assert_eq!(enc, raw);
+        assert_eq!(raw, enc);
+        assert_eq!(enc.decode_dict(), raw);
+        let other: ColumnData = vec!["b", "a", "c"].into();
+        assert_ne!(enc, other);
+        // Two independently built dictionaries with equal content compare equal.
+        assert_eq!(raw.dict_encode(), raw.dict_encode());
+    }
+
+    #[test]
+    fn dict_slice_take_filter_share_dictionary() {
+        let raw: ColumnData = vec!["x", "y", "x", "z", "y"].into();
+        let enc = raw.dict_encode();
+        let s = enc.slice(1, 3);
+        assert_eq!(s, raw.slice(1, 3));
+        let t = enc.take(&[4, 0]);
+        assert_eq!(t, raw.take(&[4, 0]));
+        assert!(t.is_dict_encoded());
+        let f = enc.filter(&[true, false, true, false, true]);
+        assert_eq!(f, raw.filter(&[true, false, true, false, true]));
+        let (_, d0) = enc.as_dict().unwrap();
+        let (_, d1) = t.as_dict().unwrap();
+        assert!(Arc::ptr_eq(d0, d1), "take must share the dictionary");
+    }
+
+    #[test]
+    fn utf8_extends_from_dict_and_dict_target_decodes() {
+        let mut tail: ColumnData = vec!["u1", "u2"].into();
+        let sealed = ColumnData::from(vec!["a", "b"]).dict_encode();
+        tail.extend_from(&sealed).unwrap();
+        assert_eq!(tail, ColumnData::from(vec!["u1", "u2", "a", "b"]));
+
+        let mut grown = sealed.clone();
+        grown.extend_from(&ColumnData::from(vec!["c"])).unwrap();
+        assert!(!grown.is_dict_encoded(), "a grown column decodes in place");
+        assert_eq!(grown, ColumnData::from(vec!["a", "b", "c"]));
+    }
+
+    #[test]
+    fn value_str_borrows_for_both_representations() {
+        let raw: ColumnData = vec!["p", "q"].into();
+        assert_eq!(raw.value_str(1), Some("q"));
+        assert_eq!(raw.dict_encode().value_str(1), Some("q"));
+        assert_eq!(ColumnData::from(vec![1i64]).value_str(0), None);
+    }
+
+    #[test]
+    fn dict_rejects_push() {
+        let mut enc = ColumnData::from(vec!["a"]).dict_encode();
+        assert!(enc.push(&Value::Str("b".into())).is_err());
     }
 }

@@ -44,7 +44,7 @@ pub mod wal;
 pub use batch::RecordBatch;
 pub use catalog::Catalog;
 pub use codec::{ByteReader, ByteWriter};
-pub use column::ColumnData;
+pub use column::{ColumnData, Dictionary};
 pub use error::StorageError;
 pub use index::PartitionIndex;
 pub use io_model::IoModel;

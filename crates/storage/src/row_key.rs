@@ -168,13 +168,40 @@ impl RowKeys {
             }
             return;
         }
+        // Dictionary columns must encode to exactly the canonical `TAG_STR`
+        // bytes a raw string column produces: key identity is
+        // representation-independent (each sealed partition has its own
+        // dictionary, so codes can never leak into cross-partition keys).
+        // Instead, each code's encoding is computed once per column here and
+        // memcpy'd per row — full-string length/format work happens
+        // `dict.len()` times, not `rows` times.
+        let dict_caches: Vec<Option<(Vec<u8>, Vec<u32>)>> =
+            if cols.iter().any(|c| c.is_dict_encoded()) {
+                cols.iter()
+                    .map(|col| match col {
+                        ColumnData::Dict { dict, .. } => {
+                            let mut bytes = Vec::new();
+                            let mut offs = Vec::with_capacity(dict.len() + 1);
+                            offs.push(0u32);
+                            for s in dict.values() {
+                                encode_str(&mut bytes, s);
+                                offs.push(checked_offset(bytes.len()));
+                            }
+                            Some((bytes, offs))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
         // Reserve assuming fixed-width columns (9 bytes each); strings grow
         // the buffer as needed.
         self.buf.reserve(range.len() * cols.len() * 9);
         self.offsets.reserve(range.len() + 1);
         self.offsets.push(0);
         for row in range {
-            for col in cols {
+            for (ci, col) in cols.iter().enumerate() {
                 match col {
                     ColumnData::Int64(v) => {
                         self.buf.push(TAG_INT);
@@ -185,6 +212,18 @@ impl RowKeys {
                     ColumnData::Bool(v) => {
                         self.buf.push(TAG_BOOL);
                         self.buf.push(u8::from(v[row]));
+                    }
+                    ColumnData::Dict { codes, dict } => {
+                        if let Some((bytes, offs)) =
+                            dict_caches.get(ci).and_then(Option::as_ref)
+                        {
+                            let c = codes[row] as usize;
+                            self.buf.extend_from_slice(
+                                &bytes[offs[c] as usize..offs[c + 1] as usize],
+                            );
+                        } else {
+                            encode_str(&mut self.buf, dict.get(codes[row]));
+                        }
                     }
                 }
             }
@@ -593,6 +632,26 @@ mod tests {
         let min_f = RowKeys::encode_columns(&[&ColumnData::Float64(vec![i64::MIN as f64])], 1);
         let min_i = RowKeys::encode_columns(&[&ColumnData::Int64(vec![i64::MIN])], 1);
         assert_eq!(min_f.key(0), min_i.key(0));
+    }
+
+    #[test]
+    fn dict_columns_encode_identically_to_utf8() {
+        let strings = vec!["pear", "apple", "", "pear", "quince", "apple"];
+        let raw = ColumnData::Utf8(strings.iter().map(|s| s.to_string()).collect());
+        let dict = raw.dict_encode();
+        assert!(dict.is_dict_encoded());
+        let kr = RowKeys::encode_columns(&[&raw], strings.len());
+        let kd = RowKeys::encode_columns(&[&dict], strings.len());
+        for row in 0..strings.len() {
+            assert_eq!(kr.key(row), kd.key(row), "row {row}");
+        }
+        // Mixed key columns (dict + int) stay canonical too.
+        let ids = ColumnData::Int64(vec![1, 2, 3, 4, 5, 6]);
+        let mr = RowKeys::encode_columns(&[&raw, &ids], strings.len());
+        let md = RowKeys::encode_columns(&[&dict, &ids], strings.len());
+        for row in 0..strings.len() {
+            assert_eq!(mr.key(row), md.key(row), "row {row}");
+        }
     }
 
     #[test]

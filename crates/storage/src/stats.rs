@@ -131,6 +131,14 @@ pub struct ColumnZone {
     pub min: Value,
     /// Largest value in the partition.
     pub max: Value,
+    /// For dictionary-encoded string columns, the `[min, max]` *code* range
+    /// backing the string bounds (`min`/`max` are those codes decoded).
+    /// Because the dictionary is order-preserving, an executor holding the
+    /// partition's dictionary can bound-check a literal's code against this
+    /// range without touching strings. `None` for raw columns and for zones
+    /// widened across appends (only the unsealed Utf8 tail ever widens, so
+    /// sealed dict partitions keep their range).
+    pub code_range: Option<(u32, u32)>,
 }
 
 impl ColumnZone {
@@ -138,6 +146,7 @@ impl ColumnZone {
         if col.is_empty() {
             return None;
         }
+        let mut code_range = None;
         // Typed min/max loops; no Value widening per row.
         let (min, max) = match col {
             ColumnData::Int64(v) => {
@@ -163,13 +172,28 @@ impl ColumnZone {
                 let max = v.iter().max()?.clone();
                 (Value::Str(min), Value::Str(max))
             }
+            ColumnData::Dict { codes, dict } => {
+                // Code order == string order, so min/max over the dense u32
+                // codes decode straight into the string bounds.
+                let lo = *codes.iter().min()?;
+                let hi = *codes.iter().max()?;
+                code_range = Some((lo, hi));
+                (
+                    Value::Str(dict.get(lo).to_string()),
+                    Value::Str(dict.get(hi).to_string()),
+                )
+            }
             ColumnData::Bool(v) => {
                 let any_true = v.iter().any(|&b| b);
                 let any_false = v.iter().any(|&b| !b);
                 (Value::Bool(!any_false), Value::Bool(any_true))
             }
         };
-        Some(ColumnZone { min, max })
+        Some(ColumnZone {
+            min,
+            max,
+            code_range,
+        })
     }
 
     /// `true` if `value` lies within `[min, max]`.
@@ -187,6 +211,10 @@ impl ColumnZone {
         if other.max.total_cmp(&self.max).is_gt() {
             self.max = other.max.clone();
         }
+        // Codes from different slices aren't comparable (each sealed
+        // partition has its own dictionary); a widened zone describes an
+        // unsealed Utf8 tail anyway.
+        self.code_range = None;
     }
 }
 
@@ -315,6 +343,36 @@ impl ColumnAccumulator {
     }
 
     fn update(&mut self, col: &ColumnData) {
+        // Dictionary fast path: histogram the dense codes, then fold each
+        // *distinct* value in exactly once — no per-row `Value`
+        // materialization, no per-row hash-map probe.
+        if let ColumnData::Dict { codes, dict } = col {
+            if codes.is_empty() {
+                return;
+            }
+            self.count += codes.len();
+            self.numeric = false;
+            let mut counts = vec![0usize; dict.len()];
+            for &c in codes {
+                counts[c as usize] += 1;
+            }
+            for (code, &n) in counts.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let v = Value::Str(dict.get(code as u32).to_string());
+                match &self.min {
+                    Some(m) if v >= *m => {}
+                    _ => self.min = Some(v.clone()),
+                }
+                match &self.max {
+                    Some(m) if v <= *m => {}
+                    _ => self.max = Some(v.clone()),
+                }
+                *self.frequencies.entry(v).or_insert(0) += n;
+            }
+            return;
+        }
         for i in 0..col.len() {
             let v = col.value(i);
             match (v.as_f64(), v.is_null()) {
@@ -428,6 +486,52 @@ mod tests {
         assert!(z.column("k").unwrap().contains(&Value::Int(2)));
         assert!(!z.column("k").unwrap().contains(&Value::Int(4)));
         assert!(z.column("missing").is_none());
+    }
+
+    #[test]
+    fn dict_zones_carry_code_ranges_and_match_raw_bounds() {
+        let raw = PartitionZones::compute(&sample_batch());
+        let enc = PartitionZones::compute(&sample_batch().dict_encode_strings());
+        let (r, e) = (raw.column("s").unwrap(), enc.column("s").unwrap());
+        assert_eq!((&e.min, &e.max), (&r.min, &r.max));
+        assert_eq!(e.code_range, Some((0, 2)), "dict {{a,b,c}} spans codes 0..=2");
+        assert!(r.code_range.is_none(), "raw strings have no codes");
+        assert!(enc.column("k").unwrap().code_range.is_none());
+        // Widening (unsealed-tail append path) drops the code range.
+        let mut widened = e.clone();
+        widened.widen(r);
+        assert!(widened.code_range.is_none());
+        assert_eq!(widened.min, e.min);
+    }
+
+    #[test]
+    fn stats_over_encoded_batch_match_raw() {
+        let raw = TableStats::compute(&[sample_batch()]);
+        let enc = TableStats::compute(&[sample_batch().dict_encode_strings()]);
+        assert_eq!(enc.row_count, raw.row_count);
+        assert_eq!(enc.distinct_count("s"), raw.distinct_count("s"));
+        let (r, e) = (raw.column("s").unwrap(), enc.column("s").unwrap());
+        assert_eq!(e.min, r.min);
+        assert_eq!(e.max, r.max);
+        assert_eq!(e.max_frequency, r.max_frequency);
+        assert_eq!(e.min_frequency, r.min_frequency);
+        assert!(e.mean.is_none());
+    }
+
+    #[test]
+    fn distinct_combinations_saturates_instead_of_wrapping() {
+        let mut stats = TableStats::compute(&[sample_batch()]);
+        stats.row_count = usize::MAX;
+        let names: Vec<String> = (0..5).map(|i| format!("wide{i}")).collect();
+        for name in &names {
+            let mut c = stats.column("s").unwrap().clone();
+            c.name = name.clone();
+            c.distinct_count = usize::MAX / 2;
+            stats.columns.insert(name.clone(), c);
+        }
+        // Five ~2^63 factors overflow even u128; saturating arithmetic must
+        // land on the row-count cap, never wrap to a tiny cardinality.
+        assert_eq!(stats.distinct_combinations(&names), usize::MAX);
     }
 
     #[test]

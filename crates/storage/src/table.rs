@@ -135,6 +135,23 @@ impl TableSnapshot {
         RecordBatch::concat_refs(&refs)
     }
 
+    /// Count of `(dict-encoded, plain-utf8)` string-bearing partitions in
+    /// this snapshot, for explain output. Partitions without string columns
+    /// count toward neither; a snapshot of a string table normally reports
+    /// every sealed partition as dict and at most the unsealed tail as raw.
+    pub fn encoding_counts(&self) -> (usize, usize) {
+        let mut dict = 0usize;
+        let mut raw = 0usize;
+        for p in &self.partitions {
+            if p.has_dict_columns() {
+                dict += 1;
+            } else if p.has_plain_utf8() {
+                raw += 1;
+            }
+        }
+        (dict, raw)
+    }
+
     /// The rows at global positions `start..` as a sequence of batches
     /// (partition suffixes). Because appends only ever extend the tail, the
     /// global row order of a table is stable: position `k` refers to the same
@@ -264,13 +281,26 @@ impl Table {
     fn build(
         name: String,
         schema: SchemaRef,
-        partitions: Vec<Arc<RecordBatch>>,
+        mut partitions: Vec<Arc<RecordBatch>>,
         seal_rows: usize,
     ) -> Self {
+        let seal_rows = seal_rows.max(1);
+        // Seal-time dictionary encoding: every partition that is born sealed
+        // (non-tail, or tail at its seal bound) gets its string columns
+        // dictionary-encoded; the mutable unsealed tail stays Utf8 — the same
+        // contract as index-at-seal. Recovered partitions that are already
+        // encoded (the codec round-trips dictionaries) are left as-is.
+        let last = partitions.len().saturating_sub(1);
+        for (i, slot) in partitions.iter_mut().enumerate() {
+            let sealed = i < last || slot.num_rows() >= seal_rows;
+            if sealed && slot.has_plain_utf8() {
+                *slot = Arc::new(slot.dict_encode_strings());
+            }
+        }
         Self {
             name,
             schema: schema.clone(),
-            seal_rows: seal_rows.max(1),
+            seal_rows,
             current: RwLock::new(Arc::new(TableSnapshot::new(schema, partitions, 0))),
             append_lock: Mutex::new(()),
             stats: RwLock::new(None),
@@ -472,6 +502,25 @@ impl Table {
             new_partitions += 1;
         }
 
+        // Seal-time dictionary encoding, mirroring the index contract below:
+        // any partition that sealed during *this* append re-encodes its
+        // string columns before indexes build over it and the snapshot
+        // publishes. The new unsealed tail stays Utf8 so later appends can
+        // keep extending it in place. Zones were computed from the raw
+        // slices above, which is equivalent — encoding never changes values.
+        let old_n = old.partitions.len();
+        if old_n > 0 {
+            let tail = &mut partitions[old_n - 1];
+            if tail.num_rows() >= self.seal_rows && tail.has_plain_utf8() {
+                *tail = Arc::new(tail.dict_encode_strings());
+            }
+        }
+        for part in &mut partitions[old_n..] {
+            if part.num_rows() >= self.seal_rows && part.has_plain_utf8() {
+                *part = Arc::new(part.dict_encode_strings());
+            }
+        }
+
         // Seal-time index maintenance: sealed partitions are immutable, so
         // their index slots are carried forward `Arc`-shared; any partition
         // that sealed during *this* append (the grown tail reaching
@@ -480,7 +529,6 @@ impl Table {
         // slot and is always scanned — appends therefore never invalidate a
         // published index.
         let mut indexes = old.indexes.clone();
-        let old_n = old.partitions.len();
         for (col, slots) in indexes.iter_mut() {
             if old_n > 0 && slots.len() == old_n {
                 let tail = &partitions[old_n - 1];
@@ -937,6 +985,72 @@ mod tests {
             .map(|i| i.num_rows())
             .sum();
         assert_eq!(covered, 200, "200 rows in sealed partitions are indexed");
+    }
+
+    fn str_batch(range: std::ops::Range<i64>) -> RecordBatch {
+        const CATS: [&str; 4] = ["apple", "fig", "pear", "quince"];
+        BatchBuilder::new()
+            .column("id", range.clone().collect::<Vec<_>>())
+            .column(
+                "cat",
+                range
+                    .map(|i| CATS[(i % 4) as usize].to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn string_partitions_dict_encode_at_seal() {
+        // 100 rows over 4 partitions: everything is sealed, so everything
+        // dictionary-encodes at construction.
+        let t = Table::from_batch("t", str_batch(0..100), 4).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.encoding_counts(), (4, 0));
+        for p in snap.partitions() {
+            assert!(p.column(1).is_dict_encoded());
+            assert!(!p.column(0).is_dict_encoded(), "numeric columns untouched");
+        }
+        // Logical content is unchanged by encoding.
+        let all = t.to_batch().unwrap();
+        assert_eq!(all.row(1)[1], Value::Str("fig".to_string()));
+        assert_eq!(all.num_rows(), 100);
+    }
+
+    #[test]
+    fn append_keeps_tail_raw_and_encodes_at_seal() {
+        let t = Table::from_batch("t", str_batch(0..100), 4).unwrap();
+        // 30 appended rows: 25 seal a new partition (encoded), 5 form an
+        // unsealed Utf8 tail.
+        t.append(&str_batch(100..130)).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.encoding_counts(), (5, 1));
+        assert!(snap.partitions()[4].column(1).is_dict_encoded());
+        assert!(!snap.partitions()[5].column(1).is_dict_encoded());
+        // Growing the tail to its seal bound encodes it inside the append.
+        t.append(&str_batch(130..150)).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.encoding_counts(), (6, 0));
+        assert!(snap.partitions()[5].column(1).is_dict_encoded());
+        // Row order and values survive the mixed raw/encoded history.
+        let all = t.to_batch().unwrap();
+        for i in 0..150 {
+            assert_eq!(all.row(i)[0], Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn index_over_encoded_partition_probes_strings() {
+        let t = Table::from_batch("t", str_batch(0..100), 4).unwrap();
+        t.create_index("cat").unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.encoding_counts().0, 4);
+        let slots = snap.index("cat").unwrap();
+        // Partition 0 holds rows 0..25; "apple" appears at local rows 0,4,8...
+        let hits = slots[0].as_ref().unwrap().probe_eq(&Value::Str("apple".into()));
+        let covered: usize = hits.iter().map(|(lo, hi)| (hi - lo) as usize).sum();
+        assert_eq!(covered, 7, "25 rows, every 4th is apple");
     }
 
     #[test]

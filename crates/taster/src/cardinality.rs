@@ -30,7 +30,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use taster_engine::cost::CardinalityProvider;
 use taster_engine::BinaryOp;
-use taster_storage::{Catalog, Value};
+use taster_storage::{Catalog, ColumnData, Value};
 use taster_synopses::countmin::CountMinSketch;
 
 /// Frequency summary of one column, built from one table snapshot.
@@ -56,6 +56,38 @@ impl ColumnSummary {
         let mut rows = 0usize;
         for part in snapshot.partitions() {
             let col = part.column_by_name(column).ok()?;
+            if let ColumnData::Dict { codes, dict } = col {
+                // Encoded partitions fold one sketch update per *distinct*
+                // value instead of one per row: histogram the codes, then
+                // add each dictionary string once with its count. The dict
+                // is sorted, so the smallest/largest used codes are the
+                // partition's min/max.
+                let mut hist = vec![0u64; dict.len()];
+                for &c in codes {
+                    hist[c as usize] += 1;
+                }
+                for (code, &n) in hist.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let v = Value::Str(dict.get(code as u32).to_string());
+                    countmin.add(&v, n as f64);
+                    if min
+                        .as_ref()
+                        .is_none_or(|m| v.total_cmp(m) == std::cmp::Ordering::Less)
+                    {
+                        min = Some(v.clone());
+                    }
+                    if max
+                        .as_ref()
+                        .is_none_or(|m| v.total_cmp(m) == std::cmp::Ordering::Greater)
+                    {
+                        max = Some(v);
+                    }
+                }
+                rows += codes.len();
+                continue;
+            }
             for i in 0..col.len() {
                 let v = col.value(i);
                 if v.is_null() {
@@ -229,6 +261,31 @@ mod tests {
             .unwrap();
         cat.register(Table::from_batch("t", batch, 4).unwrap());
         cat
+    }
+
+    #[test]
+    fn dict_summaries_match_raw_strings() {
+        // Same string column twice: one table sealed into dict-encoded
+        // partitions, one left raw (seal threshold above the row count).
+        // Estimates must come out identical either way.
+        let cats = ["ash", "beech", "cedar", "fig"];
+        let n = 4_000usize;
+        let col: Vec<String> = (0..n).map(|i| cats[i * i % 4].to_string()).collect();
+        let cat = Catalog::new();
+        let batch = BatchBuilder::new().column("c", col).build().unwrap();
+        cat.register(Table::from_batch("enc", batch.clone(), 4).unwrap());
+        cat.register(Table::from_batch("raw", batch, n + 1).unwrap());
+        let (dicts, plain) = cat.table("enc").unwrap().snapshot().encoding_counts();
+        assert!(dicts > 0 && plain == 0, "enc table should be fully encoded");
+
+        let cache = CardinalityCache::new();
+        let cards = SynopsisCardinality::new(&cat, &cache, 0.2);
+        for lit in ["ash", "beech", "cedar", "fig", "absent"] {
+            let v = Value::Str(lit.to_string());
+            let e = cards.point_selectivity("enc", "c", &v).unwrap();
+            let r = cards.point_selectivity("raw", "c", &v).unwrap();
+            assert_eq!(e, r, "point estimate diverged for {lit:?}");
+        }
     }
 
     #[test]

@@ -89,6 +89,11 @@ pub struct PlannerOutput {
     /// All approximate candidates (possibly empty for non-approximable
     /// queries).
     pub candidates: Vec<CandidatePlan>,
+    /// Per-table partition encodings at plan time, as `(table, dict, raw)`
+    /// counts of string-bearing partitions. Tables with no string columns
+    /// are omitted. Lets EXPLAIN report whether scans will run over
+    /// dictionary codes or raw strings.
+    pub scan_encodings: Vec<(String, usize, usize)>,
 }
 
 impl PlannerOutput {
@@ -149,6 +154,9 @@ impl PlannerOutput {
                 c.cost_ns / 1e6,
                 paths(&c.plan)
             ));
+        }
+        for (table, dict, raw) in &self.scan_encodings {
+            out.push_str(&format!("scan encoding: {table} dict({dict})/raw({raw})\n"));
         }
         out
     }
@@ -211,12 +219,22 @@ impl Planner {
             };
         }
 
+        let scan_encodings = query
+            .tables()
+            .into_iter()
+            .filter_map(|t| {
+                let (dict, raw) = catalog.table(&t).ok()?.snapshot().encoding_counts();
+                (dict + raw > 0).then_some((t, dict, raw))
+            })
+            .collect();
+
         Ok(PlannerOutput {
             query: query.clone(),
             exact_plan,
             exact_cost_ns: exact.cost_ns,
             exact_rows: exact.rows,
             candidates,
+            scan_encodings,
         })
     }
 
@@ -993,6 +1011,40 @@ mod tests {
 
     fn planner() -> Planner {
         Planner::new(TasterConfig::default(), IoModel::default())
+    }
+
+    #[test]
+    fn explain_reports_scan_encodings_for_string_tables() {
+        let cat = catalog();
+        // A string-bearing table sealed into encoded partitions plus one
+        // raw unsealed tail.
+        let n = 90usize;
+        let items = BatchBuilder::new()
+            .column("i_id", (0..n as i64).collect::<Vec<_>>())
+            .column(
+                "i_kind",
+                (0..n)
+                    .map(|i| ["bolt", "nut", "washer"][i % 3].to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .build()
+            .unwrap();
+        // 4 partitions of 90 rows seal at ceil(90/4) = 23 rows: the first
+        // three (23 rows each) encode, the 21-row tail stays raw.
+        cat.register(Table::from_batch("items", items, 4).unwrap());
+
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let q = parse_query("SELECT COUNT(*) FROM items WHERE i_kind = 'nut'").unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        assert_eq!(out.scan_encodings, vec![("items".to_string(), 3, 1)]);
+        assert!(out.explain().contains("scan encoding: items dict(3)/raw(1)"));
+
+        // Tables without string columns stay silent.
+        let q = parse_query("SELECT COUNT(*) FROM orders").unwrap();
+        let out = planner().plan(&q, &cat, &mut md, &store).unwrap();
+        assert!(out.scan_encodings.is_empty());
+        assert!(!out.explain().contains("scan encoding"));
     }
 
     #[test]

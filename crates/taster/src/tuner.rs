@@ -604,6 +604,7 @@ mod tests {
                 leases: vec![],
                 est_rows: 0.0,
             }],
+            scan_encodings: vec![],
         };
 
         let mut tuner = Tuner::new(&TasterConfig::default());
@@ -637,6 +638,7 @@ mod tests {
             exact_cost_ns: 100.0,
             exact_rows: 1.0,
             candidates: vec![],
+            scan_encodings: vec![],
         };
         for _ in 0..40 {
             record(&mut md, 100.0, vec![(vec![s], 10.0)]);

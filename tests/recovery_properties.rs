@@ -380,6 +380,62 @@ fn seeded_fault_schedules_never_corrupt_recovery() {
 
 /// Mirrors the README "Durable warehouse" quickstart line for line (on a real
 /// temp directory, as a reader would run it) so the snippet can't rot.
+/// Dictionary-encoded string partitions survive the durable round-trip: the
+/// checkpoint writes the codes + dictionary wire form (not decoded strings),
+/// recovery rebuilds the table with its sealed partitions still encoded, and
+/// a string group-by plus a string filter answer byte-identically across the
+/// crash — including appends landed on the raw unsealed tail beforehand.
+#[test]
+fn dict_encoding_survives_durable_round_trip() {
+    const KINDS: [&str; 4] = ["ash", "beech", "cedar", "fig"];
+    let kinds_rows = |lo: usize, hi: usize| {
+        BatchBuilder::new()
+            .column("o_id", (lo as i64..hi as i64).collect::<Vec<_>>())
+            .column(
+                "o_kind",
+                (lo..hi).map(|i| KINDS[i * i % 4].to_string()).collect::<Vec<_>>(),
+            )
+            .column("o_price", (lo..hi).map(|i| (i % 97) as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    };
+    const GROUP_Q: &str = "SELECT o_kind, SUM(o_price) FROM orders GROUP BY o_kind";
+    const FILTER_Q: &str =
+        "SELECT o_kind, COUNT(*) FROM orders WHERE o_kind = 'beech' GROUP BY o_kind";
+
+    let vfs = MemVfs::new();
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("orders", kinds_rows(0, 8_000), 8).unwrap());
+    let cat = Arc::new(cat);
+    let cfg = config(&cat);
+
+    let (group_before, filter_before) = {
+        let eng = TasterEngine::open_durable_with_vfs(cat.clone(), cfg, &vfs, dir()).unwrap();
+        // Appends below the seal bound leave a raw tail next to the eight
+        // encoded partitions — the mixed layout must round-trip too.
+        cat.table("orders").unwrap().append(&kinds_rows(8_000, 8_300)).unwrap();
+        let (dicts, plain) = cat.table("orders").unwrap().snapshot().encoding_counts();
+        assert!(dicts >= 8 && plain >= 1, "want a mixed layout, got ({dicts}, {plain})");
+        (
+            flat(&eng.execute_sql(GROUP_Q).unwrap()),
+            flat(&eng.execute_sql(FILTER_Q).unwrap()),
+        )
+    };
+    drop(cat);
+
+    let (eng, report) = TasterEngine::recover_with_vfs(cfg, &vfs, dir()).unwrap();
+    assert_eq!(report.tables, 1);
+    assert_eq!(report.rows, 8_300);
+    let snap = eng.catalog_handle().table("orders").unwrap().snapshot();
+    let (dicts, plain) = snap.encoding_counts();
+    assert!(
+        dicts >= 8,
+        "sealed partitions must come back dict-encoded, got ({dicts}, {plain})"
+    );
+    assert_eq!(group_before, flat(&eng.execute_sql(GROUP_Q).unwrap()));
+    assert_eq!(filter_before, flat(&eng.execute_sql(FILTER_Q).unwrap()));
+}
+
 #[test]
 fn readme_persistence_quickstart() {
     let dir = std::env::temp_dir().join(format!(
