@@ -1,0 +1,187 @@
+//! Micro-benchmarks of the tombstone / compaction path:
+//!
+//! * `scan/filtered_*` — a selective filtered scan (`v < 10.0`, ~1%
+//!   selectivity) over a table whose sealed partitions are 75% dead, before
+//!   vs after compaction. Predicate kernels evaluate over *physical* rows
+//!   before the tombstone mask ANDs in, so the tombstoned leg pays 4× the
+//!   kernel work for the same answer — this is the scan cost compaction
+//!   actually removes.
+//! * `scan/full_*` — the same comparison for an unfiltered materializing
+//!   scan; both legs copy out the identical 250k live rows, so the gap
+//!   here is only the mask-filter materialization, not 4×.
+//! * `agg/*` — the same comparison through a GROUP BY SUM, where kernel
+//!   work dominates and the win is the smaller physical row count.
+//! * `compact/sweep_75pct_dead` — the cost of `Table::compact` itself:
+//!   re-materializing live rows, re-encoding the dictionary column,
+//!   rebuilding zones.
+//!
+//! Before any measurement a verification pass asserts the PR's acceptance
+//! criteria: compaction changes no exact answer (bit-identical GROUP BY
+//! results before/after), and the compacted filtered scan is ≥2× faster
+//! than the tombstoned one — the numbers are only recorded if the contract
+//! holds.
+//!
+//! Run `TASTER_CRITERION_JSON=crates/bench/baselines/compaction.json cargo
+//! bench -p taster-bench --bench compaction` to refresh the baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use taster_engine::physical::execute;
+use taster_engine::{parse_query, BinaryOp, ExecutionContext, Expr, LogicalPlan};
+use taster_storage::batch::BatchBuilder;
+use taster_storage::{Catalog, RecordBatch, Table};
+
+const ROWS: usize = 1_000_000;
+const PARTITIONS: usize = 16;
+const AGG_SQL: &str = "SELECT grp, SUM(v) FROM t GROUP BY grp";
+
+fn base_batch() -> RecordBatch {
+    BatchBuilder::new()
+        .column("grp", (0..ROWS as i64).map(|i| i % 8).collect::<Vec<_>>())
+        .column("v", (0..ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .column(
+            "cat",
+            (0..ROWS)
+                .map(|i| ["alpha", "beta", "gamma", "delta"][i % 4])
+                .collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap()
+}
+
+/// Every partition 75% dead: positions `i % 4 != 0` are tombstoned
+/// round-robin, so dead rows spread evenly and every sealed partition
+/// crosses any reasonable compaction threshold.
+fn tombstoned_table() -> Table {
+    let table = Table::from_batch("t", base_batch(), PARTITIONS).unwrap();
+    let dead: Vec<usize> = (0..ROWS).filter(|i| i % 4 != 0).collect();
+    table.delete_rows(&dead).unwrap();
+    table
+}
+
+fn catalog_of(table: Table) -> Arc<Catalog> {
+    let cat = Catalog::new();
+    cat.register(table);
+    Arc::new(cat)
+}
+
+fn scan_plan(filter: Option<Expr>) -> LogicalPlan {
+    LogicalPlan::Scan {
+        table: "t".into(),
+        filter,
+        projection: None,
+        access: None,
+    }
+}
+
+/// ~1% selectivity; every partition's `v` zone spans the whole domain, so
+/// neither leg can prune it away — the kernels must run.
+fn selective_filter() -> Expr {
+    Expr::binary(Expr::col("v"), BinaryOp::Lt, Expr::lit(10.0f64))
+}
+
+fn exact_groups(cat: &Arc<Catalog>) -> Vec<(i64, f64)> {
+    let plan = parse_query(AGG_SQL).unwrap().to_exact_plan(cat).unwrap();
+    let result = execute(&plan, &ExecutionContext::new(cat.clone())).unwrap();
+    let mut groups: Vec<(i64, f64)> = result
+        .groups
+        .iter()
+        .map(|g| (g.key[0].as_i64().unwrap(), g.aggregates[0].value))
+        .collect();
+    groups.sort_by_key(|&(k, _)| k);
+    groups
+}
+
+/// Best-of-5 wall time of the selective filtered scan.
+fn scan_secs(cat: &Arc<Catalog>) -> f64 {
+    let plan = scan_plan(Some(selective_filter()));
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        black_box(execute(&plan, &ExecutionContext::new(cat.clone())).unwrap());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The acceptance criteria, checked before anything is recorded.
+fn verify(tombstoned: &Arc<Catalog>, compacted: &Arc<Catalog>) {
+    let before = exact_groups(tombstoned);
+    let after = exact_groups(compacted);
+    assert_eq!(
+        before, after,
+        "compaction changed an exact GROUP BY answer (bit-level)"
+    );
+
+    let tomb = scan_secs(tombstoned);
+    let comp = scan_secs(compacted);
+    let speedup = tomb / comp;
+    assert!(
+        speedup >= 2.0,
+        "compacted filtered-scan speedup {speedup:.2}x < 2x \
+         (tombstoned {tomb:.4}s, compacted {comp:.4}s)"
+    );
+    eprintln!("verified: answers identical, compacted filtered scan {speedup:.1}x faster");
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let tombstoned = catalog_of(tombstoned_table());
+    let compacted = {
+        let table = tombstoned_table();
+        table.compact(0.5).unwrap();
+        catalog_of(table)
+    };
+    verify(&tombstoned, &compacted);
+
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(20);
+    group.bench_function("filtered_tombstoned_75pct_dead", |b| {
+        let plan = scan_plan(Some(selective_filter()));
+        b.iter(|| black_box(execute(&plan, &ExecutionContext::new(tombstoned.clone())).unwrap()))
+    });
+    group.bench_function("filtered_compacted", |b| {
+        let plan = scan_plan(Some(selective_filter()));
+        b.iter(|| black_box(execute(&plan, &ExecutionContext::new(compacted.clone())).unwrap()))
+    });
+    group.bench_function("full_tombstoned_75pct_dead", |b| {
+        let plan = scan_plan(None);
+        b.iter(|| black_box(execute(&plan, &ExecutionContext::new(tombstoned.clone())).unwrap()))
+    });
+    group.bench_function("full_compacted", |b| {
+        let plan = scan_plan(None);
+        b.iter(|| black_box(execute(&plan, &ExecutionContext::new(compacted.clone())).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("agg");
+    group.sample_size(20);
+    group.bench_function("tombstoned_75pct_dead", |b| {
+        let plan = parse_query(AGG_SQL).unwrap().to_exact_plan(&tombstoned).unwrap();
+        b.iter(|| black_box(execute(&plan, &ExecutionContext::new(tombstoned.clone())).unwrap()))
+    });
+    group.bench_function("compacted", |b| {
+        let plan = parse_query(AGG_SQL).unwrap().to_exact_plan(&compacted).unwrap();
+        b.iter(|| black_box(execute(&plan, &ExecutionContext::new(compacted.clone())).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("compact");
+    group.sample_size(10);
+    group.bench_function("sweep_75pct_dead", |b| {
+        b.iter_batched(
+            tombstoned_table,
+            |table| {
+                black_box(table.compact(0.5).unwrap());
+                table
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

@@ -49,4 +49,6 @@ pub use logical::{
 pub use optimizer::index_access_path;
 pub use result::{GroupResult, QueryResult};
 pub use shared_scan::{SharedScanRegistry, SharedScanStats};
-pub use sql::{parse_query, SelectQuery};
+pub use sql::{
+    parse_query, parse_statement, DeleteStatement, SelectQuery, Statement, UpdateStatement,
+};

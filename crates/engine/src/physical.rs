@@ -260,11 +260,28 @@ fn exec_scan(
                             (part.size_bytes() as f64 * rows as f64 / part.num_rows() as f64)
                                 as usize
                         };
-                        let mask = taster_storage::index::ranges_to_mask(&ranges, part.num_rows());
+                        let mut mask =
+                            taster_storage::index::ranges_to_mask(&ranges, part.num_rows());
+                        // Indexes cover every physical row, tombstoned or not
+                        // (they are rebuilt only at compaction); masking the
+                        // dead rows out here keeps the probed set a superset
+                        // of exactly the live matches. The probe is still
+                        // charged for the physical rows it touched.
+                        if let Some(tomb) = snapshot.tombstone(i) {
+                            mask.and_not_with(tomb);
+                        }
                         (part.filter_mask(&mask), rows, bytes)
                     }
-                    // No usable index for this partition: scan it whole.
-                    None => (part.clone(), part.num_rows(), part.size_bytes()),
+                    // No usable index for this partition: scan it whole
+                    // (minus tombstoned rows).
+                    None => match snapshot.tombstone(i) {
+                        Some(tomb) => (
+                            part.filter_mask(&tomb.complement()),
+                            part.num_rows(),
+                            part.size_bytes(),
+                        ),
+                        None => (part.clone(), part.num_rows(), part.size_bytes()),
+                    },
                 };
                 // The probed set is a superset (e.g. an IndexAnd with one
                 // unindexed conjunct); the full predicate always re-runs.
@@ -300,24 +317,39 @@ fn exec_scan(
         }
 
         let batch = if filter.is_none() && proj_names.is_none() {
-            // Pass-through scan: one pre-reserved copy, no per-partition
-            // clones.
-            let refs: Vec<&RecordBatch> =
-                selected.iter().map(|&i| partitions[i].as_ref()).collect();
-            RecordBatch::concat_refs(&refs)?
+            if snapshot.has_tombstones() {
+                // With no filter every partition survived pruning, so the
+                // snapshot's live view is exactly the scan output.
+                let live = snapshot.live_batches();
+                let refs: Vec<&RecordBatch> = live.iter().map(|c| &**c).collect();
+                RecordBatch::concat_refs(&refs)?
+            } else {
+                // Pass-through scan: one pre-reserved copy, no per-partition
+                // clones.
+                let refs: Vec<&RecordBatch> =
+                    selected.iter().map(|&i| partitions[i].as_ref()).collect();
+                RecordBatch::concat_refs(&refs)?
+            }
         } else {
             // Morsel-driven scan: one filter+project task per surviving
-            // partition.
+            // partition. Tombstones AND-NOT into the predicate mask before
+            // the filter kernel materializes anything, so deleted rows never
+            // reach an operator.
             let threads = worker_threads(rows_scanned);
             let pieces: Vec<Result<RecordBatch, EngineError>> =
                 parallel_map(selected.len(), threads, |k| {
-                    let part = partitions[selected[k]].as_ref();
-                    let mut batch = match filter {
-                        Some(f) => {
-                            let mask = f.evaluate_predicate(part)?;
+                    let i = selected[k];
+                    let part = partitions[i].as_ref();
+                    let mut batch = match (filter, snapshot.tombstone(i)) {
+                        (Some(f), tomb) => {
+                            let mut mask = f.evaluate_predicate(part)?;
+                            if let Some(tomb) = tomb {
+                                mask.and_not_with(tomb);
+                            }
                             part.filter_mask(&mask)
                         }
-                        None => part.clone(),
+                        (None, Some(tomb)) => part.filter_mask(&tomb.complement()),
+                        (None, None) => part.clone(),
                     };
                     if let Some(names) = &proj_names {
                         batch = batch.project(names)?;
@@ -494,8 +526,11 @@ fn resolve_sketch(
             let snapshot = t.snapshot();
             state.metrics.base_rows_scanned += snapshot.num_rows();
             state.metrics.base_bytes_scanned += snapshot.size_bytes();
+            // Build from the live view: CountMin cannot subtract, so folding
+            // in tombstoned rows would bake their mass into every estimate
+            // until the next rebuild.
             let sk = SketchJoin::build(
-                snapshot.partitions(),
+                &snapshot.live_batches(),
                 key_columns.clone(),
                 value_column.clone(),
                 0.0005,
@@ -1238,6 +1273,114 @@ mod tests {
                 assert_eq!(a.sample_rows, want.sample_rows);
             }
         }
+    }
+
+    #[test]
+    fn scans_exclude_tombstoned_rows_on_every_path() {
+        // Deletes land in sealed partitions (tombstones) and the unsealed
+        // tail (in-place): all three scan paths must agree on the live view.
+        let cat = catalog();
+        let orders = cat.table("orders").unwrap();
+        orders.create_index("o_cust").unwrap();
+        // Delete customer 3's orders plus an arbitrary spread of ids.
+        let dead: Vec<usize> = (0..1000)
+            .filter(|i| i % 10 == 3 || i % 97 == 0)
+            .collect();
+        orders.delete_rows(&dead).unwrap();
+        let ctx = ExecutionContext::new(cat);
+        let live = 1000 - dead.len();
+
+        // Pass-through (no filter, no projection).
+        let plan = LogicalPlan::Scan {
+            table: "orders".into(),
+            filter: None,
+            projection: None,
+            access: None,
+        };
+        let res = execute(&plan, &ctx).unwrap();
+        assert_eq!(res.rows.num_rows(), live);
+
+        // Morsel path (filter, zone-pruned).
+        let filt = Expr::binary(Expr::col("o_cust"), crate::expr::BinaryOp::Eq, Expr::lit(3i64));
+        let plan = LogicalPlan::Scan {
+            table: "orders".into(),
+            filter: Some(filt.clone()),
+            projection: None,
+            access: None,
+        };
+        let res = execute(&plan, &ctx).unwrap();
+        assert_eq!(res.rows.num_rows(), 0, "all of customer 3 was deleted");
+
+        // Index path over the same predicate: identical answer, and the
+        // projection-only morsel leg (no filter) also excludes dead rows.
+        let plan = LogicalPlan::Scan {
+            table: "orders".into(),
+            filter: Some(filt),
+            projection: None,
+            access: Some(AccessPath::IndexEq {
+                column: "o_cust".into(),
+                value: Value::Int(3),
+            }),
+        };
+        let res = execute(&plan, &ctx).unwrap();
+        assert_eq!(res.rows.num_rows(), 0);
+        let plan = LogicalPlan::Scan {
+            table: "orders".into(),
+            filter: None,
+            projection: Some(vec!["o_id".into()]),
+            access: None,
+        };
+        let res = execute(&plan, &ctx).unwrap();
+        assert_eq!(res.rows.num_rows(), live);
+
+        // Surviving customer: the index probe is a physical-row superset,
+        // re-filtered down to live matches only.
+        let plan = LogicalPlan::Scan {
+            table: "orders".into(),
+            filter: Some(Expr::binary(
+                Expr::col("o_cust"),
+                crate::expr::BinaryOp::Eq,
+                Expr::lit(4i64),
+            )),
+            projection: None,
+            access: Some(AccessPath::IndexEq {
+                column: "o_cust".into(),
+                value: Value::Int(4),
+            }),
+        };
+        let res = execute(&plan, &ctx).unwrap();
+        let want = (0..1000).filter(|i| i % 10 == 4 && i % 97 != 0).count();
+        assert_eq!(res.rows.num_rows(), want);
+    }
+
+    #[test]
+    fn sketch_build_skips_tombstoned_rows() {
+        let cat = catalog();
+        // Delete every order of customers 0..5: the sketch must not count
+        // their mass when built fresh from the snapshot.
+        let dead: Vec<usize> = (0..1000).filter(|i| i % 10 < 5).collect();
+        cat.table("orders").unwrap().delete_rows(&dead).unwrap();
+        let ctx = ExecutionContext::new(cat);
+        let plan = LogicalPlan::SketchJoinAgg {
+            probe: Box::new(LogicalPlan::Scan {
+                table: "customers".into(),
+                filter: None,
+                projection: None,
+                access: None,
+            }),
+            probe_keys: vec!["c_id".into()],
+            sketch: SketchRef::Build {
+                table: "orders".into(),
+                key_columns: vec!["o_cust".into()],
+                value_column: Some("o_price".into()),
+            },
+            synopsis_id: 9,
+            group_by: vec![],
+            aggregates: vec![AggExpr::new(AggFunc::Count, None)],
+        };
+        let res = execute(&plan, &ctx).unwrap();
+        let total: f64 = res.groups.iter().map(|g| g.aggregates[0].value).sum();
+        assert!((total - 500.0).abs() / 500.0 < 0.05, "count {total} should track live rows");
     }
 
     #[test]

@@ -194,6 +194,54 @@ pub fn parse_query(sql: &str) -> Result<SelectQuery, EngineError> {
     Parser::new(sql)?.parse()
 }
 
+/// A parsed `DELETE FROM t [WHERE col OP literal [AND ...]]` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeleteStatement {
+    /// The mutated table.
+    pub table: String,
+    /// WHERE predicates (implicitly AND-ed); empty means every row.
+    pub predicates: Vec<Expr>,
+    /// The original SQL text.
+    pub text: String,
+}
+
+/// A parsed `UPDATE t SET col = literal [, ...] [WHERE ...]` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStatement {
+    /// The mutated table.
+    pub table: String,
+    /// `SET` assignments in order: `(column, new value)`.
+    pub assignments: Vec<(String, Value)>,
+    /// WHERE predicates (implicitly AND-ed); empty means every row.
+    pub predicates: Vec<Expr>,
+    /// The original SQL text.
+    pub text: String,
+}
+
+/// Any statement the front end accepts: queries plus the two mutations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// A SELECT query (possibly approximate).
+    Select(SelectQuery),
+    /// A DELETE mutation.
+    Delete(DeleteStatement),
+    /// An UPDATE mutation.
+    Update(UpdateStatement),
+}
+
+/// Parse a SQL string into a [`Statement`], dispatching on the leading
+/// keyword (`SELECT` / `DELETE` / `UPDATE`).
+pub fn parse_statement(sql: &str) -> Result<Statement, EngineError> {
+    let mut parser = Parser::new(sql)?;
+    if parser.peek_keyword("DELETE") {
+        parser.parse_delete().map(Statement::Delete)
+    } else if parser.peek_keyword("UPDATE") {
+        parser.parse_update().map(Statement::Update)
+    } else {
+        parser.parse().map(Statement::Select)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Tokenizer
 // ---------------------------------------------------------------------------
@@ -327,25 +375,11 @@ impl Parser {
         self.expect_keyword("SELECT")?;
         let select = self.parse_select_list()?;
         self.expect_keyword("FROM")?;
-        let from = match self.next() {
-            Some(Token::Ident(s)) => s.to_lowercase(),
-            other => {
-                return Err(EngineError::Parse(format!(
-                    "expected table name after FROM, found {other:?}"
-                )))
-            }
-        };
+        let from = self.parse_table_name("FROM")?;
         let mut joins = Vec::new();
         while self.peek_keyword("JOIN") {
             self.pos += 1;
-            let table = match self.next() {
-                Some(Token::Ident(s)) => s.to_lowercase(),
-                other => {
-                    return Err(EngineError::Parse(format!(
-                        "expected table name after JOIN, found {other:?}"
-                    )))
-                }
-            };
+            let table = self.parse_table_name("JOIN")?;
             let mut conditions = Vec::new();
             if self.peek_keyword("ON") {
                 self.pos += 1;
@@ -375,18 +409,7 @@ impl Parser {
             joins.push(JoinSpec { table, conditions });
         }
 
-        let mut predicates = Vec::new();
-        if self.peek_keyword("WHERE") {
-            self.pos += 1;
-            loop {
-                predicates.push(self.parse_predicate()?);
-                if self.peek_keyword("AND") {
-                    self.pos += 1;
-                } else {
-                    break;
-                }
-            }
-        }
+        let predicates = self.parse_where_clause()?;
 
         let mut group_by = Vec::new();
         if self.peek_keyword("GROUP") {
@@ -419,11 +442,7 @@ impl Parser {
             None
         };
 
-        if let Some(t) = self.peek() {
-            if !matches!(t, Token::Symbol(s) if s == ";") {
-                return Err(EngineError::Parse(format!("unexpected trailing token {t:?}")));
-            }
-        }
+        self.expect_end()?;
 
         Ok(SelectQuery {
             select,
@@ -501,22 +520,99 @@ impl Parser {
                 )))
             }
         };
-        let literal = match self.next() {
+        let literal = self.parse_literal()?;
+        Ok(Expr::binary(Expr::col(column), op, Expr::Literal(literal)))
+    }
+
+    fn parse_literal(&mut self) -> Result<Value, EngineError> {
+        match self.next() {
             Some(Token::Number(n)) => {
                 if n.fract() == 0.0 {
-                    Value::Int(n as i64)
+                    Ok(Value::Int(n as i64))
                 } else {
-                    Value::Float(n)
+                    Ok(Value::Float(n))
                 }
             }
-            Some(Token::StringLit(s)) => Value::Str(s),
-            other => {
-                return Err(EngineError::Parse(format!(
-                    "expected literal, found {other:?}"
-                )))
+            Some(Token::StringLit(s)) => Ok(Value::Str(s)),
+            other => Err(EngineError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_table_name(&mut self, after: &str) -> Result<String, EngineError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.to_lowercase()),
+            other => Err(EngineError::Parse(format!(
+                "expected table name after {after}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_where_clause(&mut self) -> Result<Vec<Expr>, EngineError> {
+        let mut predicates = Vec::new();
+        if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            loop {
+                predicates.push(self.parse_predicate()?);
+                if self.peek_keyword("AND") {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
             }
-        };
-        Ok(Expr::binary(Expr::col(column), op, Expr::Literal(literal)))
+        }
+        Ok(predicates)
+    }
+
+    fn expect_end(&mut self) -> Result<(), EngineError> {
+        if let Some(t) = self.peek() {
+            if !matches!(t, Token::Symbol(s) if s == ";") {
+                return Err(EngineError::Parse(format!(
+                    "unexpected trailing token {t:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_delete(&mut self) -> Result<DeleteStatement, EngineError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.parse_table_name("FROM")?;
+        let predicates = self.parse_where_clause()?;
+        self.expect_end()?;
+        Ok(DeleteStatement {
+            table,
+            predicates,
+            text: self.text.clone(),
+        })
+    }
+
+    fn parse_update(&mut self) -> Result<UpdateStatement, EngineError> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.parse_table_name("UPDATE")?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.parse_ident()?;
+            self.expect_symbol("=")?;
+            let value = self.parse_literal()?;
+            assignments.push((column, value));
+            if matches!(self.peek(), Some(Token::Symbol(s)) if s == ",") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let predicates = self.parse_where_clause()?;
+        self.expect_end()?;
+        Ok(UpdateStatement {
+            table,
+            assignments,
+            predicates,
+            text: self.text.clone(),
+        })
     }
 
     fn parse_percent(&mut self) -> Result<f64, EngineError> {
@@ -673,5 +769,59 @@ mod tests {
         let plan = q.to_exact_plan(&catalog).unwrap();
         assert!(matches!(plan, LogicalPlan::Project { .. }));
         assert!(!q.is_approximable());
+    }
+
+    #[test]
+    fn parses_delete_statement() {
+        let Statement::Delete(d) =
+            parse_statement("DELETE FROM Orders WHERE o_id < 100 AND o_flag = 3;").unwrap()
+        else {
+            panic!("expected a DELETE")
+        };
+        assert_eq!(d.table, "orders");
+        assert_eq!(d.predicates.len(), 2);
+        assert_eq!(
+            d.predicates[0],
+            Expr::binary(Expr::col("o_id"), BinaryOp::Lt, Expr::Literal(Value::Int(100)))
+        );
+
+        // WHERE is optional: a bare DELETE targets every row.
+        let Statement::Delete(all) = parse_statement("DELETE FROM orders").unwrap() else {
+            panic!("expected a DELETE")
+        };
+        assert!(all.predicates.is_empty());
+    }
+
+    #[test]
+    fn parses_update_statement() {
+        let Statement::Update(u) = parse_statement(
+            "UPDATE orders SET o_price = 9.5, o_status = 'shipped' WHERE o_id = 7",
+        )
+        .unwrap() else {
+            panic!("expected an UPDATE")
+        };
+        assert_eq!(u.table, "orders");
+        assert_eq!(
+            u.assignments,
+            vec![
+                ("o_price".to_string(), Value::Float(9.5)),
+                ("o_status".to_string(), Value::Str("shipped".to_string())),
+            ]
+        );
+        assert_eq!(u.predicates.len(), 1);
+    }
+
+    #[test]
+    fn parse_statement_falls_back_to_select() {
+        let Statement::Select(q) =
+            parse_statement("SELECT COUNT(*) FROM orders").unwrap()
+        else {
+            panic!("expected a SELECT")
+        };
+        assert_eq!(q.from, "orders");
+        // Malformed mutations are rejected, not silently parsed as queries.
+        assert!(parse_statement("DELETE orders").is_err());
+        assert!(parse_statement("UPDATE orders WHERE o_id = 1").is_err());
+        assert!(parse_statement("UPDATE orders SET o_id = 1 GARBAGE").is_err());
     }
 }

@@ -30,9 +30,9 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-use taster_core::engine::{TasterEngine, TasterResult};
+use taster_core::engine::{MutationReport, TasterEngine, TasterResult};
 use taster_core::SynopsisId;
-use taster_engine::{parse_query, EngineError};
+use taster_engine::{parse_statement, EngineError, Statement};
 
 use crate::admission::{AdmissionController, AdmissionStats, Permit};
 use crate::proto::{GroupRow, QueryReply, RejectKind, Request, Response};
@@ -91,6 +91,23 @@ fn classify(err: &EngineError) -> RejectKind {
     match err {
         EngineError::Parse(_) => RejectKind::Sql,
         _ => RejectKind::Internal,
+    }
+}
+
+fn mutation_response(verb: &str, outcome: Result<MutationReport, EngineError>) -> Response {
+    match outcome {
+        Ok(report) => Response::Reply(QueryReply {
+            plan: format!("{verb} via tombstones (table v{})", report.table_version),
+            approximate: false,
+            rows: report.rows_affected,
+            groups: Vec::new(),
+            simulated_secs: 0.0,
+            explain: None,
+        }),
+        Err(err) => Response::Reject {
+            kind: classify(&err),
+            message: err.to_string(),
+        },
     }
 }
 
@@ -172,20 +189,24 @@ impl SessionService {
         // Cheap pre-validation on the session thread: a request that cannot
         // run must not occupy a worker. The permit drops on every early
         // return, releasing the admission slot.
-        let query = match parse_query(&request.sql) {
-            Ok(query) => query,
+        match parse_statement(&request.sql) {
+            // Mutations carry no accuracy clause, so only queries are
+            // checked against the tenant's error budget.
+            Ok(Statement::Select(query)) => {
+                if let Err(message) = self.tenants.check_error_budget(&request.tenant, &query) {
+                    return Response::Reject {
+                        kind: RejectKind::ErrorBudget,
+                        message,
+                    };
+                }
+            }
+            Ok(Statement::Delete(_) | Statement::Update(_)) => {}
             Err(err) => {
                 return Response::Reject {
                     kind: RejectKind::Sql,
                     message: err.to_string(),
                 }
             }
-        };
-        if let Err(message) = self.tenants.check_error_budget(&request.tenant, &query) {
-            return Response::Reject {
-                kind: RejectKind::ErrorBudget,
-                message,
-            };
         }
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
@@ -217,6 +238,26 @@ impl SessionService {
             permit,
             reply,
         } = job;
+        // Mutations bypass the query loop entirely: no planning, no synopsis
+        // accounting — the engine corrects/schedules synopsis maintenance on
+        // its own. (submit() already validated the statement.)
+        match parse_statement(&request.sql) {
+            Ok(Statement::Delete(d)) => {
+                let outcome = self.engine.delete_where(&d.table, &d.predicates);
+                let response = mutation_response("delete", outcome);
+                drop(permit);
+                let _ = reply.send(response);
+                return;
+            }
+            Ok(Statement::Update(u)) => {
+                let outcome = self.engine.update_where(&u.table, &u.assignments, &u.predicates);
+                let response = mutation_response("update", outcome);
+                drop(permit);
+                let _ = reply.send(response);
+                return;
+            }
+            _ => {}
+        }
         let outcome = if request.explain {
             self.engine.execute_sql_explained(&request.sql)
         } else {

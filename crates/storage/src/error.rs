@@ -20,6 +20,11 @@ pub enum StorageError {
     /// Persistent data failed validation: a CRC mismatch, a truncated frame,
     /// an unknown record tag, or a decoded value that violates an invariant.
     Corrupt(String),
+    /// An optimistic mutation lost its race: the table's physical layout
+    /// changed (compaction, in-place tail delete) between the snapshot the
+    /// caller resolved row positions against and the mutation itself.
+    /// Re-resolve against a fresh snapshot and retry.
+    Conflict(String),
 }
 
 impl fmt::Display for StorageError {
@@ -31,6 +36,7 @@ impl fmt::Display for StorageError {
             StorageError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::Conflict(msg) => write!(f, "concurrent layout change: {msg}"),
         }
     }
 }

@@ -52,7 +52,9 @@ pub use mask::SelectionMask;
 pub use pager::{BlobRef, Pager};
 pub use row_key::{IntKeyMap, RowKeyMap, RowKeyTable, RowKeys};
 pub use schema::{DataType, Field, Schema};
-pub use table::{AppendSink, Table};
+pub use table::{
+    AppendSink, CompactReport, DeleteReport, Table, TableSnapshot, UpdateReport,
+};
 pub use value::Value;
 pub use vfs::{FaultPlan, FaultVfs, MemVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{Wal, WalReplay};

@@ -33,6 +33,32 @@ impl SelectionMask {
         }
     }
 
+    /// Rebuild a mask from its packed words (durability codec path). Bits
+    /// beyond `len` in the last word are cleared so equality and counts stay
+    /// well-defined; a word count that cannot cover `len` rows is rejected.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, crate::error::StorageError> {
+        if words.len() != len.div_ceil(64) {
+            return Err(crate::error::StorageError::Corrupt(format!(
+                "selection mask of {len} rows needs {} words, got {}",
+                len.div_ceil(64),
+                words.len()
+            )));
+        }
+        let mut mask = Self { words, len };
+        let rem = len % 64;
+        if rem > 0 {
+            if let Some(last) = mask.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        Ok(mask)
+    }
+
+    /// The packed words backing the mask (durability codec path).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Build from a boolean slice.
     pub fn from_bools(bools: &[bool]) -> Self {
         let mut mask = Self::none(bools.len());
@@ -59,6 +85,13 @@ impl SelectionMask {
     pub fn set(&mut self, i: usize) {
         debug_assert!(i < self.len);
         self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Deselect row `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
     }
 
     /// Whether row `i` is selected.
@@ -88,6 +121,32 @@ impl SelectionMask {
         debug_assert_eq!(self.len, other.len);
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
+        }
+    }
+
+    /// In-place `self AND NOT other` with a mask of the same length. This is
+    /// the tombstone combinator: `other` marks deleted rows, and the result
+    /// keeps only selected rows that are still live.
+    pub fn and_not_with(&mut self, other: &SelectionMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The complement of the mask: every unselected row becomes selected.
+    /// For a tombstone mask this is the live-row mask.
+    pub fn complement(&self) -> SelectionMask {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        let rem = self.len % 64;
+        if rem > 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        SelectionMask {
+            words,
+            len: self.len,
         }
     }
 
@@ -191,6 +250,42 @@ mod tests {
         let mut or = a.clone();
         or.or_with(&b);
         assert_eq!(or.to_bools(), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn clear_and_not_and_complement() {
+        let mut m = SelectionMask::all(130);
+        m.clear(0);
+        m.clear(129);
+        assert!(!m.get(0) && !m.get(129) && m.get(64));
+        assert_eq!(m.count_selected(), 128);
+
+        let mut sel = SelectionMask::all(130);
+        let mut tomb = SelectionMask::none(130);
+        tomb.set(5);
+        tomb.set(64);
+        sel.and_not_with(&tomb);
+        assert_eq!(sel.count_selected(), 128);
+        assert!(!sel.get(5) && !sel.get(64) && sel.get(6));
+
+        // Complement of the tombstone is the live mask; tail bits past `len`
+        // never leak into counts.
+        let live = tomb.complement();
+        assert_eq!(live.count_selected(), 128);
+        assert!(!live.get(5) && live.get(129));
+        assert_eq!(live.complement(), tomb);
+    }
+
+    #[test]
+    fn words_roundtrip_and_reject_bad_lengths() {
+        let bools: Vec<bool> = (0..77).map(|i| i % 5 == 0).collect();
+        let m = SelectionMask::from_bools(&bools);
+        let back = SelectionMask::from_words(m.words().to_vec(), m.len()).unwrap();
+        assert_eq!(back, m);
+        assert!(SelectionMask::from_words(vec![0u64; 3], 77).is_err());
+        // Stray bits beyond `len` are scrubbed on reconstruction.
+        let scrubbed = SelectionMask::from_words(vec![u64::MAX, u64::MAX], 65).unwrap();
+        assert_eq!(scrubbed.count_selected(), 65);
     }
 
     #[test]

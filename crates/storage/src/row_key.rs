@@ -636,7 +636,7 @@ mod tests {
 
     #[test]
     fn dict_columns_encode_identically_to_utf8() {
-        let strings = vec!["pear", "apple", "", "pear", "quince", "apple"];
+        let strings = ["pear", "apple", "", "pear", "quince", "apple"];
         let raw = ColumnData::Utf8(strings.iter().map(|s| s.to_string()).collect());
         let dict = raw.dict_encode();
         assert!(dict.is_dict_encoded());

@@ -211,10 +211,16 @@ impl ColumnZone {
         if other.max.total_cmp(&self.max).is_gt() {
             self.max = other.max.clone();
         }
-        // Codes from different slices aren't comparable (each sealed
-        // partition has its own dictionary); a widened zone describes an
-        // unsealed Utf8 tail anyway.
-        self.code_range = None;
+        // Code ranges union only when both sides carry one: two zones of the
+        // same partition's slices share its order-preserving dictionary, so
+        // their code intervals are comparable (the compaction re-seal path
+        // widens such sibling slices). A raw side (unsealed Utf8 tail) has no
+        // codes, so the union degrades to `None` — permanently disabling
+        // code pruning used to happen even for dict-vs-dict widening.
+        self.code_range = match (self.code_range, other.code_range) {
+            (Some((alo, ahi)), Some((blo, bhi))) => Some((alo.min(blo), ahi.max(bhi))),
+            _ => None,
+        };
     }
 }
 
@@ -497,11 +503,35 @@ mod tests {
         assert_eq!(e.code_range, Some((0, 2)), "dict {{a,b,c}} spans codes 0..=2");
         assert!(r.code_range.is_none(), "raw strings have no codes");
         assert!(enc.column("k").unwrap().code_range.is_none());
-        // Widening (unsealed-tail append path) drops the code range.
+        // Widening with a raw (code-less) zone drops the code range: the raw
+        // side has no dictionary to compare codes against.
         let mut widened = e.clone();
         widened.widen(r);
         assert!(widened.code_range.is_none());
         assert_eq!(widened.min, e.min);
+    }
+
+    /// Two zones over slices of the same dict-encoded partition share its
+    /// dictionary, so widening must union their code ranges instead of
+    /// dropping them (the compaction re-seal path hits this for every sealed
+    /// string partition).
+    #[test]
+    fn widening_dict_siblings_unions_code_ranges() {
+        let enc = sample_batch().dict_encode_strings();
+        let lo = PartitionZones::compute(&enc.slice(0, 2)); // "a","a" -> code 0
+        let hi = PartitionZones::compute(&enc.slice(2, 4)); // "b".."c" -> codes 1..=2
+        let (zl, zh) = (lo.column("s").unwrap(), hi.column("s").unwrap());
+        assert_eq!(zl.code_range, Some((0, 0)));
+        assert_eq!(zh.code_range, Some((1, 2)));
+        let mut widened = zl.clone();
+        widened.widen(zh);
+        assert_eq!(widened.code_range, Some((0, 2)));
+        assert_eq!(widened.min, Value::Str("a".into()));
+        assert_eq!(widened.max, Value::Str("c".into()));
+        // Union is symmetric.
+        let mut other = zh.clone();
+        other.widen(zl);
+        assert_eq!(other.code_range, Some((0, 2)));
     }
 
     #[test]

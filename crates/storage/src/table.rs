@@ -1,71 +1,145 @@
-//! Partitioned tables with an online append path.
+//! Partitioned tables with an online append path and tombstone deletes.
 //!
 //! A [`Table`] publishes its data as immutable [`TableSnapshot`]s: the
-//! partition list and the zone maps derived from exactly those partitions
-//! travel together, so a scan that prunes against a snapshot's zones can
-//! never disagree with the rows it reads. [`Table::append`] installs a new
-//! snapshot copy-on-write — partitions are `Arc`-shared, only the grown tail
-//! partition is rewritten — which makes appends safe to run concurrently
-//! with scans, samplers and synopsis builds holding older snapshots.
+//! partition list, the zone maps derived from exactly those partitions, and
+//! the per-partition tombstone bitmaps all travel together, so a scan that
+//! prunes against a snapshot's zones can never disagree with the rows it
+//! reads. [`Table::append`] installs a new snapshot copy-on-write —
+//! partitions are `Arc`-shared, only the grown tail partition is rewritten —
+//! which makes appends safe to run concurrently with scans, samplers and
+//! synopsis builds holding older snapshots.
+//!
+//! Deletes follow the same discipline ([`Table::delete_rows`]): sealed
+//! partitions stay byte-for-byte immutable and grow a [`SelectionMask`]
+//! tombstone *beside* them (set bit = deleted row), while the unsealed tail —
+//! which is mutable by construction — deletes in place. Zone maps and
+//! secondary indexes over tombstoned partitions become supersets of the live
+//! rows; the scan layer re-filters through the tombstone, so they stay
+//! correct without rebuilds. [`Table::compact`] re-seals partitions whose
+//! dead fraction crossed a threshold: the live rows are materialized, the
+//! tombstone slot drops back to `None`, and zones/indexes are rebuilt for
+//! exactly the compacted slots.
 
 use parking_lot::{Mutex, RwLock};
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::batch::RecordBatch;
 use crate::error::StorageError;
 use crate::index::{ColumnIndexes, PartitionIndex};
+use crate::mask::SelectionMask;
 use crate::partition::split_batch;
 use crate::schema::SchemaRef;
 use crate::stats::{PartitionZones, TableStats, TableStatsBuilder};
 
-/// An immutable, internally consistent view of a table: the partitions plus
-/// the zone maps computed from exactly those partitions.
+/// An immutable, internally consistent view of a table: the partitions, the
+/// zone maps computed from exactly those partitions, and the tombstones
+/// marking rows deleted from sealed partitions.
 ///
 /// Snapshots are what scans, samplers and synopsis builders operate on; a
-/// concurrent [`Table::append`] publishes a *new* snapshot and never mutates
-/// one that has been handed out. Zone maps are computed lazily per snapshot
-/// (first pruning scan pays) and maintained incrementally across appends:
-/// when the parent snapshot had zones, the child widens the tail zone with
-/// the appended slice instead of rescanning.
+/// concurrent [`Table::append`] or [`Table::delete_rows`] publishes a *new*
+/// snapshot and never mutates one that has been handed out. Zone maps are
+/// computed lazily per snapshot (first pruning scan pays) and maintained
+/// incrementally across appends: when the parent snapshot had zones, the
+/// child widens the tail zone with the appended slice instead of rescanning.
 #[derive(Debug)]
 pub struct TableSnapshot {
     schema: SchemaRef,
     partitions: Vec<Arc<RecordBatch>>,
+    /// Parallel to `partitions`: `Some(mask)` marks deleted rows of a sealed
+    /// partition (set bit = dead). The unsealed tail always carries `None` —
+    /// it deletes in place — and so do sealed partitions with no deletes.
+    tombstones: Vec<Option<Arc<SelectionMask>>>,
     zones: OnceLock<Vec<PartitionZones>>,
     /// Sparse secondary indexes, one per-partition slot vector per indexed
     /// column. Slots are `Some` only for sealed partitions; the unsealed
     /// tail is always `None` and is scanned. Like `zones`, the indexes are
-    /// published atomically with the partitions they describe.
+    /// published atomically with the partitions they describe. Index slots
+    /// over tombstoned partitions are supersets of the live rows; probes are
+    /// re-filtered through the tombstone by the scan layer.
     indexes: HashMap<String, ColumnIndexes>,
     version: u64,
+    /// Physical-layout epoch: bumped only by mutations that move rows to
+    /// different global positions (compaction, in-place tail deletes).
+    /// Appends and sealed-partition tombstone sets carry it forward — they
+    /// keep every existing row at its position. Optimistic mutators resolve
+    /// positions against a snapshot and apply them with
+    /// [`Table::delete_rows_at`] / [`Table::update_rows_at`], which fail
+    /// with [`StorageError::Conflict`] if the epoch moved.
+    layout: u64,
     num_rows: usize,
+    deleted_rows: usize,
     size_bytes: usize,
 }
 
 impl TableSnapshot {
-    fn new(schema: SchemaRef, partitions: Vec<Arc<RecordBatch>>, version: u64) -> Self {
+    fn new(
+        schema: SchemaRef,
+        partitions: Vec<Arc<RecordBatch>>,
+        tombstones: Vec<Option<Arc<SelectionMask>>>,
+        version: u64,
+    ) -> Self {
+        debug_assert_eq!(partitions.len(), tombstones.len());
         let num_rows = partitions.iter().map(|p| p.num_rows()).sum();
         let size_bytes = partitions.iter().map(|p| p.size_bytes()).sum();
+        let deleted_rows = tombstones
+            .iter()
+            .flatten()
+            .map(|t| t.count_selected())
+            .sum();
         Self {
             schema,
             partitions,
+            tombstones,
             zones: OnceLock::new(),
             indexes: HashMap::new(),
             version,
+            layout: 0,
             num_rows,
+            deleted_rows,
             size_bytes,
         }
     }
 
-    /// The snapshot's partitions.
+    /// The snapshot's partitions (physical rows, including tombstoned ones).
     pub fn partitions(&self) -> &[Arc<RecordBatch>] {
         &self.partitions
     }
 
+    /// Per-partition tombstone slots, parallel to
+    /// [`partitions`](Self::partitions). `None` means every physical row of
+    /// that partition is live.
+    pub fn tombstones(&self) -> &[Option<Arc<SelectionMask>>] {
+        &self.tombstones
+    }
+
+    /// The tombstone mask of partition `i`, if it has any deleted rows.
+    pub fn tombstone(&self, i: usize) -> Option<&Arc<SelectionMask>> {
+        self.tombstones.get(i).and_then(|t| t.as_ref())
+    }
+
+    /// `true` if any row of the snapshot is tombstoned.
+    pub fn has_tombstones(&self) -> bool {
+        self.deleted_rows > 0
+    }
+
+    /// Rows marked deleted but still physically present.
+    pub fn deleted_rows(&self) -> usize {
+        self.deleted_rows
+    }
+
+    /// Live (non-tombstoned) rows.
+    pub fn live_rows(&self) -> usize {
+        self.num_rows - self.deleted_rows
+    }
+
     /// Zone maps for every partition, computed on first access and cached in
     /// the snapshot. Always consistent with [`partitions`](Self::partitions):
-    /// both live in the same immutable snapshot.
+    /// both live in the same immutable snapshot. Over a tombstoned partition
+    /// the zone is a *superset* of the live rows' bounds — safe for pruning
+    /// (never prunes a live row), pessimistic for cost.
     pub fn zones(&self) -> &[PartitionZones] {
         self.zones.get_or_init(|| {
             self.partitions
@@ -79,7 +153,9 @@ impl TableSnapshot {
     /// created for it ([`Table::create_index`]). The returned slice is
     /// parallel to [`partitions`](Self::partitions); a `None` slot (the
     /// unsealed tail, or a partition sealed before indexing caught up) must
-    /// be scanned instead of probed.
+    /// be scanned instead of probed. Probe results over a tombstoned
+    /// partition include dead rows and must be re-filtered through
+    /// [`tombstone`](Self::tombstone).
     pub fn index(&self, column: &str) -> Option<&[Option<Arc<PartitionIndex>>]> {
         self.indexes.get(column).map(|v| v.as_slice())
     }
@@ -106,7 +182,9 @@ impl TableSnapshot {
         self.partitions.len()
     }
 
-    /// Total rows in the snapshot.
+    /// Total *physical* rows in the snapshot, including tombstoned ones.
+    /// This is the positional domain of [`rows_from`](Self::rows_from); use
+    /// [`live_rows`](Self::live_rows) for the queryable count.
     pub fn num_rows(&self) -> usize {
         self.num_rows
     }
@@ -116,9 +194,19 @@ impl TableSnapshot {
         self.size_bytes
     }
 
-    /// Monotonic snapshot version (bumped by every append).
+    /// Monotonic snapshot version (bumped by every append, delete, index
+    /// publication and compaction).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The physical-layout epoch of this snapshot. Row positions resolved
+    /// against it remain valid in any later snapshot with the *same* epoch
+    /// (appends only add rows at the end; sealed tombstone sets keep
+    /// positions); a different epoch means compaction or an in-place tail
+    /// delete moved rows.
+    pub fn layout_epoch(&self) -> u64 {
+        self.layout
     }
 
     /// The schema shared by all partitions.
@@ -126,12 +214,36 @@ impl TableSnapshot {
         &self.schema
     }
 
-    /// All rows concatenated into one batch.
+    /// The live rows of every partition: borrowed as-is when the partition
+    /// has no tombstone, filtered down to the survivors when it does. The
+    /// result is parallel to [`partitions`](Self::partitions) (empty
+    /// partitions are kept), so partition-granular consumers — samplers,
+    /// synopsis builds, compaction-free scans — see the same shape either
+    /// way without deep-copying untouched partitions.
+    pub fn live_batches(&self) -> Vec<Cow<'_, RecordBatch>> {
+        self.partitions
+            .iter()
+            .zip(&self.tombstones)
+            .map(|(p, t)| match t {
+                Some(t) if !t.is_none_selected() => {
+                    Cow::Owned(p.filter_mask(&t.complement()))
+                }
+                _ => Cow::Borrowed(p.as_ref()),
+            })
+            .collect()
+    }
+
+    /// All *live* rows concatenated into one batch.
     pub fn to_batch(&self) -> Result<RecordBatch, StorageError> {
         if self.partitions.is_empty() {
             return Ok(RecordBatch::empty(self.schema.clone()));
         }
-        let refs: Vec<&RecordBatch> = self.partitions.iter().map(|p| p.as_ref()).collect();
+        if !self.has_tombstones() {
+            let refs: Vec<&RecordBatch> = self.partitions.iter().map(|p| p.as_ref()).collect();
+            return RecordBatch::concat_refs(&refs);
+        }
+        let live = self.live_batches();
+        let refs: Vec<&RecordBatch> = live.iter().map(|c| &**c).collect();
         RecordBatch::concat_refs(&refs)
     }
 
@@ -152,11 +264,14 @@ impl TableSnapshot {
         (dict, raw)
     }
 
-    /// The rows at global positions `start..` as a sequence of batches
-    /// (partition suffixes). Because appends only ever extend the tail, the
-    /// global row order of a table is stable: position `k` refers to the same
-    /// row in every snapshot that contains it. This is the delta-read used by
-    /// incremental synopsis refresh and stats catch-up.
+    /// The rows at *physical* global positions `start..` as a sequence of
+    /// batches (partition suffixes). Appends only ever extend the tail, so
+    /// as long as no delete or compaction intervened, physical position `k`
+    /// refers to the same row in every snapshot that contains it. This is
+    /// the delta-read used by incremental synopsis refresh and stats
+    /// catch-up; mutations break the positional contract, which callers
+    /// detect through [`Table::deletes_logged`] and answer with a rebuild
+    /// from [`live_batches`](Self::live_batches).
     pub fn rows_from(&self, start: usize) -> Vec<RecordBatch> {
         let mut out = Vec::new();
         let mut offset = 0usize;
@@ -188,6 +303,41 @@ pub struct AppendReport {
     pub version: u64,
 }
 
+/// What one [`Table::delete_rows`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteReport {
+    /// Rows newly deleted (requested positions that were live; already-dead
+    /// positions are skipped idempotently).
+    pub rows_deleted: usize,
+    /// The snapshot version after the delete (unchanged if nothing was live).
+    pub version: u64,
+}
+
+/// What one [`Table::update_rows`] call did: a delete plus a re-append
+/// published as two individually consistent snapshots under one mutation
+/// lock acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Rows deleted by the update.
+    pub rows_deleted: usize,
+    /// Replacement rows appended.
+    pub rows_appended: usize,
+    /// The snapshot version after both halves.
+    pub version: u64,
+}
+
+/// What one [`Table::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Partitions whose live rows were re-materialized.
+    pub partitions_compacted: usize,
+    /// Tombstoned rows physically dropped.
+    pub rows_dropped: usize,
+    /// The snapshot version after compaction (unchanged if nothing
+    /// qualified).
+    pub version: u64,
+}
+
 /// Cached statistics plus the streaming builder that produced them, so later
 /// appends only fold in the delta rows.
 #[derive(Debug)]
@@ -195,29 +345,64 @@ struct StatsCache {
     builder: TableStatsBuilder,
     stats: Arc<TableStats>,
     version: u64,
+    /// Physical row watermark the builder has consumed: the resume point for
+    /// `rows_from` catch-up. Distinct from `builder.rows_seen()`, which
+    /// counts *live* rows when the builder was rebuilt over a tombstoned
+    /// snapshot.
+    physical_rows: usize,
 }
 
-/// Write-ahead hook invoked by [`Table::append`] **before** the new snapshot
-/// is published.
+/// Write-ahead hook invoked by the [`Table`] mutation paths **before** a new
+/// snapshot is published.
 ///
-/// A durability layer implements this to log the batch (and make it durable)
-/// while the table's append lock is held, giving WAL-before-data ordering: if
-/// the sink returns an error the append is aborted and the table is
-/// unchanged; if the process crashes after the sink succeeded but before the
-/// snapshot swap, replaying the log reapplies the batch — the recovered table
-/// is always a prefix of acknowledged appends.
+/// A durability layer implements this to log the mutation (and make it
+/// durable) while the table's mutation lock is held, giving WAL-before-data
+/// ordering: if the sink returns an error the mutation is aborted and the
+/// table is unchanged; if the process crashes after the sink succeeded but
+/// before the snapshot swap, replaying the log reapplies it — the recovered
+/// table is always a prefix of acknowledged mutations.
 pub trait AppendSink: Send + Sync {
     /// Durably record `batch` as the next append to table `table`.
     fn log_append(&self, table: &str, batch: &RecordBatch) -> Result<(), StorageError>;
+
+    /// Durably record the deletion of the *physical* global positions
+    /// `positions` (sorted, deduplicated, all live at log time) from table
+    /// `table`. Replay applies them with [`Table::delete_rows`] in log
+    /// order, so positions resolve against the same physical layout they
+    /// were logged against. Defaults to a no-op for in-memory sinks.
+    fn log_delete(&self, table: &str, positions: &[usize]) -> Result<(), StorageError> {
+        let _ = (table, positions);
+        Ok(())
+    }
+
+    /// Durably record a physical rewrite of the whole table — the compaction
+    /// path. `partitions` and `tombstones` are the complete post-rewrite
+    /// state; `deletes_logged` is the table's mutation counter to restore on
+    /// recovery. Later delete records replay against this layout. Defaults
+    /// to a no-op for in-memory sinks.
+    fn log_rewrite(
+        &self,
+        table: &str,
+        seal_rows: usize,
+        partitions: &[Arc<RecordBatch>],
+        tombstones: &[Option<Arc<SelectionMask>>],
+        deletes_logged: u64,
+    ) -> Result<(), StorageError> {
+        let _ = (table, seal_rows, partitions, tombstones, deletes_logged);
+        Ok(())
+    }
 }
 
-/// A named, horizontally partitioned table supporting online appends.
+/// A named, horizontally partitioned table supporting online appends,
+/// tombstone deletes, updates and threshold-driven compaction.
 ///
 /// Statistics are computed lazily on first access (mirroring Taster, which
 /// collects dataset statistics "during the first access to any table") and
 /// maintained **incrementally** thereafter: an append does not invalidate the
 /// statistics wholesale, the resident [`TableStatsBuilder`] absorbs exactly
-/// the new rows on the next [`stats`](Table::stats) call.
+/// the new rows on the next [`stats`](Table::stats) call. Deletes and
+/// compaction *do* invalidate them — tombstoned rows must drop out of the
+/// cost model — and the rebuild runs over the live rows only.
 ///
 /// # Examples
 ///
@@ -248,6 +433,12 @@ pub trait AppendSink: Send + Sync {
 /// assert_eq!(t.num_rows(), 160);
 /// assert_eq!(before.num_rows(), 100, "old snapshot is untouched");
 /// assert!(t.snapshot().version() > before.version());
+///
+/// // Deleting sealed rows tombstones them; live counts and query surfaces
+/// // (`to_batch`, scans) exclude them immediately.
+/// t.delete_rows(&[0, 1, 2]).unwrap();
+/// assert_eq!(t.num_rows(), 160, "physical rows stay until compaction");
+/// assert_eq!(t.live_rows(), 157);
 /// ```
 pub struct Table {
     name: String,
@@ -256,14 +447,20 @@ pub struct Table {
     /// to this bound and then start new partitions.
     seal_rows: usize,
     current: RwLock<Arc<TableSnapshot>>,
-    /// Serializes appenders so the heavy work (tail clone, zone computation)
-    /// happens *outside* the `current` write lock: readers taking snapshots
-    /// only ever block on the final pointer swap.
+    /// Serializes mutators (append / delete / update / compact) so the heavy
+    /// work (tail clone, zone computation, live materialization) happens
+    /// *outside* the `current` write lock: readers taking snapshots only
+    /// ever block on the final pointer swap.
     append_lock: Mutex<()>,
     stats: RwLock<Option<StatsCache>>,
-    /// Optional write-ahead hook consulted (under the append lock) before a
-    /// new snapshot is published.
+    /// Optional write-ahead hook consulted (under the mutation lock) before
+    /// a new snapshot is published.
     append_sink: RwLock<Option<Arc<dyn AppendSink>>>,
+    /// Monotonic count of row mutations that invalidated positional resume:
+    /// tombstoned/tail-deleted rows plus rows physically dropped by
+    /// compaction. Never reset — synopsis metadata records the value at
+    /// build time and any advance signals "rebuild from live rows".
+    deletes_logged: AtomicU64,
 }
 
 impl std::fmt::Debug for Table {
@@ -297,14 +494,16 @@ impl Table {
                 *slot = Arc::new(slot.dict_encode_strings());
             }
         }
+        let tombstones = vec![None; partitions.len()];
         Self {
             name,
             schema: schema.clone(),
             seal_rows,
-            current: RwLock::new(Arc::new(TableSnapshot::new(schema, partitions, 0))),
+            current: RwLock::new(Arc::new(TableSnapshot::new(schema, partitions, tombstones, 0))),
             append_lock: Mutex::new(()),
             stats: RwLock::new(None),
             append_sink: RwLock::new(None),
+            deletes_logged: AtomicU64::new(0),
         }
     }
 
@@ -361,6 +560,65 @@ impl Table {
         Ok(Self::build(name.into(), schema, parts, seal_rows))
     }
 
+    /// Recovery constructor: rebuild a table from checkpointed partitions
+    /// *plus* their tombstone masks and the mutation counter, preserving the
+    /// physical layout so that delete records logged after the checkpoint
+    /// replay against the positions they were written for.
+    pub fn from_recovered(
+        name: impl Into<String>,
+        partitions: Vec<RecordBatch>,
+        tombstones: Vec<Option<SelectionMask>>,
+        seal_rows: usize,
+        deletes_logged: u64,
+    ) -> Result<Self, StorageError> {
+        if tombstones.len() != partitions.len() {
+            return Err(StorageError::Corrupt(format!(
+                "{} tombstone slots for {} partitions",
+                tombstones.len(),
+                partitions.len()
+            )));
+        }
+        let rows: Vec<usize> = partitions.iter().map(RecordBatch::num_rows).collect();
+        let table = Self::from_partitions_with_seal(name, partitions, seal_rows)?;
+        let last = rows.len().saturating_sub(1);
+        let mut slots: Vec<Option<Arc<SelectionMask>>> = Vec::with_capacity(tombstones.len());
+        for (i, t) in tombstones.into_iter().enumerate() {
+            match t {
+                Some(t) => {
+                    if t.len() != rows[i] {
+                        return Err(StorageError::Corrupt(format!(
+                            "tombstone of {} rows over partition {} of {} rows",
+                            t.len(),
+                            i,
+                            rows[i]
+                        )));
+                    }
+                    let sealed = i < last || rows[i] >= table.seal_rows;
+                    if !sealed && !t.is_none_selected() {
+                        return Err(StorageError::Corrupt(
+                            "unsealed tail partition cannot carry a tombstone mask".to_string(),
+                        ));
+                    }
+                    slots.push(if t.is_none_selected() {
+                        None
+                    } else {
+                        Some(Arc::new(t))
+                    });
+                }
+                None => slots.push(None),
+            }
+        }
+        {
+            // Re-publish the freshly built snapshot (which dict-encoded any
+            // raw sealed partitions) with the recovered tombstones attached.
+            let mut cur = table.current.write();
+            let snap = TableSnapshot::new(table.schema.clone(), cur.partitions.clone(), slots, 0);
+            *cur = Arc::new(snap);
+        }
+        table.deletes_logged.store(deletes_logged, Ordering::Relaxed);
+        Ok(table)
+    }
+
     /// Create an empty, append-only table (one empty partition) for
     /// pure-streaming ingestion. `seal_rows` is the partition size appends
     /// fill up to before starting a new partition.
@@ -379,10 +637,10 @@ impl Table {
         &self.schema
     }
 
-    /// The current snapshot: partitions and their zone maps, consistent with
-    /// each other. Readers that look at partitions *and* zones (e.g. a
-    /// pruning scan) must take one snapshot and use both sides of it — two
-    /// separate calls could straddle an append.
+    /// The current snapshot: partitions, zone maps and tombstones, consistent
+    /// with each other. Readers that look at partitions *and* zones or
+    /// tombstones (e.g. a pruning scan) must take one snapshot and use all
+    /// sides of it — two separate calls could straddle a mutation.
     pub fn snapshot(&self) -> Arc<TableSnapshot> {
         self.current.read().clone()
     }
@@ -393,14 +651,14 @@ impl Table {
     }
 
     /// Attach (or replace) the write-ahead [`AppendSink`] consulted by every
-    /// subsequent [`append`](Self::append). Pass-through for in-memory
-    /// tables; the durability layer installs one when persistence is enabled.
+    /// subsequent mutation. Pass-through for in-memory tables; the
+    /// durability layer installs one when persistence is enabled.
     pub fn set_append_sink(&self, sink: Option<Arc<dyn AppendSink>>) {
         *self.append_sink.write() = sink;
     }
 
     /// Current snapshot version (0 for a freshly created table; +1 per
-    /// append).
+    /// mutation).
     pub fn version(&self) -> u64 {
         self.current.read().version()
     }
@@ -411,9 +669,30 @@ impl Table {
         self.current.read().num_partitions()
     }
 
-    /// Total number of rows in the current snapshot.
+    /// Total number of *physical* rows in the current snapshot (tombstoned
+    /// rows included; see [`live_rows`](Self::live_rows)).
     pub fn num_rows(&self) -> usize {
         self.current.read().num_rows()
+    }
+
+    /// Live (non-tombstoned) rows in the current snapshot.
+    pub fn live_rows(&self) -> usize {
+        self.current.read().live_rows()
+    }
+
+    /// Rows tombstoned but not yet compacted away in the current snapshot.
+    pub fn deleted_rows(&self) -> usize {
+        self.current.read().deleted_rows()
+    }
+
+    /// Monotonic mutation counter: total rows ever deleted (tombstoned or
+    /// removed from the tail in place) plus rows physically dropped by
+    /// compaction. Synopsis metadata compares the value recorded at build
+    /// time against this to decide between incremental append catch-up and
+    /// a rebuild from live rows — any advance means physical positions may
+    /// have shifted or coverage shrank.
+    pub fn deletes_logged(&self) -> u64 {
+        self.deletes_logged.load(Ordering::Relaxed)
     }
 
     /// Approximate total size in bytes of the current snapshot.
@@ -421,8 +700,9 @@ impl Table {
         self.current.read().size_bytes()
     }
 
-    /// All rows concatenated into one batch (used by small dimension tables
-    /// and by tests; fact tables are normally consumed partition-by-partition).
+    /// All live rows concatenated into one batch (used by small dimension
+    /// tables and by tests; fact tables are normally consumed
+    /// partition-by-partition).
     pub fn to_batch(&self) -> Result<RecordBatch, StorageError> {
         self.snapshot().to_batch()
     }
@@ -438,17 +718,25 @@ impl Table {
     /// scan either sees the old data with the old zones or the new data with
     /// the new zones, never a stale mix.
     pub fn append(&self, batch: &RecordBatch) -> Result<AppendReport, StorageError> {
+        // Mutators serialize on their own mutex; the snapshot read inside is
+        // therefore stable (only mutators replace it), and all the heavy
+        // work runs without holding the `current` write lock — readers block
+        // only on the final pointer swap.
+        let _appender = self.append_lock.lock();
+        self.append_locked(batch)
+    }
+
+    /// The body of [`append`](Self::append); callers must hold
+    /// `append_lock`. Split out so [`update_rows`](Self::update_rows) can
+    /// run delete + append under a single lock acquisition (the mutex is not
+    /// reentrant).
+    fn append_locked(&self, batch: &RecordBatch) -> Result<AppendReport, StorageError> {
         if batch.schema().as_ref() != self.schema.as_ref() {
             return Err(StorageError::Invalid(format!(
                 "append to table '{}' with a different schema",
                 self.name
             )));
         }
-        // Appends serialize on their own mutex; the snapshot read below is
-        // therefore stable (only appenders replace it), and all the heavy
-        // work runs without holding the `current` write lock — readers block
-        // only on the final pointer swap.
-        let _appender = self.append_lock.lock();
         let old = self.snapshot();
         if batch.num_rows() == 0 {
             return Ok(AppendReport {
@@ -468,6 +756,7 @@ impl Table {
         }
 
         let mut partitions = old.partitions.clone();
+        let mut tombstones = old.tombstones.clone();
         // Maintain zones only if the parent snapshot had computed them;
         // otherwise the child recomputes lazily on first pruning scan.
         let mut zones = old.zones.get().cloned();
@@ -478,6 +767,9 @@ impl Table {
         // and avoids any unwrap on the tail slot.
         if let Some(tail_slot) = partitions.last_mut() {
             if tail_slot.num_rows() < self.seal_rows {
+                // Invariant: an unsealed tail never carries a tombstone (it
+                // deletes in place), so extending it cannot desync a mask.
+                debug_assert!(tombstones.last().is_none_or(|t| t.is_none()));
                 let take = (self.seal_rows - tail_slot.num_rows()).min(batch.num_rows());
                 let slice = batch.slice(0, take);
                 let mut grown = tail_slot.as_ref().clone();
@@ -498,6 +790,7 @@ impl Table {
                 zones.push(PartitionZones::compute(&part));
             }
             partitions.push(Arc::new(part));
+            tombstones.push(None);
             offset += len;
             new_partitions += 1;
         }
@@ -545,8 +838,10 @@ impl Table {
             }
         }
 
-        let mut snap = TableSnapshot::new(self.schema.clone(), partitions, old.version() + 1);
+        let mut snap =
+            TableSnapshot::new(self.schema.clone(), partitions, tombstones, old.version() + 1);
         snap.indexes = indexes;
+        snap.layout = old.layout; // appends never move existing rows
         if let Some(zones) = zones {
             let _ = snap.zones.set(zones);
         }
@@ -556,6 +851,347 @@ impl Table {
             rows: batch.num_rows(),
             extended_tail,
             new_partitions,
+            version,
+        })
+    }
+
+    /// Delete the rows at the given *physical* global positions.
+    ///
+    /// Positions are resolved against the current snapshot: rows in sealed
+    /// partitions are tombstoned (the partition's bytes never change; a
+    /// [`SelectionMask`] beside it marks them dead), rows in the unsealed
+    /// tail are removed in place (the tail is mutable by construction, its
+    /// zone is recomputed). Already-dead positions are skipped idempotently;
+    /// a position past the end is an error and nothing is deleted. The new
+    /// tombstones publish atomically with the partitions as one snapshot —
+    /// a concurrent scan sees either all of this delete or none of it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use taster_storage::batch::BatchBuilder;
+    /// use taster_storage::Table;
+    ///
+    /// let b = BatchBuilder::new()
+    ///     .column("id", (0..100i64).collect::<Vec<_>>())
+    ///     .build()
+    ///     .unwrap();
+    /// let t = Table::from_batch("t", b, 4).unwrap();
+    /// let r = t.delete_rows(&[10, 11, 12]).unwrap();
+    /// assert_eq!(r.rows_deleted, 3);
+    /// assert_eq!(t.live_rows(), 97);
+    /// // The sealed partition still holds 25 physical rows...
+    /// assert_eq!(t.snapshot().partitions()[0].num_rows(), 25);
+    /// // ...but query surfaces exclude the tombstoned ones.
+    /// assert_eq!(t.to_batch().unwrap().num_rows(), 97);
+    /// ```
+    pub fn delete_rows(&self, positions: &[usize]) -> Result<DeleteReport, StorageError> {
+        let _appender = self.append_lock.lock();
+        self.delete_locked(positions)
+    }
+
+    /// [`delete_rows`](Self::delete_rows), guarded against concurrent layout
+    /// changes: fails with [`StorageError::Conflict`] — deleting nothing —
+    /// if the current snapshot's [`layout_epoch`](TableSnapshot::layout_epoch)
+    /// differs from `expected_layout`. Callers that resolved `positions`
+    /// against a snapshot (rather than receiving them from the caller) must
+    /// use this and retry on conflict: between resolution and application a
+    /// compaction or in-place tail delete may have moved rows, and applying
+    /// the stale positions would silently delete the wrong rows.
+    pub fn delete_rows_at(
+        &self,
+        positions: &[usize],
+        expected_layout: u64,
+    ) -> Result<DeleteReport, StorageError> {
+        let _appender = self.append_lock.lock();
+        self.check_layout(expected_layout)?;
+        self.delete_locked(positions)
+    }
+
+    /// Callers must hold `append_lock` so the epoch cannot move after the
+    /// check passes.
+    fn check_layout(&self, expected: u64) -> Result<(), StorageError> {
+        let now = self.current.read().layout_epoch();
+        if now != expected {
+            return Err(StorageError::Conflict(format!(
+                "table '{}' layout epoch advanced {expected} -> {now} since position resolution",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The body of [`delete_rows`](Self::delete_rows); callers must hold
+    /// `append_lock`.
+    fn delete_locked(&self, positions: &[usize]) -> Result<DeleteReport, StorageError> {
+        let old = self.snapshot();
+        let total = old.num_rows();
+        let mut sorted: Vec<usize> = positions.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&max) = sorted.last() {
+            if max >= total {
+                return Err(StorageError::Invalid(format!(
+                    "delete position {max} out of range for table '{}' with {total} physical rows",
+                    self.name
+                )));
+            }
+        }
+
+        // Resolve positions to (partition, local) pairs, dropping the ones
+        // that are already tombstoned so re-deletes are idempotent.
+        let mut per_part: Vec<Vec<usize>> = vec![Vec::new(); old.partitions.len()];
+        let mut effective: Vec<usize> = Vec::with_capacity(sorted.len());
+        let mut part = 0usize;
+        let mut offset = 0usize;
+        for &pos in &sorted {
+            while pos >= offset + old.partitions[part].num_rows() {
+                offset += old.partitions[part].num_rows();
+                part += 1;
+            }
+            let local = pos - offset;
+            if old.tombstones[part].as_ref().is_some_and(|t| t.get(local)) {
+                continue;
+            }
+            per_part[part].push(local);
+            effective.push(pos);
+        }
+        if effective.is_empty() {
+            return Ok(DeleteReport {
+                rows_deleted: 0,
+                version: old.version(),
+            });
+        }
+
+        // WAL-before-data, same contract as appends: the logged positions
+        // are exactly the effective (live) ones, so replay is idempotent
+        // and order-faithful.
+        let sink = self.append_sink.read().clone();
+        if let Some(sink) = sink {
+            sink.log_delete(&self.name, &effective)?;
+        }
+
+        let last = old.partitions.len() - 1;
+        let mut partitions = old.partitions.clone();
+        let mut tombstones = old.tombstones.clone();
+        let mut zones = old.zones.get().cloned();
+        let mut tail_rewritten = false;
+        for (i, locals) in per_part.iter().enumerate() {
+            if locals.is_empty() {
+                continue;
+            }
+            let rows = partitions[i].num_rows();
+            let sealed = i < last || rows >= self.seal_rows;
+            if sealed {
+                // Immutable partition: clone-and-set the tombstone mask.
+                let mut mask = tombstones[i]
+                    .as_ref()
+                    .map(|t| t.as_ref().clone())
+                    .unwrap_or_else(|| SelectionMask::none(rows));
+                for &l in locals {
+                    mask.set(l);
+                }
+                tombstones[i] = Some(Arc::new(mask));
+            } else {
+                // Unsealed tail: delete in place. The tail is the last
+                // partition, so no later physical positions shift.
+                debug_assert!(tombstones[i].is_none());
+                let mut keep = SelectionMask::all(rows);
+                for &l in locals {
+                    keep.clear(l);
+                }
+                partitions[i] = Arc::new(partitions[i].filter_mask(&keep));
+                if let Some(z) = zones.as_mut() {
+                    z[i] = PartitionZones::compute(&partitions[i]);
+                }
+                tail_rewritten = true;
+            }
+        }
+
+        let mut snap =
+            TableSnapshot::new(self.schema.clone(), partitions, tombstones, old.version() + 1);
+        // Indexes carry forward Arc-shared: sealed slots are supersets of
+        // the live rows (scans re-filter through the tombstone), the tail
+        // slot is `None` by the seal contract.
+        snap.indexes = old.indexes.clone();
+        // Tombstone sets keep every physical row in place; an in-place tail
+        // delete shifts the tail's trailing rows and invalidates resolved
+        // positions.
+        snap.layout = old.layout + u64::from(tail_rewritten);
+        if let Some(zones) = zones {
+            let _ = snap.zones.set(zones);
+        }
+        let version = snap.version();
+        *self.current.write() = Arc::new(snap);
+        // Deleted rows must drop out of the cost model: discard the stats
+        // cache so the next `stats()` call rebuilds over live rows.
+        *self.stats.write() = None;
+        self.deletes_logged
+            .fetch_add(effective.len() as u64, Ordering::Relaxed);
+        Ok(DeleteReport {
+            rows_deleted: effective.len(),
+            version,
+        })
+    }
+
+    /// Update rows: delete the given *physical* global positions and append
+    /// `replacement` — the classic delete + re-append decomposition, run
+    /// under a single mutation-lock acquisition. The two halves publish as
+    /// two individually consistent snapshots: a concurrent reader sees the
+    /// table before the update, after the delete, or after both — never a
+    /// torn state. The replacement rows land at the end of the table like
+    /// any append (updates do not preserve row positions).
+    pub fn update_rows(
+        &self,
+        positions: &[usize],
+        replacement: &RecordBatch,
+    ) -> Result<UpdateReport, StorageError> {
+        if replacement.schema().as_ref() != self.schema.as_ref() {
+            return Err(StorageError::Invalid(format!(
+                "update of table '{}' with a different replacement schema",
+                self.name
+            )));
+        }
+        let _appender = self.append_lock.lock();
+        let deleted = self.delete_locked(positions)?;
+        let appended = self.append_locked(replacement)?;
+        Ok(UpdateReport {
+            rows_deleted: deleted.rows_deleted,
+            rows_appended: appended.rows,
+            version: appended.version.max(deleted.version),
+        })
+    }
+
+    /// [`update_rows`](Self::update_rows) with the same layout-epoch guard
+    /// as [`delete_rows_at`](Self::delete_rows_at): fails with
+    /// [`StorageError::Conflict`] — touching nothing — if the layout moved
+    /// since `positions` (and `replacement`) were resolved.
+    pub fn update_rows_at(
+        &self,
+        positions: &[usize],
+        replacement: &RecordBatch,
+        expected_layout: u64,
+    ) -> Result<UpdateReport, StorageError> {
+        if replacement.schema().as_ref() != self.schema.as_ref() {
+            return Err(StorageError::Invalid(format!(
+                "update of table '{}' with a different replacement schema",
+                self.name
+            )));
+        }
+        let _appender = self.append_lock.lock();
+        self.check_layout(expected_layout)?;
+        let deleted = self.delete_locked(positions)?;
+        let appended = self.append_locked(replacement)?;
+        Ok(UpdateReport {
+            rows_deleted: deleted.rows_deleted,
+            rows_appended: appended.rows,
+            version: appended.version.max(deleted.version),
+        })
+    }
+
+    /// Re-seal partitions whose dead fraction reached `dead_fraction`
+    /// (0.0 compacts any partition with at least one tombstoned row).
+    ///
+    /// For each qualifying partition the live rows are materialized into a
+    /// fresh batch (dictionary encoding is preserved by the codes-domain
+    /// filter, raw string columns re-encode), the tombstone slot returns to
+    /// `None`, and the partition's zone map and secondary-index slots are
+    /// rebuilt — exact bounds again, dict `code_range` restored. The
+    /// trailing partition is never compacted: shrinking it below the seal
+    /// bound would re-open it to in-place appends. The whole rewrite
+    /// publishes as one snapshot, so no reader observes a half-compacted
+    /// table, and the rewrite is logged through
+    /// [`AppendSink::log_rewrite`] *before* publication so later delete
+    /// records replay against the compacted layout.
+    pub fn compact(&self, dead_fraction: f64) -> Result<CompactReport, StorageError> {
+        let _appender = self.append_lock.lock();
+        let old = self.snapshot();
+        let n = old.partitions.len();
+        if n == 0 {
+            return Ok(CompactReport {
+                partitions_compacted: 0,
+                rows_dropped: 0,
+                version: old.version(),
+            });
+        }
+        let last = n - 1;
+        let targets: Vec<usize> = (0..last)
+            .filter(|&i| {
+                old.tombstones[i].as_ref().is_some_and(|t| {
+                    let dead = t.count_selected();
+                    dead > 0
+                        && dead as f64 >= dead_fraction * old.partitions[i].num_rows() as f64
+                })
+            })
+            .collect();
+        if targets.is_empty() {
+            return Ok(CompactReport {
+                partitions_compacted: 0,
+                rows_dropped: 0,
+                version: old.version(),
+            });
+        }
+
+        let mut partitions = old.partitions.clone();
+        let mut tombstones = old.tombstones.clone();
+        let mut zones = old.zones.get().cloned();
+        let mut rows_dropped = 0usize;
+        for &i in &targets {
+            let Some(tomb) = tombstones[i].take() else {
+                continue;
+            };
+            rows_dropped += tomb.count_selected();
+            let live = partitions[i].filter_mask(&tomb.complement());
+            // Codes-domain filtering keeps dict columns encoded; a sealed
+            // partition that was still raw (recovered pre-encoding data)
+            // re-encodes here, matching the seal contract.
+            let live = if live.has_plain_utf8() {
+                live.dict_encode_strings()
+            } else {
+                live
+            };
+            if let Some(z) = zones.as_mut() {
+                z[i] = PartitionZones::compute(&live);
+            }
+            partitions[i] = Arc::new(live);
+        }
+        let mut indexes = old.indexes.clone();
+        for (col, slots) in indexes.iter_mut() {
+            for &i in &targets {
+                slots[i] = PartitionIndex::build(&partitions[i], col).ok().map(Arc::new);
+            }
+        }
+
+        // Compaction shifts physical positions, so it advances the mutation
+        // counter like a delete: synopses that resumed positionally must
+        // rebuild. The rewrite record carries the post-compaction counter
+        // for recovery.
+        let deletes_logged = self.deletes_logged.load(Ordering::Relaxed) + rows_dropped as u64;
+        let sink = self.append_sink.read().clone();
+        if let Some(sink) = sink {
+            sink.log_rewrite(
+                &self.name,
+                self.seal_rows,
+                &partitions,
+                &tombstones,
+                deletes_logged,
+            )?;
+        }
+
+        let mut snap =
+            TableSnapshot::new(self.schema.clone(), partitions, tombstones, old.version() + 1);
+        snap.indexes = indexes;
+        snap.layout = old.layout + 1; // compaction moves rows: new epoch
+        if let Some(zones) = zones {
+            let _ = snap.zones.set(zones);
+        }
+        let version = snap.version();
+        *self.current.write() = Arc::new(snap);
+        *self.stats.write() = None;
+        self.deletes_logged.store(deletes_logged, Ordering::Relaxed);
+        Ok(CompactReport {
+            partitions_compacted: targets.len(),
+            rows_dropped,
             version,
         })
     }
@@ -617,10 +1253,12 @@ impl Table {
         let mut snap = TableSnapshot::new(
             self.schema.clone(),
             old.partitions.clone(),
+            old.tombstones.clone(),
             old.version() + 1,
         );
         snap.indexes = old.indexes.clone();
         snap.indexes.insert(column.to_string(), slots);
+        snap.layout = old.layout;
         if let Some(zones) = old.zones.get().cloned() {
             let _ = snap.zones.set(zones);
         }
@@ -636,7 +1274,9 @@ impl Table {
     /// Table statistics, computed on first call and maintained incrementally:
     /// after appends, only the not-yet-seen suffix of rows is folded into the
     /// resident streaming builder (appends never rewrite existing row
-    /// positions, so the builder's `rows_seen` is a valid resume point).
+    /// positions, so the cached physical watermark is a valid resume point).
+    /// Deletes and compaction discard the cache; the rebuild runs over the
+    /// snapshot's *live* rows, so tombstoned rows drop out of the cost model.
     pub fn stats(&self) -> Arc<TableStats> {
         if let Some(cache) = self.stats.read().as_ref() {
             if cache.version == self.current.read().version() {
@@ -653,11 +1293,25 @@ impl Table {
             builder: TableStatsBuilder::new(),
             stats: Arc::new(TableStats::compute(&[])),
             version: u64::MAX,
+            physical_rows: 0,
         });
-        if cache.version == u64::MAX || cache.version < snap.version() {
-            for delta in snap.rows_from(cache.builder.rows_seen()) {
+        if cache.version == u64::MAX {
+            // Fresh build (first access, or post-delete/compaction rebuild):
+            // feed the live rows only, then resume physically from the end
+            // of the snapshot.
+            for live in snap.live_batches() {
+                cache.builder.update(&live);
+            }
+            cache.physical_rows = snap.num_rows();
+            cache.stats = Arc::new(cache.builder.snapshot());
+            cache.version = snap.version();
+        } else if cache.version < snap.version() {
+            // Append catch-up: everything past the watermark was appended
+            // (mutations reset the cache), so the suffix is all live.
+            for delta in snap.rows_from(cache.physical_rows) {
                 cache.builder.update(&delta);
             }
+            cache.physical_rows = snap.num_rows();
             cache.stats = Arc::new(cache.builder.snapshot());
             cache.version = snap.version();
         }
@@ -768,6 +1422,44 @@ mod tests {
         let r = t.append(&empty).unwrap();
         assert_eq!(r.rows, 0);
         assert_eq!(r.version, 0, "empty append does not bump the version");
+    }
+
+    #[test]
+    fn layout_epoch_guards_stale_positions() {
+        // 100 rows over 4 sealed partitions of 25.
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        assert_eq!(t.snapshot().layout_epoch(), 0);
+
+        // Appends and sealed tombstone-sets keep every row in place: the
+        // epoch carries forward and positions resolved earlier still apply.
+        t.append(&batch(100..110)).unwrap();
+        t.delete_rows(&[0, 1]).unwrap();
+        assert_eq!(t.snapshot().layout_epoch(), 0);
+        t.delete_rows_at(&[2], 0).unwrap();
+
+        // An in-place tail delete shifts the tail's rows: new epoch, stale
+        // positions rejected with Conflict (and nothing deleted).
+        t.delete_rows(&[105]).unwrap(); // tail holds 10 of 25 rows: unsealed
+        let epoch = t.snapshot().layout_epoch();
+        assert_eq!(epoch, 1);
+        let live_before = t.live_rows();
+        assert!(matches!(
+            t.delete_rows_at(&[3], 0),
+            Err(StorageError::Conflict(_))
+        ));
+        assert_eq!(t.live_rows(), live_before, "rejected delete touched rows");
+
+        // Compaction moves rows too: epoch bumps again, both checked
+        // mutators reject the stale epoch, the fresh one applies.
+        t.delete_rows(&(0..25).collect::<Vec<_>>()).unwrap();
+        let r = t.compact(0.5).unwrap();
+        assert!(r.partitions_compacted > 0);
+        assert_eq!(t.snapshot().layout_epoch(), epoch + 1);
+        assert!(matches!(
+            t.update_rows_at(&[0], &batch(200..201), epoch),
+            Err(StorageError::Conflict(_))
+        ));
+        t.delete_rows_at(&[0], epoch + 1).unwrap();
     }
 
     #[test]
@@ -1064,5 +1756,295 @@ mod tests {
         assert_eq!(t.num_rows(), 40);
         assert_eq!(t.num_partitions(), 3); // 16 + 16 + 8
         assert_eq!(t.stats().distinct_count("grp"), 5);
+    }
+
+    // --- deletes, updates, compaction -----------------------------------
+
+    fn dead_mask(len: usize, set: &[usize]) -> SelectionMask {
+        let mut m = SelectionMask::none(len);
+        for &i in set {
+            m.set(i);
+        }
+        m
+    }
+
+    fn ids_of(all: &RecordBatch) -> Vec<i64> {
+        (0..all.num_rows())
+            .map(|i| match all.row(i)[0] {
+                Value::Int(v) => v,
+                ref v => panic!("unexpected {v:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delete_tombstones_sealed_and_filters_tail_in_place() {
+        // 4 × 25 sealed partitions + a 10-row unsealed tail.
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        t.append(&batch(100..110)).unwrap();
+        let v0 = t.version();
+        // Rows 3, 30 (sealed) and 105 (tail, local 5).
+        let r = t.delete_rows(&[3, 30, 105]).unwrap();
+        assert_eq!(r.rows_deleted, 3);
+        assert_eq!(t.version(), v0 + 1);
+        let snap = t.snapshot();
+        // Sealed partitions keep their physical rows, tombstoned beside.
+        assert_eq!(snap.partitions()[0].num_rows(), 25);
+        assert!(snap.tombstone(0).unwrap().get(3));
+        assert!(snap.tombstone(1).unwrap().get(5)); // 30 - 25
+        // The tail shrank in place and carries no tombstone.
+        assert_eq!(snap.partitions()[4].num_rows(), 9);
+        assert!(snap.tombstone(4).is_none());
+        assert_eq!(snap.num_rows(), 109);
+        assert_eq!(snap.deleted_rows(), 2);
+        assert_eq!(snap.live_rows(), 107);
+        // Query surfaces exclude all three.
+        let ids = ids_of(&snap.to_batch().unwrap());
+        assert!(!ids.contains(&3) && !ids.contains(&30) && !ids.contains(&105));
+        assert_eq!(ids.len(), 107);
+    }
+
+    #[test]
+    fn delete_is_idempotent_and_validates_range() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        assert!(t.delete_rows(&[100]).is_err(), "past-the-end rejected");
+        assert_eq!(t.version(), 0, "failed delete publishes nothing");
+        let r = t.delete_rows(&[7, 7, 9]).unwrap();
+        assert_eq!(r.rows_deleted, 2);
+        assert_eq!(t.deletes_logged(), 2);
+        // Re-deleting dead rows is a no-op without a version bump.
+        let v = t.version();
+        let r = t.delete_rows(&[7, 9]).unwrap();
+        assert_eq!(r.rows_deleted, 0);
+        assert_eq!(t.version(), v);
+        assert_eq!(t.deletes_logged(), 2);
+        // Mixed live/dead deletes count only the live ones.
+        let r = t.delete_rows(&[7, 8]).unwrap();
+        assert_eq!(r.rows_deleted, 1);
+        assert_eq!(t.live_rows(), 97);
+    }
+
+    #[test]
+    fn old_snapshots_survive_deletes_unchanged() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        let before = t.snapshot();
+        t.delete_rows(&[0, 1, 2]).unwrap();
+        assert!(!before.has_tombstones());
+        assert_eq!(before.live_rows(), 100);
+        assert_eq!(t.snapshot().live_rows(), 97);
+        // The partitions themselves are shared, never rewritten.
+        assert!(Arc::ptr_eq(
+            &before.partitions()[0],
+            &t.snapshot().partitions()[0]
+        ));
+    }
+
+    #[test]
+    fn update_rows_is_delete_plus_append() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        // Replace rows 10..15 with re-keyed rows 200..205.
+        let positions: Vec<usize> = (10..15).collect();
+        let r = t.update_rows(&positions, &batch(200..205)).unwrap();
+        assert_eq!(r.rows_deleted, 5);
+        assert_eq!(r.rows_appended, 5);
+        assert_eq!(t.version(), 2, "delete and append each publish once");
+        assert_eq!(t.live_rows(), 100);
+        assert_eq!(t.num_rows(), 105);
+        let ids = ids_of(&t.to_batch().unwrap());
+        assert!(!ids.contains(&12));
+        assert!(ids.contains(&203), "replacement rows appended at the end");
+        // Schema mismatches are rejected before any half runs.
+        let wrong = BatchBuilder::new().column("x", vec![1.0f64]).build().unwrap();
+        assert!(t.update_rows(&[0], &wrong).is_err());
+        assert_eq!(t.live_rows(), 100);
+    }
+
+    #[test]
+    fn compact_drops_dead_rows_and_rebuilds_metadata() {
+        let t = Table::from_batch("t", str_batch(0..100), 4).unwrap();
+        t.create_index("id").unwrap();
+        // Kill 13 of 25 rows in partition 0, 2 of 25 in partition 1.
+        let mut doomed: Vec<usize> = (0..25).filter(|i| i % 2 == 0).collect();
+        doomed.extend([30, 31]);
+        t.delete_rows(&doomed).unwrap();
+        let logged = t.deletes_logged();
+        let before = t.snapshot();
+        assert_eq!(before.deleted_rows(), 15);
+        // Threshold 0.5: only partition 0 (13/25 dead) qualifies.
+        let r = t.compact(0.5).unwrap();
+        assert_eq!(r.partitions_compacted, 1);
+        assert_eq!(r.rows_dropped, 13);
+        assert_eq!(t.deletes_logged(), logged + 13);
+        let snap = t.snapshot();
+        assert_eq!(snap.partitions()[0].num_rows(), 12);
+        assert!(snap.tombstone(0).is_none(), "compacted slot is clean");
+        assert!(snap.tombstone(1).is_some(), "below-threshold slot remains");
+        assert_eq!(snap.deleted_rows(), 2);
+        assert_eq!(snap.live_rows(), 85);
+        // Dict encoding survives the codes-domain filter.
+        assert!(snap.partitions()[0].column(1).is_dict_encoded());
+        // The rebuilt zone has exact bounds over the survivors (odd ids).
+        let z = &snap.zones()[0];
+        assert_eq!(z.column("id").unwrap().min, Value::Int(1));
+        assert_eq!(z.column("id").unwrap().max, Value::Int(23));
+        // The rebuilt index slot covers exactly the live rows.
+        let slots = snap.index("id").unwrap();
+        assert_eq!(slots[0].as_ref().unwrap().num_rows(), 12);
+        assert!(slots[0].as_ref().unwrap().probe_eq(&Value::Int(0)).is_empty());
+        // Untouched sealed slots are carried forward Arc-shared.
+        assert!(Arc::ptr_eq(
+            before.index("id").unwrap()[2].as_ref().unwrap(),
+            slots[2].as_ref().unwrap()
+        ));
+        // Answers are unchanged by compaction.
+        let ids = ids_of(&snap.to_batch().unwrap());
+        let expect: Vec<i64> = (0..100i64)
+            .filter(|i| !doomed.contains(&(*i as usize)))
+            .collect();
+        assert_eq!(ids, expect);
+        // A second compaction at the same threshold finds nothing new.
+        let r = t.compact(0.5).unwrap();
+        assert_eq!(r.partitions_compacted, 0);
+        assert_eq!(r.version, snap.version());
+    }
+
+    #[test]
+    fn compact_never_touches_the_trailing_partition() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        // Partition 3 (rows 75..100) is trailing; delete most of it.
+        t.delete_rows(&(75..95).collect::<Vec<_>>()).unwrap();
+        let r = t.compact(0.0).unwrap();
+        assert_eq!(r.partitions_compacted, 0, "trailing partition is skipped");
+        assert_eq!(t.snapshot().partitions()[3].num_rows(), 25);
+        // Once an append rotates a new tail in, the old one compacts.
+        t.append(&batch(100..130)).unwrap();
+        let r = t.compact(0.0).unwrap();
+        assert_eq!(r.partitions_compacted, 1);
+        assert_eq!(r.rows_dropped, 20);
+        assert_eq!(t.snapshot().partitions()[3].num_rows(), 5);
+        assert_eq!(t.live_rows(), 110);
+    }
+
+    #[test]
+    fn stats_rebuild_excludes_deleted_rows() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        assert_eq!(t.stats().row_count, 100);
+        t.delete_rows(&(0..20).collect::<Vec<_>>()).unwrap();
+        let s = t.stats();
+        assert_eq!(s.row_count, 80, "tombstoned rows drop out of the stats");
+        assert_eq!(s.column("id").unwrap().min, Some(Value::Int(20)));
+        // Appends after the rebuild catch up incrementally again.
+        t.append(&batch(100..130)).unwrap();
+        let s = t.stats();
+        assert_eq!(s.row_count, 110);
+        assert_eq!(s.column("id").unwrap().max, Some(Value::Int(129)));
+        // Compaction invalidates too and the rebuild agrees with scratch.
+        t.compact(0.0).unwrap();
+        let s = t.stats();
+        let scratch = TableStats::compute(&[t.to_batch().unwrap()]);
+        assert_eq!(s.row_count, scratch.row_count);
+        assert_eq!(s.distinct_count("id"), scratch.distinct_count("id"));
+    }
+
+    #[test]
+    fn mutation_sinks_observe_deletes_and_rewrites() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Recording {
+            deletes: Mutex<Vec<Vec<usize>>>,
+            rewrites: AtomicUsize,
+            rewrite_deletes_logged: AtomicUsize,
+        }
+        impl AppendSink for Recording {
+            fn log_append(&self, _: &str, _: &RecordBatch) -> Result<(), StorageError> {
+                Ok(())
+            }
+            fn log_delete(&self, table: &str, positions: &[usize]) -> Result<(), StorageError> {
+                assert_eq!(table, "t");
+                self.deletes.lock().push(positions.to_vec());
+                Ok(())
+            }
+            fn log_rewrite(
+                &self,
+                table: &str,
+                seal_rows: usize,
+                partitions: &[Arc<RecordBatch>],
+                tombstones: &[Option<Arc<SelectionMask>>],
+                deletes_logged: u64,
+            ) -> Result<(), StorageError> {
+                assert_eq!(table, "t");
+                assert_eq!(seal_rows, 25);
+                assert_eq!(partitions.len(), tombstones.len());
+                self.rewrites.fetch_add(1, Ordering::SeqCst);
+                self.rewrite_deletes_logged
+                    .store(deletes_logged as usize, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let sink = Arc::new(Recording::default());
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        t.set_append_sink(Some(sink.clone()));
+        // Only the effective (live) positions reach the log.
+        t.delete_rows(&[5, 6]).unwrap();
+        t.delete_rows(&[6, 7]).unwrap();
+        assert_eq!(*sink.deletes.lock(), vec![vec![5, 6], vec![7]]);
+        // A delete with no live positions never reaches the sink.
+        t.delete_rows(&[5]).unwrap();
+        assert_eq!(sink.deletes.lock().len(), 2);
+        // Compaction logs one rewrite carrying the advanced counter.
+        t.compact(0.0).unwrap();
+        assert_eq!(sink.rewrites.load(Ordering::SeqCst), 1);
+        assert_eq!(sink.rewrite_deletes_logged.load(Ordering::SeqCst), 6);
+        assert_eq!(t.deletes_logged(), 6);
+        // A failing delete sink aborts before anything publishes.
+        struct Failing;
+        impl AppendSink for Failing {
+            fn log_append(&self, _: &str, _: &RecordBatch) -> Result<(), StorageError> {
+                Ok(())
+            }
+            fn log_delete(&self, _: &str, _: &[usize]) -> Result<(), StorageError> {
+                Err(StorageError::Io("disk full".to_string()))
+            }
+        }
+        let live = t.live_rows();
+        let v = t.version();
+        t.set_append_sink(Some(Arc::new(Failing)));
+        assert!(t.delete_rows(&[40]).is_err());
+        assert_eq!(t.live_rows(), live);
+        assert_eq!(t.version(), v);
+    }
+
+    #[test]
+    fn from_recovered_restores_tombstones_and_counter() {
+        let parts = vec![batch(0..25), batch(25..50), batch(50..60)];
+        let tombs = vec![Some(dead_mask(25, &[1, 24])), None, None];
+        let t = Table::from_recovered("t", parts.clone(), tombs, 25, 7).unwrap();
+        assert_eq!(t.deletes_logged(), 7);
+        assert_eq!(t.num_rows(), 60);
+        assert_eq!(t.live_rows(), 58);
+        assert!(t.snapshot().tombstone(0).unwrap().get(24));
+        assert_eq!(t.to_batch().unwrap().num_rows(), 58);
+        // Mask length must match the partition.
+        let bad = vec![Some(SelectionMask::none(10)), None, None];
+        assert!(Table::from_recovered("t", parts.clone(), bad, 25, 0).is_err());
+        // The unsealed tail (10 < 25 rows) cannot carry live tombstones.
+        let bad = vec![None, None, Some(dead_mask(10, &[3]))];
+        assert!(Table::from_recovered("t", parts.clone(), bad, 25, 0).is_err());
+        // Slot-count mismatches are corrupt.
+        assert!(Table::from_recovered("t", parts, vec![None], 25, 0).is_err());
+    }
+
+    #[test]
+    fn live_batches_borrow_untouched_partitions() {
+        let t = Table::from_batch("t", batch(0..100), 4).unwrap();
+        t.delete_rows(&[30]).unwrap();
+        let snap = t.snapshot();
+        let live = snap.live_batches();
+        assert_eq!(live.len(), 4);
+        assert!(matches!(live[0], Cow::Borrowed(_)));
+        assert!(matches!(live[1], Cow::Owned(_)));
+        assert_eq!(live[1].num_rows(), 24);
+        let total: usize = live.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, snap.live_rows());
     }
 }

@@ -88,6 +88,29 @@ impl WeightedSample {
         self.weights.iter().sum()
     }
 
+    /// Rescale every weight so the weight-sum targets `live_rows` instead of
+    /// whatever the sample currently estimates — the tombstone correction for
+    /// samples whose source relation has seen deletes since they were drawn.
+    ///
+    /// The correction is a single multiplicative factor, so it is *idempotent*
+    /// (the factor is recomputed from the current weight-sum; re-applying with
+    /// the same `live_rows` is a no-op) and composes with append-delta merges.
+    /// COUNT/SUM estimates become exactly unbiased when deletes are
+    /// independent of the sampled attributes; under adversarial deletes the
+    /// relative bias of any aggregate is bounded by the deleted fraction,
+    /// which is why the tuner still schedules a rebuild once that fraction
+    /// crosses the staleness bound.
+    pub fn correct_for_deletions(&mut self, live_rows: usize) {
+        let est = self.estimated_source_rows();
+        if est <= 0.0 {
+            return;
+        }
+        let scale = live_rows as f64 / est;
+        for w in &mut self.weights {
+            *w *= scale;
+        }
+    }
+
     /// Serialize into a [`ByteWriter`] (durability-layer payload format).
     pub fn encode_into(&self, w: &mut ByteWriter) {
         encode_batch(w, &self.rows);
@@ -202,6 +225,24 @@ mod tests {
                 "cut={cut}"
             );
         }
+    }
+
+    #[test]
+    fn deletion_correction_retargets_weight_sum_and_is_idempotent() {
+        let mut s = sample(); // weight-sum 6 over 6 source rows
+        s.correct_for_deletions(3);
+        assert!((s.estimated_source_rows() - 3.0).abs() < 1e-9);
+        assert!(s.weights.iter().all(|&w| (w - 1.0).abs() < 1e-9));
+        // Re-applying with the same live count changes nothing.
+        s.correct_for_deletions(3);
+        assert!((s.estimated_source_rows() - 3.0).abs() < 1e-9);
+        // A later, larger live count (appends landed) rescales upward.
+        s.correct_for_deletions(9);
+        assert!((s.estimated_source_rows() - 9.0).abs() < 1e-9);
+        // Empty samples are untouched (no weights to scale).
+        let mut e = WeightedSample::empty(sample().rows.schema().clone());
+        e.correct_for_deletions(10);
+        assert!(e.is_empty());
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl SketchJoin {
         self.rows_summarized
     }
 
+    /// Override the coverage watermark. Used after a rebuild from the *live*
+    /// rows of a table with tombstones: the sketch folded in fewer rows than
+    /// the table physically holds, but append catch-up resumes from physical
+    /// positions, so the watermark must record the physical row count the
+    /// rebuild covered.
+    pub fn set_rows_summarized(&mut self, rows: usize) {
+        self.rows_summarized = rows;
+    }
+
     /// Fold one batch of the summarized relation into the sketch.
     ///
     /// This is also the **incremental maintenance** path: count-min sketches

@@ -37,6 +37,11 @@ pub struct TasterConfig {
     /// Seed for all randomized components (samplers), kept explicit for
     /// reproducible experiments.
     pub seed: u64,
+    /// Dead-row fraction past which a sealed partition qualifies for
+    /// compaction (re-materializing its live rows). Drives both the explicit
+    /// [`crate::TasterEngine::compact_now`] entry point and the background
+    /// compactor.
+    pub compact_dead_fraction: f64,
 }
 
 impl Default for TasterConfig {
@@ -53,6 +58,7 @@ impl Default for TasterConfig {
             uniform_probability_threshold: 0.1,
             max_staleness: 0.2,
             seed: 0x7a57e1,
+            compact_dead_fraction: 0.3,
         }
     }
 }
@@ -80,6 +86,7 @@ mod tests {
         assert_eq!(c.initial_window, 10);
         assert!((c.window_alpha - 0.25).abs() < 1e-9);
         assert!(c.adaptive_window);
+        assert!(c.compact_dead_fraction > 0.0 && c.compact_dead_fraction < 1.0);
     }
 
     #[test]

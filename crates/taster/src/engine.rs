@@ -27,9 +27,13 @@ use taster_engine::physical::execute;
 use taster_engine::shared_scan::{SharedScanRegistry, SharedScanStats};
 use taster_engine::sql::ErrorSpec;
 use taster_engine::{
-    parse_query, EngineError, ExecutionContext, QueryResult, SampleMethod, SynopsisPayload,
+    parse_query, BinaryOp, EngineError, ExecutionContext, Expr, QueryResult, SampleMethod,
+    SynopsisPayload,
 };
-use taster_storage::{Catalog, IoModel, StdVfs, Table, Vfs};
+use taster_storage::{
+    Catalog, ColumnData, CompactReport, IoModel, RecordBatch, SelectionMask, StdVfs,
+    StorageError, Table, TableSnapshot, Value, Vfs,
+};
 use taster_synopses::distinct::{DistinctSampler, DistinctSamplerConfig};
 use taster_synopses::sketch_join::SketchJoin;
 use taster_synopses::{UniformSampler, WeightedSample};
@@ -38,7 +42,7 @@ use crate::coalesce::{BuildGuard, BuildTicket, Coalescer};
 use crate::config::TasterConfig;
 use crate::hints::{build_offline_sample, OfflineStrategy};
 use crate::metadata::MetadataStore;
-use crate::persist::{Durability, PayloadRef, SynopsisSnapshot, TunerState};
+use crate::persist::{Durability, PayloadRef, RecoveredOp, SynopsisSnapshot, TunerState};
 use crate::planner::Planner;
 use crate::store::{SynopsisLease, SynopsisStore};
 use crate::synopsis::{SynopsisId, SynopsisKind};
@@ -261,25 +265,43 @@ impl TasterEngine {
 
         let catalog = Catalog::new();
         let mut rows = 0usize;
-        let mut replayed_appends = 0usize;
+        let mut replayed_ops = 0usize;
         let tables = replayed.tables.len();
         for t in replayed.tables {
-            replayed_appends += t.appends.len();
+            replayed_ops += t.ops.len();
             let table = if t.partitions.is_empty() {
-                // Appends without a checkpoint: seed an empty table from the
-                // first logged batch's schema.
-                let Some(first) = t.appends.first() else {
+                // Mutations without a checkpoint: seed an empty table from
+                // the first logged batch's schema.
+                let Some(first) = t.ops.iter().find_map(|op| match op {
+                    RecoveredOp::Append(b) => Some(b),
+                    RecoveredOp::Delete(_) => None,
+                }) else {
                     continue;
                 };
                 Table::empty(t.name, first.schema().clone(), t.seal_rows)
             } else {
-                Table::from_partitions_with_seal(t.name, t.partitions, t.seal_rows)
-                    .map_err(EngineError::Storage)?
+                Table::from_recovered(
+                    t.name,
+                    t.partitions,
+                    t.tombstones,
+                    t.seal_rows,
+                    t.deletes_logged,
+                )
+                .map_err(EngineError::Storage)?
             };
-            // Re-applying logged appends before any sink is attached: replay
-            // must not re-log its own input.
-            for batch in &t.appends {
-                table.append(batch).map_err(EngineError::Storage)?;
+            // Re-applying logged mutations before any sink is attached:
+            // replay must not re-log its own input. Ops replay in commit
+            // order, so delete positions resolve against exactly the
+            // physical layout they were logged against.
+            for op in &t.ops {
+                match op {
+                    RecoveredOp::Append(batch) => {
+                        table.append(batch).map_err(EngineError::Storage)?;
+                    }
+                    RecoveredOp::Delete(positions) => {
+                        table.delete_rows(positions).map_err(EngineError::Storage)?;
+                    }
+                }
             }
             rows += table.num_rows();
             catalog.register(table);
@@ -299,11 +321,14 @@ impl TasterEngine {
             let mut metadata = engine.metadata.write();
             for s in replayed.synopses {
                 let covered = s.rows_at_build.unwrap_or(0);
+                // Coverage beyond the recovered rows — or a build-time delete
+                // counter ahead of the recovered table's — means the entry
+                // refers to mutations that did not survive the crash.
                 let valid = s.descriptor.base_tables.iter().all(|t| {
                     engine
                         .catalog
                         .table(t)
-                        .map(|t| t.num_rows() >= covered)
+                        .map(|t| t.num_rows() >= covered && t.deletes_logged() >= s.deletes_at_build)
                         .unwrap_or(false)
                 });
                 if !valid {
@@ -316,6 +341,7 @@ impl TasterEngine {
                     s.actual_bytes,
                     s.rows_at_build,
                     s.refresh_count,
+                    s.deletes_at_build,
                 );
                 engine.store.insert_into_warehouse(s.id, &s.payload, s.pinned);
                 recovered += 1;
@@ -334,11 +360,12 @@ impl TasterEngine {
         }
 
         // Compact: checkpoint the recovered tables (superseding the replayed
-        // appends) before re-arming the write-ahead path, then record the
-        // eviction of any dropped synopses. When the log held no appends past
-        // its checkpoint there is nothing to fold in, and re-checkpointing
-        // would make every restart cost a full table rewrite — skip it.
-        if replayed_appends > 0 {
+        // ops) before re-arming the write-ahead path, then record the
+        // eviction of any dropped synopses. When the log held no mutations
+        // past its checkpoint there is nothing to fold in, and
+        // re-checkpointing would make every restart cost a full table
+        // rewrite — skip it.
+        if replayed_ops > 0 {
             durability
                 .checkpoint_tables(&engine.catalog)
                 .map_err(EngineError::Storage)?;
@@ -436,6 +463,7 @@ impl TasterEngine {
                 descriptor: meta.descriptor.clone(),
                 actual_bytes: meta.actual_bytes.unwrap_or(meta.descriptor.estimated_bytes),
                 rows_at_build: meta.rows_at_build,
+                deletes_at_build: meta.deletes_at_build,
                 refresh_count: meta.refresh_count,
                 pinned: meta.descriptor.pinned,
                 payload,
@@ -585,6 +613,9 @@ impl TasterEngine {
                 SynopsisPayload::Sketch(sk) => sk.rows_summarized(),
             };
             metadata.set_build_snapshot(id, covered);
+            if let Ok(t) = self.catalog.table(table) {
+                metadata.set_build_deletes(id, t.deletes_logged());
+            }
             id
         };
         self.store.insert_into_warehouse(id, &build.payload, true);
@@ -658,6 +689,7 @@ impl TasterEngine {
                 &metadata,
                 &self.store,
                 &|t| self.catalog.table(t).ok().map(|t| t.num_rows()),
+                &|t| self.catalog.table(t).ok().map(|t| t.deletes_logged()),
                 self.config.max_staleness,
             )
         };
@@ -826,6 +858,14 @@ impl TasterEngine {
                     SynopsisPayload::Sketch(sk) => sk.rows_summarized(),
                 };
                 metadata.set_build_snapshot(*id, covered);
+                let deletes = metadata
+                    .get(*id)
+                    .and_then(|m| m.descriptor.base_tables.first().cloned())
+                    .and_then(|t| self.catalog.table(&t).ok())
+                    .map(|t| t.deletes_logged());
+                if let Some(deletes) = deletes {
+                    metadata.set_build_deletes(*id, deletes);
+                }
                 self.store.insert_into_buffer(*id, payload, false);
             }
         }
@@ -867,12 +907,12 @@ impl TasterEngine {
         if self.store.location(id).is_none() {
             return false;
         }
-        let descriptor = {
+        let (descriptor, deletes_at_build) = {
             let metadata = self.metadata.read();
             let Some(meta) = metadata.get(id) else {
                 return false;
             };
-            meta.descriptor.clone()
+            (meta.descriptor.clone(), meta.deletes_at_build)
         };
         let [table] = &descriptor.base_tables[..] else {
             return false;
@@ -880,25 +920,61 @@ impl TasterEngine {
         let Ok(table) = self.catalog.table(table) else {
             return false;
         };
+        // Counter before snapshot: a delete racing in between makes the
+        // recorded counter *older* than the snapshot, so the next staleness
+        // check still sees drift and schedules another rebuild — never the
+        // reverse (drift masked as fresh).
+        let deletes_now = table.deletes_logged();
         let snapshot = table.snapshot();
 
-        // The resume point comes from the *payload itself* (the sample's
-        // `source_rows` / the sketch's `rows_summarized`), not the metadata
-        // snapshot: a concurrent session may have refreshed between our
-        // staleness check and here, and resuming from the metadata value
-        // would absorb the same delta twice. Reading the payload's own
-        // coverage makes refresh idempotent — a raced second refresh sees an
-        // empty delta (or recomputes the identical payload, since the seed
-        // derives from the resume point).
-        let payload = match &descriptor.kind {
+        let payload = if deletes_now != deletes_at_build {
+            self.rebuild_from_live(id, &descriptor, &snapshot, deletes_now)
+        } else {
+            self.absorb_append_delta(id, &descriptor, &snapshot)
+        };
+        let Some(payload) = payload else {
+            return false;
+        };
+
+        // Atomic in-place replace: if a concurrent tuner evicted (or moved)
+        // the entry while the delta was being absorbed, the refresh is
+        // dropped rather than resurrecting an entry the budget decision
+        // removed.
+        if !self.store.refresh_in_place(id, &payload) {
+            return false;
+        }
+        let mut metadata = self.metadata.write();
+        metadata.set_actual_size(id, payload.size_bytes());
+        metadata.record_refresh(id, snapshot.num_rows());
+        metadata.set_build_deletes(id, deletes_now);
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Append-only refresh: absorb exactly the suffix of rows appended past
+    /// the payload's own coverage.
+    ///
+    /// The resume point comes from the *payload itself* (the sample's
+    /// `source_rows` / the sketch's `rows_summarized`), not the metadata
+    /// snapshot: a concurrent session may have refreshed between our
+    /// staleness check and here, and resuming from the metadata value
+    /// would absorb the same delta twice. Reading the payload's own
+    /// coverage makes refresh idempotent — a raced second refresh sees an
+    /// empty delta (or recomputes the identical payload, since the seed
+    /// derives from the resume point).
+    fn absorb_append_delta(
+        &self,
+        id: SynopsisId,
+        descriptor: &crate::synopsis::SynopsisDescriptor,
+        snapshot: &TableSnapshot,
+    ) -> Option<SynopsisPayload> {
+        match &descriptor.kind {
             SynopsisKind::Sample { method } => {
-                let Some((old, _)) = self.store.sample(id) else {
-                    return false;
-                };
+                let (old, _) = self.store.sample(id)?;
                 let built = old.source_rows;
                 if snapshot.num_rows() <= built {
                     self.catch_up_build_snapshot(id, built);
-                    return false;
+                    return None;
                 }
                 // Appends only extend the tail, so global row positions are
                 // stable and `rows_from(built)` is exactly the unseen suffix.
@@ -924,41 +1000,87 @@ impl TasterEngine {
                         delta.iter().try_for_each(|b| s.update(&mut sample, b))
                     }
                 };
-                if absorbed.is_err() {
-                    return false;
-                }
-                SynopsisPayload::Sample(sample)
+                absorbed.ok()?;
+                Some(SynopsisPayload::Sample(sample))
             }
             SynopsisKind::SketchJoin { .. } => {
-                let Some((old, _)) = self.store.sketch(id) else {
-                    return false;
-                };
+                let (old, _) = self.store.sketch(id)?;
                 let built = old.rows_summarized();
                 if snapshot.num_rows() <= built {
                     self.catch_up_build_snapshot(id, built);
-                    return false;
+                    return None;
                 }
                 let delta = snapshot.rows_from(built);
                 let mut sketch = (*old).clone();
-                if delta.iter().try_for_each(|b| sketch.add_batch(b)).is_err() {
-                    return false;
-                }
-                SynopsisPayload::Sketch(sketch)
+                delta.iter().try_for_each(|b| sketch.add_batch(b)).ok()?;
+                Some(SynopsisPayload::Sketch(sketch))
             }
-        };
-
-        // Atomic in-place replace: if a concurrent tuner evicted (or moved)
-        // the entry while the delta was being absorbed, the refresh is
-        // dropped rather than resurrecting an entry the budget decision
-        // removed.
-        if !self.store.refresh_in_place(id, &payload) {
-            return false;
         }
-        let mut metadata = self.metadata.write();
-        metadata.set_actual_size(id, payload.size_bytes());
-        metadata.record_refresh(id, snapshot.num_rows());
-        self.refreshes.fetch_add(1, Ordering::Relaxed);
-        true
+    }
+
+    /// Deletion-aware refresh: the base table's mutation counter moved past
+    /// the synopsis's build point, so physical positions may have shifted
+    /// (tail deletes, compaction) and coverage shrank — positional append
+    /// catch-up is unsound. Rebuild the payload from the live rows of the
+    /// current snapshot instead: samples are redrawn (restoring the distinct
+    /// sampler's per-stratum δ guarantee that reweighting cannot repair),
+    /// and sketches — which cannot subtract — are recomputed from scratch.
+    /// The seed derives from the mutation counter, so a raced second rebuild
+    /// recomputes the identical payload.
+    fn rebuild_from_live(
+        &self,
+        id: SynopsisId,
+        descriptor: &crate::synopsis::SynopsisDescriptor,
+        snapshot: &TableSnapshot,
+        deletes_now: u64,
+    ) -> Option<SynopsisPayload> {
+        let live = snapshot.live_batches();
+        let seed = mix_seed(self.config.seed ^ id, deletes_now);
+        match &descriptor.kind {
+            SynopsisKind::Sample { method } => {
+                let sample = match method {
+                    SampleMethod::Uniform { probability } => {
+                        UniformSampler::new(*probability, seed).sample_partitions(&live)
+                    }
+                    SampleMethod::Distinct {
+                        stratification,
+                        delta: min_rows,
+                        probability,
+                    } => {
+                        let cfg = DistinctSamplerConfig::new(
+                            stratification.clone(),
+                            *min_rows,
+                            *probability,
+                        );
+                        DistinctSampler::new(cfg, seed)
+                            .sample_partitions(&live)
+                            .ok()?
+                    }
+                };
+                let mut sample = sample?;
+                // Later append catch-up resumes from *physical* positions:
+                // the rebuild covers the whole physical prefix, even though
+                // only its live rows were drawn from.
+                sample.source_rows = snapshot.num_rows();
+                Some(SynopsisPayload::Sample(sample))
+            }
+            SynopsisKind::SketchJoin {
+                key_columns,
+                value_column,
+                ..
+            } => {
+                let mut sketch = SketchJoin::build(
+                    &live,
+                    key_columns.clone(),
+                    value_column.clone(),
+                    0.0005,
+                    0.01,
+                )
+                .ok()?;
+                sketch.set_rows_summarized(snapshot.num_rows());
+                Some(SynopsisPayload::Sketch(sketch))
+            }
+        }
     }
 
     /// A racing session refreshed the payload but may not have written the
@@ -972,6 +1094,214 @@ impl TasterEngine {
             if meta.rows_at_build.unwrap_or(0) < covered {
                 metadata.set_build_snapshot(id, covered);
             }
+        }
+    }
+
+    /// Delete every live row of `table_name` matching the AND-ed
+    /// `predicates` (empty ⇒ every live row). Positions are resolved against
+    /// one snapshot, logged write-ahead in persistent mode, and published as
+    /// one atomically swapped tombstoned snapshot — sealed partitions stay
+    /// immutable, the unsealed tail deletes in place.
+    ///
+    /// Materialized uniform samples over the table get their weights
+    /// tombstone-corrected in place (bias bounded by the deleted fraction,
+    /// see [`WeightedSample::correct_for_deletions`]) so estimates track the
+    /// shrunk table immediately; the build-time delete counter is left
+    /// untouched, so the staleness machinery still schedules the true
+    /// rebuild once the drift crosses the bound. Distinct samples are never
+    /// reweighted — a delete batch can break their per-stratum δ guarantee —
+    /// and instead force-refresh on the next query.
+    ///
+    /// Resolution and application are optimistic: positions resolve against
+    /// one snapshot and apply through [`Table::delete_rows_at`], which
+    /// rejects them if a concurrent compaction or tail delete moved rows in
+    /// between (stale positions would delete the *wrong* rows). On such a
+    /// conflict the whole resolve-and-apply retries against a fresh
+    /// snapshot; conflicts require a layout change mid-flight, so the loop
+    /// terminates as soon as the compactor goes quiet.
+    pub fn delete_where(
+        &self,
+        table_name: &str,
+        predicates: &[Expr],
+    ) -> Result<MutationReport, EngineError> {
+        let table = self.catalog.table(table_name)?;
+        let filter = combine_predicates(predicates);
+        let report = loop {
+            let snapshot = table.snapshot();
+            let (positions, _) = match_live_rows(&snapshot, filter.as_ref())?;
+            match table.delete_rows_at(&positions, snapshot.layout_epoch()) {
+                Ok(report) => break report,
+                Err(StorageError::Conflict(_)) => continue,
+                Err(err) => return Err(EngineError::Storage(err)),
+            }
+        };
+        if report.rows_deleted > 0 {
+            self.correct_samples_after_delete(table_name, &table);
+            self.sync_durability()?;
+        }
+        Ok(MutationReport {
+            rows_affected: report.rows_deleted,
+            table_version: report.version,
+        })
+    }
+
+    /// Update every live row of `table_name` matching the AND-ed
+    /// `predicates`: delete + re-append of the assigned rows, published as
+    /// two individually consistent snapshots under one mutation-lock
+    /// acquisition (the storage layer's [`Table::update_rows`] contract).
+    /// Each `(column, literal)` assignment replaces that column's value in
+    /// every matched row; unassigned columns are carried over unchanged.
+    pub fn update_where(
+        &self,
+        table_name: &str,
+        assignments: &[(String, Value)],
+        predicates: &[Expr],
+    ) -> Result<MutationReport, EngineError> {
+        if assignments.is_empty() {
+            return Err(EngineError::Plan("UPDATE with no assignments".to_string()));
+        }
+        let table = self.catalog.table(table_name)?;
+        let filter = combine_predicates(predicates);
+        // Same optimistic resolve-and-apply as `delete_where`: the gathered
+        // replacement rows and the positions both come from one snapshot, so
+        // a layout conflict re-gathers everything.
+        let report = loop {
+            let snapshot = table.snapshot();
+            let (positions, masks) = match_live_rows(&snapshot, filter.as_ref())?;
+            if positions.is_empty() {
+                return Ok(MutationReport {
+                    rows_affected: 0,
+                    table_version: snapshot.version(),
+                });
+            }
+            // Gather the matched rows, then rewrite the assigned columns.
+            let parts: Vec<RecordBatch> = snapshot
+                .partitions()
+                .iter()
+                .zip(&masks)
+                .filter(|(_, m)| !m.is_none_selected())
+                .map(|(p, m)| p.filter_mask(m))
+                .collect();
+            let refs: Vec<&RecordBatch> = parts.iter().collect();
+            let matched = RecordBatch::concat_refs(&refs).map_err(EngineError::Storage)?;
+            let schema = matched.schema().clone();
+            let mut columns: Vec<ColumnData> = matched.columns().to_vec();
+            for (name, value) in assignments {
+                let idx = schema.index_of(name).map_err(EngineError::Storage)?;
+                let mut col =
+                    ColumnData::with_capacity(schema.field(idx).data_type, matched.num_rows());
+                for _ in 0..matched.num_rows() {
+                    col.push(value).map_err(EngineError::Storage)?;
+                }
+                columns[idx] = col;
+            }
+            let replacement =
+                RecordBatch::try_new(schema, columns).map_err(EngineError::Storage)?;
+
+            match table.update_rows_at(&positions, &replacement, snapshot.layout_epoch()) {
+                Ok(report) => break report,
+                Err(StorageError::Conflict(_)) => continue,
+                Err(err) => return Err(EngineError::Storage(err)),
+            }
+        };
+        if report.rows_deleted > 0 {
+            self.correct_samples_after_delete(table_name, &table);
+            self.sync_durability()?;
+        }
+        Ok(MutationReport {
+            rows_affected: report.rows_deleted,
+            table_version: report.version,
+        })
+    }
+
+    /// Compact every table whose sealed partitions crossed the configured
+    /// dead-row threshold ([`TasterConfig::compact_dead_fraction`]),
+    /// returning a report per table that changed. Compaction never changes a
+    /// query answer — it only re-materializes live rows — but it advances the
+    /// mutation counter, so synopses over a compacted table rebuild from live
+    /// rows at their next refresh instead of resuming from now-shifted
+    /// physical positions.
+    pub fn compact_now(&self) -> Result<Vec<(String, CompactReport)>, EngineError> {
+        let mut out = Vec::new();
+        for name in self.catalog.table_names() {
+            let table = self.catalog.table(&name)?;
+            let report = table
+                .compact(self.config.compact_dead_fraction)
+                .map_err(EngineError::Storage)?;
+            if report.partitions_compacted > 0 {
+                out.push((name, report));
+            }
+        }
+        if !out.is_empty() {
+            self.sync_durability()?;
+        }
+        Ok(out)
+    }
+
+    /// Start the background compactor: a thread sweeping all tables every
+    /// `interval` through [`compact_now`](Self::compact_now). Stop (and
+    /// join) it by dropping the returned handle.
+    pub fn start_background_compactor(
+        self: &Arc<Self>,
+        interval: std::time::Duration,
+    ) -> CompactorHandle {
+        let engine = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // Sleep in short steps so a stop request never waits out a long
+            // interval.
+            let step = interval.min(std::time::Duration::from_millis(20));
+            let mut since_sweep = interval; // sweep immediately on start
+            while !flag.load(Ordering::Relaxed) {
+                if since_sweep >= interval {
+                    since_sweep = std::time::Duration::ZERO;
+                    let _ = engine.compact_now();
+                } else {
+                    std::thread::sleep(step);
+                    since_sweep += step;
+                }
+            }
+        });
+        CompactorHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Tombstone-correct materialized uniform samples over `table_name`
+    /// after a delete: one multiplicative weight rescale targeting the live
+    /// row count. Only samples covering the whole physical prefix are
+    /// corrected; anything else (including distinct samples and sketches)
+    /// goes through the ordinary refresh machinery.
+    fn correct_samples_after_delete(&self, table_name: &str, table: &Table) {
+        let snapshot = table.snapshot();
+        for id in self.store.materialized_ids() {
+            let is_uniform_over_table = {
+                let metadata = self.metadata.read();
+                metadata.get(id).is_some_and(|m| {
+                    m.descriptor.base_tables == [table_name]
+                        && matches!(
+                            &m.descriptor.kind,
+                            SynopsisKind::Sample {
+                                method: SampleMethod::Uniform { .. }
+                            }
+                        )
+                })
+            };
+            if !is_uniform_over_table {
+                continue;
+            }
+            let Some((old, _)) = self.store.sample(id) else {
+                continue;
+            };
+            if old.source_rows != snapshot.num_rows() {
+                continue;
+            }
+            let mut corrected = (*old).clone();
+            corrected.correct_for_deletions(snapshot.live_rows());
+            self.store
+                .refresh_in_place(id, &SynopsisPayload::Sample(corrected));
         }
     }
 
@@ -996,6 +1326,73 @@ impl TasterEngine {
             }
         }
     }
+}
+
+/// What one [`TasterEngine::delete_where`] / [`TasterEngine::update_where`]
+/// call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReport {
+    /// Live rows the mutation touched (deleted, or deleted-and-replaced).
+    pub rows_affected: usize,
+    /// The table's snapshot version after the mutation.
+    pub table_version: u64,
+}
+
+/// Handle on the background compactor thread started by
+/// [`TasterEngine::start_background_compactor`]. Dropping the handle stops
+/// and joins the thread.
+pub struct CompactorHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Signal the compactor to stop and join it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// AND together a query's predicate list (the parser's implicit conjunction).
+fn combine_predicates(predicates: &[Expr]) -> Option<Expr> {
+    predicates
+        .iter()
+        .cloned()
+        .reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
+}
+
+/// Resolve the live rows of `snapshot` matching `filter` to global row
+/// positions plus the per-partition selection masks that produced them
+/// (tombstoned rows are excluded from both).
+fn match_live_rows(
+    snapshot: &TableSnapshot,
+    filter: Option<&Expr>,
+) -> Result<(Vec<usize>, Vec<SelectionMask>), EngineError> {
+    let mut positions = Vec::new();
+    let mut masks = Vec::with_capacity(snapshot.partitions().len());
+    let mut offset = 0usize;
+    for (i, part) in snapshot.partitions().iter().enumerate() {
+        let mut mask = match filter {
+            Some(expr) => expr.evaluate_predicate(part)?,
+            None => SelectionMask::all(part.num_rows()),
+        };
+        if let Some(tomb) = snapshot.tombstone(i) {
+            mask.and_not_with(tomb);
+        }
+        positions.extend(mask.iter_selected().map(|j| offset + j));
+        masks.push(mask);
+        offset += part.num_rows();
+    }
+    Ok((positions, masks))
 }
 
 #[cfg(test)]
@@ -1361,5 +1758,136 @@ mod tests {
             }
         });
         assert_eq!(eng.queries_executed(), 2);
+    }
+
+    fn lt(column: &str, value: i64) -> Expr {
+        Expr::binary(Expr::col(column), BinaryOp::Lt, Expr::Literal(Value::Int(value)))
+    }
+
+    fn exact(eng: &TasterEngine, sql: &str) -> QueryResult {
+        let plan = taster_engine::parse_query(sql)
+            .unwrap()
+            .to_exact_plan(&eng.catalog)
+            .unwrap();
+        execute(&plan, &ExecutionContext::new(eng.catalog.clone())).unwrap()
+    }
+
+    #[test]
+    fn delete_where_stays_within_error_spec_after_heavy_deletes() {
+        let eng = engine(50_000);
+        let _ = eng.execute_sql(Q).unwrap();
+
+        let report = eng.delete_where("orders", &[lt("o_id", 20_000)]).unwrap();
+        assert_eq!(report.rows_affected, 20_000);
+        let table = eng.catalog.table("orders").unwrap();
+        assert!(table.deletes_logged() > 0);
+        assert_eq!(table.snapshot().live_rows(), 30_000);
+
+        // Deleting the same range again is an idempotent no-op.
+        let again = eng.delete_where("orders", &[lt("o_id", 20_000)]).unwrap();
+        assert_eq!(again.rows_affected, 0);
+
+        // The next approximate answer must track the *live* exact answer —
+        // the synopsis either got tombstone-corrected in place or rebuilt
+        // from live rows by the staleness-driven refresh.
+        let approx = eng.execute_sql(Q).unwrap();
+        let reference = exact(&eng, Q);
+        let (err, missed) = approx.result.error_vs(&reference);
+        assert_eq!(missed, 0, "no groups may be missed after deletes");
+        assert!(err < 0.15, "relative error after 40% deletes: {err}");
+    }
+
+    #[test]
+    fn delete_where_reweights_covering_uniform_samples_in_place() {
+        let eng = engine(30_000);
+        let report = eng
+            .add_offline_hint(
+                "orders",
+                OfflineStrategy::Variational { fraction: 0.05 },
+                None,
+            )
+            .unwrap();
+        let id = report.synopsis_id;
+
+        eng.delete_where("orders", &[lt("o_id", 15_000)]).unwrap();
+
+        // The pinned uniform sample's weight-sum now targets the live count.
+        let (sample, _) = eng.store().sample(id).expect("hint stays pinned");
+        let live = eng.catalog.table("orders").unwrap().snapshot().live_rows() as f64;
+        let est = sample.estimated_source_rows();
+        assert!(
+            (est - live).abs() / live < 1e-9,
+            "weight-sum {est} must be rescaled to live rows {live}"
+        );
+    }
+
+    #[test]
+    fn update_where_rewrites_matching_rows() {
+        let eng = engine(10_000);
+        let report = eng
+            .update_where(
+                "orders",
+                &[("o_price".to_string(), Value::Float(5.0))],
+                &[lt("o_id", 10)],
+            )
+            .unwrap();
+        assert_eq!(report.rows_affected, 10);
+        // The ten rewritten rows each carry the new price...
+        let sum = exact(&eng, "SELECT SUM(o_price) FROM orders WHERE o_id < 10");
+        assert_eq!(sum.groups[0].aggregates[0].value, 50.0);
+        // ...and nothing else changed: total live rows are preserved.
+        let count = exact(&eng, "SELECT COUNT(*) FROM orders");
+        assert_eq!(count.groups[0].aggregates[0].value, 10_000.0);
+
+        // Updates with no assignments are a planning error.
+        assert!(eng.update_where("orders", &[], &[]).is_err());
+    }
+
+    #[test]
+    fn compaction_never_changes_answers_and_drops_dead_rows() {
+        let eng = engine(40_000);
+        eng.delete_where("orders", &[lt("o_id", 16_000)]).unwrap();
+        let before = exact(&eng, Q);
+
+        let reports = eng.compact_now().unwrap();
+        let orders_report = reports
+            .iter()
+            .find(|(n, _)| n == "orders")
+            .map(|(_, r)| *r)
+            .expect("40% dead rows must trigger compaction");
+        assert!(orders_report.rows_dropped > 0);
+        assert!(orders_report.partitions_compacted > 0);
+
+        let after = exact(&eng, Q);
+        let (err, missed) = after.error_vs(&before);
+        assert_eq!(missed, 0);
+        assert_eq!(err, 0.0, "compaction changed an exact answer");
+
+        // A second sweep finds nothing left to do.
+        assert!(eng.compact_now().unwrap().is_empty());
+    }
+
+    #[test]
+    fn background_compactor_sweeps_and_stops() {
+        let eng = Arc::new(engine(40_000));
+        eng.delete_where("orders", &[lt("o_id", 16_000)]).unwrap();
+        let mut handle = eng.start_background_compactor(std::time::Duration::from_millis(5));
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            // Compaction physically drops the fully-dead partitions, so the
+            // physical row count shrinks (partitions under the dead-fraction
+            // threshold legitimately keep their few tombstones).
+            let snapshot = eng.catalog.table("orders").unwrap().snapshot();
+            if snapshot.num_rows() < 40_000 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "compactor never swept");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        handle.stop();
+        // Stopping twice (and the eventual Drop) are no-ops.
+        handle.stop();
+        let reference = exact(&eng, Q);
+        assert_eq!(reference.num_groups(), 5);
     }
 }

@@ -46,7 +46,9 @@ pub mod tuner;
 pub use cardinality::{CardinalityCache, SynopsisCardinality};
 pub use coalesce::{BuildTicket, Coalescer};
 pub use config::TasterConfig;
-pub use engine::{RecoveryReport, TasterEngine, TasterResult};
+pub use engine::{
+    CompactorHandle, MutationReport, RecoveryReport, TasterEngine, TasterResult,
+};
 pub use persist::Durability;
 pub use metadata::MetadataStore;
 pub use planner::{CandidatePlan, Planner};

@@ -33,7 +33,8 @@ use taster_engine::{SampleMethod, SynopsisPayload};
 use taster_storage::codec::{decode_batch, encode_batch};
 use taster_storage::table::AppendSink;
 use taster_storage::{
-    BlobRef, ByteReader, ByteWriter, Catalog, Pager, RecordBatch, StorageError, Vfs, Wal,
+    BlobRef, ByteReader, ByteWriter, Catalog, Pager, RecordBatch, SelectionMask, StorageError,
+    Vfs, Wal,
 };
 use taster_synopses::sketch_join::SketchJoin;
 use taster_synopses::WeightedSample;
@@ -46,6 +47,8 @@ const KIND_CHECKPOINT: u8 = 2;
 const KIND_SYNOPSIS_UPSERT: u8 = 3;
 const KIND_SYNOPSIS_EVICT: u8 = 4;
 const KIND_TUNER: u8 = 5;
+const KIND_TABLE_DELETE: u8 = 6;
+const KIND_TABLE_REWRITE: u8 = 7;
 
 /// Payload-blob kind tags.
 const PAYLOAD_SAMPLE: u8 = 0;
@@ -87,6 +90,8 @@ pub struct SynopsisSnapshot {
     pub actual_bytes: usize,
     /// Base rows the payload covers.
     pub rows_at_build: Option<usize>,
+    /// The base table's mutation (delete) counter at build/refresh time.
+    pub deletes_at_build: u64,
     /// Incremental refreshes applied so far.
     pub refresh_count: usize,
     /// `true` for user-pinned synopses.
@@ -105,6 +110,8 @@ pub struct RecoveredSynopsis {
     pub actual_bytes: usize,
     /// Base rows the payload covers.
     pub rows_at_build: Option<usize>,
+    /// The base table's mutation (delete) counter at build/refresh time.
+    pub deletes_at_build: u64,
     /// Incremental refreshes applied before the crash.
     pub refresh_count: usize,
     /// `true` for user-pinned synopses.
@@ -113,8 +120,19 @@ pub struct RecoveredSynopsis {
     pub payload: SynopsisPayload,
 }
 
-/// A table reconstructed from the log: the partitions of its last checkpoint
-/// plus every append committed after it, in order.
+/// One logged mutation replayed after the last checkpoint/rewrite, in commit
+/// order. Deletes carry the physical global positions they were logged
+/// against; replaying ops in order keeps those positions meaningful.
+pub enum RecoveredOp {
+    /// An appended batch.
+    Append(RecordBatch),
+    /// Deleted physical row positions (sorted, deduplicated at log time).
+    Delete(Vec<usize>),
+}
+
+/// A table reconstructed from the log: the partitions (and tombstones) of its
+/// last checkpoint or rewrite, plus every append/delete committed after it,
+/// in order.
 pub struct RecoveredTable {
     /// Table name.
     pub name: String,
@@ -122,8 +140,12 @@ pub struct RecoveredTable {
     pub seal_rows: usize,
     /// Checkpointed partitions (empty when the table was never checkpointed).
     pub partitions: Vec<RecordBatch>,
-    /// Post-checkpoint appends, oldest first.
-    pub appends: Vec<RecordBatch>,
+    /// Per-partition tombstone masks, parallel to `partitions`.
+    pub tombstones: Vec<Option<SelectionMask>>,
+    /// The table's mutation counter at checkpoint time.
+    pub deletes_logged: u64,
+    /// Post-checkpoint mutations, oldest first.
+    pub ops: Vec<RecoveredOp>,
 }
 
 /// Everything a WAL replay reconstructed, handed to the engine's recovery.
@@ -146,6 +168,7 @@ pub struct Replayed {
 struct PersistedMeta {
     actual_bytes: usize,
     rows_at_build: Option<usize>,
+    deletes_at_build: u64,
     refresh_count: usize,
     blob: BlobRef,
 }
@@ -190,7 +213,7 @@ impl Durability {
                     let name = r.get_str()?;
                     let batch = decode_batch(&mut r)?;
                     match tables.iter_mut().find(|t| t.name == name) {
-                        Some(t) => t.appends.push(batch),
+                        Some(t) => t.ops.push(RecoveredOp::Append(batch)),
                         None => tables.push(RecoveredTable {
                             name,
                             // Never checkpointed: adopt the first append's
@@ -198,40 +221,38 @@ impl Durability {
                             // on open, so this is a crash-between path).
                             seal_rows: batch.num_rows().max(1),
                             partitions: Vec::new(),
-                            appends: vec![batch],
+                            tombstones: Vec::new(),
+                            deletes_logged: 0,
+                            ops: vec![RecoveredOp::Append(batch)],
                         }),
+                    }
+                }
+                KIND_TABLE_DELETE => {
+                    let name = r.get_str()?;
+                    let n = r.get_u32()? as usize;
+                    let mut positions = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        positions.push(usize::try_from(r.get_u64()?).map_err(|_| {
+                            StorageError::Corrupt("delete position overflows usize".to_string())
+                        })?);
+                    }
+                    // A delete against a table the log knows nothing about
+                    // (no checkpoint, no append) has nothing to apply to;
+                    // recovery would skip the table anyway.
+                    if let Some(t) = tables.iter_mut().find(|t| t.name == name) {
+                        t.ops.push(RecoveredOp::Delete(positions));
                     }
                 }
                 KIND_CHECKPOINT => {
                     let ntables = r.get_u32()? as usize;
                     for _ in 0..ntables {
-                        let name = r.get_str()?;
-                        let seal_rows = usize::try_from(r.get_u64()?).map_err(|_| {
-                            StorageError::Corrupt("seal_rows overflows usize".to_string())
-                        })?;
-                        let nparts = r.get_u32()? as usize;
-                        let mut partitions = Vec::with_capacity(nparts.min(4096));
-                        for _ in 0..nparts {
-                            let blob = BlobRef::decode(&mut r)?;
-                            let bytes = pager.read_blob(blob)?;
-                            partitions.push(decode_batch(&mut ByteReader::new(&bytes))?);
-                        }
-                        // A checkpoint *resets* the table: earlier appends
-                        // are folded into the checkpointed partitions.
-                        match tables.iter_mut().find(|t| t.name == name) {
-                            Some(t) => {
-                                t.seal_rows = seal_rows;
-                                t.partitions = partitions;
-                                t.appends.clear();
-                            }
-                            None => tables.push(RecoveredTable {
-                                name,
-                                seal_rows,
-                                partitions,
-                                appends: Vec::new(),
-                            }),
-                        }
+                        let state = decode_table_state(&mut r, &pager)?;
+                        apply_table_state(&mut tables, state);
                     }
+                }
+                KIND_TABLE_REWRITE => {
+                    let state = decode_table_state(&mut r, &pager)?;
+                    apply_table_state(&mut tables, state);
                 }
                 KIND_SYNOPSIS_UPSERT => {
                     let (rec, meta) = decode_synopsis_upsert(&mut r, &pager)?;
@@ -321,15 +342,15 @@ impl Durability {
         for name in &names {
             let table = catalog.table(name)?;
             let snapshot = table.snapshot();
-            payload.put_str(name);
-            payload.put_u64(table.seal_rows() as u64);
-            payload.put_u32(snapshot.partitions().len() as u32);
-            for part in snapshot.partitions() {
-                let mut bytes = ByteWriter::new();
-                encode_batch(&mut bytes, part);
-                let blob = self.pager.write_blob(&bytes.into_bytes())?;
-                blob.encode(&mut payload);
-            }
+            encode_table_state(
+                &mut payload,
+                &self.pager,
+                name,
+                table.seal_rows(),
+                snapshot.partitions(),
+                snapshot.tombstones(),
+                table.deletes_logged(),
+            )?;
         }
         // Blob-first commit protocol: partitions are durable before the
         // record referencing them.
@@ -359,6 +380,7 @@ impl Durability {
                 Some(m) => {
                     m.actual_bytes != snap.actual_bytes
                         || m.rows_at_build != snap.rows_at_build
+                        || m.deletes_at_build != snap.deletes_at_build
                         || m.refresh_count != snap.refresh_count
                 }
             };
@@ -381,6 +403,7 @@ impl Durability {
             let meta = PersistedMeta {
                 actual_bytes: snap.actual_bytes,
                 rows_at_build: snap.rows_at_build,
+                deletes_at_build: snap.deletes_at_build,
                 refresh_count: snap.refresh_count,
                 blob,
             };
@@ -444,6 +467,145 @@ impl AppendSink for Durability {
         let mut wal = self.wal.lock();
         wal.append(KIND_TABLE_APPEND, &payload.into_bytes())?;
         wal.commit()
+    }
+
+    fn log_delete(&self, table: &str, positions: &[usize]) -> Result<(), StorageError> {
+        let mut payload = ByteWriter::new();
+        payload.put_str(table);
+        payload.put_u32(positions.len() as u32);
+        for &p in positions {
+            payload.put_u64(p as u64);
+        }
+        let mut wal = self.wal.lock();
+        wal.append(KIND_TABLE_DELETE, &payload.into_bytes())?;
+        wal.commit()
+    }
+
+    fn log_rewrite(
+        &self,
+        table: &str,
+        seal_rows: usize,
+        partitions: &[Arc<RecordBatch>],
+        tombstones: &[Option<Arc<SelectionMask>>],
+        deletes_logged: u64,
+    ) -> Result<(), StorageError> {
+        let mut payload = ByteWriter::new();
+        encode_table_state(
+            &mut payload,
+            &self.pager,
+            table,
+            seal_rows,
+            partitions,
+            tombstones,
+            deletes_logged,
+        )?;
+        // Blob-first, like checkpoints: the rewritten partitions are durable
+        // before the record referencing them.
+        self.pager.sync()?;
+        let mut wal = self.wal.lock();
+        wal.append(KIND_TABLE_REWRITE, &payload.into_bytes())?;
+        wal.commit()
+    }
+}
+
+/// Serialize one table's full physical state (partitions spilled to pager
+/// blobs, tombstone masks inline) — the shared body of `Checkpoint` and
+/// `TableRewrite` records.
+fn encode_table_state(
+    payload: &mut ByteWriter,
+    pager: &Pager,
+    name: &str,
+    seal_rows: usize,
+    partitions: &[Arc<RecordBatch>],
+    tombstones: &[Option<Arc<SelectionMask>>],
+    deletes_logged: u64,
+) -> Result<(), StorageError> {
+    payload.put_str(name);
+    payload.put_u64(seal_rows as u64);
+    payload.put_u32(partitions.len() as u32);
+    for (i, part) in partitions.iter().enumerate() {
+        let mut bytes = ByteWriter::new();
+        encode_batch(&mut bytes, part);
+        let blob = pager.write_blob(&bytes.into_bytes())?;
+        blob.encode(payload);
+        match tombstones.get(i).and_then(|t| t.as_deref()) {
+            Some(mask) if !mask.is_none_selected() => {
+                payload.put_bool(true);
+                let words = mask.words();
+                payload.put_u32(words.len() as u32);
+                for &word in words {
+                    payload.put_u64(word);
+                }
+            }
+            _ => payload.put_bool(false),
+        }
+    }
+    payload.put_u64(deletes_logged);
+    Ok(())
+}
+
+/// Decoded counterpart of [`encode_table_state`].
+struct TableState {
+    name: String,
+    seal_rows: usize,
+    partitions: Vec<RecordBatch>,
+    tombstones: Vec<Option<SelectionMask>>,
+    deletes_logged: u64,
+}
+
+fn decode_table_state(r: &mut ByteReader, pager: &Pager) -> Result<TableState, StorageError> {
+    let name = r.get_str()?;
+    let seal_rows = usize::try_from(r.get_u64()?)
+        .map_err(|_| StorageError::Corrupt("seal_rows overflows usize".to_string()))?;
+    let nparts = r.get_u32()? as usize;
+    let mut partitions = Vec::with_capacity(nparts.min(4096));
+    let mut tombstones = Vec::with_capacity(nparts.min(4096));
+    for _ in 0..nparts {
+        let blob = BlobRef::decode(r)?;
+        let bytes = pager.read_blob(blob)?;
+        let batch = decode_batch(&mut ByteReader::new(&bytes))?;
+        let mask = if r.get_bool()? {
+            let nwords = r.get_u32()? as usize;
+            let mut words = Vec::with_capacity(nwords.min(1 << 20));
+            for _ in 0..nwords {
+                words.push(r.get_u64()?);
+            }
+            Some(SelectionMask::from_words(words, batch.num_rows())?)
+        } else {
+            None
+        };
+        partitions.push(batch);
+        tombstones.push(mask);
+    }
+    let deletes_logged = r.get_u64()?;
+    Ok(TableState {
+        name,
+        seal_rows,
+        partitions,
+        tombstones,
+        deletes_logged,
+    })
+}
+
+/// A checkpoint/rewrite *resets* the table: earlier ops are folded into the
+/// recorded physical state; later ops replay on top of it.
+fn apply_table_state(tables: &mut Vec<RecoveredTable>, state: TableState) {
+    match tables.iter_mut().find(|t| t.name == state.name) {
+        Some(t) => {
+            t.seal_rows = state.seal_rows;
+            t.partitions = state.partitions;
+            t.tombstones = state.tombstones;
+            t.deletes_logged = state.deletes_logged;
+            t.ops.clear();
+        }
+        None => tables.push(RecoveredTable {
+            name: state.name,
+            seal_rows: state.seal_rows,
+            partitions: state.partitions,
+            tombstones: state.tombstones,
+            deletes_logged: state.deletes_logged,
+            ops: Vec::new(),
+        }),
     }
 }
 
@@ -608,6 +770,7 @@ fn encode_synopsis_upsert(w: &mut ByteWriter, snap: &SynopsisSnapshot, blob: Blo
         }
         None => w.put_bool(false),
     }
+    w.put_u64(snap.deletes_at_build);
     w.put_u64(snap.refresh_count as u64);
     w.put_bool(snap.pinned);
     blob.encode(w);
@@ -628,6 +791,7 @@ fn decode_synopsis_upsert(
     } else {
         None
     };
+    let deletes_at_build = r.get_u64()?;
     let refresh_count = usize::try_from(r.get_u64()?)
         .map_err(|_| StorageError::Corrupt("refresh_count overflows usize".to_string()))?;
     let pinned = r.get_bool()?;
@@ -650,6 +814,7 @@ fn decode_synopsis_upsert(
             descriptor,
             actual_bytes,
             rows_at_build,
+            deletes_at_build,
             refresh_count,
             pinned,
             payload,
@@ -657,6 +822,7 @@ fn decode_synopsis_upsert(
         PersistedMeta {
             actual_bytes,
             rows_at_build,
+            deletes_at_build,
             refresh_count,
             blob,
         },

@@ -247,14 +247,23 @@ impl Tuner {
     /// back). Pinned synopses are always refreshed — the user promised they
     /// are useful, and the tuner may never drop them.
     ///
-    /// `rows_of` maps a base-table name to its current row count (the engine
-    /// passes a catalog lookup). Multi-table synopses are skipped: nothing in
-    /// the planner produces them today, and a partial refresh would be wrong.
+    /// `rows_of` maps a base-table name to its current row count and
+    /// `deletes_of` to its monotonic mutation counter (the engine passes
+    /// catalog lookups). Staleness combines append drift with the
+    /// deletion-fraction term: sketches cannot subtract deleted rows and
+    /// samples only *approximately* reweight, so both must be rebuilt before
+    /// drifted estimates are served. Distinct samples are scheduled for
+    /// refresh on **any** deletion advance regardless of the bound — a single
+    /// delete batch can empty a stratum below its δ row guarantee, which no
+    /// weight correction restores. Multi-table synopses are skipped: nothing
+    /// in the planner produces them today, and a partial refresh would be
+    /// wrong.
     pub fn refresh_actions(
         &self,
         metadata: &MetadataStore,
         store: &SynopsisStore,
         rows_of: &dyn Fn(&str) -> Option<usize>,
+        deletes_of: &dyn Fn(&str) -> Option<u64>,
         max_staleness: f64,
     ) -> RefreshActions {
         let mut actions = RefreshActions::default();
@@ -268,7 +277,17 @@ impl Tuner {
             let Some(rows_now) = rows_of(table) else {
                 continue;
             };
-            if meta.staleness(rows_now) <= max_staleness + 1e-12 {
+            let deletes_now = deletes_of(table).unwrap_or(meta.deletes_at_build);
+            let distinct_lost_delta = meta.deletion_staleness(deletes_now) > 0.0
+                && matches!(
+                    &meta.descriptor.kind,
+                    crate::synopsis::SynopsisKind::Sample {
+                        method: taster_engine::SampleMethod::Distinct { .. }
+                    }
+                );
+            if !distinct_lost_delta
+                && meta.total_staleness(rows_now, deletes_now) <= max_staleness + 1e-12
+            {
                 continue;
             }
             let current = store.size_of(id).unwrap_or(0);
@@ -679,7 +698,8 @@ mod tests {
         let tuner = Tuner::new(&TasterConfig::default());
         // Table at 1000 rows: `stale` has seen only half of them.
         let rows_of = |_: &str| Some(1_000usize);
-        let actions = tuner.refresh_actions(&md, &store, &rows_of, 0.2);
+        let deletes_of = |_: &str| Some(0u64);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, &deletes_of, 0.2);
         assert_eq!(actions.refresh, vec![stale]);
         assert!(actions.evict.is_empty());
 
@@ -687,7 +707,7 @@ mod tests {
         // the stale synopsis must be evicted instead of refreshed.
         let used = store.usage().warehouse_bytes;
         store.set_warehouse_quota(used);
-        let actions = tuner.refresh_actions(&md, &store, &rows_of, 0.2);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, &deletes_of, 0.2);
         assert_eq!(actions.evict, vec![stale]);
         assert!(actions.refresh.is_empty());
 
@@ -695,9 +715,73 @@ mod tests {
         let pinned = register(&mut md, 100, true);
         store.insert_into_warehouse(pinned, &payload(10), true);
         md.set_build_snapshot(pinned, 500);
-        let actions = tuner.refresh_actions(&md, &store, &rows_of, 0.2);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, &deletes_of, 0.2);
         assert!(actions.refresh.contains(&pinned));
         assert!(!actions.evict.contains(&pinned));
+    }
+
+    /// Deletion drift counts toward staleness even when the table never
+    /// grew, and a distinct sample is scheduled on *any* delete delta — its
+    /// δ per-stratum guarantee cannot be restored by reweighting.
+    #[test]
+    fn refresh_actions_account_for_deletion_drift() {
+        let payload = |rows: usize| {
+            let b = taster_storage::batch::BatchBuilder::new()
+                .column("x", (0..rows as i64).collect::<Vec<_>>())
+                .build()
+                .unwrap();
+            taster_engine::SynopsisPayload::Sample(taster_synopses::WeightedSample {
+                rows: b,
+                weights: vec![1.0; rows],
+                stratification: vec![],
+                probability: 1.0,
+                source_rows: rows,
+            })
+        };
+        let mut md = MetadataStore::new();
+        let store = SynopsisStore::new(1 << 20, 1 << 20);
+        let uniform = register(&mut md, 100, false);
+        store.insert_into_warehouse(uniform, &payload(10), false);
+        md.set_build_snapshot(uniform, 1_000);
+
+        let did = md.allocate_id();
+        let distinct = md.register(SynopsisDescriptor {
+            id: did,
+            fingerprint: "fp-distinct".into(),
+            base_tables: vec!["t".into()],
+            kind: SynopsisKind::Sample {
+                method: SampleMethod::Distinct {
+                    stratification: vec!["x".into()],
+                    delta: 10,
+                    probability: 0.5,
+                },
+            },
+            accuracy: ErrorSpec::default(),
+            estimated_bytes: 100,
+            estimated_rows: 10,
+            pinned: false,
+        });
+        store.insert_into_warehouse(distinct, &payload(10), false);
+        md.set_build_snapshot(distinct, 1_000);
+
+        let tuner = Tuner::new(&TasterConfig::default());
+        let rows_of = |_: &str| Some(1_000usize);
+
+        // No deletes: nothing is stale.
+        let none = |_: &str| Some(0u64);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, &none, 0.2);
+        assert!(actions.refresh.is_empty() && actions.evict.is_empty());
+
+        // 5% of covered rows deleted: below the 20% bound for the uniform
+        // sample, but the distinct sample must refresh anyway.
+        let few = |_: &str| Some(50u64);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, &few, 0.2);
+        assert_eq!(actions.refresh, vec![distinct]);
+
+        // 30% deleted: now both cross the bound, with no append growth.
+        let many = |_: &str| Some(300u64);
+        let actions = tuner.refresh_actions(&md, &store, &rows_of, &many, 0.2);
+        assert_eq!(actions.refresh, vec![uniform, distinct]);
     }
 
     #[test]

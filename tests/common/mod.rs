@@ -1,0 +1,9 @@
+//! Helpers shared by the integration-test suites in `tests/`.
+//!
+//! `common/` is not itself a test target (cargo only turns the `.rs` files
+//! directly under `tests/` into binaries); each suite pulls it in with
+//! `mod common;`.
+
+#![allow(dead_code)] // each suite uses a different slice of the helpers
+
+pub mod stats_assert;

@@ -1,0 +1,118 @@
+//! ε/δ statistical assertion helpers shared by the property suites.
+//!
+//! Approximate answers are random variables: a correct estimator can still
+//! land outside its error bound on some seeds — that is exactly what "AT
+//! CONFIDENCE 95%" licenses. Asserting a hard per-seed bound either flakes
+//! or forces the bound so loose it verifies nothing. These helpers make the
+//! statistics explicit instead:
+//!
+//! * [`relative_error`] / [`assert_error_within`] — the single-trial check,
+//!   with the degenerate truth-is-zero case handled once,
+//! * [`seed_schedule`] / [`run_seeded_trials`] — a deterministic
+//!   splitmix64-derived seed schedule driving repeated independent trials,
+//! * [`TrialReport::assert_confidence`] — the repeated-trial check: the
+//!   in-bound *rate* must be consistent with the stated confidence, minus a
+//!   three-sigma binomial tail allowance so an honest estimator passes with
+//!   overwhelming probability while a biased one still fails.
+
+/// One splitmix64 step. Used to derive per-trial seeds from a base seed:
+/// consecutive outputs are statistically independent even though the
+/// schedule is fully deterministic.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic per-trial seed schedule for `trials` trials derived
+/// from `base`. Changing `base` explores a different slice of the input
+/// space; the schedule itself never depends on wall-clock or trial order.
+pub fn seed_schedule(base: u64, trials: usize) -> Vec<u64> {
+    let mut state = base;
+    (0..trials).map(|_| splitmix64(&mut state)).collect()
+}
+
+/// `|estimate − truth| / |truth|`, with the zero-truth case pinned: an
+/// estimate of exactly zero is a perfect answer, anything else is infinitely
+/// wrong (rather than a NaN that slips through `<` assertions).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// Hard single-trial bound: `relative_error(estimate, truth) ≤ bound`.
+pub fn assert_error_within(estimate: f64, truth: f64, bound: f64, ctx: &str) {
+    let err = relative_error(estimate, truth);
+    assert!(
+        err <= bound,
+        "relative error {err:.4} exceeds bound {bound} (estimate {estimate}, truth {truth}; {ctx})"
+    );
+}
+
+/// Hard bound on an already-computed relative error (e.g. the worst group of
+/// a GROUP BY comparison). NaN fails rather than slipping through `<`.
+pub fn assert_bounded(err: f64, bound: f64, ctx: &str) {
+    assert!(
+        err <= bound,
+        "relative error {err:.4} exceeds bound {bound} ({ctx})"
+    );
+}
+
+/// Outcome of a repeated-trial run: how many trials landed inside their
+/// error bound out of how many were run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialReport {
+    /// Trials whose estimate met the bound.
+    pub within: usize,
+    /// Total trials run.
+    pub total: usize,
+}
+
+impl TrialReport {
+    /// Assert that the in-bound rate is consistent with `confidence`: the
+    /// observed rate must be at least `confidence − 3·σ` where `σ` is the
+    /// binomial standard error at `total` trials. At 100 trials and 95%
+    /// confidence the allowance is ≈ 6.5 points — an honest estimator fails
+    /// this with probability ≈ 0.1%, a meaningfully biased one reliably.
+    pub fn assert_confidence(&self, confidence: f64, ctx: &str) {
+        assert!(self.total > 0, "no trials were run ({ctx})");
+        let rate = self.within as f64 / self.total as f64;
+        let sigma = (confidence * (1.0 - confidence) / self.total as f64).sqrt();
+        let floor = confidence - 3.0 * sigma;
+        assert!(
+            rate >= floor,
+            "only {}/{} trials within bound (rate {rate:.3}, need ≥ {floor:.3} \
+             for confidence {confidence}; {ctx})",
+            self.within,
+            self.total
+        );
+    }
+}
+
+/// Run `trials` independent trials over the [`seed_schedule`] of `base`;
+/// `trial` returns whether its estimate landed inside the error bound.
+pub fn run_seeded_trials(
+    base: u64,
+    trials: usize,
+    mut trial: impl FnMut(u64) -> bool,
+) -> TrialReport {
+    let mut within = 0;
+    for seed in seed_schedule(base, trials) {
+        if trial(seed) {
+            within += 1;
+        }
+    }
+    TrialReport {
+        within,
+        total: trials,
+    }
+}

@@ -1,0 +1,228 @@
+//! Concurrent delete + compact + query + ingest soak (the statistical-bias
+//! verification harness, part 2: snapshot atomicity under churn).
+//!
+//! One engine, four concurrent roles — an ingester appending batches, a
+//! deleter tombstoning id ranges, the background compactor re-sealing
+//! partitions past the dead-row threshold, and queriers running exact scans
+//! and approximate aggregates. Invariants:
+//!
+//! * **No half-compacted snapshot** — every exact scan sees an atomic state:
+//!   no id twice (compaction never duplicates rows), every delete completed
+//!   before the scan is invisible, every append published before the scan is
+//!   visible unless a concurrent delete targeted it (checked against the
+//!   deleter's *started* set, read after the scan, so in-flight deletes
+//!   cannot fake a lost row).
+//! * **Deterministic end state** — the mutation schedules derive entirely
+//!   from `stats_assert::seed_schedule`, so after the soak quiesces the live
+//!   set is exactly `[0, TOTAL)` minus the scheduled ranges, dictionary
+//!   columns included — however the compactor interleaved.
+//! * **Staleness bound holds** — the synopses serving the post-quiesce query
+//!   are within the configured `max_staleness` of the mutated table; the
+//!   tuner must have refreshed (or rebuilt) them rather than serve drift.
+
+mod common;
+use common::stats_assert;
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use taster_repro::engine::physical::execute;
+use taster_repro::engine::{BinaryOp, ExecutionContext, Expr, LogicalPlan};
+use taster_repro::storage::batch::{BatchBuilder, RecordBatch};
+use taster_repro::storage::{Catalog, Table, Value};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+const GROUPS: i64 = 6;
+const CATS: [&str; 3] = ["alpha", "beta", "gamma"];
+const APPROX_SQL: &str =
+    "SELECT grp, SUM(val) FROM t GROUP BY grp ERROR WITHIN 10% AT CONFIDENCE 95%";
+
+fn rows_batch(lo: i64, hi: i64) -> RecordBatch {
+    BatchBuilder::new()
+        .column("id", (lo..hi).collect::<Vec<_>>())
+        .column("grp", (lo..hi).map(|i| i % GROUPS).collect::<Vec<_>>())
+        .column("val", (lo..hi).map(|i| (i % 997) as f64).collect::<Vec<_>>())
+        .column(
+            "cat",
+            (lo..hi).map(|i| CATS[(i % 3) as usize]).collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn id_pred(lo: i64, hi: i64) -> [Expr; 2] {
+    [
+        Expr::binary(Expr::col("id"), BinaryOp::GtEq, Expr::Literal(Value::Int(lo))),
+        Expr::binary(Expr::col("id"), BinaryOp::Lt, Expr::Literal(Value::Int(hi))),
+    ]
+}
+
+/// `(id, cat)` pairs of a full exact scan — one atomic snapshot.
+fn scan_ids(cat: &Arc<Catalog>) -> Vec<(i64, String)> {
+    let plan = LogicalPlan::Scan {
+        table: "t".into(),
+        filter: None,
+        projection: None,
+        access: None,
+    };
+    let result = execute(&plan, &ExecutionContext::new(cat.clone())).unwrap();
+    let b = &result.rows;
+    let id = b.column_by_name("id").unwrap();
+    let catc = b.column_by_name("cat").unwrap();
+    (0..b.num_rows())
+        .map(|i| {
+            let s = match catc.value(i) {
+                Value::Str(s) => s,
+                other => panic!("cat column yielded {other:?}"),
+            };
+            (id.value(i).as_i64().unwrap(), s)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_delete_compact_query_ingest_soak() {
+    const INITIAL: i64 = 4_000;
+    const ROUNDS: usize = 24;
+    const BATCH: i64 = 1_000;
+    const TOTAL: i64 = INITIAL + ROUNDS as i64 * BATCH;
+
+    // Deterministic mutation schedule: one delete range per seed, strictly
+    // below TOTAL, pairwise disjoint by construction (one range per stride).
+    let delete_ranges: Vec<(i64, i64)> = stats_assert::seed_schedule(0xc0ac_7ed5, 20)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let stride = TOTAL / 20;
+            let lo = i as i64 * stride + (s % (stride as u64 / 2)) as i64;
+            let len = 100 + (s >> 32) as i64 % (stride / 2 - 100).max(1);
+            (lo, (lo + len).min((i as i64 + 1) * stride))
+        })
+        .collect();
+
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("t", rows_batch(0, INITIAL), 8).unwrap());
+    let cat = Arc::new(cat);
+    let config = TasterConfig {
+        compact_dead_fraction: 0.2,
+        ..TasterConfig::with_budget_fraction(cat.total_size_bytes() * 8, 1.0)
+    };
+    let eng = Arc::new(TasterEngine::new(cat.clone(), config));
+
+    // Published progress: `floor` rises only after an append committed;
+    // `started`/`completed` bracket each delete batch.
+    let floor = Arc::new(Mutex::new(INITIAL));
+    let started: Arc<Mutex<Vec<(i64, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let completed: Arc<Mutex<Vec<(i64, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut compactor = eng.start_background_compactor(Duration::from_millis(2));
+
+    std::thread::scope(|scope| {
+        // Ingester: publish the contiguous floor after each committed append.
+        {
+            let (cat, floor) = (cat.clone(), floor.clone());
+            scope.spawn(move || {
+                for r in 0..ROUNDS {
+                    let lo = INITIAL + r as i64 * BATCH;
+                    cat.table("t").unwrap().append(&rows_batch(lo, lo + BATCH)).unwrap();
+                    *floor.lock().unwrap() = lo + BATCH;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        // Deleter: wait until a range is fully ingested, then tombstone it.
+        {
+            let (eng, floor) = (eng.clone(), floor.clone());
+            let (started, completed) = (started.clone(), completed.clone());
+            let ranges = delete_ranges.clone();
+            scope.spawn(move || {
+                for (lo, hi) in ranges {
+                    while *floor.lock().unwrap() < hi {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    started.lock().unwrap().push((lo, hi));
+                    let report = eng.delete_where("t", &id_pred(lo, hi)).unwrap();
+                    assert_eq!(report.rows_affected, (hi - lo) as usize, "range [{lo},{hi})");
+                    completed.lock().unwrap().push((lo, hi));
+                }
+            });
+        }
+        // Queriers: exact atomic-snapshot audits plus approximate queries.
+        for q in 0..2 {
+            let (eng, cat, floor) = (eng.clone(), cat.clone(), floor.clone());
+            let (started, completed) = (started.clone(), completed.clone());
+            scope.spawn(move || {
+                for round in 0..12 {
+                    // Read floor/completed BEFORE the scan, started AFTER:
+                    // anything completed must be invisible, anything absent
+                    // must have at least started.
+                    let f = *floor.lock().unwrap();
+                    let gone: Vec<(i64, i64)> = completed.lock().unwrap().clone();
+                    let seen = scan_ids(&cat);
+                    let maybe_gone: Vec<(i64, i64)> = started.lock().unwrap().clone();
+
+                    let mut ids = HashSet::with_capacity(seen.len());
+                    for (id, cat_val) in &seen {
+                        assert!(ids.insert(*id), "querier {q} round {round}: id {id} twice");
+                        assert_eq!(*cat_val, CATS[(*id % 3) as usize], "id {id} cat corrupted");
+                    }
+                    for &(lo, hi) in &gone {
+                        for id in lo..hi {
+                            assert!(!ids.contains(&id), "querier {q} round {round}: deleted id {id} resurrected");
+                        }
+                    }
+                    let may_be_missing: HashSet<i64> = maybe_gone
+                        .iter()
+                        .flat_map(|&(lo, hi)| lo..hi)
+                        .collect();
+                    for id in 0..f {
+                        assert!(
+                            ids.contains(&id) || may_be_missing.contains(&id),
+                            "querier {q} round {round}: live id {id} lost"
+                        );
+                    }
+
+                    let res = eng.execute_sql(APPROX_SQL).unwrap();
+                    assert!(res.result.num_groups() > 0);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+    });
+    // One more explicit sweep now that every delete has landed, then stop
+    // the background compactor (its Drop would stop it too).
+    eng.compact_now().unwrap();
+    compactor.stop();
+
+    // Deterministic end state: exactly [0, TOTAL) minus the scheduled
+    // ranges, with dictionary-encoded values intact — however compaction
+    // interleaved with the mutators.
+    let mut expect: HashMap<i64, &str> = (0..TOTAL).map(|i| (i, CATS[(i % 3) as usize])).collect();
+    for &(lo, hi) in &delete_ranges {
+        for id in lo..hi {
+            expect.remove(&id);
+        }
+    }
+    let live = scan_ids(&cat);
+    assert_eq!(live.len(), expect.len(), "final live count diverged");
+    for (id, cat_val) in &live {
+        assert_eq!(expect.get(id).copied(), Some(cat_val.as_str()), "final state: id {id}");
+    }
+
+    // Staleness bound: the synopses serving the post-quiesce answer are
+    // within max_staleness of the mutated table.
+    let res = eng.execute_sql(APPROX_SQL).unwrap();
+    let table = cat.table("t").unwrap();
+    let (rows_now, deletes_now) = (table.num_rows(), table.deletes_logged());
+    let metadata = eng.metadata();
+    for id in res.created_synopses.iter().chain(res.reused_synopses.iter()) {
+        let meta = metadata.get(*id).expect("serving synopsis has metadata");
+        let staleness = meta.total_staleness(rows_now, deletes_now);
+        assert!(
+            staleness <= config.max_staleness + 1e-9,
+            "synopsis {id} served at staleness {staleness} (bound {})",
+            config.max_staleness
+        );
+    }
+}

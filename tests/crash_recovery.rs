@@ -17,13 +17,18 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use taster_repro::engine::physical::execute;
+use taster_repro::engine::{parse_query, BinaryOp, ExecutionContext, Expr};
 use taster_repro::storage::batch::{BatchBuilder, RecordBatch};
-use taster_repro::storage::{Catalog, Table};
+use taster_repro::storage::{Catalog, Table, Value};
 use taster_repro::taster::{TasterConfig, TasterEngine};
 
 const ENV_DIR: &str = "TASTER_CRASH_DIR";
+const ENV_DIR_MUT: &str = "TASTER_CRASH_DIR_MUT";
 const BASE: usize = 2_000;
 const APPEND: usize = 250;
+/// Rows each mutation round deletes out of the batch it just appended.
+const DEL: usize = 100;
 const SQL: &str = "SELECT o_flag, SUM(o_price) FROM orders GROUP BY o_flag";
 
 fn orders_rows(lo: usize, hi: usize) -> RecordBatch {
@@ -145,6 +150,153 @@ fn sigkill_mid_ingest_recovers_to_commit_boundary() {
     let (rows_again, dropped_again) = recovered_rows(&scratch, cfg);
     assert_eq!(rows, rows_again, "second recovery diverged");
     assert_eq!(dropped_again, 0, "first recovery left invalid synopses behind");
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// The mutation victim: each round appends one batch and then deletes the
+/// first [`DEL`] rows of it through the WAL-logged delete path, so a SIGKILL
+/// can land between an append commit and its delete commit — but never
+/// inside either.
+#[test]
+#[ignore = "child half of the delete crash soak; driven by sigkill_mid_mutation_recovers_tombstones"]
+fn crash_soak_child_mutate() {
+    let Ok(dir) = std::env::var(ENV_DIR_MUT) else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("orders", orders_rows(0, BASE), 8).unwrap());
+    let cat = Arc::new(cat);
+    let eng = TasterEngine::open_durable(cat.clone(), config(&cat), &dir).unwrap();
+    for i in 0..100_000usize {
+        let lo = BASE + i * APPEND;
+        cat.table("orders")
+            .unwrap()
+            .append(&orders_rows(lo, lo + APPEND))
+            .unwrap();
+        eng.delete_where(
+            "orders",
+            &[
+                Expr::binary(
+                    Expr::col("o_id"),
+                    BinaryOp::GtEq,
+                    Expr::Literal(Value::Int(lo as i64)),
+                ),
+                Expr::binary(
+                    Expr::col("o_id"),
+                    BinaryOp::Lt,
+                    Expr::Literal(Value::Int((lo + DEL) as i64)),
+                ),
+            ],
+        )
+        .unwrap();
+        let _ = eng.execute_sql(SQL).unwrap();
+    }
+}
+
+fn exact_count(eng: &TasterEngine, sql: &str) -> f64 {
+    let cat = eng.catalog_handle();
+    let plan = parse_query(sql).unwrap().to_exact_plan(&cat).unwrap();
+    let result = execute(&plan, &ExecutionContext::new(cat.clone())).unwrap();
+    // A global aggregate over zero matching rows yields no group at all.
+    result.groups.first().map_or(0.0, |g| g.aggregates[0].value)
+}
+
+/// SIGKILL while the child interleaves logged appends and deletes: recovery
+/// must land on an exact mutation-batch boundary — whole appends, whole
+/// delete batches, tombstones intact — never a torn mutation.
+#[test]
+fn sigkill_mid_mutation_recovers_tombstones() {
+    let scratch = std::env::temp_dir().join(format!(
+        "taster-crash-mutate-{}-{:x}",
+        std::process::id(),
+        Instant::now().elapsed().as_nanos()
+    ));
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(&exe)
+        .args(["--exact", "crash_soak_child_mutate", "--ignored"])
+        .env(ENV_DIR_MUT, &scratch)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child mutation process");
+
+    let wal = scratch.join("wal.log");
+    let target = 64 * 1024u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let len = std::fs::metadata(&wal).map(|m| m.len()).unwrap_or(0);
+        if len >= target {
+            break;
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("child exited early ({status}) with WAL at {len} bytes");
+        }
+        assert!(Instant::now() < deadline, "child made no progress (WAL {len} B)");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL the child");
+    let _ = child.wait();
+
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("orders", orders_rows(0, BASE), 8).unwrap());
+    let cfg = config(&cat);
+    drop(cat);
+
+    let (eng, _) = TasterEngine::recover(cfg, &scratch)
+        .unwrap_or_else(|e| panic!("recovery after SIGKILL failed: {e}"));
+    let table = eng.catalog_handle().table("orders").unwrap();
+    let live = table.snapshot().live_rows();
+    assert!(live >= BASE, "initial checkpoint must survive (live {live})");
+
+    // Each complete round nets +150 live rows (250 appended − 100 deleted);
+    // a kill between the halves leaves one extra whole append (+250). So
+    // `live − BASE` is `150·k` (round boundary) or `150·k + 250` ≡ 100
+    // (mod 150) (append committed, its delete not yet). Any other residue
+    // means a torn mutation batch leaked.
+    let extra = live - BASE;
+    let full_rounds = match extra % 150 {
+        0 => extra / 150,
+        100 => (extra - 250) / 150,
+        residue => panic!("live − base = {extra} (residue {residue}): torn mutation batch"),
+    };
+
+    // Tombstones intact: every committed delete batch's id-range is gone.
+    // (Spot-check the first and last committed rounds plus the total.)
+    let total = exact_count(&eng, "SELECT COUNT(*) FROM orders");
+    assert_eq!(total, live as f64, "exact COUNT disagrees with live rows");
+    for round in [0, full_rounds.saturating_sub(1)] {
+        if round < full_rounds {
+            let lo = BASE + round * APPEND;
+            let gone = exact_count(
+                &eng,
+                &format!("SELECT COUNT(*) FROM orders WHERE o_id >= {lo} AND o_id < {}", lo + DEL),
+            );
+            assert_eq!(gone, 0.0, "round {round}: deleted rows resurrected");
+            let kept = exact_count(
+                &eng,
+                &format!(
+                    "SELECT COUNT(*) FROM orders WHERE o_id >= {} AND o_id < {}",
+                    lo + DEL,
+                    lo + APPEND
+                ),
+            );
+            assert_eq!(kept, (APPEND - DEL) as f64, "round {round}: surviving rows lost");
+        }
+    }
+
+    // Idempotent second recovery lands on the same boundary.
+    drop(eng);
+    let (again, report) = TasterEngine::recover(cfg, &scratch).unwrap();
+    assert_eq!(
+        again.catalog_handle().table("orders").unwrap().snapshot().live_rows(),
+        live,
+        "second recovery diverged"
+    );
+    assert_eq!(report.synopses_dropped, 0, "first recovery left invalid synopses");
 
     std::fs::remove_dir_all(&scratch).ok();
 }

@@ -1,0 +1,389 @@
+//! Property tests for tombstone deletes and updates (the statistical-bias
+//! verification harness, part 1).
+//!
+//! * **Exact-query bit-identity** — after any random interleaving of
+//!   appends, predicate deletes and predicate updates, a filtered scan and
+//!   an exact GROUP BY aggregate through the engine return exactly what a
+//!   brute-force reference model of the live rows returns. The generated
+//!   table mixes raw and dictionary-encoded (string) columns and sealed
+//!   partitions with an unsealed tail; tombstones must be ANDed into every
+//!   scan and never change a surviving row.
+//! * **ErrorSpec under heavy deletes** — after deleting up to 50% of rows,
+//!   approximate answers stay inside the query's `ERROR WITHIN 10%` bound at
+//!   the stated 95% confidence, verified over 100 seeded trials with a
+//!   binomial tail allowance (`tests/common/stats_assert.rs`). A missing
+//!   tombstone correction biases SUM by the deleted fraction (up to 2×) and
+//!   fails every trial.
+//! * **Correlated deletes** — deletes targeting the aggregated column
+//!   itself (the adversarial case for in-place reweighting) push deletion
+//!   staleness past the tuner's bound, which must rebuild the synopsis from
+//!   live rows instead of serving the drifted estimate.
+//!
+//! The CI matrix runs this suite under `TASTER_THREADS={1,4}`; the
+//! properties are thread-count invariant (results are compared as sorted
+//! multisets).
+
+mod common;
+use common::stats_assert;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use taster_repro::engine::physical::execute;
+use taster_repro::engine::{parse_query, BinaryOp, ExecutionContext, Expr, LogicalPlan};
+use taster_repro::storage::batch::{BatchBuilder, RecordBatch};
+use taster_repro::storage::{Catalog, Table, Value};
+use taster_repro::taster::{TasterConfig, TasterEngine};
+
+/// The reference model row; the engine must behave as if the table were this
+/// `Vec<Row>` with matching rows removed/rewritten in place.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    id: i64,
+    grp: i64,
+    val: f64,
+    cat: &'static str,
+}
+
+/// Values for the dictionary-encoded string column.
+const CATS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn gen_rows(rng: &mut SmallRng, next_id: &mut i64, n: usize, groups: i64) -> Vec<Row> {
+    (0..n)
+        .map(|_| {
+            let id = *next_id;
+            *next_id += 1;
+            Row {
+                id,
+                grp: rng.random_range(0..groups),
+                // Integer-valued floats: sums are exact in f64 regardless of
+                // accumulation order, so exact comparisons are bit-identical.
+                val: rng.random_range(0..1_000) as f64,
+                cat: CATS[rng.random_range(0..4u32) as usize],
+            }
+        })
+        .collect()
+}
+
+fn make_batch(rows: &[Row]) -> RecordBatch {
+    BatchBuilder::new()
+        .column("id", rows.iter().map(|r| r.id).collect::<Vec<_>>())
+        .column("grp", rows.iter().map(|r| r.grp).collect::<Vec<_>>())
+        .column("val", rows.iter().map(|r| r.val).collect::<Vec<_>>())
+        .column("cat", rows.iter().map(|r| r.cat).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+}
+
+fn pred(column: &str, op: BinaryOp, literal: Value) -> Expr {
+    Expr::binary(Expr::col(column), op, Expr::Literal(literal))
+}
+
+/// A random predicate over the generated schema, as both the engine
+/// expression and the equivalent model closure. Covers raw integer columns
+/// and the dictionary-encoded string column.
+#[allow(clippy::type_complexity)]
+fn random_predicate(
+    rng: &mut SmallRng,
+    id_span: i64,
+    groups: i64,
+) -> (Expr, Box<dyn Fn(&Row) -> bool>) {
+    match rng.random_range(0..4u32) {
+        0 => {
+            let p = rng.random_range(0..id_span.max(1));
+            (pred("id", BinaryOp::Lt, Value::Int(p)), Box::new(move |r| r.id < p))
+        }
+        1 => {
+            let p = rng.random_range(0..id_span.max(1));
+            (pred("id", BinaryOp::GtEq, Value::Int(p)), Box::new(move |r| r.id >= p))
+        }
+        2 => {
+            let g = rng.random_range(0..groups);
+            (pred("grp", BinaryOp::Eq, Value::Int(g)), Box::new(move |r| r.grp == g))
+        }
+        _ => {
+            let c = CATS[rng.random_range(0..4u32) as usize];
+            (
+                pred("cat", BinaryOp::Eq, Value::Str(c.to_string())),
+                Box::new(move |r| r.cat == c),
+            )
+        }
+    }
+}
+
+/// The engine's filtered-scan output as a sorted multiset of row tuples.
+fn scan_rows(cat: &Arc<Catalog>, filter: Expr) -> Vec<(i64, i64, u64, String)> {
+    let plan = LogicalPlan::Scan {
+        table: "t".into(),
+        filter: Some(filter),
+        projection: None,
+        access: None,
+    };
+    let result = execute(&plan, &ExecutionContext::new(cat.clone())).unwrap();
+    let b = &result.rows;
+    let id = b.column_by_name("id").unwrap();
+    let grp = b.column_by_name("grp").unwrap();
+    let val = b.column_by_name("val").unwrap();
+    let catc = b.column_by_name("cat").unwrap();
+    let mut out: Vec<(i64, i64, u64, String)> = (0..b.num_rows())
+        .map(|i| {
+            let s = match catc.value(i) {
+                Value::Str(s) => s,
+                other => panic!("cat column yielded {other:?}"),
+            };
+            (
+                id.value(i).as_i64().unwrap(),
+                grp.value(i).as_i64().unwrap(),
+                val.value(i).as_f64().unwrap().to_bits(),
+                s,
+            )
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn model_rows(model: &[Row], keep: &dyn Fn(&Row) -> bool) -> Vec<(i64, i64, u64, String)> {
+    let mut out: Vec<(i64, i64, u64, String)> = model
+        .iter()
+        .filter(|r| keep(r))
+        .map(|r| (r.id, r.grp, r.val.to_bits(), r.cat.to_string()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Exact queries are bit-identical to the brute-force reference after any
+/// random interleaving of appends, deletes and updates.
+#[test]
+fn mutated_exact_queries_match_brute_force() {
+    for (case, seed) in stats_assert::seed_schedule(0xde1e_7e57, 8)
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut next_id = 0i64;
+        let groups = rng.random_range(3..10i64);
+        let initial = rng.random_range(2_000..6_000usize);
+        let parts = rng.random_range(2..7usize);
+        let mut model = gen_rows(&mut rng, &mut next_id, initial, groups);
+
+        let cat = Catalog::new();
+        cat.register(Table::from_batch("t", make_batch(&model), parts).unwrap());
+        let cat = Arc::new(cat);
+        let config = TasterConfig::with_budget_fraction(cat.total_size_bytes().max(1), 1.0);
+        let eng = TasterEngine::new(cat.clone(), config);
+
+        for op in 0..10 {
+            let ctx = format!("case {case} (seed {seed:#x}) op {op}");
+            match rng.random_range(0..4u32) {
+                0 => {
+                    // Append: rows land in the unsealed tail (in-place
+                    // deletes) while earlier partitions are sealed
+                    // (tombstoned deletes) — both paths stay exercised.
+                    let n = rng.random_range(100..1_500usize);
+                    let rows = gen_rows(&mut rng, &mut next_id, n, groups);
+                    cat.table("t").unwrap().append(&make_batch(&rows)).unwrap();
+                    model.extend(rows);
+                }
+                1 => {
+                    let (expr, matches) = random_predicate(&mut rng, next_id, groups);
+                    let report = eng.delete_where("t", &[expr]).unwrap();
+                    let before = model.len();
+                    model.retain(|r| !matches(r));
+                    assert_eq!(report.rows_affected, before - model.len(), "{ctx}");
+                }
+                2 => {
+                    // Update = delete + re-append: matched rows move to the
+                    // end of the model with the assigned value.
+                    let new_val = rng.random_range(0..1_000) as f64;
+                    let (expr, matches) = random_predicate(&mut rng, next_id, groups);
+                    let report = eng
+                        .update_where("t", &[("val".to_string(), Value::Float(new_val))], &[expr])
+                        .unwrap();
+                    let (mut moved, kept): (Vec<Row>, Vec<Row>) =
+                        model.drain(..).partition(|r| matches(r));
+                    assert_eq!(report.rows_affected, moved.len(), "{ctx}");
+                    for r in &mut moved {
+                        r.val = new_val;
+                    }
+                    model = kept;
+                    model.extend(moved);
+                }
+                _ => {} // query-only round
+            }
+
+            let (expr, matches) = random_predicate(&mut rng, next_id, groups);
+            assert_eq!(
+                scan_rows(&cat, expr),
+                model_rows(&model, &*matches),
+                "filtered scan diverged from brute force ({ctx})"
+            );
+        }
+
+        // Exact aggregates over the final state: SUM/COUNT per group equal
+        // the model exactly (integer-valued floats sum exactly).
+        let plan = parse_query("SELECT grp, SUM(val), COUNT(*) FROM t GROUP BY grp")
+            .unwrap()
+            .to_exact_plan(&cat)
+            .unwrap();
+        let result = execute(&plan, &ExecutionContext::new(cat.clone())).unwrap();
+        let mut truth: HashMap<i64, (f64, f64)> = HashMap::new();
+        for r in &model {
+            let e = truth.entry(r.grp).or_insert((0.0, 0.0));
+            e.0 += r.val;
+            e.1 += 1.0;
+        }
+        assert_eq!(result.num_groups(), truth.len(), "case {case}");
+        for g in &result.groups {
+            let key = g.key[0].as_i64().unwrap();
+            let (sum, count) = truth[&key];
+            assert_eq!(g.aggregates[0].value, sum, "case {case}: SUM(grp={key})");
+            assert_eq!(g.aggregates[1].value, count, "case {case}: COUNT(grp={key})");
+        }
+    }
+}
+
+/// One bias trial: build a synopsis, delete up to half the table on a
+/// delete-independent predicate, and check the approximate answer against
+/// the live exact answer at the query's ErrorSpec.
+fn bias_trial(seed: u64) -> bool {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rows = 6_000usize;
+    let groups = 8i64;
+    let mut next_id = 0i64;
+    let mut model = gen_rows(&mut rng, &mut next_id, rows, groups);
+    // Low-variance values (cv ≈ 0.19): the sample sizes the planner picks
+    // make the sampling error a small fraction of the 10% budget, so a trial
+    // failure means *bias* — exactly what an uncorrected tombstone weight
+    // introduces (up to 2× at 50% deletes).
+    for r in &mut model {
+        r.val = 500.0 + (r.val / 2.0).floor();
+    }
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("t", make_batch(&model), 4).unwrap());
+    let cat = Arc::new(cat);
+    let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+    let eng = TasterEngine::new(cat.clone(), config);
+
+    let sql = "SELECT grp, SUM(val) FROM t GROUP BY grp ERROR WITHIN 10% AT CONFIDENCE 95%";
+    let _ = eng.execute_sql(sql).unwrap(); // materialize the synopsis
+
+    // Delete a random 10–50% prefix (independent of grp and val).
+    let frac = rng.random_range(10..51u32) as f64 / 100.0;
+    let pivot = (rows as f64 * frac) as i64;
+    let report = eng
+        .delete_where("t", &[pred("id", BinaryOp::Lt, Value::Int(pivot))])
+        .unwrap();
+    assert_eq!(report.rows_affected, pivot as usize);
+
+    let approx = eng.execute_sql(sql).unwrap();
+    let exact_plan = parse_query(sql).unwrap().to_exact_plan(&cat).unwrap();
+    let exact = execute(&exact_plan, &ExecutionContext::new(cat.clone())).unwrap();
+    let (err, missed) = approx.result.error_vs(&exact);
+    missed == 0 && err <= 0.10
+}
+
+/// Approximate answers stay inside the ErrorSpec at the stated confidence
+/// after deleting up to 50% of rows — ≥100 seeded trials, judged with a
+/// binomial tail allowance rather than a flaky per-seed hard bound.
+#[test]
+fn approximate_answers_hold_error_spec_after_heavy_deletes() {
+    let report = stats_assert::run_seeded_trials(0xb1a5_07a5, 100, bias_trial);
+    report.assert_confidence(
+        0.95,
+        "SUM per group within 10% after deleting 10–50% of rows",
+    );
+}
+
+/// Deletes correlated with the aggregated column are the adversarial case
+/// for in-place reweighting: the deleted fraction exceeds the staleness
+/// bound, so the tuner must rebuild the synopsis from live rows before
+/// answering — served estimates stay accurate instead of drifting.
+#[test]
+fn correlated_deletes_force_rebuild_not_drift() {
+    for (case, seed) in stats_assert::seed_schedule(0xc0de_1e7e, 5)
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut next_id = 0i64;
+        let model = gen_rows(&mut rng, &mut next_id, 8_000, 6);
+        let cat = Catalog::new();
+        cat.register(Table::from_batch("t", make_batch(&model), 4).unwrap());
+        let cat = Arc::new(cat);
+        let config = TasterConfig::with_budget_fraction(cat.total_size_bytes(), 1.0);
+        let eng = TasterEngine::new(cat.clone(), config);
+
+        let sql = "SELECT grp, SUM(val) FROM t GROUP BY grp ERROR WITHIN 10% AT CONFIDENCE 95%";
+        let _ = eng.execute_sql(sql).unwrap();
+
+        // Delete the top ~40% of the value distribution: correlated with
+        // SUM(val), and past the 20% staleness bound.
+        eng.delete_where("t", &[pred("val", BinaryOp::GtEq, Value::Int(600))])
+            .unwrap();
+
+        let approx = eng.execute_sql(sql).unwrap();
+        let exact_plan = parse_query(sql).unwrap().to_exact_plan(&cat).unwrap();
+        let exact = execute(&exact_plan, &ExecutionContext::new(cat.clone())).unwrap();
+        let (err, missed) = approx.result.error_vs(&exact);
+        assert_eq!(missed, 0, "case {case}");
+        // Without the rebuild the estimate would be ~2.7× the truth (the
+        // deleted tail carried most of the mass); with it the answer is an
+        // honest sample of the live rows.
+        stats_assert::assert_bounded(err, 0.15, &format!("case {case} (seed {seed:#x})"));
+    }
+}
+
+/// The README "Deletes, updates and compaction" quickstart, verbatim — keep
+/// the two in sync.
+#[test]
+fn readme_mutation_quickstart() {
+    let batch = BatchBuilder::new()
+        .column("grp", (0..50_000i64).map(|i| i % 5).collect::<Vec<_>>())
+        .column("v", (0..50_000).map(|i| (i % 97) as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    let cat = Catalog::new();
+    cat.register(Table::from_batch("events", batch, 8).unwrap());
+    let engine = Arc::new(TasterEngine::new(Arc::new(cat), TasterConfig::default()));
+
+    // Tombstone 2 of 5 groups. The mask publishes atomically with the
+    // snapshot: a concurrent scan sees all of the delete or none of it.
+    let del = engine
+        .delete_where(
+            "events",
+            &[Expr::binary(Expr::col("grp"), BinaryOp::GtEq, Expr::lit(3i64))],
+        )
+        .unwrap();
+    assert_eq!(del.rows_affected, 20_000);
+
+    // UPDATE = delete + re-append of the rewritten rows.
+    let upd = engine
+        .update_where(
+            "events",
+            &[("v".to_string(), Value::Float(1.0))],
+            &[Expr::binary(Expr::col("grp"), BinaryOp::Eq, Expr::lit(0i64))],
+        )
+        .unwrap();
+    assert_eq!(upd.rows_affected, 10_000);
+
+    // The mutations are visible immediately: 30k live rows, but the 30k
+    // tombstoned ones are still physically present...
+    let events = engine.catalog_handle().table("events").unwrap();
+    assert_eq!((events.live_rows(), events.num_rows()), (30_000, 60_000));
+
+    // ...and approximate answers track the live rows (covering uniform
+    // samples are tombstone-corrected in place at delete time).
+    let q = "SELECT COUNT(*) FROM events ERROR WITHIN 10% AT CONFIDENCE 95%";
+    let est = engine.execute_sql(q).unwrap().result.groups[0].aggregates[0].value;
+    assert!((est - 30_000.0).abs() / 30_000.0 < 0.10);
+
+    // Compaction drops the dead rows (every sealed partition is 60% dead,
+    // past the default 30% threshold) without changing any answer.
+    let compacted = engine.compact_now().unwrap();
+    assert!(!compacted.is_empty());
+    assert_eq!((events.live_rows(), events.num_rows()), (30_000, 30_000));
+}

@@ -20,6 +20,9 @@
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+mod common;
+use common::stats_assert;
+
 use std::collections::HashMap;
 use std::sync::Arc;
 use taster_repro::engine::physical::execute;
@@ -223,8 +226,7 @@ fn incremental_uniform_sample_estimates_grown_source() {
         }
         assert_eq!(sample.source_rows, total, "case {case}");
         let est = sample.estimated_source_rows();
-        let err = (est - total as f64).abs() / total as f64;
-        assert!(err < 0.1, "case {case}: weight-sum estimate off by {err}");
+        stats_assert::assert_error_within(est, total as f64, 0.1, &format!("case {case}"));
         assert!((sample.probability - p).abs() < 1e-12);
     }
 }

@@ -9,6 +9,9 @@
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+mod common;
+use common::stats_assert;
+
 use std::sync::Arc;
 use taster_repro::engine::physical::execute;
 use taster_repro::engine::{parse_query, ExecutionContext};
@@ -67,7 +70,7 @@ fn approximate_group_by_is_unbiased_and_complete() {
 
         let (err, missed) = approx.result.error_vs(&exact);
         assert_eq!(missed, 0, "missed groups ({ctx})");
-        assert!(err < 0.35, "relative error {err} too large ({ctx})");
+        stats_assert::assert_bounded(err, 0.35, &ctx);
         assert_eq!(approx.result.num_groups(), exact.num_groups(), "{ctx}");
     }
 }
